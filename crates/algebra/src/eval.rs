@@ -1,0 +1,307 @@
+//! Bottom-up evaluation of algebra expressions over instances.
+//!
+//! Straightforward operator-at-a-time evaluation with a global row budget:
+//! the powerset operator produces `2^|rows|` output rows and is exactly
+//! the construct the paper's conclusion calls intractable — the budget
+//! turns that blowup into a structured [`AlgebraError::RowBudget`] error,
+//! mirroring the CALC evaluator's range budgets.
+
+use crate::expr::{AlgebraError, Expr, Pred};
+use no_object::{Instance, Relation, SetValue, Value};
+use std::collections::BTreeMap;
+
+/// Evaluation limits.
+#[derive(Debug, Clone)]
+pub struct AlgebraConfig {
+    /// Maximum number of rows any intermediate result may hold.
+    pub max_rows: u64,
+}
+
+impl Default for AlgebraConfig {
+    fn default() -> Self {
+        AlgebraConfig { max_rows: 1 << 22 }
+    }
+}
+
+/// Evaluate an expression on an instance.
+pub fn eval(
+    expr: &Expr,
+    instance: &Instance,
+    config: &AlgebraConfig,
+) -> Result<Relation, AlgebraError> {
+    // typecheck up front so evaluation can assume well-formedness
+    expr.output_types(instance.schema())?;
+    eval_unchecked(expr, instance, config)
+}
+
+fn guard(rel: &Relation, config: &AlgebraConfig) -> Result<(), AlgebraError> {
+    if rel.len() as u64 > config.max_rows {
+        Err(AlgebraError::RowBudget {
+            limit: config.max_rows,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn eval_unchecked(
+    expr: &Expr,
+    instance: &Instance,
+    config: &AlgebraConfig,
+) -> Result<Relation, AlgebraError> {
+    let out = match expr {
+        Expr::Rel(name) => instance.relation(name).clone(),
+        Expr::Const(_, rows) => Relation::from_rows(rows.iter().cloned()),
+        Expr::Select(e, pred) => {
+            let input = eval_unchecked(e, instance, config)?;
+            input
+                .iter()
+                .filter(|row| holds(pred, row))
+                .cloned()
+                .collect()
+        }
+        Expr::Project(e, cols) => {
+            let input = eval_unchecked(e, instance, config)?;
+            input
+                .iter()
+                .map(|row| cols.iter().map(|&i| row[i - 1].clone()).collect())
+                .collect()
+        }
+        Expr::Product(a, b) => {
+            let ra = eval_unchecked(a, instance, config)?;
+            let rb = eval_unchecked(b, instance, config)?;
+            if (ra.len() as u64).saturating_mul(rb.len() as u64) > config.max_rows {
+                return Err(AlgebraError::RowBudget {
+                    limit: config.max_rows,
+                });
+            }
+            let mut out = Relation::new();
+            for x in ra.iter() {
+                for y in rb.iter() {
+                    let mut row = x.clone();
+                    row.extend(y.iter().cloned());
+                    out.insert(row);
+                }
+            }
+            out
+        }
+        Expr::Union(a, b) => {
+            let mut ra = eval_unchecked(a, instance, config)?;
+            let rb = eval_unchecked(b, instance, config)?;
+            ra.absorb(&rb);
+            ra
+        }
+        Expr::Difference(a, b) => {
+            let ra = eval_unchecked(a, instance, config)?;
+            let rb = eval_unchecked(b, instance, config)?;
+            ra.iter().filter(|r| !rb.contains(r)).cloned().collect()
+        }
+        Expr::Intersect(a, b) => {
+            let ra = eval_unchecked(a, instance, config)?;
+            let rb = eval_unchecked(b, instance, config)?;
+            ra.iter().filter(|r| rb.contains(r)).cloned().collect()
+        }
+        Expr::Nest(e, col) => {
+            let input = eval_unchecked(e, instance, config)?;
+            let i = col - 1;
+            // group by all other columns, in canonical order for determinism
+            let mut groups: BTreeMap<Vec<Value>, Vec<Value>> = BTreeMap::new();
+            for row in input.iter() {
+                let mut key = row.clone();
+                let val = key.remove(i);
+                groups.entry(key).or_default().push(val);
+            }
+            groups
+                .into_iter()
+                .map(|(mut key, vals)| {
+                    key.insert(i, Value::Set(SetValue::from_values(vals)));
+                    key
+                })
+                .collect()
+        }
+        Expr::Unnest(e, col) => {
+            let input = eval_unchecked(e, instance, config)?;
+            let i = col - 1;
+            let mut out = Relation::new();
+            for row in input.iter() {
+                let Value::Set(s) = &row[i] else {
+                    unreachable!("typechecked: unnest column is a set")
+                };
+                for elem in s.iter() {
+                    let mut new = row.clone();
+                    new[i] = elem.clone();
+                    out.insert(new);
+                }
+                guard(&out, config)?;
+            }
+            out
+        }
+        Expr::Powerset(e) => {
+            let input = eval_unchecked(e, instance, config)?;
+            let n = input.len();
+            if n >= 63 || (1u64 << n) > config.max_rows {
+                return Err(AlgebraError::RowBudget {
+                    limit: config.max_rows,
+                });
+            }
+            let elems: Vec<&Vec<Value>> = input.sorted_rows();
+            let mut out = Relation::new();
+            for mask in 0u64..(1u64 << n) {
+                let members = elems
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| (mask >> j) & 1 == 1)
+                    .map(|(_, row)| row[0].clone());
+                out.insert(vec![Value::Set(SetValue::from_values(members))]);
+            }
+            out
+        }
+    };
+    guard(&out, config)?;
+    Ok(out)
+}
+
+fn holds(pred: &Pred, row: &[Value]) -> bool {
+    match pred {
+        Pred::EqCols(a, b) => row[a - 1] == row[b - 1],
+        Pred::EqConst(a, v) => &row[a - 1] == v,
+        Pred::InCols(a, b) => match &row[b - 1] {
+            Value::Set(s) => s.contains(&row[a - 1]),
+            _ => false,
+        },
+        Pred::SubsetCols(a, b) => match (&row[a - 1], &row[b - 1]) {
+            (Value::Set(x), Value::Set(y)) => x.is_subset(y),
+            _ => false,
+        },
+        Pred::Not(p) => !holds(p, row),
+        Pred::And(p, q) => holds(p, row) && holds(q, row),
+        Pred::Or(p, q) => holds(p, row) || holds(q, row),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_object::{RelationSchema, Schema, Type, Universe};
+
+    fn dept_db() -> (Universe, Instance) {
+        let mut u = Universe::new();
+        let schema = Schema::from_relations([
+            RelationSchema::new("W", vec![Type::Atom, Type::Atom]), // (emp, dept)
+        ]);
+        let mut i = Instance::empty(schema);
+        let atom = |u: &mut Universe, s: &str| Value::Atom(u.intern(s));
+        let rows = [("ann", "sales"), ("ben", "sales"), ("eva", "eng")];
+        for (e, d) in rows {
+            let (e, d) = (atom(&mut u, e), atom(&mut u, d));
+            i.insert("W", vec![e, d]);
+        }
+        (u, i)
+    }
+
+    #[test]
+    fn select_project() {
+        let (u, i) = dept_db();
+        let sales = Value::Atom(u.get("sales").unwrap());
+        let e = Expr::rel("W")
+            .select(Pred::EqConst(2, sales))
+            .project([1]);
+        let out = eval(&e, &i, &AlgebraConfig::default()).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn nest_groups_by_remaining_columns() {
+        let (u, i) = dept_db();
+        let e = Expr::rel("W").project([2, 1]).nest(2); // (dept, {emp})
+        let out = eval(&e, &i, &AlgebraConfig::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        let sales = Value::Atom(u.get("sales").unwrap());
+        let ann = Value::Atom(u.get("ann").unwrap());
+        let ben = Value::Atom(u.get("ben").unwrap());
+        assert!(out.contains(&[sales, Value::set([ann, ben])]));
+    }
+
+    #[test]
+    fn unnest_inverts_nest() {
+        let (_u, i) = dept_db();
+        let nested = Expr::rel("W").nest(1); // ({emp}, dept)
+        let round = nested.unnest(1);
+        let out = eval(&round, &i, &AlgebraConfig::default()).unwrap();
+        assert_eq!(&out, i.relation("W"));
+    }
+
+    #[test]
+    fn nest_does_not_invert_unnest_in_general() {
+        // unnest then nest merges rows that differed only in the set column
+        let mut u = Universe::new();
+        let schema = Schema::from_relations([RelationSchema::new(
+            "D",
+            vec![Type::Atom, Type::set(Type::Atom)],
+        )]);
+        let mut i = Instance::empty(schema);
+        let (k, a, b) = (u.intern("k"), u.intern("a"), u.intern("b"));
+        i.insert("D", vec![Value::Atom(k), Value::set([Value::Atom(a)])]);
+        i.insert("D", vec![Value::Atom(k), Value::set([Value::Atom(b)])]);
+        let round = Expr::rel("D").unnest(2).nest(2);
+        let out = eval(&round, &i, &AlgebraConfig::default()).unwrap();
+        assert_eq!(out.len(), 1); // {a} and {b} merged into {a,b}
+        assert!(out.contains(&[Value::Atom(k), Value::set([Value::Atom(a), Value::Atom(b)])]));
+    }
+
+    #[test]
+    fn product_and_set_ops() {
+        let (_u, i) = dept_db();
+        let p = Expr::rel("W").product(Expr::rel("W"));
+        let out = eval(&p, &i, &AlgebraConfig::default()).unwrap();
+        assert_eq!(out.len(), 9);
+        let diff = Expr::rel("W").difference(Expr::rel("W"));
+        assert!(eval(&diff, &i, &AlgebraConfig::default()).unwrap().is_empty());
+        let inter = Expr::rel("W").intersect(Expr::rel("W"));
+        assert_eq!(eval(&inter, &i, &AlgebraConfig::default()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn powerset_counts_and_budget() {
+        let (_u, i) = dept_db();
+        let emps = Expr::rel("W").project([1]);
+        let pow = emps.clone().powerset();
+        let out = eval(&pow, &i, &AlgebraConfig::default()).unwrap();
+        assert_eq!(out.len(), 8); // 2^3 subsets of the employee set
+        let tight = AlgebraConfig { max_rows: 4 };
+        assert!(matches!(
+            eval(&pow, &i, &tight),
+            Err(AlgebraError::RowBudget { limit: 4 })
+        ));
+    }
+
+    #[test]
+    fn product_budget_checked_before_materialising() {
+        let (_u, i) = dept_db();
+        let big = Expr::rel("W")
+            .product(Expr::rel("W"))
+            .product(Expr::rel("W"));
+        let tight = AlgebraConfig { max_rows: 10 };
+        assert!(matches!(
+            eval(&big, &i, &tight),
+            Err(AlgebraError::RowBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn membership_predicates() {
+        let mut u = Universe::new();
+        let schema = Schema::from_relations([RelationSchema::new(
+            "D",
+            vec![Type::Atom, Type::set(Type::Atom)],
+        )]);
+        let mut i = Instance::empty(schema);
+        let (a, b) = (u.intern("a"), u.intern("b"));
+        i.insert("D", vec![Value::Atom(a), Value::set([Value::Atom(a), Value::Atom(b)])]);
+        i.insert("D", vec![Value::Atom(b), Value::set([Value::Atom(a)])]);
+        // rows whose key is a member of its own set
+        let e = Expr::rel("D").select(Pred::InCols(1, 2));
+        let out = eval(&e, &i, &AlgebraConfig::default()).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,507 @@
+//! Nested-relational algebra expressions.
+//!
+//! The operator-language counterpart of CALC: the paper's Section 1 lists
+//! algebraic languages (\[AB86\], \[AB87\], \[FT83\], \[SS86\]) as the second
+//! family of complex-object languages; this module implements the common
+//! core — selection, projection, product, set operations, **nest**,
+//! **unnest** — plus the **powerset** operator, which \[AB87\] shows is the
+//! source of the algebra's expressive power and which the paper's
+//! conclusion contrasts with fixpoints: fixpoints "provide a tractable
+//! form of recursion, unlike the powerset operation".
+//!
+//! Expressions are statically typed ([`Expr::output_types`]) and evaluated
+//! bottom-up over instances ([`mod@crate::eval`]). Powerset is budgeted like
+//! everything else in this repository: it produces `2^|rows|` rows and is
+//! refused beyond the configured limit.
+
+use no_object::{Schema, Type, Value};
+use std::fmt;
+
+/// A column predicate for selection.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Pred {
+    /// Column = column (1-based indices).
+    EqCols(usize, usize),
+    /// Column = constant.
+    EqConst(usize, Value),
+    /// Column ∈ column (element, set).
+    InCols(usize, usize),
+    /// Column ⊆ column.
+    SubsetCols(usize, usize),
+    /// Negation.
+    Not(Box<Pred>),
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+}
+
+impl Pred {
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)] // mirrors Formula::not
+    pub fn not(self) -> Pred {
+        Pred::Not(Box::new(self))
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: Pred) -> Pred {
+        Pred::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: Pred) -> Pred {
+        Pred::Or(Box::new(self), Box::new(other))
+    }
+
+    /// The greatest column index mentioned (0 when none).
+    pub fn max_col(&self) -> usize {
+        match self {
+            Pred::EqCols(a, b) | Pred::InCols(a, b) | Pred::SubsetCols(a, b) => *a.max(b),
+            Pred::EqConst(a, _) => *a,
+            Pred::Not(p) => p.max_col(),
+            Pred::And(a, b) | Pred::Or(a, b) => a.max_col().max(b.max_col()),
+        }
+    }
+}
+
+/// An algebra expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A database relation by name.
+    Rel(String),
+    /// σ_pred — keep rows satisfying the predicate.
+    Select(Box<Expr>, Pred),
+    /// π_cols — project to the listed 1-based columns (may repeat or
+    /// reorder).
+    Project(Box<Expr>, Vec<usize>),
+    /// Cartesian product (columns of the right appended to the left).
+    Product(Box<Expr>, Box<Expr>),
+    /// Set union (same column types required).
+    Union(Box<Expr>, Box<Expr>),
+    /// Set difference.
+    Difference(Box<Expr>, Box<Expr>),
+    /// Set intersection.
+    Intersect(Box<Expr>, Box<Expr>),
+    /// ν_col — nest: group rows by all other columns; the nested column's
+    /// values become one set-valued column (kept in the original position).
+    Nest(Box<Expr>, usize),
+    /// μ_col — unnest a set-valued column: one output row per element.
+    Unnest(Box<Expr>, usize),
+    /// Π — powerset of a **unary** input: one row per *subset of the rows*,
+    /// as a unary relation over `{T}`. Hyperexponential by design.
+    Powerset(Box<Expr>),
+    /// A constant relation (column types, rows).
+    Const(Vec<Type>, Vec<Vec<Value>>),
+}
+
+/// Static typing errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// Unknown relation name.
+    UnknownRelation(String),
+    /// A column index is out of range.
+    ColumnOutOfRange {
+        /// The expression kind that failed.
+        op: &'static str,
+        /// The offending 1-based index.
+        col: usize,
+        /// The arity available.
+        arity: usize,
+    },
+    /// Binary set operation over incompatible column types.
+    SchemaMismatch {
+        /// Left column types (displayed).
+        left: String,
+        /// Right column types (displayed).
+        right: String,
+    },
+    /// Unnest applied to a non-set column.
+    NotASetColumn {
+        /// The offending 1-based column.
+        col: usize,
+        /// The column's type.
+        ty: Type,
+    },
+    /// Powerset applied to a non-unary input.
+    PowersetArity {
+        /// The actual arity.
+        arity: usize,
+    },
+    /// The predicate compares columns of different types.
+    PredicateType {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A constant relation's rows don't match its declared types.
+    IllTypedConst,
+    /// Evaluation exceeded the configured row budget.
+    RowBudget {
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            AlgebraError::ColumnOutOfRange { op, col, arity } => {
+                write!(f, "{op}: column {col} out of range for arity {arity}")
+            }
+            AlgebraError::SchemaMismatch { left, right } => {
+                write!(f, "set operation over mismatched schemas {left} vs {right}")
+            }
+            AlgebraError::NotASetColumn { col, ty } => {
+                write!(f, "unnest: column {col} has non-set type {ty}")
+            }
+            AlgebraError::PowersetArity { arity } => {
+                write!(f, "powerset requires a unary input, got arity {arity}")
+            }
+            AlgebraError::PredicateType { detail } => write!(f, "predicate type error: {detail}"),
+            AlgebraError::IllTypedConst => write!(f, "constant relation rows do not match types"),
+            AlgebraError::RowBudget { limit } => {
+                write!(f, "algebra evaluation exceeded the row budget of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl Expr {
+    /// Reference a database relation.
+    pub fn rel(name: impl Into<String>) -> Expr {
+        Expr::Rel(name.into())
+    }
+
+    /// σ — builder form.
+    pub fn select(self, pred: Pred) -> Expr {
+        Expr::Select(Box::new(self), pred)
+    }
+
+    /// π — builder form.
+    pub fn project(self, cols: impl Into<Vec<usize>>) -> Expr {
+        Expr::Project(Box::new(self), cols.into())
+    }
+
+    /// × — builder form.
+    pub fn product(self, other: Expr) -> Expr {
+        Expr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// ∪ — builder form.
+    pub fn union(self, other: Expr) -> Expr {
+        Expr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// − — builder form.
+    pub fn difference(self, other: Expr) -> Expr {
+        Expr::Difference(Box::new(self), Box::new(other))
+    }
+
+    /// ∩ — builder form.
+    pub fn intersect(self, other: Expr) -> Expr {
+        Expr::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// ν — builder form.
+    pub fn nest(self, col: usize) -> Expr {
+        Expr::Nest(Box::new(self), col)
+    }
+
+    /// μ — builder form.
+    pub fn unnest(self, col: usize) -> Expr {
+        Expr::Unnest(Box::new(self), col)
+    }
+
+    /// Π — builder form.
+    pub fn powerset(self) -> Expr {
+        Expr::Powerset(Box::new(self))
+    }
+
+    /// The output column types of the expression against a schema.
+    pub fn output_types(&self, schema: &Schema) -> Result<Vec<Type>, AlgebraError> {
+        match self {
+            Expr::Rel(name) => schema
+                .get(name)
+                .map(|r| r.column_types.clone())
+                .ok_or_else(|| AlgebraError::UnknownRelation(name.clone())),
+            Expr::Select(e, pred) => {
+                let cols = e.output_types(schema)?;
+                check_pred(pred, &cols)?;
+                Ok(cols)
+            }
+            Expr::Project(e, idxs) => {
+                let cols = e.output_types(schema)?;
+                idxs.iter()
+                    .map(|&i| {
+                        cols.get(i.wrapping_sub(1)).cloned().ok_or(
+                            AlgebraError::ColumnOutOfRange {
+                                op: "project",
+                                col: i,
+                                arity: cols.len(),
+                            },
+                        )
+                    })
+                    .collect()
+            }
+            Expr::Product(a, b) => {
+                let mut cols = a.output_types(schema)?;
+                cols.extend(b.output_types(schema)?);
+                Ok(cols)
+            }
+            Expr::Union(a, b) | Expr::Difference(a, b) | Expr::Intersect(a, b) => {
+                let ca = a.output_types(schema)?;
+                let cb = b.output_types(schema)?;
+                if ca != cb {
+                    return Err(AlgebraError::SchemaMismatch {
+                        left: types_str(&ca),
+                        right: types_str(&cb),
+                    });
+                }
+                Ok(ca)
+            }
+            Expr::Nest(e, col) => {
+                let mut cols = e.output_types(schema)?;
+                let i = col
+                    .checked_sub(1)
+                    .filter(|&i| i < cols.len())
+                    .ok_or(AlgebraError::ColumnOutOfRange {
+                        op: "nest",
+                        col: *col,
+                        arity: cols.len(),
+                    })?;
+                cols[i] = Type::set(cols[i].clone());
+                Ok(cols)
+            }
+            Expr::Unnest(e, col) => {
+                let mut cols = e.output_types(schema)?;
+                let i = col
+                    .checked_sub(1)
+                    .filter(|&i| i < cols.len())
+                    .ok_or(AlgebraError::ColumnOutOfRange {
+                        op: "unnest",
+                        col: *col,
+                        arity: cols.len(),
+                    })?;
+                match cols[i].elem() {
+                    Some(elem) => {
+                        cols[i] = elem.clone();
+                        Ok(cols)
+                    }
+                    None => Err(AlgebraError::NotASetColumn {
+                        col: *col,
+                        ty: cols[i].clone(),
+                    }),
+                }
+            }
+            Expr::Powerset(e) => {
+                let cols = e.output_types(schema)?;
+                match cols.as_slice() {
+                    [only] => Ok(vec![Type::set(only.clone())]),
+                    _ => Err(AlgebraError::PowersetArity { arity: cols.len() }),
+                }
+            }
+            Expr::Const(types, rows) => {
+                for row in rows {
+                    if row.len() != types.len()
+                        || !row.iter().zip(types).all(|(v, t)| v.has_type(t))
+                    {
+                        return Err(AlgebraError::IllTypedConst);
+                    }
+                }
+                Ok(types.clone())
+            }
+        }
+    }
+}
+
+fn types_str(ts: &[Type]) -> String {
+    let parts: Vec<String> = ts.iter().map(ToString::to_string).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+fn check_pred(pred: &Pred, cols: &[Type]) -> Result<(), AlgebraError> {
+    let col_ty = |i: usize| -> Result<&Type, AlgebraError> {
+        cols.get(i.wrapping_sub(1))
+            .ok_or(AlgebraError::ColumnOutOfRange {
+                op: "select",
+                col: i,
+                arity: cols.len(),
+            })
+    };
+    match pred {
+        Pred::EqCols(a, b) => {
+            let (ta, tb) = (col_ty(*a)?, col_ty(*b)?);
+            if ta != tb {
+                return Err(AlgebraError::PredicateType {
+                    detail: format!("{a} = {b}: {ta} vs {tb}"),
+                });
+            }
+            Ok(())
+        }
+        Pred::EqConst(a, v) => {
+            let ta = col_ty(*a)?;
+            if !v.has_type(ta) {
+                return Err(AlgebraError::PredicateType {
+                    detail: format!("column {a}: constant {v} is not of type {ta}"),
+                });
+            }
+            Ok(())
+        }
+        Pred::InCols(a, b) => {
+            let (ta, tb) = (col_ty(*a)?.clone(), col_ty(*b)?);
+            match tb.elem() {
+                Some(e) if *e == ta => Ok(()),
+                _ => Err(AlgebraError::PredicateType {
+                    detail: format!("{a} in {b}: {ta} vs {tb}"),
+                }),
+            }
+        }
+        Pred::SubsetCols(a, b) => {
+            let (ta, tb) = (col_ty(*a)?, col_ty(*b)?);
+            if ta != tb || ta.elem().is_none() {
+                return Err(AlgebraError::PredicateType {
+                    detail: format!("{a} sub {b}: {ta} vs {tb}"),
+                });
+            }
+            Ok(())
+        }
+        Pred::Not(p) => check_pred(p, cols),
+        Pred::And(p, q) | Pred::Or(p, q) => {
+            check_pred(p, cols)?;
+            check_pred(q, cols)
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Rel(n) => write!(f, "{n}"),
+            Expr::Select(e, p) => write!(f, "select[{p:?}]({e})"),
+            Expr::Project(e, cols) => write!(f, "project{cols:?}({e})"),
+            Expr::Product(a, b) => write!(f, "({a} x {b})"),
+            Expr::Union(a, b) => write!(f, "({a} + {b})"),
+            Expr::Difference(a, b) => write!(f, "({a} - {b})"),
+            Expr::Intersect(a, b) => write!(f, "({a} & {b})"),
+            Expr::Nest(e, c) => write!(f, "nest[{c}]({e})"),
+            Expr::Unnest(e, c) => write!(f, "unnest[{c}]({e})"),
+            Expr::Powerset(e) => write!(f, "powerset({e})"),
+            Expr::Const(_, rows) => write!(f, "const({} rows)", rows.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_object::RelationSchema;
+
+    fn schema() -> Schema {
+        Schema::from_relations([
+            RelationSchema::new("G", vec![Type::Atom, Type::Atom]),
+            RelationSchema::new("D", vec![Type::Atom, Type::set(Type::Atom)]),
+        ])
+    }
+
+    #[test]
+    fn relation_types() {
+        let s = schema();
+        assert_eq!(Expr::rel("G").output_types(&s).unwrap().len(), 2);
+        assert!(matches!(
+            Expr::rel("nope").output_types(&s),
+            Err(AlgebraError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn project_types_and_bounds() {
+        let s = schema();
+        let e = Expr::rel("D").project([2, 1, 2]);
+        let t = e.output_types(&s).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], Type::set(Type::Atom));
+        assert!(matches!(
+            Expr::rel("G").project([3]).output_types(&s),
+            Err(AlgebraError::ColumnOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Expr::rel("G").project([0]).output_types(&s),
+            Err(AlgebraError::ColumnOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn nest_unnest_types_are_inverse() {
+        let s = schema();
+        let nested = Expr::rel("G").nest(2);
+        assert_eq!(
+            nested.output_types(&s).unwrap(),
+            vec![Type::Atom, Type::set(Type::Atom)]
+        );
+        let round = nested.unnest(2);
+        assert_eq!(
+            round.output_types(&s).unwrap(),
+            vec![Type::Atom, Type::Atom]
+        );
+        assert!(matches!(
+            Expr::rel("G").unnest(1).output_types(&s),
+            Err(AlgebraError::NotASetColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn powerset_typing() {
+        let s = schema();
+        let e = Expr::rel("G").project([1]).powerset();
+        assert_eq!(e.output_types(&s).unwrap(), vec![Type::set(Type::Atom)]);
+        assert!(matches!(
+            Expr::rel("G").powerset().output_types(&s),
+            Err(AlgebraError::PowersetArity { arity: 2 })
+        ));
+    }
+
+    #[test]
+    fn set_ops_require_equal_schemas() {
+        let s = schema();
+        assert!(Expr::rel("G").union(Expr::rel("G")).output_types(&s).is_ok());
+        assert!(matches!(
+            Expr::rel("G").union(Expr::rel("D")).output_types(&s),
+            Err(AlgebraError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn predicate_typing() {
+        let s = schema();
+        assert!(Expr::rel("G")
+            .select(Pred::EqCols(1, 2))
+            .output_types(&s)
+            .is_ok());
+        assert!(Expr::rel("D")
+            .select(Pred::InCols(1, 2))
+            .output_types(&s)
+            .is_ok());
+        assert!(matches!(
+            Expr::rel("D").select(Pred::EqCols(1, 2)).output_types(&s),
+            Err(AlgebraError::PredicateType { .. })
+        ));
+        assert!(matches!(
+            Expr::rel("G").select(Pred::InCols(1, 2)).output_types(&s),
+            Err(AlgebraError::PredicateType { .. })
+        ));
+    }
+
+    #[test]
+    fn const_relations_typed() {
+        let s = schema();
+        let ok = Expr::Const(
+            vec![Type::Atom],
+            vec![vec![Value::Atom(no_object::Atom(0))]],
+        );
+        assert!(ok.output_types(&s).is_ok());
+        let bad = Expr::Const(vec![Type::Atom], vec![vec![Value::empty_set()]]);
+        assert!(matches!(bad.output_types(&s), Err(AlgebraError::IllTypedConst)));
+    }
+}

@@ -1,0 +1,55 @@
+//! Ablation (DESIGN.md §6): the canonical-sorted-vector set representation
+//! — construction, membership, union — against a naive re-sorting
+//! baseline, plus rank/unrank arithmetic costs.
+//!
+//! Expected shape: membership is O(log n) binary search; union is linear;
+//! canonicalisation dominates construction, which is why `SetValue`
+//! construction sites are the hot spots the evaluator avoids in loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use no_object::domain::{rank, unrank};
+use no_object::{Atom, AtomOrder, Nat, SetValue, Type, Universe, Value};
+use std::hint::black_box;
+
+fn order_n(n: usize) -> AtomOrder {
+    let names: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+    let u = Universe::with_names(names.iter().map(String::as_str));
+    AtomOrder::identity(&u)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value_ops");
+    group.sample_size(20);
+    for n in [16usize, 64, 256] {
+        let elems: Vec<Value> = (0..n as u32).rev().map(|i| Value::Atom(Atom(i))).collect();
+        group.bench_with_input(BenchmarkId::new("set_from_values", n), &n, |b, _| {
+            b.iter(|| SetValue::from_values(black_box(elems.iter().cloned())))
+        });
+        let set = SetValue::from_values(elems.iter().cloned());
+        let probe = Value::Atom(Atom((n / 2) as u32));
+        group.bench_with_input(BenchmarkId::new("contains", n), &n, |b, _| {
+            b.iter(|| black_box(&set).contains(black_box(&probe)))
+        });
+        let other = SetValue::from_values((0..n as u32 / 2).map(|i| Value::Atom(Atom(i * 2))));
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |b, _| {
+            b.iter(|| black_box(&set).union(black_box(&other)))
+        });
+        group.bench_with_input(BenchmarkId::new("is_subset", n), &n, |b, _| {
+            b.iter(|| black_box(&other).is_subset(black_box(&set)))
+        });
+    }
+    // rank/unrank arithmetic on a nested type
+    let order = order_n(8);
+    let ty = Type::set(Type::tuple(vec![Type::Atom, Type::Atom]));
+    let v = unrank(&order, &ty, &Nat::from(123456u64)).unwrap();
+    group.bench_function("rank_nested", |b| {
+        b.iter(|| rank(black_box(&order), &ty, black_box(&v)).unwrap())
+    });
+    group.bench_function("unrank_nested", |b| {
+        b.iter(|| unrank(black_box(&order), &ty, &Nat::from(123456u64)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! # `no-bench` — experiment harness
+//!
+//! Shared fixtures for the benchmarks and the `experiments` binary that
+//! regenerates every figure, table and theorem-shaped claim of the paper
+//! (the E1–E15 index of `DESIGN.md`/`EXPERIMENTS.md`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fixtures;

@@ -1,0 +1,518 @@
+//! Abstract syntax of CALC and its fixpoint extensions (Section 3,
+//! Definition 3.1).
+//!
+//! CALC is a strongly typed first-order calculus over complex objects with
+//! equality, membership and containment predicates, tuple projection
+//! functions `x.i`, typed quantifiers, and — in the extensions — the
+//! inflationary (`IFP`) and partial (`PFP`) fixpoint operators. A fixpoint
+//! expression can occur both as a *predicate* `IFP(φ(S), S)(t1,…,tn)` and
+//! as a set-valued *term* `x = IFP(φ(S), S)`; the term form is what makes
+//! range-restricted grouping possible (Example 5.3).
+
+use no_object::{Type, Value};
+use std::sync::Arc;
+
+/// A variable name. Variables are identified by name; the well-formedness
+/// checker enforces the paper's convention that no name is both free and
+/// bound or bound twice.
+pub type VarName = String;
+
+/// A relation name (database relation or fixpoint-bound relation).
+pub type RelName = String;
+
+/// Which fixpoint operator (Definition 3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FixOp {
+    /// Inflationary: `J_m = φ(J_{m−1}) ∪ J_{m−1}` — always converges.
+    Ifp,
+    /// Partial: `J_m = φ(J_{m−1})` — may diverge.
+    Pfp,
+}
+
+/// A fixpoint expression `IFP(φ(S), S)` / `PFP(φ(S), S)`.
+///
+/// `vars` lists the free variables `x1:T1,…,xn:Tn` of the body, in column
+/// order; the defined relation `rel` has that arity and column types. The
+/// body may refer to `rel`, to database relations, and to relations bound
+/// by enclosing fixpoints. Shared via `Arc` so that the evaluator can
+/// memoise computed fixpoints by identity.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Fixpoint {
+    /// Operator variant.
+    pub op: FixOp,
+    /// The inductively defined relation name `S`.
+    pub rel: RelName,
+    /// Column variables and types — the free variables of `body`.
+    pub vars: Vec<(VarName, Type)>,
+    /// The iterated formula `φ(S)`.
+    pub body: Box<Formula>,
+}
+
+impl Fixpoint {
+    /// The column types of the defined relation.
+    pub fn column_types(&self) -> Vec<Type> {
+        self.vars.iter().map(|(_, t)| t.clone()).collect()
+    }
+
+    /// The type of the fixpoint used as a term: `{[T1,…,Tn]}` — except for
+    /// unary fixpoints, which denote plain sets `{T1}` (the paper's
+    /// Example 5.3 uses a unary `IFP` term at type `{U}`).
+    pub fn term_type(&self) -> Type {
+        match self.vars.as_slice() {
+            [(_, t)] => Type::set(t.clone()),
+            _ => Type::set(Type::tuple(self.column_types())),
+        }
+    }
+}
+
+/// A term of the calculus.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Term {
+    /// A complex-object constant.
+    Const(Value),
+    /// A typed variable occurrence.
+    Var(VarName),
+    /// Tuple projection `t.i`, 1-based as in the paper.
+    Proj(Box<Term>, usize),
+    /// A fixpoint expression used as a set-valued term.
+    Fix(Arc<Fixpoint>),
+}
+
+impl Term {
+    /// Convenience: a variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Convenience: projection `self.i` (1-based).
+    pub fn proj(self, i: usize) -> Term {
+        Term::Proj(Box::new(self), i)
+    }
+
+    /// The root variable of a variable-or-projection chain, if any:
+    /// `x.2.1` → `x`. Range restriction treats `x.i` as a variable.
+    pub fn root_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Proj(t, _) => t.root_var(),
+            _ => None,
+        }
+    }
+}
+
+/// A formula of CALC(+IFP/+PFP).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Formula {
+    /// Relation atom `R(t1,…,tn)`.
+    Rel(RelName, Vec<Term>),
+    /// Equality `t1 = t2` (typed).
+    Eq(Term, Term),
+    /// Membership `t1 ∈ t2`.
+    In(Term, Term),
+    /// Containment `t1 ⊆ t2`.
+    Subset(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction (n ≥ 1).
+    And(Vec<Formula>),
+    /// N-ary disjunction (n ≥ 1).
+    Or(Vec<Formula>),
+    /// Implication `φ → ψ`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Biconditional `φ ↔ ψ` (used by range-restriction rule 9).
+    Iff(Box<Formula>, Box<Formula>),
+    /// Existential quantification `∃x:T φ`.
+    Exists(VarName, Type, Box<Formula>),
+    /// Universal quantification `∀x:T φ`.
+    Forall(VarName, Type, Box<Formula>),
+    /// Fixpoint predicate application `IFP(φ(S), S)(t1,…,tn)`.
+    FixApp(Arc<Fixpoint>, Vec<Term>),
+}
+
+impl Formula {
+    /// Conjunction helper that flattens nested `And`s and drops the wrapper
+    /// for singleton lists.
+    pub fn and(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::And(xs) => out.extend(xs),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => panic!("empty conjunction"),
+            1 => out.pop().expect("len checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction helper mirroring [`Formula::and`].
+    pub fn or(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::Or(xs) => out.extend(xs),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => panic!("empty disjunction"),
+            1 => out.pop().expect("len checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)] // `!formula` reads worse than `.not()`
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `∃x:T self`.
+    pub fn exists(x: impl Into<String>, ty: Type, body: Formula) -> Formula {
+        Formula::Exists(x.into(), ty, Box::new(body))
+    }
+
+    /// `∀x:T self`.
+    pub fn forall(x: impl Into<String>, ty: Type, body: Formula) -> Formula {
+        Formula::Forall(x.into(), ty, Box::new(body))
+    }
+
+    /// `self → other`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// `self ↔ other`.
+    pub fn iff(self, other: Formula) -> Formula {
+        Formula::Iff(Box::new(self), Box::new(other))
+    }
+
+    /// Immediate subformulas.
+    pub fn children(&self) -> Vec<&Formula> {
+        match self {
+            Formula::Rel(..) | Formula::Eq(..) | Formula::In(..) | Formula::Subset(..) => vec![],
+            Formula::Not(f) => vec![f],
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().collect(),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => vec![a, b],
+            Formula::Exists(_, _, f) | Formula::Forall(_, _, f) => vec![f],
+            Formula::FixApp(fix, _) => vec![&fix.body],
+        }
+    }
+
+    /// The free variables of the formula, in first-occurrence order.
+    ///
+    /// The variables of a fixpoint body are bound by the fixpoint (they are
+    /// its columns); argument terms of a `FixApp` contribute their own
+    /// variables.
+    pub fn free_vars(&self) -> Vec<VarName> {
+        let mut out = Vec::new();
+        let mut bound: Vec<&str> = Vec::new();
+        collect_free(self, &mut bound, &mut out);
+        out
+    }
+
+    /// All relation names referenced anywhere (including inside fixpoint
+    /// bodies), minus those bound by fixpoint operators.
+    pub fn referenced_relations(&self) -> Vec<RelName> {
+        let mut out = Vec::new();
+        let mut bound: Vec<&str> = Vec::new();
+        collect_rels(self, &mut bound, &mut out);
+        out
+    }
+
+    /// Push negations inward past quantifiers and connectives (the `¬φ`
+    /// normal form used by range-restriction rule 7). Implications and
+    /// biconditionals are expanded. Atoms may end up under a single `Not`.
+    pub fn negation_normal_form(&self) -> Formula {
+        nnf(self, false)
+    }
+}
+
+fn collect_free<'a>(f: &'a Formula, bound: &mut Vec<&'a str>, out: &mut Vec<VarName>) {
+    fn term_vars(t: &Term, bound: &[&str], out: &mut Vec<VarName>) {
+        match t {
+            Term::Const(_) => {}
+            Term::Var(v) => {
+                if !bound.contains(&v.as_str()) && !out.iter().any(|o| o == v) {
+                    out.push(v.clone());
+                }
+            }
+            Term::Proj(t, _) => term_vars(t, bound, out),
+            Term::Fix(_) => {} // fixpoint column vars are bound inside
+        }
+    }
+    match f {
+        Formula::Rel(_, ts) | Formula::FixApp(_, ts) => {
+            for t in ts {
+                term_vars(t, bound, out);
+            }
+        }
+        Formula::Eq(a, b) | Formula::In(a, b) | Formula::Subset(a, b) => {
+            term_vars(a, bound, out);
+            term_vars(b, bound, out);
+        }
+        Formula::Not(g) => collect_free(g, bound, out),
+        Formula::And(gs) | Formula::Or(gs) => {
+            for g in gs {
+                collect_free(g, bound, out);
+            }
+        }
+        Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            collect_free(a, bound, out);
+            collect_free(b, bound, out);
+        }
+        Formula::Exists(x, _, g) | Formula::Forall(x, _, g) => {
+            bound.push(x.as_str());
+            collect_free(g, bound, out);
+            bound.pop();
+        }
+    }
+}
+
+fn collect_rels<'a>(f: &'a Formula, bound: &mut Vec<&'a str>, out: &mut Vec<RelName>) {
+    match f {
+        Formula::Rel(name, _) => {
+            if !bound.contains(&name.as_str()) && !out.iter().any(|o| o == name) {
+                out.push(name.clone());
+            }
+        }
+        Formula::FixApp(fix, ts) => {
+            bound.push(fix.rel.as_str());
+            collect_rels(&fix.body, bound, out);
+            bound.pop();
+            for t in ts {
+                for inner in term_fix_list(t) {
+                    bound.push(inner.rel.as_str());
+                    collect_rels(&inner.body, bound, out);
+                    bound.pop();
+                }
+            }
+        }
+        _ => {
+            // terms may contain fixpoints too
+            for fix in formula_term_fixes(f) {
+                bound.push(fix.rel.as_str());
+                collect_rels(&fix.body, bound, out);
+                bound.pop();
+            }
+            for c in f.children() {
+                collect_rels(c, bound, out);
+            }
+        }
+    }
+}
+
+fn term_fix_list(t: &Term) -> Vec<&Arc<Fixpoint>> {
+    let mut out = Vec::new();
+    fn go<'a>(t: &'a Term, out: &mut Vec<&'a Arc<Fixpoint>>) {
+        match t {
+            Term::Fix(fp) => out.push(fp),
+            Term::Proj(t, _) => go(t, out),
+            _ => {}
+        }
+    }
+    go(t, &mut out);
+    out
+}
+
+/// Fixpoints occurring in the *terms* of an atomic formula (not in
+/// subformulas).
+pub fn formula_term_fixes(f: &Formula) -> Vec<&Arc<Fixpoint>> {
+    fn term_fixes<'a>(t: &'a Term, out: &mut Vec<&'a Arc<Fixpoint>>) {
+        match t {
+            Term::Fix(fp) => out.push(fp),
+            Term::Proj(t, _) => term_fixes(t, out),
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    match f {
+        Formula::Rel(_, ts) => {
+            for t in ts {
+                term_fixes(t, &mut out);
+            }
+        }
+        Formula::Eq(a, b) | Formula::In(a, b) | Formula::Subset(a, b) => {
+            term_fixes(a, &mut out);
+            term_fixes(b, &mut out);
+        }
+        Formula::FixApp(_, ts) => {
+            for t in ts {
+                term_fixes(t, &mut out);
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+fn nnf(f: &Formula, negate: bool) -> Formula {
+    match f {
+        Formula::Not(g) => nnf(g, !negate),
+        Formula::And(gs) => {
+            let parts: Vec<Formula> = gs.iter().map(|g| nnf(g, negate)).collect();
+            if negate {
+                Formula::Or(parts)
+            } else {
+                Formula::And(parts)
+            }
+        }
+        Formula::Or(gs) => {
+            let parts: Vec<Formula> = gs.iter().map(|g| nnf(g, negate)).collect();
+            if negate {
+                Formula::And(parts)
+            } else {
+                Formula::Or(parts)
+            }
+        }
+        Formula::Implies(a, b) => {
+            // a → b ≡ ¬a ∨ b
+            let expanded = Formula::Or(vec![nnf(a, true), nnf(b, false)]);
+            if negate {
+                // ¬(a → b) ≡ a ∧ ¬b
+                Formula::And(vec![nnf(a, false), nnf(b, true)])
+            } else {
+                expanded
+            }
+        }
+        Formula::Iff(a, b) => {
+            // a ↔ b ≡ (a→b) ∧ (b→a); negation swaps one side
+            let pos = Formula::And(vec![
+                Formula::Or(vec![nnf(a, true), nnf(b, false)]),
+                Formula::Or(vec![nnf(b, true), nnf(a, false)]),
+            ]);
+            let neg = Formula::Or(vec![
+                Formula::And(vec![nnf(a, false), nnf(b, true)]),
+                Formula::And(vec![nnf(b, false), nnf(a, true)]),
+            ]);
+            if negate {
+                neg
+            } else {
+                pos
+            }
+        }
+        Formula::Exists(x, t, g) => {
+            let inner = nnf(g, negate);
+            if negate {
+                Formula::forall(x.clone(), t.clone(), inner)
+            } else {
+                Formula::exists(x.clone(), t.clone(), inner)
+            }
+        }
+        Formula::Forall(x, t, g) => {
+            let inner = nnf(g, negate);
+            if negate {
+                Formula::exists(x.clone(), t.clone(), inner)
+            } else {
+                Formula::forall(x.clone(), t.clone(), inner)
+            }
+        }
+        atom => {
+            if negate {
+                Formula::Not(Box::new(atom.clone()))
+            } else {
+                atom.clone()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_object::Type;
+
+    fn g(x: &str, y: &str) -> Formula {
+        Formula::Rel("G".into(), vec![Term::var(x), Term::var(y)])
+    }
+
+    #[test]
+    fn free_vars_respect_quantifiers() {
+        let f = Formula::exists("y", Type::Atom, Formula::and([g("x", "y"), g("y", "z")]));
+        assert_eq!(f.free_vars(), vec!["x".to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn free_vars_of_projections() {
+        let f = Formula::Eq(Term::var("t").proj(1), Term::var("u").proj(2));
+        assert_eq!(f.free_vars(), vec!["t".to_string(), "u".to_string()]);
+    }
+
+    #[test]
+    fn fixpoint_vars_are_bound() {
+        let fix = Arc::new(Fixpoint {
+            op: FixOp::Ifp,
+            rel: "S".into(),
+            vars: vec![("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+            body: Box::new(Formula::or([
+                g("x", "y"),
+                Formula::exists(
+                    "z",
+                    Type::Atom,
+                    Formula::and([
+                        Formula::Rel("S".into(), vec![Term::var("x"), Term::var("z")]),
+                        g("z", "y"),
+                    ]),
+                ),
+            ])),
+        });
+        let f = Formula::FixApp(fix.clone(), vec![Term::var("u"), Term::var("v")]);
+        assert_eq!(f.free_vars(), vec!["u".to_string(), "v".to_string()]);
+        // referenced relations: G, not the bound S
+        assert_eq!(f.referenced_relations(), vec!["G".to_string()]);
+        assert_eq!(fix.term_type().to_string(), "{[U,U]}");
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let f = Formula::and([Formula::and([g("a", "b"), g("b", "c")]), g("c", "d")]);
+        match &f {
+            Formula::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+        let single = Formula::or([g("a", "b")]);
+        assert!(matches!(single, Formula::Rel(..)));
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let f = Formula::forall(
+            "x",
+            Type::Atom,
+            g("x", "x").implies(Formula::exists("y", Type::Atom, g("x", "y"))),
+        )
+        .not();
+        let n = f.negation_normal_form();
+        // ¬∀x(G(x,x) → ∃y G(x,y)) ≡ ∃x(G(x,x) ∧ ∀y ¬G(x,y))
+        match &n {
+            Formula::Exists(x, _, body) => {
+                assert_eq!(x, "x");
+                match body.as_ref() {
+                    Formula::And(parts) => {
+                        assert!(matches!(parts[0], Formula::Rel(..)));
+                        assert!(matches!(parts[1], Formula::Forall(..)));
+                    }
+                    other => panic!("expected And, got {other:?}"),
+                }
+            }
+            other => panic!("expected Exists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_idempotent_on_atoms() {
+        let f = g("x", "y");
+        assert_eq!(f.negation_normal_form(), f);
+        let nf = g("x", "y").not();
+        assert_eq!(nf.negation_normal_form(), nf);
+    }
+
+    #[test]
+    fn root_var_of_chain() {
+        let t = Term::var("x").proj(2).proj(1);
+        assert_eq!(t.root_var(), Some("x"));
+        assert_eq!(Term::Const(no_object::Value::empty_set()).root_var(), None);
+    }
+}

@@ -1,0 +1,313 @@
+//! The encoding relations `CODE_T` of Lemma 4.4.
+//!
+//! The proof of Theorem 4.1 needs, inside the logic, a *dictionary*
+//! mapping every object `o` of an `⟨i,k⟩`-type to the symbols of its
+//! standard encoding `enc(o)`, indexed by positions. The paper realises
+//! this as a relation `CODE_T(o, ⃗i, x)`: "`x` is the `⃗i`-th symbol of
+//! `enc(o)`", with positions `⃗i` ranging over `m`-tuples of lower-type
+//! objects ordered by the induced order.
+//!
+//! This module constructs those relations concretely:
+//!
+//! * [`code_u_rows`] — the base-case `CODE_U` of the proof, which writes
+//!   each constant's *minimal-length* binary numeral digit by digit. The
+//!   paper prints this table for five constants `a..e`; the
+//!   `paper_code_u_table` test reproduces it verbatim.
+//! * [`CodeT`] — the general `CODE_T` for any type, with positions as
+//!   ranks (`Nat`) plus [`position_tuple`] to express a rank as the
+//!   `m`-tuple of atoms the paper uses.
+//!
+//! The relations here are computed by the engine rather than by iterating
+//! a `CALC+IFP` formula; the TM-simulation crate (`no-tm`) consumes them
+//! to build initial configurations exactly as the proof prescribes.
+
+use no_object::domain::{card, rank, unrank, DomainError, DomainIter};
+use no_object::encoding::value_to_string;
+use no_object::{Atom, AtomOrder, Nat, Type, Universe, Value};
+
+/// The tape symbols of instance encodings.
+pub const ALPHABET: &[char] = &['0', '1', '{', '}', '[', ']', '#'];
+
+/// One row of `CODE_U`: in the encoding of `constant`, the digit indexed
+/// by `index` (the j-th constant indexes the j-th digit, most significant
+/// first) is `digit`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeURow {
+    /// The constant being encoded.
+    pub constant: Atom,
+    /// The digit position, identified by a constant (paper's device: "we
+    /// can use the n ordered constants themselves to identify the digits").
+    pub index: Atom,
+    /// The binary digit, `0` or `1`.
+    pub digit: u8,
+}
+
+/// The `CODE_U` relation for an enumeration of constants: each constant's
+/// rank written as a **minimal-length** binary numeral (rank 0 → `0`,
+/// rank 4 → `100`), exactly as in the paper's worked table.
+pub fn code_u_rows(order: &AtomOrder) -> Vec<CodeURow> {
+    let mut rows = Vec::new();
+    for (r, constant) in order.iter().enumerate() {
+        let digits = minimal_binary(r);
+        for (j, d) in digits.iter().enumerate() {
+            rows.push(CodeURow {
+                constant,
+                index: order.at(j),
+                digit: *d,
+            });
+        }
+    }
+    rows
+}
+
+/// The minimal-length binary digits of `n`, most significant first
+/// (`0 → [0]`, `4 → [1,0,0]`).
+pub fn minimal_binary(n: usize) -> Vec<u8> {
+    if n == 0 {
+        return vec![0];
+    }
+    let bits = usize::BITS - n.leading_zeros();
+    (0..bits)
+        .rev()
+        .map(|b| ((n >> b) & 1) as u8)
+        .collect()
+}
+
+/// Render the `CODE_U` table in the paper's layout (columns: constant,
+/// index, digit) for experiment E7.
+pub fn render_code_u_table(universe: &Universe, order: &AtomOrder) -> String {
+    let mut out = String::from("constant | index | digit\n");
+    for row in code_u_rows(order) {
+        out.push_str(&format!(
+            "{:<8} | {:<5} | {}\n",
+            universe.name(row.constant),
+            universe.name(row.index),
+            row.digit
+        ));
+    }
+    out
+}
+
+/// One row of `CODE_T`: the symbol at a position of an object's encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeTRow {
+    /// The object of type `T` being encoded.
+    pub object: Value,
+    /// The position, as the rank of the paper's index tuple.
+    pub position: Nat,
+    /// The tape symbol at that position.
+    pub symbol: char,
+}
+
+/// The `CODE_T` dictionary: for every object of `ty` over the ordered
+/// constants, the symbols of its standard encoding, position-indexed.
+#[derive(Debug, Clone)]
+pub struct CodeT {
+    /// The encoded type.
+    pub ty: Type,
+    /// The index width `m`: positions are representable as `m`-tuples of
+    /// atoms (`n^m ≥` longest encoding).
+    pub index_width: usize,
+    /// All rows, grouped by object in increasing induced order.
+    pub rows: Vec<CodeTRow>,
+}
+
+impl CodeT {
+    /// Build `CODE_T` for every object of `dom(ty, D)`.
+    ///
+    /// Fails when the domain is over the enumeration cap — `CODE_T` is a
+    /// per-object dictionary and requires enumerating the domain.
+    pub fn build(order: &AtomOrder, ty: &Type) -> Result<CodeT, DomainError> {
+        let mut rows = Vec::new();
+        let mut max_len = 0usize;
+        for object in DomainIter::new(order, ty)? {
+            let enc = value_to_string(order, &object);
+            max_len = max_len.max(enc.len());
+            for (pos, symbol) in enc.chars().enumerate() {
+                rows.push(CodeTRow {
+                    object: object.clone(),
+                    position: Nat::from(pos),
+                    symbol,
+                });
+            }
+        }
+        let n = order.len().max(2);
+        let mut index_width = 1;
+        let mut capacity = n;
+        while capacity < max_len {
+            index_width += 1;
+            capacity *= n;
+        }
+        Ok(CodeT {
+            ty: ty.clone(),
+            index_width,
+            rows,
+        })
+    }
+
+    /// The encoding of one object reassembled from the rows — used to
+    /// verify the dictionary against [`value_to_string`].
+    pub fn reassemble(&self, object: &Value) -> String {
+        let mut symbols: Vec<(&Nat, char)> = self
+            .rows
+            .iter()
+            .filter(|r| &r.object == object)
+            .map(|r| (&r.position, r.symbol))
+            .collect();
+        symbols.sort_by(|a, b| a.0.cmp(b.0));
+        symbols.into_iter().map(|(_, c)| c).collect()
+    }
+}
+
+/// Express a position as the paper's index tuple: the `m`-tuple of atoms
+/// whose rank in `dom([U;m], D)` is `position` (the `⃗i_j` of the worked
+/// configuration table).
+pub fn position_tuple(
+    order: &AtomOrder,
+    m: usize,
+    position: &Nat,
+) -> Result<Value, DomainError> {
+    let ty = Type::tuple(vec![Type::Atom; m]);
+    unrank(order, &ty, position)
+}
+
+/// The rank of an index tuple — inverse of [`position_tuple`].
+pub fn position_rank(order: &AtomOrder, tuple: &Value) -> Result<Nat, DomainError> {
+    let m = match tuple {
+        Value::Tuple(vs) => vs.len(),
+        _ => 1,
+    };
+    let ty = Type::tuple(vec![Type::Atom; m]);
+    rank(order, &ty, tuple)
+}
+
+/// Number of positions addressable with `m`-tuples of atoms: `n^m`.
+pub fn position_capacity(order: &AtomOrder, m: usize) -> Nat {
+    let ty = Type::tuple(vec![Type::Atom; m]);
+    card(&ty, order.len()).expect("atom tuple domains are small")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_binary_digits() {
+        assert_eq!(minimal_binary(0), vec![0]);
+        assert_eq!(minimal_binary(1), vec![1]);
+        assert_eq!(minimal_binary(2), vec![1, 0]);
+        assert_eq!(minimal_binary(3), vec![1, 1]);
+        assert_eq!(minimal_binary(4), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn paper_code_u_table() {
+        // The exact table from Lemma 4.4's proof, five constants a..e:
+        //   a: (a,0); b: (a,1); c: (a,1),(b,0); d: (a,1),(b,1);
+        //   e: (a,1),(b,0),(c,0)
+        let u = Universe::with_names(["a", "b", "c", "d", "e"]);
+        let order = AtomOrder::identity(&u);
+        let rows = code_u_rows(&order);
+        let pretty: Vec<(String, String, u8)> = rows
+            .iter()
+            .map(|r| {
+                (
+                    u.name(r.constant).to_string(),
+                    u.name(r.index).to_string(),
+                    r.digit,
+                )
+            })
+            .collect();
+        let expect = [
+            ("a", "a", 0u8),
+            ("b", "a", 1),
+            ("c", "a", 1),
+            ("c", "b", 0),
+            ("d", "a", 1),
+            ("d", "b", 1),
+            ("e", "a", 1),
+            ("e", "b", 0),
+            ("e", "c", 0),
+        ];
+        assert_eq!(pretty.len(), expect.len());
+        for ((c, i, d), (ec, ei, ed)) in pretty.iter().zip(expect.iter()) {
+            assert_eq!((c.as_str(), i.as_str(), *d), (*ec, *ei, *ed));
+        }
+        let table = render_code_u_table(&u, &order);
+        assert!(table.contains("e        | c     | 0"), "{table}");
+    }
+
+    #[test]
+    fn code_t_reassembles_encodings() {
+        let u = Universe::with_names(["a", "b", "c"]);
+        let order = AtomOrder::identity(&u);
+        for ty in [
+            Type::Atom,
+            Type::set(Type::Atom),
+            Type::tuple(vec![Type::Atom, Type::set(Type::Atom)]),
+        ] {
+            let code = CodeT::build(&order, &ty).unwrap();
+            for object in DomainIter::new(&order, &ty).unwrap() {
+                assert_eq!(
+                    code.reassemble(&object),
+                    value_to_string(&order, &object),
+                    "{object} : {ty}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_width_covers_longest_encoding() {
+        let u = Universe::with_names(["a", "b", "c"]);
+        let order = AtomOrder::identity(&u);
+        let ty = Type::set(Type::Atom);
+        let code = CodeT::build(&order, &ty).unwrap();
+        let longest = DomainIter::new(&order, &ty)
+            .unwrap()
+            .map(|v| value_to_string(&order, &v).len())
+            .max()
+            .unwrap();
+        let capacity = position_capacity(&order, code.index_width)
+            .to_usize()
+            .unwrap();
+        assert!(capacity >= longest, "{capacity} < {longest}");
+    }
+
+    #[test]
+    fn position_tuples_roundtrip() {
+        let u = Universe::with_names(["a", "b", "c"]);
+        let order = AtomOrder::identity(&u);
+        for p in 0..27usize {
+            let t = position_tuple(&order, 3, &Nat::from(p)).unwrap();
+            assert_eq!(position_rank(&order, &t).unwrap(), Nat::from(p));
+        }
+        // the worked example: ⃗i_1 = [a,a,a,a] and ⃗i_6 = [a,a,b,c] with m=4
+        let i1 = position_tuple(&order, 4, &Nat::from(0u64)).unwrap();
+        assert_eq!(
+            i1,
+            Value::tuple(vec![Value::Atom(Atom(0)); 4])
+        );
+        let i6 = position_tuple(&order, 4, &Nat::from(5u64)).unwrap();
+        assert_eq!(
+            i6,
+            Value::tuple(vec![
+                Value::Atom(Atom(0)),
+                Value::Atom(Atom(0)),
+                Value::Atom(Atom(1)),
+                Value::Atom(Atom(2)),
+            ])
+        );
+    }
+
+    #[test]
+    fn alphabet_covers_all_encoding_symbols() {
+        let u = Universe::with_names(["a", "b", "c"]);
+        let order = AtomOrder::identity(&u);
+        let ty = Type::tuple(vec![Type::Atom, Type::set(Type::Atom)]);
+        let code = CodeT::build(&order, &ty).unwrap();
+        for row in &code.rows {
+            assert!(ALPHABET.contains(&row.symbol), "{:?}", row.symbol);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Evaluation errors and resource budgets.
+//!
+//! Evaluating CALC over complex objects can be hyperexponential in the
+//! input (that is the paper's point). The engine therefore treats blowups
+//! as *first-class errors*: every quantifier range and every step of work
+//! is budgeted, and exceeding a budget returns a structured error instead
+//! of consuming unbounded time or memory.
+
+use no_object::{DomainError, Nat, Type};
+use std::fmt;
+
+/// Resource budgets for one evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Maximum cardinality a single quantifier (or head variable, or
+    /// fixpoint column product) may range over.
+    pub max_range: u64,
+    /// Total step budget: each formula-node evaluation costs one step.
+    pub max_steps: u64,
+    /// Maximum number of fixpoint iterations before IFP is declared stuck
+    /// (cannot happen — IFP converges within the range product — but kept
+    /// as a defensive bound) or PFP is declared divergent.
+    pub max_fixpoint_iters: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            max_range: 1 << 22,
+            max_steps: 200_000_000,
+            max_fixpoint_iters: 1_000_000,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A small-budget configuration for tests that *expect* blowup.
+    pub fn tight() -> Self {
+        EvalConfig {
+            max_range: 1 << 12,
+            max_steps: 2_000_000,
+            max_fixpoint_iters: 10_000,
+        }
+    }
+}
+
+/// An evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Domain arithmetic failed (cardinality over the global cap).
+    Domain(DomainError),
+    /// A quantifier range exceeded [`EvalConfig::max_range`].
+    RangeTooLarge {
+        /// The variable whose range blew up.
+        var: String,
+        /// Its type.
+        ty: Type,
+        /// The offending cardinality.
+        card: Nat,
+    },
+    /// The total step budget was exhausted.
+    BudgetExhausted {
+        /// The configured limit that was hit.
+        limit: u64,
+    },
+    /// A `PFP` iteration entered a cycle or exceeded the iteration budget
+    /// without converging (Definition 3.1: the limit then does not exist;
+    /// the paper leaves the query value undefined — we surface it).
+    PfpDiverged {
+        /// The fixpoint relation name.
+        rel: String,
+        /// Iterations performed before giving up or detecting the cycle.
+        iters: u64,
+    },
+    /// A relation name was neither in the instance nor bound in scope.
+    UnknownRelation(String),
+    /// A variable had no binding and no range — static checking should
+    /// prevent this; it indicates a malformed query.
+    UnboundVariable(String),
+    /// A term evaluated to a value of the wrong shape (e.g. projection of
+    /// a set). Static checking should prevent this.
+    ShapeError(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Domain(e) => write!(f, "{e}"),
+            EvalError::RangeTooLarge { var, ty, card } => write!(
+                f,
+                "range of variable {var}:{ty} has cardinality {card}, over the configured budget"
+            ),
+            EvalError::BudgetExhausted { limit } => {
+                write!(f, "evaluation exceeded the step budget of {limit}")
+            }
+            EvalError::PfpDiverged { rel, iters } => {
+                write!(f, "PFP({rel}) did not converge after {iters} iterations")
+            }
+            EvalError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            EvalError::ShapeError(m) => write!(f, "shape error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Domain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DomainError> for EvalError {
+    fn from(e: DomainError) -> Self {
+        EvalError::Domain(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = EvalError::RangeTooLarge {
+            var: "X".into(),
+            ty: Type::set(Type::Atom),
+            card: Nat::pow2(40),
+        };
+        let s = e.to_string();
+        assert!(s.contains("X"), "{s}");
+        assert!(s.contains("{U}"), "{s}");
+        assert!(EvalError::BudgetExhausted { limit: 7 }.to_string().contains('7'));
+    }
+
+    #[test]
+    fn domain_error_wraps() {
+        let d = DomainError::TooLarge { ty: Type::Atom };
+        let e: EvalError = d.clone().into();
+        assert_eq!(e, EvalError::Domain(d));
+    }
+
+    #[test]
+    fn default_config_is_generous() {
+        let c = EvalConfig::default();
+        assert!(c.max_range > EvalConfig::tight().max_range);
+        assert!(c.max_steps > EvalConfig::tight().max_steps);
+    }
+}

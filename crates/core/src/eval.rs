@@ -1,0 +1,870 @@
+//! Evaluation of CALC(+IFP/+PFP) under the active-domain and
+//! restricted-domain semantics (Sections 3 and 5).
+//!
+//! Under the *active-domain* semantics a variable of type `T` ranges over
+//! `dom(T, atom(I))` — enumerated lazily in the induced order via
+//! [`no_object::domain::DomainIter`]. Under the *restricted-domain*
+//! semantics (Definition 5.1) a [`RangeMap`] supplies an explicit finite
+//! range for some variables; unlisted variables fall back to the active
+//! domain. The equivalence of the two for range-restricted queries is
+//! Theorem 5.1, and is tested property-style in the integration suite.
+//!
+//! Fixpoint relations are computed bottom-up per Definition 3.1 and
+//! memoised by `Arc` identity so that a fixpoint applied under a
+//! quantifier is not recomputed per binding.
+
+use crate::ast::{FixOp, Fixpoint, Formula, Term, VarName};
+use crate::error::{EvalConfig, EvalError};
+use no_object::domain::{card, DomainIter};
+use no_object::{AtomOrder, Instance, Relation, SetValue, Type, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Explicit ranges for the restricted-domain semantics: variable name →
+/// the finite set of values it may take.
+pub type RangeMap = HashMap<VarName, Vec<Value>>;
+
+/// A top-level query `{[x1,…,xk] : [T1,…,Tk] | φ}` (Section 3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// The head variables with their types.
+    pub head: Vec<(VarName, Type)>,
+    /// The body formula; its free variables must be exactly the head.
+    pub body: Formula,
+}
+
+impl Query {
+    /// Create a query.
+    pub fn new(head: Vec<(VarName, Type)>, body: Formula) -> Self {
+        Query { head, body }
+    }
+
+    /// The output relation's column types.
+    pub fn output_types(&self) -> Vec<Type> {
+        self.head.iter().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+/// Collect the atoms of all constants occurring in a formula (needed to
+/// extend the active domain beyond `atom(I)` when the query mentions
+/// constants).
+pub fn formula_atoms(f: &Formula, out: &mut BTreeSet<no_object::Atom>) {
+    fn term_atoms(t: &Term, out: &mut BTreeSet<no_object::Atom>) {
+        match t {
+            Term::Const(v) => v.collect_atoms(out),
+            Term::Proj(t, _) => term_atoms(t, out),
+            Term::Fix(fix) => formula_atoms(&fix.body, out),
+            Term::Var(_) => {}
+        }
+    }
+    match f {
+        Formula::Rel(_, ts) => ts.iter().for_each(|t| term_atoms(t, out)),
+        Formula::Eq(a, b) | Formula::In(a, b) | Formula::Subset(a, b) => {
+            term_atoms(a, out);
+            term_atoms(b, out);
+        }
+        Formula::FixApp(fix, ts) => {
+            formula_atoms(&fix.body, out);
+            ts.iter().for_each(|t| term_atoms(t, out));
+        }
+        _ => f.children().into_iter().for_each(|c| formula_atoms(c, out)),
+    }
+}
+
+/// The active-domain enumeration for evaluating `query` on `instance`:
+/// `atom(I)` plus the atoms of the query's constants, in atom-id order.
+pub fn active_order(instance: &Instance, query: &Query) -> AtomOrder {
+    let mut atoms = instance.atoms();
+    formula_atoms(&query.body, &mut atoms);
+    AtomOrder::new(atoms.into_iter().collect())
+}
+
+/// The variable environment during evaluation (a scope stack).
+#[derive(Default, Clone, Debug)]
+pub struct Env {
+    stack: Vec<(VarName, Value)>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, v: &str) -> Option<&Value> {
+        self.stack
+            .iter()
+            .rev()
+            .find(|(n, _)| n == v)
+            .map(|(_, val)| val)
+    }
+
+    /// Push a binding.
+    pub fn push(&mut self, v: impl Into<String>, val: Value) {
+        self.stack.push((v.into(), val));
+    }
+
+    /// Pop the most recent binding.
+    pub fn pop(&mut self) {
+        self.stack.pop();
+    }
+}
+
+/// The CALC evaluator over one instance.
+pub struct Evaluator<'a> {
+    instance: &'a Instance,
+    order: AtomOrder,
+    config: EvalConfig,
+    ranges: RangeMap,
+    steps: u64,
+    /// Fixpoint relations currently in scope (innermost last).
+    aux: Vec<(String, Relation)>,
+    /// Scope-context identifiers: every push of an auxiliary relation gets
+    /// a fresh id, and popping restores the *parent's* id — so the
+    /// top-level context keeps id 0 forever and fixpoints applied under
+    /// different bindings of the same scope share one cache entry, while
+    /// distinct iterations of an enclosing fixpoint (different `aux`
+    /// contents) never do.
+    ctx_stack: Vec<u64>,
+    ctx_counter: u64,
+    fix_cache: HashMap<(usize, u64), Arc<Relation>>,
+    /// Materialised active domains per type — quantifiers over the same
+    /// type share one vector instead of re-enumerating per binding.
+    domain_cache: HashMap<Type, Arc<Vec<Value>>>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator with the given atom enumeration and budgets.
+    pub fn new(instance: &'a Instance, order: AtomOrder, config: EvalConfig) -> Self {
+        Evaluator {
+            instance,
+            order,
+            config,
+            ranges: RangeMap::new(),
+            steps: 0,
+            aux: Vec::new(),
+            ctx_stack: vec![0],
+            ctx_counter: 0,
+            fix_cache: HashMap::new(),
+            domain_cache: HashMap::new(),
+        }
+    }
+
+    /// Install explicit ranges (restricted-domain semantics). Variables not
+    /// in the map keep the active-domain range.
+    pub fn with_ranges(mut self, ranges: RangeMap) -> Self {
+        self.ranges = ranges;
+        self
+    }
+
+    /// The atom enumeration in use.
+    pub fn order(&self) -> &AtomOrder {
+        &self.order
+    }
+
+    /// Steps consumed so far (work measure used by the benchmarks).
+    pub fn steps_used(&self) -> u64 {
+        self.steps
+    }
+
+    fn tick(&mut self) -> Result<(), EvalError> {
+        self.steps += 1;
+        if self.steps > self.config.max_steps {
+            Err(EvalError::BudgetExhausted {
+                limit: self.config.max_steps,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Evaluate a query to its answer relation.
+    pub fn query(&mut self, q: &Query) -> Result<Relation, EvalError> {
+        let mut out = Relation::new();
+        let mut env = Env::new();
+        self.enumerate_heads(&q.head, &q.body, &mut env, &mut Vec::new(), &mut out)?;
+        Ok(out)
+    }
+
+    fn enumerate_heads(
+        &mut self,
+        head: &[(VarName, Type)],
+        body: &Formula,
+        env: &mut Env,
+        row: &mut Vec<Value>,
+        out: &mut Relation,
+    ) -> Result<(), EvalError> {
+        match head.split_first() {
+            None => {
+                if self.holds(body, env)? {
+                    out.insert(row.clone());
+                }
+                Ok(())
+            }
+            Some(((v, ty), rest)) => {
+                let range = self.range_of(v, ty)?;
+                for val in range.iter() {
+                    env.push(v.clone(), val.clone());
+                    row.push(val.clone());
+                    let r = self.enumerate_heads(rest, body, env, row, out);
+                    row.pop();
+                    env.pop();
+                    r?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The range of values variable `v : ty` iterates over: the explicit
+    /// range if one is installed, else the active domain `dom(ty, D)` —
+    /// materialised once per type and shared across bindings.
+    fn range_of(&mut self, v: &str, ty: &Type) -> Result<Arc<Vec<Value>>, EvalError> {
+        if let Some(r) = self.ranges.get(v) {
+            return Ok(Arc::new(r.clone()));
+        }
+        if let Some(cached) = self.domain_cache.get(ty) {
+            return Ok(Arc::clone(cached));
+        }
+        let c = card(ty, self.order.len())?;
+        if c > no_object::Nat::from(self.config.max_range) {
+            return Err(EvalError::RangeTooLarge {
+                var: v.to_string(),
+                ty: ty.clone(),
+                card: c,
+            });
+        }
+        let values: Arc<Vec<Value>> = Arc::new(DomainIter::new(&self.order, ty)?.collect());
+        self.domain_cache.insert(ty.clone(), Arc::clone(&values));
+        Ok(values)
+    }
+
+    /// Truth of a formula under the environment.
+    pub fn holds(&mut self, f: &Formula, env: &mut Env) -> Result<bool, EvalError> {
+        self.tick()?;
+        match f {
+            Formula::Rel(name, args) => {
+                let row: Vec<Value> = args
+                    .iter()
+                    .map(|t| self.eval_term(t, env))
+                    .collect::<Result<_, _>>()?;
+                self.rel_contains(name, &row)
+            }
+            Formula::Eq(a, b) => Ok(self.eval_term(a, env)? == self.eval_term(b, env)?),
+            Formula::In(a, b) => {
+                let elem = self.eval_term(a, env)?;
+                match self.eval_term(b, env)? {
+                    Value::Set(s) => Ok(s.contains(&elem)),
+                    other => Err(EvalError::ShapeError(format!(
+                        "∈ right-hand side evaluated to non-set {other}"
+                    ))),
+                }
+            }
+            Formula::Subset(a, b) => {
+                match (self.eval_term(a, env)?, self.eval_term(b, env)?) {
+                    (Value::Set(x), Value::Set(y)) => Ok(x.is_subset(&y)),
+                    (x, y) => Err(EvalError::ShapeError(format!(
+                        "⊆ applied to non-sets {x} and {y}"
+                    ))),
+                }
+            }
+            Formula::Not(g) => Ok(!self.holds(g, env)?),
+            Formula::And(gs) => {
+                for g in gs {
+                    if !self.holds(g, env)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(gs) => {
+                for g in gs {
+                    if self.holds(g, env)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Implies(a, b) => Ok(!self.holds(a, env)? || self.holds(b, env)?),
+            Formula::Iff(a, b) => Ok(self.holds(a, env)? == self.holds(b, env)?),
+            Formula::Exists(x, ty, g) => {
+                let range = self.range_of(x, ty)?;
+                for val in range.iter() {
+                    self.tick()?;
+                    env.push(x.clone(), val.clone());
+                    let r = self.holds(g, env);
+                    env.pop();
+                    if r? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Forall(x, ty, g) => {
+                let range = self.range_of(x, ty)?;
+                for val in range.iter() {
+                    self.tick()?;
+                    env.push(x.clone(), val.clone());
+                    let r = self.holds(g, env);
+                    env.pop();
+                    if !r? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::FixApp(fix, args) => {
+                let row: Vec<Value> = args
+                    .iter()
+                    .map(|t| self.eval_term(t, env))
+                    .collect::<Result<_, _>>()?;
+                let rel = self.eval_fixpoint(fix)?;
+                Ok(rel.contains(&row))
+            }
+        }
+    }
+
+    fn rel_contains(&mut self, name: &str, row: &[Value]) -> Result<bool, EvalError> {
+        if let Some((_, rel)) = self.aux.iter().rev().find(|(n, _)| n == name) {
+            return Ok(rel.contains(row));
+        }
+        if self.instance.schema().get(name).is_some() {
+            return Ok(self.instance.relation(name).contains(row));
+        }
+        Err(EvalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Evaluate a term to a value.
+    pub fn eval_term(&mut self, t: &Term, env: &mut Env) -> Result<Value, EvalError> {
+        self.tick()?;
+        match t {
+            Term::Const(v) => Ok(v.clone()),
+            Term::Var(v) => env
+                .get(v)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
+            Term::Proj(inner, i) => {
+                let v = self.eval_term(inner, env)?;
+                v.project(*i).cloned().ok_or_else(|| {
+                    EvalError::ShapeError(format!("projection .{i} on {v}"))
+                })
+            }
+            Term::Fix(fix) => {
+                let rel = self.eval_fixpoint(fix)?;
+                // Unary fixpoints denote plain sets; wider ones, sets of
+                // tuples (see `Fixpoint::term_type`).
+                let values = rel.iter().map(|row| match row.as_slice() {
+                    [single] => single.clone(),
+                    _ => Value::Tuple(row.clone()),
+                });
+                Ok(Value::Set(SetValue::from_values(values)))
+            }
+        }
+    }
+
+    /// Compute the relation denoted by a fixpoint expression
+    /// (Definition 3.1), memoised by `Arc` identity and scope context: the
+    /// same fixpoint applied repeatedly in one scope (e.g. under a
+    /// quantifier, once per binding) is computed once.
+    pub fn eval_fixpoint(&mut self, fix: &Arc<Fixpoint>) -> Result<Arc<Relation>, EvalError> {
+        let key = (
+            Arc::as_ptr(fix) as usize,
+            *self.ctx_stack.last().expect("context stack never empty"),
+        );
+        if let Some(cached) = self.fix_cache.get(&key) {
+            return Ok(Arc::clone(cached));
+        }
+        let result = self.compute_fixpoint(fix)?;
+        let result = Arc::new(result);
+        self.fix_cache.insert(key, Arc::clone(&result));
+        Ok(result)
+    }
+
+    fn compute_fixpoint(&mut self, fix: &Fixpoint) -> Result<Relation, EvalError> {
+        let mut current = Relation::new();
+        let mut seen_states: HashSet<u64> = HashSet::new();
+        let mut iters: u64 = 0;
+        loop {
+            iters += 1;
+            if iters > self.config.max_fixpoint_iters {
+                return Err(EvalError::PfpDiverged {
+                    rel: fix.rel.clone(),
+                    iters,
+                });
+            }
+            let next_stage = self.apply_fixpoint_body(fix, &current)?;
+            let next = match fix.op {
+                FixOp::Ifp => {
+                    let mut n = next_stage;
+                    n.absorb(&current);
+                    n
+                }
+                FixOp::Pfp => next_stage,
+            };
+            if next == current {
+                return Ok(next);
+            }
+            if fix.op == FixOp::Pfp {
+                let h = relation_hash(&next);
+                if !seen_states.insert(h) {
+                    // Hash collision is theoretically possible but the
+                    // states hashed are full sorted-row digests; a repeat
+                    // means the PFP sequence cycles without converging.
+                    return Err(EvalError::PfpDiverged {
+                        rel: fix.rel.clone(),
+                        iters,
+                    });
+                }
+            }
+            current = next;
+        }
+    }
+
+    /// One application `φ(J)`: all tuples over the column ranges whose
+    /// substitution satisfies the body with `S = J`.
+    fn apply_fixpoint_body(
+        &mut self,
+        fix: &Fixpoint,
+        j: &Relation,
+    ) -> Result<Relation, EvalError> {
+        self.aux.push((fix.rel.clone(), j.clone()));
+        self.ctx_counter += 1;
+        self.ctx_stack.push(self.ctx_counter);
+        let result = (|| {
+            let mut out = Relation::new();
+            let mut env = Env::new();
+            let mut row = Vec::new();
+            self.enumerate_fix_columns(&fix.vars, &fix.body, &mut env, &mut row, &mut out)?;
+            Ok(out)
+        })();
+        self.aux.pop();
+        self.ctx_stack.pop();
+        result
+    }
+
+    fn enumerate_fix_columns(
+        &mut self,
+        vars: &[(VarName, Type)],
+        body: &Formula,
+        env: &mut Env,
+        row: &mut Vec<Value>,
+        out: &mut Relation,
+    ) -> Result<(), EvalError> {
+        match vars.split_first() {
+            None => {
+                if self.holds(body, env)? {
+                    out.insert(row.clone());
+                }
+                Ok(())
+            }
+            Some(((v, ty), rest)) => {
+                let range = self.range_of(v, ty)?;
+                for val in range.iter() {
+                    env.push(v.clone(), val.clone());
+                    row.push(val.clone());
+                    let r = self.enumerate_fix_columns(rest, body, env, row, out);
+                    row.pop();
+                    env.pop();
+                    r?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn relation_hash(rel: &Relation) -> u64 {
+    let mut h = DefaultHasher::new();
+    for row in rel.sorted_rows() {
+        for v in row {
+            // Values hash structurally (canonical sets), so this digest is
+            // deterministic given the sorted row order.
+            v.hash(&mut h);
+        }
+        0xfeed_u16.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Evaluate `query` on `instance` under the active-domain semantics with
+/// default budgets — the library's front door for simple uses.
+pub fn eval_query(instance: &Instance, query: &Query) -> Result<Relation, EvalError> {
+    let order = active_order(instance, query);
+    Evaluator::new(instance, order, EvalConfig::default()).query(query)
+}
+
+/// As [`eval_query`] but with explicit budgets.
+pub fn eval_query_with(
+    instance: &Instance,
+    query: &Query,
+    config: EvalConfig,
+) -> Result<Relation, EvalError> {
+    let order = active_order(instance, query);
+    Evaluator::new(instance, order, config).query(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::FixOp;
+    use no_object::{RelationSchema, Schema, Universe};
+
+    /// A small atom-typed graph instance: edges as pairs of atoms.
+    fn graph(edges: &[(&str, &str)]) -> (Universe, Instance) {
+        let mut u = Universe::new();
+        let schema = Schema::from_relations([RelationSchema::new(
+            "G",
+            vec![Type::Atom, Type::Atom],
+        )]);
+        let mut i = Instance::empty(schema);
+        for (a, b) in edges {
+            let (a, b) = (u.intern(a), u.intern(b));
+            i.insert("G", vec![Value::Atom(a), Value::Atom(b)]);
+        }
+        (u, i)
+    }
+
+    fn tc_fixpoint() -> Arc<Fixpoint> {
+        Arc::new(Fixpoint {
+            op: FixOp::Ifp,
+            rel: "S".into(),
+            vars: vec![("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+            body: Box::new(Formula::or([
+                Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")]),
+                Formula::exists(
+                    "z",
+                    Type::Atom,
+                    Formula::and([
+                        Formula::Rel("S".into(), vec![Term::var("x"), Term::var("z")]),
+                        Formula::Rel("G".into(), vec![Term::var("z"), Term::var("y")]),
+                    ]),
+                ),
+            ])),
+        })
+    }
+
+    #[test]
+    fn simple_selection() {
+        let (_u, i) = graph(&[("a", "b"), ("b", "c")]);
+        let q = Query::new(
+            vec![("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+            Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")]),
+        );
+        let ans = eval_query(&i, &q).unwrap();
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn transitive_closure_via_ifp() {
+        let (u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        let q = Query::new(
+            vec![("u".into(), Type::Atom), ("v".into(), Type::Atom)],
+            Formula::FixApp(tc_fixpoint(), vec![Term::var("u"), Term::var("v")]),
+        );
+        let ans = eval_query(&i, &q).unwrap();
+        // closure of a path a→b→c→d: 3+2+1 = 6 pairs
+        assert_eq!(ans.len(), 6);
+        let a = Value::Atom(u.get("a").unwrap());
+        let d = Value::Atom(u.get("d").unwrap());
+        assert!(ans.contains(&[a, d]));
+    }
+
+    #[test]
+    fn fixpoint_as_term() {
+        // Example 3.1 second form: {x : {[U,U]} | x = IFP(φ(S),S)}
+        let (_u, i) = graph(&[("a", "b"), ("b", "c")]);
+        let pair = Type::tuple(vec![Type::Atom, Type::Atom]);
+        let q = Query::new(
+            vec![("w".into(), Type::set(pair))],
+            Formula::Eq(Term::var("w"), Term::Fix(tc_fixpoint())),
+        );
+        let ans = eval_query_with(&i, &q, EvalConfig::default()).unwrap();
+        assert_eq!(ans.len(), 1);
+        let row = ans.sorted_rows()[0].clone();
+        match &row[0] {
+            Value::Set(s) => assert_eq!(s.len(), 3), // ab, bc, ac
+            other => panic!("expected set, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cycle_detection_query() {
+        // Example 3.1 third form: nodes on a cycle
+        let (u, i) = graph(&[("a", "b"), ("b", "a"), ("b", "c")]);
+        let q = Query::new(
+            vec![("u".into(), Type::Atom)],
+            Formula::exists(
+                "v",
+                Type::Atom,
+                Formula::and([
+                    Formula::FixApp(tc_fixpoint(), vec![Term::var("u"), Term::var("v")]),
+                    Formula::Eq(Term::var("u"), Term::var("v")),
+                ]),
+            ),
+        );
+        let ans = eval_query(&i, &q).unwrap();
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&[Value::Atom(u.get("a").unwrap())]));
+        assert!(ans.contains(&[Value::Atom(u.get("b").unwrap())]));
+        assert!(!ans.contains(&[Value::Atom(u.get("c").unwrap())]));
+    }
+
+    #[test]
+    fn quantifiers_over_set_domains() {
+        // ∃X:{U} ∀x:U (x ∈ X) — the full active-domain set witnesses X
+        let (_u, i) = graph(&[("a", "b")]);
+        let sentence = Formula::exists(
+            "X",
+            Type::set(Type::Atom),
+            Formula::forall(
+                "x",
+                Type::Atom,
+                Formula::In(Term::var("x"), Term::var("X")),
+            ),
+        );
+        let order = AtomOrder::new(i.atoms().into_iter().collect());
+        let mut ev = Evaluator::new(&i, order, EvalConfig::default());
+        assert!(ev.holds(&sentence, &mut Env::new()).unwrap());
+    }
+
+    #[test]
+    fn restricted_ranges_override_active_domain() {
+        let (u, i) = graph(&[("a", "b"), ("b", "c")]);
+        let q = Query::new(
+            vec![("x".into(), Type::Atom)],
+            Formula::exists(
+                "y",
+                Type::Atom,
+                Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")]),
+            ),
+        );
+        let mut ranges = RangeMap::new();
+        ranges.insert("x".into(), vec![Value::Atom(u.get("a").unwrap())]);
+        let order = active_order(&i, &q);
+        let mut ev = Evaluator::new(&i, order, EvalConfig::default()).with_ranges(ranges);
+        let ans = ev.query(&q).unwrap();
+        // only x = a is ever tried
+        assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn range_budget_enforced() {
+        let (_u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        // {X : {{U}} | X = X} over 4 atoms: 2^16 candidates > tight budget 2^12
+        let q = Query::new(
+            vec![("X".into(), Type::set(Type::set(Type::Atom)))],
+            Formula::Eq(Term::var("X"), Term::var("X")),
+        );
+        match eval_query_with(&i, &q, EvalConfig::tight()) {
+            Err(EvalError::RangeTooLarge { var, .. }) => assert_eq!(var, "X"),
+            other => panic!("expected RangeTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        let (_u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        let q = Query::new(
+            vec![("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+            Formula::FixApp(tc_fixpoint(), vec![Term::var("x"), Term::var("y")]),
+        );
+        let cfg = EvalConfig {
+            max_steps: 50,
+            ..EvalConfig::default()
+        };
+        match eval_query_with(&i, &q, cfg) {
+            Err(EvalError::BudgetExhausted { limit }) => assert_eq!(limit, 50),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pfp_converges_on_monotone_body() {
+        // PFP of the TC body also converges (it is inflationary in effect
+        // once S ⊆ φ(S) — for TC, φ is monotone and reaches a fixpoint).
+        let (_u, i) = graph(&[("a", "b"), ("b", "c")]);
+        let fix = Arc::new(Fixpoint {
+            op: FixOp::Pfp,
+            ..(*tc_fixpoint()).clone()
+        });
+        let q = Query::new(
+            vec![("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+            Formula::FixApp(fix, vec![Term::var("x"), Term::var("y")]),
+        );
+        let ans = eval_query(&i, &q).unwrap();
+        assert_eq!(ans.len(), 3);
+    }
+
+    #[test]
+    fn pfp_divergence_detected() {
+        // φ(S) = ¬S(x): alternates {} → all → {} → … — a genuine PFP cycle
+        let (_u, i) = graph(&[("a", "a")]);
+        let fix = Arc::new(Fixpoint {
+            op: FixOp::Pfp,
+            rel: "S".into(),
+            vars: vec![("x".into(), Type::Atom)],
+            body: Box::new(Formula::Rel("S".into(), vec![Term::var("x")]).not()),
+        });
+        let q = Query::new(
+            vec![("x".into(), Type::Atom)],
+            Formula::FixApp(fix, vec![Term::var("x")]),
+        );
+        match eval_query(&i, &q) {
+            Err(EvalError::PfpDiverged { rel, .. }) => assert_eq!(rel, "S"),
+            other => panic!("expected PfpDiverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn genericity_answers_do_not_depend_on_enumeration() {
+        let (_u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "a")]);
+        let q = Query::new(
+            vec![("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+            Formula::FixApp(tc_fixpoint(), vec![Term::var("x"), Term::var("y")]),
+        );
+        let atoms: Vec<no_object::Atom> = i.atoms().into_iter().collect();
+        let o1 = AtomOrder::new(atoms.clone());
+        let mut rev = atoms.clone();
+        rev.reverse();
+        let o2 = AtomOrder::new(rev);
+        let a1 = Evaluator::new(&i, o1, EvalConfig::default()).query(&q).unwrap();
+        let a2 = Evaluator::new(&i, o2, EvalConfig::default()).query(&q).unwrap();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn subset_and_iff_semantics() {
+        let (_u, i) = graph(&[("a", "b")]);
+        let order = AtomOrder::new(i.atoms().into_iter().collect());
+        let mut ev = Evaluator::new(&i, order, EvalConfig::default());
+        // {a0} ⊆ {a0, a1} and not conversely
+        let small = Value::set([Value::Atom(no_object::Atom(0))]);
+        let big = Value::set([
+            Value::Atom(no_object::Atom(0)),
+            Value::Atom(no_object::Atom(1)),
+        ]);
+        let mut env = Env::new();
+        env.push("s", small.clone());
+        env.push("b", big.clone());
+        let f = Formula::Subset(Term::var("s"), Term::var("b"));
+        assert!(ev.holds(&f, &mut env).unwrap());
+        let g = Formula::Subset(Term::var("b"), Term::var("s"));
+        assert!(!ev.holds(&g, &mut env).unwrap());
+        // iff
+        let h = f.clone().iff(g.clone());
+        assert!(!ev.holds(&h, &mut env).unwrap());
+        let h2 = f.clone().iff(f);
+        assert!(ev.holds(&h2, &mut env).unwrap());
+        // subset on non-sets is a shape error
+        env.push("x", Value::Atom(no_object::Atom(0)));
+        let bad = Formula::Subset(Term::var("x"), Term::var("b"));
+        assert!(matches!(
+            ev.holds(&bad, &mut env),
+            Err(EvalError::ShapeError(_))
+        ));
+    }
+
+    #[test]
+    fn constants_extend_the_active_domain() {
+        // a query mentioning an atom that is NOT in the instance still
+        // ranges over it (active domain = atom(I) ∪ query constants)
+        let mut u = Universe::new();
+        let schema = Schema::from_relations([RelationSchema::new(
+            "G",
+            vec![Type::Atom, Type::Atom],
+        )]);
+        let mut i = Instance::empty(schema);
+        let a = u.intern("a");
+        let ghost = u.intern("ghost");
+        i.insert("G", vec![Value::Atom(a), Value::Atom(a)]);
+        let q = Query::new(
+            vec![("x".into(), Type::Atom)],
+            Formula::Eq(Term::var("x"), Term::Const(Value::Atom(ghost))),
+        );
+        let ans = eval_query(&i, &q).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&[Value::Atom(ghost)]));
+    }
+
+    #[test]
+    fn projection_chains_evaluate() {
+        let mut u = Universe::new();
+        let pair = Type::tuple(vec![Type::Atom, Type::Atom]);
+        let nested = Type::tuple(vec![pair.clone(), Type::Atom]);
+        let schema = Schema::from_relations([RelationSchema::new("R", vec![nested])]);
+        let mut i = Instance::empty(schema);
+        let (a, b, c) = (u.intern("a"), u.intern("b"), u.intern("c"));
+        i.insert(
+            "R",
+            vec![Value::tuple([
+                Value::tuple([Value::Atom(a), Value::Atom(b)]),
+                Value::Atom(c),
+            ])],
+        );
+        // {x : U | ∃t R(t) ∧ t.1.2 = x}
+        let q = Query::new(
+            vec![("x".into(), Type::Atom)],
+            Formula::exists(
+                "t",
+                Type::tuple(vec![pair, Type::Atom]),
+                Formula::and([
+                    Formula::Rel("R".into(), vec![Term::var("t")]),
+                    Formula::Eq(Term::var("t").proj(1).proj(2), Term::var("x")),
+                ]),
+            ),
+        );
+        let ans = eval_query(&i, &q).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&[Value::Atom(b)]));
+    }
+
+    #[test]
+    fn fixpoint_cache_reuses_across_bindings() {
+        // applying the same Arc'd fixpoint under a quantifier evaluates it
+        // once: steps with the memoised fixpoint stay far below the naive
+        // candidate-product cost
+        let (_u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        let fix = tc_fixpoint();
+        let q = Query::new(
+            vec![("u".into(), Type::Atom)],
+            Formula::exists(
+                "v",
+                Type::Atom,
+                Formula::FixApp(fix, vec![Term::var("u"), Term::var("v")]),
+            ),
+        );
+        let order = active_order(&i, &q);
+        let mut ev = Evaluator::new(&i, order.clone(), EvalConfig::default());
+        let ans = ev.query(&q).unwrap();
+        assert_eq!(ans.len(), 3); // a, b, c have successors
+        let with_cache = ev.steps_used();
+        // baseline: one standalone fixpoint computation
+        let mut solo = Evaluator::new(&i, order, EvalConfig::default());
+        let _ = solo.eval_fixpoint(&tc_fixpoint()).unwrap();
+        let one_compute = solo.steps_used();
+        // 16 outer bindings share one computation: the full query must cost
+        // far less than two computations' worth of steps
+        assert!(
+            with_cache < 2 * one_compute,
+            "cache miss suspected: query {} vs single fixpoint {}",
+            with_cache,
+            one_compute
+        );
+    }
+
+    #[test]
+    fn unknown_relation_reported() {
+        let (_u, i) = graph(&[("a", "b")]);
+        let q = Query::new(
+            vec![("x".into(), Type::Atom)],
+            Formula::Rel("H".into(), vec![Term::var("x")]),
+        );
+        assert!(matches!(
+            eval_query(&i, &q),
+            Err(EvalError::UnknownRelation(_))
+        ));
+    }
+}

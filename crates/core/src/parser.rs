@@ -1,0 +1,766 @@
+//! Parser for the concrete CALC syntax produced by [`crate::print`].
+//!
+//! ```text
+//! query   := '{' '[' binds ']' '|' formula '}'
+//! binds   := ident ':' type (',' ident ':' type)*
+//! type    := 'U' | '{' type '}' | '[' type (',' type)* ']'
+//! formula := iff
+//! iff     := implies ('<->' iff)?
+//! implies := or ('->' implies)?
+//! or      := and ('\/' and)*
+//! and     := unary ('/\' unary)*
+//! unary   := '~' unary
+//!          | ('exists'|'forall') ident ':' type unary
+//!          | '(' formula ')'
+//!          | ident '(' terms ')'                      -- relation atom
+//!          | fix '(' terms ')'                        -- fixpoint predicate
+//!          | term ('='|'!='|'in'|'sub') term          -- comparison
+//! fix     := ('ifp'|'pfp') '(' ident ';' binds '|' formula ')'
+//! term    := primary ('.' digits)*
+//! primary := ident | fix | const
+//! const   := '\'' name '\'' | '{' consts? '}' | '[' consts ']'
+//! ```
+//!
+//! Atom constants are written `'name'` and interned into the caller's
+//! [`Universe`]. Keywords: `exists forall in sub ifp pfp`.
+
+use crate::ast::{FixOp, Fixpoint, Formula, Term};
+use crate::eval::Query;
+use no_object::{Type, Universe, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A parse failure with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(usize),
+    Quoted(String),
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Semi,
+    Bar,
+    Dot,
+    Eq,
+    Neq,
+    Tilde,
+    AndOp,
+    OrOp,
+    Arrow,
+    DArrow,
+    Eof,
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.src.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<(usize, Tok), ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let Some(&b) = self.src.get(self.pos) else {
+            return Ok((start, Tok::Eof));
+        };
+        let tok = match b {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b'[' => {
+                self.pos += 1;
+                Tok::LBrack
+            }
+            b']' => {
+                self.pos += 1;
+                Tok::RBrack
+            }
+            b'{' => {
+                self.pos += 1;
+                Tok::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Tok::RBrace
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b':' => {
+                self.pos += 1;
+                Tok::Colon
+            }
+            b';' => {
+                self.pos += 1;
+                Tok::Semi
+            }
+            b'|' => {
+                self.pos += 1;
+                Tok::Bar
+            }
+            b'.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            b'=' => {
+                self.pos += 1;
+                Tok::Eq
+            }
+            b'~' => {
+                self.pos += 1;
+                Tok::Tilde
+            }
+            b'!' => {
+                if self.src.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Neq
+                } else {
+                    return Err(self.err("expected '=' after '!'"));
+                }
+            }
+            b'/' => {
+                if self.src.get(self.pos + 1) == Some(&b'\\') {
+                    self.pos += 2;
+                    Tok::AndOp
+                } else {
+                    return Err(self.err("expected '\\' after '/'"));
+                }
+            }
+            b'\\' => {
+                if self.src.get(self.pos + 1) == Some(&b'/') {
+                    self.pos += 2;
+                    Tok::OrOp
+                } else {
+                    return Err(self.err("expected '/' after '\\'"));
+                }
+            }
+            b'-' => {
+                if self.src.get(self.pos + 1) == Some(&b'>') {
+                    self.pos += 2;
+                    Tok::Arrow
+                } else {
+                    return Err(self.err("expected '>' after '-'"));
+                }
+            }
+            b'<' => {
+                if self.src.get(self.pos + 1) == Some(&b'-')
+                    && self.src.get(self.pos + 2) == Some(&b'>')
+                {
+                    self.pos += 3;
+                    Tok::DArrow
+                } else {
+                    return Err(self.err("expected '->' after '<'"));
+                }
+            }
+            b'\'' => {
+                self.pos += 1;
+                let name_start = self.pos;
+                while let Some(&c) = self.src.get(self.pos) {
+                    if c == b'\'' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                if self.src.get(self.pos) != Some(&b'\'') {
+                    return Err(self.err("unterminated atom literal"));
+                }
+                let name = std::str::from_utf8(&self.src[name_start..self.pos])
+                    .map_err(|_| self.err("atom literal is not UTF-8"))?
+                    .to_string();
+                self.pos += 1;
+                Tok::Quoted(name)
+            }
+            b if b.is_ascii_digit() => {
+                let num_start = self.pos;
+                while self
+                    .src
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[num_start..self.pos]).expect("digits");
+                Tok::Number(text.parse().map_err(|_| self.err("number overflow"))?)
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let id_start = self.pos;
+                while self
+                    .src
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[id_start..self.pos]).expect("ascii");
+                Tok::Ident(text.to_string())
+            }
+            other => return Err(self.err(format!("unexpected character {:?}", other as char))),
+        };
+        Ok((start, tok))
+    }
+}
+
+/// The parser. Holds a mutable [`Universe`] to intern atom constants.
+pub struct Parser<'s, 'u> {
+    lexer: Lexer<'s>,
+    universe: &'u mut Universe,
+    peeked: Option<(usize, Tok)>,
+}
+
+impl<'s, 'u> Parser<'s, 'u> {
+    /// Create a parser over `src`, interning atoms into `universe`.
+    pub fn new(src: &'s str, universe: &'u mut Universe) -> Self {
+        Parser {
+            lexer: Lexer::new(src),
+            universe,
+            peeked: None,
+        }
+    }
+
+    fn peek(&mut self) -> Result<&Tok, ParseError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lexer.next_tok()?);
+        }
+        Ok(&self.peeked.as_ref().expect("just filled").1)
+    }
+
+    fn advance(&mut self) -> Result<(usize, Tok), ParseError> {
+        match self.peeked.take() {
+            Some(t) => Ok(t),
+            None => self.lexer.next_tok(),
+        }
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        let (at, got) = self.advance()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(ParseError {
+                at,
+                message: format!("expected {want:?}, found {got:?}"),
+            })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let (at, got) = self.advance()?;
+        match got {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                at,
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    /// Parse a complete query and require end of input.
+    pub fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect(Tok::LBrace)?;
+        self.expect(Tok::LBrack)?;
+        let head = self.binds(Tok::RBrack)?;
+        self.expect(Tok::RBrack)?;
+        self.expect(Tok::Bar)?;
+        let body = self.formula()?;
+        self.expect(Tok::RBrace)?;
+        self.eof()?;
+        Ok(Query::new(head, body))
+    }
+
+    /// Parse a formula and require end of input.
+    pub fn formula_complete(&mut self) -> Result<Formula, ParseError> {
+        let f = self.formula()?;
+        self.eof()?;
+        Ok(f)
+    }
+
+    /// Parse a type and require end of input.
+    pub fn type_complete(&mut self) -> Result<Type, ParseError> {
+        let t = self.ty()?;
+        self.eof()?;
+        Ok(t)
+    }
+
+    fn eof(&mut self) -> Result<(), ParseError> {
+        let (at, got) = self.advance()?;
+        if got == Tok::Eof {
+            Ok(())
+        } else {
+            Err(ParseError {
+                at,
+                message: format!("trailing input: {got:?}"),
+            })
+        }
+    }
+
+    fn binds(&mut self, terminator: Tok) -> Result<Vec<(String, Type)>, ParseError> {
+        let mut out = Vec::new();
+        if *self.peek()? == terminator {
+            return Ok(out);
+        }
+        loop {
+            let name = self.ident()?;
+            self.expect(Tok::Colon)?;
+            let ty = self.ty()?;
+            out.push((name, ty));
+            if *self.peek()? == Tok::Comma {
+                self.advance()?;
+            } else {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        let (at, tok) = self.advance()?;
+        match tok {
+            Tok::Ident(ref s) if s == "U" => Ok(Type::Atom),
+            Tok::LBrace => {
+                let inner = self.ty()?;
+                self.expect(Tok::RBrace)?;
+                Ok(Type::set(inner))
+            }
+            Tok::LBrack => {
+                let mut comps = vec![self.ty()?];
+                while *self.peek()? == Tok::Comma {
+                    self.advance()?;
+                    comps.push(self.ty()?);
+                }
+                self.expect(Tok::RBrack)?;
+                Ok(Type::tuple(comps))
+            }
+            other => Err(ParseError {
+                at,
+                message: format!("expected type, found {other:?}"),
+            }),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.implies()?;
+        if *self.peek()? == Tok::DArrow {
+            self.advance()?;
+            let rhs = self.formula()?;
+            Ok(lhs.iff(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.disj()?;
+        if *self.peek()? == Tok::Arrow {
+            self.advance()?;
+            let rhs = self.implies()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disj(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.conj()?];
+        while *self.peek()? == Tok::OrOp {
+            self.advance()?;
+            parts.push(self.conj()?);
+        }
+        Ok(Formula::or(parts))
+    }
+
+    fn conj(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        while *self.peek()? == Tok::AndOp {
+            self.advance()?;
+            parts.push(self.unary()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek()? {
+            Tok::Tilde => {
+                self.advance()?;
+                Ok(self.unary()?.not())
+            }
+            Tok::Ident(s) if s == "exists" || s == "forall" => {
+                let is_exists = s == "exists";
+                self.advance()?;
+                let v = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let ty = self.ty()?;
+                let body = self.unary()?;
+                Ok(if is_exists {
+                    Formula::exists(v, ty, body)
+                } else {
+                    Formula::forall(v, ty, body)
+                })
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        // '(' formula ')' — but '(' cannot start a term, so no ambiguity.
+        if *self.peek()? == Tok::LParen {
+            self.advance()?;
+            let f = self.formula()?;
+            self.expect(Tok::RParen)?;
+            return Ok(f);
+        }
+        // fixpoint predicate or term
+        if let Tok::Ident(s) = self.peek()? {
+            if s == "ifp" || s == "pfp" {
+                let fix = self.fix()?;
+                if *self.peek()? == Tok::LParen {
+                    self.advance()?;
+                    let args = self.terms(Tok::RParen)?;
+                    self.expect(Tok::RParen)?;
+                    return Ok(Formula::FixApp(fix, args));
+                }
+                // fixpoint as a term in a comparison
+                let lhs = self.proj_chain(Term::Fix(fix))?;
+                return self.comparison(lhs);
+            }
+        }
+        // relation atom: ident '(' — else a term comparison
+        if let Tok::Ident(name) = self.peek()?.clone() {
+            self.advance()?;
+            if *self.peek()? == Tok::LParen {
+                self.advance()?;
+                let args = self.terms(Tok::RParen)?;
+                self.expect(Tok::RParen)?;
+                return Ok(Formula::Rel(name, args));
+            }
+            let lhs = self.proj_chain(Term::Var(name))?;
+            return self.comparison(lhs);
+        }
+        let lhs = self.term()?;
+        self.comparison(lhs)
+    }
+
+    fn comparison(&mut self, lhs: Term) -> Result<Formula, ParseError> {
+        let (at, tok) = self.advance()?;
+        match tok {
+            Tok::Eq => Ok(Formula::Eq(lhs, self.term()?)),
+            Tok::Neq => Ok(Formula::Eq(lhs, self.term()?).not()),
+            Tok::Ident(ref s) if s == "in" => Ok(Formula::In(lhs, self.term()?)),
+            Tok::Ident(ref s) if s == "sub" => Ok(Formula::Subset(lhs, self.term()?)),
+            other => Err(ParseError {
+                at,
+                message: format!("expected comparison operator, found {other:?}"),
+            }),
+        }
+    }
+
+    fn terms(&mut self, terminator: Tok) -> Result<Vec<Term>, ParseError> {
+        let mut out = Vec::new();
+        if *self.peek()? == terminator {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.term()?);
+            if *self.peek()? == Tok::Comma {
+                self.advance()?;
+            } else {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let base = match self.peek()?.clone() {
+            Tok::Ident(s) if s == "ifp" || s == "pfp" => Term::Fix(self.fix()?),
+            Tok::Ident(s) => {
+                self.advance()?;
+                Term::Var(s)
+            }
+            Tok::Quoted(_) | Tok::LBrace | Tok::LBrack => Term::Const(self.constant()?),
+            other => {
+                let (at, _) = self.advance()?;
+                return Err(ParseError {
+                    at,
+                    message: format!("expected term, found {other:?}"),
+                });
+            }
+        };
+        self.proj_chain(base)
+    }
+
+    fn proj_chain(&mut self, mut t: Term) -> Result<Term, ParseError> {
+        while *self.peek()? == Tok::Dot {
+            self.advance()?;
+            let (at, tok) = self.advance()?;
+            match tok {
+                Tok::Number(i) => t = t.proj(i),
+                other => {
+                    return Err(ParseError {
+                        at,
+                        message: format!("expected projection index, found {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    fn constant(&mut self) -> Result<Value, ParseError> {
+        let (at, tok) = self.advance()?;
+        match tok {
+            Tok::Quoted(name) => {
+                // strip a leading '#' so `'#0'`-style printer output parses
+                // back to the same atom id when the universe matches
+                let name = name.strip_prefix('#').map_or(name.clone(), |rest| {
+                    if rest.chars().all(|c| c.is_ascii_digit()) {
+                        rest.to_string()
+                    } else {
+                        name.clone()
+                    }
+                });
+                Ok(Value::Atom(self.universe.intern(&name)))
+            }
+            Tok::LBrace => {
+                let mut elems = Vec::new();
+                if *self.peek()? != Tok::RBrace {
+                    loop {
+                        elems.push(self.constant()?);
+                        if *self.peek()? == Tok::Comma {
+                            self.advance()?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                Ok(Value::set(elems))
+            }
+            Tok::LBrack => {
+                let mut elems = vec![self.constant()?];
+                while *self.peek()? == Tok::Comma {
+                    self.advance()?;
+                    elems.push(self.constant()?);
+                }
+                self.expect(Tok::RBrack)?;
+                Ok(Value::tuple(elems))
+            }
+            other => Err(ParseError {
+                at,
+                message: format!("expected constant, found {other:?}"),
+            }),
+        }
+    }
+
+    fn fix(&mut self) -> Result<Arc<Fixpoint>, ParseError> {
+        let kw = self.ident()?;
+        let op = match kw.as_str() {
+            "ifp" => FixOp::Ifp,
+            "pfp" => FixOp::Pfp,
+            other => {
+                return Err(ParseError {
+                    at: self.lexer.pos,
+                    message: format!("expected ifp/pfp, found {other}"),
+                })
+            }
+        };
+        self.expect(Tok::LParen)?;
+        let rel = self.ident()?;
+        self.expect(Tok::Semi)?;
+        let vars = self.binds(Tok::Bar)?;
+        self.expect(Tok::Bar)?;
+        let body = self.formula()?;
+        self.expect(Tok::RParen)?;
+        Ok(Arc::new(Fixpoint {
+            op,
+            rel,
+            vars,
+            body: Box::new(body),
+        }))
+    }
+}
+
+/// Parse a query string.
+pub fn parse_query(src: &str, universe: &mut Universe) -> Result<Query, ParseError> {
+    Parser::new(src, universe).query()
+}
+
+/// Parse a formula string.
+pub fn parse_formula(src: &str, universe: &mut Universe) -> Result<Formula, ParseError> {
+    Parser::new(src, universe).formula_complete()
+}
+
+/// Parse a type string.
+pub fn parse_type(src: &str) -> Result<Type, ParseError> {
+    let mut u = Universe::new();
+    Parser::new(src, &mut u).type_complete()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::Printer;
+
+    fn roundtrip_formula(src: &str) {
+        let mut u = Universe::new();
+        let f = parse_formula(src, &mut u).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed = Printer::with_universe(&u).formula(&f);
+        let f2 = parse_formula(&printed, &mut u).unwrap_or_else(|e| panic!("{printed}: {e}"));
+        assert_eq!(f, f2, "roundtrip failed:\n  src: {src}\n  printed: {printed}");
+    }
+
+    #[test]
+    fn types_parse() {
+        assert_eq!(parse_type("U").unwrap(), Type::Atom);
+        assert_eq!(parse_type("{U}").unwrap(), Type::set(Type::Atom));
+        assert_eq!(
+            parse_type("[U,{[U,U]}]").unwrap().to_string(),
+            "[U,{[U,U]}]"
+        );
+        assert!(parse_type("V").is_err());
+        assert!(parse_type("{U").is_err());
+        assert!(parse_type("[]").is_err());
+    }
+
+    #[test]
+    fn formulas_parse() {
+        roundtrip_formula("G(x, y)");
+        roundtrip_formula("G(x, y) /\\ G(y, z) \\/ ~G(z, x)");
+        roundtrip_formula("x = y -> y in Z -> A sub B");
+        roundtrip_formula("exists x:U forall Y:{U} (x in Y <-> ~(x = x))");
+        roundtrip_formula("t.1 = u.2 /\\ P(t.1, {'a','b'})");
+        roundtrip_formula("x != y");
+    }
+
+    #[test]
+    fn bipartite_example_parses() {
+        // The Section 3 example, transcribed to concrete syntax
+        let src = "G(t) /\\ exists X:{U} exists Y:{U} (~exists n:U (n in X /\\ n in Y) \
+                   /\\ forall v:[U,U] (G(v) -> (v.1 in X /\\ v.2 in Y) \\/ (v.1 in Y /\\ v.2 in X)))";
+        roundtrip_formula(src);
+    }
+
+    #[test]
+    fn fixpoint_predicate_and_term() {
+        roundtrip_formula("ifp(S; x:U, y:U | G(x, y) \\/ exists z:U (S(x, z) /\\ G(z, y)))(u, v)");
+        roundtrip_formula("w = ifp(S; x:U | P(x) \\/ S(x))");
+        roundtrip_formula("pfp(S; x:U | ~S(x))(u)");
+    }
+
+    #[test]
+    fn query_parses() {
+        let mut u = Universe::new();
+        let q = parse_query("{[x:U, Y:{U}] | x in Y /\\ P(Y)}", &mut u).unwrap();
+        assert_eq!(q.head.len(), 2);
+        assert_eq!(q.head[1].1, Type::set(Type::Atom));
+        let printed = Printer::with_universe(&u).query(&q);
+        let q2 = parse_query(&printed, &mut u).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn constants_intern_atoms() {
+        let mut u = Universe::new();
+        let f = parse_formula("x = {'a',['b','a']}", &mut u).unwrap();
+        assert_eq!(u.len(), 2);
+        match f {
+            Formula::Eq(_, Term::Const(v)) => {
+                assert_eq!(v.atoms().len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_set_and_nested_constants() {
+        let mut u = Universe::new();
+        let f = parse_formula("x = {}", &mut u).unwrap();
+        assert!(matches!(f, Formula::Eq(_, Term::Const(Value::Set(ref s))) if s.is_empty()));
+        let f2 = parse_formula("x = {{'a'},{}}", &mut u).unwrap();
+        assert!(matches!(f2, Formula::Eq(..)));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let mut u = Universe::new();
+        let e = parse_formula("G(x,, y)", &mut u).unwrap_err();
+        assert!(e.at > 0);
+        assert!(parse_formula("G(x", &mut u).is_err());
+        assert!(parse_formula("x ==", &mut u).is_err());
+        assert!(parse_formula("exists x U G(x)", &mut u).is_err());
+        assert!(parse_formula("'unterminated", &mut u).is_err());
+    }
+
+    #[test]
+    fn precedence_matches_printer() {
+        let mut u = Universe::new();
+        let f = parse_formula("a = b /\\ c = d \\/ e = f", &mut u).unwrap();
+        // and binds tighter than or
+        match f {
+            Formula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Formula::And(_)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_projection_chain() {
+        let mut u = Universe::new();
+        let f = parse_formula("t.1.2 = s.3", &mut u).unwrap();
+        match f {
+            Formula::Eq(lhs, _) => assert_eq!(lhs, Term::var("t").proj(1).proj(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

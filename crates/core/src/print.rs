@@ -1,0 +1,359 @@
+//! Pretty-printing of types, terms, formulas and queries.
+//!
+//! The output is the concrete syntax accepted by [`crate::parser`], so
+//! `parse(print(φ)) == φ` — a property exercised by round-trip tests.
+//! ASCII operators are used: `/\`, `\/`, `~`, `->`, `<->`, `in`, `sub`,
+//! `exists`/`forall`, `ifp`/`pfp`.
+
+use crate::ast::{FixOp, Fixpoint, Formula, Term};
+use crate::eval::Query;
+use no_object::{Universe, Value};
+use std::fmt::Write as _;
+
+/// Operator precedence levels, loosest first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Iff,
+    Implies,
+    Or,
+    And,
+    Unary,
+}
+
+/// Printer configuration: an optional universe resolves atom names in
+/// constants (`'a'` instead of `#0`).
+#[derive(Default)]
+pub struct Printer<'a> {
+    universe: Option<&'a Universe>,
+}
+
+impl<'a> Printer<'a> {
+    /// A printer that renders atoms as `#id`.
+    pub fn new() -> Self {
+        Printer::default()
+    }
+
+    /// A printer that renders atoms by name, quoted.
+    pub fn with_universe(universe: &'a Universe) -> Self {
+        Printer {
+            universe: Some(universe),
+        }
+    }
+
+    /// Render a formula.
+    pub fn formula(&self, f: &Formula) -> String {
+        let mut s = String::new();
+        self.fmt_formula(f, Prec::Iff, &mut s);
+        s
+    }
+
+    /// Render a term.
+    pub fn term(&self, t: &Term) -> String {
+        let mut s = String::new();
+        self.fmt_term(t, &mut s);
+        s
+    }
+
+    /// Render a query `{[x1:T1,…] | φ}`.
+    pub fn query(&self, q: &Query) -> String {
+        let mut s = String::from("{[");
+        for (i, (v, t)) in q.head.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{v}:{t}");
+        }
+        s.push_str("] | ");
+        self.fmt_formula(&q.body, Prec::Iff, &mut s);
+        s.push('}');
+        s
+    }
+
+    /// Render a constant value in term syntax.
+    pub fn value(&self, v: &Value) -> String {
+        let mut s = String::new();
+        self.fmt_value(v, &mut s);
+        s
+    }
+
+    fn fmt_value(&self, v: &Value, out: &mut String) {
+        match v {
+            Value::Atom(a) => match self.universe {
+                Some(u) => {
+                    let _ = write!(out, "'{}'", u.name(*a));
+                }
+                None => {
+                    let _ = write!(out, "'#{}'", a.0);
+                }
+            },
+            Value::Tuple(vs) => {
+                out.push('[');
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    self.fmt_value(v, out);
+                }
+                out.push(']');
+            }
+            Value::Set(s) => {
+                out.push('{');
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    self.fmt_value(v, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn fmt_term(&self, t: &Term, out: &mut String) {
+        match t {
+            Term::Const(v) => self.fmt_value(v, out),
+            Term::Var(v) => out.push_str(v),
+            Term::Proj(inner, i) => {
+                self.fmt_term(inner, out);
+                let _ = write!(out, ".{i}");
+            }
+            Term::Fix(fix) => self.fmt_fix(fix, out),
+        }
+    }
+
+    fn fmt_fix(&self, fix: &Fixpoint, out: &mut String) {
+        out.push_str(match fix.op {
+            FixOp::Ifp => "ifp(",
+            FixOp::Pfp => "pfp(",
+        });
+        out.push_str(&fix.rel);
+        out.push_str("; ");
+        for (i, (v, t)) in fix.vars.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{v}:{t}");
+        }
+        out.push_str(" | ");
+        self.fmt_formula(&fix.body, Prec::Iff, out);
+        out.push(')');
+    }
+
+    fn fmt_formula(&self, f: &Formula, ctx: Prec, out: &mut String) {
+        let prec = match f {
+            Formula::Iff(..) => Prec::Iff,
+            Formula::Implies(..) => Prec::Implies,
+            Formula::Or(..) => Prec::Or,
+            Formula::And(..) => Prec::And,
+            _ => Prec::Unary,
+        };
+        let parens = prec < ctx;
+        if parens {
+            out.push('(');
+        }
+        match f {
+            Formula::Rel(name, args) => {
+                out.push_str(name);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    self.fmt_term(a, out);
+                }
+                out.push(')');
+            }
+            Formula::Eq(a, b) => {
+                self.fmt_term(a, out);
+                out.push_str(" = ");
+                self.fmt_term(b, out);
+            }
+            Formula::In(a, b) => {
+                self.fmt_term(a, out);
+                out.push_str(" in ");
+                self.fmt_term(b, out);
+            }
+            Formula::Subset(a, b) => {
+                self.fmt_term(a, out);
+                out.push_str(" sub ");
+                self.fmt_term(b, out);
+            }
+            Formula::Not(g) => {
+                out.push('~');
+                self.fmt_formula(g, Prec::Unary, out);
+            }
+            Formula::And(gs) => {
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" /\\ ");
+                    }
+                    self.fmt_formula(g, next_up(Prec::And), out);
+                }
+            }
+            Formula::Or(gs) => {
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" \\/ ");
+                    }
+                    self.fmt_formula(g, next_up(Prec::Or), out);
+                }
+            }
+            Formula::Implies(a, b) => {
+                self.fmt_formula(a, next_up(Prec::Implies), out);
+                out.push_str(" -> ");
+                // right-associative: same level on the right
+                self.fmt_formula(b, Prec::Implies, out);
+            }
+            Formula::Iff(a, b) => {
+                self.fmt_formula(a, next_up(Prec::Iff), out);
+                out.push_str(" <-> ");
+                self.fmt_formula(b, Prec::Iff, out);
+            }
+            Formula::Exists(x, t, g) => {
+                let _ = write!(out, "exists {x}:{t} ");
+                self.fmt_formula(g, Prec::Unary, out);
+            }
+            Formula::Forall(x, t, g) => {
+                let _ = write!(out, "forall {x}:{t} ");
+                self.fmt_formula(g, Prec::Unary, out);
+            }
+            Formula::FixApp(fix, args) => {
+                self.fmt_fix(fix, out);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    self.fmt_term(a, out);
+                }
+                out.push(')');
+            }
+        }
+        if parens {
+            out.push(')');
+        }
+    }
+}
+
+fn next_up(p: Prec) -> Prec {
+    match p {
+        Prec::Iff => Prec::Implies,
+        Prec::Implies => Prec::Or,
+        Prec::Or => Prec::And,
+        Prec::And | Prec::Unary => Prec::Unary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::FixOp;
+    use no_object::Type;
+    use std::sync::Arc;
+
+    fn g(x: &str, y: &str) -> Formula {
+        Formula::Rel("G".into(), vec![Term::var(x), Term::var(y)])
+    }
+
+    #[test]
+    fn atoms_and_connectives() {
+        let p = Printer::new();
+        assert_eq!(p.formula(&g("x", "y")), "G(x, y)");
+        assert_eq!(
+            p.formula(&Formula::and([g("x", "y"), g("y", "z")])),
+            "G(x, y) /\\ G(y, z)"
+        );
+        assert_eq!(
+            p.formula(&Formula::or([g("x", "y"), Formula::and([g("y", "z"), g("z", "x")])])),
+            "G(x, y) \\/ G(y, z) /\\ G(z, x)"
+        );
+        assert_eq!(
+            p.formula(&Formula::and([Formula::or([g("a", "b"), g("b", "c")]), g("c", "d")])),
+            "(G(a, b) \\/ G(b, c)) /\\ G(c, d)"
+        );
+    }
+
+    #[test]
+    fn negation_and_quantifiers() {
+        let p = Printer::new();
+        let f = Formula::forall(
+            "x",
+            Type::Atom,
+            g("x", "x").not().implies(Formula::exists("y", Type::set(Type::Atom), {
+                Formula::In(Term::var("x"), Term::var("y"))
+            })),
+        );
+        assert_eq!(
+            p.formula(&f),
+            "forall x:U (~G(x, x) -> exists y:{U} x in y)"
+        );
+    }
+
+    #[test]
+    fn projections_and_comparisons() {
+        let p = Printer::new();
+        let f = Formula::and([
+            Formula::Eq(Term::var("t").proj(1), Term::var("u").proj(2)),
+            Formula::Subset(Term::var("a"), Term::var("b")),
+        ]);
+        assert_eq!(p.formula(&f), "t.1 = u.2 /\\ a sub b");
+    }
+
+    #[test]
+    fn fixpoint_forms() {
+        let p = Printer::new();
+        let fix = Arc::new(Fixpoint {
+            op: FixOp::Ifp,
+            rel: "S".into(),
+            vars: vec![("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+            body: Box::new(Formula::or([
+                g("x", "y"),
+                Formula::exists(
+                    "z",
+                    Type::Atom,
+                    Formula::and([
+                        Formula::Rel("S".into(), vec![Term::var("x"), Term::var("z")]),
+                        g("z", "y"),
+                    ]),
+                ),
+            ])),
+        });
+        let app = Formula::FixApp(fix.clone(), vec![Term::var("u"), Term::var("v")]);
+        assert_eq!(
+            p.formula(&app),
+            "ifp(S; x:U, y:U | G(x, y) \\/ exists z:U (S(x, z) /\\ G(z, y)))(u, v)"
+        );
+        let term = Formula::Eq(Term::var("w"), Term::Fix(fix));
+        assert!(p.formula(&term).starts_with("w = ifp(S; "));
+    }
+
+    #[test]
+    fn constants_with_universe() {
+        let mut u = Universe::new();
+        let a = u.intern("alice");
+        let v = Value::set([Value::Atom(a)]);
+        let with = Printer::with_universe(&u);
+        assert_eq!(with.value(&v), "{'alice'}");
+        let without = Printer::new();
+        assert_eq!(without.value(&v), "{'#0'}");
+    }
+
+    #[test]
+    fn query_rendering() {
+        let p = Printer::new();
+        let q = Query::new(
+            vec![("x".into(), Type::Atom), ("Y".into(), Type::set(Type::Atom))],
+            Formula::In(Term::var("x"), Term::var("Y")),
+        );
+        assert_eq!(p.query(&q), "{[x:U, Y:{U}] | x in Y}");
+    }
+
+    #[test]
+    fn implication_right_associates_without_parens() {
+        let p = Printer::new();
+        let f = g("a", "b").implies(g("b", "c").implies(g("c", "d")));
+        assert_eq!(p.formula(&f), "G(a, b) -> G(b, c) -> G(c, d)");
+        let left = g("a", "b").implies(g("b", "c")).implies(g("c", "d"));
+        assert_eq!(p.formula(&left), "(G(a, b) -> G(b, c)) -> G(c, d)");
+    }
+}

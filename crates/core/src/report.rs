@@ -1,0 +1,492 @@
+//! Query classification: which language fragment a query belongs to and
+//! what the paper's theorems then guarantee about its complexity.
+//!
+//! This ties the paper's results together as a practical API: given a
+//! query and (optionally) density/sparsity knowledge about the inputs, the
+//! report names the smallest fragment (`CALC_i^k`, `+IFP`, `+PFP`,
+//! range-restricted or not) and the complexity bound implied by
+//! Propositions 5.1, Theorems 4.1, 4.2, 5.1–5.3 and 6.1.
+
+use crate::ast::{FixOp, Fixpoint, Formula, Term};
+use crate::eval::Query;
+use crate::rr;
+use crate::typeck;
+use no_object::Schema;
+use std::fmt;
+
+/// Which fixpoint operators occur in a formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FixUse {
+    /// Any `IFP` occurrence.
+    pub ifp: bool,
+    /// Any `PFP` occurrence.
+    pub pfp: bool,
+}
+
+/// What the caller knows about the inputs the query will run on
+/// (Definition 4.1; "unknown" = no assumption).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum InputAssumption {
+    /// No knowledge: only the generic hyperexponential bounds apply.
+    #[default]
+    Unknown,
+    /// Inputs are dense w.r.t. the schema's `⟨i,k⟩`-types.
+    Dense,
+    /// Inputs are dense w.r.t. `⟨i−j,k⟩`-types and sparse w.r.t.
+    /// `⟨i−j+1,k⟩`-types (Theorem 4.2's mixed regime).
+    DenseUpTo {
+        /// The gap `j` (`1 ≤ j ≤ i`).
+        j: usize,
+    },
+    /// Inputs are flat (set height 0) — Section 6's regime.
+    Flat,
+    /// Inputs are dense w.r.t. one *non-trivial* type `T` (Theorem 5.3):
+    /// range restriction may then be waived for variables of that type,
+    /// because `dom(T, D)` itself is a polynomial-size range.
+    DenseForType {
+        /// The non-trivial type assumed dense.
+        ty: no_object::Type,
+    },
+}
+
+/// A complexity bound implied by one of the paper's results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bound {
+    /// Human-readable bound, e.g. `"PTIME"` or `"P(hyper(2,2))-time"`.
+    pub bound: String,
+    /// Which result justifies it.
+    pub by: &'static str,
+    /// Whether the bound is exact (the language *captures* the class on
+    /// these inputs) or only an upper bound.
+    pub exact: bool,
+}
+
+/// The classification of a query.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// Least `(i, k)` with the query in `CALC_i^k(+fixpoints)`.
+    pub ik: (usize, usize),
+    /// Fixpoint operators used.
+    pub fix: FixUse,
+    /// Whether every variable is range restricted (Definitions 5.2/5.3).
+    pub range_restricted: bool,
+    /// Variables that failed range restriction (empty when
+    /// `range_restricted`).
+    pub unrestricted_vars: Vec<String>,
+    /// The language fragment name, e.g. `"RR-(CALC_1^2 + IFP)"`.
+    pub language: String,
+    /// The complexity bound under the given input assumption.
+    pub bound: Bound,
+}
+
+impl fmt::Display for QueryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "language:  {}", self.language)?;
+        writeln!(
+            f,
+            "bound:     {} ({}{})",
+            self.bound.bound,
+            if self.bound.exact { "exactly captures, " } else { "upper bound, " },
+            self.bound.by
+        )?;
+        if !self.unrestricted_vars.is_empty() {
+            writeln!(f, "unrestricted: {}", self.unrestricted_vars.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+fn fix_use(f: &Formula) -> FixUse {
+    fn note(fix: &Fixpoint, u: &mut FixUse) {
+        match fix.op {
+            FixOp::Ifp => u.ifp = true,
+            FixOp::Pfp => u.pfp = true,
+        }
+        go(&fix.body, u);
+    }
+    fn term(t: &Term, u: &mut FixUse) {
+        match t {
+            Term::Fix(fix) => note(fix, u),
+            Term::Proj(t, _) => term(t, u),
+            _ => {}
+        }
+    }
+    fn go(f: &Formula, u: &mut FixUse) {
+        match f {
+            Formula::Rel(_, ts) => ts.iter().for_each(|t| term(t, u)),
+            Formula::Eq(a, b) | Formula::In(a, b) | Formula::Subset(a, b) => {
+                term(a, u);
+                term(b, u);
+            }
+            Formula::FixApp(fix, ts) => {
+                note(fix, u);
+                ts.iter().for_each(|t| term(t, u));
+            }
+            _ => f.children().into_iter().for_each(|c| go(c, u)),
+        }
+    }
+    let mut u = FixUse::default();
+    go(f, &mut u);
+    u
+}
+
+/// Classify a query over a schema under an input assumption.
+///
+/// Returns a type error if the query does not typecheck.
+pub fn classify(
+    schema: &Schema,
+    query: &Query,
+    assumption: InputAssumption,
+) -> Result<QueryReport, typeck::TypeError> {
+    let checked = typeck::check(schema, &query.head, &query.body)?;
+    let (i, k) = checked.ik();
+    let fix = fix_use(&query.body);
+    let analysis = rr::analyze(schema, &checked.var_types, &query.body);
+    let unrestricted: Vec<String> = rr::all_vars(&query.body)
+        .into_iter()
+        .filter(|v| !analysis.is_restricted(v))
+        .collect();
+    let head_unrestricted: Vec<String> = query
+        .head
+        .iter()
+        .map(|(v, _)| v.clone())
+        .filter(|v| !analysis.is_restricted(v))
+        .collect();
+    let mut unrestricted_vars = unrestricted;
+    for v in head_unrestricted {
+        if !unrestricted_vars.contains(&v) {
+            unrestricted_vars.push(v);
+        }
+    }
+    unrestricted_vars.sort();
+    unrestricted_vars.dedup();
+    let range_restricted = unrestricted_vars.is_empty();
+    // Theorem 5.3: under density for one non-trivial type, variables of
+    // that type need no range restriction — their active domain is already
+    // a PTIME-computable range.
+    let effectively_restricted = match &assumption {
+        InputAssumption::DenseForType { ty } if ty.is_non_trivial() => unrestricted_vars
+            .iter()
+            .all(|v| checked.var_types.get(v) == Some(ty)),
+        _ => range_restricted,
+    };
+
+    let core = format!("CALC_{i}^{k}");
+    let ext = match (fix.ifp, fix.pfp) {
+        (false, false) => core.clone(),
+        (true, false) => format!("{core} + IFP"),
+        (false, true) => format!("{core} + PFP"),
+        (true, true) => format!("{core} + IFP + PFP"),
+    };
+    let language = if range_restricted {
+        format!("RR-({ext})")
+    } else {
+        ext.clone()
+    };
+
+    let bound = bound_for(i, k, fix, effectively_restricted, assumption);
+    Ok(QueryReport {
+        ik: (i, k),
+        fix,
+        range_restricted,
+        unrestricted_vars,
+        language,
+        bound,
+    })
+}
+
+fn bound_for(
+    i: usize,
+    k: usize,
+    fix: FixUse,
+    range_restricted: bool,
+    assumption: InputAssumption,
+) -> Bound {
+    if let InputAssumption::DenseForType { ty } = &assumption {
+        if ty.is_non_trivial() && range_restricted {
+            return if fix.pfp {
+                Bound {
+                    bound: "PSPACE".into(),
+                    by: "Theorem 5.3(2)",
+                    exact: true,
+                }
+            } else if fix.ifp {
+                Bound {
+                    bound: "PTIME".into(),
+                    by: "Theorem 5.3(1)",
+                    exact: true,
+                }
+            } else {
+                Bound {
+                    bound: "PTIME".into(),
+                    by: "Theorem 5.3 (fixpoint-free fragment)",
+                    exact: false,
+                }
+            };
+        }
+        // density for a trivial type, or unrestricted vars of other types:
+        // no theorem applies beyond the generic bound
+        let time_or_space = if fix.pfp { "space" } else { "time" };
+        return Bound {
+            bound: format!("P(hyper({i},{k}))-{time_or_space}"),
+            by: "generic domain bound (Section 2)",
+            exact: false,
+        };
+    }
+    let uses_pfp = fix.pfp;
+    let uses_fix = fix.ifp || fix.pfp;
+    match assumption {
+        InputAssumption::DenseForType { .. } => unreachable!("handled above"),
+        InputAssumption::Dense => {
+            if uses_pfp {
+                Bound {
+                    bound: "PSPACE".into(),
+                    by: "Theorem 4.1(3)",
+                    exact: true,
+                }
+            } else if uses_fix {
+                Bound {
+                    bound: "PTIME".into(),
+                    by: "Theorem 4.1(2)",
+                    exact: true,
+                }
+            } else {
+                Bound {
+                    bound: "P(log)-space".into(),
+                    by: "Theorem 4.1(1)",
+                    exact: false,
+                }
+            }
+        }
+        InputAssumption::DenseUpTo { j } => {
+            let j = j.clamp(1, i.max(1));
+            if uses_pfp {
+                Bound {
+                    bound: format!("P(hyper({j},{k}))-space"),
+                    by: "Theorem 4.2(3)",
+                    exact: true,
+                }
+            } else if uses_fix {
+                Bound {
+                    bound: format!("P(hyper({j},{k}))-time"),
+                    by: "Theorem 4.2(2)",
+                    exact: true,
+                }
+            } else {
+                Bound {
+                    bound: format!("P(hyper({},{k}))-space", j.saturating_sub(1)),
+                    by: "Theorem 4.2(1)",
+                    exact: false,
+                }
+            }
+        }
+        InputAssumption::Flat => {
+            if uses_pfp {
+                Bound {
+                    bound: format!("P(hyper({i},{k}))-space"),
+                    by: "Theorem 6.1",
+                    exact: true,
+                }
+            } else if uses_fix {
+                Bound {
+                    bound: format!("P(hyper({i},{k}))-time"),
+                    by: "Theorem 6.1",
+                    exact: true,
+                }
+            } else {
+                Bound {
+                    bound: format!("P(hyper({i},{k}))-time"),
+                    by: "Hull–Su via Section 6",
+                    exact: false,
+                }
+            }
+        }
+        InputAssumption::Unknown => {
+            if range_restricted {
+                if uses_pfp {
+                    Bound {
+                        bound: "PSPACE".into(),
+                        by: "Theorem 5.1(c)",
+                        exact: false,
+                    }
+                } else if uses_fix {
+                    Bound {
+                        bound: "PTIME".into(),
+                        by: "Theorem 5.1(b)",
+                        exact: false,
+                    }
+                } else {
+                    Bound {
+                        bound: "LOGSPACE".into(),
+                        by: "Theorem 5.1(a)",
+                        exact: false,
+                    }
+                }
+            } else {
+                let time_or_space = if uses_pfp { "space" } else { "time" };
+                Bound {
+                    bound: format!("P(hyper({i},{k}))-{time_or_space}"),
+                    by: "generic domain bound (Section 2)",
+                    exact: false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::FixOp;
+    use no_object::{RelationSchema, Type};
+    use std::sync::Arc;
+
+    fn graph_schema() -> Schema {
+        Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])])
+    }
+
+    fn tc_query() -> Query {
+        let fix = Arc::new(Fixpoint {
+            op: FixOp::Ifp,
+            rel: "S".into(),
+            vars: vec![("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+            body: Box::new(Formula::or([
+                Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")]),
+                Formula::exists(
+                    "z",
+                    Type::Atom,
+                    Formula::and([
+                        Formula::Rel("S".into(), vec![Term::var("x"), Term::var("z")]),
+                        Formula::Rel("G".into(), vec![Term::var("z"), Term::var("y")]),
+                    ]),
+                ),
+            ])),
+        });
+        Query::new(
+            vec![("u".into(), Type::Atom), ("v".into(), Type::Atom)],
+            Formula::FixApp(fix, vec![Term::var("u"), Term::var("v")]),
+        )
+    }
+
+    #[test]
+    fn rr_ifp_query_is_ptime_safe() {
+        let r = classify(&graph_schema(), &tc_query(), InputAssumption::Unknown).unwrap();
+        assert!(r.range_restricted, "unrestricted: {:?}", r.unrestricted_vars);
+        assert!(r.fix.ifp && !r.fix.pfp);
+        assert_eq!(r.bound.bound, "PTIME");
+        assert_eq!(r.bound.by, "Theorem 5.1(b)");
+        assert!(r.language.starts_with("RR-(CALC_0"));
+    }
+
+    #[test]
+    fn dense_assumption_gives_exact_capture() {
+        let r = classify(&graph_schema(), &tc_query(), InputAssumption::Dense).unwrap();
+        assert_eq!(r.bound.bound, "PTIME");
+        assert!(r.bound.exact);
+        assert_eq!(r.bound.by, "Theorem 4.1(2)");
+    }
+
+    #[test]
+    fn pfp_maps_to_pspace() {
+        let q = {
+            let fix = Arc::new(Fixpoint {
+                op: FixOp::Pfp,
+                rel: "S".into(),
+                vars: vec![("x".into(), Type::Atom)],
+                body: Box::new(Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")])),
+            });
+            Query::new(
+                vec![("u".into(), Type::Atom)],
+                Formula::FixApp(fix, vec![Term::var("u")]),
+            )
+        };
+        let r = classify(&graph_schema(), &q, InputAssumption::Dense).unwrap();
+        assert_eq!(r.bound.bound, "PSPACE");
+    }
+
+    #[test]
+    fn unrestricted_powerset_query_reported() {
+        // {X : {U} | ∀x (x ∈ X → G(x,x))} — X not range restricted
+        let q = Query::new(
+            vec![("X".into(), Type::set(Type::Atom))],
+            Formula::forall(
+                "x",
+                Type::Atom,
+                Formula::In(Term::var("x"), Term::var("X"))
+                    .implies(Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")])),
+            ),
+        );
+        let r = classify(&graph_schema(), &q, InputAssumption::Unknown).unwrap();
+        assert!(!r.range_restricted);
+        assert!(r.unrestricted_vars.contains(&"X".to_string()));
+        assert!(r.bound.bound.contains("hyper(1,"));
+        assert_eq!(r.ik.0, 1);
+    }
+
+    #[test]
+    fn flat_assumption_uses_theorem_6_1() {
+        let r = classify(&graph_schema(), &tc_query(), InputAssumption::Flat).unwrap();
+        assert_eq!(r.bound.by, "Theorem 6.1");
+        assert!(r.bound.exact);
+    }
+
+    #[test]
+    fn mixed_regime_theorem_4_2() {
+        let r = classify(
+            &graph_schema(),
+            &tc_query(),
+            InputAssumption::DenseUpTo { j: 1 },
+        )
+        .unwrap();
+        assert_eq!(r.bound.by, "Theorem 4.2(2)");
+        assert!(r.bound.bound.contains("hyper(1,"));
+    }
+
+    #[test]
+    fn theorem_5_3_waives_restriction_for_the_dense_type() {
+        use no_object::Type;
+        // {X : {[U,U]}, x : U | G(x, x) ∧ X = X} — every variable except X
+        // is range restricted; X quantifies over all edge sets. Theorem 5.3
+        // waives the restriction on X when {[U,U]} is dense.
+        let pair = Type::tuple(vec![Type::Atom, Type::Atom]);
+        let set_pair = Type::set(pair);
+        let q = Query::new(
+            vec![("X".into(), set_pair.clone()), ("x".into(), Type::Atom)],
+            Formula::and([
+                Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")]),
+                Formula::Eq(Term::var("X"), Term::var("X")),
+            ]),
+        );
+        let schema = graph_schema();
+        // without the assumption: hyperexponential upper bound
+        let plain = classify(&schema, &q, InputAssumption::Unknown).unwrap();
+        assert!(!plain.range_restricted);
+        assert_eq!(plain.unrestricted_vars, vec!["X".to_string()]);
+        assert!(plain.bound.bound.contains("hyper"));
+        // with density for the non-trivial type {[U,U]}: PTIME, exact
+        let dense = classify(
+            &schema,
+            &q,
+            InputAssumption::DenseForType { ty: set_pair },
+        )
+        .unwrap();
+        assert_eq!(dense.bound.bound, "PTIME");
+        assert_eq!(dense.bound.by, "Theorem 5.3 (fixpoint-free fragment)");
+        // density for a *trivial* type buys nothing
+        let trivial = classify(
+            &schema,
+            &q,
+            InputAssumption::DenseForType { ty: Type::set(Type::Atom) },
+        )
+        .unwrap();
+        assert!(trivial.bound.bound.contains("hyper"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = classify(&graph_schema(), &tc_query(), InputAssumption::Dense).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("PTIME"), "{s}");
+        assert!(s.contains("Theorem 4.1(2)"), "{s}");
+    }
+}

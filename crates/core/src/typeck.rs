@@ -1,0 +1,619 @@
+//! Static checking and `CALC_i^k` classification of formulas.
+//!
+//! CALC is strongly typed: every term has a complex-object type, and the
+//! atomic predicates carry the obvious compatibility restrictions
+//! (`=_T : T × T`, `∈_T : T × {T}`, `⊆_{{T}} : {T} × {T}`). Quantifiers,
+//! query heads, and fixpoint operators declare variable types, so checking
+//! is a deterministic walk — no unification. The checker also enforces the
+//! paper's variable convention (no name both free and bound, none bound
+//! twice) and computes the *set of types of the formula*, from which the
+//! least `⟨i,k⟩` with `φ ∈ CALC_i^k` is read off.
+
+use crate::ast::{Fixpoint, Formula, RelName, Term, VarName};
+use no_object::{Schema, Type};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A static error in a formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A relation name is neither in the schema nor bound by a fixpoint.
+    UnknownRelation(RelName),
+    /// Wrong number of arguments to a relation or fixpoint application.
+    ArityMismatch {
+        /// The relation applied.
+        rel: RelName,
+        /// Its declared arity.
+        expected: usize,
+        /// The number of arguments supplied.
+        found: usize,
+    },
+    /// A term has the wrong type.
+    Mismatch {
+        /// What the context requires.
+        expected: Type,
+        /// What the term has.
+        found: Type,
+        /// Rendering of the offending term.
+        term: String,
+    },
+    /// A variable occurs without a declaration in scope.
+    UnboundVariable(VarName),
+    /// The paper's convention: a variable name may be bound only once and
+    /// may not be both free and bound.
+    VariableReuse(VarName),
+    /// Projection applied to a non-tuple term.
+    NotATuple {
+        /// The type the projection was applied to.
+        found: Type,
+        /// Rendering of the offending term.
+        term: String,
+    },
+    /// Projection index out of range (indices are 1-based).
+    ProjOutOfRange {
+        /// The tuple type projected from.
+        ty: Type,
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// Membership/containment applied at a non-set type.
+    NotASet {
+        /// The type found where a set type was required.
+        found: Type,
+        /// Rendering of the offending term.
+        term: String,
+    },
+    /// A fixpoint body has a free variable that is not a declared column.
+    FixpointFreeVar {
+        /// The fixpoint's relation name.
+        rel: RelName,
+        /// The undeclared free variable.
+        var: VarName,
+    },
+    /// Two constants compared whose inferred types disagree.
+    AmbiguousConstants(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            TypeError::ArityMismatch { rel, expected, found } => {
+                write!(f, "relation {rel} has arity {expected}, applied to {found} arguments")
+            }
+            TypeError::Mismatch { expected, found, term } => {
+                write!(f, "term {term} has type {found}, expected {expected}")
+            }
+            TypeError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            TypeError::VariableReuse(v) => {
+                write!(f, "variable {v} bound more than once or both free and bound")
+            }
+            TypeError::NotATuple { found, term } => {
+                write!(f, "projection applied to {term} of non-tuple type {found}")
+            }
+            TypeError::ProjOutOfRange { ty, index } => {
+                write!(f, "projection .{index} out of range for tuple type {ty}")
+            }
+            TypeError::NotASet { found, term } => {
+                write!(f, "term {term} of non-set type {found} used as a set")
+            }
+            TypeError::FixpointFreeVar { rel, var } => {
+                write!(f, "fixpoint body of {rel} has undeclared free variable {var}")
+            }
+            TypeError::AmbiguousConstants(t) => {
+                write!(f, "cannot determine a common type for constants in {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// The result of checking a formula: variable types and the formula's type
+/// profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checked {
+    /// Types of all variables (free and bound) by name.
+    pub var_types: BTreeMap<VarName, Type>,
+    /// The set of types of terms occurring in the formula (the paper's
+    /// "set of types of a formula").
+    pub types: BTreeSet<TypeKey>,
+    /// Maximum set height over all occurring types.
+    pub set_height: usize,
+    /// Maximum tuple width over all occurring types.
+    pub tuple_width: usize,
+}
+
+impl Checked {
+    /// The least `(i, k)` such that the formula is in `CALC_i^k`.
+    pub fn ik(&self) -> (usize, usize) {
+        (self.set_height, self.tuple_width)
+    }
+
+    /// Whether the formula is in `CALC_i^k`.
+    pub fn is_calc_ik(&self, i: usize, k: usize) -> bool {
+        self.set_height <= i && self.tuple_width <= k
+    }
+}
+
+/// `Type` keyed by its display form, to allow `BTreeSet` storage (the
+/// underlying `Type` does not implement `Ord`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TypeKey(pub String);
+
+impl From<&Type> for TypeKey {
+    fn from(t: &Type) -> Self {
+        TypeKey(t.to_string())
+    }
+}
+
+/// The static environment: database schema plus fixpoint-bound relation
+/// signatures currently in scope.
+pub struct TypeEnv<'a> {
+    schema: &'a Schema,
+    bound_rels: Vec<(RelName, Vec<Type>)>,
+}
+
+impl<'a> TypeEnv<'a> {
+    /// Create an environment over a database schema.
+    pub fn new(schema: &'a Schema) -> Self {
+        TypeEnv {
+            schema,
+            bound_rels: Vec::new(),
+        }
+    }
+
+    fn rel_sig(&self, name: &str) -> Option<Vec<Type>> {
+        if let Some((_, sig)) = self.bound_rels.iter().rev().find(|(n, _)| n == name) {
+            return Some(sig.clone());
+        }
+        self.schema.get(name).map(|r| r.column_types.clone())
+    }
+}
+
+struct Ck<'a, 'b> {
+    env: &'b mut TypeEnv<'a>,
+    scope: Vec<(VarName, Type)>,
+    ever_bound: BTreeSet<VarName>,
+    out: Checked,
+}
+
+/// Check a formula whose free variables have the given declared types.
+///
+/// Returns the checked profile or the first error found.
+pub fn check(
+    schema: &Schema,
+    free: &[(VarName, Type)],
+    formula: &Formula,
+) -> Result<Checked, TypeError> {
+    let mut env = TypeEnv::new(schema);
+    check_in_env(&mut env, free, formula)
+}
+
+/// Check within an existing environment (used for fixpoint bodies).
+pub fn check_in_env(
+    env: &mut TypeEnv<'_>,
+    free: &[(VarName, Type)],
+    formula: &Formula,
+) -> Result<Checked, TypeError> {
+    let mut ck = Ck {
+        env,
+        scope: free.to_vec(),
+        ever_bound: free.iter().map(|(v, _)| v.clone()).collect(),
+        out: Checked {
+            var_types: free.iter().cloned().collect(),
+            types: BTreeSet::new(),
+            set_height: 0,
+            tuple_width: 0,
+        },
+    };
+    for (_, t) in free {
+        ck.note_type(t);
+    }
+    ck.formula(formula)?;
+    Ok(ck.out)
+}
+
+impl Ck<'_, '_> {
+    fn note_type(&mut self, t: &Type) {
+        self.out.set_height = self.out.set_height.max(t.set_height());
+        self.out.tuple_width = self.out.tuple_width.max(t.tuple_width());
+        self.out.types.insert(TypeKey::from(t));
+    }
+
+    fn lookup(&self, v: &str) -> Result<Type, TypeError> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == v)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| TypeError::UnboundVariable(v.to_string()))
+    }
+
+    fn infer(&mut self, t: &Term) -> Result<Type, TypeError> {
+        let ty = match t {
+            Term::Const(v) => v.infer_type(),
+            Term::Var(v) => self.lookup(v)?,
+            Term::Proj(inner, i) => {
+                let it = self.infer(inner)?;
+                match it.components() {
+                    Some(comps) => {
+                        if *i == 0 || *i > comps.len() {
+                            return Err(TypeError::ProjOutOfRange { ty: it, index: *i });
+                        }
+                        comps[*i - 1].clone()
+                    }
+                    None => {
+                        return Err(TypeError::NotATuple {
+                            found: it,
+                            term: format!("{t:?}"),
+                        })
+                    }
+                }
+            }
+            Term::Fix(fix) => {
+                self.fixpoint(fix)?;
+                fix.term_type()
+            }
+        };
+        self.note_type(&ty);
+        Ok(ty)
+    }
+
+    /// Verify a term against an expected type. Constants are verified with
+    /// `has_type` (so the empty set checks against every set type).
+    fn check_term(&mut self, t: &Term, expected: &Type) -> Result<(), TypeError> {
+        if let Term::Const(v) = t {
+            self.note_type(expected);
+            if v.has_type(expected) {
+                return Ok(());
+            }
+            return Err(TypeError::Mismatch {
+                expected: expected.clone(),
+                found: v.infer_type(),
+                term: format!("{t:?}"),
+            });
+        }
+        let found = self.infer(t)?;
+        if &found == expected {
+            Ok(())
+        } else {
+            Err(TypeError::Mismatch {
+                expected: expected.clone(),
+                found,
+                term: format!("{t:?}"),
+            })
+        }
+    }
+
+    /// Determine the common type of two terms, preferring non-constant
+    /// evidence (constants — in particular empty sets — infer imprecisely).
+    fn common_type(&mut self, a: &Term, b: &Term) -> Result<Type, TypeError> {
+        match (matches!(a, Term::Const(_)), matches!(b, Term::Const(_))) {
+            (false, _) => {
+                let ta = self.infer(a)?;
+                self.check_term(b, &ta)?;
+                Ok(ta)
+            }
+            (true, false) => {
+                let tb = self.infer(b)?;
+                self.check_term(a, &tb)?;
+                Ok(tb)
+            }
+            (true, true) => {
+                let ta = self.infer(a)?;
+                let tb = self.infer(b)?;
+                if ta == tb {
+                    Ok(ta)
+                } else {
+                    Err(TypeError::AmbiguousConstants(format!("{a:?} = {b:?}")))
+                }
+            }
+        }
+    }
+
+    fn fixpoint(&mut self, fix: &Fixpoint) -> Result<(), TypeError> {
+        // Body free variables must be among declared columns.
+        for v in fix.body.free_vars() {
+            if !fix.vars.iter().any(|(n, _)| *n == v) {
+                return Err(TypeError::FixpointFreeVar {
+                    rel: fix.rel.clone(),
+                    var: v,
+                });
+            }
+        }
+        for (_, t) in &fix.vars {
+            self.note_type(t);
+        }
+        self.env
+            .bound_rels
+            .push((fix.rel.clone(), fix.column_types()));
+        let sub = check_in_env(self.env, &fix.vars, &fix.body);
+        self.env.bound_rels.pop();
+        let sub = sub?;
+        // fold the body's profile into ours
+        self.out.set_height = self.out.set_height.max(sub.set_height);
+        self.out.tuple_width = self.out.tuple_width.max(sub.tuple_width);
+        self.out.types.extend(sub.types);
+        Ok(())
+    }
+
+    fn bind(&mut self, v: &str, ty: &Type) -> Result<(), TypeError> {
+        if self.ever_bound.contains(v) {
+            return Err(TypeError::VariableReuse(v.to_string()));
+        }
+        self.ever_bound.insert(v.to_string());
+        self.scope.push((v.to_string(), ty.clone()));
+        self.out.var_types.insert(v.to_string(), ty.clone());
+        self.note_type(ty);
+        Ok(())
+    }
+
+    fn formula(&mut self, f: &Formula) -> Result<(), TypeError> {
+        match f {
+            Formula::Rel(name, args) => {
+                let sig = self
+                    .env
+                    .rel_sig(name)
+                    .ok_or_else(|| TypeError::UnknownRelation(name.clone()))?;
+                if sig.len() != args.len() {
+                    return Err(TypeError::ArityMismatch {
+                        rel: name.clone(),
+                        expected: sig.len(),
+                        found: args.len(),
+                    });
+                }
+                for (arg, col) in args.iter().zip(&sig) {
+                    self.check_term(arg, col)?;
+                }
+                Ok(())
+            }
+            Formula::Eq(a, b) => {
+                self.common_type(a, b)?;
+                Ok(())
+            }
+            Formula::In(a, b) => {
+                // prefer the set side for evidence
+                if !matches!(b, Term::Const(_)) {
+                    let tb = self.infer(b)?;
+                    match tb.elem() {
+                        Some(e) => {
+                            let e = e.clone();
+                            self.check_term(a, &e)
+                        }
+                        None => Err(TypeError::NotASet {
+                            found: tb,
+                            term: format!("{b:?}"),
+                        }),
+                    }
+                } else {
+                    let ta = self.infer(a)?;
+                    self.check_term(b, &Type::set(ta))
+                }
+            }
+            Formula::Subset(a, b) => {
+                let t = self.common_type(a, b)?;
+                if t.elem().is_none() {
+                    return Err(TypeError::NotASet {
+                        found: t,
+                        term: format!("{a:?}"),
+                    });
+                }
+                Ok(())
+            }
+            Formula::Not(g) => self.formula(g),
+            Formula::And(gs) | Formula::Or(gs) => {
+                for g in gs {
+                    self.formula(g)?;
+                }
+                Ok(())
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                self.formula(a)?;
+                self.formula(b)
+            }
+            Formula::Exists(x, ty, g) | Formula::Forall(x, ty, g) => {
+                self.bind(x, ty)?;
+                let r = self.formula(g);
+                self.scope.pop();
+                r
+            }
+            Formula::FixApp(fix, args) => {
+                self.fixpoint(fix)?;
+                if fix.vars.len() != args.len() {
+                    return Err(TypeError::ArityMismatch {
+                        rel: fix.rel.clone(),
+                        expected: fix.vars.len(),
+                        found: args.len(),
+                    });
+                }
+                for (arg, (_, col)) in args.iter().zip(&fix.vars) {
+                    self.check_term(arg, col)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::FixOp;
+    use no_object::RelationSchema;
+    use std::sync::Arc;
+
+    fn graph_schema() -> Schema {
+        Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])])
+    }
+
+    fn set_graph_schema() -> Schema {
+        let su = Type::set(Type::Atom);
+        Schema::from_relations([RelationSchema::new("G", vec![su.clone(), su])])
+    }
+
+    #[test]
+    fn simple_relation_atom_checks() {
+        let s = graph_schema();
+        let f = Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")]);
+        let ck = check(
+            &s,
+            &[("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+            &f,
+        )
+        .unwrap();
+        assert_eq!(ck.ik(), (0, 0));
+        assert!(ck.is_calc_ik(1, 2));
+    }
+
+    #[test]
+    fn unknown_relation_and_arity() {
+        let s = graph_schema();
+        let f = Formula::Rel("H".into(), vec![Term::var("x")]);
+        assert!(matches!(
+            check(&s, &[("x".into(), Type::Atom)], &f),
+            Err(TypeError::UnknownRelation(_))
+        ));
+        let f2 = Formula::Rel("G".into(), vec![Term::var("x")]);
+        assert!(matches!(
+            check(&s, &[("x".into(), Type::Atom)], &f2),
+            Err(TypeError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn membership_typing() {
+        let s = graph_schema();
+        let f = Formula::In(Term::var("x"), Term::var("X"));
+        let ck = check(
+            &s,
+            &[("x".into(), Type::Atom), ("X".into(), Type::set(Type::Atom))],
+            &f,
+        )
+        .unwrap();
+        assert_eq!(ck.ik(), (1, 0));
+        // x ∈ y where y is atomic: error
+        let bad = check(
+            &s,
+            &[("x".into(), Type::Atom), ("X".into(), Type::Atom)],
+            &f,
+        );
+        assert!(matches!(bad, Err(TypeError::NotASet { .. })));
+    }
+
+    #[test]
+    fn empty_set_constant_checks_against_any_set_type() {
+        let s = set_graph_schema();
+        let f = Formula::Rel(
+            "G".into(),
+            vec![
+                Term::Const(no_object::Value::empty_set()),
+                Term::var("y"),
+            ],
+        );
+        assert!(check(&s, &[("y".into(), Type::set(Type::Atom))], &f).is_ok());
+    }
+
+    #[test]
+    fn projection_typing() {
+        let s = graph_schema();
+        let pair = Type::tuple(vec![Type::Atom, Type::set(Type::Atom)]);
+        let f = Formula::In(Term::var("t").proj(1), Term::var("t").proj(2));
+        let ck = check(&s, &[("t".into(), pair.clone())], &f).unwrap();
+        assert_eq!(ck.ik(), (1, 2));
+        let bad = Formula::Eq(Term::var("t").proj(3), Term::var("t").proj(1));
+        assert!(matches!(
+            check(&s, &[("t".into(), pair)], &bad),
+            Err(TypeError::ProjOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn variable_convention_enforced() {
+        let s = graph_schema();
+        // x both free and bound
+        let f = Formula::exists(
+            "x",
+            Type::Atom,
+            Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")]),
+        );
+        let r = check(&s, &[("x".into(), Type::Atom)], &f);
+        assert!(matches!(r, Err(TypeError::VariableReuse(_))));
+        // x bound twice
+        let f2 = Formula::and([
+            Formula::exists("x", Type::Atom, Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")])),
+            Formula::exists("x", Type::Atom, Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")])),
+        ]);
+        assert!(matches!(check(&s, &[], &f2), Err(TypeError::VariableReuse(_))));
+    }
+
+    #[test]
+    fn transitive_closure_fixpoint_checks() {
+        // Example 3.1 over G : [{U},{U}]
+        let s = set_graph_schema();
+        let su = Type::set(Type::Atom);
+        let body = Formula::or([
+            Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")]),
+            Formula::exists(
+                "z",
+                su.clone(),
+                Formula::and([
+                    Formula::Rel("S".into(), vec![Term::var("x"), Term::var("z")]),
+                    Formula::Rel("G".into(), vec![Term::var("z"), Term::var("y")]),
+                ]),
+            ),
+        ]);
+        let fix = Arc::new(Fixpoint {
+            op: FixOp::Ifp,
+            rel: "S".into(),
+            vars: vec![("x".into(), su.clone()), ("y".into(), su.clone())],
+            body: Box::new(body),
+        });
+        let f = Formula::FixApp(fix.clone(), vec![Term::var("u"), Term::var("v")]);
+        let ck = check(&s, &[("u".into(), su.clone()), ("v".into(), su.clone())], &f).unwrap();
+        assert_eq!(ck.ik(), (1, 0));
+        // used as a term: x = IFP(...) has type {[{U},{U}]} — a <2,2>-type
+        let f2 = Formula::Eq(Term::var("w"), Term::Fix(fix));
+        let ck2 = check(&s, &[("w".into(), Type::set(Type::tuple(vec![su.clone(), su])))], &f2).unwrap();
+        assert_eq!(ck2.ik(), (2, 2));
+    }
+
+    #[test]
+    fn fixpoint_body_free_var_rejected() {
+        let s = graph_schema();
+        let fix = Arc::new(Fixpoint {
+            op: FixOp::Ifp,
+            rel: "S".into(),
+            vars: vec![("x".into(), Type::Atom)],
+            body: Box::new(Formula::Rel("G".into(), vec![Term::var("x"), Term::var("oops")])),
+        });
+        let f = Formula::FixApp(fix, vec![Term::var("u")]);
+        assert!(matches!(
+            check(&s, &[("u".into(), Type::Atom)], &f),
+            Err(TypeError::FixpointFreeVar { .. })
+        ));
+    }
+
+    #[test]
+    fn subset_typing() {
+        let s = graph_schema();
+        let su = Type::set(Type::Atom);
+        let f = Formula::Subset(Term::var("a"), Term::var("b"));
+        assert!(check(&s, &[("a".into(), su.clone()), ("b".into(), su.clone())], &f).is_ok());
+        let bad = check(&s, &[("a".into(), Type::Atom), ("b".into(), Type::Atom)], &f);
+        assert!(matches!(bad, Err(TypeError::NotASet { .. })));
+    }
+
+    #[test]
+    fn types_of_formula_collected() {
+        let s = graph_schema();
+        let f = Formula::exists(
+            "X",
+            Type::set(Type::Atom),
+            Formula::In(Term::var("x"), Term::var("X")),
+        );
+        let ck = check(&s, &[("x".into(), Type::Atom)], &f).unwrap();
+        assert!(ck.types.contains(&TypeKey("U".into())));
+        assert!(ck.types.contains(&TypeKey("{U}".into())));
+    }
+}

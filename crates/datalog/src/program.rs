@@ -1,0 +1,457 @@
+//! Datalog programs over complex objects.
+//!
+//! Section 3 of the paper relates the fixpoint calculi to deductive
+//! languages: "inf-Datalog¬ₖᵢ [...] is equivalent to CALC_i^k + IFP". This
+//! crate provides that deductive side: rules with positive and negative
+//! relation literals, equality, and membership over complex-object terms,
+//! evaluated with inflationary semantics.
+
+use no_object::{Schema, Type, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A Datalog term: a variable or a complex-object constant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DTerm {
+    /// A variable.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+}
+
+impl DTerm {
+    /// Convenience: a variable.
+    pub fn var(name: impl Into<String>) -> DTerm {
+        DTerm::Var(name.into())
+    }
+
+    fn var_name(&self) -> Option<&str> {
+        match self {
+            DTerm::Var(v) => Some(v),
+            DTerm::Const(_) => None,
+        }
+    }
+}
+
+/// A body literal.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Literal {
+    /// `R(t1,…,tn)` — positive relation atom (EDB or IDB).
+    Pos(String, Vec<DTerm>),
+    /// `¬R(t1,…,tn)` — negated relation atom, inflationary semantics.
+    Neg(String, Vec<DTerm>),
+    /// `t1 = t2`.
+    Eq(DTerm, DTerm),
+    /// `t1 ≠ t2`.
+    Neq(DTerm, DTerm),
+    /// `t1 ∈ t2` — complex-object membership.
+    In(DTerm, DTerm),
+    /// `t1 ∉ t2`.
+    NotIn(DTerm, DTerm),
+}
+
+/// One rule `head(args) :- body`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Rule {
+    /// Head relation name (must be an IDB relation).
+    pub head: String,
+    /// Head argument terms.
+    pub head_args: Vec<DTerm>,
+    /// Body literals, evaluated left to right.
+    pub body: Vec<Literal>,
+}
+
+/// A program: IDB declarations plus rules. EDB relations come from the
+/// instance schema at evaluation time.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// IDB relation signatures.
+    pub idb: BTreeMap<String, Vec<Type>>,
+    /// The rules.
+    pub rules: Vec<Rule>,
+}
+
+/// Errors in program construction/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A head relation is not declared as IDB.
+    UndeclaredHead(String),
+    /// A rule head or literal has the wrong number of arguments.
+    ArityMismatch {
+        /// The relation.
+        rel: String,
+        /// Declared arity.
+        expected: usize,
+        /// Found arity.
+        found: usize,
+    },
+    /// A body relation is neither EDB (in the schema) nor IDB.
+    UnknownRelation(String),
+    /// A rule is unsafe: a variable in the head, a negated literal, or a
+    /// comparison cannot be bound by the positive body.
+    Unsafe {
+        /// The offending rule (display form).
+        rule: String,
+        /// The unbound variable.
+        var: String,
+    },
+    /// A rule wrote an EDB relation.
+    HeadIsEdb(String),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UndeclaredHead(r) => write!(f, "head relation {r} not declared"),
+            ProgramError::ArityMismatch { rel, expected, found } => {
+                write!(f, "relation {rel}: declared arity {expected}, used with {found}")
+            }
+            ProgramError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            ProgramError::Unsafe { rule, var } => {
+                write!(f, "unsafe rule {rule}: variable {var} is not bound by the positive body")
+            }
+            ProgramError::HeadIsEdb(r) => write!(f, "rule head {r} is an EDB relation"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Create an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Declare an IDB relation.
+    pub fn declare(&mut self, name: impl Into<String>, types: Vec<Type>) -> &mut Self {
+        self.idb.insert(name.into(), types);
+        self
+    }
+
+    /// Add a rule.
+    pub fn rule(
+        &mut self,
+        head: impl Into<String>,
+        head_args: Vec<DTerm>,
+        body: Vec<Literal>,
+    ) -> &mut Self {
+        self.rules.push(Rule {
+            head: head.into(),
+            head_args,
+            body,
+        });
+        self
+    }
+
+    /// Validate the program against an EDB schema: declared heads, known
+    /// relations, arities, and rule safety (every head/negated/compared
+    /// variable bound by a positive literal, an equality with a constant,
+    /// or a membership in a bound set).
+    pub fn validate(&self, edb: &Schema) -> Result<(), ProgramError> {
+        let arity_of = |name: &str| -> Option<usize> {
+            self.idb
+                .get(name)
+                .map(Vec::len)
+                .or_else(|| edb.get(name).map(|r| r.arity()))
+        };
+        for rule in &self.rules {
+            if edb.get(&rule.head).is_some() {
+                return Err(ProgramError::HeadIsEdb(rule.head.clone()));
+            }
+            let head_arity = self
+                .idb
+                .get(&rule.head)
+                .ok_or_else(|| ProgramError::UndeclaredHead(rule.head.clone()))?
+                .len();
+            if head_arity != rule.head_args.len() {
+                return Err(ProgramError::ArityMismatch {
+                    rel: rule.head.clone(),
+                    expected: head_arity,
+                    found: rule.head_args.len(),
+                });
+            }
+            for lit in &rule.body {
+                if let Literal::Pos(name, args) | Literal::Neg(name, args) = lit {
+                    let arity = arity_of(name)
+                        .ok_or_else(|| ProgramError::UnknownRelation(name.clone()))?;
+                    if arity != args.len() {
+                        return Err(ProgramError::ArityMismatch {
+                            rel: name.clone(),
+                            expected: arity,
+                            found: args.len(),
+                        });
+                    }
+                }
+            }
+            // safety: saturate bound variables
+            let mut bound: BTreeSet<&str> = BTreeSet::new();
+            loop {
+                let before = bound.len();
+                for lit in &rule.body {
+                    match lit {
+                        Literal::Pos(_, args) => {
+                            for a in args {
+                                if let Some(v) = a.var_name() {
+                                    bound.insert(v);
+                                }
+                            }
+                        }
+                        Literal::Eq(a, b) => match (a.var_name(), b.var_name()) {
+                            (Some(v), None) | (None, Some(v)) => {
+                                bound.insert(v);
+                            }
+                            (Some(v), Some(w)) => {
+                                if bound.contains(v) {
+                                    bound.insert(w);
+                                }
+                                if bound.contains(w) {
+                                    bound.insert(v);
+                                }
+                            }
+                            (None, None) => {}
+                        },
+                        Literal::In(a, b) => {
+                            if let (Some(v), bset) = (a.var_name(), b.var_name()) {
+                                let b_bound = bset.is_none_or(|w| bound.contains(w));
+                                if b_bound {
+                                    bound.insert(v);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if bound.len() == before {
+                    break;
+                }
+            }
+            let mut need: Vec<&str> = Vec::new();
+            for a in &rule.head_args {
+                if let Some(v) = a.var_name() {
+                    need.push(v);
+                }
+            }
+            for lit in &rule.body {
+                match lit {
+                    Literal::Neg(_, args) => {
+                        need.extend(args.iter().filter_map(DTerm::var_name))
+                    }
+                    Literal::Neq(a, b) | Literal::NotIn(a, b) => {
+                        need.extend([a, b].into_iter().filter_map(DTerm::var_name))
+                    }
+                    Literal::In(_, b) => need.extend(b.var_name()),
+                    _ => {}
+                }
+            }
+            for v in need {
+                if !bound.contains(v) {
+                    return Err(ProgramError::Unsafe {
+                        rule: rule.to_string(),
+                        var: v.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DTerm::Var(v) => write!(f, "{v}"),
+            DTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args = |args: &[DTerm]| -> String {
+            args.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        };
+        match self {
+            Literal::Pos(r, a) => write!(f, "{r}({})", args(a)),
+            Literal::Neg(r, a) => write!(f, "!{r}({})", args(a)),
+            Literal::Eq(a, b) => write!(f, "{a} = {b}"),
+            Literal::Neq(a, b) => write!(f, "{a} != {b}"),
+            Literal::In(a, b) => write!(f, "{a} in {b}"),
+            Literal::NotIn(a, b) => write!(f, "{a} notin {b}"),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.head)?;
+        for (i, a) in self.head_args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, types) in &self.idb {
+            let cols: Vec<String> = types.iter().map(ToString::to_string).collect();
+            writeln!(f, "rel {name}({}).", cols.join(", "))?;
+        }
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_object::RelationSchema;
+
+    fn edb() -> Schema {
+        Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])])
+    }
+
+    fn tc_program() -> Program {
+        let mut p = Program::new();
+        p.declare("tc", vec![Type::Atom, Type::Atom]);
+        p.rule(
+            "tc",
+            vec![DTerm::var("x"), DTerm::var("y")],
+            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+        );
+        p.rule(
+            "tc",
+            vec![DTerm::var("x"), DTerm::var("y")],
+            vec![
+                Literal::Pos("tc".into(), vec![DTerm::var("x"), DTerm::var("z")]),
+                Literal::Pos("G".into(), vec![DTerm::var("z"), DTerm::var("y")]),
+            ],
+        );
+        p
+    }
+
+    #[test]
+    fn tc_program_validates() {
+        assert_eq!(tc_program().validate(&edb()), Ok(()));
+    }
+
+    #[test]
+    fn undeclared_head_rejected() {
+        let mut p = Program::new();
+        p.rule("oops", vec![DTerm::var("x")], vec![]);
+        assert!(matches!(
+            p.validate(&edb()),
+            Err(ProgramError::UndeclaredHead(_))
+        ));
+    }
+
+    #[test]
+    fn edb_head_rejected() {
+        let mut p = Program::new();
+        p.declare("G", vec![Type::Atom, Type::Atom]);
+        p.rule(
+            "G",
+            vec![DTerm::var("x"), DTerm::var("x")],
+            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("x")])],
+        );
+        assert!(matches!(p.validate(&edb()), Err(ProgramError::HeadIsEdb(_))));
+    }
+
+    #[test]
+    fn unsafe_head_var_rejected() {
+        let mut p = Program::new();
+        p.declare("r", vec![Type::Atom]);
+        p.rule("r", vec![DTerm::var("x")], vec![]);
+        match p.validate(&edb()) {
+            Err(ProgramError::Unsafe { var, .. }) => assert_eq!(var, "x"),
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsafe_negation_rejected() {
+        let mut p = Program::new();
+        p.declare("r", vec![Type::Atom]);
+        p.rule(
+            "r",
+            vec![DTerm::var("x")],
+            vec![
+                Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("x")]),
+                Literal::Neg("G".into(), vec![DTerm::var("x"), DTerm::var("w")]),
+            ],
+        );
+        match p.validate(&edb()) {
+            Err(ProgramError::Unsafe { var, .. }) => assert_eq!(var, "w"),
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn membership_binds_variables() {
+        // r(x) :- P(S), x in S — safe: x bound via membership in bound S
+        let su = Type::set(Type::Atom);
+        let schema = Schema::from_relations([RelationSchema::new("P", vec![su.clone()])]);
+        let mut p = Program::new();
+        p.declare("r", vec![Type::Atom]);
+        p.rule(
+            "r",
+            vec![DTerm::var("x")],
+            vec![
+                Literal::Pos("P".into(), vec![DTerm::var("S")]),
+                Literal::In(DTerm::var("x"), DTerm::var("S")),
+            ],
+        );
+        assert_eq!(p.validate(&schema), Ok(()));
+    }
+
+    #[test]
+    fn equality_chains_bind() {
+        let mut p = Program::new();
+        p.declare("r", vec![Type::Atom]);
+        p.rule(
+            "r",
+            vec![DTerm::var("y")],
+            vec![
+                Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("x")]),
+                Literal::Eq(DTerm::var("y"), DTerm::var("x")),
+            ],
+        );
+        assert_eq!(p.validate(&edb()), Ok(()));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut p = Program::new();
+        p.declare("r", vec![Type::Atom]);
+        p.rule(
+            "r",
+            vec![DTerm::var("x")],
+            vec![Literal::Pos("G".into(), vec![DTerm::var("x")])],
+        );
+        assert!(matches!(
+            p.validate(&edb()),
+            Err(ProgramError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let p = tc_program();
+        let s = p.to_string();
+        assert!(s.contains("rel tc(U, U)."), "{s}");
+        assert!(s.contains("tc(x, y) :- tc(x, z), G(z, y)."), "{s}");
+    }
+}

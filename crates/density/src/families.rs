@@ -1,0 +1,340 @@
+//! Instance-family generators for the density/sparsity experiments
+//! (Section 4).
+//!
+//! A *family* is a parameterised sequence of instances on which density or
+//! sparsity w.r.t. `⟨i,k⟩`-types holds by construction:
+//!
+//! * [`subset_family`] — `R[{U}]` containing **all** subsets of the
+//!   constants: dense w.r.t. `⟨1,1⟩`-types (`|I| = 2ⁿ ≈ |dom|`). The
+//!   "no prerequisite structure" reading of Example 4.2.
+//! * [`pair_subset_family`] — `R[{[U,U]}]` containing all (or a fixed
+//!   fraction of) sets of pairs: dense w.r.t. `⟨1,2⟩`-types. Only tiny
+//!   `n` are feasible — dense complex-object databases are *enormous*,
+//!   which is exactly why Theorem 4.1 can afford to build orders on the fly.
+//! * [`verso_family`] — `R[U, {U}]` with the atomic column a key
+//!   (Example 4.1's VERSO discipline): `|I| = n`, sparse w.r.t. all
+//!   higher types.
+//! * [`bounded_enrollment_family`] — Example 4.2 with a tight prerequisite
+//!   structure: only course sets of size ≤ b occur, `|I| = O(n^b)`:
+//!   sparse.
+//! * graph families ([`path_graph`], [`cycle_graph`], [`random_graph`],
+//!   and their nested `{U}`-node variants) for the transitive-closure
+//!   benchmarks.
+
+use no_object::domain::DomainIter;
+use no_object::{AtomOrder, Instance, RelationSchema, Schema, Type, Universe, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated instance together with its universe and enumeration.
+pub struct Generated {
+    /// The universe of atom names.
+    pub universe: Universe,
+    /// The enumeration of the instance's atoms.
+    pub order: AtomOrder,
+    /// The instance.
+    pub instance: Instance,
+}
+
+fn fresh_universe(n: usize) -> (Universe, AtomOrder) {
+    let names: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+    let u = Universe::with_names(names.iter().map(String::as_str));
+    let order = AtomOrder::identity(&u);
+    (u, order)
+}
+
+/// `R[{U}]` holding every subset of `n` constants — dense w.r.t.
+/// `⟨1,1⟩`-types. `n ≤ 20` to bound memory.
+pub fn subset_family(n: usize) -> Generated {
+    assert!(n <= 20, "subset_family: 2^{n} rows is too large");
+    let (universe, order) = fresh_universe(n);
+    let schema = Schema::from_relations([RelationSchema::new("R", vec![Type::set(Type::Atom)])]);
+    let mut instance = Instance::empty(schema);
+    let ty = Type::set(Type::Atom);
+    for v in DomainIter::new(&order, &ty).expect("2^n under cap") {
+        instance.insert("R", vec![v]);
+    }
+    Generated {
+        universe,
+        order,
+        instance,
+    }
+}
+
+/// `R[{[U,U]}]` holding every `keep`-th set of pairs over `n` constants —
+/// dense w.r.t. `⟨1,2⟩`-types (any constant stride keeps the cardinality
+/// within a constant factor of the domain). `n ≤ 4`.
+pub fn pair_subset_family(n: usize, keep_every: usize) -> Generated {
+    assert!(n <= 4, "pair_subset_family: 2^(n^2) rows is too large");
+    assert!(keep_every >= 1);
+    let (universe, order) = fresh_universe(n);
+    let ty = Type::set(Type::tuple(vec![Type::Atom, Type::Atom]));
+    let schema = Schema::from_relations([RelationSchema::new("R", vec![ty.clone()])]);
+    let mut instance = Instance::empty(schema);
+    for (idx, v) in DomainIter::new(&order, &ty).expect("under cap").enumerate() {
+        if idx % keep_every == 0 {
+            instance.insert("R", vec![v]);
+        }
+    }
+    Generated {
+        universe,
+        order,
+        instance,
+    }
+}
+
+/// VERSO-keyed nested relation `R[U, {U}]`: one row per constant, the
+/// atomic column a key (Example 4.1) — sparse w.r.t. `⟨1,k⟩`-types.
+pub fn verso_family(n: usize, seed: u64) -> Generated {
+    let (universe, order) = fresh_universe(n);
+    let schema = Schema::from_relations([RelationSchema::new(
+        "R",
+        vec![Type::Atom, Type::set(Type::Atom)],
+    )]);
+    let mut instance = Instance::empty(schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for key in order.iter() {
+        let members: Vec<Value> = order
+            .iter()
+            .filter(|_| rng.random_bool(0.5))
+            .map(Value::Atom)
+            .collect();
+        instance.insert("R", vec![Value::Atom(key), Value::set(members)]);
+    }
+    Generated {
+        universe,
+        order,
+        instance,
+    }
+}
+
+/// Example 4.2 with a tight prerequisite structure: `Takes[{U}]` holding
+/// every course set of size at most `bound` — `O(n^bound)` rows, sparse
+/// w.r.t. sets of courses.
+pub fn bounded_enrollment_family(n: usize, bound: usize) -> Generated {
+    let (universe, order) = fresh_universe(n);
+    let schema =
+        Schema::from_relations([RelationSchema::new("Takes", vec![Type::set(Type::Atom)])]);
+    let mut instance = Instance::empty(schema);
+    // enumerate subsets of size ≤ bound by recursion
+    let atoms: Vec<Value> = order.iter().map(Value::Atom).collect();
+    let mut stack: Vec<(usize, Vec<Value>)> = vec![(0, Vec::new())];
+    while let Some((from, chosen)) = stack.pop() {
+        instance.insert("Takes", vec![Value::set(chosen.iter().cloned())]);
+        if chosen.len() < bound {
+            for (i, atom) in atoms.iter().enumerate().skip(from) {
+                let mut next = chosen.clone();
+                next.push(atom.clone());
+                stack.push((i + 1, next));
+            }
+        }
+    }
+    Generated {
+        universe,
+        order,
+        instance,
+    }
+}
+
+/// Example 4.2 without prerequisites: every course combination occurs —
+/// an alias of [`subset_family`] with the `Takes` relation name.
+pub fn free_enrollment_family(n: usize) -> Generated {
+    assert!(n <= 20);
+    let (universe, order) = fresh_universe(n);
+    let schema =
+        Schema::from_relations([RelationSchema::new("Takes", vec![Type::set(Type::Atom)])]);
+    let mut instance = Instance::empty(schema);
+    for v in DomainIter::new(&order, &Type::set(Type::Atom)).expect("under cap") {
+        instance.insert("Takes", vec![v]);
+    }
+    Generated {
+        universe,
+        order,
+        instance,
+    }
+}
+
+/// The flat graph schema `G[U, U]`.
+pub fn flat_graph_schema() -> Schema {
+    Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])])
+}
+
+/// A directed path `a0 → a1 → … → a(n−1)`.
+pub fn path_graph(n: usize) -> Generated {
+    let (universe, order) = fresh_universe(n);
+    let mut instance = Instance::empty(flat_graph_schema());
+    for w in order.as_slice().windows(2) {
+        instance.insert("G", vec![Value::Atom(w[0]), Value::Atom(w[1])]);
+    }
+    Generated {
+        universe,
+        order,
+        instance,
+    }
+}
+
+/// A directed cycle over `n` nodes.
+pub fn cycle_graph(n: usize) -> Generated {
+    let g = path_graph(n);
+    let mut instance = g.instance;
+    if n > 1 {
+        instance.insert(
+            "G",
+            vec![
+                Value::Atom(g.order.at(n - 1)),
+                Value::Atom(g.order.at(0)),
+            ],
+        );
+    }
+    Generated {
+        universe: g.universe,
+        order: g.order,
+        instance,
+    }
+}
+
+/// A random directed graph with the given edge probability.
+pub fn random_graph(n: usize, p: f64, seed: u64) -> Generated {
+    let (universe, order) = fresh_universe(n);
+    let mut instance = Instance::empty(flat_graph_schema());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for a in order.iter() {
+        for b in order.iter() {
+            if a != b && rng.random_bool(p) {
+                instance.insert("G", vec![Value::Atom(a), Value::Atom(b)]);
+            }
+        }
+    }
+    Generated {
+        universe,
+        order,
+        instance,
+    }
+}
+
+/// The nested graph schema `G[{U}, {U}]` of Example 3.1.
+pub fn nested_graph_schema() -> Schema {
+    let su = Type::set(Type::Atom);
+    Schema::from_relations([RelationSchema::new("G", vec![su.clone(), su])])
+}
+
+/// A path graph whose nodes are the singleton sets `{a0} → {a1} → …` —
+/// the input type of Example 3.1.
+pub fn nested_path_graph(n: usize) -> Generated {
+    let (universe, order) = fresh_universe(n);
+    let mut instance = Instance::empty(nested_graph_schema());
+    let node = |a| Value::set([Value::Atom(a)]);
+    for w in order.as_slice().windows(2) {
+        instance.insert("G", vec![node(w[0]), node(w[1])]);
+    }
+    Generated {
+        universe,
+        order,
+        instance,
+    }
+}
+
+/// A random graph over *all* subset nodes: edges between random subsets of
+/// the constants. With enough edges this is dense w.r.t. `{U}` while
+/// staying generable (`2ⁿ` possible nodes, `edges` random pairs).
+pub fn random_nested_graph(n: usize, edges: usize, seed: u64) -> Generated {
+    assert!(n <= 20);
+    let (universe, order) = fresh_universe(n);
+    let mut instance = Instance::empty(nested_graph_schema());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let random_subset = |rng: &mut StdRng| {
+        let members: Vec<Value> = order
+            .iter()
+            .filter(|_| rng.random_bool(0.5))
+            .map(Value::Atom)
+            .collect();
+        Value::set(members)
+    };
+    for _ in 0..edges {
+        let a = random_subset(&mut rng);
+        let b = random_subset(&mut rng);
+        instance.insert("G", vec![a, b]);
+    }
+    Generated {
+        universe,
+        order,
+        instance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_family_is_full_powerset() {
+        let g = subset_family(4);
+        assert_eq!(g.instance.cardinality(), 16);
+        assert_eq!(g.instance.atoms().len(), 3 + 1); // {} row has no atoms; others cover all 4... atoms() unions rows
+    }
+
+    #[test]
+    fn pair_subset_family_counts() {
+        let g = pair_subset_family(2, 1);
+        assert_eq!(g.instance.cardinality(), 16); // 2^(2^2)
+        let h = pair_subset_family(2, 4);
+        assert_eq!(h.instance.cardinality(), 4);
+    }
+
+    #[test]
+    fn verso_family_key_discipline() {
+        let g = verso_family(8, 7);
+        assert_eq!(g.instance.cardinality(), 8);
+        // keys are distinct by construction
+        let keys: std::collections::BTreeSet<&Value> = g
+            .instance
+            .relation("R")
+            .iter()
+            .map(|row| &row[0])
+            .collect();
+        assert_eq!(keys.len(), 8);
+    }
+
+    #[test]
+    fn bounded_enrollment_polynomial_size() {
+        let g = bounded_enrollment_family(6, 2);
+        // 1 + 6 + 15 = 22 course sets of size ≤ 2
+        assert_eq!(g.instance.cardinality(), 22);
+        let g3 = bounded_enrollment_family(6, 3);
+        assert_eq!(g3.instance.cardinality(), 22 + 20);
+    }
+
+    #[test]
+    fn free_enrollment_exponential_size() {
+        let g = free_enrollment_family(5);
+        assert_eq!(g.instance.cardinality(), 32);
+    }
+
+    #[test]
+    fn graph_shapes() {
+        assert_eq!(path_graph(5).instance.cardinality(), 4);
+        assert_eq!(cycle_graph(5).instance.cardinality(), 5);
+        assert_eq!(cycle_graph(1).instance.cardinality(), 0);
+        let r = random_graph(6, 0.5, 42);
+        assert!(r.instance.cardinality() <= 30);
+        // determinism
+        let r2 = random_graph(6, 0.5, 42);
+        assert_eq!(r.instance, r2.instance);
+    }
+
+    #[test]
+    fn nested_graphs_have_set_nodes() {
+        let g = nested_path_graph(4);
+        assert_eq!(g.instance.cardinality(), 3);
+        for row in g.instance.relation("G").iter() {
+            assert!(matches!(row[0], Value::Set(_)));
+        }
+        let rg = random_nested_graph(6, 40, 1);
+        assert!(rg.instance.cardinality() <= 40);
+        assert_eq!(
+            rg.instance,
+            random_nested_graph(6, 40, 1).instance,
+            "seeded determinism"
+        );
+    }
+}

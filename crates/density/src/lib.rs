@@ -1,0 +1,16 @@
+//! # `no-density` — instance families and density/sparsity analysis
+//!
+//! The empirical side of Section 4: generators for families that are
+//! dense or sparse w.r.t. `⟨i,k⟩`-types by construction ([`families`]),
+//! and measurement/classification of the Definition 4.1 inequalities on
+//! real instances ([`analysis`]), including the Lemma 4.1 equivalence of
+//! the cardinality- and size-based notions.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod families;
+
+pub use analysis::{classify, classify_both, classify_type, measure, measure_type, DensityClass, DensityReport, Measurement, MeasureKind, TypeMeasurement};
+pub use families::Generated;

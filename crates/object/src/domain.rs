@@ -1,0 +1,464 @@
+//! Ranked, ordered type domains `dom(T, D)`.
+//!
+//! For a finite set `D` of atomic constants with enumeration `<_U`, every
+//! type `T` has a finite domain `dom(T, D)` totally ordered by the induced
+//! order `<_T` of Definition 4.2. This module equips each domain with
+//! *ranking arithmetic*: a bijection between `dom(T, D)` and
+//! `{0, …, |dom(T,D)|−1}` that is monotone w.r.t. `<_T`.
+//!
+//! * atoms rank by their position in the enumeration;
+//! * tuples rank in a mixed-radix system, first component most significant
+//!   (lexicographic order);
+//! * a set ranks as the binary number `Σ_{e ∈ o} 2^rank(e)` — this is
+//!   exactly the paper's "maximal symmetric-difference element" order.
+//!
+//! Ranks are [`Nat`]s because domain cardinalities are hyperexponential.
+//! All cardinality computations are *capped*: beyond [`MAX_CARD_BITS`] bits
+//! the functions report [`DomainError::TooLarge`] instead of attempting to
+//! materialise astronomically large numbers. Callers (the evaluator, the TM
+//! simulation) treat that as a first-class budget error.
+
+use crate::atom::AtomOrder;
+use crate::nat::Nat;
+use crate::types::{all_ik_types, Type};
+use crate::value::{SetValue, Value};
+use std::fmt;
+
+/// Cap, in bits, on any domain cardinality the engine will represent
+/// exactly. `2^20` bits ≈ a 315,000-digit number; anything larger is
+/// treated as "too large to enumerate" rather than computed.
+pub const MAX_CARD_BITS: usize = 1 << 20;
+
+/// Errors from domain arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    /// A cardinality exceeded [`MAX_CARD_BITS`] bits.
+    TooLarge {
+        /// The type whose domain blew the cap.
+        ty: Type,
+    },
+    /// A rank was out of range for the domain.
+    RankOutOfRange {
+        /// The domain's type.
+        ty: Type,
+        /// The offending rank.
+        rank: Nat,
+    },
+    /// A value does not inhabit the expected type.
+    IllTyped {
+        /// The expected type.
+        ty: Type,
+        /// The ill-typed value.
+        value: Value,
+    },
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::TooLarge { ty } => {
+                write!(f, "domain of type {ty} exceeds {MAX_CARD_BITS} bits of cardinality")
+            }
+            DomainError::RankOutOfRange { ty, rank } => {
+                write!(f, "rank {rank} out of range for domain of type {ty}")
+            }
+            DomainError::IllTyped { ty, value } => {
+                write!(f, "value {value} does not inhabit type {ty}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+/// `|dom(T, D)|` for `|D| = n`, exactly, or `TooLarge` past the cap.
+pub fn card(ty: &Type, n: usize) -> Result<Nat, DomainError> {
+    match ty {
+        Type::Atom => Ok(Nat::from(n)),
+        Type::Tuple(ts) => {
+            let mut acc = Nat::one();
+            for t in ts.iter() {
+                acc = &acc * &card(t, n)?;
+                if acc.bit_len() > MAX_CARD_BITS {
+                    return Err(DomainError::TooLarge { ty: ty.clone() });
+                }
+            }
+            Ok(acc)
+        }
+        Type::Set(t) => {
+            let inner = card(t, n)?;
+            let bits = inner
+                .to_usize()
+                .filter(|&b| b <= MAX_CARD_BITS)
+                .ok_or_else(|| DomainError::TooLarge { ty: ty.clone() })?;
+            Ok(Nat::pow2(bits))
+        }
+    }
+}
+
+/// `log2 |dom(T, D)|` as `f64`; `f64::INFINITY` when the tower leaves the
+/// representable range. Used for reporting hyperexponential magnitudes
+/// without materialising them.
+pub fn card_log2(ty: &Type, n: usize) -> f64 {
+    match ty {
+        Type::Atom => (n as f64).log2(),
+        Type::Tuple(ts) => ts.iter().map(|t| card_log2(t, n)).sum(),
+        Type::Set(t) => {
+            // log2(2^|dom(t)|) = |dom(t)| = 2^(log2|dom(t)|)
+            let inner_log = card_log2(t, n);
+            if inner_log > 1023.0 {
+                f64::INFINITY
+            } else {
+                inner_log.exp2()
+            }
+        }
+    }
+}
+
+/// The rank of `value` in the induced order on `dom(ty, D)`.
+pub fn rank(order: &AtomOrder, ty: &Type, value: &Value) -> Result<Nat, DomainError> {
+    let n = order.len();
+    match (ty, value) {
+        (Type::Atom, Value::Atom(a)) => Ok(Nat::from(order.rank(*a))),
+        (Type::Tuple(ts), Value::Tuple(vs)) if ts.len() == vs.len() => {
+            // mixed radix, first component most significant
+            let mut acc = Nat::zero();
+            for (t, v) in ts.iter().zip(vs.iter()) {
+                let c = card(t, n)?;
+                acc = &(&acc * &c) + &rank(order, t, v)?;
+            }
+            Ok(acc)
+        }
+        (Type::Set(t), Value::Set(s)) => {
+            let mut acc = Nat::zero();
+            for e in s.iter() {
+                let r = rank(order, t, e)?;
+                let bit = r.to_usize().ok_or_else(|| DomainError::TooLarge { ty: ty.clone() })?;
+                if bit > MAX_CARD_BITS {
+                    return Err(DomainError::TooLarge { ty: ty.clone() });
+                }
+                acc.set_bit(bit);
+            }
+            Ok(acc)
+        }
+        _ => Err(DomainError::IllTyped {
+            ty: ty.clone(),
+            value: value.clone(),
+        }),
+    }
+}
+
+/// The value of the given rank in `dom(ty, D)` (inverse of [`rank`]).
+pub fn unrank(order: &AtomOrder, ty: &Type, r: &Nat) -> Result<Value, DomainError> {
+    let n = order.len();
+    let c = card(ty, n)?;
+    if *r >= c {
+        return Err(DomainError::RankOutOfRange {
+            ty: ty.clone(),
+            rank: r.clone(),
+        });
+    }
+    unrank_unchecked(order, ty, r)
+}
+
+fn unrank_unchecked(order: &AtomOrder, ty: &Type, r: &Nat) -> Result<Value, DomainError> {
+    let n = order.len();
+    match ty {
+        Type::Atom => {
+            let i = r.to_usize().expect("atom rank fits usize");
+            Ok(Value::Atom(order.at(i)))
+        }
+        Type::Tuple(ts) => {
+            let mut rem = r.clone();
+            let mut out: Vec<Value> = Vec::with_capacity(ts.len());
+            for t in ts.iter().rev() {
+                let c = card(t, n)?;
+                let (q, comp_rank) = rem.div_rem(&c);
+                out.push(unrank_unchecked(order, t, &comp_rank)?);
+                rem = q;
+            }
+            out.reverse();
+            Ok(Value::Tuple(out))
+        }
+        Type::Set(t) => {
+            let mut elems = Vec::new();
+            for (i, bit) in r.bits().enumerate() {
+                if bit {
+                    elems.push(unrank_unchecked(order, t, &Nat::from(i))?);
+                }
+            }
+            Ok(Value::Set(SetValue::from_values(elems)))
+        }
+    }
+}
+
+/// The `<_T`-least value of `dom(ty, D)` (rank 0). Errors only if the atom
+/// enumeration is empty and the type needs an atom.
+pub fn min_value(order: &AtomOrder, ty: &Type) -> Result<Value, DomainError> {
+    match ty {
+        Type::Atom => {
+            if order.is_empty() {
+                Err(DomainError::RankOutOfRange {
+                    ty: ty.clone(),
+                    rank: Nat::zero(),
+                })
+            } else {
+                Ok(Value::Atom(order.at(0)))
+            }
+        }
+        Type::Tuple(ts) => Ok(Value::Tuple(
+            ts.iter()
+                .map(|t| min_value(order, t))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Type::Set(_) => Ok(Value::empty_set()),
+    }
+}
+
+/// The `<_T`-successor of `value` in its domain, or `None` at the maximum.
+pub fn successor(
+    order: &AtomOrder,
+    ty: &Type,
+    value: &Value,
+) -> Result<Option<Value>, DomainError> {
+    let r = rank(order, ty, value)?;
+    let next = &r + &Nat::one();
+    let c = card(ty, order.len())?;
+    if next >= c {
+        Ok(None)
+    } else {
+        Ok(Some(unrank_unchecked(order, ty, &next)?))
+    }
+}
+
+/// An iterator over `dom(ty, D)` in increasing induced order.
+///
+/// Construction fails if the cardinality exceeds the cap; iteration is then
+/// rank-counting plus unranking.
+pub struct DomainIter<'a> {
+    order: &'a AtomOrder,
+    ty: &'a Type,
+    next: Nat,
+    card: Nat,
+}
+
+impl<'a> DomainIter<'a> {
+    /// Create an iterator over `dom(ty, D)` in induced order.
+    pub fn new(order: &'a AtomOrder, ty: &'a Type) -> Result<Self, DomainError> {
+        let card = card(ty, order.len())?;
+        Ok(DomainIter {
+            order,
+            ty,
+            next: Nat::zero(),
+            card,
+        })
+    }
+
+    /// The total number of values this iterator will yield.
+    pub fn domain_card(&self) -> &Nat {
+        &self.card
+    }
+}
+
+impl Iterator for DomainIter<'_> {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        if self.next >= self.card {
+            return None;
+        }
+        let v = unrank_unchecked(self.order, self.ty, &self.next)
+            .expect("rank below cardinality always unranks");
+        self.next = &self.next + &Nat::one();
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.card.checked_sub(&self.next).and_then(|n| n.to_usize()) {
+            Some(n) => (n, Some(n)),
+            None => (usize::MAX, None),
+        }
+    }
+}
+
+/// `|dom(i, k, D)|` — the cardinality of the union of the domains of all
+/// `⟨i,k⟩`-types, computed as the sum of per-type cardinalities.
+///
+/// Domains of distinct types are disjoint except for nested empty sets
+/// (e.g. `{}` inhabits every set type), so the sum over-counts by at most
+/// the number of `⟨i,k⟩`-set-types — negligible and irrelevant to the
+/// polynomial/polylog comparisons of Definition 4.1.
+pub fn ik_dom_card(i: usize, k: usize, n: usize) -> Result<Nat, DomainError> {
+    let mut acc = Nat::zero();
+    for ty in all_ik_types(i, k) {
+        acc = &acc + &card(&ty, n)?;
+        if acc.bit_len() > MAX_CARD_BITS {
+            return Err(DomainError::TooLarge { ty });
+        }
+    }
+    Ok(acc)
+}
+
+/// `log2 |dom(i, k, D)|`, tolerant of hyperexponential blowup (sums in
+/// log-space using the max-plus approximation: the largest type dominates).
+pub fn ik_dom_card_log2(i: usize, k: usize, n: usize) -> f64 {
+    all_ik_types(i, k)
+        .iter()
+        .map(|t| card_log2(t, n))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Universe};
+    use crate::order::induced_cmp;
+    use std::cmp::Ordering;
+
+    fn order3() -> AtomOrder {
+        let u = Universe::with_names(["a", "b", "c"]);
+        AtomOrder::identity(&u)
+    }
+
+    fn a(i: u32) -> Value {
+        Value::Atom(Atom(i))
+    }
+
+    #[test]
+    fn atom_domain_card_and_unrank() {
+        let ord = order3();
+        assert_eq!(card(&Type::Atom, 3).unwrap(), Nat::from(3u64));
+        assert_eq!(unrank(&ord, &Type::Atom, &Nat::from(0u64)).unwrap(), a(0));
+        assert_eq!(unrank(&ord, &Type::Atom, &Nat::from(2u64)).unwrap(), a(2));
+        assert!(unrank(&ord, &Type::Atom, &Nat::from(3u64)).is_err());
+    }
+
+    #[test]
+    fn tuple_card_is_product() {
+        let ty = Type::tuple(vec![Type::Atom, Type::Atom, Type::Atom]);
+        assert_eq!(card(&ty, 3).unwrap(), Nat::from(27u64));
+        let ty2 = Type::tuple(vec![Type::set(Type::Atom), Type::Atom]);
+        assert_eq!(card(&ty2, 3).unwrap(), Nat::from(24u64)); // 2^3 * 3
+    }
+
+    #[test]
+    fn set_card_is_power() {
+        assert_eq!(card(&Type::set(Type::Atom), 3).unwrap(), Nat::from(8u64));
+        let ss = Type::set(Type::set(Type::Atom));
+        assert_eq!(card(&ss, 3).unwrap(), Nat::pow2(8));
+    }
+
+    #[test]
+    fn card_cap_reports_too_large() {
+        // {{{U}}} with n = 30: 2^(2^30) — beyond the cap
+        let ty = Type::set(Type::set(Type::set(Type::Atom)));
+        match card(&ty, 30) {
+            Err(DomainError::TooLarge { .. }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn card_log2_matches_exact_for_small() {
+        for ty in [
+            Type::Atom,
+            Type::set(Type::Atom),
+            Type::tuple(vec![Type::Atom, Type::set(Type::Atom)]),
+        ] {
+            let exact = card(&ty, 4).unwrap();
+            assert!((card_log2(&ty, 4) - exact.log2()).abs() < 1e-9, "{ty}");
+        }
+    }
+
+    #[test]
+    fn card_log2_survives_blowup() {
+        let ty = Type::set(Type::set(Type::set(Type::Atom)));
+        assert!(card_log2(&ty, 30).is_infinite());
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip_exhaustive() {
+        let ord = order3();
+        for ty in [
+            Type::Atom,
+            Type::set(Type::Atom),
+            Type::tuple(vec![Type::Atom, Type::Atom]),
+            Type::tuple(vec![Type::Atom, Type::set(Type::Atom)]),
+            Type::set(Type::tuple(vec![Type::Atom, Type::Atom])),
+        ] {
+            let c = card(&ty, 3).unwrap().to_usize().unwrap();
+            for i in 0..c {
+                let v = unrank(&ord, &ty, &Nat::from(i)).unwrap();
+                assert!(v.has_type(&ty), "{v} : {ty}");
+                assert_eq!(rank(&ord, &ty, &v).unwrap(), Nat::from(i), "{ty} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_is_monotone_in_induced_order() {
+        let ord = order3();
+        let ty = Type::set(Type::tuple(vec![Type::Atom, Type::Atom]));
+        let values: Vec<Value> = DomainIter::new(&ord, &ty).unwrap().take(64).collect();
+        for w in values.windows(2) {
+            assert_eq!(induced_cmp(&ord, &w[0], &w[1]), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn iterator_yields_whole_domain() {
+        let ord = order3();
+        let ty = Type::set(Type::Atom);
+        let values: Vec<Value> = DomainIter::new(&ord, &ty).unwrap().collect();
+        assert_eq!(values.len(), 8);
+        assert_eq!(values[0], Value::empty_set());
+        assert_eq!(values[7], Value::set([a(0), a(1), a(2)]));
+        // all distinct
+        let mut sorted = values.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn min_and_successor() {
+        let ord = order3();
+        let ty = Type::tuple(vec![Type::Atom, Type::set(Type::Atom)]);
+        let min = min_value(&ord, &ty).unwrap();
+        assert_eq!(min, Value::tuple([a(0), Value::empty_set()]));
+        let mut cur = min;
+        let mut count = 1;
+        while let Some(next) = successor(&ord, &ty, &cur).unwrap() {
+            assert_eq!(induced_cmp(&ord, &cur, &next), Ordering::Less);
+            cur = next;
+            count += 1;
+        }
+        assert_eq!(count, 24);
+    }
+
+    #[test]
+    fn ill_typed_value_rejected() {
+        let ord = order3();
+        assert!(matches!(
+            rank(&ord, &Type::set(Type::Atom), &a(0)),
+            Err(DomainError::IllTyped { .. })
+        ));
+    }
+
+    #[test]
+    fn ik_dom_card_small() {
+        // <0,1>-types: U and [U]; n=3 → 3 + 3 = 6
+        assert_eq!(ik_dom_card(0, 1, 3).unwrap(), Nat::from(6u64));
+        let c12 = ik_dom_card(1, 2, 3).unwrap();
+        // must at least count dom({[U,U]},3) = 2^9 = 512
+        assert!(c12 > Nat::from(512u64));
+    }
+
+    #[test]
+    fn ik_dom_card_log2_reasonable() {
+        let exact = ik_dom_card(1, 2, 3).unwrap().log2();
+        let approx = ik_dom_card_log2(1, 2, 3);
+        // log-space sum is a max-approximation: within 2 bits here
+        assert!((exact - approx).abs() < 2.0, "{exact} vs {approx}");
+    }
+}

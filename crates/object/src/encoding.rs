@@ -1,0 +1,429 @@
+//! The standard Turing-machine tape encoding of instances (Section 2,
+//! Example 2.1, Figure 2).
+//!
+//! Given an enumeration `<_U` of the atomic constants of an instance, the
+//! standard encoding writes
+//!
+//! * each atom as its enumeration index in binary, fixed width
+//!   `⌈log2 n⌉` bits (`a→00, b→01, c→10` for `abc`);
+//! * each tuple as `[e1#e2#…#ek]`;
+//! * each set as `{e1#e2#…}` with elements in increasing induced order;
+//! * each relation as its name followed by its row-tuples in increasing
+//!   induced order.
+//!
+//! The encoding of Example 2.1's instance is reproduced byte-for-byte
+//! (see the `figure2` test). The *size* `‖·‖` of objects, relations and
+//! instances is the length of this encoding.
+
+use crate::atom::AtomOrder;
+use crate::instance::Instance;
+use crate::order::induced_cmp;
+use crate::types::Type;
+use crate::value::{SetValue, Value};
+use std::fmt;
+
+/// Errors from decoding a standard encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset where decoding failed.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Number of bits used to encode one atom among `n` constants: `⌈log2 n⌉`,
+/// at least 1.
+pub fn atom_width(n: usize) -> usize {
+    // ⌈log2 n⌉ with a minimum of 1 bit (n = 0 or 1 still takes one symbol).
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Encode one atom as fixed-width binary of its enumeration index.
+pub fn encode_atom(order: &AtomOrder, a: crate::atom::Atom, out: &mut String) {
+    let width = atom_width(order.len());
+    let idx = order.rank(a);
+    for bit in (0..width).rev() {
+        out.push(if (idx >> bit) & 1 == 1 { '1' } else { '0' });
+    }
+}
+
+/// Encode a value of the given type into `out`.
+pub fn encode_value(order: &AtomOrder, value: &Value, out: &mut String) {
+    match value {
+        Value::Atom(a) => encode_atom(order, *a, out),
+        Value::Tuple(vs) => {
+            out.push('[');
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push('#');
+                }
+                encode_value(order, v, out);
+            }
+            out.push(']');
+        }
+        Value::Set(s) => {
+            out.push('{');
+            let mut elems: Vec<&Value> = s.iter().collect();
+            elems.sort_by(|a, b| induced_cmp(order, a, b));
+            for (i, v) in elems.into_iter().enumerate() {
+                if i > 0 {
+                    out.push('#');
+                }
+                encode_value(order, v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// The standard encoding of a value as a `String`.
+pub fn value_to_string(order: &AtomOrder, value: &Value) -> String {
+    let mut s = String::new();
+    encode_value(order, value, &mut s);
+    s
+}
+
+/// `‖o‖`: the size of a value — the length of its standard encoding.
+pub fn value_size(order: &AtomOrder, value: &Value) -> usize {
+    // Computed without building the string.
+    fn go(width: usize, v: &Value) -> usize {
+        match v {
+            Value::Atom(_) => width,
+            Value::Tuple(vs) => 2 + vs.len().saturating_sub(1) + vs.iter().map(|v| go(width, v)).sum::<usize>(),
+            Value::Set(s) => 2 + s.len().saturating_sub(1) + s.iter().map(|v| go(width, v)).sum::<usize>(),
+        }
+    }
+    go(atom_width(order.len()), value)
+}
+
+/// Encode a whole instance: relations in schema order, each as its name
+/// followed by its row-tuples (encoded as tuple values) in increasing
+/// induced order.
+pub fn encode_instance(order: &AtomOrder, instance: &Instance) -> String {
+    let mut out = String::new();
+    for rel_schema in instance.schema().relations() {
+        out.push_str(&rel_schema.name);
+        let rel = instance.relation(&rel_schema.name);
+        let mut rows: Vec<Value> = rel.iter().map(|r| Value::Tuple(r.clone())).collect();
+        rows.sort_by(|a, b| induced_cmp(order, a, b));
+        for row in &rows {
+            encode_value(order, row, &mut out);
+        }
+    }
+    out
+}
+
+/// `‖I‖`: the size of an instance — the length of its standard encoding.
+pub fn instance_size(order: &AtomOrder, instance: &Instance) -> usize {
+    let width = atom_width(order.len());
+    let mut total = 0usize;
+    for rel_schema in instance.schema().relations() {
+        total += rel_schema.name.len();
+        let rel = instance.relation(&rel_schema.name);
+        for row in rel.iter() {
+            // a row prints as a tuple value
+            total += 2 + row.len().saturating_sub(1);
+            for v in row {
+                total += value_size_width(width, v);
+            }
+        }
+    }
+    total
+}
+
+fn value_size_width(width: usize, v: &Value) -> usize {
+    match v {
+        Value::Atom(_) => width,
+        Value::Tuple(vs) => {
+            2 + vs.len().saturating_sub(1) + vs.iter().map(|v| value_size_width(width, v)).sum::<usize>()
+        }
+        Value::Set(s) => {
+            2 + s.len().saturating_sub(1) + s.iter().map(|v| value_size_width(width, v)).sum::<usize>()
+        }
+    }
+}
+
+/// `‖dom(T, D)‖`: the size of the concatenated encodings of the whole
+/// domain — the quantity bounded by Proposition 2.1. Computed by domain
+/// iteration, so only valid for domains under the enumeration cap.
+pub fn domain_size(order: &AtomOrder, ty: &Type) -> Result<usize, crate::domain::DomainError> {
+    let width = atom_width(order.len());
+    let iter = crate::domain::DomainIter::new(order, ty)?;
+    Ok(iter.map(|v| value_size_width(width, &v)).sum())
+}
+
+/// Decode one value of type `ty` from the standard encoding.
+pub fn decode_value(order: &AtomOrder, ty: &Type, s: &str) -> Result<Value, DecodeError> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(order, ty, bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(DecodeError {
+            at: pos,
+            message: format!("trailing input after value of type {ty}"),
+        });
+    }
+    Ok(v)
+}
+
+fn parse_value(
+    order: &AtomOrder,
+    ty: &Type,
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<Value, DecodeError> {
+    match ty {
+        Type::Atom => {
+            let width = atom_width(order.len());
+            let mut idx = 0usize;
+            for _ in 0..width {
+                match bytes.get(*pos) {
+                    Some(b'0') => idx <<= 1,
+                    Some(b'1') => idx = (idx << 1) | 1,
+                    other => {
+                        return Err(DecodeError {
+                            at: *pos,
+                            message: format!("expected bit, found {other:?}"),
+                        })
+                    }
+                }
+                *pos += 1;
+            }
+            if idx >= order.len() {
+                return Err(DecodeError {
+                    at: *pos,
+                    message: format!("atom index {idx} out of range"),
+                });
+            }
+            Ok(Value::Atom(order.at(idx)))
+        }
+        Type::Tuple(ts) => {
+            expect(bytes, pos, b'[')?;
+            let mut out = Vec::with_capacity(ts.len());
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    expect(bytes, pos, b'#')?;
+                }
+                out.push(parse_value(order, t, bytes, pos)?);
+            }
+            expect(bytes, pos, b']')?;
+            Ok(Value::Tuple(out))
+        }
+        Type::Set(t) => {
+            expect(bytes, pos, b'{')?;
+            let mut elems = Vec::new();
+            if bytes.get(*pos) != Some(&b'}') {
+                loop {
+                    elems.push(parse_value(order, t, bytes, pos)?);
+                    if bytes.get(*pos) == Some(&b'#') {
+                        *pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            expect(bytes, pos, b'}')?;
+            Ok(Value::Set(SetValue::from_values(elems)))
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), DecodeError> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(DecodeError {
+            at: *pos,
+            message: format!(
+                "expected {:?}, found {:?}",
+                b as char,
+                bytes.get(*pos).map(|&c| c as char)
+            ),
+        })
+    }
+}
+
+/// Decode a full instance encoding produced by [`encode_instance`], given
+/// the schema and atom enumeration.
+pub fn decode_instance(
+    order: &AtomOrder,
+    schema: &crate::instance::Schema,
+    s: &str,
+) -> Result<Instance, DecodeError> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let mut instance = Instance::empty(schema.clone());
+    for rel_schema in schema.relations() {
+        let name = rel_schema.name.as_bytes();
+        if bytes.len() < pos + name.len() || &bytes[pos..pos + name.len()] != name {
+            return Err(DecodeError {
+                at: pos,
+                message: format!("expected relation name {:?}", rel_schema.name),
+            });
+        }
+        pos += name.len();
+        let row_type = rel_schema.row_type();
+        while bytes.get(pos) == Some(&b'[') {
+            let v = parse_value(order, &row_type, bytes, &mut pos)?;
+            let Value::Tuple(row) = v else { unreachable!("row type is a tuple") };
+            instance.insert(&rel_schema.name, row);
+        }
+    }
+    if pos != bytes.len() {
+        return Err(DecodeError {
+            at: pos,
+            message: "trailing input after instance".to_string(),
+        });
+    }
+    Ok(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Universe;
+    use crate::instance::{RelationSchema, Schema};
+
+    /// The instance of Figure 1 and its schema from Example 2.1:
+    /// P : [U, {U}, [U, {U}]] over D = {a, b, c}.
+    fn figure1() -> (Universe, AtomOrder, Instance) {
+        let mut u = Universe::new();
+        let a = Value::Atom(u.intern("a"));
+        let b = Value::Atom(u.intern("b"));
+        let c = Value::Atom(u.intern("c"));
+        let schema = Schema::from_relations([RelationSchema::new(
+            "P",
+            vec![
+                Type::Atom,
+                Type::set(Type::Atom),
+                Type::tuple(vec![Type::Atom, Type::set(Type::Atom)]),
+            ],
+        )]);
+        let mut i = Instance::empty(schema);
+        // Decoded from Figure 2: (b, {a,b}, [c,{a,c}]) and (c, {c}, [a,{b,c}])
+        i.insert(
+            "P",
+            vec![
+                b.clone(),
+                Value::set([a.clone(), b.clone()]),
+                Value::tuple([c.clone(), Value::set([a.clone(), c.clone()])]),
+            ],
+        );
+        i.insert(
+            "P",
+            vec![
+                c.clone(),
+                Value::set([c.clone()]),
+                Value::tuple([a.clone(), Value::set([b, c])]),
+            ],
+        );
+        let order = AtomOrder::identity(&u);
+        (u, order, i)
+    }
+
+    #[test]
+    fn figure2_encoding_is_exact() {
+        let (_u, order, i) = figure1();
+        let enc = encode_instance(&order, &i);
+        assert_eq!(enc, "P[01#{00#01}#[10#{00#10}]][10#{10}#[00#{01#10}]]");
+    }
+
+    #[test]
+    fn atom_width_values() {
+        assert_eq!(atom_width(1), 1);
+        assert_eq!(atom_width(2), 1);
+        assert_eq!(atom_width(3), 2);
+        assert_eq!(atom_width(4), 2);
+        assert_eq!(atom_width(5), 3);
+        assert_eq!(atom_width(8), 3);
+        assert_eq!(atom_width(9), 4);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let (_u, order, _) = figure1();
+        let ty = Type::tuple(vec![Type::set(Type::Atom), Type::Atom]);
+        let v = Value::tuple([
+            Value::set([Value::Atom(crate::atom::Atom(0)), Value::Atom(crate::atom::Atom(2))]),
+            Value::Atom(crate::atom::Atom(1)),
+        ]);
+        let s = value_to_string(&order, &v);
+        assert_eq!(s, "[{00#10}#01]");
+        let back = decode_value(&order, &ty, &s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn empty_set_roundtrip() {
+        let (_u, order, _) = figure1();
+        let ty = Type::set(Type::set(Type::Atom));
+        let v = Value::set([Value::empty_set(), Value::set([Value::Atom(crate::atom::Atom(0))])]);
+        let s = value_to_string(&order, &v);
+        assert_eq!(s, "{{}#{00}}");
+        assert_eq!(decode_value(&order, &ty, &s).unwrap(), v);
+    }
+
+    #[test]
+    fn instance_roundtrip() {
+        let (_u, order, i) = figure1();
+        let enc = encode_instance(&order, &i);
+        let back = decode_instance(&order, i.schema(), &enc).unwrap();
+        assert_eq!(back, i);
+    }
+
+    #[test]
+    fn sizes_match_encoding_lengths() {
+        let (_u, order, i) = figure1();
+        let enc = encode_instance(&order, &i);
+        assert_eq!(instance_size(&order, &i), enc.len());
+        for row in i.relation("P").iter() {
+            let v = Value::Tuple(row.clone());
+            assert_eq!(value_size(&order, &v), value_to_string(&order, &v).len());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let (_u, order, i) = figure1();
+        assert!(decode_value(&order, &Type::Atom, "2").is_err());
+        assert!(decode_value(&order, &Type::Atom, "11").is_err()); // index 3 >= 3
+        assert!(decode_value(&order, &Type::set(Type::Atom), "{00").is_err());
+        assert!(decode_instance(&order, i.schema(), "Q[00#{}#[00#{}]]").is_err());
+        assert!(decode_value(&order, &Type::Atom, "00zz").is_err());
+    }
+
+    #[test]
+    fn set_elements_encode_in_induced_order() {
+        let (_u, order, _) = figure1();
+        let v = Value::set([
+            Value::Atom(crate::atom::Atom(2)),
+            Value::Atom(crate::atom::Atom(0)),
+        ]);
+        assert_eq!(value_to_string(&order, &v), "{00#10}");
+        // under a permuted order c < a, the encoding indices flip
+        let perm = AtomOrder::new(vec![crate::atom::Atom(2), crate::atom::Atom(0), crate::atom::Atom(1)]);
+        assert_eq!(value_to_string(&perm, &v), "{00#01}");
+    }
+
+    #[test]
+    fn domain_size_small_domains() {
+        let (_u, order, _) = figure1();
+        // dom({U}, 3): 8 subsets; sizes: {}=2, singletons=4 (3 of them),
+        // pairs=7? "{00#01}" len 7 (3 of them), full "{00#01#10}" len 10
+        let total = domain_size(&order, &Type::set(Type::Atom)).unwrap();
+        assert_eq!(total, 2 + 3 * 4 + 3 * 7 + 10);
+    }
+}

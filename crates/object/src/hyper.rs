@@ -1,0 +1,131 @@
+//! The hyperexponential bound `hyper(i,k)` of Section 2.
+//!
+//! For an `⟨i,k⟩`-type `T` and `|D| = n`, the paper bounds `|dom(T, D)|` by
+//! the tower
+//!
+//! ```text
+//! hyper(i,k)(n) = 2^(k·2^(…·2^(k·n^k)))      (i occurrences of 2)
+//! ```
+//!
+//! i.e. `hyper(0,k)(n) = n^k` and `hyper(j,k)(n) = 2^(k·hyper(j−1,k)(n))`.
+//! This module computes the tower exactly (capped), in log-space, and as a
+//! human-readable expression — used by experiment E4 and by the density
+//! analyzer's reporting.
+
+use crate::nat::Nat;
+
+/// Cap, in bits, for exact hyper computation (shared policy with
+/// [`crate::domain::MAX_CARD_BITS`]).
+pub const MAX_HYPER_BITS: usize = crate::domain::MAX_CARD_BITS;
+
+/// `hyper(i,k)(n)` exactly, or `None` once the tower exceeds the cap.
+pub fn hyper(i: usize, k: u32, n: usize) -> Option<Nat> {
+    let mut acc = Nat::from(n).pow(k);
+    for _ in 0..i {
+        let exp = acc
+            .to_usize()
+            .and_then(|e| e.checked_mul(k as usize))
+            .filter(|&e| e <= MAX_HYPER_BITS)?;
+        acc = Nat::pow2(exp);
+    }
+    Some(acc)
+}
+
+/// `log2(hyper(i,k)(n))` as `f64`, `INFINITY` past the `f64` range.
+pub fn hyper_log2(i: usize, k: u32, n: usize) -> f64 {
+    let mut log = k as f64 * (n as f64).log2(); // log2(n^k)
+    for _ in 0..i {
+        // value v = 2^(k·prev) so log2 v = k·prev = k·2^log
+        if log > 1023.0 {
+            return f64::INFINITY;
+        }
+        log = k as f64 * log.exp2();
+    }
+    log
+}
+
+/// A readable rendering of the tower, e.g. `hyper(2,2)(3) = "2^(2·2^(2·3^2))"`.
+pub fn hyper_expr(i: usize, k: u32, n: usize) -> String {
+    let mut s = format!("{n}^{k}");
+    for _ in 0..i {
+        s = format!("2^({k}*{s})");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_case_is_polynomial() {
+        assert_eq!(hyper(0, 2, 5), Some(Nat::from(25u64)));
+        assert_eq!(hyper(0, 3, 2), Some(Nat::from(8u64)));
+        assert_eq!(hyper(0, 1, 7), Some(Nat::from(7u64)));
+    }
+
+    #[test]
+    fn one_level_tower() {
+        // hyper(1,2)(2) = 2^(2·2^2)= 2^8 = 256
+        assert_eq!(hyper(1, 2, 2), Some(Nat::from(256u64)));
+        // hyper(1,1)(3) = 2^3 = 8
+        assert_eq!(hyper(1, 1, 3), Some(Nat::from(8u64)));
+    }
+
+    #[test]
+    fn two_level_tower() {
+        // hyper(2,1)(2) = 2^(2^2) = 16
+        assert_eq!(hyper(2, 1, 2), Some(Nat::from(16u64)));
+        // hyper(2,2)(2) = 2^(2·2^(2·4)) = 2^512
+        assert_eq!(hyper(2, 2, 2), Some(Nat::pow2(512)));
+    }
+
+    #[test]
+    fn cap_kicks_in() {
+        assert_eq!(hyper(3, 2, 3), None);
+        assert_eq!(hyper(2, 2, 8), None); // 2^(2·2^128)
+    }
+
+    #[test]
+    fn log2_matches_exact_when_representable() {
+        for (i, k, n) in [(0, 2, 5), (1, 2, 2), (2, 1, 2), (1, 2, 4)] {
+            let exact = hyper(i, k, n).unwrap();
+            let log = hyper_log2(i, k, n);
+            assert!(
+                (log - exact.log2()).abs() < 1e-6,
+                "hyper({i},{k})({n}): {log} vs {}",
+                exact.log2()
+            );
+        }
+    }
+
+    #[test]
+    fn log2_survives_blowup() {
+        assert!(hyper_log2(3, 2, 10).is_infinite());
+        // hyper(2,2)(8): log2 = 2·2^128 — infinite? 2^128 ≈ 3.4e38, finite f64
+        let l = hyper_log2(2, 2, 8);
+        assert!(l.is_finite() && l > 1e38);
+    }
+
+    #[test]
+    fn expression_rendering() {
+        assert_eq!(hyper_expr(0, 2, 3), "3^2");
+        assert_eq!(hyper_expr(2, 2, 3), "2^(2*2^(2*3^2))");
+    }
+
+    #[test]
+    fn hyper_dominates_type_domains() {
+        // |dom(T,D)| ≤ hyper(i,k)(n) for the paper's example type
+        use crate::domain::card;
+        use crate::types::Type;
+        let t = Type::set(Type::tuple(vec![
+            Type::Atom,
+            Type::set(Type::tuple(vec![Type::Atom, Type::Atom])),
+        ]));
+        for n in 1..4 {
+            let c = card(&t, n).unwrap();
+            let h = hyper(2, 2, n).unwrap();
+            assert!(c <= h, "n={n}: {c} > {h}");
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Arbitrary-precision natural numbers.
+//!
+//! Domain cardinalities in the complex-object model grow as the
+//! hyperexponential `hyper(i,k)(n)` (Section 2 of the paper), which overflows
+//! `u128` already for `i = 1` and modest `n`. Cardinality arithmetic —
+//! `|dom({T})| = 2^|dom(T)|`, `|dom([T1..Tm])| = Π |dom(Ti)|` — and the
+//! rank/unrank arithmetic on ordered domains therefore run on [`Nat`], an
+//! unsigned big integer stored as base-2^64 limbs, little-endian.
+//!
+//! Only the operations the engine needs are provided: comparison, addition,
+//! subtraction (saturating and checked), multiplication, division with
+//! remainder, shifts, bit access, powers of two, decimal conversion. The
+//! implementation favours clarity over asymptotics (schoolbook
+//! multiplication, long division): cardinality numbers in practice have at
+//! most a few thousand bits before evaluation budgets cut in.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter;
+use std::ops::{Add, AddAssign, Mul, Shl, Sub};
+
+/// An arbitrary-precision natural number (unsigned big integer).
+///
+/// Invariant: `limbs` has no trailing zero limb; zero is the empty vector.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Nat {
+    limbs: Vec<u64>,
+}
+
+impl Nat {
+    /// The number zero.
+    pub const fn zero() -> Self {
+        Nat { limbs: Vec::new() }
+    }
+
+    /// The number one.
+    pub fn one() -> Self {
+        Nat::from(1u64)
+    }
+
+    /// True iff this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff this is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    fn trim(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Nat { limbs }
+    }
+
+    /// Number of significant bits; 0 for zero.
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&hi) => 64 * (self.limbs.len() - 1) + (64 - hi.leading_zeros() as usize),
+        }
+    }
+
+    /// The value of bit `i` (little-endian bit numbering).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
+    }
+
+    /// Set bit `i` to one.
+    pub fn set_bit(&mut self, i: usize) {
+        let (limb, off) = (i / 64, i % 64);
+        if self.limbs.len() <= limb {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1u64 << off;
+    }
+
+    /// `2^e`.
+    pub fn pow2(e: usize) -> Self {
+        let mut n = Nat::zero();
+        n.set_bit(e);
+        n
+    }
+
+    /// `self^e` by binary exponentiation.
+    pub fn pow(&self, mut e: u32) -> Self {
+        let mut base = self.clone();
+        let mut acc = Nat::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Convert to `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Convert to `usize` if it fits.
+    pub fn to_usize(&self) -> Option<usize> {
+        self.to_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// Floor of the base-2 logarithm; `None` for zero.
+    pub fn log2_floor(&self) -> Option<usize> {
+        (!self.is_zero()).then(|| self.bit_len() - 1)
+    }
+
+    /// Approximate base-2 logarithm as `f64` (exact for small numbers).
+    pub fn log2(&self) -> f64 {
+        match self.limbs.len() {
+            0 => f64::NEG_INFINITY,
+            1 => (self.limbs[0] as f64).log2(),
+            n => {
+                // Use the top two limbs for the mantissa.
+                let hi = self.limbs[n - 1] as f64;
+                let lo = self.limbs[n - 2] as f64;
+                let mant = hi + lo / 2f64.powi(64);
+                mant.log2() + 64.0 * (n - 1) as f64
+            }
+        }
+    }
+
+    /// Checked subtraction: `None` if `other > self`.
+    pub fn checked_sub(&self, other: &Nat) -> Option<Nat> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, o1) = a.overflowing_sub(b);
+            let (d2, o2) = d1.overflowing_sub(borrow);
+            borrow = (o1 as u64) + (o2 as u64);
+            out.push(d2);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Nat::trim(out))
+    }
+
+    /// Division with remainder. Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Nat) -> (Nat, Nat) {
+        assert!(!divisor.is_zero(), "division by zero Nat");
+        if self < divisor {
+            return (Nat::zero(), self.clone());
+        }
+        if let Some(d) = divisor.to_u64() {
+            return self.div_rem_u64(d);
+        }
+        // Long division, one bit at a time. Slow but simple; divisors larger
+        // than u64 are rare in this codebase (set-domain ranks).
+        let mut quot = Nat::zero();
+        let mut rem = Nat::zero();
+        for i in (0..self.bit_len()).rev() {
+            rem = &rem << 1;
+            if self.bit(i) {
+                rem += Nat::one();
+            }
+            if rem >= *divisor {
+                rem = rem.checked_sub(divisor).expect("rem >= divisor");
+                quot.set_bit(i);
+            }
+        }
+        (quot, rem)
+    }
+
+    fn div_rem_u64(&self, d: u64) -> (Nat, Nat) {
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (Nat::trim(out), Nat::from(rem as u64))
+    }
+
+    /// Parse a decimal string.
+    pub fn from_decimal(s: &str) -> Option<Nat> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mut n = Nat::zero();
+        for b in s.bytes() {
+            n = &n * &Nat::from(10u64) + Nat::from((b - b'0') as u64);
+        }
+        Some(n)
+    }
+
+    /// Iterate over the bits from least significant to most significant.
+    pub fn bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.bit_len()).map(|i| self.bit(i))
+    }
+}
+
+impl From<u64> for Nat {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Nat::zero()
+        } else {
+            Nat { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<usize> for Nat {
+    fn from(v: usize) -> Self {
+        Nat::from(v as u64)
+    }
+}
+
+impl From<u32> for Nat {
+    fn from(v: u32) -> Self {
+        Nat::from(v as u64)
+    }
+}
+
+impl Ord for Nat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for Nat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<&Nat> for &Nat {
+    type Output = Nat;
+    fn add(self, rhs: &Nat) -> Nat {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (s1, o1) = a.overflowing_add(b);
+            let (s2, o2) = s1.overflowing_add(carry);
+            carry = (o1 as u64) + (o2 as u64);
+            out.push(s2);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        Nat::trim(out)
+    }
+}
+
+impl Add<Nat> for Nat {
+    type Output = Nat;
+    fn add(self, rhs: Nat) -> Nat {
+        &self + &rhs
+    }
+}
+
+impl Add<Nat> for &Nat {
+    type Output = Nat;
+    fn add(self, rhs: Nat) -> Nat {
+        self + &rhs
+    }
+}
+
+impl AddAssign<Nat> for Nat {
+    fn add_assign(&mut self, rhs: Nat) {
+        *self = &*self + &rhs;
+    }
+}
+
+impl Sub<&Nat> for &Nat {
+    type Output = Nat;
+    /// Panics on underflow; use [`Nat::checked_sub`] when the ordering is not
+    /// known statically.
+    fn sub(self, rhs: &Nat) -> Nat {
+        self.checked_sub(rhs).expect("Nat subtraction underflow")
+    }
+}
+
+impl Mul<&Nat> for &Nat {
+    type Output = Nat;
+    fn mul(self, rhs: &Nat) -> Nat {
+        if self.is_zero() || rhs.is_zero() {
+            return Nat::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u128 = 0;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        Nat::trim(out)
+    }
+}
+
+impl Mul<Nat> for Nat {
+    type Output = Nat;
+    fn mul(self, rhs: Nat) -> Nat {
+        &self * &rhs
+    }
+}
+
+impl Shl<usize> for &Nat {
+    type Output = Nat;
+    fn shl(self, rhs: usize) -> Nat {
+        if self.is_zero() {
+            return Nat::zero();
+        }
+        let (limb_shift, bit_shift) = (rhs / 64, rhs % 64);
+        let mut out: Vec<u64> = iter::repeat_n(0u64, limb_shift).collect();
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        Nat::trim(out)
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut digits = Vec::new();
+        let mut n = self.clone();
+        let billion = Nat::from(1_000_000_000u64);
+        while !n.is_zero() {
+            let (q, r) = n.div_rem(&billion);
+            digits.push(r.to_u64().expect("remainder fits u64"));
+            n = q;
+        }
+        let mut s = String::new();
+        for (i, d) in digits.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&d.to_string());
+            } else {
+                s.push_str(&format!("{d:09}"));
+            }
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nat({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> Nat {
+        Nat::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Nat::zero().is_zero());
+        assert!(Nat::one().is_one());
+        assert_eq!(Nat::from(0u64), Nat::zero());
+        assert_eq!(Nat::zero().bit_len(), 0);
+        assert_eq!(Nat::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn add_small() {
+        assert_eq!(&n(2) + &n(3), n(5));
+        assert_eq!(&n(0) + &n(7), n(7));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let big = n(u64::MAX);
+        let sum = &big + &n(1);
+        assert_eq!(sum, Nat::pow2(64));
+        assert_eq!(sum.bit_len(), 65);
+    }
+
+    #[test]
+    fn sub_basics() {
+        assert_eq!(&n(10) - &n(3), n(7));
+        assert_eq!(n(3).checked_sub(&n(10)), None);
+        assert_eq!(&Nat::pow2(64) - &n(1), n(u64::MAX));
+    }
+
+    #[test]
+    fn mul_small_and_large() {
+        assert_eq!(&n(6) * &n(7), n(42));
+        assert_eq!(&n(0) * &n(7), Nat::zero());
+        let p = &Nat::pow2(40) * &Nat::pow2(40);
+        assert_eq!(p, Nat::pow2(80));
+    }
+
+    #[test]
+    fn pow_and_pow2() {
+        assert_eq!(n(2).pow(10), n(1024));
+        assert_eq!(n(3).pow(0), n(1));
+        assert_eq!(n(10).pow(20), Nat::from_decimal("100000000000000000000").unwrap());
+        assert_eq!(Nat::pow2(3), n(8));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(n(3) < n(5));
+        assert!(Nat::pow2(64) > n(u64::MAX));
+        assert!(Nat::pow2(128) > Nat::pow2(127));
+        assert_eq!(n(5).cmp(&n(5)), Ordering::Equal);
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = n(17).div_rem(&n(5));
+        assert_eq!((q, r), (n(3), n(2)));
+        let (q, r) = n(4).div_rem(&n(9));
+        assert_eq!((q, r), (Nat::zero(), n(4)));
+    }
+
+    #[test]
+    fn div_rem_large_divisor() {
+        let a = Nat::pow2(130) + n(12345);
+        let d = Nat::pow2(65);
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(q, Nat::pow2(65));
+        assert_eq!(r, n(12345));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = n(1).div_rem(&Nat::zero());
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let v = n(0b1011_0101);
+        let bits: Vec<bool> = v.bits().collect();
+        assert_eq!(bits.len(), 8);
+        let mut back = Nat::zero();
+        for (i, b) in bits.iter().enumerate() {
+            if *b {
+                back.set_bit(i);
+            }
+        }
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(&n(1) << 70, Nat::pow2(70));
+        assert_eq!(&n(5) << 2, n(20));
+        assert_eq!(&Nat::zero() << 10, Nat::zero());
+    }
+
+    #[test]
+    fn decimal_display_roundtrip() {
+        for s in ["0", "1", "999999999", "1000000000", "18446744073709551616", "340282366920938463463374607431768211456"] {
+            let v = Nat::from_decimal(s).unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!(Nat::from_decimal(""), None);
+        assert_eq!(Nat::from_decimal("12a"), None);
+    }
+
+    #[test]
+    fn log2_values() {
+        assert_eq!(n(8).log2_floor(), Some(3));
+        assert_eq!(n(9).log2_floor(), Some(3));
+        assert_eq!(Nat::zero().log2_floor(), None);
+        assert!((n(1024).log2() - 10.0).abs() < 1e-9);
+        assert!((Nat::pow2(200).log2() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn to_u64_bounds() {
+        assert_eq!(n(42).to_u64(), Some(42));
+        assert_eq!(Nat::pow2(64).to_u64(), None);
+        assert_eq!(Nat::zero().to_u64(), Some(0));
+    }
+}

@@ -1,0 +1,189 @@
+//! The induced order `<_T` on type domains (Definition 4.2).
+//!
+//! Given a total order `<_U` on a finite set of atomic constants, the paper
+//! induces a total order on `dom(T, D)` for every type `T`:
+//!
+//! * tuples compare lexicographically, first component most significant;
+//! * sets compare by their maximal symmetric-difference element:
+//!   `o1 <_{{S}} o2` iff `max(o1 − o2) <_S max(o2 − o1)` (with the
+//!   convention that a missing maximum — an empty difference — is smallest).
+//!
+//! The set rule is exactly binary-number comparison when a set is read as a
+//! bit string indexed by `dom(S)` with the largest element as the most
+//! significant bit; this observation is what makes the rank/unrank
+//! arithmetic of [`crate::domain`] line up with `<_T`.
+
+use crate::atom::AtomOrder;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Compare two values of the same type under the order induced by `<_U`.
+///
+/// Both values must have the same type and only mention atoms in the
+/// enumeration; violating this is a caller bug (the function panics on
+/// foreign atoms and treats mismatched structures as unordered panics).
+pub fn induced_cmp(order: &AtomOrder, a: &Value, b: &Value) -> Ordering {
+    match (a, b) {
+        (Value::Atom(x), Value::Atom(y)) => order.rank(*x).cmp(&order.rank(*y)),
+        (Value::Tuple(xs), Value::Tuple(ys)) => {
+            debug_assert_eq!(xs.len(), ys.len(), "tuple width mismatch");
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                match induced_cmp(order, x, y) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                }
+            }
+            Ordering::Equal
+        }
+        (Value::Set(xs), Value::Set(ys)) => {
+            // max_{<_S}(x − y) vs max_{<_S}(y − x); empty difference loses.
+            let x_only = xs.difference(ys);
+            let y_only = ys.difference(xs);
+            let max_x = induced_max(order, x_only.iter());
+            let max_y = induced_max(order, y_only.iter());
+            match (max_x, max_y) {
+                (None, None) => Ordering::Equal,
+                (None, Some(_)) => Ordering::Less,
+                (Some(_), None) => Ordering::Greater,
+                (Some(mx), Some(my)) => induced_cmp(order, mx, my),
+            }
+        }
+        _ => panic!("induced_cmp on values of different shapes: {a} vs {b}"),
+    }
+}
+
+/// The `<_S`-maximum of an iterator of values, `None` when empty.
+pub fn induced_max<'a>(
+    order: &AtomOrder,
+    values: impl IntoIterator<Item = &'a Value>,
+) -> Option<&'a Value> {
+    values
+        .into_iter()
+        .max_by(|a, b| induced_cmp(order, a, b))
+}
+
+/// The `<_S`-minimum of an iterator of values, `None` when empty.
+pub fn induced_min<'a>(
+    order: &AtomOrder,
+    values: impl IntoIterator<Item = &'a Value>,
+) -> Option<&'a Value> {
+    values
+        .into_iter()
+        .min_by(|a, b| induced_cmp(order, a, b))
+}
+
+/// Sort a slice of values in increasing induced order.
+pub fn induced_sort(order: &AtomOrder, values: &mut [Value]) {
+    values.sort_by(|a, b| induced_cmp(order, a, b));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Universe};
+
+    fn setup() -> (Universe, AtomOrder) {
+        let u = Universe::with_names(["a", "b", "c"]);
+        let ord = AtomOrder::identity(&u);
+        (u, ord)
+    }
+
+    fn a(i: u32) -> Value {
+        Value::Atom(Atom(i))
+    }
+
+    #[test]
+    fn atom_order_follows_enumeration() {
+        let (_, ord) = setup();
+        assert_eq!(induced_cmp(&ord, &a(0), &a(1)), Ordering::Less);
+        assert_eq!(induced_cmp(&ord, &a(2), &a(1)), Ordering::Greater);
+        assert_eq!(induced_cmp(&ord, &a(1), &a(1)), Ordering::Equal);
+    }
+
+    #[test]
+    fn permuted_enumeration_flips_order() {
+        let (u, _) = setup();
+        // order c < a < b
+        let ord = AtomOrder::new(vec![Atom(2), Atom(0), Atom(1)]);
+        assert_eq!(induced_cmp(&ord, &a(2), &a(0)), Ordering::Less);
+        assert_eq!(induced_cmp(&ord, &a(1), &a(0)), Ordering::Greater);
+        drop(u);
+    }
+
+    #[test]
+    fn tuple_lexicographic_first_component_most_significant() {
+        let (_, ord) = setup();
+        let t1 = Value::tuple([a(0), a(2)]);
+        let t2 = Value::tuple([a(1), a(0)]);
+        assert_eq!(induced_cmp(&ord, &t1, &t2), Ordering::Less);
+        let t3 = Value::tuple([a(0), a(1)]);
+        assert_eq!(induced_cmp(&ord, &t3, &t1), Ordering::Less);
+        assert_eq!(induced_cmp(&ord, &t1, &t1), Ordering::Equal);
+    }
+
+    #[test]
+    fn set_order_is_binary_number_order() {
+        let (_, ord) = setup();
+        // subsets of {a,b,c} as bitmasks with c the most significant bit:
+        // {} = 0 < {a} = 1 < {b} = 2 < {a,b} = 3 < {c} = 4 < ...
+        let subsets = [
+            Value::empty_set(),
+            Value::set([a(0)]),
+            Value::set([a(1)]),
+            Value::set([a(0), a(1)]),
+            Value::set([a(2)]),
+            Value::set([a(0), a(2)]),
+            Value::set([a(1), a(2)]),
+            Value::set([a(0), a(1), a(2)]),
+        ];
+        for i in 0..subsets.len() {
+            for j in 0..subsets.len() {
+                assert_eq!(
+                    induced_cmp(&ord, &subsets[i], &subsets[j]),
+                    i.cmp(&j),
+                    "subsets {i} vs {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_set_order() {
+        let (_, ord) = setup();
+        // {{a}} vs {{b}}: max diff elements {a} vs {b}, so {{a}} < {{b}}
+        let x = Value::set([Value::set([a(0)])]);
+        let y = Value::set([Value::set([a(1)])]);
+        assert_eq!(induced_cmp(&ord, &x, &y), Ordering::Less);
+        // {{},{b}} vs {{a},{b}}: differences {{}} vs {{a}} -> less
+        let p = Value::set([Value::empty_set(), Value::set([a(1)])]);
+        let q = Value::set([Value::set([a(0)]), Value::set([a(1)])]);
+        assert_eq!(induced_cmp(&ord, &p, &q), Ordering::Less);
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let (_, ord) = setup();
+        let vals = [a(1), a(0), a(2)];
+        assert_eq!(induced_max(&ord, vals.iter()), Some(&a(2)));
+        assert_eq!(induced_min(&ord, vals.iter()), Some(&a(0)));
+        assert_eq!(induced_max(&ord, std::iter::empty()), None);
+    }
+
+    #[test]
+    fn sort_in_induced_order() {
+        let (_, ord) = setup();
+        let mut vals = vec![Value::set([a(2)]), Value::empty_set(), Value::set([a(0)])];
+        induced_sort(&ord, &mut vals);
+        assert_eq!(
+            vals,
+            vec![Value::empty_set(), Value::set([a(0)]), Value::set([a(2)])]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn mismatched_shapes_panic() {
+        let (_, ord) = setup();
+        let _ = induced_cmp(&ord, &a(0), &Value::empty_set());
+    }
+}

@@ -1,0 +1,371 @@
+//! A human-readable text format for schemas and instances.
+//!
+//! ```text
+//! % the paper's Figure 1 instance
+//! schema P(U, {U}, [U, {U}]).
+//! P('b', {'a','b'}, ['c', {'a','c'}]).
+//! P('c', {'c'}, ['a', {'b','c'}]).
+//! ```
+//!
+//! `schema R(T1, …, Tn).` declares a relation; every other clause is a
+//! fact. Atom literals are quoted and interned into the caller's
+//! [`Universe`]; sets and tuples use `{…}` / `[…]`. Comments run from `%`
+//! to end of line. [`render_database`] produces text that parses back to
+//! an equal instance.
+
+use crate::atom::Universe;
+use crate::instance::{Instance, RelationSchema, Schema};
+use crate::types::Type;
+use crate::value::Value;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    /// Byte offset in the source.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "database parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+struct P<'s, 'u> {
+    src: &'s [u8],
+    pos: usize,
+    universe: &'u mut Universe,
+}
+
+impl P<'_, '_> {
+    fn err(&self, m: impl Into<String>) -> TextError {
+        TextError {
+            at: self.pos,
+            message: m.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self
+                .src
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+            if self.src.get(self.pos) == Some(&b'%') {
+                while self.src.get(self.pos).is_some_and(|&b| b != b'\n') {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), TextError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn try_eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, TextError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii checked")
+            .to_string())
+    }
+
+    fn ty(&mut self) -> Result<Type, TextError> {
+        match self.peek() {
+            Some(b'{') => {
+                self.eat(b'{')?;
+                let t = self.ty()?;
+                self.eat(b'}')?;
+                Ok(Type::set(t))
+            }
+            Some(b'[') => {
+                self.eat(b'[')?;
+                let mut comps = vec![self.ty()?];
+                while self.try_eat(b',') {
+                    comps.push(self.ty()?);
+                }
+                self.eat(b']')?;
+                Ok(Type::tuple(comps))
+            }
+            _ => {
+                let id = self.ident()?;
+                if id == "U" {
+                    Ok(Type::Atom)
+                } else {
+                    Err(self.err(format!("expected type, found {id}")))
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, TextError> {
+        match self.peek() {
+            Some(b'\'') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.src.get(self.pos).is_some_and(|&b| b != b'\'') {
+                    self.pos += 1;
+                }
+                if self.src.get(self.pos) != Some(&b'\'') {
+                    return Err(self.err("unterminated atom literal"));
+                }
+                let name = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("non-UTF8 atom"))?
+                    .to_string();
+                self.pos += 1;
+                Ok(Value::Atom(self.universe.intern(&name)))
+            }
+            Some(b'{') => {
+                self.eat(b'{')?;
+                let mut elems = Vec::new();
+                if self.peek() != Some(b'}') {
+                    elems.push(self.value()?);
+                    while self.try_eat(b',') {
+                        elems.push(self.value()?);
+                    }
+                }
+                self.eat(b'}')?;
+                Ok(Value::set(elems))
+            }
+            Some(b'[') => {
+                self.eat(b'[')?;
+                let mut elems = vec![self.value()?];
+                while self.try_eat(b',') {
+                    elems.push(self.value()?);
+                }
+                self.eat(b']')?;
+                Ok(Value::tuple(elems))
+            }
+            _ => Err(self.err("expected value")),
+        }
+    }
+
+    fn database(&mut self) -> Result<(Schema, Instance), TextError> {
+        let mut schema = Schema::new();
+        let mut facts: Vec<(String, Vec<Value>)> = Vec::new();
+        loop {
+            if self.peek().is_none() {
+                break;
+            }
+            let id = self.ident()?;
+            if id == "schema" {
+                let name = self.ident()?;
+                self.eat(b'(')?;
+                let mut types = vec![self.ty()?];
+                while self.try_eat(b',') {
+                    types.push(self.ty()?);
+                }
+                self.eat(b')')?;
+                self.eat(b'.')?;
+                if schema.get(&name).is_some() {
+                    return Err(self.err(format!("relation {name} declared twice")));
+                }
+                schema.add(RelationSchema::new(name, types));
+            } else {
+                self.eat(b'(')?;
+                let mut row = Vec::new();
+                if self.peek() != Some(b')') {
+                    row.push(self.value()?);
+                    while self.try_eat(b',') {
+                        row.push(self.value()?);
+                    }
+                }
+                self.eat(b')')?;
+                self.eat(b'.')?;
+                facts.push((id, row));
+            }
+        }
+        let mut instance = Instance::empty(schema.clone());
+        for (name, row) in facts {
+            let rel = schema
+                .get(&name)
+                .ok_or_else(|| self.err(format!("fact for undeclared relation {name}")))?;
+            if rel.arity() != row.len() {
+                return Err(self.err(format!(
+                    "fact for {name} has arity {}, declared {}",
+                    row.len(),
+                    rel.arity()
+                )));
+            }
+            for (v, t) in row.iter().zip(&rel.column_types) {
+                if !v.has_type(t) {
+                    return Err(self.err(format!("value {v} is not of type {t} in {name}")));
+                }
+            }
+            instance.insert(&name, row);
+        }
+        Ok((schema, instance))
+    }
+}
+
+/// Parse a database (schema + facts) from text.
+pub fn parse_database(
+    src: &str,
+    universe: &mut Universe,
+) -> Result<(Schema, Instance), TextError> {
+    P {
+        src: src.as_bytes(),
+        pos: 0,
+        universe,
+    }
+    .database()
+}
+
+fn render_value(universe: &Universe, v: &Value, out: &mut String) {
+    match v {
+        Value::Atom(a) => {
+            let _ = write!(out, "'{}'", universe.name(*a));
+        }
+        Value::Tuple(vs) => {
+            out.push('[');
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_value(universe, v, out);
+            }
+            out.push(']');
+        }
+        Value::Set(s) => {
+            out.push('{');
+            for (i, v) in s.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_value(universe, v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Render a database in the text format (deterministic row order).
+pub fn render_database(universe: &Universe, instance: &Instance) -> String {
+    let mut out = String::new();
+    for rel in instance.schema().relations() {
+        let cols: Vec<String> = rel.column_types.iter().map(ToString::to_string).collect();
+        let _ = writeln!(out, "schema {}({}).", rel.name, cols.join(", "));
+    }
+    for rel in instance.schema().relations() {
+        for row in instance.relation(&rel.name).sorted_rows() {
+            let _ = write!(out, "{}(", rel.name);
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_value(universe, v, &mut out);
+            }
+            out.push_str(").\n");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE1: &str = "\
+        % the paper's Figure 1 instance\n\
+        schema P(U, {U}, [U, {U}]).\n\
+        P('b', {'a','b'}, ['c', {'a','c'}]).\n\
+        P('c', {'c'}, ['a', {'b','c'}]).\n";
+
+    #[test]
+    fn figure1_parses() {
+        let mut u = Universe::new();
+        let (schema, instance) = parse_database(FIGURE1, &mut u).unwrap();
+        assert_eq!(schema.len(), 1);
+        assert_eq!(instance.cardinality(), 2);
+        assert_eq!(instance.atoms().len(), 3);
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let mut u = Universe::new();
+        let (_, instance) = parse_database(FIGURE1, &mut u).unwrap();
+        let text = render_database(&u, &instance);
+        let mut u2 = Universe::new();
+        let (_, back) = parse_database(&text, &mut u2).unwrap();
+        // same structure; atom ids may differ, so compare rendered forms
+        assert_eq!(render_database(&u2, &back), text);
+        assert_eq!(back.cardinality(), instance.cardinality());
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let mut u = Universe::new();
+        let bad = "schema P(U).\nP({'a'}).";
+        let e = parse_database(bad, &mut u).unwrap_err();
+        assert!(e.message.contains("not of type"), "{e}");
+        let bad2 = "schema P(U).\nP('a', 'b').";
+        assert!(parse_database(bad2, &mut u).unwrap_err().message.contains("arity"));
+        let bad3 = "Q('a').";
+        assert!(parse_database(bad3, &mut u).unwrap_err().message.contains("undeclared"));
+    }
+
+    #[test]
+    fn duplicate_schema_rejected() {
+        let mut u = Universe::new();
+        let bad = "schema P(U).\nschema P(U).";
+        assert!(parse_database(bad, &mut u).unwrap_err().message.contains("twice"));
+    }
+
+    #[test]
+    fn empty_sets_and_nullary_rows() {
+        let mut u = Universe::new();
+        let src = "schema E({U}).\nE({}).";
+        let (_, i) = parse_database(src, &mut u).unwrap();
+        assert_eq!(i.cardinality(), 1);
+        assert!(i.relation("E").contains(&[Value::empty_set()]));
+    }
+
+    #[test]
+    fn comments_everywhere() {
+        let mut u = Universe::new();
+        let src = "% header\nschema P(U). % inline\n% between\nP('a'). % end";
+        let (_, i) = parse_database(src, &mut u).unwrap();
+        assert_eq!(i.cardinality(), 1);
+    }
+}

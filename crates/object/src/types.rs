@@ -1,0 +1,352 @@
+//! Complex-object types (Section 2 of the paper).
+//!
+//! Types are built from the atomic type `U` with the set constructor `{T}`
+//! and tuple constructors `[T1,...,Tn]`. A type is characterised by its
+//! *set height* (maximum number of set nodes on a root-to-leaf path) and
+//! *tuple width* (maximum tuple arity); an `⟨i,k⟩`-type has set height ≤ i
+//! and tuple width ≤ k.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A complex-object type.
+///
+/// Set element types and tuple component vectors are reference-counted, so
+/// types are cheap to clone (they are carried around by every variable,
+/// term, and domain in the engine).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The atomic type `U`.
+    Atom,
+    /// A set type `{T}`.
+    Set(Arc<Type>),
+    /// A tuple type `[T1,...,Tn]` with `n ≥ 1`.
+    Tuple(Arc<[Type]>),
+}
+
+impl Type {
+    /// Shorthand for the atomic type `U`.
+    pub const fn atom() -> Type {
+        Type::Atom
+    }
+
+    /// Build a set type `{elem}`.
+    pub fn set(elem: Type) -> Type {
+        Type::Set(Arc::new(elem))
+    }
+
+    /// Build a tuple type `[c1,...,cn]`.
+    ///
+    /// # Panics
+    /// Panics on an empty component list: the paper's tuple constructors are
+    /// `k`-ary for positive `k`.
+    pub fn tuple(components: impl Into<Vec<Type>>) -> Type {
+        let components = components.into();
+        assert!(!components.is_empty(), "tuple types must have arity >= 1");
+        Type::Tuple(components.into())
+    }
+
+    /// The set height of the type: the maximum number of set nodes on a path
+    /// from the root to a leaf. `U` has set height 0; `{[U,{[U,U]}]}` has set
+    /// height 2.
+    pub fn set_height(&self) -> usize {
+        match self {
+            Type::Atom => 0,
+            Type::Set(t) => 1 + t.set_height(),
+            Type::Tuple(ts) => ts.iter().map(Type::set_height).max().unwrap_or(0),
+        }
+    }
+
+    /// The tuple width of the type: the maximal arity of tuple constructors
+    /// occurring in it (0 if no tuple constructor occurs).
+    pub fn tuple_width(&self) -> usize {
+        match self {
+            Type::Atom => 0,
+            Type::Set(t) => t.tuple_width(),
+            Type::Tuple(ts) => ts
+                .len()
+                .max(ts.iter().map(Type::tuple_width).max().unwrap_or(0)),
+        }
+    }
+
+    /// Whether this is an `⟨i,k⟩`-type: set height ≤ `i` and tuple width ≤ `k`.
+    pub fn is_ik(&self, i: usize, k: usize) -> bool {
+        self.set_height() <= i && self.tuple_width() <= k
+    }
+
+    /// Whether the type is *non-trivial* in the paper's sense: set height ≥ 1
+    /// and tuple width ≥ 2 (both constructors used in a non-trivial way).
+    pub fn is_non_trivial(&self) -> bool {
+        self.set_height() >= 1 && self.tuple_width() >= 2
+    }
+
+    /// The element type if this is a set type.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::Set(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The component types if this is a tuple type.
+    pub fn components(&self) -> Option<&[Type]> {
+        match self {
+            Type::Tuple(ts) => Some(ts),
+            _ => None,
+        }
+    }
+
+    /// Tuple arity, if a tuple type.
+    pub fn arity(&self) -> Option<usize> {
+        self.components().map(<[Type]>::len)
+    }
+
+    /// Depth-first iterator over all subtypes, including `self`.
+    pub fn subtypes(&self) -> Vec<&Type> {
+        let mut out = Vec::new();
+        let mut stack = vec![self];
+        while let Some(t) = stack.pop() {
+            out.push(t);
+            match t {
+                Type::Atom => {}
+                Type::Set(e) => stack.push(e),
+                Type::Tuple(ts) => stack.extend(ts.iter()),
+            }
+        }
+        out
+    }
+
+    /// Render the type as the labelled tree of the paper's figure: set nodes
+    /// as `(+)`, tuple nodes as `[x]`, leaves as `[]`, one node per line with
+    /// two-space indentation.
+    pub fn tree_diagram(&self) -> String {
+        fn go(t: &Type, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            match t {
+                Type::Atom => {
+                    out.push_str(&pad);
+                    out.push_str("[]\n");
+                }
+                Type::Set(e) => {
+                    out.push_str(&pad);
+                    out.push_str("(+)\n");
+                    go(e, depth + 1, out);
+                }
+                Type::Tuple(ts) => {
+                    out.push_str(&pad);
+                    out.push_str("[x]\n");
+                    for c in ts.iter() {
+                        go(c, depth + 1, out);
+                    }
+                }
+            }
+        }
+        let mut s = String::new();
+        go(self, 0, &mut s);
+        s
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Atom => f.write_str("U"),
+            Type::Set(t) => write!(f, "{{{t}}}"),
+            Type::Tuple(ts) => {
+                f.write_str("[")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Enumerate all `⟨i,k⟩`-types under the paper's normalisation assumption
+/// (Proposition 2.1): no tuple constructor directly inside another tuple
+/// constructor — between two nested tuples there is always a set node.
+/// The result is finite and listed in increasing structural size.
+///
+/// Types with `k = 0` contain no tuple constructor; `i = 0` no set
+/// constructor. Only arities `1..=k` appear for tuples.
+pub fn all_ik_types(i: usize, k: usize) -> Vec<Type> {
+    // `inner[h]` = types of set height exactly ≤ h that may appear *inside a
+    // tuple* (i.e. atoms and set types); `any[h]` also includes tuple types.
+    // We build by increasing set height.
+    fn tuple_layer(members: &[Type], k: usize) -> Vec<Type> {
+        // all tuples of arity 1..=k over `members`
+        let mut out = Vec::new();
+        for arity in 1..=k {
+            let mut idx = vec![0usize; arity];
+            'enumerate: loop {
+                out.push(Type::tuple(
+                    idx.iter().map(|&j| members[j].clone()).collect::<Vec<_>>(),
+                ));
+                // odometer: advance rightmost position, carrying left
+                let mut p = arity;
+                loop {
+                    if p == 0 {
+                        break 'enumerate;
+                    }
+                    p -= 1;
+                    idx[p] += 1;
+                    if idx[p] < members.len() {
+                        break;
+                    }
+                    idx[p] = 0;
+                }
+            }
+        }
+        out
+    }
+
+    let mut non_tuple: Vec<Type> = vec![Type::Atom]; // set height ≤ current h
+    let mut all: Vec<Type> = vec![Type::Atom];
+    if k >= 1 {
+        all.extend(tuple_layer(&non_tuple, k));
+    }
+    for _ in 0..i {
+        // set element can be any type of the previous layer (tuple or not)
+        let mut new_sets: Vec<Type> = Vec::new();
+        for t in &all {
+            let s = Type::set(t.clone());
+            if !non_tuple.contains(&s) {
+                new_sets.push(s);
+            }
+        }
+        non_tuple.extend(new_sets.iter().cloned());
+        for s in new_sets {
+            if !all.contains(&s) {
+                all.push(s);
+            }
+        }
+        if k >= 1 {
+            for t in tuple_layer(&non_tuple, k) {
+                if !all.contains(&t) {
+                    all.push(t);
+                }
+            }
+        }
+    }
+    all.retain(|t| t.is_ik(i, k));
+    all.sort_by_cached_key(|t| {
+        let s = t.to_string();
+        (s.len(), s)
+    });
+    all.dedup();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_type() -> Type {
+        // {[U,{[U,U]}]} from the figure in Section 2
+        Type::set(Type::tuple(vec![
+            Type::Atom,
+            Type::set(Type::tuple(vec![Type::Atom, Type::Atom])),
+        ]))
+    }
+
+    #[test]
+    fn display_roundtrips_structure() {
+        assert_eq!(Type::Atom.to_string(), "U");
+        assert_eq!(Type::set(Type::Atom).to_string(), "{U}");
+        assert_eq!(
+            Type::tuple(vec![Type::Atom, Type::set(Type::Atom)]).to_string(),
+            "[U,{U}]"
+        );
+        assert_eq!(paper_type().to_string(), "{[U,{[U,U]}]}");
+    }
+
+    #[test]
+    fn paper_example_heights() {
+        // "The type {[U,{[U,U]}]} has set height 2 and tuple width 2."
+        let t = paper_type();
+        assert_eq!(t.set_height(), 2);
+        assert_eq!(t.tuple_width(), 2);
+        assert!(t.is_ik(2, 2));
+        assert!(!t.is_ik(1, 2));
+        assert!(!t.is_ik(2, 1));
+        assert!(t.is_non_trivial());
+    }
+
+    #[test]
+    fn atom_is_trivial() {
+        assert_eq!(Type::Atom.set_height(), 0);
+        assert_eq!(Type::Atom.tuple_width(), 0);
+        assert!(!Type::Atom.is_non_trivial());
+        assert!(!Type::set(Type::Atom).is_non_trivial());
+        assert!(Type::set(Type::tuple(vec![Type::Atom, Type::Atom])).is_non_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity >= 1")]
+    fn empty_tuple_rejected() {
+        let _ = Type::tuple(Vec::new());
+    }
+
+    #[test]
+    fn subtypes_enumeration() {
+        let t = paper_type();
+        let subs = t.subtypes();
+        // nodes: {..}, [U,{..}], U, {[U,U]}, [U,U], U, U
+        assert_eq!(subs.len(), 7);
+    }
+
+    #[test]
+    fn tree_diagram_shape() {
+        let d = paper_type().tree_diagram();
+        let lines: Vec<&str> = d.lines().collect();
+        assert_eq!(lines[0], "(+)");
+        assert_eq!(lines[1], "  [x]");
+        assert!(lines.contains(&"    []"));
+    }
+
+    #[test]
+    fn all_types_0_1() {
+        let ts = all_ik_types(0, 1);
+        // U and [U]
+        assert!(ts.contains(&Type::Atom));
+        assert!(ts.contains(&Type::tuple(vec![Type::Atom])));
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn all_types_1_2_contains_core_types() {
+        let ts = all_ik_types(1, 2);
+        for t in [
+            Type::Atom,
+            Type::set(Type::Atom),
+            Type::tuple(vec![Type::Atom, Type::Atom]),
+            Type::set(Type::tuple(vec![Type::Atom, Type::Atom])),
+            Type::tuple(vec![Type::set(Type::Atom), Type::set(Type::Atom)]),
+        ] {
+            assert!(ts.contains(&t), "missing {t}");
+        }
+        // no tuple-in-tuple
+        assert!(!ts
+            .iter()
+            .any(|t| t.to_string().contains("[[") || t.to_string().contains("],[")));
+        // everything is a <1,2>-type
+        assert!(ts.iter().all(|t| t.is_ik(1, 2)));
+    }
+
+    #[test]
+    fn all_types_respect_bounds() {
+        for t in all_ik_types(2, 2) {
+            assert!(t.set_height() <= 2 && t.tuple_width() <= 2, "{t}");
+        }
+    }
+}

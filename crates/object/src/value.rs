@@ -1,0 +1,446 @@
+//! Complex-object values.
+//!
+//! A [`Value`] is an atomic constant, a finite set of values, or a tuple of
+//! values, mirroring the type constructors of Section 2. Sets are kept in a
+//! *canonical form* — elements sorted by the structural order with duplicates
+//! removed — so that derived equality and hashing coincide with set equality.
+//! This canonical order is an internal representation device; the paper's
+//! semantic order `<_T` induced by an atom enumeration (Definition 4.2) lives
+//! in [`crate::order`].
+
+use crate::atom::Atom;
+use crate::types::Type;
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A complex-object value.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An atomic constant.
+    Atom(Atom),
+    /// A tuple `[v1,...,vn]`.
+    Tuple(Vec<Value>),
+    /// A finite set, canonically ordered and duplicate-free.
+    Set(SetValue),
+}
+
+/// A finite set of values in canonical form.
+///
+/// The only way to construct a `SetValue` is through constructors that
+/// sort and deduplicate, so two sets are equal iff their canonical element
+/// sequences are equal — `#[derive(PartialEq, Hash)]` is sound.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SetValue {
+    elems: Vec<Value>,
+}
+
+impl SetValue {
+    /// The empty set.
+    pub fn empty() -> Self {
+        SetValue::default()
+    }
+
+    /// Build from any collection of values; sorts and deduplicates.
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Self {
+        let mut elems: Vec<Value> = values.into_iter().collect();
+        elems.sort_unstable();
+        elems.dedup();
+        SetValue { elems }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Membership test (binary search over the canonical order).
+    pub fn contains(&self, v: &Value) -> bool {
+        self.elems.binary_search(v).is_ok()
+    }
+
+    /// Subset test: `self ⊆ other`.
+    pub fn is_subset(&self, other: &SetValue) -> bool {
+        // Both canonical and sorted: merge scan.
+        let mut it = other.elems.iter();
+        'outer: for e in &self.elems {
+            for o in it.by_ref() {
+                match o.cmp(e) {
+                    Ordering::Less => continue,
+                    Ordering::Equal => continue 'outer,
+                    Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &SetValue) -> SetValue {
+        SetValue::from_values(self.elems.iter().chain(&other.elems).cloned())
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &SetValue) -> SetValue {
+        SetValue {
+            elems: self
+                .elems
+                .iter()
+                .filter(|e| !other.contains(e))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &SetValue) -> SetValue {
+        SetValue {
+            elems: self
+                .elems
+                .iter()
+                .filter(|e| other.contains(e))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Insert an element, preserving canonical form.
+    pub fn insert(&mut self, v: Value) -> bool {
+        match self.elems.binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.elems.insert(pos, v);
+                true
+            }
+        }
+    }
+
+    /// Iterate elements in canonical order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.elems.iter()
+    }
+
+    /// The canonical element slice.
+    pub fn as_slice(&self) -> &[Value] {
+        &self.elems
+    }
+}
+
+impl IntoIterator for SetValue {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SetValue {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.iter()
+    }
+}
+
+impl FromIterator<Value> for SetValue {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        SetValue::from_values(iter)
+    }
+}
+
+impl Value {
+    /// Shorthand: atomic value.
+    pub fn atom(a: Atom) -> Value {
+        Value::Atom(a)
+    }
+
+    /// Shorthand: tuple value.
+    ///
+    /// # Panics
+    /// Panics on an empty component list (tuple arity is ≥ 1).
+    pub fn tuple(components: impl Into<Vec<Value>>) -> Value {
+        let components = components.into();
+        assert!(!components.is_empty(), "tuple values must have arity >= 1");
+        Value::Tuple(components)
+    }
+
+    /// Shorthand: set value from elements.
+    pub fn set(elems: impl IntoIterator<Item = Value>) -> Value {
+        Value::Set(SetValue::from_values(elems))
+    }
+
+    /// The empty set value.
+    pub fn empty_set() -> Value {
+        Value::Set(SetValue::empty())
+    }
+
+    /// Projection `v.i` with 1-based index `i`, as in the calculus.
+    pub fn project(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Tuple(vs) => {
+                if i == 0 {
+                    None
+                } else {
+                    vs.get(i - 1)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the value inhabits the given type.
+    pub fn has_type(&self, ty: &Type) -> bool {
+        match (self, ty) {
+            (Value::Atom(_), Type::Atom) => true,
+            (Value::Set(s), Type::Set(e)) => s.iter().all(|v| v.has_type(e)),
+            (Value::Tuple(vs), Type::Tuple(ts)) => {
+                vs.len() == ts.len() && vs.iter().zip(ts.iter()).all(|(v, t)| v.has_type(t))
+            }
+            _ => false,
+        }
+    }
+
+    /// The set of atomic constants occurring in the value — `atom(O)`.
+    pub fn atoms(&self) -> BTreeSet<Atom> {
+        let mut out = BTreeSet::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    /// Accumulate atoms into `out` without allocating a fresh set.
+    pub fn collect_atoms(&self, out: &mut BTreeSet<Atom>) {
+        match self {
+            Value::Atom(a) => {
+                out.insert(*a);
+            }
+            Value::Tuple(vs) => {
+                for v in vs {
+                    v.collect_atoms(out);
+                }
+            }
+            Value::Set(s) => {
+                for v in s {
+                    v.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    /// Collect all sub-objects (including `self`) of the given type, in
+    /// structural traversal order. Used for per-type density measures
+    /// (Definition 4.1, individual-type variant).
+    pub fn subobjects_of_type<'a>(&'a self, ty: &Type, out: &mut Vec<&'a Value>) {
+        if self.has_type(ty) {
+            out.push(self);
+        }
+        match self {
+            Value::Atom(_) => {}
+            Value::Tuple(vs) => {
+                for v in vs {
+                    v.subobjects_of_type(ty, out);
+                }
+            }
+            Value::Set(s) => {
+                for v in s {
+                    v.subobjects_of_type(ty, out);
+                }
+            }
+        }
+    }
+
+    /// The smallest type of this value under the convention that the empty
+    /// set has element type `U` unless context says otherwise. For precise
+    /// typing use schema information; this is a best-effort inference used
+    /// by diagnostics.
+    pub fn infer_type(&self) -> Type {
+        match self {
+            Value::Atom(_) => Type::Atom,
+            Value::Tuple(vs) => Type::tuple(vs.iter().map(Value::infer_type).collect::<Vec<_>>()),
+            Value::Set(s) => match s.iter().next() {
+                None => Type::set(Type::Atom),
+                Some(v) => Type::set(v.infer_type()),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::Tuple(vs) => {
+                f.write_str("[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Set(s) => {
+                f.write_str("{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for SetValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Debug for SetValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> Value {
+        Value::Atom(Atom(i))
+    }
+
+    #[test]
+    fn set_canonicalisation() {
+        let s1 = Value::set([a(2), a(0), a(1), a(0)]);
+        let s2 = Value::set([a(0), a(1), a(2)]);
+        assert_eq!(s1, s2);
+        if let Value::Set(s) = &s1 {
+            assert_eq!(s.len(), 3);
+        } else {
+            panic!("not a set");
+        }
+    }
+
+    #[test]
+    fn nested_set_equality_is_order_independent() {
+        // {{a0,a1},{a2}} constructed two ways
+        let x = Value::set([Value::set([a(1), a(0)]), Value::set([a(2)])]);
+        let y = Value::set([Value::set([a(2)]), Value::set([a(0), a(1)])]);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn set_operations() {
+        let s = SetValue::from_values([a(0), a(1)]);
+        let t = SetValue::from_values([a(1), a(2)]);
+        assert_eq!(s.union(&t), SetValue::from_values([a(0), a(1), a(2)]));
+        assert_eq!(s.difference(&t), SetValue::from_values([a(0)]));
+        assert_eq!(s.intersection(&t), SetValue::from_values([a(1)]));
+        assert!(s.contains(&a(0)));
+        assert!(!s.contains(&a(2)));
+    }
+
+    #[test]
+    fn subset_tests() {
+        let small = SetValue::from_values([a(1)]);
+        let big = SetValue::from_values([a(0), a(1), a(2)]);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(SetValue::empty().is_subset(&small));
+        assert!(SetValue::empty().is_subset(&SetValue::empty()));
+        assert!(big.is_subset(&big));
+    }
+
+    #[test]
+    fn insert_preserves_canonical_form() {
+        let mut s = SetValue::empty();
+        assert!(s.insert(a(2)));
+        assert!(s.insert(a(0)));
+        assert!(!s.insert(a(2)));
+        assert_eq!(s.as_slice(), &[a(0), a(2)]);
+    }
+
+    #[test]
+    fn projection_is_one_based() {
+        let t = Value::tuple([a(5), a(6)]);
+        assert_eq!(t.project(1), Some(&a(5)));
+        assert_eq!(t.project(2), Some(&a(6)));
+        assert_eq!(t.project(0), None);
+        assert_eq!(t.project(3), None);
+        assert_eq!(a(1).project(1), None);
+    }
+
+    #[test]
+    fn typing() {
+        let ty = Type::tuple(vec![Type::Atom, Type::set(Type::Atom)]);
+        let v = Value::tuple([a(0), Value::set([a(1)])]);
+        assert!(v.has_type(&ty));
+        assert!(!v.has_type(&Type::Atom));
+        assert!(Value::empty_set().has_type(&Type::set(Type::Atom)));
+        // the empty set inhabits every set type
+        assert!(Value::empty_set().has_type(&Type::set(Type::set(Type::Atom))));
+    }
+
+    #[test]
+    fn atoms_collection() {
+        let v = Value::tuple([a(3), Value::set([a(1), Value::tuple([a(2), a(3)])])]);
+        let atoms = v.atoms();
+        assert_eq!(
+            atoms.into_iter().collect::<Vec<_>>(),
+            vec![Atom(1), Atom(2), Atom(3)]
+        );
+    }
+
+    #[test]
+    fn subobjects_of_type_counts() {
+        let pair = Type::tuple(vec![Type::Atom, Type::Atom]);
+        let v = Value::set([Value::tuple([a(0), a(1)]), Value::tuple([a(1), a(2)])]);
+        let mut out = Vec::new();
+        v.subobjects_of_type(&pair, &mut out);
+        assert_eq!(out.len(), 2);
+        let mut atoms = Vec::new();
+        v.subobjects_of_type(&Type::Atom, &mut atoms);
+        assert_eq!(atoms.len(), 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Value::tuple([a(0), Value::set([a(2), a(1)])]);
+        assert_eq!(v.to_string(), "[#0,{#1,#2}]");
+    }
+
+    #[test]
+    fn infer_type_best_effort() {
+        let v = Value::set([Value::tuple([a(0), a(1)])]);
+        assert_eq!(v.infer_type().to_string(), "{[U,U]}");
+        assert_eq!(Value::empty_set().infer_type().to_string(), "{U}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity >= 1")]
+    fn empty_tuple_value_rejected() {
+        let _ = Value::tuple(Vec::<Value>::new());
+    }
+}

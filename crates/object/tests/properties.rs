@@ -1,0 +1,151 @@
+//! Property tests for the substrate: `Nat` arithmetic laws, canonical set
+//! invariants, induced-order/ranking coherence, and encoding round trips
+//! under random permuted enumerations.
+
+use no_object::atom::{Atom, AtomOrder, Universe};
+use no_object::domain::{card, rank, unrank};
+use no_object::order::induced_cmp;
+use no_object::value::SetValue;
+use no_object::{Nat, Type, Value};
+use proptest::prelude::*;
+
+fn nat_strategy() -> impl Strategy<Value = Nat> {
+    prop_oneof![
+        (0u64..1000).prop_map(Nat::from),
+        any::<u64>().prop_map(Nat::from),
+        (any::<u64>(), 1usize..130).prop_map(|(lo, sh)| &Nat::from(lo) << sh),
+        (any::<u64>(), any::<u64>()).prop_map(|(a, b)| Nat::from(a) * Nat::from(b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nat_add_commutes_and_associates(a in nat_strategy(), b in nat_strategy(), c in nat_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn nat_mul_commutes_and_distributes(a in nat_strategy(), b in nat_strategy(), c in nat_strategy()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn nat_sub_inverts_add(a in nat_strategy(), b in nat_strategy()) {
+        let sum = &a + &b;
+        prop_assert_eq!(&sum - &b, a);
+    }
+
+    #[test]
+    fn nat_div_rem_invariant(a in nat_strategy(), b in nat_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn nat_decimal_roundtrip(a in nat_strategy()) {
+        let s = a.to_string();
+        prop_assert_eq!(Nat::from_decimal(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn nat_shift_is_pow2_mul(a in nat_strategy(), sh in 0usize..100) {
+        prop_assert_eq!(&a << sh, &a * &Nat::pow2(sh));
+    }
+
+    #[test]
+    fn nat_ordering_consistent_with_add(a in nat_strategy(), b in nat_strategy()) {
+        prop_assume!(!b.is_zero());
+        prop_assert!(&a + &b > a);
+    }
+}
+
+fn small_value(depth: u32) -> BoxedStrategy<Value> {
+    if depth == 0 {
+        (0u32..4).prop_map(|i| Value::Atom(Atom(i))).boxed()
+    } else {
+        prop_oneof![
+            2 => (0u32..4).prop_map(|i| Value::Atom(Atom(i))),
+            1 => prop::collection::vec(small_value(depth - 1), 0..4).prop_map(Value::set),
+            1 => prop::collection::vec(small_value(depth - 1), 1..3).prop_map(Value::tuple),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Set construction is order- and duplication-insensitive.
+    #[test]
+    fn set_canonical_form(mut elems in prop::collection::vec(small_value(2), 0..6), seed in any::<u64>()) {
+        let s1 = Value::set(elems.clone());
+        // shuffle deterministically and duplicate one element
+        let len = elems.len();
+        if len > 1 {
+            let k = (seed as usize) % len;
+            elems.rotate_left(k);
+            let dup = elems[0].clone();
+            elems.push(dup);
+        }
+        let s2 = Value::set(elems);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Union/intersection/difference satisfy the lattice laws.
+    #[test]
+    fn set_lattice_laws(a in prop::collection::vec(small_value(1), 0..6), b in prop::collection::vec(small_value(1), 0..6)) {
+        let sa = SetValue::from_values(a);
+        let sb = SetValue::from_values(b);
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        prop_assert_eq!(sa.intersection(&sb), sb.intersection(&sa));
+        // |A| = |A∩B| + |A−B|
+        prop_assert_eq!(sa.len(), sa.intersection(&sb).len() + sa.difference(&sb).len());
+        // A ⊆ A∪B and A∩B ⊆ A
+        prop_assert!(sa.is_subset(&sa.union(&sb)));
+        prop_assert!(sa.intersection(&sb).is_subset(&sa));
+        // difference disjoint from the subtrahend
+        prop_assert!(sa.difference(&sb).intersection(&sb).is_empty());
+    }
+
+    /// Membership agrees with linear scan.
+    #[test]
+    fn set_contains_agrees_with_scan(elems in prop::collection::vec(small_value(1), 0..6), probe in small_value(1)) {
+        let s = SetValue::from_values(elems.clone());
+        prop_assert_eq!(s.contains(&probe), elems.contains(&probe));
+    }
+
+    /// Rank respects the induced order under *arbitrary* enumerations.
+    #[test]
+    fn rank_monotone_under_permuted_orders(perm in 0usize..24, r1 in 0u64..64, r2 in 0u64..64) {
+        let u = Universe::with_names(["a", "b", "c", "d"]);
+        // perm-th permutation of 4 atoms
+        let mut pool: Vec<Atom> = u.atoms().collect();
+        let mut seq = Vec::new();
+        let mut code = perm;
+        for k in (1..=pool.len()).rev() {
+            seq.push(pool.remove(code % k));
+            code /= k;
+        }
+        let order = AtomOrder::new(seq);
+        let ty = Type::set(Type::tuple(vec![Type::Atom, Type::Atom]));
+        let c = card(&ty, 4).unwrap();
+        let (n1, n2) = (Nat::from(r1), Nat::from(r2));
+        prop_assume!(n1 < c && n2 < c);
+        let v1 = unrank(&order, &ty, &n1).unwrap();
+        let v2 = unrank(&order, &ty, &n2).unwrap();
+        prop_assert_eq!(rank(&order, &ty, &v1).unwrap(), n1.clone());
+        prop_assert_eq!(
+            induced_cmp(&order, &v1, &v2),
+            n1.cmp(&n2),
+            "{} vs {}",
+            v1,
+            v2
+        );
+    }
+}

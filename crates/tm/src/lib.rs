@@ -1,0 +1,17 @@
+//! # `no-tm` — Turing machines over instance encodings
+//!
+//! The machine substrate behind Theorem 4.1: deterministic single-tape
+//! machines ([`machine`]), a library of concrete machines on instance
+//! encodings ([`machines`]), and the relational simulation of machine
+//! runs in the `R_M` configuration relation ([`sim`], [`formula`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod machine;
+pub mod formula;
+pub mod formula_pfp;
+pub mod machines;
+pub mod sim;
+
+pub use machine::{Action, Halt, Machine, MachineBuilder, Move, Run, State, TmError};

@@ -1,0 +1,451 @@
+//! Deterministic single-tape Turing machines.
+//!
+//! The machine model of the paper's complexity framework (Section 2): a
+//! query is in PTIME if some TM maps `enc(I)` to `enc(q(I))` in polynomial
+//! time. The tape is semi-infinite to the right, with the head starting on
+//! the first cell; symbols are `char`s so instance encodings
+//! (`0 1 { } [ ] #` plus relation names) are tape words directly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A machine state; resolve its name with [`Machine::state_name`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct State(pub u16);
+
+/// Head movement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Move {
+    /// One cell left (no-op at the left end, as usual).
+    Left,
+    /// One cell right.
+    Right,
+    /// Stay put.
+    Stay,
+}
+
+/// One transition: on `(state, read)` write, move, switch state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Action {
+    /// Symbol to write.
+    pub write: char,
+    /// Head movement.
+    pub mv: Move,
+    /// Next state.
+    pub next: State,
+}
+
+/// Errors in machine construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmError {
+    /// No transition for the current `(state, symbol)` and the state is
+    /// not halting — the machine is stuck (a construction bug).
+    Stuck {
+        /// State the machine was in.
+        state: String,
+        /// Symbol under the head.
+        read: char,
+    },
+    /// The step budget was exhausted before halting.
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A state name was referenced before being declared.
+    UnknownState(String),
+}
+
+impl fmt::Display for TmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmError::Stuck { state, read } => {
+                write!(f, "machine stuck in state {state} reading {read:?}")
+            }
+            TmError::StepLimit { limit } => write!(f, "machine exceeded {limit} steps"),
+            TmError::UnknownState(s) => write!(f, "unknown state {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TmError {}
+
+/// A deterministic Turing machine.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    state_names: Vec<String>,
+    start: State,
+    halting: Vec<State>,
+    blank: char,
+    delta: HashMap<(State, char), Action>,
+}
+
+/// Builder for [`Machine`].
+pub struct MachineBuilder {
+    state_names: Vec<String>,
+    blank: char,
+    halting: Vec<String>,
+    rules: Vec<(String, char, char, Move, String)>,
+}
+
+impl MachineBuilder {
+    /// Start building a machine with the given blank symbol.
+    pub fn new(blank: char) -> Self {
+        MachineBuilder {
+            state_names: Vec::new(),
+            blank,
+            halting: Vec::new(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Declare a (possibly new) state by name.
+    pub fn state(&mut self, name: &str) -> &mut Self {
+        if !self.state_names.iter().any(|n| n == name) {
+            self.state_names.push(name.to_string());
+        }
+        self
+    }
+
+    /// Mark a state as halting.
+    pub fn halting(&mut self, name: &str) -> &mut Self {
+        self.state(name);
+        self.halting.push(name.to_string());
+        self
+    }
+
+    /// Add a transition `state --read/write,move--> next`.
+    pub fn rule(
+        &mut self,
+        state: &str,
+        read: char,
+        write: char,
+        mv: Move,
+        next: &str,
+    ) -> &mut Self {
+        self.state(state);
+        self.state(next);
+        self.rules
+            .push((state.to_string(), read, write, mv, next.to_string()));
+        self
+    }
+
+    /// Add the same transition for every symbol in `reads`, writing the
+    /// symbol back unchanged.
+    pub fn pass_through(&mut self, state: &str, reads: &str, mv: Move, next: &str) -> &mut Self {
+        for c in reads.chars() {
+            self.rule(state, c, c, mv, next);
+        }
+        self
+    }
+
+    /// Finish; the first declared state is the start state.
+    pub fn build(&self) -> Result<Machine, TmError> {
+        let index = |name: &str| -> Result<State, TmError> {
+            self.state_names
+                .iter()
+                .position(|n| n == name)
+                .map(|i| State(i as u16))
+                .ok_or_else(|| TmError::UnknownState(name.to_string()))
+        };
+        let start = State(0);
+        let mut delta = HashMap::new();
+        for (s, r, w, m, n) in &self.rules {
+            delta.insert(
+                (index(s)?, *r),
+                Action {
+                    write: *w,
+                    mv: *m,
+                    next: index(n)?,
+                },
+            );
+        }
+        let halting = self
+            .halting
+            .iter()
+            .map(|n| index(n))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Machine {
+            state_names: self.state_names.clone(),
+            start,
+            halting,
+            blank: self.blank,
+            delta,
+        })
+    }
+}
+
+impl Machine {
+    /// Begin building a machine.
+    pub fn builder(blank: char) -> MachineBuilder {
+        MachineBuilder::new(blank)
+    }
+
+    /// The start state.
+    pub fn start(&self) -> State {
+        self.start
+    }
+
+    /// Whether a state halts the machine.
+    pub fn is_halting(&self, s: State) -> bool {
+        self.halting.contains(&s)
+    }
+
+    /// Name of a state.
+    pub fn state_name(&self, s: State) -> &str {
+        &self.state_names[s.0 as usize]
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// The blank symbol.
+    pub fn blank(&self) -> char {
+        self.blank
+    }
+
+    /// The transition for `(state, read)`, if any.
+    pub fn action(&self, s: State, read: char) -> Option<Action> {
+        self.delta.get(&(s, read)).copied()
+    }
+
+    /// All `(state, read) → action` transitions (deterministic ordering).
+    pub fn transitions(&self) -> Vec<((State, char), Action)> {
+        let mut v: Vec<_> = self.delta.iter().map(|(k, a)| (*k, *a)).collect();
+        v.sort_by_key(|((s, c), _)| (*s, *c));
+        v
+    }
+
+    /// The tape alphabet actually used: blank plus all read/written symbols.
+    pub fn alphabet(&self) -> Vec<char> {
+        let mut out = vec![self.blank];
+        for ((_, r), a) in self.delta.iter() {
+            if !out.contains(r) {
+                out.push(*r);
+            }
+            if !out.contains(&a.write) {
+                out.push(a.write);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Run from the given input until halting. Returns the halting
+    /// configuration.
+    pub fn run(&self, input: &str, max_steps: u64) -> Result<Halt, TmError> {
+        let mut run = Run::new(self, input);
+        run.run_to_halt(max_steps)?;
+        Ok(Halt {
+            state: run.state,
+            steps: run.steps,
+            output: run.tape_string(),
+        })
+    }
+}
+
+/// The result of a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Halt {
+    /// The halting state.
+    pub state: State,
+    /// Steps taken.
+    pub steps: u64,
+    /// Tape contents at halt, trailing blanks trimmed.
+    pub output: String,
+}
+
+/// A live machine run — one configuration, steppable, inspectable.
+#[derive(Clone, Debug)]
+pub struct Run<'m> {
+    machine: &'m Machine,
+    /// Tape cells; indices past the end read as blank.
+    pub cells: Vec<char>,
+    /// Head position.
+    pub head: usize,
+    /// Current state.
+    pub state: State,
+    /// Steps taken so far.
+    pub steps: u64,
+}
+
+impl<'m> Run<'m> {
+    /// Load the input at the left end of a fresh tape.
+    pub fn new(machine: &'m Machine, input: &str) -> Self {
+        Run {
+            machine,
+            cells: input.chars().collect(),
+            head: 0,
+            state: machine.start,
+            steps: 0,
+        }
+    }
+
+    /// Symbol under the head.
+    pub fn read(&self) -> char {
+        self.cells.get(self.head).copied().unwrap_or(self.machine.blank)
+    }
+
+    /// Whether the machine has halted.
+    pub fn halted(&self) -> bool {
+        self.machine.is_halting(self.state)
+    }
+
+    /// Perform one step. No-op when already halted.
+    pub fn step(&mut self) -> Result<(), TmError> {
+        if self.halted() {
+            return Ok(());
+        }
+        let read = self.read();
+        let action = self.machine.action(self.state, read).ok_or_else(|| {
+            TmError::Stuck {
+                state: self.machine.state_name(self.state).to_string(),
+                read,
+            }
+        })?;
+        if self.head >= self.cells.len() {
+            self.cells.resize(self.head + 1, self.machine.blank);
+        }
+        self.cells[self.head] = action.write;
+        match action.mv {
+            Move::Left => self.head = self.head.saturating_sub(1),
+            Move::Right => self.head += 1,
+            Move::Stay => {}
+        }
+        self.state = action.next;
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// Step until halting, within the budget.
+    pub fn run_to_halt(&mut self, max_steps: u64) -> Result<(), TmError> {
+        while !self.halted() {
+            if self.steps >= max_steps {
+                return Err(TmError::StepLimit { limit: max_steps });
+            }
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Tape contents with trailing blanks trimmed.
+    pub fn tape_string(&self) -> String {
+        let mut s: String = self.cells.iter().collect();
+        while s.ends_with(self.machine.blank) {
+            s.pop();
+        }
+        s
+    }
+
+    /// A one-line rendering `state | tape-with-[head]` for traces.
+    pub fn render(&self) -> String {
+        let mut out = format!("{:<8} | ", self.machine.state_name(self.state));
+        for (i, c) in self.cells.iter().enumerate() {
+            if i == self.head {
+                out.push('[');
+                out.push(*c);
+                out.push(']');
+            } else {
+                out.push(*c);
+            }
+        }
+        if self.head >= self.cells.len() {
+            out.push_str("[_]");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A machine that flips every bit and halts at the first blank.
+    fn flipper() -> Machine {
+        let mut b = Machine::builder('_');
+        b.state("scan")
+            .rule("scan", '0', '1', Move::Right, "scan")
+            .rule("scan", '1', '0', Move::Right, "scan")
+            .rule("scan", '_', '_', Move::Stay, "done")
+            .halting("done");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn flipper_flips() {
+        let halt = flipper().run("0110", 100).unwrap();
+        assert_eq!(halt.output, "1001");
+        assert_eq!(halt.steps, 5);
+    }
+
+    #[test]
+    fn empty_input_halts_immediately_after_one_step() {
+        let halt = flipper().run("", 10).unwrap();
+        assert_eq!(halt.output, "");
+        assert_eq!(halt.steps, 1);
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        // a one-state machine that loops forever on blanks
+        let mut b = Machine::builder('_');
+        b.state("loop").rule("loop", '_', '_', Move::Stay, "loop");
+        let m = b.build().unwrap();
+        assert_eq!(m.run("", 25), Err(TmError::StepLimit { limit: 25 }));
+    }
+
+    #[test]
+    fn stuck_reported() {
+        let mut b = Machine::builder('_');
+        b.state("s").rule("s", '0', '0', Move::Right, "s");
+        let m = b.build().unwrap();
+        match m.run("01", 10) {
+            Err(TmError::Stuck { read, .. }) => assert_eq!(read, '1'),
+            other => panic!("expected Stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_move_at_edge_is_noop() {
+        let mut b = Machine::builder('_');
+        b.state("s")
+            .rule("s", '0', 'x', Move::Left, "t")
+            .rule("t", 'x', 'y', Move::Stay, "done")
+            .halting("done");
+        let m = b.build().unwrap();
+        let halt = m.run("0", 10).unwrap();
+        assert_eq!(halt.output, "y");
+    }
+
+    #[test]
+    fn pass_through_rules() {
+        let mut b = Machine::builder('_');
+        b.state("skip");
+        b.pass_through("skip", "abc", Move::Right, "skip")
+            .rule("skip", '_', '!', Move::Stay, "done")
+            .halting("done");
+        let m = b.build().unwrap();
+        assert_eq!(m.run("cab", 10).unwrap().output, "cab!");
+    }
+
+    #[test]
+    fn alphabet_and_transitions_enumerate() {
+        let m = flipper();
+        let alpha = m.alphabet();
+        assert_eq!(alpha, vec!['0', '1', '_']);
+        assert_eq!(m.transitions().len(), 3);
+        assert_eq!(m.state_count(), 2);
+        assert_eq!(m.state_name(m.start()), "scan");
+    }
+
+    #[test]
+    fn run_render_shows_head() {
+        let m = flipper();
+        let mut run = Run::new(&m, "01");
+        assert!(run.render().contains("[0]"));
+        run.step().unwrap();
+        assert!(run.render().contains("[1]"), "{}", run.render());
+    }
+}

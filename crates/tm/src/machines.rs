@@ -1,0 +1,173 @@
+//! A small library of concrete machines used by the simulation tests and
+//! benchmarks.
+//!
+//! The Theorem 4.1 demonstration needs real machines operating on instance
+//! encodings: an identity machine (the simplest query TM), a bit
+//! complementer, a binary incrementer (the classic multi-pass machine,
+//! good for longer traces), and an encoding well-formedness scanner.
+
+use crate::machine::{Machine, Move};
+
+/// The blank symbol used by all machines here.
+pub const BLANK: char = '_';
+
+/// A machine computing the identity query: scans to the end of the input
+/// and halts, leaving the tape unchanged. `enc(q(I)) = enc(I)`.
+pub fn identity() -> Machine {
+    let mut b = Machine::builder(BLANK);
+    b.state("scan");
+    b.pass_through("scan", "01{}[]#PGRQS", Move::Right, "scan")
+        .rule("scan", BLANK, BLANK, Move::Stay, "done")
+        .halting("done");
+    b.build().expect("identity machine is well-formed")
+}
+
+/// Complements every binary digit, leaving structure symbols unchanged.
+pub fn complement_bits() -> Machine {
+    let mut b = Machine::builder(BLANK);
+    b.state("scan");
+    b.rule("scan", '0', '1', Move::Right, "scan")
+        .rule("scan", '1', '0', Move::Right, "scan");
+    b.pass_through("scan", "{}[]#PGRQS", Move::Right, "scan")
+        .rule("scan", BLANK, BLANK, Move::Stay, "done")
+        .halting("done");
+    b.build().expect("complement machine is well-formed")
+}
+
+/// Increments a binary numeral (most significant bit first): scans right
+/// to the end, then carries left. Overflow prepends nothing (all-ones
+/// becomes all-zeros with a lost carry at the left edge — inputs are
+/// expected to have headroom, e.g. a leading 0).
+pub fn binary_increment() -> Machine {
+    let mut b = Machine::builder(BLANK);
+    b.state("right");
+    b.pass_through("right", "01", Move::Right, "right")
+        .rule("right", BLANK, BLANK, Move::Left, "carry")
+        .rule("carry", '1', '0', Move::Left, "carry")
+        .rule("carry", '0', '1', Move::Stay, "done")
+        .rule("carry", BLANK, BLANK, Move::Stay, "done")
+        .halting("done");
+    b.build().expect("increment machine is well-formed")
+}
+
+/// Checks that braces/brackets in an instance encoding nest properly.
+/// Accepts by halting in `accept`, rejects in `reject`.
+///
+/// The leading relation-name letter of an encoding doubles as the
+/// left-end marker, so inputs must start with one of `P G R Q S` (as
+/// every `enc(I)` does). The machine repeatedly erases the innermost
+/// matching pair, then verifies no opener survives — a quadratic-time
+/// recognizer exercising long, non-trivial traces.
+pub fn balanced_scanner() -> Machine {
+    let mut b = Machine::builder(BLANK);
+    b.state("seek"); // look rightward for the first closing symbol
+    b.pass_through("seek", "01#xPGRQS", Move::Right, "seek");
+    b.pass_through("seek", "{[", Move::Right, "seek");
+    b.rule("seek", '}', 'x', Move::Left, "back_brace")
+        .rule("seek", ']', 'x', Move::Left, "back_brack")
+        .rule("seek", BLANK, BLANK, Move::Left, "verify");
+    // walk back to the nearest opener; the wrong opener, or the left
+    // marker, means a mismatched closer
+    b.pass_through("back_brace", "01#x", Move::Left, "back_brace");
+    b.rule("back_brace", '{', 'x', Move::Right, "seek")
+        .rule("back_brace", '[', '[', Move::Stay, "reject");
+    b.pass_through("back_brack", "01#x", Move::Left, "back_brack");
+    b.rule("back_brack", '[', 'x', Move::Right, "seek")
+        .rule("back_brack", '{', '{', Move::Stay, "reject");
+    for c in "PGRQS".chars() {
+        b.rule("back_brace", c, c, Move::Stay, "reject");
+        b.rule("back_brack", c, c, Move::Stay, "reject");
+    }
+    // verify: walk back to the left marker; any surviving opener is
+    // unmatched
+    b.pass_through("verify", "01#x", Move::Left, "verify");
+    b.rule("verify", '{', '{', Move::Stay, "reject")
+        .rule("verify", '[', '[', Move::Stay, "reject")
+        .rule("verify", BLANK, BLANK, Move::Stay, "accept");
+    for c in "PGRQS".chars() {
+        b.rule("verify", c, c, Move::Stay, "accept");
+    }
+    b.halting("accept").halting("reject");
+    b.build().expect("scanner is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::TmError;
+
+    #[test]
+    fn identity_leaves_encoding_unchanged() {
+        let enc = "P[01#{00#01}#[10#{00#10}]][10#{10}#[00#{01#10}]]";
+        let halt = identity().run(enc, 10_000).unwrap();
+        assert_eq!(halt.output, enc);
+        assert_eq!(halt.steps as usize, enc.len() + 1);
+    }
+
+    #[test]
+    fn complement_flips_digits_only() {
+        let halt = complement_bits().run("P[01#{10}]", 1_000).unwrap();
+        assert_eq!(halt.output, "P[10#{01}]");
+    }
+
+    #[test]
+    fn increment_small_numbers() {
+        let m = binary_increment();
+        for (input, expect) in [("0", "1"), ("01", "10"), ("011", "100"), ("0111", "1000")] {
+            let halt = m.run(input, 1_000).unwrap();
+            assert_eq!(halt.output, expect, "inc({input})");
+        }
+    }
+
+    #[test]
+    fn increment_is_polynomial_steps() {
+        let m = binary_increment();
+        for len in [4usize, 8, 16, 32] {
+            let input = format!("0{}", "1".repeat(len - 1));
+            let halt = m.run(&input, 10_000).unwrap();
+            assert!(halt.steps as usize <= 3 * len + 3, "len {len}: {} steps", halt.steps);
+        }
+    }
+
+    #[test]
+    fn scanner_accepts_wellformed() {
+        let m = balanced_scanner();
+        for good in ["P{}", "P{00#01}", "P[01#{00#01}#[10#{00#10}]]", "", "P01#10"] {
+            let halt = m.run(good, 100_000).unwrap();
+            assert_eq!(
+                m.state_name(halt.state),
+                "accept",
+                "input {good:?} ended in {}",
+                m.state_name(halt.state)
+            );
+        }
+    }
+
+    #[test]
+    fn scanner_rejects_malformed() {
+        let m = balanced_scanner();
+        for bad in ["P{", "P}", "P{[}]", "P[00}"] {
+            let halt = m.run(bad, 100_000).unwrap();
+            assert_eq!(
+                m.state_name(halt.state),
+                "reject",
+                "input {bad:?} ended in {}",
+                m.state_name(halt.state)
+            );
+        }
+    }
+
+    #[test]
+    fn machines_never_get_stuck_on_their_domains() {
+        // run the identity machine on every alphabet permutation snippet
+        let m = identity();
+        for c in "01{}[]#P".chars() {
+            let input: String = std::iter::repeat_n(c, 5).collect();
+            match m.run(&input, 100) {
+                Ok(_) => {}
+                Err(TmError::Stuck { .. }) => panic!("stuck on {c}"),
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! The relational representation of machine runs — the `R_M` relation of
+//! Theorem 4.1's proof.
+//!
+//! A configuration at time `t` is stored as rows `[⃗t, ⃗i, x, y]`: the
+//! first `m` columns timestamp the configuration, the next `m` identify a
+//! tape cell, column `2m+1` holds the cell's content, and column `2m+2`
+//! the machine state when the head is on that cell (a "no head" marker
+//! otherwise). Timestamps and cell indices are `m`-tuples of atoms in the
+//! induced order; since computations are inflationary under `IFP`, *all*
+//! configurations are kept, timestamped — exactly the paper's device for
+//! working around the inflationary semantics.
+//!
+//! [`RelationalRun`] executes the run in this representation: phase (†)
+//! loads the initial configuration from `enc(I)`; phase (‡) applies the
+//! instruction cases (a)–(c) of the proof to produce each successor
+//! configuration. The test-suite checks, step by step, that this agrees
+//! with the direct runner in [`crate::machine`] — the semantic content of
+//! the simulation lemma. The *formula-level* version (the `CALC+IFP`
+//! formula that the proof actually constructs) lives in [`crate::formula`]
+//! and is validated against this one.
+
+use crate::machine::{Machine, Move, State, TmError};
+use no_object::{AtomOrder, Instance, Relation, Value};
+use std::fmt;
+
+/// Errors of the relational simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// `n^m` cells are not enough for the input plus working space.
+    TapeTooSmall {
+        /// Cells available (`n^m`).
+        capacity: usize,
+        /// Cells required.
+        needed: usize,
+    },
+    /// `n^m` timestamps were exhausted before the machine halted.
+    OutOfTimestamps {
+        /// Timestamps available.
+        capacity: usize,
+    },
+    /// The underlying machine failed.
+    Machine(TmError),
+    /// Symbol or state tables don't fit in tuples of the given width.
+    AlphabetTooLarge {
+        /// Values needed (alphabet or states + marker).
+        needed: usize,
+        /// Slots available.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TapeTooSmall { capacity, needed } => {
+                write!(f, "tape capacity {capacity} < required {needed} cells")
+            }
+            SimError::OutOfTimestamps { capacity } => {
+                write!(f, "ran out of {capacity} timestamps before halting")
+            }
+            SimError::Machine(e) => write!(f, "{e}"),
+            SimError::AlphabetTooLarge { needed, capacity } => {
+                write!(f, "alphabet/state table needs {needed} > {capacity} slots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<TmError> for SimError {
+    fn from(e: TmError) -> Self {
+        SimError::Machine(e)
+    }
+}
+
+/// One tape cell in a configuration slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// The symbol in the cell.
+    pub symbol: char,
+    /// The machine state, when the head is on this cell.
+    pub head: Option<State>,
+}
+
+/// A machine run in the `R_M` representation.
+pub struct RelationalRun<'m> {
+    machine: &'m Machine,
+    order: AtomOrder,
+    /// Index width `m`: `n^m` cells and `n^m` timestamps.
+    pub m: usize,
+    /// All configuration slices so far, by timestamp (inflationary: old
+    /// configurations are never removed).
+    pub history: Vec<Vec<Cell>>,
+}
+
+impl<'m> RelationalRun<'m> {
+    /// Phase (†): the initial configuration of `machine` on `input`,
+    /// represented relationally with index width `m`.
+    pub fn new(
+        machine: &'m Machine,
+        order: &AtomOrder,
+        m: usize,
+        input: &str,
+    ) -> Result<Self, SimError> {
+        let capacity = order.len().pow(m as u32);
+        if input.len() > capacity {
+            return Err(SimError::TapeTooSmall {
+                capacity,
+                needed: input.len(),
+            });
+        }
+        let mut slice: Vec<Cell> = input
+            .chars()
+            .map(|c| Cell {
+                symbol: c,
+                head: None,
+            })
+            .collect();
+        slice.resize(
+            capacity,
+            Cell {
+                symbol: machine.blank(),
+                head: None,
+            },
+        );
+        if capacity > 0 {
+            slice[0].head = Some(machine.start());
+        }
+        Ok(RelationalRun {
+            machine,
+            order: order.clone(),
+            m,
+            history: vec![slice],
+        })
+    }
+
+    /// Number of cells per configuration.
+    pub fn tape_capacity(&self) -> usize {
+        self.order.len().pow(self.m as u32)
+    }
+
+    /// The current (latest) configuration slice.
+    pub fn current(&self) -> &[Cell] {
+        self.history.last().expect("history never empty")
+    }
+
+    /// The head position and state in the latest configuration.
+    pub fn head(&self) -> Option<(usize, State)> {
+        self.current()
+            .iter()
+            .enumerate()
+            .find_map(|(i, c)| c.head.map(|s| (i, s)))
+    }
+
+    /// Whether the latest configuration is halting.
+    pub fn halted(&self) -> bool {
+        match self.head() {
+            Some((_, s)) => self.machine.is_halting(s),
+            None => true,
+        }
+    }
+
+    /// Phase (‡), one move: build the successor configuration from the
+    /// current one by the proof's cases:
+    ///
+    /// * (a) cells other than the head cell and its move target copy over;
+    /// * (b) the head cell gets the written symbol, and keeps or loses the
+    ///   head marker depending on the move;
+    /// * (c) the move target keeps its content and gains the head marker
+    ///   with the new state.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        if self.halted() {
+            return Ok(());
+        }
+        let capacity = self.tape_capacity();
+        if self.history.len() >= capacity {
+            return Err(SimError::OutOfTimestamps { capacity });
+        }
+        let current = self.current().to_vec();
+        let (j, q) = self.head().expect("not halted implies a head");
+        let read = current[j].symbol;
+        let action = self
+            .machine
+            .action(q, read)
+            .ok_or(TmError::Stuck {
+                state: self.machine.state_name(q).to_string(),
+                read,
+            })?;
+        let target = match action.mv {
+            Move::Left => j.saturating_sub(1),
+            Move::Right => j + 1,
+            Move::Stay => j,
+        };
+        if target >= capacity {
+            return Err(SimError::TapeTooSmall {
+                capacity,
+                needed: target + 1,
+            });
+        }
+        let mut next = Vec::with_capacity(capacity);
+        for (i, cell) in current.iter().enumerate() {
+            let mut c = if i == j {
+                // case (b): rewrite the head cell
+                Cell {
+                    symbol: action.write,
+                    head: None,
+                }
+            } else {
+                // case (a): copy
+                Cell {
+                    symbol: cell.symbol,
+                    head: None,
+                }
+            };
+            if i == target {
+                // case (c): the head arrives here in the new state
+                c.head = Some(action.next);
+            }
+            next.push(c);
+        }
+        self.history.push(next);
+        Ok(())
+    }
+
+    /// Run phase (‡) to halting, within the timestamp capacity.
+    pub fn run_to_halt(&mut self) -> Result<(), SimError> {
+        while !self.halted() {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// The tape word of the latest configuration, trailing blanks trimmed
+    /// — the decoded output of the simulation.
+    pub fn output(&self) -> String {
+        let mut s: String = self.current().iter().map(|c| c.symbol).collect();
+        while s.ends_with(self.machine.blank()) {
+            s.pop();
+        }
+        s
+    }
+
+    /// Total rows in the `R_M` relation (all timestamps).
+    pub fn row_count(&self) -> usize {
+        self.history.len() * self.tape_capacity()
+    }
+
+    /// Materialise `R_M` as a pure complex-object relation of arity
+    /// `2m + 4`: `m` timestamp atoms, `m` cell atoms, then the symbol and
+    /// the state/head marker, each as an atom pair (index into the symbol
+    /// and state tables, encoded by rank).
+    ///
+    /// Symbols use the machine alphabet in sorted order; states use the
+    /// machine's state numbering with one extra "no head" marker at the
+    /// end. Fails when `n^2` cannot index those tables.
+    pub fn to_relation(&self) -> Result<Relation, SimError> {
+        let n = self.order.len();
+        let alphabet = self.machine.alphabet();
+        let pair_capacity = n * n;
+        let states_needed = self.machine.state_count() + 1;
+        if alphabet.len() > pair_capacity || states_needed > pair_capacity {
+            return Err(SimError::AlphabetTooLarge {
+                needed: alphabet.len().max(states_needed),
+                capacity: pair_capacity,
+            });
+        }
+        let pair = |idx: usize| -> Vec<Value> {
+            vec![
+                Value::Atom(self.order.at(idx / n)),
+                Value::Atom(self.order.at(idx % n)),
+            ]
+        };
+        let index_tuple = |mut idx: usize| -> Vec<Value> {
+            let mut digits = vec![0usize; self.m];
+            for d in (0..self.m).rev() {
+                digits[d] = idx % n;
+                idx /= n;
+            }
+            digits
+                .into_iter()
+                .map(|d| Value::Atom(self.order.at(d)))
+                .collect()
+        };
+        let no_head = self.machine.state_count();
+        let mut rel = Relation::new();
+        for (t, slice) in self.history.iter().enumerate() {
+            for (i, cell) in slice.iter().enumerate() {
+                let mut row = index_tuple(t);
+                row.extend(index_tuple(i));
+                let sym_idx = alphabet
+                    .iter()
+                    .position(|&c| c == cell.symbol)
+                    .expect("cell symbols come from the machine alphabet");
+                row.extend(pair(sym_idx));
+                let state_idx = cell.head.map_or(no_head, |s| s.0 as usize);
+                row.extend(pair(state_idx));
+                rel.insert(row);
+            }
+        }
+        Ok(rel)
+    }
+
+    /// Render a configuration in the paper's table layout (the worked
+    /// figure on p. 17): one line per cell, `⃗i_j`-style position labels,
+    /// the symbol, and the state or `0`.
+    pub fn render_configuration(&self, t: usize) -> String {
+        let slice = &self.history[t];
+        let mut out = String::new();
+        for (i, cell) in slice.iter().enumerate() {
+            let state = match cell.head {
+                Some(s) => self.machine.state_name(s).to_string(),
+                None => "0".to_string(),
+            };
+            let sym = if cell.symbol == self.machine.blank() {
+                ' '
+            } else {
+                cell.symbol
+            };
+            out.push_str(&format!("i_{:<3} i_{:<3} {}  {}\n", t + 1, i + 1, sym, state));
+        }
+        out
+    }
+}
+
+/// Simulate a machine on the encoding of an instance and return the output
+/// tape, running entirely in the relational representation.
+pub fn simulate_on_instance(
+    machine: &Machine,
+    order: &AtomOrder,
+    instance: &Instance,
+    m: usize,
+) -> Result<String, SimError> {
+    let input = no_object::encoding::encode_instance(order, instance);
+    let mut run = RelationalRun::new(machine, order, m, &input)?;
+    run.run_to_halt()?;
+    Ok(run.output())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Run;
+    use crate::machines;
+    use no_object::{RelationSchema, Schema, Type, Universe};
+
+    fn order_n(n: usize) -> AtomOrder {
+        let names: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+        let u = Universe::with_names(names.iter().map(String::as_str));
+        AtomOrder::identity(&u)
+    }
+
+    #[test]
+    fn relational_run_matches_direct_run_stepwise() {
+        let m = machines::complement_bits();
+        let order = order_n(4);
+        let input = "01#10";
+        let mut direct = Run::new(&m, input);
+        let mut rel = RelationalRun::new(&m, &order, 2, input).unwrap();
+        loop {
+            // compare tape prefix, head, state
+            let slice = rel.current();
+            for (i, cell) in slice.iter().enumerate() {
+                let direct_sym = direct.cells.get(i).copied().unwrap_or('_');
+                assert_eq!(cell.symbol, direct_sym, "cell {i} at step {}", direct.steps);
+            }
+            match rel.head() {
+                Some((pos, st)) => {
+                    assert_eq!(pos, direct.head);
+                    assert_eq!(st, direct.state);
+                }
+                None => panic!("head lost"),
+            }
+            if rel.halted() {
+                assert!(direct.halted());
+                break;
+            }
+            direct.step().unwrap();
+            rel.step().unwrap();
+        }
+        assert_eq!(rel.output(), direct.tape_string());
+    }
+
+    #[test]
+    fn simulates_figure2_instance_identity() {
+        // the paper's instance, identity machine: output = enc(I)
+        let mut u = Universe::new();
+        let a = Value::Atom(u.intern("a"));
+        let b = Value::Atom(u.intern("b"));
+        let c = Value::Atom(u.intern("c"));
+        let schema = Schema::from_relations([RelationSchema::new(
+            "P",
+            vec![
+                Type::Atom,
+                Type::set(Type::Atom),
+                Type::tuple(vec![Type::Atom, Type::set(Type::Atom)]),
+            ],
+        )]);
+        let mut i = Instance::empty(schema);
+        i.insert(
+            "P",
+            vec![
+                b.clone(),
+                Value::set([a.clone(), b.clone()]),
+                Value::tuple([c.clone(), Value::set([a.clone(), c.clone()])]),
+            ],
+        );
+        i.insert(
+            "P",
+            vec![
+                c.clone(),
+                Value::set([c.clone()]),
+                Value::tuple([a.clone(), Value::set([b, c])]),
+            ],
+        );
+        let order = AtomOrder::identity(&u);
+        // 47-char encoding + head run-off: m = 4 gives 81 cells/timestamps
+        let out = simulate_on_instance(&machines::identity(), &order, &i, 4).unwrap();
+        assert_eq!(out, "P[01#{00#01}#[10#{00#10}]][10#{10}#[00#{01#10}]]");
+    }
+
+    #[test]
+    fn tape_capacity_errors() {
+        let m = machines::identity();
+        let order = order_n(2);
+        assert!(matches!(
+            RelationalRun::new(&m, &order, 1, "0000"),
+            Err(SimError::TapeTooSmall { capacity: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn timestamp_exhaustion_detected() {
+        let m = machines::binary_increment();
+        let order = order_n(2);
+        // 4 cells, 4 timestamps with m=2; increment of "011" takes ~7 steps
+        let mut run = RelationalRun::new(&m, &order, 2, "011").unwrap();
+        match run.run_to_halt() {
+            Err(SimError::OutOfTimestamps { capacity: 4 }) => {}
+            other => panic!("expected OutOfTimestamps, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn history_is_inflationary() {
+        let m = machines::complement_bits();
+        let order = order_n(3);
+        let mut run = RelationalRun::new(&m, &order, 2, "01").unwrap();
+        run.run_to_halt().unwrap();
+        // 0 flips, 1 flips, blank transition: 3 steps + initial = 4 slices
+        assert_eq!(run.history.len(), 4);
+        // the initial configuration is still intact
+        assert_eq!(run.history[0][0].symbol, '0');
+        assert_eq!(run.history[0][0].head, Some(m.start()));
+        assert_eq!(run.output(), "10");
+        assert_eq!(run.row_count(), 4 * 9);
+    }
+
+    #[test]
+    fn to_relation_round_trips_row_count() {
+        // complement_bits has a 13-symbol alphabet: need n^2 >= 13
+        let m = machines::complement_bits();
+        let order = order_n(4);
+        let mut run = RelationalRun::new(&m, &order, 2, "01").unwrap();
+        run.run_to_halt().unwrap();
+        let rel = run.to_relation().unwrap();
+        assert_eq!(rel.len(), run.row_count());
+        // arity 2m + 4
+        assert_eq!(rel.iter().next().unwrap().len(), 2 * 2 + 4);
+    }
+
+    #[test]
+    fn to_relation_rejects_small_universe() {
+        let m = machines::balanced_scanner(); // big alphabet + many states
+        let order = order_n(2);
+        let mut run = RelationalRun::new(&m, &order, 5, "P{}").unwrap();
+        run.run_to_halt().unwrap();
+        assert!(matches!(
+            run.to_relation(),
+            Err(SimError::AlphabetTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn configuration_rendering_shows_head_state() {
+        let m = machines::identity();
+        let order = order_n(3);
+        let run = RelationalRun::new(&m, &order, 2, "P0").unwrap();
+        let table = run.render_configuration(0);
+        assert!(table.contains("P  scan"), "{table}");
+        assert!(table.lines().count() == 9);
+    }
+}

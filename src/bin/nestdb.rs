@@ -1,0 +1,47 @@
+//! `nestdb` — an interactive shell for complex-object databases.
+//!
+//! ```text
+//! $ cargo run --bin nestdb -- data/graph.no
+//! nestdb> {[x:U, y:U] | G(x, y)}
+//! nestdb> :classify {[u:U, v:U] | ifp(S; x:U, y:U | G(x,y) \/ exists z:U (S(x,z) /\ G(z,y)))(u, v)}
+//! nestdb> :help
+//! ```
+//!
+//! All logic lives in [`nestdb::shell::Shell`]; this binary is the stdin
+//! loop.
+
+use nestdb::shell::Shell;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut shell = Shell::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for path in &args {
+        match shell.load(path) {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let stdin = io::stdin();
+    let interactive = std::env::var_os("TERM").is_some();
+    if interactive {
+        println!("nestdb — tractable query languages for complex objects (:help for help)");
+    }
+    let mut lines = stdin.lock().lines();
+    loop {
+        if interactive {
+            print!("nestdb> ");
+            let _ = io::stdout().flush();
+        }
+        let Some(Ok(line)) = lines.next() else { break };
+        match shell.command(&line) {
+            Ok(Some(out)) => println!("{out}"),
+            Ok(None) => {}
+            Err(e) if e == "quit" => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

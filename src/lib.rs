@@ -1,0 +1,20 @@
+//! `nestdb` — umbrella crate re-exporting the full public API of the
+//! reproduction of Grumbach & Vianu, *Tractable Query Languages for Complex
+//! Object Databases* (PODS 1991).
+//!
+//! See the individual crates for the substrate layers:
+//! - [`object`]: complex-object values, types, ranked domains, encodings
+//! - [`algebra`]: nested-relational algebra operators (nest/unnest/powerset)
+//! - [`core`]: the CALC query language, IFP/PFP fixpoints, range restriction
+//! - [`tm`]: Turing machines and the relational simulation of Theorem 4.1
+//! - [`datalog`]: inflationary Datalog over complex objects
+//! - [`density`]: instance families and density/sparsity analysis
+
+pub use no_algebra as algebra;
+pub use no_core as core;
+pub use no_datalog as datalog;
+pub use no_density as density;
+pub use no_object as object;
+pub use no_tm as tm;
+
+pub mod shell;

@@ -1,0 +1,348 @@
+//! The interactive shell behind the `nestdb` binary — in the library so
+//! its command loop is unit-testable.
+//!
+//! ```text
+//! $ cargo run --bin nestdb -- mydb.no
+//! nestdb> {[x:U, y:U] | G(x, y)}
+//! nestdb> :classify {[u:U, v:U] | ifp(S; x:U, y:U | G(x,y) \/ exists z:U (S(x,z) /\ G(z,y)))(u, v)}
+//! nestdb> :datalog rules.dl
+//! nestdb> :help
+//! ```
+//!
+//! Databases use the text format of `no_object::text` (`schema R(U, {U}).`
+//! followed by facts); queries use the CALC concrete syntax; Datalog files
+//! use the `no_datalog::parser` syntax. Queries are evaluated with safe
+//! (range-restricted) evaluation by default, falling back to active
+//! domains per variable, under configurable budgets.
+
+use no_core::error::EvalConfig;
+use no_core::eval::eval_query_with;
+use no_core::parser::parse_query;
+use no_core::print::Printer;
+use no_core::ranges::safe_eval;
+use no_core::report::{classify, InputAssumption};
+use no_datalog as datalog;
+use no_object::text::{parse_database, render_database};
+use no_object::{Instance, Schema, Universe, Value};
+use std::time::Instant;
+
+/// The shell: a universe, a database, budgets, and an evaluation mode.
+pub struct Shell {
+    universe: Universe,
+    instance: Instance,
+    config: EvalConfig,
+    active_domain: bool,
+}
+
+impl Shell {
+    /// A fresh shell with an empty database.
+    pub fn new() -> Self {
+        Shell {
+            universe: Universe::new(),
+            instance: Instance::empty(Schema::new()),
+            config: EvalConfig::default(),
+            active_domain: false,
+        }
+    }
+
+    /// Load a database file (text format), replacing the current one.
+    pub fn load(&mut self, path: &str) -> Result<String, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let (schema, instance) =
+            parse_database(&src, &mut self.universe).map_err(|e| e.to_string())?;
+        let summary = format!(
+            "loaded {}: {} relations, {} tuples, {} atoms",
+            path,
+            schema.len(),
+            instance.cardinality(),
+            instance.atoms().len()
+        );
+        self.instance = instance;
+        Ok(summary)
+    }
+
+    fn render_row(&self, row: &[Value]) -> String {
+        let printer = Printer::with_universe(&self.universe);
+        let cells: Vec<String> = row.iter().map(|v| printer.value(v)).collect();
+        format!("({})", cells.join(", "))
+    }
+
+    fn run_query(&mut self, src: &str) -> Result<String, String> {
+        let query = parse_query(src, &mut self.universe).map_err(|e| e.to_string())?;
+        let t = Instant::now();
+        let result = if self.active_domain {
+            eval_query_with(&self.instance, &query, self.config.clone())
+        } else {
+            safe_eval(&self.instance, &query, self.config.clone())
+        };
+        let answer = result.map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for row in answer.sorted_rows() {
+            out.push_str(&self.render_row(row));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} rows in {:.1} ms ({})",
+            answer.len(),
+            t.elapsed().as_secs_f64() * 1e3,
+            if self.active_domain { "active-domain" } else { "safe" },
+        ));
+        Ok(out)
+    }
+
+    fn classify_query(&mut self, src: &str) -> Result<String, String> {
+        let query = parse_query(src, &mut self.universe).map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for (label, assumption) in [
+            ("no assumption", InputAssumption::Unknown),
+            ("dense inputs ", InputAssumption::Dense),
+        ] {
+            let report = classify(self.instance.schema(), &query, assumption)
+                .map_err(|e| e.to_string())?;
+            out.push_str(&format!("{label}: {} → {} (by {})\n", report.language, report.bound.bound, report.bound.by));
+            if !report.unrestricted_vars.is_empty() {
+                out.push_str(&format!(
+                    "  unrestricted variables: {}\n",
+                    report.unrestricted_vars.join(", ")
+                ));
+            }
+        }
+        Ok(out.trim_end().to_string())
+    }
+
+    fn explain_query(&mut self, src: &str) -> Result<String, String> {
+        use no_core::nf;
+        use no_core::ranges::compute_ranges;
+        use no_core::typeck;
+        let query = parse_query(src, &mut self.universe).map_err(|e| e.to_string())?;
+        let checked = typeck::check(self.instance.schema(), &query.head, &query.body)
+            .map_err(|e| e.to_string())?;
+        let m = nf::metrics(&query.body);
+        let mut out = format!(
+            "CALC_{}^{} formula: {} nodes, quantifier rank {}, fixpoint depth {}
+",
+            checked.set_height, checked.tuple_width, m.size, m.quantifier_rank, m.fixpoint_depth
+        );
+        match compute_ranges(&self.instance, &checked.var_types, &query.body, &self.config) {
+            Ok(ranges) => {
+                out.push_str("computed ranges (Theorem 5.1):
+");
+                let mut any = false;
+                for (path, vals) in ranges.iter() {
+                    any = true;
+                    out.push_str(&format!("  r({path}): {} candidates
+", vals.len()));
+                }
+                if !any {
+                    out.push_str("  (none — evaluation falls back to active domains)
+");
+                }
+                for (v, ty) in checked.var_types.iter() {
+                    if ranges.of_var(v).is_none() {
+                        out.push_str(&format!("  {v}:{ty} unrestricted → active domain
+"));
+                    }
+                }
+            }
+            Err(e) => out.push_str(&format!("range computation refused: {e}
+")),
+        }
+        Ok(out.trim_end().to_string())
+    }
+
+    fn run_datalog(&mut self, path: &str) -> Result<String, String> {
+        let (path, stratified) = match path.strip_suffix(" stratified") {
+            Some(p) => (p.trim(), true),
+            None => (path, false),
+        };
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let program =
+            datalog::parse_program(&src, &mut self.universe).map_err(|e| e.to_string())?;
+        let t = Instant::now();
+        let (idb, stats) = if stratified {
+            let idb = datalog::eval_stratified(&program, &self.instance)
+                .map_err(|e| e.to_string())?;
+            let facts = idb.values().map(|r| r.len()).sum();
+            (idb, datalog::EvalStats { rounds: 0, facts, joins: 0 })
+        } else {
+            datalog::eval(&program, &self.instance, datalog::Strategy::SemiNaive)
+                .map_err(|e| e.to_string())?
+        };
+        let mut out = String::new();
+        for (name, rel) in &idb {
+            out.push_str(&format!("{name}: {} facts\n", rel.len()));
+            for row in rel.sorted_rows().into_iter().take(20) {
+                out.push_str(&format!("  {}\n", self.render_row(row)));
+            }
+            if rel.len() > 20 {
+                out.push_str("  …\n");
+            }
+        }
+        out.push_str(&format!(
+            "{} rounds, {} facts, {:.1} ms",
+            stats.rounds,
+            stats.facts,
+            t.elapsed().as_secs_f64() * 1e3
+        ));
+        Ok(out)
+    }
+
+    /// Execute one input line: a `:command` or a CALC query.
+    ///
+    /// `Ok(Some(text))` is output to show, `Ok(None)` a no-op (blank or
+    /// comment), `Err("quit")` the quit signal, any other `Err` an error
+    /// message to display.
+    pub fn command(&mut self, line: &str) -> Result<Option<String>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            return Ok(None);
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            let (cmd, arg) = rest.split_once(' ').unwrap_or((rest, ""));
+            let arg = arg.trim();
+            return match cmd {
+                "help" | "h" => Ok(Some(HELP.to_string())),
+                "quit" | "q" => Err("quit".to_string()),
+                "load" => self.load(arg).map(Some),
+                "save" => {
+                    let text = render_database(&self.universe, &self.instance);
+                    std::fs::write(arg, &text)
+                        .map_err(|e| format!("cannot write {arg}: {e}"))?;
+                    Ok(Some(format!(
+                        "saved {} tuples to {arg}",
+                        self.instance.cardinality()
+                    )))
+                }
+                "db" => Ok(Some(render_database(&self.universe, &self.instance))),
+                "schema" => {
+                    let mut out = String::new();
+                    for r in self.instance.schema().relations() {
+                        let cols: Vec<String> =
+                            r.column_types.iter().map(ToString::to_string).collect();
+                        out.push_str(&format!("{}({})\n", r.name, cols.join(", ")));
+                    }
+                    let (i, k) = self.instance.schema().ik();
+                    out.push_str(&format!("an <{i},{k}>-database schema"));
+                    Ok(Some(out))
+                }
+                "classify" => self.classify_query(arg).map(Some),
+                "explain" => self.explain_query(arg).map(Some),
+                "datalog" => self.run_datalog(arg).map(Some),
+                "budget" => match arg.parse::<u64>() {
+                    Ok(n) => {
+                        self.config.max_range = n;
+                        Ok(Some(format!("max quantifier range set to {n}")))
+                    }
+                    Err(_) => Err(format!("not a number: {arg}")),
+                },
+                "active" => {
+                    self.active_domain = !self.active_domain;
+                    Ok(Some(format!(
+                        "evaluation mode: {}",
+                        if self.active_domain { "active-domain" } else { "safe (range-restricted)" }
+                    )))
+                }
+                other => Err(format!("unknown command :{other} (try :help)")),
+            };
+        }
+        self.run_query(line).map(Some)
+    }
+}
+
+const HELP: &str = "\
+queries:   {[x:U, y:{U}] | Friends(x, y) /\\ ...}   evaluate a CALC query
+commands:
+  :load <file>       load a database (text format: schema R(U). R('a').)
+  :save <file>       write the database back out in the text format
+  :schema            show the schema and its <i,k> classification
+  :db                dump the database
+  :classify <query>  language fragment + complexity bound (paper theorems)
+  :explain <query>   formula metrics + the ranges safe evaluation would use
+  :datalog <file> [stratified]   run a Datalog¬ program (default: inflationary)
+  :active            toggle active-domain vs safe evaluation
+  :budget <n>        set the quantifier-range budget
+  :help  :quit";
+
+
+impl Default for Shell {
+    fn default() -> Self {
+        Shell::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded_shell() -> Shell {
+        let mut sh = Shell::new();
+        // build the graph database inline rather than from a file
+        let (schema, instance) = parse_database(
+            "schema G(U, U).\nG('a','b').\nG('b','c').\nG('c','a').",
+            &mut sh.universe,
+        )
+        .unwrap();
+        let _ = schema;
+        sh.instance = instance;
+        sh
+    }
+
+    #[test]
+    fn queries_and_commands_flow() {
+        let mut sh = loaded_shell();
+        let out = sh.command("{[x:U, y:U] | G(x, y)}").unwrap().unwrap();
+        assert!(out.contains("3 rows"), "{out}");
+        let schema = sh.command(":schema").unwrap().unwrap();
+        assert!(schema.contains("G(U, U)"), "{schema}");
+        assert!(schema.contains("<0,0>-database schema"), "{schema}");
+        let dump = sh.command(":db").unwrap().unwrap();
+        assert!(dump.contains("G('a', 'b')."), "{dump}");
+    }
+
+    #[test]
+    fn classify_and_explain() {
+        let mut sh = loaded_shell();
+        let c = sh
+            .command(":classify {[x:U, y:U] | G(x, y)}")
+            .unwrap()
+            .unwrap();
+        assert!(c.contains("RR-(CALC_0^0)"), "{c}");
+        let e = sh
+            .command(":explain {[x:U, y:U] | G(x, y)}")
+            .unwrap()
+            .unwrap();
+        assert!(e.contains("r(x): 3 candidates"), "{e}");
+    }
+
+    #[test]
+    fn budget_and_mode_toggles() {
+        let mut sh = loaded_shell();
+        assert!(sh.command(":budget 4").unwrap().unwrap().contains('4'));
+        // a set-typed head now exceeds the budget under active domains
+        sh.command(":active").unwrap();
+        let err = sh.command("{[X:{U}] | X = X}").unwrap_err();
+        assert!(err.contains("cardinality"), "{err}");
+        sh.command(":active").unwrap(); // back to safe
+        assert!(sh.command(":budget notanumber").is_err());
+    }
+
+    #[test]
+    fn errors_and_noise_lines() {
+        let mut sh = loaded_shell();
+        assert_eq!(sh.command("").unwrap(), None);
+        assert_eq!(sh.command("% comment").unwrap(), None);
+        assert!(sh.command(":nope").is_err());
+        assert!(sh.command("{[x:U] | Missing(x)}").is_err());
+        assert_eq!(sh.command(":quit").unwrap_err(), "quit");
+        assert!(sh.command(":load /no/such/file.no").is_err());
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let mut sh = Shell::new();
+        let h = sh.command(":help").unwrap().unwrap();
+        for cmd in [":load", ":classify", ":explain", ":datalog", ":budget"] {
+            assert!(h.contains(cmd), "{h}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+#![allow(dead_code)] // each integration test uses a different subset
+
+//! Shared helpers for the integration tests: random instances, reference
+//! algorithms, and a random-formula generator for round-trip properties.
+
+use nestdb::core::ast::{FixOp, Fixpoint, Formula, Term};
+use nestdb::core::eval::Query;
+use nestdb::object::{Atom, AtomOrder, Instance, RelationSchema, Schema, Type, Universe, Value};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The flat graph schema `G[U,U]`.
+pub fn graph_schema() -> Schema {
+    Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])])
+}
+
+/// Build a graph instance over `n` atoms from an edge list.
+pub fn graph_instance(n: usize, edges: &[(usize, usize)]) -> (Universe, AtomOrder, Instance) {
+    let names: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+    let u = Universe::with_names(names.iter().map(String::as_str));
+    let order = AtomOrder::identity(&u);
+    let mut i = Instance::empty(graph_schema());
+    for &(a, b) in edges {
+        i.insert(
+            "G",
+            vec![Value::Atom(Atom(a as u32)), Value::Atom(Atom(b as u32))],
+        );
+    }
+    (u, order, i)
+}
+
+/// Reference transitive closure by iterated squaring over an adjacency set.
+pub fn reference_tc(n: usize, edges: &[(usize, usize)]) -> HashSet<(usize, usize)> {
+    let mut closure: HashSet<(usize, usize)> = edges.iter().copied().collect();
+    loop {
+        let mut added = Vec::new();
+        for &(a, b) in &closure {
+            for &(c, d) in &closure {
+                if b == c && !closure.contains(&(a, d)) {
+                    added.push((a, d));
+                }
+            }
+        }
+        if added.is_empty() {
+            return closure;
+        }
+        closure.extend(added);
+        let _ = n;
+    }
+}
+
+/// The Example 3.1 TC fixpoint over atom-typed nodes.
+pub fn tc_fixpoint() -> Arc<Fixpoint> {
+    Arc::new(Fixpoint {
+        op: FixOp::Ifp,
+        rel: "S".into(),
+        vars: vec![("fx".into(), Type::Atom), ("fy".into(), Type::Atom)],
+        body: Box::new(Formula::or([
+            Formula::Rel("G".into(), vec![Term::var("fx"), Term::var("fy")]),
+            Formula::exists(
+                "fz",
+                Type::Atom,
+                Formula::and([
+                    Formula::Rel("S".into(), vec![Term::var("fx"), Term::var("fz")]),
+                    Formula::Rel("G".into(), vec![Term::var("fz"), Term::var("fy")]),
+                ]),
+            ),
+        ])),
+    })
+}
+
+/// TC as a query.
+pub fn tc_query() -> Query {
+    Query::new(
+        vec![("qu".into(), Type::Atom), ("qv".into(), Type::Atom)],
+        Formula::FixApp(tc_fixpoint(), vec![Term::var("qu"), Term::var("qv")]),
+    )
+}
+
+/// Strategy: a random edge list over `n` nodes.
+pub fn edges_strategy(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 0..=max_edges)
+}
+
+/// Strategy: a random complex-object value of the given type over `n`
+/// atoms (set sizes kept small).
+pub fn value_strategy(ty: &Type, n: u32) -> BoxedStrategy<Value> {
+    match ty {
+        Type::Atom => (0..n).prop_map(|i| Value::Atom(Atom(i))).boxed(),
+        Type::Tuple(ts) => {
+            let comps: Vec<BoxedStrategy<Value>> =
+                ts.iter().map(|t| value_strategy(t, n)).collect();
+            comps.prop_map(Value::Tuple).boxed()
+        }
+        Type::Set(t) => prop::collection::vec(value_strategy(t, n), 0..=3)
+            .prop_map(Value::set)
+            .boxed(),
+    }
+}
+
+/// Strategy: a random type of bounded depth.
+pub fn type_strategy(depth: u32) -> BoxedStrategy<Type> {
+    if depth == 0 {
+        Just(Type::Atom).boxed()
+    } else {
+        prop_oneof![
+            3 => Just(Type::Atom),
+            2 => type_strategy(depth - 1).prop_map(Type::set),
+            2 => prop::collection::vec(type_strategy(depth - 1), 1..=2).prop_map(Type::tuple),
+        ]
+        .boxed()
+    }
+}

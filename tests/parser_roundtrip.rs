@@ -1,0 +1,120 @@
+//! Property: the concrete syntax round-trips — `parse(print(φ)) == φ` for
+//! randomly generated formulas, types, and queries.
+
+mod common;
+
+use common::type_strategy;
+use nestdb::core::ast::{FixOp, Fixpoint, Formula, Term};
+use nestdb::core::parser::{parse_formula, parse_query, parse_type};
+use nestdb::core::print::Printer;
+use nestdb::core::eval::Query;
+use nestdb::object::{Type, Universe};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Random atomic formulas over a fixed scope of typed variables.
+fn atom_strategy() -> impl Strategy<Value = Formula> {
+    prop_oneof![
+        Just(Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")])),
+        Just(Formula::Rel("P".into(), vec![Term::var("X")])),
+        Just(Formula::Eq(Term::var("x"), Term::var("y"))),
+        Just(Formula::In(Term::var("x"), Term::var("X"))),
+        Just(Formula::Subset(Term::var("X"), Term::var("Y"))),
+        Just(Formula::Eq(Term::var("t").proj(1), Term::var("t").proj(2))),
+    ]
+}
+
+fn formula_strategy(depth: u32) -> BoxedStrategy<Formula> {
+    if depth == 0 {
+        atom_strategy().boxed()
+    } else {
+        let sub = formula_strategy(depth - 1);
+        prop_oneof![
+            2 => atom_strategy(),
+            1 => sub.clone().prop_map(|f| f.not()),
+            1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| Formula::and([a, b])),
+            1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| Formula::or([a, b])),
+            1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| a.implies(b)),
+            1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| a.iff(b)),
+            1 => (0u32..4, sub.clone()).prop_map(|(i, f)| {
+                Formula::exists(format!("q{i}"), Type::Atom, f)
+            }),
+            1 => (4u32..8, sub).prop_map(|(i, f)| {
+                Formula::forall(format!("q{i}"), Type::set(Type::Atom), f)
+            }),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn formulas_roundtrip(f in formula_strategy(3)) {
+        let printed = Printer::new().formula(&f);
+        let mut u = Universe::new();
+        let back = parse_formula(&printed, &mut u)
+            .unwrap_or_else(|e| panic!("printed {printed:?}: {e}"));
+        prop_assert_eq!(back, f, "printed: {}", printed);
+    }
+
+    #[test]
+    fn types_roundtrip(t in type_strategy(3)) {
+        let printed = t.to_string();
+        let back = parse_type(&printed).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn queries_roundtrip(f in formula_strategy(2)) {
+        let q = Query::new(
+            vec![
+                ("x".into(), Type::Atom),
+                ("X".into(), Type::set(Type::Atom)),
+            ],
+            f,
+        );
+        let printed = Printer::new().query(&q);
+        let mut u = Universe::new();
+        let back = parse_query(&printed, &mut u)
+            .unwrap_or_else(|e| panic!("printed {printed:?}: {e}"));
+        prop_assert_eq!(back, q);
+    }
+
+    #[test]
+    fn fixpoints_roundtrip(body in formula_strategy(2), op in prop_oneof![Just(FixOp::Ifp), Just(FixOp::Pfp)]) {
+        // close the body's free variables as fixpoint columns
+        let mut vars: Vec<(String, Type)> = vec![
+            ("x".into(), Type::Atom),
+            ("y".into(), Type::Atom),
+            ("t".into(), Type::tuple(vec![Type::Atom, Type::Atom])),
+            ("X".into(), Type::set(Type::Atom)),
+            ("Y".into(), Type::set(Type::Atom)),
+        ];
+        let free = body.free_vars();
+        vars.retain(|(v, _)| free.contains(v));
+        if vars.is_empty() {
+            vars.push(("x".into(), Type::Atom));
+        }
+        let fix = Arc::new(Fixpoint { op, rel: "S".into(), vars, body: Box::new(body) });
+        let args: Vec<Term> = (0..fix.vars.len()).map(|i| Term::var(format!("a{i}"))).collect();
+        let f = Formula::FixApp(fix, args);
+        let printed = Printer::new().formula(&f);
+        let mut u = Universe::new();
+        let back = parse_formula(&printed, &mut u)
+            .unwrap_or_else(|e| panic!("printed {printed:?}: {e}"));
+        prop_assert_eq!(back, f, "printed: {}", printed);
+    }
+}
+
+#[test]
+fn whitespace_and_error_positions() {
+    let mut u = Universe::new();
+    // generous whitespace parses
+    let f = parse_formula("  G( x ,\n\t y )  /\\  x = y ", &mut u).unwrap();
+    assert!(matches!(f, Formula::And(_)));
+    // error positions point into the source
+    let err = parse_formula("G(x, y) /\\ ][", &mut u).unwrap_err();
+    assert!(err.at >= 11, "position was {}", err.at);
+}
