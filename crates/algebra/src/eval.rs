@@ -1,25 +1,70 @@
 //! Bottom-up evaluation of algebra expressions over instances.
 //!
-//! Straightforward operator-at-a-time evaluation with a global row budget:
-//! the powerset operator produces `2^|rows|` output rows and is exactly
-//! the construct the paper's conclusion calls intractable — the budget
-//! turns that blowup into a structured [`AlgebraError::RowBudget`] error,
-//! mirroring the CALC evaluator's range budgets.
+//! Straightforward operator-at-a-time evaluation under the shared
+//! [`Governor`]: the powerset operator produces `2^|rows|` output rows and
+//! is exactly the construct the paper's conclusion calls intractable — the
+//! governor turns that blowup into a structured
+//! [`AlgebraError::Resource`] error, mirroring the CALC evaluator's range
+//! budgets. Row counts are checked against the range cap, every
+//! materialised row costs one unit of step fuel and its approximate bytes
+//! against the memory budget, and cancellation/deadline are honoured at
+//! each operator boundary.
 
 use crate::expr::{AlgebraError, Expr, Pred};
-use no_object::{Instance, Relation, SetValue, Value};
+use no_object::{Governor, Instance, Limits, Relation, SetValue, Value};
 use std::collections::BTreeMap;
+use std::time::Duration;
 
-/// Evaluation limits.
-#[derive(Debug, Clone)]
+/// Evaluation limits — a thin constructor over the shared [`Governor`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlgebraConfig {
     /// Maximum number of rows any intermediate result may hold.
     pub max_rows: u64,
+    /// Total step fuel: each materialised row costs one step.
+    pub max_steps: u64,
+    /// Approximate bytes of materialised rows allowed
+    /// (`u64::MAX` = unlimited).
+    pub max_memory_bytes: u64,
+    /// Wall-clock allowance for the whole evaluation (`None` = unlimited).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for AlgebraConfig {
     fn default() -> Self {
-        AlgebraConfig { max_rows: 1 << 22 }
+        AlgebraConfig {
+            max_rows: 1 << 22,
+            max_steps: 200_000_000,
+            max_memory_bytes: u64::MAX,
+            deadline: None,
+        }
+    }
+}
+
+impl AlgebraConfig {
+    /// A config whose only binding limit is the row cap (the historical
+    /// constructor).
+    pub fn with_max_rows(max_rows: u64) -> Self {
+        AlgebraConfig {
+            max_rows,
+            ..AlgebraConfig::default()
+        }
+    }
+
+    /// The governor limits this config describes (the row cap maps onto
+    /// the governor's range cap).
+    pub fn limits(&self) -> Limits {
+        Limits {
+            max_steps: self.max_steps,
+            max_range: self.max_rows,
+            max_fixpoint_iters: u64::MAX,
+            max_memory_bytes: self.max_memory_bytes,
+            deadline: self.deadline,
+        }
+    }
+
+    /// Start a fresh [`Governor`] enforcing these budgets.
+    pub fn governor(&self) -> Governor {
+        Governor::new(self.limits())
     }
 }
 
@@ -29,31 +74,48 @@ pub fn eval(
     instance: &Instance,
     config: &AlgebraConfig,
 ) -> Result<Relation, AlgebraError> {
-    // typecheck up front so evaluation can assume well-formedness
-    expr.output_types(instance.schema())?;
-    eval_unchecked(expr, instance, config)
+    eval_governed(expr, instance, &config.governor())
 }
 
-fn guard(rel: &Relation, config: &AlgebraConfig) -> Result<(), AlgebraError> {
-    if rel.len() as u64 > config.max_rows {
-        Err(AlgebraError::RowBudget {
-            limit: config.max_rows,
-        })
-    } else {
-        Ok(())
-    }
+/// Evaluate under an existing [`Governor`] — callers that run several
+/// engines inside one query hand the same governor to each so they draw
+/// from a single allowance.
+pub fn eval_governed(
+    expr: &Expr,
+    instance: &Instance,
+    governor: &Governor,
+) -> Result<Relation, AlgebraError> {
+    // typecheck up front so evaluation can assume well-formedness
+    expr.output_types(instance.schema())?;
+    eval_unchecked(expr, instance, governor)
+}
+
+/// Check an (intermediate) result against the row cap.
+fn guard(rel: &Relation, governor: &Governor) -> Result<(), AlgebraError> {
+    governor
+        .check_range("algebra.rows", rel.len() as u64)
+        .map_err(AlgebraError::from)
+}
+
+/// Charge one materialised row: a unit of fuel plus its approximate bytes.
+fn charge_row(governor: &Governor, site: &'static str, row: &[Value]) -> Result<(), AlgebraError> {
+    governor.tick(site)?;
+    let bytes: u64 = row.iter().map(Value::approx_bytes).sum();
+    governor.charge_mem(site, bytes)?;
+    Ok(())
 }
 
 fn eval_unchecked(
     expr: &Expr,
     instance: &Instance,
-    config: &AlgebraConfig,
+    governor: &Governor,
 ) -> Result<Relation, AlgebraError> {
+    governor.checkpoint("algebra.eval")?;
     let out = match expr {
         Expr::Rel(name) => instance.relation(name).clone(),
         Expr::Const(_, rows) => Relation::from_rows(rows.iter().cloned()),
         Expr::Select(e, pred) => {
-            let input = eval_unchecked(e, instance, config)?;
+            let input = eval_unchecked(e, instance, governor)?;
             input
                 .iter()
                 .filter(|row| holds(pred, row))
@@ -61,52 +123,57 @@ fn eval_unchecked(
                 .collect()
         }
         Expr::Project(e, cols) => {
-            let input = eval_unchecked(e, instance, config)?;
-            input
-                .iter()
-                .map(|row| cols.iter().map(|&i| row[i - 1].clone()).collect())
-                .collect()
+            let input = eval_unchecked(e, instance, governor)?;
+            let mut out = Relation::new();
+            for row in input.iter() {
+                let new: Vec<Value> = cols.iter().map(|&i| row[i - 1].clone()).collect();
+                charge_row(governor, "algebra.project", &new)?;
+                out.insert(new);
+            }
+            out
         }
         Expr::Product(a, b) => {
-            let ra = eval_unchecked(a, instance, config)?;
-            let rb = eval_unchecked(b, instance, config)?;
-            if (ra.len() as u64).saturating_mul(rb.len() as u64) > config.max_rows {
-                return Err(AlgebraError::RowBudget {
-                    limit: config.max_rows,
-                });
-            }
+            let ra = eval_unchecked(a, instance, governor)?;
+            let rb = eval_unchecked(b, instance, governor)?;
+            // check the product size before materialising anything
+            governor.check_range(
+                "algebra.product",
+                (ra.len() as u64).saturating_mul(rb.len() as u64),
+            )?;
             let mut out = Relation::new();
             for x in ra.iter() {
                 for y in rb.iter() {
                     let mut row = x.clone();
                     row.extend(y.iter().cloned());
+                    charge_row(governor, "algebra.product", &row)?;
                     out.insert(row);
                 }
             }
             out
         }
         Expr::Union(a, b) => {
-            let mut ra = eval_unchecked(a, instance, config)?;
-            let rb = eval_unchecked(b, instance, config)?;
+            let mut ra = eval_unchecked(a, instance, governor)?;
+            let rb = eval_unchecked(b, instance, governor)?;
             ra.absorb(&rb);
             ra
         }
         Expr::Difference(a, b) => {
-            let ra = eval_unchecked(a, instance, config)?;
-            let rb = eval_unchecked(b, instance, config)?;
+            let ra = eval_unchecked(a, instance, governor)?;
+            let rb = eval_unchecked(b, instance, governor)?;
             ra.iter().filter(|r| !rb.contains(r)).cloned().collect()
         }
         Expr::Intersect(a, b) => {
-            let ra = eval_unchecked(a, instance, config)?;
-            let rb = eval_unchecked(b, instance, config)?;
+            let ra = eval_unchecked(a, instance, governor)?;
+            let rb = eval_unchecked(b, instance, governor)?;
             ra.iter().filter(|r| rb.contains(r)).cloned().collect()
         }
         Expr::Nest(e, col) => {
-            let input = eval_unchecked(e, instance, config)?;
+            let input = eval_unchecked(e, instance, governor)?;
             let i = col - 1;
             // group by all other columns, in canonical order for determinism
             let mut groups: BTreeMap<Vec<Value>, Vec<Value>> = BTreeMap::new();
             for row in input.iter() {
+                governor.tick("algebra.nest")?;
                 let mut key = row.clone();
                 let val = key.remove(i);
                 groups.entry(key).or_default().push(val);
@@ -120,7 +187,7 @@ fn eval_unchecked(
                 .collect()
         }
         Expr::Unnest(e, col) => {
-            let input = eval_unchecked(e, instance, config)?;
+            let input = eval_unchecked(e, instance, governor)?;
             let i = col - 1;
             let mut out = Relation::new();
             for row in input.iter() {
@@ -130,20 +197,21 @@ fn eval_unchecked(
                 for elem in s.iter() {
                     let mut new = row.clone();
                     new[i] = elem.clone();
+                    charge_row(governor, "algebra.unnest", &new)?;
                     out.insert(new);
                 }
-                guard(&out, config)?;
+                guard(&out, governor)?;
             }
             out
         }
         Expr::Powerset(e) => {
-            let input = eval_unchecked(e, instance, config)?;
+            let input = eval_unchecked(e, instance, governor)?;
             let n = input.len();
-            if n >= 63 || (1u64 << n) > config.max_rows {
-                return Err(AlgebraError::RowBudget {
-                    limit: config.max_rows,
-                });
+            // check the 2^n blowup before materialising anything
+            if n >= 63 {
+                governor.check_range("algebra.powerset", u64::MAX)?;
             }
+            governor.check_range("algebra.powerset", 1u64 << n)?;
             let elems: Vec<&Vec<Value>> = input.sorted_rows();
             let mut out = Relation::new();
             for mask in 0u64..(1u64 << n) {
@@ -152,12 +220,14 @@ fn eval_unchecked(
                     .enumerate()
                     .filter(|(j, _)| (mask >> j) & 1 == 1)
                     .map(|(_, row)| row[0].clone());
-                out.insert(vec![Value::Set(SetValue::from_values(members))]);
+                let row = vec![Value::Set(SetValue::from_values(members))];
+                charge_row(governor, "algebra.powerset", &row)?;
+                out.insert(row);
             }
             out
         }
     };
-    guard(&out, config)?;
+    guard(&out, governor)?;
     Ok(out)
 }
 
@@ -182,7 +252,7 @@ fn holds(pred: &Pred, row: &[Value]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use no_object::{RelationSchema, Schema, Type, Universe};
+    use no_object::{BudgetKind, RelationSchema, Schema, Type, Universe};
 
     fn dept_db() -> (Universe, Instance) {
         let mut u = Universe::new();
@@ -203,9 +273,7 @@ mod tests {
     fn select_project() {
         let (u, i) = dept_db();
         let sales = Value::Atom(u.get("sales").unwrap());
-        let e = Expr::rel("W")
-            .select(Pred::EqConst(2, sales))
-            .project([1]);
+        let e = Expr::rel("W").select(Pred::EqConst(2, sales)).project([1]);
         let out = eval(&e, &i, &AlgebraConfig::default()).unwrap();
         assert_eq!(out.len(), 2);
     }
@@ -256,9 +324,14 @@ mod tests {
         let out = eval(&p, &i, &AlgebraConfig::default()).unwrap();
         assert_eq!(out.len(), 9);
         let diff = Expr::rel("W").difference(Expr::rel("W"));
-        assert!(eval(&diff, &i, &AlgebraConfig::default()).unwrap().is_empty());
+        assert!(eval(&diff, &i, &AlgebraConfig::default())
+            .unwrap()
+            .is_empty());
         let inter = Expr::rel("W").intersect(Expr::rel("W"));
-        assert_eq!(eval(&inter, &i, &AlgebraConfig::default()).unwrap().len(), 3);
+        assert_eq!(
+            eval(&inter, &i, &AlgebraConfig::default()).unwrap().len(),
+            3
+        );
     }
 
     #[test]
@@ -268,11 +341,15 @@ mod tests {
         let pow = emps.clone().powerset();
         let out = eval(&pow, &i, &AlgebraConfig::default()).unwrap();
         assert_eq!(out.len(), 8); // 2^3 subsets of the employee set
-        let tight = AlgebraConfig { max_rows: 4 };
-        assert!(matches!(
-            eval(&pow, &i, &tight),
-            Err(AlgebraError::RowBudget { limit: 4 })
-        ));
+        let tight = AlgebraConfig::with_max_rows(4);
+        match eval(&pow, &i, &tight) {
+            Err(AlgebraError::Resource(e)) => {
+                assert_eq!(e.budget, BudgetKind::Range);
+                assert_eq!(e.limit, 4);
+                assert_eq!(e.site, "algebra.powerset");
+            }
+            other => panic!("expected a range Resource error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -281,11 +358,53 @@ mod tests {
         let big = Expr::rel("W")
             .product(Expr::rel("W"))
             .product(Expr::rel("W"));
-        let tight = AlgebraConfig { max_rows: 10 };
-        assert!(matches!(
-            eval(&big, &i, &tight),
-            Err(AlgebraError::RowBudget { .. })
-        ));
+        let tight = AlgebraConfig::with_max_rows(10);
+        match eval(&big, &i, &tight) {
+            Err(AlgebraError::Resource(e)) => assert_eq!(e.budget, BudgetKind::Range),
+            other => panic!("expected a range Resource error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_fuel_bounds_materialised_rows() {
+        let (_u, i) = dept_db();
+        let big = Expr::rel("W").product(Expr::rel("W"));
+        let tight = AlgebraConfig {
+            max_steps: 5,
+            ..AlgebraConfig::default()
+        };
+        match eval(&big, &i, &tight) {
+            Err(AlgebraError::Resource(e)) => {
+                assert_eq!(e.budget, BudgetKind::Steps);
+                assert_eq!(e.limit, 5);
+            }
+            other => panic!("expected a step Resource error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_budget_bounds_materialised_bytes() {
+        let (_u, i) = dept_db();
+        let big = Expr::rel("W").product(Expr::rel("W"));
+        let tight = AlgebraConfig {
+            max_memory_bytes: 64,
+            ..AlgebraConfig::default()
+        };
+        match eval(&big, &i, &tight) {
+            Err(AlgebraError::Resource(e)) => assert_eq!(e.budget, BudgetKind::Memory),
+            other => panic!("expected a memory Resource error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_evaluation() {
+        let (_u, i) = dept_db();
+        let g = AlgebraConfig::default().governor();
+        g.cancel();
+        match eval_governed(&Expr::rel("W"), &i, &g) {
+            Err(AlgebraError::Resource(e)) => assert_eq!(e.budget, BudgetKind::Cancelled),
+            other => panic!("expected a cancellation error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -297,7 +416,10 @@ mod tests {
         )]);
         let mut i = Instance::empty(schema);
         let (a, b) = (u.intern("a"), u.intern("b"));
-        i.insert("D", vec![Value::Atom(a), Value::set([Value::Atom(a), Value::Atom(b)])]);
+        i.insert(
+            "D",
+            vec![Value::Atom(a), Value::set([Value::Atom(a), Value::Atom(b)])],
+        );
         i.insert("D", vec![Value::Atom(b), Value::set([Value::Atom(a)])]);
         // rows whose key is a member of its own set
         let e = Expr::rel("D").select(Pred::InCols(1, 2));

@@ -14,7 +14,7 @@
 //! everything else in this repository: it produces `2^|rows|` rows and is
 //! refused beyond the configured limit.
 
-use no_object::{Schema, Type, Value};
+use no_object::{ResourceError, Schema, Type, Value};
 use std::fmt;
 
 /// A column predicate for selection.
@@ -134,11 +134,10 @@ pub enum AlgebraError {
     },
     /// A constant relation's rows don't match its declared types.
     IllTypedConst,
-    /// Evaluation exceeded the configured row budget.
-    RowBudget {
-        /// The limit that was exceeded.
-        limit: u64,
-    },
+    /// A governor budget (row cap, step fuel, memory, deadline, or
+    /// cancellation) was exhausted; the payload names which, where, and
+    /// how much was consumed.
+    Resource(ResourceError),
 }
 
 impl fmt::Display for AlgebraError {
@@ -159,14 +158,18 @@ impl fmt::Display for AlgebraError {
             }
             AlgebraError::PredicateType { detail } => write!(f, "predicate type error: {detail}"),
             AlgebraError::IllTypedConst => write!(f, "constant relation rows do not match types"),
-            AlgebraError::RowBudget { limit } => {
-                write!(f, "algebra evaluation exceeded the row budget of {limit}")
-            }
+            AlgebraError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for AlgebraError {}
+
+impl From<ResourceError> for AlgebraError {
+    fn from(e: ResourceError) -> Self {
+        AlgebraError::Resource(e)
+    }
+}
 
 impl Expr {
     /// Reference a database relation.
@@ -235,13 +238,13 @@ impl Expr {
                 let cols = e.output_types(schema)?;
                 idxs.iter()
                     .map(|&i| {
-                        cols.get(i.wrapping_sub(1)).cloned().ok_or(
-                            AlgebraError::ColumnOutOfRange {
+                        cols.get(i.wrapping_sub(1))
+                            .cloned()
+                            .ok_or(AlgebraError::ColumnOutOfRange {
                                 op: "project",
                                 col: i,
                                 arity: cols.len(),
-                            },
-                        )
+                            })
                     })
                     .collect()
             }
@@ -263,27 +266,25 @@ impl Expr {
             }
             Expr::Nest(e, col) => {
                 let mut cols = e.output_types(schema)?;
-                let i = col
-                    .checked_sub(1)
-                    .filter(|&i| i < cols.len())
-                    .ok_or(AlgebraError::ColumnOutOfRange {
+                let i = col.checked_sub(1).filter(|&i| i < cols.len()).ok_or(
+                    AlgebraError::ColumnOutOfRange {
                         op: "nest",
                         col: *col,
                         arity: cols.len(),
-                    })?;
+                    },
+                )?;
                 cols[i] = Type::set(cols[i].clone());
                 Ok(cols)
             }
             Expr::Unnest(e, col) => {
                 let mut cols = e.output_types(schema)?;
-                let i = col
-                    .checked_sub(1)
-                    .filter(|&i| i < cols.len())
-                    .ok_or(AlgebraError::ColumnOutOfRange {
+                let i = col.checked_sub(1).filter(|&i| i < cols.len()).ok_or(
+                    AlgebraError::ColumnOutOfRange {
                         op: "unnest",
                         col: *col,
                         arity: cols.len(),
-                    })?;
+                    },
+                )?;
                 match cols[i].elem() {
                     Some(elem) => {
                         cols[i] = elem.clone();
@@ -465,7 +466,10 @@ mod tests {
     #[test]
     fn set_ops_require_equal_schemas() {
         let s = schema();
-        assert!(Expr::rel("G").union(Expr::rel("G")).output_types(&s).is_ok());
+        assert!(Expr::rel("G")
+            .union(Expr::rel("G"))
+            .output_types(&s)
+            .is_ok());
         assert!(matches!(
             Expr::rel("G").union(Expr::rel("D")).output_types(&s),
             Err(AlgebraError::SchemaMismatch { .. })
@@ -502,6 +506,9 @@ mod tests {
         );
         assert!(ok.output_types(&s).is_ok());
         let bad = Expr::Const(vec![Type::Atom], vec![vec![Value::empty_set()]]);
-        assert!(matches!(bad.output_types(&s), Err(AlgebraError::IllTypedConst)));
+        assert!(matches!(
+            bad.output_types(&s),
+            Err(AlgebraError::IllTypedConst)
+        ));
     }
 }

@@ -29,10 +29,7 @@ pub fn to_query(expr: &Expr, schema: &Schema) -> Result<Query, AlgebraError> {
         .enumerate()
         .map(|(i, t)| (format!("c{}", i + 1), t.clone()))
         .collect();
-    let mut ctx = Ctx {
-        schema,
-        fresh: 0,
-    };
+    let mut ctx = Ctx { schema, fresh: 0 };
     let args: Vec<Term> = head.iter().map(|(v, _)| Term::var(v.clone())).collect();
     let body = ctx.membership(expr, &args)?;
     Ok(Query::new(head, body))
@@ -142,9 +139,7 @@ impl Ctx<'_> {
             Expr::Powerset(e) => {
                 let elem_ty = match e.output_types(self.schema)?.as_slice() {
                     [only] => only.clone(),
-                    other => {
-                        return Err(AlgebraError::PowersetArity { arity: other.len() })
-                    }
+                    other => return Err(AlgebraError::PowersetArity { arity: other.len() }),
                 };
                 let w = self.fresh();
                 let member = self.membership(e, &[Term::var(w.clone())])?;
@@ -193,12 +188,15 @@ mod tests {
 
     fn dept_db() -> (Universe, Instance) {
         let mut u = Universe::new();
-        let schema = Schema::from_relations([RelationSchema::new(
-            "W",
-            vec![Type::Atom, Type::Atom],
-        )]);
+        let schema =
+            Schema::from_relations([RelationSchema::new("W", vec![Type::Atom, Type::Atom])]);
         let mut i = Instance::empty(schema);
-        let rows = [("ann", "sales"), ("ben", "sales"), ("eva", "eng"), ("eva", "sales")];
+        let rows = [
+            ("ann", "sales"),
+            ("ben", "sales"),
+            ("eva", "eng"),
+            ("eva", "sales"),
+        ];
         for (e, d) in rows {
             let (e, d) = (u.intern(e), u.intern(d));
             i.insert("W", vec![Value::Atom(e), Value::Atom(d)]);
@@ -249,7 +247,11 @@ mod tests {
         let types = no_core::typeck::check(i.schema(), &q.head, &q.body)
             .unwrap()
             .var_types;
-        assert!(no_core::rr::is_range_restricted(i.schema(), &types, &q.body));
+        assert!(no_core::rr::is_range_restricted(
+            i.schema(),
+            &types,
+            &q.body
+        ));
     }
 
     #[test]
@@ -269,7 +271,11 @@ mod tests {
             .var_types;
         // the head set variable is NOT range restricted — the calculus
         // analyzer sees the hyperexponential shape the algebra hides
-        assert!(!no_core::rr::is_range_restricted(i.schema(), &types, &q.body));
+        assert!(!no_core::rr::is_range_restricted(
+            i.schema(),
+            &types,
+            &q.body
+        ));
     }
 
     #[test]
@@ -279,10 +285,7 @@ mod tests {
         let eva = Value::Atom(u.get("eva").unwrap());
         let consts = Expr::Const(vec![Type::Atom], vec![vec![ann], vec![eva]]);
         check_equiv(&consts, &i);
-        check_equiv(
-            &Expr::rel("W").project([1]).intersect(consts),
-            &i,
-        );
+        check_equiv(&Expr::rel("W").project([1]).intersect(consts), &i);
         // empty constant: unsatisfiable body
         let empty = Expr::Const(vec![Type::Atom], vec![]);
         check_equiv(&empty, &i);
@@ -297,7 +300,10 @@ mod tests {
         )]);
         let mut i = Instance::empty(schema);
         let (a, b) = (u.intern("a"), u.intern("b"));
-        i.insert("D", vec![Value::Atom(a), Value::set([Value::Atom(a), Value::Atom(b)])]);
+        i.insert(
+            "D",
+            vec![Value::Atom(a), Value::set([Value::Atom(a), Value::Atom(b)])],
+        );
         i.insert("D", vec![Value::Atom(b), Value::set([Value::Atom(a)])]);
         check_equiv(&Expr::rel("D").select(Pred::InCols(1, 2)), &i);
         check_equiv(&Expr::rel("D").select(Pred::InCols(1, 2).not()), &i);

@@ -21,8 +21,7 @@ fn ordered_instance(n: usize) -> (AtomOrder, Instance) {
     let names: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
     let u = Universe::with_names(names.iter().map(String::as_str));
     let order = AtomOrder::identity(&u);
-    let schema =
-        Schema::from_relations([RelationSchema::new("ltU", vec![Type::Atom, Type::Atom])]);
+    let schema = Schema::from_relations([RelationSchema::new("ltU", vec![Type::Atom, Type::Atom])]);
     let mut i = Instance::empty(schema);
     for (ra, a) in order.iter().enumerate() {
         for (rb, b) in order.iter().enumerate() {

@@ -17,7 +17,9 @@ use std::hint::black_box;
 
 fn nest_instance(n: usize) -> Instance {
     let mut u = Universe::new();
-    let atoms: Vec<Value> = (0..n).map(|i| Value::Atom(u.intern(&format!("a{i}")))).collect();
+    let atoms: Vec<Value> = (0..n)
+        .map(|i| Value::Atom(u.intern(&format!("a{i}"))))
+        .collect();
     let mut i = Instance::empty(pair_schema());
     for k in 0..n {
         // key a_k maps to {a_k, a_{k+1 mod n}}
@@ -41,9 +43,7 @@ fn bench(c: &mut Criterion) {
     for n in [4usize, 8, 12] {
         let i = nest_instance(n);
         group.bench_with_input(BenchmarkId::new("active_domain", n), &n, |b, _| {
-            b.iter(|| {
-                eval_query_with(black_box(&i), &nest_query(), EvalConfig::default()).unwrap()
-            })
+            b.iter(|| eval_query_with(black_box(&i), &nest_query(), EvalConfig::default()).unwrap())
         });
     }
     group.finish();

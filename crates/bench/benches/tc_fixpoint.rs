@@ -22,7 +22,10 @@ fn tc_program() -> Program {
     p.rule(
         "tc",
         vec![DTerm::var("x"), DTerm::var("y")],
-        vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+        vec![Literal::Pos(
+            "G".into(),
+            vec![DTerm::var("x"), DTerm::var("y")],
+        )],
     );
     p.rule(
         "tc",

@@ -24,7 +24,10 @@ pub fn tc_fixpoint(node_ty: &Type) -> Arc<Fixpoint> {
     Arc::new(Fixpoint {
         op: FixOp::Ifp,
         rel: "S".into(),
-        vars: vec![("tx".into(), node_ty.clone()), ("ty".into(), node_ty.clone())],
+        vars: vec![
+            ("tx".into(), node_ty.clone()),
+            ("ty".into(), node_ty.clone()),
+        ],
         body: Box::new(Formula::or([
             Formula::Rel("G".into(), vec![Term::var("tx"), Term::var("ty")]),
             Formula::exists(
@@ -128,18 +131,20 @@ pub fn bipartite_query() -> Query {
     let edges_cross = Formula::forall(
         "bv",
         Type::tuple(vec![Type::Atom, Type::Atom]),
-        Formula::Rel("G".into(), vec![Term::var("bv").proj(1), Term::var("bv").proj(2)]).implies(
-            Formula::or([
-                Formula::and([
-                    Formula::In(Term::var("bv").proj(1), Term::var("X")),
-                    Formula::In(Term::var("bv").proj(2), Term::var("Y")),
-                ]),
-                Formula::and([
-                    Formula::In(Term::var("bv").proj(1), Term::var("Y")),
-                    Formula::In(Term::var("bv").proj(2), Term::var("X")),
-                ]),
+        Formula::Rel(
+            "G".into(),
+            vec![Term::var("bv").proj(1), Term::var("bv").proj(2)],
+        )
+        .implies(Formula::or([
+            Formula::and([
+                Formula::In(Term::var("bv").proj(1), Term::var("X")),
+                Formula::In(Term::var("bv").proj(2), Term::var("Y")),
             ]),
-        ),
+            Formula::and([
+                Formula::In(Term::var("bv").proj(1), Term::var("Y")),
+                Formula::In(Term::var("bv").proj(2), Term::var("X")),
+            ]),
+        ])),
     );
     Query::new(
         vec![("t1".into(), Type::Atom), ("t2".into(), Type::Atom)],
@@ -157,7 +162,10 @@ pub fn bipartite_query() -> Query {
 /// Example 5.1's nest query: `{(x, s) | ∃z P(x,z) ∧ ∀y (P(x,y) ⇔ y ∈ s)}`.
 pub fn nest_query() -> Query {
     Query::new(
-        vec![("x".into(), Type::Atom), ("s".into(), Type::set(Type::Atom))],
+        vec![
+            ("x".into(), Type::Atom),
+            ("s".into(), Type::set(Type::Atom)),
+        ],
         Formula::and([
             Formula::exists(
                 "z",
@@ -226,8 +234,12 @@ mod tests {
     fn powerset_tc_agrees_with_ifp_tc_on_tiny_graphs() {
         for n in 2..=3 {
             let g = families::path_graph(n);
-            let ifp = eval_query_with(&g.instance, &tc_ifp_query(&Type::Atom), EvalConfig::default())
-                .unwrap();
+            let ifp = eval_query_with(
+                &g.instance,
+                &tc_ifp_query(&Type::Atom),
+                EvalConfig::default(),
+            )
+            .unwrap();
             let pow = eval_query_with(
                 &g.instance,
                 &tc_powerset_query(&Type::Atom),
@@ -242,12 +254,12 @@ mod tests {
     fn bipartite_query_classifies() {
         // even cycle: bipartite → answer = G; odd cycle: empty
         let even = families::cycle_graph(4);
-        let ans = eval_query_with(&even.instance, &bipartite_query(), EvalConfig::default())
-            .unwrap();
+        let ans =
+            eval_query_with(&even.instance, &bipartite_query(), EvalConfig::default()).unwrap();
         assert_eq!(ans.len(), 4);
         let odd = families::cycle_graph(5);
-        let ans = eval_query_with(&odd.instance, &bipartite_query(), EvalConfig::default())
-            .unwrap();
+        let ans =
+            eval_query_with(&odd.instance, &bipartite_query(), EvalConfig::default()).unwrap();
         assert_eq!(ans.len(), 0);
     }
 

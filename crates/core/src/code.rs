@@ -67,10 +67,7 @@ pub fn minimal_binary(n: usize) -> Vec<u8> {
         return vec![0];
     }
     let bits = usize::BITS - n.leading_zeros();
-    (0..bits)
-        .rev()
-        .map(|b| ((n >> b) & 1) as u8)
-        .collect()
+    (0..bits).rev().map(|b| ((n >> b) & 1) as u8).collect()
 }
 
 /// Render the `CODE_U` table in the paper's layout (columns: constant,
@@ -162,11 +159,7 @@ impl CodeT {
 /// Express a position as the paper's index tuple: the `m`-tuple of atoms
 /// whose rank in `dom([U;m], D)` is `position` (the `⃗i_j` of the worked
 /// configuration table).
-pub fn position_tuple(
-    order: &AtomOrder,
-    m: usize,
-    position: &Nat,
-) -> Result<Value, DomainError> {
+pub fn position_tuple(order: &AtomOrder, m: usize, position: &Nat) -> Result<Value, DomainError> {
     let ty = Type::tuple(vec![Type::Atom; m]);
     unrank(order, &ty, position)
 }
@@ -284,10 +277,7 @@ mod tests {
         }
         // the worked example: ⃗i_1 = [a,a,a,a] and ⃗i_6 = [a,a,b,c] with m=4
         let i1 = position_tuple(&order, 4, &Nat::from(0u64)).unwrap();
-        assert_eq!(
-            i1,
-            Value::tuple(vec![Value::Atom(Atom(0)); 4])
-        );
+        assert_eq!(i1, Value::tuple(vec![Value::Atom(Atom(0)); 4]));
         let i6 = position_tuple(&order, 4, &Nat::from(5u64)).unwrap();
         assert_eq!(
             i6,

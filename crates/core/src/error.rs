@@ -6,11 +6,15 @@
 //! is budgeted, and exceeding a budget returns a structured error instead
 //! of consuming unbounded time or memory.
 
+use no_object::governor::{Governor, Limits, ResourceError};
 use no_object::{DomainError, Nat, Type};
 use std::fmt;
+use std::time::Duration;
 
-/// Resource budgets for one evaluation.
-#[derive(Debug, Clone)]
+/// Resource budgets for one evaluation — a thin constructor over the
+/// shared [`Governor`]: call [`EvalConfig::governor`] to start enforcing,
+/// or hand the config to an evaluator which does so internally.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalConfig {
     /// Maximum cardinality a single quantifier (or head variable, or
     /// fixpoint column product) may range over.
@@ -21,6 +25,11 @@ pub struct EvalConfig {
     /// (cannot happen — IFP converges within the range product — but kept
     /// as a defensive bound) or PFP is declared divergent.
     pub max_fixpoint_iters: u64,
+    /// Approximate bytes of materialised tuples/domains allowed
+    /// (`u64::MAX` = unlimited).
+    pub max_memory_bytes: u64,
+    /// Wall-clock allowance for the whole evaluation (`None` = unlimited).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for EvalConfig {
@@ -29,6 +38,8 @@ impl Default for EvalConfig {
             max_range: 1 << 22,
             max_steps: 200_000_000,
             max_fixpoint_iters: 1_000_000,
+            max_memory_bytes: u64::MAX,
+            deadline: None,
         }
     }
 }
@@ -40,7 +51,26 @@ impl EvalConfig {
             max_range: 1 << 12,
             max_steps: 2_000_000,
             max_fixpoint_iters: 10_000,
+            max_memory_bytes: 64 << 20,
+            deadline: None,
         }
+    }
+
+    /// The governor limits this config describes.
+    pub fn limits(&self) -> Limits {
+        Limits {
+            max_steps: self.max_steps,
+            max_range: self.max_range,
+            max_fixpoint_iters: self.max_fixpoint_iters,
+            max_memory_bytes: self.max_memory_bytes,
+            deadline: self.deadline,
+        }
+    }
+
+    /// Start a fresh [`Governor`] enforcing these budgets (the deadline
+    /// clock starts now).
+    pub fn governor(&self) -> Governor {
+        Governor::new(self.limits())
     }
 }
 
@@ -58,11 +88,10 @@ pub enum EvalError {
         /// The offending cardinality.
         card: Nat,
     },
-    /// The total step budget was exhausted.
-    BudgetExhausted {
-        /// The configured limit that was hit.
-        limit: u64,
-    },
+    /// A governor budget (step fuel, range, iterations, memory, deadline,
+    /// or cancellation) was exhausted; the payload names which, where, and
+    /// how much was consumed.
+    Resource(ResourceError),
     /// A `PFP` iteration entered a cycle or exceeded the iteration budget
     /// without converging (Definition 3.1: the limit then does not exist;
     /// the paper leaves the query value undefined — we surface it).
@@ -90,9 +119,7 @@ impl fmt::Display for EvalError {
                 f,
                 "range of variable {var}:{ty} has cardinality {card}, over the configured budget"
             ),
-            EvalError::BudgetExhausted { limit } => {
-                write!(f, "evaluation exceeded the step budget of {limit}")
-            }
+            EvalError::Resource(e) => write!(f, "{e}"),
             EvalError::PfpDiverged { rel, iters } => {
                 write!(f, "PFP({rel}) did not converge after {iters} iterations")
             }
@@ -118,6 +145,12 @@ impl From<DomainError> for EvalError {
     }
 }
 
+impl From<ResourceError> for EvalError {
+    fn from(e: ResourceError) -> Self {
+        EvalError::Resource(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,7 +165,14 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("X"), "{s}");
         assert!(s.contains("{U}"), "{s}");
-        assert!(EvalError::BudgetExhausted { limit: 7 }.to_string().contains('7'));
+        let r = EvalError::Resource(ResourceError {
+            budget: no_object::BudgetKind::Steps,
+            site: "calc.eval",
+            spent: 8,
+            limit: 7,
+        });
+        let s = r.to_string();
+        assert!(s.contains('7') && s.contains("calc.eval"), "{s}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::ast::{FixOp, Fixpoint, Formula, Term, VarName};
 use crate::error::{EvalConfig, EvalError};
 use no_object::domain::{card, DomainIter};
+use no_object::governor::Governor;
 use no_object::{AtomOrder, Instance, Relation, SetValue, Type, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -117,9 +118,8 @@ impl Env {
 pub struct Evaluator<'a> {
     instance: &'a Instance,
     order: AtomOrder,
-    config: EvalConfig,
+    governor: Governor,
     ranges: RangeMap,
-    steps: u64,
     /// Fixpoint relations currently in scope (innermost last).
     aux: Vec<(String, Relation)>,
     /// Scope-context identifiers: every push of an auxiliary relation gets
@@ -137,14 +137,22 @@ pub struct Evaluator<'a> {
 }
 
 impl<'a> Evaluator<'a> {
-    /// Create an evaluator with the given atom enumeration and budgets.
+    /// Create an evaluator with the given atom enumeration and budgets
+    /// (starts a fresh [`Governor`] from the config).
     pub fn new(instance: &'a Instance, order: AtomOrder, config: EvalConfig) -> Self {
+        Evaluator::with_governor(instance, order, config.governor())
+    }
+
+    /// Create an evaluator drawing from an existing shared [`Governor`] —
+    /// nested evaluations (range computation, stratified sub-queries)
+    /// share one budget this way instead of each getting a fresh
+    /// allowance.
+    pub fn with_governor(instance: &'a Instance, order: AtomOrder, governor: Governor) -> Self {
         Evaluator {
             instance,
             order,
-            config,
+            governor,
             ranges: RangeMap::new(),
-            steps: 0,
             aux: Vec::new(),
             ctx_stack: vec![0],
             ctx_counter: 0,
@@ -165,20 +173,19 @@ impl<'a> Evaluator<'a> {
         &self.order
     }
 
-    /// Steps consumed so far (work measure used by the benchmarks).
+    /// Steps consumed so far (work measure used by the benchmarks). When
+    /// the governor is shared, this is the *joint* consumption.
     pub fn steps_used(&self) -> u64 {
-        self.steps
+        self.governor.steps_spent()
+    }
+
+    /// The governor enforcing this evaluation's budgets.
+    pub fn governor(&self) -> &Governor {
+        &self.governor
     }
 
     fn tick(&mut self) -> Result<(), EvalError> {
-        self.steps += 1;
-        if self.steps > self.config.max_steps {
-            Err(EvalError::BudgetExhausted {
-                limit: self.config.max_steps,
-            })
-        } else {
-            Ok(())
-        }
+        self.governor.tick("calc.eval").map_err(EvalError::from)
     }
 
     /// Evaluate a query to its answer relation.
@@ -200,6 +207,8 @@ impl<'a> Evaluator<'a> {
         match head.split_first() {
             None => {
                 if self.holds(body, env)? {
+                    let bytes: u64 = row.iter().map(Value::approx_bytes).sum();
+                    self.governor.charge_mem("calc.answer", bytes)?;
                     out.insert(row.clone());
                 }
                 Ok(())
@@ -230,14 +239,19 @@ impl<'a> Evaluator<'a> {
             return Ok(Arc::clone(cached));
         }
         let c = card(ty, self.order.len())?;
-        if c > no_object::Nat::from(self.config.max_range) {
+        if c > no_object::Nat::from(self.governor.max_range()) {
             return Err(EvalError::RangeTooLarge {
                 var: v.to_string(),
                 ty: ty.clone(),
                 card: c,
             });
         }
+        // Fault-injection / cancellation checkpoint for the range budget
+        // (the Nat comparison above reports the richer var/ty context).
+        self.governor.checkpoint("calc.range")?;
         let values: Arc<Vec<Value>> = Arc::new(DomainIter::new(&self.order, ty)?.collect());
+        let bytes: u64 = values.iter().map(Value::approx_bytes).sum();
+        self.governor.charge_mem("calc.domain", bytes)?;
         self.domain_cache.insert(ty.clone(), Arc::clone(&values));
         Ok(values)
     }
@@ -263,14 +277,12 @@ impl<'a> Evaluator<'a> {
                     ))),
                 }
             }
-            Formula::Subset(a, b) => {
-                match (self.eval_term(a, env)?, self.eval_term(b, env)?) {
-                    (Value::Set(x), Value::Set(y)) => Ok(x.is_subset(&y)),
-                    (x, y) => Err(EvalError::ShapeError(format!(
-                        "⊆ applied to non-sets {x} and {y}"
-                    ))),
-                }
-            }
+            Formula::Subset(a, b) => match (self.eval_term(a, env)?, self.eval_term(b, env)?) {
+                (Value::Set(x), Value::Set(y)) => Ok(x.is_subset(&y)),
+                (x, y) => Err(EvalError::ShapeError(format!(
+                    "⊆ applied to non-sets {x} and {y}"
+                ))),
+            },
             Formula::Not(g) => Ok(!self.holds(g, env)?),
             Formula::And(gs) => {
                 for g in gs {
@@ -348,9 +360,9 @@ impl<'a> Evaluator<'a> {
                 .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
             Term::Proj(inner, i) => {
                 let v = self.eval_term(inner, env)?;
-                v.project(*i).cloned().ok_or_else(|| {
-                    EvalError::ShapeError(format!("projection .{i} on {v}"))
-                })
+                v.project(*i)
+                    .cloned()
+                    .ok_or_else(|| EvalError::ShapeError(format!("projection .{i} on {v}")))
             }
             Term::Fix(fix) => {
                 let rel = self.eval_fixpoint(fix)?;
@@ -389,12 +401,7 @@ impl<'a> Evaluator<'a> {
         let mut iters: u64 = 0;
         loop {
             iters += 1;
-            if iters > self.config.max_fixpoint_iters {
-                return Err(EvalError::PfpDiverged {
-                    rel: fix.rel.clone(),
-                    iters,
-                });
-            }
+            self.governor.check_iters("calc.fixpoint", iters)?;
             let next_stage = self.apply_fixpoint_body(fix, &current)?;
             let next = match fix.op {
                 FixOp::Ifp => {
@@ -425,11 +432,7 @@ impl<'a> Evaluator<'a> {
 
     /// One application `φ(J)`: all tuples over the column ranges whose
     /// substitution satisfies the body with `S = J`.
-    fn apply_fixpoint_body(
-        &mut self,
-        fix: &Fixpoint,
-        j: &Relation,
-    ) -> Result<Relation, EvalError> {
+    fn apply_fixpoint_body(&mut self, fix: &Fixpoint, j: &Relation) -> Result<Relation, EvalError> {
         self.aux.push((fix.rel.clone(), j.clone()));
         self.ctx_counter += 1;
         self.ctx_stack.push(self.ctx_counter);
@@ -456,6 +459,8 @@ impl<'a> Evaluator<'a> {
         match vars.split_first() {
             None => {
                 if self.holds(body, env)? {
+                    let bytes: u64 = row.iter().map(Value::approx_bytes).sum();
+                    self.governor.charge_mem("calc.fixpoint.stage", bytes)?;
                     out.insert(row.clone());
                 }
                 Ok(())
@@ -515,10 +520,8 @@ mod tests {
     /// A small atom-typed graph instance: edges as pairs of atoms.
     fn graph(edges: &[(&str, &str)]) -> (Universe, Instance) {
         let mut u = Universe::new();
-        let schema = Schema::from_relations([RelationSchema::new(
-            "G",
-            vec![Type::Atom, Type::Atom],
-        )]);
+        let schema =
+            Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
         let mut i = Instance::empty(schema);
         for (a, b) in edges {
             let (a, b) = (u.intern(a), u.intern(b));
@@ -619,11 +622,7 @@ mod tests {
         let sentence = Formula::exists(
             "X",
             Type::set(Type::Atom),
-            Formula::forall(
-                "x",
-                Type::Atom,
-                Formula::In(Term::var("x"), Term::var("X")),
-            ),
+            Formula::forall("x", Type::Atom, Formula::In(Term::var("x"), Term::var("X"))),
         );
         let order = AtomOrder::new(i.atoms().into_iter().collect());
         let mut ev = Evaluator::new(&i, order, EvalConfig::default());
@@ -676,8 +675,11 @@ mod tests {
             ..EvalConfig::default()
         };
         match eval_query_with(&i, &q, cfg) {
-            Err(EvalError::BudgetExhausted { limit }) => assert_eq!(limit, 50),
-            other => panic!("expected BudgetExhausted, got {other:?}"),
+            Err(EvalError::Resource(e)) => {
+                assert_eq!(e.budget, no_object::BudgetKind::Steps);
+                assert_eq!(e.limit, 50);
+            }
+            other => panic!("expected step-fuel Resource error, got {other:?}"),
         }
     }
 
@@ -730,8 +732,12 @@ mod tests {
         let mut rev = atoms.clone();
         rev.reverse();
         let o2 = AtomOrder::new(rev);
-        let a1 = Evaluator::new(&i, o1, EvalConfig::default()).query(&q).unwrap();
-        let a2 = Evaluator::new(&i, o2, EvalConfig::default()).query(&q).unwrap();
+        let a1 = Evaluator::new(&i, o1, EvalConfig::default())
+            .query(&q)
+            .unwrap();
+        let a2 = Evaluator::new(&i, o2, EvalConfig::default())
+            .query(&q)
+            .unwrap();
         assert_eq!(a1, a2);
     }
 
@@ -772,10 +778,8 @@ mod tests {
         // a query mentioning an atom that is NOT in the instance still
         // ranges over it (active domain = atom(I) ∪ query constants)
         let mut u = Universe::new();
-        let schema = Schema::from_relations([RelationSchema::new(
-            "G",
-            vec![Type::Atom, Type::Atom],
-        )]);
+        let schema =
+            Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
         let mut i = Instance::empty(schema);
         let a = u.intern("a");
         let ghost = u.intern("ghost");

@@ -34,15 +34,15 @@
 
 pub mod ast;
 pub mod code;
+pub mod error;
+pub mod eval;
 pub mod nf;
 pub mod orders;
 pub mod parser;
+pub mod print;
 pub mod ranges;
 pub mod report;
 pub mod rr;
-pub mod print;
-pub mod error;
-pub mod eval;
 pub mod typeck;
 
 pub use ast::{FixOp, Fixpoint, Formula, RelName, Term, VarName};

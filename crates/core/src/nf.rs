@@ -135,9 +135,10 @@ pub fn rename_apart(f: &Formula, taken: &mut std::collections::BTreeSet<VarName>
         taken: &mut std::collections::BTreeSet<VarName>,
     ) -> Formula {
         match f {
-            Formula::Rel(name, ts) => {
-                Formula::Rel(name.clone(), ts.iter().map(|t| subst_term(t, map)).collect())
-            }
+            Formula::Rel(name, ts) => Formula::Rel(
+                name.clone(),
+                ts.iter().map(|t| subst_term(t, map)).collect(),
+            ),
             Formula::Eq(a, b) => Formula::Eq(subst_term(a, map), subst_term(b, map)),
             Formula::In(a, b) => Formula::In(subst_term(a, map), subst_term(b, map)),
             Formula::Subset(a, b) => Formula::Subset(subst_term(a, map), subst_term(b, map)),
@@ -341,8 +342,7 @@ mod tests {
             "G",
             vec![Type::Atom, Type::Atom],
         )]);
-        let checked =
-            crate::typeck::check(&schema, &[("y".into(), Type::Atom)], &combined);
+        let checked = crate::typeck::check(&schema, &[("y".into(), Type::Atom)], &combined);
         assert!(checked.is_ok(), "{checked:?}");
         // free variable y untouched
         assert_eq!(combined.free_vars(), vec!["y".to_string()]);
@@ -354,7 +354,14 @@ mod tests {
         let f = Formula::exists(
             "x",
             Type::Atom,
-            Formula::and([g("x", "z0"), Formula::forall("y", Type::Atom, Formula::or([g("x", "y").not(), g("y", "x")]))]),
+            Formula::and([
+                g("x", "z0"),
+                Formula::forall(
+                    "y",
+                    Type::Atom,
+                    Formula::or([g("x", "y").not(), g("y", "x")]),
+                ),
+            ]),
         );
         let mut taken: BTreeSet<String> = ["x".into(), "y".into(), "z0".into()].into();
         let renamed = rename_apart(&f, &mut taken);

@@ -96,12 +96,7 @@ impl OrderSynth {
                 let mut disjuncts = Vec::with_capacity(ts.len());
                 for (i, ti) in ts.iter().enumerate() {
                     let mut conjuncts: Vec<Formula> = (0..i)
-                        .map(|j| {
-                            Formula::Eq(
-                                x.clone().proj(j + 1),
-                                y.clone().proj(j + 1),
-                            )
-                        })
+                        .map(|j| Formula::Eq(x.clone().proj(j + 1), y.clone().proj(j + 1)))
                         .collect();
                     conjuncts.push(self.less(ti, x.clone().proj(i + 1), y.clone().proj(i + 1)));
                     disjuncts.push(Formula::and(conjuncts));
@@ -165,8 +160,11 @@ impl OrderSynth {
     /// `m ∈ s ∧ ∀z:T (z ∈ s → z ≤_T m)` — the paper's `Max_{<_S}` helper.
     pub fn is_max_in(&mut self, elem_ty: &Type, s: Term, m: Term) -> Formula {
         let z = self.fresh();
-        let bounded = Formula::In(Term::var(z.clone()), s.clone())
-            .implies(self.less_eq(elem_ty, Term::var(z.clone()), m.clone()));
+        let bounded = Formula::In(Term::var(z.clone()), s.clone()).implies(self.less_eq(
+            elem_ty,
+            Term::var(z.clone()),
+            m.clone(),
+        ));
         Formula::and([
             Formula::In(m, s),
             Formula::forall(z, elem_ty.clone(), bounded),
@@ -199,7 +197,11 @@ pub fn order_axiom(synth: &mut OrderSynth) -> Formula {
         Formula::forall(
             y,
             Type::Atom,
-            Formula::forall(z, Type::Atom, Formula::and([irreflexive, total, transitive])),
+            Formula::forall(
+                z,
+                Type::Atom,
+                Formula::and([irreflexive, total, transitive]),
+            ),
         ),
     )
 }
@@ -241,17 +243,18 @@ mod tests {
     fn ordered_instance() -> (Universe, AtomOrder, Instance) {
         let u = Universe::with_names(["a", "b", "c"]);
         let order = AtomOrder::identity(&u);
-        let schema = Schema::from_relations([RelationSchema::new(
-            "ltU",
-            vec![Type::Atom, Type::Atom],
-        )]);
+        let schema =
+            Schema::from_relations([RelationSchema::new("ltU", vec![Type::Atom, Type::Atom])]);
         let mut i = Instance::empty(schema);
         for x in 0..3u32 {
             for y in 0..3u32 {
                 if order.rank(no_object::Atom(x)) < order.rank(no_object::Atom(y)) {
                     i.insert(
                         "ltU",
-                        vec![Value::Atom(no_object::Atom(x)), Value::Atom(no_object::Atom(y))],
+                        vec![
+                            Value::Atom(no_object::Atom(x)),
+                            Value::Atom(no_object::Atom(y)),
+                        ],
                     );
                 }
             }
@@ -401,11 +404,17 @@ mod tests {
         let mut broken = Instance::empty(schema);
         broken.insert(
             "ltU",
-            vec![Value::Atom(no_object::Atom(0)), Value::Atom(no_object::Atom(1))],
+            vec![
+                Value::Atom(no_object::Atom(0)),
+                Value::Atom(no_object::Atom(1)),
+            ],
         );
         broken.insert(
             "ltU",
-            vec![Value::Atom(no_object::Atom(1)), Value::Atom(no_object::Atom(2))],
+            vec![
+                Value::Atom(no_object::Atom(1)),
+                Value::Atom(no_object::Atom(2)),
+            ],
         );
         let mut ev2 = Evaluator::new(&broken, order, EvalConfig::default());
         assert!(!ev2.holds(&axiom, &mut Env::new()).unwrap());
@@ -414,10 +423,8 @@ mod tests {
     #[test]
     fn synthesized_formulas_stay_in_calc_ik() {
         // Lemma 4.3: φ_{<T} for an <i,k>-type is a CALC_i^k formula
-        let schema = Schema::from_relations([RelationSchema::new(
-            "ltU",
-            vec![Type::Atom, Type::Atom],
-        )]);
+        let schema =
+            Schema::from_relations([RelationSchema::new("ltU", vec![Type::Atom, Type::Atom])]);
         let ty = Type::set(Type::tuple(vec![Type::Atom, Type::Atom]));
         let mut synth = OrderSynth::new(LtBase::Rel("ltU".into()));
         let f = synth.less(&ty, Term::var("x"), Term::var("y"));
@@ -447,7 +454,10 @@ mod tests {
             let mut synth = OrderSynth::with_prefix(LtBase::Var("w".into()), "_po");
             let axiom = order_axiom(&mut synth);
             let q = crate::eval::Query::new(
-                vec![("w".into(), Type::set(Type::tuple(vec![Type::Atom, Type::Atom])))],
+                vec![(
+                    "w".into(),
+                    Type::set(Type::tuple(vec![Type::Atom, Type::Atom])),
+                )],
                 axiom,
             );
             let ans = crate::eval::eval_query_with(&inst, &q, EvalConfig::default()).unwrap();

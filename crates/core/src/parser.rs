@@ -224,14 +224,11 @@ impl<'s> Lexer<'s> {
             }
             b if b.is_ascii_digit() => {
                 let num_start = self.pos;
-                while self
-                    .src
-                    .get(self.pos)
-                    .is_some_and(|c| c.is_ascii_digit())
-                {
+                while self.src.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.src[num_start..self.pos]).expect("digits");
+                let text = std::str::from_utf8(&self.src[num_start..self.pos])
+                    .map_err(|_| self.err("number literal is not UTF-8"))?;
                 Tok::Number(text.parse().map_err(|_| self.err("number overflow"))?)
             }
             b if b.is_ascii_alphabetic() || b == b'_' => {
@@ -243,7 +240,8 @@ impl<'s> Lexer<'s> {
                 {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.src[id_start..self.pos]).expect("ascii");
+                let text = std::str::from_utf8(&self.src[id_start..self.pos])
+                    .map_err(|_| self.err("identifier is not UTF-8"))?;
                 Tok::Ident(text.to_string())
             }
             other => return Err(self.err(format!("unexpected character {:?}", other as char))),
@@ -273,7 +271,14 @@ impl<'s, 'u> Parser<'s, 'u> {
         if self.peeked.is_none() {
             self.peeked = Some(self.lexer.next_tok()?);
         }
-        Ok(&self.peeked.as_ref().expect("just filled").1)
+        match self.peeked.as_ref() {
+            Some((_, tok)) => Ok(tok),
+            // Just filled above; degrade to an error rather than panic.
+            None => Err(ParseError {
+                at: 0,
+                message: "internal: lookahead token lost".to_string(),
+            }),
+        }
     }
 
     fn advance(&mut self) -> Result<(usize, Tok), ParseError> {
@@ -655,7 +660,10 @@ mod tests {
         let f = parse_formula(src, &mut u).unwrap_or_else(|e| panic!("{src}: {e}"));
         let printed = Printer::with_universe(&u).formula(&f);
         let f2 = parse_formula(&printed, &mut u).unwrap_or_else(|e| panic!("{printed}: {e}"));
-        assert_eq!(f, f2, "roundtrip failed:\n  src: {src}\n  printed: {printed}");
+        assert_eq!(
+            f, f2,
+            "roundtrip failed:\n  src: {src}\n  printed: {printed}"
+        );
     }
 
     #[test]

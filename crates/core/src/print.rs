@@ -264,11 +264,17 @@ mod tests {
             "G(x, y) /\\ G(y, z)"
         );
         assert_eq!(
-            p.formula(&Formula::or([g("x", "y"), Formula::and([g("y", "z"), g("z", "x")])])),
+            p.formula(&Formula::or([
+                g("x", "y"),
+                Formula::and([g("y", "z"), g("z", "x")])
+            ])),
             "G(x, y) \\/ G(y, z) /\\ G(z, x)"
         );
         assert_eq!(
-            p.formula(&Formula::and([Formula::or([g("a", "b"), g("b", "c")]), g("c", "d")])),
+            p.formula(&Formula::and([
+                Formula::or([g("a", "b"), g("b", "c")]),
+                g("c", "d")
+            ])),
             "(G(a, b) \\/ G(b, c)) /\\ G(c, d)"
         );
     }
@@ -279,9 +285,11 @@ mod tests {
         let f = Formula::forall(
             "x",
             Type::Atom,
-            g("x", "x").not().implies(Formula::exists("y", Type::set(Type::Atom), {
-                Formula::In(Term::var("x"), Term::var("y"))
-            })),
+            g("x", "x")
+                .not()
+                .implies(Formula::exists("y", Type::set(Type::Atom), {
+                    Formula::In(Term::var("x"), Term::var("y"))
+                })),
         );
         assert_eq!(
             p.formula(&f),
@@ -342,7 +350,10 @@ mod tests {
     fn query_rendering() {
         let p = Printer::new();
         let q = Query::new(
-            vec![("x".into(), Type::Atom), ("Y".into(), Type::set(Type::Atom))],
+            vec![
+                ("x".into(), Type::Atom),
+                ("Y".into(), Type::set(Type::Atom)),
+            ],
             Formula::In(Term::var("x"), Term::var("Y")),
         );
         assert_eq!(p.query(&q), "{[x:U, Y:{U}] | x in Y}");

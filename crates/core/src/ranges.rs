@@ -27,6 +27,7 @@ use crate::error::{EvalConfig, EvalError};
 use crate::eval::{active_order, Env, Evaluator, Query, RangeMap};
 use crate::rr::VarPath;
 use crate::typeck;
+use no_object::governor::Governor;
 use no_object::{Instance, Relation, SetValue, Type, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -84,7 +85,9 @@ type FixCols = Vec<Option<BTreeSet<Value>>>;
 struct Ctx<'a> {
     instance: &'a Instance,
     var_types: BTreeMap<VarName, Type>,
-    config: EvalConfig,
+    /// The shared budget: range analysis, its nested evaluators, and the
+    /// final evaluation all draw from this one governor.
+    governor: Governor,
     /// Per-column ranges for fixpoint relations in scope; `None` = the
     /// column is not range restricted.
     fix_scope: Vec<(RelName, FixCols)>,
@@ -95,12 +98,9 @@ struct Ctx<'a> {
 
 impl Ctx<'_> {
     fn budget_check(&self, r: &Ranges) -> Result<(), EvalError> {
-        if (r.total_values() as u64) > self.config.max_range {
-            return Err(EvalError::BudgetExhausted {
-                limit: self.config.max_range,
-            });
-        }
-        Ok(())
+        self.governor
+            .check_range("ranges.width", r.total_values() as u64)
+            .map_err(EvalError::from)
     }
 }
 
@@ -113,10 +113,21 @@ pub fn compute_ranges(
     formula: &Formula,
     config: &EvalConfig,
 ) -> Result<Ranges, EvalError> {
+    compute_ranges_governed(instance, var_types, formula, &config.governor())
+}
+
+/// As [`compute_ranges`], but drawing from an existing shared
+/// [`Governor`] instead of starting a fresh budget.
+pub fn compute_ranges_governed(
+    instance: &Instance,
+    var_types: &BTreeMap<VarName, Type>,
+    formula: &Formula,
+    governor: &Governor,
+) -> Result<Ranges, EvalError> {
     let mut ctx = Ctx {
         instance,
         var_types: var_types.clone(),
-        config: config.clone(),
+        governor: governor.clone(),
         fix_scope: Vec::new(),
         fix_ranges: HashMap::new(),
     };
@@ -145,15 +156,30 @@ pub fn safe_eval(
     query: &Query,
     config: EvalConfig,
 ) -> Result<Relation, EvalError> {
+    safe_eval_governed(instance, query, &config.governor())
+}
+
+/// As [`safe_eval`], but drawing from an existing shared [`Governor`] so
+/// the whole pipeline — range analysis (including any nested evaluation it
+/// performs) and the final restricted-domain evaluation — shares one
+/// budget with the caller.
+pub fn safe_eval_governed(
+    instance: &Instance,
+    query: &Query,
+    governor: &Governor,
+) -> Result<Relation, EvalError> {
     let checked = typeck::check(instance.schema(), &query.head, &query.body)
         .map_err(|e| EvalError::ShapeError(e.to_string()))?;
-    let ranges = compute_ranges(instance, &checked.var_types, &query.body, &config)?;
+    let governor = governor.clone();
+    let ranges = compute_ranges_governed(instance, &checked.var_types, &query.body, &governor)?;
     let order = active_order(instance, query);
-    let mut ev = Evaluator::new(instance, order, config).with_ranges(ranges.to_range_map());
+    let mut ev =
+        Evaluator::with_governor(instance, order, governor).with_ranges(ranges.to_range_map());
     ev.query(query)
 }
 
 fn ranges(ctx: &mut Ctx<'_>, f: &Formula) -> Result<Ranges, EvalError> {
+    ctx.governor.tick("ranges.analyze")?;
     let mut out = match f {
         Formula::Rel(name, args) => {
             let mut out = Ranges::default();
@@ -164,7 +190,9 @@ fn ranges(ctx: &mut Ctx<'_>, f: &Formula) -> Result<Ranges, EvalError> {
                 .find(|(n, _)| n == name)
                 .map(|(_, cols)| cols.clone());
             for (j, arg) in args.iter().enumerate() {
-                let Some(p) = VarPath::of_term(arg) else { continue };
+                let Some(p) = VarPath::of_term(arg) else {
+                    continue;
+                };
                 match &fix_cols {
                     Some(cols) => {
                         if let Some(Some(vs)) = cols.get(j) {
@@ -248,8 +276,7 @@ fn ranges(ctx: &mut Ctx<'_>, f: &Formula) -> Result<Ranges, EvalError> {
                             }
                         }
                         Formula::In(a, b) => {
-                            if let (Some(pa), Some(pb)) =
-                                (VarPath::of_term(a), VarPath::of_term(b))
+                            if let (Some(pa), Some(pb)) = (VarPath::of_term(a), VarPath::of_term(b))
                             {
                                 if let Some(vs) = out.get(&pb).cloned() {
                                     let elems: Vec<Value> = vs
@@ -280,8 +307,7 @@ fn ranges(ctx: &mut Ctx<'_>, f: &Formula) -> Result<Ranges, EvalError> {
                 .iter()
                 .map(|p| ranges(ctx, p))
                 .collect::<Result<_, _>>()?;
-            let part_vars: Vec<BTreeSet<VarName>> =
-                parts.iter().map(crate::rr::all_vars).collect();
+            let part_vars: Vec<BTreeSet<VarName>> = parts.iter().map(crate::rr::all_vars).collect();
             let mut out = Ranges::default();
             let candidates: BTreeSet<VarPath> = part_ranges
                 .iter()
@@ -362,10 +388,8 @@ fn saturate_projection_ranges(ctx: &Ctx<'_>, out: &mut Ranges) -> Result<(), Eva
         for (p, vs) in &snapshot {
             if let Some(Type::Tuple(ts)) = p.type_in(&ctx.var_types) {
                 for i in 1..=ts.len() {
-                    let projected: Vec<Value> = vs
-                        .iter()
-                        .filter_map(|v| v.project(i).cloned())
-                        .collect();
+                    let projected: Vec<Value> =
+                        vs.iter().filter_map(|v| v.project(i).cloned()).collect();
                     out.add(p.child(i), projected);
                 }
             }
@@ -391,11 +415,7 @@ fn saturate_projection_ranges(ctx: &Ctx<'_>, out: &mut Ranges) -> Result<(), Eva
                 (1..=ts.len()).map(|i| out.get(&p.child(i))).collect();
             if let Some(comps) = comps {
                 let size: usize = comps.iter().map(|c| c.len()).product();
-                if size as u64 > ctx.config.max_range {
-                    return Err(EvalError::BudgetExhausted {
-                        limit: ctx.config.max_range,
-                    });
-                }
+                ctx.governor.check_range("ranges.product", size as u64)?;
                 let mut tuples: Vec<Value> = vec![];
                 build_product(&comps, &mut Vec::new(), &mut tuples);
                 out.add(p, tuples);
@@ -433,11 +453,7 @@ fn grouping_range(
     let Some(y_range) = inner.of_var(y).cloned() else {
         return Ok(None);
     };
-    let others: Vec<VarName> = phi
-        .free_vars()
-        .into_iter()
-        .filter(|v| v != y)
-        .collect();
+    let others: Vec<VarName> = phi.free_vars().into_iter().filter(|v| v != y).collect();
     let mut other_ranges: Vec<(VarName, Vec<Value>)> = Vec::new();
     for v in &others {
         match inner.of_var(v) {
@@ -445,15 +461,8 @@ fn grouping_range(
             None => return Ok(None),
         }
     }
-    let combos: u64 = other_ranges
-        .iter()
-        .map(|(_, r)| r.len() as u64)
-        .product();
-    if combos > ctx.config.max_range {
-        return Err(EvalError::BudgetExhausted {
-            limit: ctx.config.max_range,
-        });
-    }
+    let combos: u64 = other_ranges.iter().map(|(_, r)| r.len() as u64).product();
+    ctx.governor.check_range("ranges.grouping", combos)?;
     // evaluate φ' per assignment
     let order = {
         let mut atoms = ctx.instance.atoms();
@@ -496,7 +505,8 @@ fn enumerate_assignments(
             Ok(())
         }
         None => {
-            let mut ev = Evaluator::new(ctx.instance, order.clone(), ctx.config.clone());
+            let mut ev =
+                Evaluator::with_governor(ctx.instance, order.clone(), ctx.governor.clone());
             let mut env = Env::new();
             for (v, val) in assignment.iter() {
                 env.push(v.clone(), val.clone());
@@ -520,10 +530,7 @@ fn enumerate_assignments(
 /// body's range analysis with the previous column classification until
 /// stable. Columns start as `Some(∅)` (the paper's `r^0` treats `S` as
 /// empty) and may degrade to `None` when their variable loses its range.
-fn fix_column_ranges(
-    ctx: &mut Ctx<'_>,
-    fix: &Arc<Fixpoint>,
-) -> Result<FixCols, EvalError> {
+fn fix_column_ranges(ctx: &mut Ctx<'_>, fix: &Arc<Fixpoint>) -> Result<FixCols, EvalError> {
     let key = Arc::as_ptr(fix) as usize;
     if let Some((_, cols)) = ctx.fix_ranges.get(&key) {
         return Ok(cols.clone());
@@ -583,7 +590,7 @@ fn eval_fix_with_cols(
     crate::eval::formula_atoms(&fix.body, &mut atoms);
     let order = no_object::AtomOrder::new(atoms.into_iter().collect());
     let mut ev =
-        Evaluator::new(ctx.instance, order, ctx.config.clone()).with_ranges(range_map);
+        Evaluator::with_governor(ctx.instance, order, ctx.governor.clone()).with_ranges(range_map);
     Ok(ev.eval_fixpoint(fix)?.as_ref().clone())
 }
 
@@ -614,13 +621,11 @@ mod tests {
         (u, i)
     }
 
-    fn types_of(
-        i: &Instance,
-        free: &[(&str, Type)],
-        f: &Formula,
-    ) -> BTreeMap<VarName, Type> {
-        let free: Vec<(String, Type)> =
-            free.iter().map(|(v, t)| (v.to_string(), t.clone())).collect();
+    fn types_of(i: &Instance, free: &[(&str, Type)], f: &Formula) -> BTreeMap<VarName, Type> {
+        let free: Vec<(String, Type)> = free
+            .iter()
+            .map(|(v, t)| (v.to_string(), t.clone()))
+            .collect();
         typeck::check(i.schema(), &free, f).unwrap().var_types
     }
 
@@ -652,10 +657,17 @@ mod tests {
             ),
         ]);
         let q = Query::new(
-            vec![("x".into(), Type::Atom), ("s".into(), Type::set(Type::Atom))],
+            vec![
+                ("x".into(), Type::Atom),
+                ("s".into(), Type::set(Type::Atom)),
+            ],
             body,
         );
-        let vt = types_of(&i, &[("x", Type::Atom), ("s", Type::set(Type::Atom))], &q.body);
+        let vt = types_of(
+            &i,
+            &[("x", Type::Atom), ("s", Type::set(Type::Atom))],
+            &q.body,
+        );
         let r = compute_ranges(&i, &vt, &q.body, &EvalConfig::default()).unwrap();
         let s_range = r.of_var("s").expect("s ranged by rule 9");
         // candidate sets: {y | P(x,y)} for x ∈ {a, b} = {b,c} and {c}
@@ -792,9 +804,12 @@ mod tests {
             max_range: 2,
             ..EvalConfig::default()
         };
-        assert!(matches!(
-            compute_ranges(&i, &vt, &f, &cfg),
-            Err(EvalError::BudgetExhausted { .. })
-        ));
+        match compute_ranges(&i, &vt, &f, &cfg) {
+            Err(EvalError::Resource(e)) => {
+                assert_eq!(e.budget, no_object::BudgetKind::Range);
+                assert_eq!(e.limit, 2);
+            }
+            other => panic!("expected range Resource error, got {other:?}"),
+        }
     }
 }

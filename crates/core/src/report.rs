@@ -86,7 +86,11 @@ impl fmt::Display for QueryReport {
             f,
             "bound:     {} ({}{})",
             self.bound.bound,
-            if self.bound.exact { "exactly captures, " } else { "upper bound, " },
+            if self.bound.exact {
+                "exactly captures, "
+            } else {
+                "upper bound, "
+            },
             self.bound.by
         )?;
         if !self.unrestricted_vars.is_empty() {
@@ -371,7 +375,11 @@ mod tests {
     #[test]
     fn rr_ifp_query_is_ptime_safe() {
         let r = classify(&graph_schema(), &tc_query(), InputAssumption::Unknown).unwrap();
-        assert!(r.range_restricted, "unrestricted: {:?}", r.unrestricted_vars);
+        assert!(
+            r.range_restricted,
+            "unrestricted: {:?}",
+            r.unrestricted_vars
+        );
         assert!(r.fix.ifp && !r.fix.pfp);
         assert_eq!(r.bound.bound, "PTIME");
         assert_eq!(r.bound.by, "Theorem 5.1(b)");
@@ -393,7 +401,10 @@ mod tests {
                 op: FixOp::Pfp,
                 rel: "S".into(),
                 vars: vec![("x".into(), Type::Atom)],
-                body: Box::new(Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")])),
+                body: Box::new(Formula::Rel(
+                    "G".into(),
+                    vec![Term::var("x"), Term::var("x")],
+                )),
             });
             Query::new(
                 vec![("u".into(), Type::Atom)],
@@ -412,8 +423,10 @@ mod tests {
             Formula::forall(
                 "x",
                 Type::Atom,
-                Formula::In(Term::var("x"), Term::var("X"))
-                    .implies(Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")])),
+                Formula::In(Term::var("x"), Term::var("X")).implies(Formula::Rel(
+                    "G".into(),
+                    vec![Term::var("x"), Term::var("x")],
+                )),
             ),
         );
         let r = classify(&graph_schema(), &q, InputAssumption::Unknown).unwrap();
@@ -464,19 +477,16 @@ mod tests {
         assert_eq!(plain.unrestricted_vars, vec!["X".to_string()]);
         assert!(plain.bound.bound.contains("hyper"));
         // with density for the non-trivial type {[U,U]}: PTIME, exact
-        let dense = classify(
-            &schema,
-            &q,
-            InputAssumption::DenseForType { ty: set_pair },
-        )
-        .unwrap();
+        let dense = classify(&schema, &q, InputAssumption::DenseForType { ty: set_pair }).unwrap();
         assert_eq!(dense.bound.bound, "PTIME");
         assert_eq!(dense.bound.by, "Theorem 5.3 (fixpoint-free fragment)");
         // density for a *trivial* type buys nothing
         let trivial = classify(
             &schema,
             &q,
-            InputAssumption::DenseForType { ty: Type::set(Type::Atom) },
+            InputAssumption::DenseForType {
+                ty: Type::set(Type::Atom),
+            },
         )
         .unwrap();
         assert!(trivial.bound.bound.contains("hyper"));

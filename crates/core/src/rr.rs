@@ -401,8 +401,7 @@ fn rr(ctx: &mut Ctx<'_>, f: &Formula) -> BTreeSet<VarPath> {
                             }
                         }
                         Formula::In(a, b) => {
-                            if let (Some(pa), Some(pb)) =
-                                (VarPath::of_term(a), VarPath::of_term(b))
+                            if let (Some(pa), Some(pb)) = (VarPath::of_term(a), VarPath::of_term(b))
                             {
                                 if out.contains(&pb) {
                                     out.insert(pa);
@@ -422,16 +421,15 @@ fn rr(ctx: &mut Ctx<'_>, f: &Formula) -> BTreeSet<VarPath> {
         Formula::Or(parts) => {
             // rule 6: restricted in every disjunct where it occurs
             let part_rr: Vec<BTreeSet<VarPath>> = parts.iter().map(|p| rr(ctx, p)).collect();
-            let part_vars: Vec<BTreeSet<VarName>> =
-                parts.iter().map(occurring_roots).collect();
-            let candidates: BTreeSet<VarPath> =
-                part_rr.iter().flatten().cloned().collect();
+            let part_vars: Vec<BTreeSet<VarName>> = parts.iter().map(occurring_roots).collect();
+            let candidates: BTreeSet<VarPath> = part_rr.iter().flatten().cloned().collect();
             candidates
                 .into_iter()
                 .filter(|p| {
-                    parts.iter().enumerate().all(|(i, _)| {
-                        !part_vars[i].contains(&p.root) || part_rr[i].contains(p)
-                    })
+                    parts
+                        .iter()
+                        .enumerate()
+                        .all(|(i, _)| !part_vars[i].contains(&p.root) || part_rr[i].contains(p))
                 })
                 .collect()
         }
@@ -534,14 +532,14 @@ mod tests {
     use crate::typeck;
     use no_object::RelationSchema;
 
-    fn vt(
-        schema: &Schema,
-        free: &[(&str, Type)],
-        f: &Formula,
-    ) -> BTreeMap<VarName, Type> {
-        let free: Vec<(String, Type)> =
-            free.iter().map(|(v, t)| (v.to_string(), t.clone())).collect();
-        typeck::check(schema, &free, f).expect("formula must typecheck").var_types
+    fn vt(schema: &Schema, free: &[(&str, Type)], f: &Formula) -> BTreeMap<VarName, Type> {
+        let free: Vec<(String, Type)> = free
+            .iter()
+            .map(|(v, t)| (v.to_string(), t.clone()))
+            .collect();
+        typeck::check(schema, &free, f)
+            .expect("formula must typecheck")
+            .var_types
     }
 
     fn p(name: &str) -> VarPath {
@@ -569,10 +567,7 @@ mod tests {
     #[test]
     fn constants_restrict() {
         let s = Schema::new();
-        let f = Formula::Eq(
-            Term::var("x"),
-            Term::Const(no_object::Value::empty_set()),
-        );
+        let f = Formula::Eq(Term::var("x"), Term::Const(no_object::Value::empty_set()));
         let types = vt(&s, &[("x", Type::set(Type::Atom))], &f);
         assert!(is_range_restricted(&s, &types, &f));
     }
@@ -588,7 +583,11 @@ mod tests {
         ]);
         let types = vt(
             &s,
-            &[("Y", Type::set(Type::Atom)), ("x", Type::Atom), ("z", Type::Atom)],
+            &[
+                ("Y", Type::set(Type::Atom)),
+                ("x", Type::Atom),
+                ("z", Type::Atom),
+            ],
             &f,
         );
         assert!(is_range_restricted(&s, &types, &f));
@@ -652,7 +651,11 @@ mod tests {
         let types = vt(&s, &[], &f);
         assert!(is_range_restricted(&s, &types, &f));
         // ∀x P(x): ¬P(x) restricts nothing
-        let f2 = Formula::forall("x", Type::Atom, Formula::Rel("P".into(), vec![Term::var("x")]));
+        let f2 = Formula::forall(
+            "x",
+            Type::Atom,
+            Formula::Rel("P".into(), vec![Term::var("x")]),
+        );
         let types2 = vt(&s, &[], &f2);
         assert!(!is_range_restricted(&s, &types2, &f2));
     }
@@ -716,7 +719,10 @@ mod tests {
         let types = vt(&s, &[("x", Type::Atom), ("s", Type::set(Type::Atom))], &f);
         let a = analyze(&s, &types, &f);
         assert!(a.is_restricted("x"));
-        assert!(a.is_restricted("s"), "s = fully-restricted IFP term (rule 9')");
+        assert!(
+            a.is_restricted("s"),
+            "s = fully-restricted IFP term (rule 9')"
+        );
         assert!(is_range_restricted(&s, &types, &f));
     }
 

@@ -78,15 +78,29 @@ impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TypeError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
-            TypeError::ArityMismatch { rel, expected, found } => {
-                write!(f, "relation {rel} has arity {expected}, applied to {found} arguments")
+            TypeError::ArityMismatch {
+                rel,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "relation {rel} has arity {expected}, applied to {found} arguments"
+                )
             }
-            TypeError::Mismatch { expected, found, term } => {
+            TypeError::Mismatch {
+                expected,
+                found,
+                term,
+            } => {
                 write!(f, "term {term} has type {found}, expected {expected}")
             }
             TypeError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
             TypeError::VariableReuse(v) => {
-                write!(f, "variable {v} bound more than once or both free and bound")
+                write!(
+                    f,
+                    "variable {v} bound more than once or both free and bound"
+                )
             }
             TypeError::NotATuple { found, term } => {
                 write!(f, "projection applied to {term} of non-tuple type {found}")
@@ -98,7 +112,10 @@ impl fmt::Display for TypeError {
                 write!(f, "term {term} of non-set type {found} used as a set")
             }
             TypeError::FixpointFreeVar { rel, var } => {
-                write!(f, "fixpoint body of {rel} has undeclared free variable {var}")
+                write!(
+                    f,
+                    "fixpoint body of {rel} has undeclared free variable {var}"
+                )
             }
             TypeError::AmbiguousConstants(t) => {
                 write!(f, "cannot determine a common type for constants in {t}")
@@ -487,7 +504,10 @@ mod tests {
         let f = Formula::In(Term::var("x"), Term::var("X"));
         let ck = check(
             &s,
-            &[("x".into(), Type::Atom), ("X".into(), Type::set(Type::Atom))],
+            &[
+                ("x".into(), Type::Atom),
+                ("X".into(), Type::set(Type::Atom)),
+            ],
             &f,
         )
         .unwrap();
@@ -506,10 +526,7 @@ mod tests {
         let s = set_graph_schema();
         let f = Formula::Rel(
             "G".into(),
-            vec![
-                Term::Const(no_object::Value::empty_set()),
-                Term::var("y"),
-            ],
+            vec![Term::Const(no_object::Value::empty_set()), Term::var("y")],
         );
         assert!(check(&s, &[("y".into(), Type::set(Type::Atom))], &f).is_ok());
     }
@@ -541,10 +558,21 @@ mod tests {
         assert!(matches!(r, Err(TypeError::VariableReuse(_))));
         // x bound twice
         let f2 = Formula::and([
-            Formula::exists("x", Type::Atom, Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")])),
-            Formula::exists("x", Type::Atom, Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")])),
+            Formula::exists(
+                "x",
+                Type::Atom,
+                Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")]),
+            ),
+            Formula::exists(
+                "x",
+                Type::Atom,
+                Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")]),
+            ),
         ]);
-        assert!(matches!(check(&s, &[], &f2), Err(TypeError::VariableReuse(_))));
+        assert!(matches!(
+            check(&s, &[], &f2),
+            Err(TypeError::VariableReuse(_))
+        ));
     }
 
     #[test]
@@ -570,11 +598,21 @@ mod tests {
             body: Box::new(body),
         });
         let f = Formula::FixApp(fix.clone(), vec![Term::var("u"), Term::var("v")]);
-        let ck = check(&s, &[("u".into(), su.clone()), ("v".into(), su.clone())], &f).unwrap();
+        let ck = check(
+            &s,
+            &[("u".into(), su.clone()), ("v".into(), su.clone())],
+            &f,
+        )
+        .unwrap();
         assert_eq!(ck.ik(), (1, 0));
         // used as a term: x = IFP(...) has type {[{U},{U}]} — a <2,2>-type
         let f2 = Formula::Eq(Term::var("w"), Term::Fix(fix));
-        let ck2 = check(&s, &[("w".into(), Type::set(Type::tuple(vec![su.clone(), su])))], &f2).unwrap();
+        let ck2 = check(
+            &s,
+            &[("w".into(), Type::set(Type::tuple(vec![su.clone(), su])))],
+            &f2,
+        )
+        .unwrap();
         assert_eq!(ck2.ik(), (2, 2));
     }
 
@@ -585,7 +623,10 @@ mod tests {
             op: FixOp::Ifp,
             rel: "S".into(),
             vars: vec![("x".into(), Type::Atom)],
-            body: Box::new(Formula::Rel("G".into(), vec![Term::var("x"), Term::var("oops")])),
+            body: Box::new(Formula::Rel(
+                "G".into(),
+                vec![Term::var("x"), Term::var("oops")],
+            )),
         });
         let f = Formula::FixApp(fix, vec![Term::var("u")]);
         assert!(matches!(
@@ -599,8 +640,17 @@ mod tests {
         let s = graph_schema();
         let su = Type::set(Type::Atom);
         let f = Formula::Subset(Term::var("a"), Term::var("b"));
-        assert!(check(&s, &[("a".into(), su.clone()), ("b".into(), su.clone())], &f).is_ok());
-        let bad = check(&s, &[("a".into(), Type::Atom), ("b".into(), Type::Atom)], &f);
+        assert!(check(
+            &s,
+            &[("a".into(), su.clone()), ("b".into(), su.clone())],
+            &f
+        )
+        .is_ok());
+        let bad = check(
+            &s,
+            &[("a".into(), Type::Atom), ("b".into(), Type::Atom)],
+            &f,
+        );
         assert!(matches!(bad, Err(TypeError::NotASet { .. })));
     }
 

@@ -16,7 +16,7 @@
 //! DESIGN.md §6).
 
 use crate::program::{DTerm, Literal, Program, ProgramError, Rule};
-use no_object::{Instance, Relation, Value};
+use no_object::{Governor, Instance, Relation, Value};
 use std::collections::{BTreeMap, HashMap};
 
 /// The computed IDB: relation name → facts.
@@ -42,11 +42,25 @@ pub enum Strategy {
     SemiNaive,
 }
 
-/// Evaluate `program` on `instance` with inflationary semantics.
+/// Evaluate `program` on `instance` with inflationary semantics, under a
+/// fresh default [`Governor`].
 pub fn eval(
     program: &Program,
     instance: &Instance,
     strategy: Strategy,
+) -> Result<(Idb, EvalStats), ProgramError> {
+    eval_governed(program, instance, strategy, &Governor::default())
+}
+
+/// Evaluate `program` on `instance` with inflationary semantics under an
+/// existing [`Governor`]: every rule-body join attempt costs one unit of
+/// step fuel, every derived fact is charged against the memory budget, and
+/// each fixpoint round is checked against the iteration cap.
+pub fn eval_governed(
+    program: &Program,
+    instance: &Instance,
+    strategy: Strategy,
+    governor: &Governor,
 ) -> Result<(Idb, EvalStats), ProgramError> {
     program.validate(instance.schema())?;
     let mut idb: Idb = program
@@ -58,6 +72,7 @@ pub fn eval(
     let mut stats = EvalStats::default();
     loop {
         stats.rounds += 1;
+        governor.check_iters("datalog.round", stats.rounds as u64)?;
         let mut new_delta: Idb = program
             .idb
             .keys()
@@ -86,10 +101,19 @@ pub fn eval(
                         Some((pos, &delta)),
                         &mut new_delta,
                         &mut stats,
-                    );
+                        governor,
+                    )?;
                 }
             } else {
-                derive(rule, instance, &idb, None, &mut new_delta, &mut stats);
+                derive(
+                    rule,
+                    instance,
+                    &idb,
+                    None,
+                    &mut new_delta,
+                    &mut stats,
+                    governor,
+                )?;
             }
         }
         for (name, facts) in &new_delta {
@@ -120,6 +144,7 @@ fn new_delta_replace(delta: &mut Idb, name: &str, fresh: Relation) {
 
 /// Evaluate one rule body by backtracking over literals left to right,
 /// inserting derived head facts into `out`.
+#[allow(clippy::too_many_arguments)]
 fn derive(
     rule: &Rule,
     instance: &Instance,
@@ -127,16 +152,15 @@ fn derive(
     pinned: Option<(usize, &Idb)>,
     out: &mut Idb,
     stats: &mut EvalStats,
-) {
+    governor: &Governor,
+) -> Result<(), ProgramError> {
     let mut env: HashMap<String, Value> = HashMap::new();
-    search(rule, instance, idb, pinned, 0, &mut env, out, stats);
+    search(
+        rule, instance, idb, pinned, 0, &mut env, out, stats, governor,
+    )
 }
 
-fn lookup_rel<'a>(
-    name: &str,
-    instance: &'a Instance,
-    idb: &'a Idb,
-) -> Option<&'a Relation> {
+fn lookup_rel<'a>(name: &str, instance: &'a Instance, idb: &'a Idb) -> Option<&'a Relation> {
     idb.get(name)
         .or_else(|| instance.schema().get(name).map(|_| instance.relation(name)))
 }
@@ -158,19 +182,19 @@ fn search(
     env: &mut HashMap<String, Value>,
     out: &mut Idb,
     stats: &mut EvalStats,
-) {
+    governor: &Governor,
+) -> Result<(), ProgramError> {
     stats.joins += 1;
+    governor.tick("datalog.search")?;
     if depth == rule.body.len() {
         // all literals satisfied: emit the head fact
-        let row: Option<Vec<Value>> = rule
-            .head_args
-            .iter()
-            .map(|t| eval_term(t, env))
-            .collect();
+        let row: Option<Vec<Value>> = rule.head_args.iter().map(|t| eval_term(t, env)).collect();
         if let Some(row) = row {
+            let bytes: u64 = row.iter().map(Value::approx_bytes).sum();
+            governor.charge_mem("datalog.derive", bytes)?;
             out.get_mut(&rule.head).expect("declared IDB").insert(row);
         }
-        return;
+        return Ok(());
     }
     let lit = &rule.body[depth];
     match lit {
@@ -181,7 +205,7 @@ fn search(
                 }
                 _ => match lookup_rel(name, instance, idb) {
                     Some(r) => r,
-                    None => return,
+                    None => return Ok(()),
                 },
             };
             for row in rel.iter() {
@@ -209,65 +233,155 @@ fn search(
                         },
                     }
                 }
-                if ok {
-                    search(rule, instance, idb, pinned, depth + 1, env, out, stats);
-                }
+                let deeper = if ok {
+                    search(
+                        rule,
+                        instance,
+                        idb,
+                        pinned,
+                        depth + 1,
+                        env,
+                        out,
+                        stats,
+                        governor,
+                    )
+                } else {
+                    Ok(())
+                };
                 for v in bound_here {
                     env.remove(&v);
                 }
+                deeper?;
             }
+            Ok(())
         }
         Literal::Neg(name, args) => {
             let row: Option<Vec<Value>> = args.iter().map(|t| eval_term(t, env)).collect();
-            let Some(row) = row else { return };
+            let Some(row) = row else { return Ok(()) };
             let holds = lookup_rel(name, instance, idb)
                 .map(|r| r.contains(&row))
                 .unwrap_or(false);
             if !holds {
-                search(rule, instance, idb, pinned, depth + 1, env, out, stats);
+                search(
+                    rule,
+                    instance,
+                    idb,
+                    pinned,
+                    depth + 1,
+                    env,
+                    out,
+                    stats,
+                    governor,
+                )?;
             }
+            Ok(())
         }
         Literal::Eq(a, b) => match (eval_term(a, env), eval_term(b, env)) {
             (Some(x), Some(y)) => {
                 if x == y {
-                    search(rule, instance, idb, pinned, depth + 1, env, out, stats);
+                    search(
+                        rule,
+                        instance,
+                        idb,
+                        pinned,
+                        depth + 1,
+                        env,
+                        out,
+                        stats,
+                        governor,
+                    )?;
                 }
+                Ok(())
             }
-            (Some(x), None) => bind_and_continue(rule, instance, idb, pinned, depth, env, out, stats, b, x),
-            (None, Some(y)) => bind_and_continue(rule, instance, idb, pinned, depth, env, out, stats, a, y),
-            (None, None) => {}
+            (Some(x), None) => bind_and_continue(
+                rule, instance, idb, pinned, depth, env, out, stats, governor, b, x,
+            ),
+            (None, Some(y)) => bind_and_continue(
+                rule, instance, idb, pinned, depth, env, out, stats, governor, a, y,
+            ),
+            (None, None) => Ok(()),
         },
         Literal::Neq(a, b) => {
             if let (Some(x), Some(y)) = (eval_term(a, env), eval_term(b, env)) {
                 if x != y {
-                    search(rule, instance, idb, pinned, depth + 1, env, out, stats);
+                    search(
+                        rule,
+                        instance,
+                        idb,
+                        pinned,
+                        depth + 1,
+                        env,
+                        out,
+                        stats,
+                        governor,
+                    )?;
                 }
             }
+            Ok(())
         }
         Literal::In(a, b) => {
-            let Some(Value::Set(set)) = eval_term(b, env) else { return };
+            let Some(Value::Set(set)) = eval_term(b, env) else {
+                return Ok(());
+            };
             match eval_term(a, env) {
                 Some(x) => {
                     if set.contains(&x) {
-                        search(rule, instance, idb, pinned, depth + 1, env, out, stats);
+                        search(
+                            rule,
+                            instance,
+                            idb,
+                            pinned,
+                            depth + 1,
+                            env,
+                            out,
+                            stats,
+                            governor,
+                        )?;
                     }
+                    Ok(())
                 }
                 None => {
-                    let DTerm::Var(v) = a else { return };
+                    let DTerm::Var(v) = a else { return Ok(()) };
+                    let mut result = Ok(());
                     for elem in set.iter() {
                         env.insert(v.clone(), elem.clone());
-                        search(rule, instance, idb, pinned, depth + 1, env, out, stats);
+                        result = search(
+                            rule,
+                            instance,
+                            idb,
+                            pinned,
+                            depth + 1,
+                            env,
+                            out,
+                            stats,
+                            governor,
+                        );
+                        if result.is_err() {
+                            break;
+                        }
                     }
                     env.remove(v);
+                    result
                 }
             }
         }
         Literal::NotIn(a, b) => {
             if let (Some(x), Some(Value::Set(set))) = (eval_term(a, env), eval_term(b, env)) {
                 if !set.contains(&x) {
-                    search(rule, instance, idb, pinned, depth + 1, env, out, stats);
+                    search(
+                        rule,
+                        instance,
+                        idb,
+                        pinned,
+                        depth + 1,
+                        env,
+                        out,
+                        stats,
+                        governor,
+                    )?;
                 }
             }
+            Ok(())
         }
     }
 }
@@ -282,13 +396,25 @@ fn bind_and_continue(
     env: &mut HashMap<String, Value>,
     out: &mut Idb,
     stats: &mut EvalStats,
+    governor: &Governor,
     target: &DTerm,
     value: Value,
-) {
-    let DTerm::Var(v) = target else { return };
+) -> Result<(), ProgramError> {
+    let DTerm::Var(v) = target else { return Ok(()) };
     env.insert(v.clone(), value);
-    search(rule, instance, idb, pinned, depth + 1, env, out, stats);
+    let result = search(
+        rule,
+        instance,
+        idb,
+        pinned,
+        depth + 1,
+        env,
+        out,
+        stats,
+        governor,
+    );
     env.remove(v);
+    result
 }
 
 #[cfg(test)]
@@ -298,10 +424,8 @@ mod tests {
 
     fn graph(edges: &[(&str, &str)]) -> (Universe, Instance) {
         let mut u = Universe::new();
-        let schema = Schema::from_relations([RelationSchema::new(
-            "G",
-            vec![Type::Atom, Type::Atom],
-        )]);
+        let schema =
+            Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
         let mut i = Instance::empty(schema);
         for (a, b) in edges {
             let (a, b) = (u.intern(a), u.intern(b));
@@ -316,7 +440,10 @@ mod tests {
         p.rule(
             "tc",
             vec![DTerm::var("x"), DTerm::var("y")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
         );
         p.rule(
             "tc",
@@ -357,8 +484,10 @@ mod tests {
         let edges: Vec<(String, String)> = (0..30)
             .map(|k| (format!("n{k}"), format!("n{}", k + 1)))
             .collect();
-        let edge_refs: Vec<(&str, &str)> =
-            edges.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let edge_refs: Vec<(&str, &str)> = edges
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         let (_u, i) = graph(&edge_refs);
         let (_, naive) = eval(&tc_program(), &i, Strategy::Naive).unwrap();
         let (_, semi) = eval(&tc_program(), &i, Strategy::SemiNaive).unwrap();
@@ -385,12 +514,18 @@ mod tests {
         p.rule(
             "node",
             vec![DTerm::var("x")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
         );
         p.rule(
             "node",
             vec![DTerm::var("y")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
         );
         p.rule(
             "unreach",
@@ -472,6 +607,72 @@ mod tests {
             Value::Atom(u.get("a").unwrap()),
             Value::Atom(u.get("b").unwrap())
         ]));
+    }
+
+    #[test]
+    fn step_fuel_bounds_join_attempts() {
+        use no_object::{BudgetKind, Limits};
+        let (_u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let g = Governor::new(Limits {
+                max_steps: 10,
+                ..Limits::unlimited()
+            });
+            match eval_governed(&tc_program(), &i, strategy, &g) {
+                Err(ProgramError::Resource(e)) => {
+                    assert_eq!(e.budget, BudgetKind::Steps, "{strategy:?}");
+                    assert_eq!(e.site, "datalog.search");
+                }
+                other => panic!("{strategy:?}: expected step Resource error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_cap_bounds_rounds() {
+        use no_object::{BudgetKind, Limits};
+        let (_u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]);
+        let g = Governor::new(Limits {
+            max_fixpoint_iters: 2,
+            ..Limits::unlimited()
+        });
+        match eval_governed(&tc_program(), &i, Strategy::Naive, &g) {
+            Err(ProgramError::Resource(e)) => {
+                assert_eq!(e.budget, BudgetKind::FixpointIters);
+                assert_eq!(e.site, "datalog.round");
+            }
+            other => panic!("expected iteration Resource error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_budget_bounds_derived_facts() {
+        use no_object::{BudgetKind, Limits};
+        let (_u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        let g = Governor::new(Limits {
+            max_memory_bytes: 32,
+            ..Limits::unlimited()
+        });
+        match eval_governed(&tc_program(), &i, Strategy::SemiNaive, &g) {
+            Err(ProgramError::Resource(e)) => {
+                assert_eq!(e.budget, BudgetKind::Memory);
+                assert_eq!(e.site, "datalog.derive");
+            }
+            other => panic!("expected memory Resource error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_evaluation() {
+        let (_u, i) = graph(&[("a", "b")]);
+        let g = Governor::default();
+        g.cancel();
+        match eval_governed(&tc_program(), &i, Strategy::Naive, &g) {
+            Err(ProgramError::Resource(e)) => {
+                assert_eq!(e.budget, no_object::BudgetKind::Cancelled)
+            }
+            other => panic!("expected cancellation error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "datalog parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "datalog parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -275,9 +279,7 @@ impl<'s, 'u> P<'s, 'u> {
             let head_args = self.terms()?;
             let mut body = Vec::new();
             self.skip_ws();
-            if self.src.get(self.pos) == Some(&b':')
-                && self.src.get(self.pos + 1) == Some(&b'-')
-            {
+            if self.src.get(self.pos) == Some(&b':') && self.src.get(self.pos + 1) == Some(&b'-') {
                 self.pos += 2;
                 body.push(self.literal()?);
                 while self.try_eat(b',') {
@@ -318,10 +320,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.rules.len(), 2);
-        let schema = Schema::from_relations([RelationSchema::new(
-            "G",
-            vec![Type::Atom, Type::Atom],
-        )]);
+        let schema =
+            Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
         let mut i = Instance::empty(schema);
         let (a, b, c) = (u.intern("a"), u.intern("b"), u.intern("c"));
         i.insert("G", vec![Value::Atom(a), Value::Atom(b)]);

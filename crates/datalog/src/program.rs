@@ -6,7 +6,7 @@
 //! relation literals, equality, and membership over complex-object terms,
 //! evaluated with inflationary semantics.
 
-use no_object::{Schema, Type, Value};
+use no_object::{ResourceError, Schema, Type, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -97,25 +97,45 @@ pub enum ProgramError {
     },
     /// A rule wrote an EDB relation.
     HeadIsEdb(String),
+    /// A governor budget (step fuel, fixpoint rounds, memory, deadline, or
+    /// cancellation) was exhausted during evaluation.
+    Resource(ResourceError),
 }
 
 impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProgramError::UndeclaredHead(r) => write!(f, "head relation {r} not declared"),
-            ProgramError::ArityMismatch { rel, expected, found } => {
-                write!(f, "relation {rel}: declared arity {expected}, used with {found}")
+            ProgramError::ArityMismatch {
+                rel,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "relation {rel}: declared arity {expected}, used with {found}"
+                )
             }
             ProgramError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
             ProgramError::Unsafe { rule, var } => {
-                write!(f, "unsafe rule {rule}: variable {var} is not bound by the positive body")
+                write!(
+                    f,
+                    "unsafe rule {rule}: variable {var} is not bound by the positive body"
+                )
             }
             ProgramError::HeadIsEdb(r) => write!(f, "rule head {r} is an EDB relation"),
+            ProgramError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for ProgramError {}
+
+impl From<ResourceError> for ProgramError {
+    fn from(e: ResourceError) -> Self {
+        ProgramError::Resource(e)
+    }
+}
 
 impl Program {
     /// Create an empty program.
@@ -234,9 +254,7 @@ impl Program {
             }
             for lit in &rule.body {
                 match lit {
-                    Literal::Neg(_, args) => {
-                        need.extend(args.iter().filter_map(DTerm::var_name))
-                    }
+                    Literal::Neg(_, args) => need.extend(args.iter().filter_map(DTerm::var_name)),
                     Literal::Neq(a, b) | Literal::NotIn(a, b) => {
                         need.extend([a, b].into_iter().filter_map(DTerm::var_name))
                     }
@@ -269,7 +287,10 @@ impl fmt::Display for DTerm {
 impl fmt::Display for Literal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let args = |args: &[DTerm]| -> String {
-            args.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+            args.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
         };
         match self {
             Literal::Pos(r, a) => write!(f, "{r}({})", args(a)),
@@ -330,7 +351,10 @@ mod tests {
         p.rule(
             "tc",
             vec![DTerm::var("x"), DTerm::var("y")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
         );
         p.rule(
             "tc",
@@ -365,9 +389,15 @@ mod tests {
         p.rule(
             "G",
             vec![DTerm::var("x"), DTerm::var("x")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("x")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("x")],
+            )],
         );
-        assert!(matches!(p.validate(&edb()), Err(ProgramError::HeadIsEdb(_))));
+        assert!(matches!(
+            p.validate(&edb()),
+            Err(ProgramError::HeadIsEdb(_))
+        ));
     }
 
     #[test]

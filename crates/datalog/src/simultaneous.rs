@@ -22,11 +22,15 @@
 //! The translation is validated against the Datalog engine on mutually
 //! recursive programs (even/odd reachability) in the tests.
 
+use crate::eval::Idb;
 use crate::program::{DTerm, Literal, Program, Rule};
 use crate::translate::TranslateError;
 use no_core::ast::{FixOp, Fixpoint, Formula, Term};
-use no_object::{Relation, Type, Value};
+use no_core::error::EvalError;
+use no_core::eval::Evaluator;
+use no_object::{AtomOrder, Governor, Instance, Relation, Type, Value};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// A multi-IDB translation: the fixpoint plus the layout needed to embed
@@ -173,9 +177,8 @@ pub fn to_simultaneous_ifp(
                 sim_args.push(Term::var(v));
             }
         }
-        let mut f = Formula::and(
-            std::iter::once(Formula::Rel("SIM".into(), sim_args)).chain(constraints),
-        );
+        let mut f =
+            Formula::and(std::iter::once(Formula::Rel("SIM".into(), sim_args)).chain(constraints));
         for (v, t) in quantified.into_iter().rev() {
             f = Formula::exists(v, t, f);
         }
@@ -265,6 +268,55 @@ pub fn to_simultaneous_ifp(
     })
 }
 
+/// Failures of the one-shot simultaneous-fixpoint evaluation strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvalError {
+    /// The program could not be translated into one fixpoint.
+    Translate(TranslateError),
+    /// The CALC evaluator failed (including governor budget exhaustion,
+    /// surfaced as [`EvalError::Resource`]).
+    Eval(EvalError),
+}
+
+impl fmt::Display for SimEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimEvalError::Translate(e) => write!(f, "{e}"),
+            SimEvalError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimEvalError {}
+
+/// The fourth evaluation strategy: translate the whole program into one
+/// simultaneous `IFP` fixpoint and run it on the CALC evaluator under the
+/// given [`Governor`] (sharing its allowance with any surrounding query),
+/// then decode every IDB relation.
+pub fn eval_simultaneous(
+    program: &Program,
+    body_var_types: &[(&str, Type)],
+    instance: &Instance,
+    order: AtomOrder,
+    governor: &Governor,
+) -> Result<Idb, SimEvalError> {
+    let sim = to_simultaneous_ifp(program, body_var_types).map_err(SimEvalError::Translate)?;
+    let mut ev = Evaluator::with_governor(instance, order, governor.clone());
+    let combined = ev
+        .eval_fixpoint(&sim.fixpoint)
+        .map_err(SimEvalError::Eval)?;
+    Ok(program
+        .idb
+        .keys()
+        .map(|name| {
+            let rel = sim
+                .decode(name, &combined)
+                .expect("layout covers every declared IDB");
+            (name.clone(), rel)
+        })
+        .collect())
+}
+
 fn rule_body_vars(rule: &Rule) -> Vec<String> {
     let mut out = Vec::new();
     let mut note = |t: &DTerm| {
@@ -288,9 +340,10 @@ fn rule_body_vars(rule: &Rule) -> Vec<String> {
 
 fn lookup_head_type(program: &Program, rule: &Rule, var: &str) -> Option<Type> {
     let sig = program.idb.get(&rule.head)?;
-    rule.head_args.iter().zip(sig).find_map(|(arg, ty)| {
-        matches!(arg, DTerm::Var(v) if v == var).then(|| ty.clone())
-    })
+    rule.head_args
+        .iter()
+        .zip(sig)
+        .find_map(|(arg, ty)| matches!(arg, DTerm::Var(v) if v == var).then(|| ty.clone()))
 }
 
 #[cfg(test)]
@@ -304,10 +357,8 @@ mod tests {
 
     fn graph(edges: &[(&str, &str)]) -> (Universe, Instance) {
         let mut u = Universe::new();
-        let schema = Schema::from_relations([RelationSchema::new(
-            "G",
-            vec![Type::Atom, Type::Atom],
-        )]);
+        let schema =
+            Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
         let mut i = Instance::empty(schema);
         for (a, b) in edges {
             let (a, b) = (u.intern(a), u.intern(b));
@@ -345,10 +396,7 @@ mod tests {
         p
     }
 
-    fn run_sim(
-        sim: &Simultaneous,
-        instance: &Instance,
-    ) -> Relation {
+    fn run_sim(sim: &Simultaneous, instance: &Instance) -> Relation {
         let order = AtomOrder::new(instance.atoms().into_iter().collect());
         let mut ev = Evaluator::new(instance, order, EvalConfig::default());
         ev.eval_fixpoint(&sim.fixpoint).unwrap().as_ref().clone()
@@ -377,7 +425,10 @@ mod tests {
         p.rule(
             "tc",
             vec![DTerm::var("x"), DTerm::var("y")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
         );
         p.rule(
             "tc",
@@ -392,6 +443,46 @@ mod tests {
         let combined = run_sim(&sim, &i);
         let (idb, _) = eval(&p, &i, Strategy::SemiNaive).unwrap();
         assert_eq!(sim.decode("tc", &combined).unwrap(), idb["tc"]);
+    }
+
+    #[test]
+    fn eval_simultaneous_matches_naive_and_respects_budget() {
+        use no_object::{BudgetKind, Limits};
+        let (u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "b")]);
+        let src = Value::Atom(u.get("a").unwrap());
+        let p = even_odd_program(&src);
+        let order = AtomOrder::new(i.atoms().into_iter().collect());
+
+        // Unlimited governor: agrees with the naive strategy.
+        let idb = eval_simultaneous(&p, &[], &i, order.clone(), &Governor::unlimited()).unwrap();
+        let (naive, _) = eval(&p, &i, Strategy::Naive).unwrap();
+        for rel in ["even", "odd"] {
+            assert_eq!(idb[rel], naive[rel], "relation {rel}");
+        }
+
+        // Tight step fuel: the shared governor trips inside the CALC engine
+        // and the error surfaces structurally instead of panicking.
+        let g = Governor::new(Limits {
+            max_steps: 5,
+            ..Limits::unlimited()
+        });
+        match eval_simultaneous(&p, &[], &i, order.clone(), &g) {
+            Err(SimEvalError::Eval(EvalError::Resource(e))) => {
+                assert_eq!(e.budget, BudgetKind::Steps);
+                assert_eq!(e.limit, 5);
+            }
+            other => panic!("expected step-budget trip, got {other:?}"),
+        }
+
+        // Cancellation is honoured too.
+        let g = Governor::unlimited();
+        g.cancel();
+        match eval_simultaneous(&p, &[], &i, order, &g) {
+            Err(SimEvalError::Eval(EvalError::Resource(e))) => {
+                assert_eq!(e.budget, BudgetKind::Cancelled);
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
     }
 
     #[test]

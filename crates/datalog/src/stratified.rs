@@ -13,7 +13,7 @@
 
 use crate::eval::{Idb, Strategy};
 use crate::program::{Literal, Program, ProgramError};
-use no_object::Instance;
+use no_object::{Governor, Instance};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -34,7 +34,10 @@ impl fmt::Display for StratifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StratifyError::NegativeCycle { on } => {
-                write!(f, "program is not stratifiable: negative cycle through {on}")
+                write!(
+                    f,
+                    "program is not stratifiable: negative cycle through {on}"
+                )
             }
             StratifyError::Program(e) => write!(f, "{e}"),
         }
@@ -54,8 +57,7 @@ impl From<ProgramError> for StratifyError {
 /// predicates grouped by stratum, lowest first.
 pub fn stratify(program: &Program) -> Result<Vec<Vec<String>>, StratifyError> {
     let idb: Vec<&String> = program.idb.keys().collect();
-    let mut stratum: BTreeMap<&str, usize> =
-        idb.iter().map(|n| (n.as_str(), 0)).collect();
+    let mut stratum: BTreeMap<&str, usize> = idb.iter().map(|n| (n.as_str(), 0)).collect();
     let max_stratum = idb.len().max(1);
     // Bellman–Ford style relaxation; more than |IDB| rounds of growth
     // implies a negative cycle.
@@ -72,7 +74,11 @@ pub fn stratify(program: &Program) -> Result<Vec<Vec<String>>, StratifyError> {
                 let Some(&body_stratum) = stratum.get(name.as_str()) else {
                     continue; // EDB
                 };
-                let required = if negated { body_stratum + 1 } else { body_stratum };
+                let required = if negated {
+                    body_stratum + 1
+                } else {
+                    body_stratum
+                };
                 if head_stratum < required {
                     // raise the head's stratum
                     if required > max_stratum {
@@ -101,10 +107,19 @@ pub fn stratify(program: &Program) -> Result<Vec<Vec<String>>, StratifyError> {
 }
 
 /// Evaluate with stratified semantics: strata bottom-up, each stratum run
-/// to fixpoint (semi-naive) with all lower strata frozen.
-pub fn eval_stratified(
+/// to fixpoint (semi-naive) with all lower strata frozen. Runs under a
+/// fresh default [`Governor`].
+pub fn eval_stratified(program: &Program, instance: &Instance) -> Result<Idb, StratifyError> {
+    eval_stratified_governed(program, instance, &Governor::default())
+}
+
+/// [`eval_stratified`] under an existing [`Governor`]: all strata draw
+/// from the *same* allowance, so a program cannot multiply its budget by
+/// stratifying work across layers.
+pub fn eval_stratified_governed(
     program: &Program,
     instance: &Instance,
+    governor: &Governor,
 ) -> Result<Idb, StratifyError> {
     program.validate(instance.schema())?;
     let strata = stratify(program)?;
@@ -124,7 +139,10 @@ pub fn eval_stratified(
                 sub.rules.push(rule.clone());
             }
         }
-        let (idb, _) = crate::eval::eval(&sub, &frozen, Strategy::SemiNaive)
+        governor
+            .checkpoint("datalog.stratum")
+            .map_err(|e| StratifyError::Program(ProgramError::Resource(e)))?;
+        let (idb, _) = crate::eval::eval_governed(&sub, &frozen, Strategy::SemiNaive, governor)
             .map_err(StratifyError::Program)?;
         // freeze this stratum's results into the instance for the next one
         let mut schema = frozen.schema().clone();
@@ -159,10 +177,8 @@ mod tests {
 
     fn graph(edges: &[(&str, &str)]) -> (Universe, Instance) {
         let mut u = Universe::new();
-        let schema = Schema::from_relations([RelationSchema::new(
-            "G",
-            vec![Type::Atom, Type::Atom],
-        )]);
+        let schema =
+            Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
         let mut i = Instance::empty(schema);
         for (a, b) in edges {
             let (a, b) = (u.intern(a), u.intern(b));
@@ -180,17 +196,26 @@ mod tests {
         p.rule(
             "node",
             vec![DTerm::var("x")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
         );
         p.rule(
             "node",
             vec![DTerm::var("y")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
         );
         p.rule(
             "tc",
             vec![DTerm::var("x"), DTerm::var("y")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
         );
         p.rule(
             "tc",
@@ -308,7 +333,10 @@ mod tests {
         p.rule(
             "tc",
             vec![DTerm::var("x"), DTerm::var("y")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
         );
         p.rule(
             "tc",
@@ -321,6 +349,24 @@ mod tests {
         let stratified = eval_stratified(&p, &i).unwrap();
         let (inflationary, _) = crate::eval::eval(&p, &i, Strategy::SemiNaive).unwrap();
         assert_eq!(stratified, inflationary);
+    }
+
+    #[test]
+    fn strata_share_one_budget() {
+        use no_object::{BudgetKind, Limits};
+        let (_u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        let g = Governor::new(Limits {
+            max_steps: 50,
+            ..Limits::unlimited()
+        });
+        match eval_stratified_governed(&unreach_program(), &i, &g) {
+            Err(StratifyError::Program(ProgramError::Resource(e))) => {
+                assert_eq!(e.budget, BudgetKind::Steps);
+            }
+            other => panic!("expected step Resource error, got {other:?}"),
+        }
+        // the shared governor records the consumption that tripped it
+        assert!(g.steps_spent() >= 50);
     }
 
     #[test]

@@ -97,10 +97,7 @@ fn rule_vars(rule: &Rule) -> BTreeSet<String> {
     for l in &rule.body {
         match l {
             Literal::Pos(_, args) | Literal::Neg(_, args) => args.iter().for_each(&mut note),
-            Literal::Eq(a, b)
-            | Literal::Neq(a, b)
-            | Literal::In(a, b)
-            | Literal::NotIn(a, b) => {
+            Literal::Eq(a, b) | Literal::Neq(a, b) | Literal::In(a, b) | Literal::NotIn(a, b) => {
                 note(a);
                 note(b);
             }
@@ -131,10 +128,7 @@ pub fn to_ifp(
     let col_types = program.idb[&rel].clone();
 
     // head variables from the first rule fix the column variable names
-    let first = program
-        .rules
-        .first()
-        .ok_or(TranslateError::NoIdb)?;
+    let first = program.rules.first().ok_or(TranslateError::NoIdb)?;
     let head_vars: Vec<String> = first
         .head_args
         .iter()
@@ -199,10 +193,8 @@ mod tests {
 
     fn graph(edges: &[(&str, &str)]) -> (Universe, Instance) {
         let mut u = Universe::new();
-        let schema = Schema::from_relations([RelationSchema::new(
-            "G",
-            vec![Type::Atom, Type::Atom],
-        )]);
+        let schema =
+            Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
         let mut i = Instance::empty(schema);
         for (a, b) in edges {
             let (a, b) = (u.intern(a), u.intern(b));
@@ -217,7 +209,10 @@ mod tests {
         p.rule(
             "tc",
             vec![DTerm::var("x"), DTerm::var("y")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
         );
         p.rule(
             "tc",
@@ -287,7 +282,10 @@ mod tests {
         p.rule(
             "r",
             vec![DTerm::Const(a)],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
         );
         assert!(matches!(
             to_ifp(&p, &[]),
@@ -302,12 +300,18 @@ mod tests {
         p.rule(
             "r",
             vec![DTerm::var("x")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
         );
         p.rule(
             "r",
             vec![DTerm::var("w")],
-            vec![Literal::Pos("G".into(), vec![DTerm::var("w"), DTerm::var("z")])],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("w"), DTerm::var("z")],
+            )],
         );
         assert!(matches!(
             to_ifp(&p, &[]),
@@ -319,10 +323,8 @@ mod tests {
     fn translated_formula_is_range_restricted() {
         let fix = to_ifp(&tc_program(), &[("z", Type::Atom)]).unwrap();
         let f = Formula::FixApp(fix, vec![Term::var("u"), Term::var("v")]);
-        let schema = Schema::from_relations([RelationSchema::new(
-            "G",
-            vec![Type::Atom, Type::Atom],
-        )]);
+        let schema =
+            Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
         let types = no_core::typeck::check(
             &schema,
             &[("u".into(), Type::Atom), ("v".into(), Type::Atom)],

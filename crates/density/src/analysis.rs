@@ -132,11 +132,17 @@ pub fn classify(points: &[Measurement], kind: MeasureKind) -> DensityReport {
     let lx: Vec<f64> = xs.iter().map(|x| x.max(1.0).ln()).collect();
     let density_exponent = fit_slope(
         &lx,
-        &density_ratio.iter().map(|r| r.max(1e-9).ln()).collect::<Vec<_>>(),
+        &density_ratio
+            .iter()
+            .map(|r| r.max(1e-9).ln())
+            .collect::<Vec<_>>(),
     );
     let sparsity_exponent = fit_slope(
         &lx,
-        &sparsity_ratio.iter().map(|r| r.max(1e-9).ln()).collect::<Vec<_>>(),
+        &sparsity_ratio
+            .iter()
+            .map(|r| r.max(1e-9).ln())
+            .collect::<Vec<_>>(),
     );
     const TOL: f64 = 0.35;
     let class = if density_exponent < TOL {
@@ -169,10 +175,7 @@ pub struct TypeMeasurement {
 }
 
 /// Measure one instance against one type.
-pub fn measure_type(
-    instance: &Instance,
-    ty: &no_object::Type,
-) -> TypeMeasurement {
+pub fn measure_type(instance: &Instance, ty: &no_object::Type) -> TypeMeasurement {
     let atoms = instance.atoms().len();
     TypeMeasurement {
         atoms,
@@ -313,7 +316,7 @@ mod tests {
     #[test]
     fn measurements_expose_expected_magnitudes() {
         let g = families::subset_family(8);
-        let m = measure(&g.order, &g.instance, 1, 1, );
+        let m = measure(&g.order, &g.instance, 1, 1);
         assert_eq!(m.atoms, 8);
         assert_eq!(m.cardinality, 256);
         assert!(m.dom_log2 >= 8.0, "{}", m.dom_log2);

@@ -180,10 +180,7 @@ pub fn cycle_graph(n: usize) -> Generated {
     if n > 1 {
         instance.insert(
             "G",
-            vec![
-                Value::Atom(g.order.at(n - 1)),
-                Value::Atom(g.order.at(0)),
-            ],
+            vec![Value::Atom(g.order.at(n - 1)), Value::Atom(g.order.at(0))],
         );
     }
     Generated {
@@ -286,12 +283,8 @@ mod tests {
         let g = verso_family(8, 7);
         assert_eq!(g.instance.cardinality(), 8);
         // keys are distinct by construction
-        let keys: std::collections::BTreeSet<&Value> = g
-            .instance
-            .relation("R")
-            .iter()
-            .map(|row| &row[0])
-            .collect();
+        let keys: std::collections::BTreeSet<&Value> =
+            g.instance.relation("R").iter().map(|row| &row[0]).collect();
         assert_eq!(keys.len(), 8);
     }
 

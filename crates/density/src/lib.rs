@@ -12,5 +12,8 @@
 pub mod analysis;
 pub mod families;
 
-pub use analysis::{classify, classify_both, classify_type, measure, measure_type, DensityClass, DensityReport, Measurement, MeasureKind, TypeMeasurement};
+pub use analysis::{
+    classify, classify_both, classify_type, measure, measure_type, DensityClass, DensityReport,
+    MeasureKind, Measurement, TypeMeasurement,
+};
 pub use families::Generated;

@@ -57,7 +57,10 @@ impl fmt::Display for DomainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DomainError::TooLarge { ty } => {
-                write!(f, "domain of type {ty} exceeds {MAX_CARD_BITS} bits of cardinality")
+                write!(
+                    f,
+                    "domain of type {ty} exceeds {MAX_CARD_BITS} bits of cardinality"
+                )
             }
             DomainError::RankOutOfRange { ty, rank } => {
                 write!(f, "rank {rank} out of range for domain of type {ty}")
@@ -133,7 +136,9 @@ pub fn rank(order: &AtomOrder, ty: &Type, value: &Value) -> Result<Nat, DomainEr
             let mut acc = Nat::zero();
             for e in s.iter() {
                 let r = rank(order, t, e)?;
-                let bit = r.to_usize().ok_or_else(|| DomainError::TooLarge { ty: ty.clone() })?;
+                let bit = r
+                    .to_usize()
+                    .ok_or_else(|| DomainError::TooLarge { ty: ty.clone() })?;
                 if bit > MAX_CARD_BITS {
                     return Err(DomainError::TooLarge { ty: ty.clone() });
                 }

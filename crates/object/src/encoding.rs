@@ -101,8 +101,12 @@ pub fn value_size(order: &AtomOrder, value: &Value) -> usize {
     fn go(width: usize, v: &Value) -> usize {
         match v {
             Value::Atom(_) => width,
-            Value::Tuple(vs) => 2 + vs.len().saturating_sub(1) + vs.iter().map(|v| go(width, v)).sum::<usize>(),
-            Value::Set(s) => 2 + s.len().saturating_sub(1) + s.iter().map(|v| go(width, v)).sum::<usize>(),
+            Value::Tuple(vs) => {
+                2 + vs.len().saturating_sub(1) + vs.iter().map(|v| go(width, v)).sum::<usize>()
+            }
+            Value::Set(s) => {
+                2 + s.len().saturating_sub(1) + s.iter().map(|v| go(width, v)).sum::<usize>()
+            }
         }
     }
     go(atom_width(order.len()), value)
@@ -147,10 +151,12 @@ fn value_size_width(width: usize, v: &Value) -> usize {
     match v {
         Value::Atom(_) => width,
         Value::Tuple(vs) => {
-            2 + vs.len().saturating_sub(1) + vs.iter().map(|v| value_size_width(width, v)).sum::<usize>()
+            2 + vs.len().saturating_sub(1)
+                + vs.iter().map(|v| value_size_width(width, v)).sum::<usize>()
         }
         Value::Set(s) => {
-            2 + s.len().saturating_sub(1) + s.iter().map(|v| value_size_width(width, v)).sum::<usize>()
+            2 + s.len().saturating_sub(1)
+                + s.iter().map(|v| value_size_width(width, v)).sum::<usize>()
         }
     }
 }
@@ -278,7 +284,9 @@ pub fn decode_instance(
         let row_type = rel_schema.row_type();
         while bytes.get(pos) == Some(&b'[') {
             let v = parse_value(order, &row_type, bytes, &mut pos)?;
-            let Value::Tuple(row) = v else { unreachable!("row type is a tuple") };
+            let Value::Tuple(row) = v else {
+                unreachable!("row type is a tuple")
+            };
             instance.insert(&rel_schema.name, row);
         }
     }
@@ -357,7 +365,10 @@ mod tests {
         let (_u, order, _) = figure1();
         let ty = Type::tuple(vec![Type::set(Type::Atom), Type::Atom]);
         let v = Value::tuple([
-            Value::set([Value::Atom(crate::atom::Atom(0)), Value::Atom(crate::atom::Atom(2))]),
+            Value::set([
+                Value::Atom(crate::atom::Atom(0)),
+                Value::Atom(crate::atom::Atom(2)),
+            ]),
             Value::Atom(crate::atom::Atom(1)),
         ]);
         let s = value_to_string(&order, &v);
@@ -370,7 +381,10 @@ mod tests {
     fn empty_set_roundtrip() {
         let (_u, order, _) = figure1();
         let ty = Type::set(Type::set(Type::Atom));
-        let v = Value::set([Value::empty_set(), Value::set([Value::Atom(crate::atom::Atom(0))])]);
+        let v = Value::set([
+            Value::empty_set(),
+            Value::set([Value::Atom(crate::atom::Atom(0))]),
+        ]);
         let s = value_to_string(&order, &v);
         assert_eq!(s, "{{}#{00}}");
         assert_eq!(decode_value(&order, &ty, &s).unwrap(), v);
@@ -414,7 +428,11 @@ mod tests {
         ]);
         assert_eq!(value_to_string(&order, &v), "{00#10}");
         // under a permuted order c < a, the encoding indices flip
-        let perm = AtomOrder::new(vec![crate::atom::Atom(2), crate::atom::Atom(0), crate::atom::Atom(1)]);
+        let perm = AtomOrder::new(vec![
+            crate::atom::Atom(2),
+            crate::atom::Atom(0),
+            crate::atom::Atom(1),
+        ]);
         assert_eq!(value_to_string(&perm, &v), "{00#01}");
     }
 

@@ -89,7 +89,10 @@ impl Schema {
 
     /// Look up a relation schema by name.
     pub fn get(&self, name: &str) -> Option<&RelationSchema> {
-        self.relations.iter().find(|r| r.name == name).map(Arc::as_ref)
+        self.relations
+            .iter()
+            .find(|r| r.name == name)
+            .map(Arc::as_ref)
     }
 
     /// Iterate the relation schemas in declaration order.
@@ -323,10 +326,7 @@ mod tests {
     use crate::atom::Universe;
 
     fn graph_schema() -> Schema {
-        Schema::from_relations([RelationSchema::new(
-            "G",
-            vec![Type::Atom, Type::Atom],
-        )])
+        Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])])
     }
 
     #[test]
@@ -394,10 +394,7 @@ mod tests {
     fn subobject_count_distinct() {
         let mut u = Universe::new();
         let (a, b) = (u.intern("a"), u.intern("b"));
-        let s = Schema::from_relations([RelationSchema::new(
-            "P",
-            vec![Type::set(Type::Atom)],
-        )]);
+        let s = Schema::from_relations([RelationSchema::new("P", vec![Type::set(Type::Atom)])]);
         let mut i = Instance::empty(s);
         i.insert("P", vec![Value::set([Value::Atom(a)])]);
         i.insert("P", vec![Value::set([Value::Atom(a), Value::Atom(b)])]);

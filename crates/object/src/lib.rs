@@ -50,6 +50,7 @@
 pub mod atom;
 pub mod domain;
 pub mod encoding;
+pub mod governor;
 pub mod hyper;
 pub mod instance;
 pub mod nat;
@@ -60,6 +61,7 @@ pub mod value;
 
 pub use atom::{Atom, AtomOrder, Universe};
 pub use domain::{DomainError, DomainIter};
+pub use governor::{BudgetKind, Governor, Limits, ResourceError};
 pub use instance::{Instance, Relation, RelationSchema, Schema};
 pub use nat::Nat;
 pub use types::Type;

@@ -433,7 +433,10 @@ mod tests {
     fn pow_and_pow2() {
         assert_eq!(n(2).pow(10), n(1024));
         assert_eq!(n(3).pow(0), n(1));
-        assert_eq!(n(10).pow(20), Nat::from_decimal("100000000000000000000").unwrap());
+        assert_eq!(
+            n(10).pow(20),
+            Nat::from_decimal("100000000000000000000").unwrap()
+        );
         assert_eq!(Nat::pow2(3), n(8));
     }
 
@@ -491,7 +494,14 @@ mod tests {
 
     #[test]
     fn decimal_display_roundtrip() {
-        for s in ["0", "1", "999999999", "1000000000", "18446744073709551616", "340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "999999999",
+            "1000000000",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
             let v = Nat::from_decimal(s).unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -57,9 +57,7 @@ pub fn induced_max<'a>(
     order: &AtomOrder,
     values: impl IntoIterator<Item = &'a Value>,
 ) -> Option<&'a Value> {
-    values
-        .into_iter()
-        .max_by(|a, b| induced_cmp(order, a, b))
+    values.into_iter().max_by(|a, b| induced_cmp(order, a, b))
 }
 
 /// The `<_S`-minimum of an iterator of values, `None` when empty.
@@ -67,9 +65,7 @@ pub fn induced_min<'a>(
     order: &AtomOrder,
     values: impl IntoIterator<Item = &'a Value>,
 ) -> Option<&'a Value> {
-    values
-        .into_iter()
-        .min_by(|a, b| induced_cmp(order, a, b))
+    values.into_iter().min_by(|a, b| induced_cmp(order, a, b))
 }
 
 /// Sort a slice of values in increasing induced order.

@@ -31,7 +31,11 @@ pub struct TextError {
 
 impl fmt::Display for TextError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "database parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "database parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -240,10 +244,7 @@ impl P<'_, '_> {
 }
 
 /// Parse a database (schema + facts) from text.
-pub fn parse_database(
-    src: &str,
-    universe: &mut Universe,
-) -> Result<(Schema, Instance), TextError> {
+pub fn parse_database(src: &str, universe: &mut Universe) -> Result<(Schema, Instance), TextError> {
     P {
         src: src.as_bytes(),
         pos: 0,
@@ -340,16 +341,25 @@ mod tests {
         let e = parse_database(bad, &mut u).unwrap_err();
         assert!(e.message.contains("not of type"), "{e}");
         let bad2 = "schema P(U).\nP('a', 'b').";
-        assert!(parse_database(bad2, &mut u).unwrap_err().message.contains("arity"));
+        assert!(parse_database(bad2, &mut u)
+            .unwrap_err()
+            .message
+            .contains("arity"));
         let bad3 = "Q('a').";
-        assert!(parse_database(bad3, &mut u).unwrap_err().message.contains("undeclared"));
+        assert!(parse_database(bad3, &mut u)
+            .unwrap_err()
+            .message
+            .contains("undeclared"));
     }
 
     #[test]
     fn duplicate_schema_rejected() {
         let mut u = Universe::new();
         let bad = "schema P(U).\nschema P(U).";
-        assert!(parse_database(bad, &mut u).unwrap_err().message.contains("twice"));
+        assert!(parse_database(bad, &mut u)
+            .unwrap_err()
+            .message
+            .contains("twice"));
     }
 
     #[test]

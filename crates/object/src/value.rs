@@ -254,6 +254,19 @@ impl Value {
         }
     }
 
+    /// Approximate in-memory footprint in bytes, charged against the
+    /// governor's memory budget when the value is materialised. A rough
+    /// model (enum discriminant + payload for atoms, `Vec` header +
+    /// elements for tuples/sets) is sufficient: the budget guards against
+    /// hyperexponential blowup, not byte-exact accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            Value::Atom(_) => 8,
+            Value::Tuple(vs) => 24 + vs.iter().map(Value::approx_bytes).sum::<u64>(),
+            Value::Set(s) => 24 + s.iter().map(Value::approx_bytes).sum::<u64>(),
+        }
+    }
+
     /// The smallest type of this value under the convention that the empty
     /// set has element type `U` unless context says otherwise. For precise
     /// typing use schema information; this is a best-effort inference used

@@ -101,7 +101,12 @@ pub(crate) fn index_value(order: &AtomOrder, w: usize, mut idx: usize) -> Value 
         digits[d] = idx % n;
         idx /= n;
     }
-    Value::Tuple(digits.into_iter().map(|d| Value::Atom(order.at(d))).collect())
+    Value::Tuple(
+        digits
+            .into_iter()
+            .map(|d| Value::Atom(order.at(d)))
+            .collect(),
+    )
 }
 
 /// Decode a width-`w` atom tuple back to its index.
@@ -144,14 +149,16 @@ impl CompiledSim {
         let q_ty = tuple_type(state_width);
 
         let sym_const = |c: char| -> Term {
-            let idx = alphabet.iter().position(|&a| a == c).expect("symbol in alphabet");
+            let idx = alphabet
+                .iter()
+                .position(|&a| a == c)
+                .expect("symbol in alphabet");
             Term::Const(index_value(order, sym_width, idx))
         };
-        let state_const =
-            |s: Option<State>| -> Term {
-                let idx = s.map_or(state_count, |st| st.0 as usize);
-                Term::Const(index_value(order, state_width, idx))
-            };
+        let state_const = |s: Option<State>| -> Term {
+            let idx = s.map_or(state_count, |st| st.0 as usize);
+            Term::Const(index_value(order, state_width, idx))
+        };
         let pos_const = |p: usize| -> Term { Term::Const(index_value(order, m, p)) };
 
         let mut synth = OrderSynth::new(LtBase::Rel("ltU".into()));
@@ -193,9 +200,7 @@ impl CompiledSim {
         // The read symbol and source state of each instruction are
         // *constants*, so they are inlined rather than quantified — the
         // paper's "one such formula is needed for each instruction of M".
-        let s_row = |t: Term, i: Term, x: Term, y: Term| {
-            Formula::Rel("S".into(), vec![t, i, x, y])
-        };
+        let s_row = |t: Term, i: Term, x: Term, y: Term| Formula::Rel("S".into(), vec![t, i, x, y]);
         let mut instr_cases: Vec<Formula> = Vec::new();
         for ((q0, c), action) in machine.transitions() {
             let guard = s_row(
@@ -210,13 +215,26 @@ impl CompiledSim {
                 // cells untouched by the move: i ≠ j and not the target
                 let mut parts = vec![
                     Formula::Eq(Term::var("i"), Term::var("j")).not(),
-                    s_row(Term::var("tp"), Term::var("i"), Term::var("x"), Term::var("y")),
+                    s_row(
+                        Term::var("tp"),
+                        Term::var("i"),
+                        Term::var("x"),
+                        Term::var("y"),
+                    ),
                 ];
                 if exclude_succ {
-                    parts.push(synth.is_successor(&t_ty, Term::var("j"), Term::var("i")).not());
+                    parts.push(
+                        synth
+                            .is_successor(&t_ty, Term::var("j"), Term::var("i"))
+                            .not(),
+                    );
                 }
                 if exclude_pred {
-                    parts.push(synth.is_successor(&t_ty, Term::var("i"), Term::var("j")).not());
+                    parts.push(
+                        synth
+                            .is_successor(&t_ty, Term::var("i"), Term::var("j"))
+                            .not(),
+                    );
                 }
                 Formula::and(parts)
             };

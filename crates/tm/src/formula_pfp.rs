@@ -78,8 +78,7 @@ impl CompiledPfpSim {
             Term::Const(index_value(order, state_width, idx))
         };
         let pos_const = |p: usize| -> Term { Term::Const(index_value(order, m, p)) };
-        let s_row =
-            |i: Term, x: Term, y: Term| Formula::Rel("S".into(), vec![i, x, y]);
+        let s_row = |i: Term, x: Term, y: Term| Formula::Rel("S".into(), vec![i, x, y]);
 
         let mut synth = OrderSynth::new(LtBase::Rel("ltU".into()));
 
@@ -160,28 +159,27 @@ impl CompiledPfpSim {
         let mut instr_cases: Vec<Formula> = Vec::new();
         for ((q0, c), action) in machine.transitions() {
             let guard = s_row(Term::var("j"), sym_const(c), state_const(Some(q0)));
-            let case_a =
-                |synth: &mut OrderSynth, excl_succ: bool, excl_pred: bool| -> Formula {
-                    let mut parts = vec![
-                        Formula::Eq(Term::var("i"), Term::var("j")).not(),
-                        s_row(Term::var("i"), Term::var("x"), Term::var("y")),
-                    ];
-                    if excl_succ {
-                        parts.push(
-                            synth
-                                .is_successor(&i_ty, Term::var("j"), Term::var("i"))
-                                .not(),
-                        );
-                    }
-                    if excl_pred {
-                        parts.push(
-                            synth
-                                .is_successor(&i_ty, Term::var("i"), Term::var("j"))
-                                .not(),
-                        );
-                    }
-                    Formula::and(parts)
-                };
+            let case_a = |synth: &mut OrderSynth, excl_succ: bool, excl_pred: bool| -> Formula {
+                let mut parts = vec![
+                    Formula::Eq(Term::var("i"), Term::var("j")).not(),
+                    s_row(Term::var("i"), Term::var("x"), Term::var("y")),
+                ];
+                if excl_succ {
+                    parts.push(
+                        synth
+                            .is_successor(&i_ty, Term::var("j"), Term::var("i"))
+                            .not(),
+                    );
+                }
+                if excl_pred {
+                    parts.push(
+                        synth
+                            .is_successor(&i_ty, Term::var("i"), Term::var("j"))
+                            .not(),
+                    );
+                }
+                Formula::and(parts)
+            };
             let body = match action.mv {
                 Move::Stay => Formula::or([
                     case_a(&mut synth, false, false),
@@ -248,11 +246,7 @@ impl CompiledPfpSim {
         let fixpoint = Arc::new(Fixpoint {
             op: FixOp::Pfp,
             rel: "S".into(),
-            vars: vec![
-                ("i".into(), i_ty),
-                ("x".into(), s_ty),
-                ("y".into(), q_ty),
-            ],
+            vars: vec![("i".into(), i_ty), ("x".into(), s_ty), ("y".into(), q_ty)],
             body: Box::new(Formula::or([init, keep, step])),
         });
         Ok(CompiledPfpSim {

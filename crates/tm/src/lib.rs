@@ -8,9 +8,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod machine;
 pub mod formula;
 pub mod formula_pfp;
+pub mod machine;
 pub mod machines;
 pub mod sim;
 

@@ -6,6 +6,7 @@
 //! the first cell; symbols are `char`s so instance encodings
 //! (`0 1 { } [ ] #` plus relation names) are tape words directly.
 
+use no_object::{Governor, Limits, ResourceError};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -46,11 +47,10 @@ pub enum TmError {
         /// Symbol under the head.
         read: char,
     },
-    /// The step budget was exhausted before halting.
-    StepLimit {
-        /// The configured limit.
-        limit: u64,
-    },
+    /// A governor budget (step fuel, memory, deadline, or cancellation)
+    /// was exhausted before halting; the payload names which, where, and
+    /// how much was consumed.
+    Resource(ResourceError),
     /// A state name was referenced before being declared.
     UnknownState(String),
 }
@@ -61,13 +61,19 @@ impl fmt::Display for TmError {
             TmError::Stuck { state, read } => {
                 write!(f, "machine stuck in state {state} reading {read:?}")
             }
-            TmError::StepLimit { limit } => write!(f, "machine exceeded {limit} steps"),
+            TmError::Resource(e) => write!(f, "{e}"),
             TmError::UnknownState(s) => write!(f, "unknown state {s:?}"),
         }
     }
 }
 
 impl std::error::Error for TmError {}
+
+impl From<ResourceError> for TmError {
+    fn from(e: ResourceError) -> Self {
+        TmError::Resource(e)
+    }
+}
 
 /// A deterministic Turing machine.
 #[derive(Clone, Debug)]
@@ -234,10 +240,24 @@ impl Machine {
     }
 
     /// Run from the given input until halting. Returns the halting
-    /// configuration.
+    /// configuration. `max_steps` is enforced through a fresh [`Governor`]
+    /// whose only binding limit is step fuel.
     pub fn run(&self, input: &str, max_steps: u64) -> Result<Halt, TmError> {
+        self.run_governed(
+            input,
+            &Governor::new(Limits {
+                max_steps,
+                ..Limits::unlimited()
+            }),
+        )
+    }
+
+    /// Run from the given input until halting under an existing
+    /// [`Governor`] — each machine move costs one unit of step fuel, and
+    /// cancellation/deadline are honoured between moves.
+    pub fn run_governed(&self, input: &str, governor: &Governor) -> Result<Halt, TmError> {
         let mut run = Run::new(self, input);
-        run.run_to_halt(max_steps)?;
+        run.run_to_halt_governed(governor)?;
         Ok(Halt {
             state: run.state,
             steps: run.steps,
@@ -285,7 +305,10 @@ impl<'m> Run<'m> {
 
     /// Symbol under the head.
     pub fn read(&self) -> char {
-        self.cells.get(self.head).copied().unwrap_or(self.machine.blank)
+        self.cells
+            .get(self.head)
+            .copied()
+            .unwrap_or(self.machine.blank)
     }
 
     /// Whether the machine has halted.
@@ -299,12 +322,13 @@ impl<'m> Run<'m> {
             return Ok(());
         }
         let read = self.read();
-        let action = self.machine.action(self.state, read).ok_or_else(|| {
-            TmError::Stuck {
+        let action = self
+            .machine
+            .action(self.state, read)
+            .ok_or_else(|| TmError::Stuck {
                 state: self.machine.state_name(self.state).to_string(),
                 read,
-            }
-        })?;
+            })?;
         if self.head >= self.cells.len() {
             self.cells.resize(self.head + 1, self.machine.blank);
         }
@@ -319,12 +343,25 @@ impl<'m> Run<'m> {
         Ok(())
     }
 
-    /// Step until halting, within the budget.
+    /// Step until halting, within a fresh step-fuel budget of `max_steps`.
     pub fn run_to_halt(&mut self, max_steps: u64) -> Result<(), TmError> {
+        let governor = Governor::new(Limits {
+            max_steps,
+            ..Limits::unlimited()
+        });
+        // account for steps already taken on this run
+        if self.steps > 0 {
+            governor.tick_n("tm.step", self.steps)?;
+        }
+        self.run_to_halt_governed(&governor)
+    }
+
+    /// Step until halting under an existing [`Governor`]: one unit of step
+    /// fuel per machine move, cancellation and deadline honoured between
+    /// moves.
+    pub fn run_to_halt_governed(&mut self, governor: &Governor) -> Result<(), TmError> {
         while !self.halted() {
-            if self.steps >= max_steps {
-                return Err(TmError::StepLimit { limit: max_steps });
-            }
+            governor.tick("tm.step")?;
             self.step()?;
         }
         Ok(())
@@ -393,7 +430,29 @@ mod tests {
         let mut b = Machine::builder('_');
         b.state("loop").rule("loop", '_', '_', Move::Stay, "loop");
         let m = b.build().unwrap();
-        assert_eq!(m.run("", 25), Err(TmError::StepLimit { limit: 25 }));
+        match m.run("", 25) {
+            Err(TmError::Resource(e)) => {
+                assert_eq!(e.budget, no_object::BudgetKind::Steps);
+                assert_eq!(e.limit, 25);
+                assert_eq!(e.site, "tm.step");
+            }
+            other => panic!("expected a step Resource error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_machine() {
+        let mut b = Machine::builder('_');
+        b.state("loop").rule("loop", '_', '_', Move::Stay, "loop");
+        let m = b.build().unwrap();
+        let g = Governor::unlimited();
+        g.cancel();
+        match m.run_governed("", &g) {
+            Err(TmError::Resource(e)) => {
+                assert_eq!(e.budget, no_object::BudgetKind::Cancelled)
+            }
+            other => panic!("expected a cancellation error, got {other:?}"),
+        }
     }
 
     #[test]

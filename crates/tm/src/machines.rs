@@ -69,11 +69,21 @@ pub fn balanced_scanner() -> Machine {
     // walk back to the nearest opener; the wrong opener, or the left
     // marker, means a mismatched closer
     b.pass_through("back_brace", "01#x", Move::Left, "back_brace");
-    b.rule("back_brace", '{', 'x', Move::Right, "seek")
-        .rule("back_brace", '[', '[', Move::Stay, "reject");
+    b.rule("back_brace", '{', 'x', Move::Right, "seek").rule(
+        "back_brace",
+        '[',
+        '[',
+        Move::Stay,
+        "reject",
+    );
     b.pass_through("back_brack", "01#x", Move::Left, "back_brack");
-    b.rule("back_brack", '[', 'x', Move::Right, "seek")
-        .rule("back_brack", '{', '{', Move::Stay, "reject");
+    b.rule("back_brack", '[', 'x', Move::Right, "seek").rule(
+        "back_brack",
+        '{',
+        '{',
+        Move::Stay,
+        "reject",
+    );
     for c in "PGRQS".chars() {
         b.rule("back_brace", c, c, Move::Stay, "reject");
         b.rule("back_brack", c, c, Move::Stay, "reject");
@@ -125,14 +135,24 @@ mod tests {
         for len in [4usize, 8, 16, 32] {
             let input = format!("0{}", "1".repeat(len - 1));
             let halt = m.run(&input, 10_000).unwrap();
-            assert!(halt.steps as usize <= 3 * len + 3, "len {len}: {} steps", halt.steps);
+            assert!(
+                halt.steps as usize <= 3 * len + 3,
+                "len {len}: {} steps",
+                halt.steps
+            );
         }
     }
 
     #[test]
     fn scanner_accepts_wellformed() {
         let m = balanced_scanner();
-        for good in ["P{}", "P{00#01}", "P[01#{00#01}#[10#{00#10}]]", "", "P01#10"] {
+        for good in [
+            "P{}",
+            "P{00#01}",
+            "P[01#{00#01}#[10#{00#10}]]",
+            "",
+            "P01#10",
+        ] {
             let halt = m.run(good, 100_000).unwrap();
             assert_eq!(
                 m.state_name(halt.state),

@@ -20,7 +20,7 @@
 //! and is validated against this one.
 
 use crate::machine::{Machine, Move, State, TmError};
-use no_object::{AtomOrder, Instance, Relation, Value};
+use no_object::{AtomOrder, Governor, Instance, Relation, ResourceError, Value};
 use std::fmt;
 
 /// Errors of the relational simulation.
@@ -47,6 +47,9 @@ pub enum SimError {
         /// Slots available.
         capacity: usize,
     },
+    /// A governor budget (step fuel, memory, deadline, or cancellation)
+    /// was exhausted mid-simulation.
+    Resource(ResourceError),
 }
 
 impl fmt::Display for SimError {
@@ -62,6 +65,7 @@ impl fmt::Display for SimError {
             SimError::AlphabetTooLarge { needed, capacity } => {
                 write!(f, "alphabet/state table needs {needed} > {capacity} slots")
             }
+            SimError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
@@ -71,6 +75,12 @@ impl std::error::Error for SimError {}
 impl From<TmError> for SimError {
     fn from(e: TmError) -> Self {
         SimError::Machine(e)
+    }
+}
+
+impl From<ResourceError> for SimError {
+    fn from(e: ResourceError) -> Self {
+        SimError::Resource(e)
     }
 }
 
@@ -180,13 +190,10 @@ impl<'m> RelationalRun<'m> {
         let current = self.current().to_vec();
         let (j, q) = self.head().expect("not halted implies a head");
         let read = current[j].symbol;
-        let action = self
-            .machine
-            .action(q, read)
-            .ok_or(TmError::Stuck {
-                state: self.machine.state_name(q).to_string(),
-                read,
-            })?;
+        let action = self.machine.action(q, read).ok_or(TmError::Stuck {
+            state: self.machine.state_name(q).to_string(),
+            read,
+        })?;
         let target = match action.mv {
             Move::Left => j.saturating_sub(1),
             Move::Right => j + 1,
@@ -225,7 +232,18 @@ impl<'m> RelationalRun<'m> {
 
     /// Run phase (‡) to halting, within the timestamp capacity.
     pub fn run_to_halt(&mut self) -> Result<(), SimError> {
+        self.run_to_halt_governed(&Governor::default())
+    }
+
+    /// Run phase (‡) to halting under an existing [`Governor`]: each move
+    /// costs one unit of step fuel, and every materialised configuration
+    /// slice is charged against the memory budget (a [`Cell`] is a symbol
+    /// plus an optional head marker — 8 bytes is a fair approximation).
+    pub fn run_to_halt_governed(&mut self, governor: &Governor) -> Result<(), SimError> {
+        let slice_bytes = 8 * self.tape_capacity() as u64;
         while !self.halted() {
+            governor.tick("tm.sim.step")?;
+            governor.charge_mem("tm.sim.history", slice_bytes)?;
             self.step()?;
         }
         Ok(())
@@ -317,7 +335,13 @@ impl<'m> RelationalRun<'m> {
             } else {
                 cell.symbol
             };
-            out.push_str(&format!("i_{:<3} i_{:<3} {}  {}\n", t + 1, i + 1, sym, state));
+            out.push_str(&format!(
+                "i_{:<3} i_{:<3} {}  {}\n",
+                t + 1,
+                i + 1,
+                sym,
+                state
+            ));
         }
         out
     }
@@ -331,9 +355,21 @@ pub fn simulate_on_instance(
     instance: &Instance,
     m: usize,
 ) -> Result<String, SimError> {
+    simulate_on_instance_governed(machine, order, instance, m, &Governor::default())
+}
+
+/// [`simulate_on_instance`] under an existing [`Governor`], so the
+/// simulation draws from the same allowance as any surrounding query.
+pub fn simulate_on_instance_governed(
+    machine: &Machine,
+    order: &AtomOrder,
+    instance: &Instance,
+    m: usize,
+    governor: &Governor,
+) -> Result<String, SimError> {
     let input = no_object::encoding::encode_instance(order, instance);
     let mut run = RelationalRun::new(machine, order, m, &input)?;
-    run.run_to_halt()?;
+    run.run_to_halt_governed(governor)?;
     Ok(run.output())
 }
 
@@ -439,6 +475,52 @@ mod tests {
             Err(SimError::OutOfTimestamps { capacity: 4 }) => {}
             other => panic!("expected OutOfTimestamps, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn governed_run_reports_step_and_memory_budgets() {
+        use no_object::{BudgetKind, Limits};
+        let m = machines::complement_bits();
+        let order = order_n(3);
+        let mut run = RelationalRun::new(&m, &order, 2, "01").unwrap();
+        let g = Governor::new(Limits {
+            max_steps: 1,
+            ..Limits::unlimited()
+        });
+        match run.run_to_halt_governed(&g) {
+            Err(SimError::Resource(e)) => {
+                assert_eq!(e.budget, BudgetKind::Steps);
+                assert_eq!(e.site, "tm.sim.step");
+            }
+            other => panic!("expected a step Resource error, got {other:?}"),
+        }
+        let mut run = RelationalRun::new(&m, &order, 2, "01").unwrap();
+        let g = Governor::new(Limits {
+            max_memory_bytes: 100, // one 9-cell slice = 72 bytes, two don't fit
+            ..Limits::unlimited()
+        });
+        match run.run_to_halt_governed(&g) {
+            Err(SimError::Resource(e)) => assert_eq!(e.budget, BudgetKind::Memory),
+            other => panic!("expected a memory Resource error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_simulation() {
+        let m = machines::complement_bits();
+        let order = order_n(3);
+        let mut run = RelationalRun::new(&m, &order, 2, "01").unwrap();
+        let g = Governor::unlimited();
+        g.cancel();
+        match run.run_to_halt_governed(&g) {
+            Err(SimError::Resource(e)) => {
+                assert_eq!(e.budget, no_object::BudgetKind::Cancelled)
+            }
+            other => panic!("expected a cancellation error, got {other:?}"),
+        }
+        // the run survives and can be resumed once the budget is lifted
+        run.run_to_halt().unwrap();
+        assert_eq!(run.output(), "10");
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` bench harness.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! subset of the criterion API its benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_with_input`,
+//! `bench_function`, `BenchmarkId`, `Bencher::iter`). Instead of statistical
+//! sampling it times a small fixed number of iterations and prints the mean —
+//! enough to compare orders of magnitude and to keep `cargo bench` / bench
+//! compilation working offline. Passing `--test` (as `cargo test --benches`
+//! does) runs every closure exactly once without timing output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        let function_name = function_name.into();
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, recorded by [`Bencher::iter`].
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Run the routine `self.iters` times and record the mean duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed() / self.iters.max(1);
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` executes harness=false targets with `--test`;
+        // run each routine once, skip timing noise.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sampling-count hint; retained for API compatibility only.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: if self.test_mode { 1 } else { 3 },
+        };
+        f(&mut b);
+        if !self.test_mode {
+            let label = if self.name.is_empty() {
+                id.name.clone()
+            } else {
+                format!("{}/{}", self.name, id.name)
+            };
+            println!("{label:<48} {:>14.3?} /iter", b.elapsed);
+        }
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0;
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, n| {
+            b.iter(|| ran += *n);
+        });
+        group.finish();
+        assert_eq!(ran, 3);
+    }
+}

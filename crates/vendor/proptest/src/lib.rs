@@ -1,0 +1,759 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! slice of the proptest API its tests use: the [`strategy::Strategy`] trait
+//! with `prop_map` / `prop_flat_map` / `boxed`, integer-range / tuple / vec
+//! strategies, [`strategy::Just`], weighted [`prop_oneof!`], `any::<T>()`,
+//! `prop::collection::vec`, `prop::sample::select`, a small regex-subset
+//! string strategy, and the [`proptest!`] / `prop_assert*!` / [`prop_assume!`]
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! test-only stand-in:
+//!
+//! * **No shrinking** — a failing case reports the panic directly. Seeds are
+//!   derived deterministically from the test path and case index, so every
+//!   failure reproduces exactly under `cargo test`.
+//! * **No persistence** — `proptest-regressions` files are not read; the
+//!   deterministic seeding makes every run cover the same cases anyway.
+//! * Failed assertions panic immediately (same observable effect: the test
+//!   fails and prints the offending values via `assert_eq!` formatting).
+
+use std::rc::Rc;
+
+/// Deterministic SplitMix64 stream driving all generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u128) -> u128 {
+        assert!(n > 0, "below(0)");
+        if n == 1 {
+            return 0;
+        }
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % n
+    }
+}
+
+/// FNV-1a hash of a test path — the deterministic base seed.
+pub fn __fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer used to decorrelate per-case seeds.
+pub fn __mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Error type for a failed case. The stub never constructs one (failed
+    /// assertions panic directly), but test bodies `return Ok(())` against
+    /// this type for early case exit, matching real proptest.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Per-`proptest!` block configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of values of `Self::Value`.
+    ///
+    /// Object-safe core (`generate`) plus `Self: Sized` combinators, so
+    /// `Rc<dyn Strategy<Value = T>>` works as the boxed form.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Clonable type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Weighted choice between boxed alternatives — the `prop_oneof!` target.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            assert!(
+                arms.iter().any(|(w, _)| *w > 0),
+                "prop_oneof! needs a positive weight"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.below(total as u128) as u64;
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    (self.start as i128 + rng.below(span as u128) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128) - (lo as i128) + 1;
+                    (lo as i128 + rng.below(span as u128) as i128) as $t
+                }
+            }
+        )+};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// A `Vec` of strategies generates element-wise (used for tuple values
+    /// built from per-component strategies).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    /// `&'static str` regex-subset strategy: literals, `\`-escapes, `[...]`
+    /// classes (with ranges), and `{m}` / `{m,n}` / `*` / `+` / `?`
+    /// quantifiers.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let pieces = super::string::parse_pattern(self);
+            let mut out = String::new();
+            for p in &pieces {
+                let n = p.min + rng.below((p.max - p.min + 1) as u128) as usize;
+                for _ in 0..n {
+                    out.push(p.chars[rng.below(p.chars.len() as u128) as usize]);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub(crate) mod string {
+    /// One regex element: a set of candidate chars and a repetition range.
+    pub struct Piece {
+        pub chars: Vec<char>,
+        pub min: usize,
+        pub max: usize,
+    }
+
+    /// Parse the supported regex subset; panics on anything else so an
+    /// unsupported pattern fails loudly at test time rather than silently
+    /// generating garbage.
+    pub fn parse_pattern(pat: &str) -> Vec<Piece> {
+        let mut chars = pat.chars().peekable();
+        let mut pieces: Vec<Piece> = Vec::new();
+        while let Some(c) = chars.next() {
+            let set: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    loop {
+                        match chars.next() {
+                            None => panic!("unterminated char class in {pat:?}"),
+                            Some(']') => break,
+                            Some('\\') => {
+                                set.push(chars.next().unwrap_or_else(|| {
+                                    panic!("dangling escape in {pat:?}")
+                                }));
+                            }
+                            Some(lo) => {
+                                if chars.peek() == Some(&'-') {
+                                    chars.next();
+                                    match chars.next() {
+                                        Some(']') | None => {
+                                            set.push(lo);
+                                            set.push('-');
+                                            break;
+                                        }
+                                        Some(hi) => {
+                                            for u in lo as u32..=hi as u32 {
+                                                if let Some(ch) = char::from_u32(u) {
+                                                    set.push(ch);
+                                                }
+                                            }
+                                        }
+                                    }
+                                } else {
+                                    set.push(lo);
+                                }
+                            }
+                        }
+                    }
+                    set
+                }
+                '\\' => {
+                    let e = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in {pat:?}"));
+                    vec![e]
+                }
+                '{' | '}' | '*' | '+' | '?' => {
+                    panic!("quantifier {c:?} without preceding element in {pat:?}")
+                }
+                lit => vec![lit],
+            };
+            assert!(!set.is_empty(), "empty char class in {pat:?}");
+            // optional quantifier
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut body = String::new();
+                    loop {
+                        match chars.next() {
+                            None => panic!("unterminated quantifier in {pat:?}"),
+                            Some('}') => break,
+                            Some(d) => body.push(d),
+                        }
+                    }
+                    let parts: Vec<&str> = body.split(',').collect();
+                    let parse = |s: &str| {
+                        s.trim()
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| panic!("bad quantifier {body:?} in {pat:?}"))
+                    };
+                    match parts.as_slice() {
+                        [m] => (parse(m), parse(m)),
+                        [m, ""] => (parse(m), parse(m) + 8),
+                        [m, n] => (parse(m), parse(n)),
+                        _ => panic!("bad quantifier {body:?} in {pat:?}"),
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "inverted quantifier in {pat:?}");
+            pieces.push(Piece {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        pieces
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u64>()` etc).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Inclusive element-count bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u128) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u128) as usize].clone()
+        }
+    }
+
+    /// Uniform choice from a non-empty vector.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs a non-empty pool");
+        Select { items }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` module alias (`prop::collection::vec`, `prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+// Re-exported so BoxedStrategy is nameable from the crate root too.
+pub use strategy::{BoxedStrategy, Strategy};
+
+#[doc(hidden)]
+pub fn __case_seed(test_path_hash: u64, case: u64) -> u64 {
+    test_path_hash ^ __mix(case.wrapping_add(1))
+}
+
+/// Type-erasure helper: `Rc`-wrap a strategy (mirrors `.boxed()`).
+pub fn rc_strategy<T, S: Strategy<Value = T> + 'static>(s: S) -> Rc<dyn Strategy<Value = T>> {
+    Rc::new(s)
+}
+
+/// Weighted or unweighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Assertion macros: identical to `assert*!` (no shrinking to report through).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skip the current case when a precondition fails. Case bodies run inside a
+/// `Result`-returning closure, so this exits the case early as a pass.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ($($p:pat_param in $s:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __base = $crate::__fnv(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::new($crate::__case_seed(__base, __case as u64));
+                $(let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("case {} failed: {}", __case, e);
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// The `proptest!` entry point. Supports the block form (optionally with
+/// `#![proptest_config(...)]`) and the closure form
+/// `proptest!(|(x in strat)| { ... })`.
+#[macro_export]
+macro_rules! proptest {
+    (|($($p:pat_param in $s:expr),+ $(,)?)| $body:expr) => {{
+        let __cfg = $crate::test_runner::ProptestConfig::default();
+        let __base = $crate::__fnv(concat!(module_path!(), "::closure@", line!()));
+        for __case in 0..__cfg.cases {
+            let mut __rng = $crate::TestRng::new($crate::__case_seed(__base, __case as u64));
+            $(let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng);)+
+            let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| {
+                    $body;
+                    ::std::result::Result::Ok(())
+                })();
+            if let ::std::result::Result::Err(e) = __outcome {
+                panic!("case {} failed: {}", __case, e);
+            }
+        }
+    }};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u32..7), &mut rng);
+            assert!((3..7).contains(&v));
+        }
+        let vs = prop::collection::vec(0usize..5, 2..=4);
+        for _ in 0..100 {
+            let v = Strategy::generate(&vs, &mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_and_boxing() {
+        let s: crate::strategy::Union<u32> = prop_oneof![
+            3 => Just(1u32),
+            1 => (10u32..20).prop_map(|x| x),
+        ];
+        let mut rng = crate::TestRng::new(2);
+        let mut ones = 0;
+        for _ in 0..400 {
+            let v = s.generate(&mut rng);
+            assert!(v == 1 || (10..20).contains(&v));
+            if v == 1 {
+                ones += 1;
+            }
+        }
+        assert!(ones > 200, "weighting off: {ones}/400");
+    }
+
+    #[test]
+    fn string_regex_subset() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[01]{0,12}", &mut rng);
+            assert!(s.len() <= 12 && s.chars().all(|c| c == '0' || c == '1'));
+            let t = Strategy::generate(&"[01#{}\\[\\]]{0,14}", &mut rng);
+            assert!(t.len() <= 14 && t.chars().all(|c| "01#{}[]".contains(c)));
+            let u = Strategy::generate(&"[a-c]x{2}", &mut rng);
+            assert_eq!(u.len(), 3);
+            assert!(u.starts_with(['a', 'b', 'c']) && u.ends_with("xx"));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Block-form macro parses metas, mut patterns, and assume/assert.
+        #[test]
+        fn macro_block_form(mut xs in prop::collection::vec(0u64..10, 0..5), y in any::<u64>()) {
+            prop_assume!(!xs.is_empty());
+            xs.push(y % 10);
+            prop_assert!(xs.iter().all(|x| *x < 10));
+            prop_assert_eq!(xs.last().copied(), Some(y % 10), "tail {}", y);
+        }
+    }
+
+    #[test]
+    fn macro_closure_form() {
+        let bound = 6u32;
+        proptest!(|(v in (0u32..bound), w in Just(9u8))| {
+            assert!(v < bound);
+            assert_eq!(w, 9);
+        });
+    }
+
+    #[test]
+    fn flat_map_and_select() {
+        let pool = vec!["a".to_string(), "b".to_string()];
+        let s = prop::sample::select(pool.clone())
+            .prop_flat_map(move |x| {
+                let pool = pool.clone();
+                prop::sample::select(pool).prop_map(move |y| format!("{x}{y}"))
+            })
+            .boxed();
+        let cloned = s.clone();
+        let mut rng = crate::TestRng::new(4);
+        for _ in 0..50 {
+            let v = cloned.generate(&mut rng);
+            assert_eq!(v.len(), 2);
+            assert!(v.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+}

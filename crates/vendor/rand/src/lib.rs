@@ -1,0 +1,91 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the minimal API surface it actually consumes: a seedable deterministic
+//! generator (`rngs::StdRng`) with [`SeedableRng::seed_from_u64`] and
+//! [`Rng::random_bool`]. The generator is a SplitMix64 stream — statistically
+//! fine for test-instance generation, NOT cryptographic, and intentionally
+//! stable across runs so seeded instance families stay reproducible.
+
+/// Seedable random generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling surface used by this workspace.
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Bernoulli sample: `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 uniform mantissa bits are plenty for instance generation.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    fn random_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "random_below(0)");
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 per draw,
+        // irrelevant for test data.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(7);
+        assert!(r.random_bool(1.0));
+        assert!(!r.random_bool(0.0));
+        let hits = (0..1000).filter(|_| r.random_bool(0.5)).count();
+        assert!((350..650).contains(&hits), "suspicious bias: {hits}");
+    }
+}

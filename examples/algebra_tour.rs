@@ -15,10 +15,7 @@ use nestdb::object::{Instance, RelationSchema, Schema, Type, Universe, Value};
 fn main() {
     // flights between cities
     let mut u = Universe::new();
-    let schema = Schema::from_relations([RelationSchema::new(
-        "F",
-        vec![Type::Atom, Type::Atom],
-    )]);
+    let schema = Schema::from_relations([RelationSchema::new("F", vec![Type::Atom, Type::Atom])]);
     let mut db = Instance::empty(schema);
     let city = |u: &mut Universe, s: &str| Value::Atom(u.intern(s));
     let routes = [
@@ -40,11 +37,8 @@ fn main() {
         .select(Pred::EqCols(2, 3))
         .project([1, 4]);
     let by_algebra = eval(&two_hop_alg, &db, &AlgebraConfig::default()).unwrap();
-    let two_hop_calc = parse_query(
-        "{[x:U, y:U] | exists z:U (F(x, z) /\\ F(z, y))}",
-        &mut u,
-    )
-    .unwrap();
+    let two_hop_calc =
+        parse_query("{[x:U, y:U] | exists z:U (F(x, z) /\\ F(z, y))}", &mut u).unwrap();
     let by_calculus = eval_query_with(&db, &two_hop_calc, EvalConfig::default()).unwrap();
     println!(
         "two-hop pairs: algebra = {}, calculus = {}, equal = {}",
@@ -64,7 +58,9 @@ fn main() {
     println!("unnest(nest(F)) == F: {}", &back == db.relation("F"));
 
     // --- powerset: the operator the paper warns about ---
-    let cities = Expr::rel("F").project([1]).union(Expr::rel("F").project([2]));
+    let cities = Expr::rel("F")
+        .project([1])
+        .union(Expr::rel("F").project([2]));
     let n_cities = eval(&cities, &db, &AlgebraConfig::default()).unwrap().len();
     let pow = cities.powerset();
     let subsets = eval(&pow, &db, &AlgebraConfig::default()).unwrap();
@@ -74,11 +70,14 @@ fn main() {
         subsets.len(),
         n_cities
     );
-    // the budget converts hyperexponential blowup into a structured error
-    let tight = AlgebraConfig { max_rows: 4 };
+    // the governor converts hyperexponential blowup into a structured error
+    let tight = AlgebraConfig::with_max_rows(4);
     match eval(&Expr::rel("F").project([1]).powerset(), &db, &tight) {
-        Err(AlgebraError::RowBudget { limit }) => {
-            println!("under a {limit}-row budget the powerset is refused, not attempted —")
+        Err(AlgebraError::Resource(e)) => {
+            println!(
+                "under a {}-row budget the powerset is refused, not attempted —",
+                e.limit
+            )
         }
         other => println!("unexpected: {other:?}"),
     }

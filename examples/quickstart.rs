@@ -36,7 +36,10 @@ fn main() {
     db.insert("Friends", vec![bob.clone(), Value::set([alice.clone()])]);
     db.insert(
         "Friends",
-        vec![carol.clone(), Value::set([alice.clone(), bob.clone(), dave.clone()])],
+        vec![
+            carol.clone(),
+            Value::set([alice.clone(), bob.clone(), dave.clone()]),
+        ],
     );
     db.insert("Friends", vec![dave, Value::set([])]);
     println!("database:\n{db}");
@@ -45,7 +48,10 @@ fn main() {
     let q1_src = "{[x:U, y:U] | exists fx:{U} exists fy:{U} \
                   (Friends(x, fx) /\\ Friends(y, fy) /\\ y in fx /\\ x in fy)}";
     let q1 = parse_query(q1_src, &mut universe).expect("query 1 parses");
-    println!("q1 (mutual friends): {}", Printer::with_universe(&universe).query(&q1));
+    println!(
+        "q1 (mutual friends): {}",
+        Printer::with_universe(&universe).query(&q1)
+    );
     let answer = eval_query_with(&db, &q1, EvalConfig::default()).expect("q1 evaluates");
     for row in answer.sorted_rows() {
         println!(
@@ -77,7 +83,10 @@ fn main() {
                     \\/ exists z:U (S(x, z) /\\ exists fz:{U} (Friends(z, fz) /\\ y in fz)))(u, v)}";
     let q3 = parse_query(q3_src, &mut universe).expect("query 3 parses");
     let reach = eval_query_with(&db, &q3, EvalConfig::default()).expect("q3 evaluates");
-    println!("q3 (reachability through friend sets): {} pairs", reach.len());
+    println!(
+        "q3 (reachability through friend sets): {} pairs",
+        reach.len()
+    );
     let report = classify(db.schema(), &q3, InputAssumption::Dense).expect("classifies");
     println!("under a density assumption:\n{report}");
 }

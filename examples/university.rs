@@ -35,8 +35,14 @@ fn main() {
 
     let dense_class = classify(&dense_points, MeasureKind::Cardinality);
     let sparse_class = classify(&sparse_points, MeasureKind::Cardinality);
-    println!("no prerequisites   → {:?} (expected Dense)", dense_class.class);
-    println!("max 2 courses      → {:?} (expected Sparse)\n", sparse_class.class);
+    println!(
+        "no prerequisites   → {:?} (expected Dense)",
+        dense_class.class
+    );
+    println!(
+        "max 2 courses      → {:?} (expected Sparse)\n",
+        sparse_class.class
+    );
     assert_eq!(dense_class.class, DensityClass::Dense);
     assert_eq!(sparse_class.class, DensityClass::Sparse);
 
@@ -46,7 +52,10 @@ fn main() {
     let query_src = "{[X:{U}] | Takes(X) /\\ \
                      ~exists Y:{U} (Takes(Y) /\\ X sub Y /\\ ~(X = Y))}";
 
-    println!("{:>3} | {:>11} {:>13} {:>8} | {:>11} {:>13} {:>8}", "n", "dense |I|", "steps", "exp", "sparse |I|", "steps", "exp");
+    println!(
+        "{:>3} | {:>11} {:>13} {:>8} | {:>11} {:>13} {:>8}",
+        "n", "dense |I|", "steps", "exp", "sparse |I|", "steps", "exp"
+    );
     for n in [6usize, 8, 10] {
         let mut row = format!("{n:>3} |");
         for g in [
@@ -60,7 +69,10 @@ fn main() {
             let _ans = ev.query(&q).expect("query evaluates");
             let card = g.instance.cardinality();
             let exponent = (ev.steps_used() as f64).ln() / (card as f64).ln();
-            row.push_str(&format!(" {card:>11} {:>13} {exponent:>8.2}", ev.steps_used()));
+            row.push_str(&format!(
+                " {card:>11} {:>13} {exponent:>8.2}",
+                ev.steps_used()
+            ));
             row.push_str(" |");
         }
         println!("{row}");

@@ -35,8 +35,14 @@ fn main() {
     for (person, dept) in [(&ann, &sales), (&ben, &sales), (&eva, &eng), (&kim, &eng)] {
         db.insert("WorksIn", vec![person.clone(), dept.clone()]);
     }
-    db.insert("Depts", vec![sales.clone(), Value::set([ann.clone(), ben.clone()])]);
-    db.insert("Depts", vec![eng.clone(), Value::set([eva.clone(), kim.clone()])]);
+    db.insert(
+        "Depts",
+        vec![sales.clone(), Value::set([ann.clone(), ben.clone()])],
+    );
+    db.insert(
+        "Depts",
+        vec![eng.clone(), Value::set([eva.clone(), kim.clone()])],
+    );
     println!("database:\n{db}");
 
     // --- unnest: flatten Depts back to (employee, dept) pairs ---
@@ -52,13 +58,18 @@ fn main() {
         ),
     );
     let flat = eval_query_with(&db, &unnest, EvalConfig::default()).unwrap();
-    println!("unnest(Depts) = {} pairs (matches WorksIn: {})", flat.len(), {
-        flat == db.relation("WorksIn").clone()
-    });
+    println!(
+        "unnest(Depts) = {} pairs (matches WorksIn: {})",
+        flat.len(),
+        { flat == db.relation("WorksIn").clone() }
+    );
 
     // --- Example 5.1: nest WorksIn by department, the RR way ---
     let nest = Query::new(
-        vec![("d".into(), Type::Atom), ("s".into(), Type::set(Type::Atom))],
+        vec![
+            ("d".into(), Type::Atom),
+            ("s".into(), Type::set(Type::Atom)),
+        ],
         Formula::and([
             Formula::exists(
                 "w",
@@ -77,17 +88,27 @@ fn main() {
     let analysis = rr::analyze(db.schema(), &checked.var_types, &nest.body);
     println!("\nExample 5.1 nest query — range-restriction analysis:");
     for v in ["d", "s", "e", "w"] {
-        println!("  {v}: {}", if analysis.is_restricted(v) { "range restricted" } else { "NOT restricted" });
+        println!(
+            "  {v}: {}",
+            if analysis.is_restricted(v) {
+                "range restricted"
+            } else {
+                "NOT restricted"
+            }
+        );
     }
-    let ranges = compute_ranges(&db, &checked.var_types, &nest.body, &EvalConfig::default()).unwrap();
+    let ranges =
+        compute_ranges(&db, &checked.var_types, &nest.body, &EvalConfig::default()).unwrap();
     println!("computed ranges (Theorem 5.1):");
     for (path, vals) in ranges.iter() {
         println!("  r({path}) has {} candidate values", vals.len());
     }
     let nested = safe_eval(&db, &nest, EvalConfig::default()).unwrap();
-    println!("nest(WorksIn) = {} groups (matches Depts: {})", nested.len(), {
-        nested == db.relation("Depts").clone()
-    });
+    println!(
+        "nest(WorksIn) = {} groups (matches Depts: {})",
+        nested.len(),
+        { nested == db.relation("Depts").clone() }
+    );
 
     // --- Example 5.3: grouping via an IFP term ---
     // a one-step fixpoint computing the set of all employees of any dept:

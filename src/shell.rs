@@ -15,16 +15,16 @@
 //! (range-restricted) evaluation by default, falling back to active
 //! domains per variable, under configurable budgets.
 
-use no_core::error::EvalConfig;
-use no_core::eval::eval_query_with;
+use no_core::error::{EvalConfig, EvalError};
+use no_core::eval::{active_order, Evaluator};
 use no_core::parser::parse_query;
 use no_core::print::Printer;
-use no_core::ranges::safe_eval;
+use no_core::ranges::safe_eval_governed;
 use no_core::report::{classify, InputAssumption};
 use no_datalog as datalog;
 use no_object::text::{parse_database, render_database};
-use no_object::{Instance, Schema, Universe, Value};
-use std::time::Instant;
+use no_object::{Governor, Instance, Schema, Universe, Value};
+use std::time::{Duration, Instant};
 
 /// The shell: a universe, a database, budgets, and an evaluation mode.
 pub struct Shell {
@@ -67,15 +67,47 @@ impl Shell {
         format!("({})", cells.join(", "))
     }
 
+    /// Render a tripped budget: which budget, where, and how much of each
+    /// allowance was consumed. The shell stays alive after showing this.
+    fn budget_diagnostic(&self, governor: &Governor, err: &dyn std::fmt::Display) -> String {
+        let show = |v: u64| {
+            if v == u64::MAX {
+                "unlimited".to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        let limits = governor.limits();
+        let deadline = match limits.deadline {
+            Some(d) => format!("{} ms", d.as_millis()),
+            None => "unlimited".to_string(),
+        };
+        format!(
+            "{err}\nbudgets: steps {}/{}, memory {}/{} bytes, elapsed {:.1} ms (deadline {})\n\
+             the database is unchanged; raise :budget, :mem or :deadline, or simplify the query",
+            governor.steps_spent(),
+            show(limits.max_steps),
+            governor.mem_spent(),
+            show(limits.max_memory_bytes),
+            governor.elapsed().as_secs_f64() * 1e3,
+            deadline,
+        )
+    }
+
     fn run_query(&mut self, src: &str) -> Result<String, String> {
         let query = parse_query(src, &mut self.universe).map_err(|e| e.to_string())?;
         let t = Instant::now();
+        let governor = self.config.governor();
         let result = if self.active_domain {
-            eval_query_with(&self.instance, &query, self.config.clone())
+            let order = active_order(&self.instance, &query);
+            Evaluator::with_governor(&self.instance, order, governor.clone()).query(&query)
         } else {
-            safe_eval(&self.instance, &query, self.config.clone())
+            safe_eval_governed(&self.instance, &query, &governor)
         };
-        let answer = result.map_err(|e| e.to_string())?;
+        let answer = result.map_err(|e| match e {
+            EvalError::Resource(ref r) => self.budget_diagnostic(&governor, r),
+            other => other.to_string(),
+        })?;
         let mut out = String::new();
         for row in answer.sorted_rows() {
             out.push_str(&self.render_row(row));
@@ -85,7 +117,11 @@ impl Shell {
             "{} rows in {:.1} ms ({})",
             answer.len(),
             t.elapsed().as_secs_f64() * 1e3,
-            if self.active_domain { "active-domain" } else { "safe" },
+            if self.active_domain {
+                "active-domain"
+            } else {
+                "safe"
+            },
         ));
         Ok(out)
     }
@@ -97,9 +133,12 @@ impl Shell {
             ("no assumption", InputAssumption::Unknown),
             ("dense inputs ", InputAssumption::Dense),
         ] {
-            let report = classify(self.instance.schema(), &query, assumption)
-                .map_err(|e| e.to_string())?;
-            out.push_str(&format!("{label}: {} → {} (by {})\n", report.language, report.bound.bound, report.bound.by));
+            let report =
+                classify(self.instance.schema(), &query, assumption).map_err(|e| e.to_string())?;
+            out.push_str(&format!(
+                "{label}: {} → {} (by {})\n",
+                report.language, report.bound.bound, report.bound.by
+            ));
             if !report.unrestricted_vars.is_empty() {
                 out.push_str(&format!(
                     "  unrestricted variables: {}\n",
@@ -123,29 +162,45 @@ impl Shell {
 ",
             checked.set_height, checked.tuple_width, m.size, m.quantifier_rank, m.fixpoint_depth
         );
-        match compute_ranges(&self.instance, &checked.var_types, &query.body, &self.config) {
+        match compute_ranges(
+            &self.instance,
+            &checked.var_types,
+            &query.body,
+            &self.config,
+        ) {
             Ok(ranges) => {
-                out.push_str("computed ranges (Theorem 5.1):
-");
+                out.push_str(
+                    "computed ranges (Theorem 5.1):
+",
+                );
                 let mut any = false;
                 for (path, vals) in ranges.iter() {
                     any = true;
-                    out.push_str(&format!("  r({path}): {} candidates
-", vals.len()));
+                    out.push_str(&format!(
+                        "  r({path}): {} candidates
+",
+                        vals.len()
+                    ));
                 }
                 if !any {
-                    out.push_str("  (none — evaluation falls back to active domains)
-");
+                    out.push_str(
+                        "  (none — evaluation falls back to active domains)
+",
+                    );
                 }
                 for (v, ty) in checked.var_types.iter() {
                     if ranges.of_var(v).is_none() {
-                        out.push_str(&format!("  {v}:{ty} unrestricted → active domain
-"));
+                        out.push_str(&format!(
+                            "  {v}:{ty} unrestricted → active domain
+"
+                        ));
                     }
                 }
             }
-            Err(e) => out.push_str(&format!("range computation refused: {e}
-")),
+            Err(e) => out.push_str(&format!(
+                "range computation refused: {e}
+"
+            )),
         }
         Ok(out.trim_end().to_string())
     }
@@ -159,14 +214,35 @@ impl Shell {
         let program =
             datalog::parse_program(&src, &mut self.universe).map_err(|e| e.to_string())?;
         let t = Instant::now();
+        let governor = self.config.governor();
         let (idb, stats) = if stratified {
-            let idb = datalog::eval_stratified(&program, &self.instance)
-                .map_err(|e| e.to_string())?;
+            let idb = datalog::eval_stratified_governed(&program, &self.instance, &governor)
+                .map_err(|e| match e {
+                    datalog::StratifyError::Program(datalog::ProgramError::Resource(ref r)) => {
+                        self.budget_diagnostic(&governor, r)
+                    }
+                    other => other.to_string(),
+                })?;
             let facts = idb.values().map(|r| r.len()).sum();
-            (idb, datalog::EvalStats { rounds: 0, facts, joins: 0 })
+            (
+                idb,
+                datalog::EvalStats {
+                    rounds: 0,
+                    facts,
+                    joins: 0,
+                },
+            )
         } else {
-            datalog::eval(&program, &self.instance, datalog::Strategy::SemiNaive)
-                .map_err(|e| e.to_string())?
+            datalog::eval_governed(
+                &program,
+                &self.instance,
+                datalog::Strategy::SemiNaive,
+                &governor,
+            )
+            .map_err(|e| match e {
+                datalog::ProgramError::Resource(ref r) => self.budget_diagnostic(&governor, r),
+                other => other.to_string(),
+            })?
         };
         let mut out = String::new();
         for (name, rel) in &idb {
@@ -206,8 +282,7 @@ impl Shell {
                 "load" => self.load(arg).map(Some),
                 "save" => {
                     let text = render_database(&self.universe, &self.instance);
-                    std::fs::write(arg, &text)
-                        .map_err(|e| format!("cannot write {arg}: {e}"))?;
+                    std::fs::write(arg, &text).map_err(|e| format!("cannot write {arg}: {e}"))?;
                     Ok(Some(format!(
                         "saved {} tuples to {arg}",
                         self.instance.cardinality()
@@ -235,11 +310,39 @@ impl Shell {
                     }
                     Err(_) => Err(format!("not a number: {arg}")),
                 },
+                "deadline" => match arg.parse::<u64>() {
+                    Ok(0) => {
+                        self.config.deadline = None;
+                        Ok(Some("deadline cleared (unlimited wall clock)".to_string()))
+                    }
+                    Ok(ms) => {
+                        self.config.deadline = Some(Duration::from_millis(ms));
+                        Ok(Some(format!("deadline set to {ms} ms per evaluation")))
+                    }
+                    Err(_) => Err(format!("not a number of milliseconds: {arg}")),
+                },
+                "mem" => match arg.parse::<u64>() {
+                    Ok(0) => {
+                        self.config.max_memory_bytes = u64::MAX;
+                        Ok(Some("memory budget cleared (unlimited)".to_string()))
+                    }
+                    Ok(bytes) => {
+                        self.config.max_memory_bytes = bytes;
+                        Ok(Some(format!(
+                            "memory budget set to {bytes} bytes of materialised values"
+                        )))
+                    }
+                    Err(_) => Err(format!("not a number of bytes: {arg}")),
+                },
                 "active" => {
                     self.active_domain = !self.active_domain;
                     Ok(Some(format!(
                         "evaluation mode: {}",
-                        if self.active_domain { "active-domain" } else { "safe (range-restricted)" }
+                        if self.active_domain {
+                            "active-domain"
+                        } else {
+                            "safe (range-restricted)"
+                        }
                     )))
                 }
                 other => Err(format!("unknown command :{other} (try :help)")),
@@ -261,8 +364,9 @@ commands:
   :datalog <file> [stratified]   run a Datalog¬ program (default: inflationary)
   :active            toggle active-domain vs safe evaluation
   :budget <n>        set the quantifier-range budget
+  :deadline <ms>     wall-clock limit per evaluation (0 = unlimited)
+  :mem <bytes>       memory budget for materialised values (0 = unlimited)
   :help  :quit";
-
 
 impl Default for Shell {
     fn default() -> Self {
@@ -327,6 +431,79 @@ mod tests {
     }
 
     #[test]
+    fn tripped_budgets_report_diagnostics_and_shell_survives() {
+        let mut sh = loaded_shell();
+        // Memory budget: a handful of bytes cannot hold even one answer row.
+        sh.command(":mem 8").unwrap();
+        let err = sh.command("{[x:U, y:U] | G(x, y)}").unwrap_err();
+        assert!(err.contains("memory"), "{err}");
+        assert!(err.contains("budgets:"), "{err}");
+        assert!(err.contains("8 bytes"), "{err}");
+        sh.command(":mem 0").unwrap();
+
+        // Zero step fuel trips immediately, in both evaluation modes.
+        sh.config.max_steps = 0;
+        let err = sh.command("{[x:U, y:U] | G(x, y)}").unwrap_err();
+        assert!(err.contains("step"), "{err}");
+        assert!(err.contains("budgets:"), "{err}");
+        sh.command(":active").unwrap();
+        let err = sh.command("{[x:U, y:U] | G(x, y)}").unwrap_err();
+        assert!(err.contains("step"), "{err}");
+        sh.command(":active").unwrap();
+        sh.config.max_steps = u64::MAX;
+
+        // The shell is still fully usable after every trip.
+        let out = sh.command("{[x:U, y:U] | G(x, y)}").unwrap().unwrap();
+        assert!(out.contains("3 rows"), "{out}");
+    }
+
+    #[test]
+    fn deadline_and_mem_commands() {
+        let mut sh = loaded_shell();
+        let out = sh.command(":deadline 250").unwrap().unwrap();
+        assert!(out.contains("250 ms"), "{out}");
+        assert_eq!(sh.config.deadline, Some(Duration::from_millis(250)));
+        let out = sh.command(":deadline 0").unwrap().unwrap();
+        assert!(out.contains("unlimited"), "{out}");
+        assert_eq!(sh.config.deadline, None);
+
+        let out = sh.command(":mem 4096").unwrap().unwrap();
+        assert!(out.contains("4096 bytes"), "{out}");
+        assert_eq!(sh.config.max_memory_bytes, 4096);
+        let out = sh.command(":mem 0").unwrap().unwrap();
+        assert!(out.contains("unlimited"), "{out}");
+        assert_eq!(sh.config.max_memory_bytes, u64::MAX);
+
+        assert!(sh.command(":deadline soon").is_err());
+        assert!(sh.command(":mem lots").is_err());
+    }
+
+    #[test]
+    fn datalog_resource_errors_survive() {
+        let mut sh = loaded_shell();
+        sh.config.max_steps = 1;
+        let dir = std::env::temp_dir().join("nestdb_shell_dl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tc.dl");
+        std::fs::write(
+            &path,
+            "rel tc(U, U).\ntc(x, y) :- G(x, y).\ntc(x, y) :- tc(x, z), G(z, y).",
+        )
+        .unwrap();
+        let err = sh
+            .command(&format!(":datalog {}", path.display()))
+            .unwrap_err();
+        assert!(err.contains("step"), "{err}");
+        assert!(err.contains("budgets:"), "{err}");
+        sh.config.max_steps = u64::MAX;
+        let out = sh
+            .command(&format!(":datalog {}", path.display()))
+            .unwrap()
+            .unwrap();
+        assert!(out.contains("tc: 9 facts"), "{out}");
+    }
+
+    #[test]
     fn errors_and_noise_lines() {
         let mut sh = loaded_shell();
         assert_eq!(sh.command("").unwrap(), None);
@@ -341,7 +518,15 @@ mod tests {
     fn help_lists_commands() {
         let mut sh = Shell::new();
         let h = sh.command(":help").unwrap().unwrap();
-        for cmd in [":load", ":classify", ":explain", ":datalog", ":budget"] {
+        for cmd in [
+            ":load",
+            ":classify",
+            ":explain",
+            ":datalog",
+            ":budget",
+            ":deadline",
+            ":mem",
+        ] {
             assert!(h.contains(cmd), "{h}");
         }
     }

@@ -167,9 +167,11 @@ fn powerset_recursion_blows_budget_where_ifp_does_not() {
         .nest(2)
         .project([2])
         .powerset();
-    let tight = AlgebraConfig { max_rows: 1000 };
+    let tight = AlgebraConfig::with_max_rows(1000);
     match alg_eval(&edge_sets, &i, &tight) {
-        Err(nestdb::algebra::AlgebraError::RowBudget { .. }) => {}
-        other => panic!("expected RowBudget, got {other:?}"),
+        Err(nestdb::algebra::AlgebraError::Resource(e)) => {
+            assert_eq!(e.budget, nestdb::object::BudgetKind::Range);
+        }
+        other => panic!("expected a Resource error, got {other:?}"),
     }
 }

@@ -60,8 +60,7 @@ fn every_layer_agrees() {
         &mut u,
     )
     .unwrap();
-    let (inflationary, _) =
-        datalog::eval(&program, &db, datalog::Strategy::SemiNaive).unwrap();
+    let (inflationary, _) = datalog::eval(&program, &db, datalog::Strategy::SemiNaive).unwrap();
     let stratified = datalog::eval_stratified(&program, &db).unwrap();
     assert_eq!(inflationary, stratified);
     assert_eq!(inflationary["overlap"].len(), 2); // db↔logic share wednesday

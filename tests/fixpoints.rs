@@ -20,7 +20,10 @@ fn tc_program() -> Program {
     p.rule(
         "tc",
         vec![DTerm::var("x"), DTerm::var("y")],
-        vec![Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")])],
+        vec![Literal::Pos(
+            "G".into(),
+            vec![DTerm::var("x"), DTerm::var("y")],
+        )],
     );
     p.rule(
         "tc",
@@ -128,7 +131,10 @@ fn nested_fixpoints_evaluate() {
         op: FixOp::Ifp,
         rel: "N".into(),
         vars: vec![("nx".into(), Type::Atom), ("ny".into(), Type::Atom)],
-        body: Box::new(Formula::Rel("G".into(), vec![Term::var("nx"), Term::var("ny")])),
+        body: Box::new(Formula::Rel(
+            "G".into(),
+            vec![Term::var("nx"), Term::var("ny")],
+        )),
     });
     let outer = Arc::new(Fixpoint {
         op: FixOp::Ifp,

@@ -9,7 +9,7 @@ use common::*;
 use nestdb::core::error::EvalConfig;
 use nestdb::core::eval::Evaluator;
 use nestdb::object::domain::{card, rank, unrank};
-use nestdb::object::encoding::{decode_instance, encode_instance, value_to_string, decode_value};
+use nestdb::object::encoding::{decode_instance, decode_value, encode_instance, value_to_string};
 use nestdb::object::order::induced_cmp;
 use nestdb::object::{Atom, AtomOrder, Nat, Type};
 use proptest::prelude::*;

@@ -5,9 +5,9 @@ mod common;
 
 use common::type_strategy;
 use nestdb::core::ast::{FixOp, Fixpoint, Formula, Term};
+use nestdb::core::eval::Query;
 use nestdb::core::parser::{parse_formula, parse_query, parse_type};
 use nestdb::core::print::Printer;
-use nestdb::core::eval::Query;
 use nestdb::object::{Type, Universe};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -15,7 +15,10 @@ use std::sync::Arc;
 /// Random atomic formulas over a fixed scope of typed variables.
 fn atom_strategy() -> impl Strategy<Value = Formula> {
     prop_oneof![
-        Just(Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")])),
+        Just(Formula::Rel(
+            "G".into(),
+            vec![Term::var("x"), Term::var("y")]
+        )),
         Just(Formula::Rel("P".into(), vec![Term::var("X")])),
         Just(Formula::Eq(Term::var("x"), Term::var("y"))),
         Just(Formula::In(Term::var("x"), Term::var("X"))),

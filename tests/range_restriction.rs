@@ -57,7 +57,10 @@ fn rr_query_pool() -> Vec<(&'static str, Query)> {
     out.push((
         "successor sets",
         Query::new(
-            vec![("x".into(), Type::Atom), ("s".into(), Type::set(Type::Atom))],
+            vec![
+                ("x".into(), Type::Atom),
+                ("s".into(), Type::set(Type::Atom)),
+            ],
             Formula::and([
                 Formula::exists(
                     "w",
@@ -166,8 +169,14 @@ fn example_5_2_tau_star() {
             "t",
             Type::Atom,
             Formula::and([
-                Formula::Rel("S".into(), vec![Term::var("z"), Term::var("x"), Term::var("t")]),
-                Formula::Rel("S".into(), vec![Term::var("t"), Term::var("y"), Term::var("y")]),
+                Formula::Rel(
+                    "S".into(),
+                    vec![Term::var("z"), Term::var("x"), Term::var("t")],
+                ),
+                Formula::Rel(
+                    "S".into(),
+                    vec![Term::var("t"), Term::var("y"), Term::var("y")],
+                ),
             ]),
         ),
         Formula::and([
@@ -221,8 +230,10 @@ fn unrestricted_queries_are_detected_and_budgeted() {
         Formula::forall(
             "x",
             Type::Atom,
-            Formula::In(Term::var("x"), Term::var("X"))
-                .implies(Formula::Rel("G".into(), vec![Term::var("x"), Term::var("x")])),
+            Formula::In(Term::var("x"), Term::var("X")).implies(Formula::Rel(
+                "G".into(),
+                vec![Term::var("x"), Term::var("x")],
+            )),
         ),
     );
     let types = typeck::check(&schema, &q.head, &q.body).unwrap().var_types;

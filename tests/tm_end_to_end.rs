@@ -110,7 +110,10 @@ fn figure1_identity_pipeline() {
         vec![
             b.clone(),
             nestdb::object::Value::set([a.clone(), b.clone()]),
-            nestdb::object::Value::tuple([c.clone(), nestdb::object::Value::set([a.clone(), c.clone()])]),
+            nestdb::object::Value::tuple([
+                c.clone(),
+                nestdb::object::Value::set([a.clone(), c.clone()]),
+            ]),
         ],
     );
     i.insert(
