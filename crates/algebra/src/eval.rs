@@ -6,13 +6,20 @@
 //! governor turns that blowup into a structured
 //! [`AlgebraError::Resource`] error, mirroring the CALC evaluator's range
 //! budgets. Row counts are checked against the range cap, every
-//! materialised row costs one unit of step fuel and its approximate bytes
-//! against the memory budget, and cancellation/deadline are honoured at
-//! each operator boundary.
+//! materialised row costs one unit of step fuel plus its id width (and any
+//! arena growth) against the memory budget, and cancellation/deadline are
+//! honoured at each operator boundary.
+//!
+//! Internally every operator works on hash-consed [`IdRelation`]s: rows
+//! are slices of [`no_object::ValueId`], so product/difference dedup,
+//! nest grouping, and powerset masks compare `u32` ids instead of value
+//! trees. The input instance is interned once per evaluation and the
+//! result resolved back to a [`Relation`] at the boundary.
 
 use crate::expr::{AlgebraError, Expr, Pred};
-use no_object::{Governor, Instance, Limits, Relation, SetValue, Value};
-use std::collections::BTreeMap;
+use no_object::intern::{IdRelation, Interner, ValueId};
+use no_object::{Governor, Instance, Limits, Relation};
+use std::collections::HashMap;
 use std::time::Duration;
 
 /// Evaluation limits — a thin constructor over the shared [`Governor`].
@@ -87,142 +94,173 @@ pub fn eval_governed(
 ) -> Result<Relation, AlgebraError> {
     // typecheck up front so evaluation can assume well-formedness
     expr.output_types(instance.schema())?;
-    eval_unchecked(expr, instance, governor)
+    let mut interner = Interner::new();
+    let out = eval_i(expr, instance, governor, &mut interner)?;
+    Ok(out.to_relation(&interner))
 }
 
 /// Check an (intermediate) result against the row cap.
-fn guard(rel: &Relation, governor: &Governor) -> Result<(), AlgebraError> {
+fn guard(rel: &IdRelation, governor: &Governor) -> Result<(), AlgebraError> {
     governor
         .check_range("algebra.rows", rel.len() as u64)
         .map_err(AlgebraError::from)
 }
 
-/// Charge one materialised row: a unit of fuel plus its approximate bytes.
-fn charge_row(governor: &Governor, site: &'static str, row: &[Value]) -> Result<(), AlgebraError> {
+/// Charge one materialised id row: a unit of fuel, one id width per
+/// column, plus any arena growth its construction caused. Values shared
+/// with the input or earlier rows were admitted to the arena already and
+/// cost nothing again.
+fn charge_row(
+    governor: &Governor,
+    site: &'static str,
+    arity: usize,
+    arena_grown: u64,
+) -> Result<(), AlgebraError> {
     governor.tick(site)?;
-    let bytes: u64 = row.iter().map(Value::approx_bytes).sum();
-    governor.charge_mem(site, bytes)?;
+    governor.charge_mem(site, 8 * arity as u64 + arena_grown)?;
     Ok(())
 }
 
-fn eval_unchecked(
+fn eval_i(
     expr: &Expr,
     instance: &Instance,
     governor: &Governor,
-) -> Result<Relation, AlgebraError> {
+    int: &mut Interner,
+) -> Result<IdRelation, AlgebraError> {
     governor.checkpoint("algebra.eval")?;
     let out = match expr {
-        Expr::Rel(name) => instance.relation(name).clone(),
-        Expr::Const(_, rows) => Relation::from_rows(rows.iter().cloned()),
+        Expr::Rel(name) => IdRelation::from_relation(int, instance.relation(name)),
+        Expr::Const(_, rows) => rows.iter().map(|r| int.intern_row(r)).collect(),
         Expr::Select(e, pred) => {
-            let input = eval_unchecked(e, instance, governor)?;
-            input
-                .iter()
-                .filter(|row| holds(pred, row))
-                .cloned()
-                .collect()
+            let input = eval_i(e, instance, governor, int)?;
+            let mut out = IdRelation::new();
+            for row in input.iter() {
+                if holds(pred, row, int) {
+                    out.insert(row.to_vec().into_boxed_slice());
+                }
+            }
+            out
         }
         Expr::Project(e, cols) => {
-            let input = eval_unchecked(e, instance, governor)?;
-            let mut out = Relation::new();
+            let input = eval_i(e, instance, governor, int)?;
+            let mut out = IdRelation::new();
             for row in input.iter() {
-                let new: Vec<Value> = cols.iter().map(|&i| row[i - 1].clone()).collect();
-                charge_row(governor, "algebra.project", &new)?;
-                out.insert(new);
+                let new: Vec<ValueId> = cols.iter().map(|&i| row[i - 1]).collect();
+                charge_row(governor, "algebra.project", new.len(), 0)?;
+                out.insert(new.into_boxed_slice());
             }
             out
         }
         Expr::Product(a, b) => {
-            let ra = eval_unchecked(a, instance, governor)?;
-            let rb = eval_unchecked(b, instance, governor)?;
+            let ra = eval_i(a, instance, governor, int)?;
+            let rb = eval_i(b, instance, governor, int)?;
             // check the product size before materialising anything
             governor.check_range(
                 "algebra.product",
                 (ra.len() as u64).saturating_mul(rb.len() as u64),
             )?;
-            let mut out = Relation::new();
+            let mut out = IdRelation::new();
             for x in ra.iter() {
                 for y in rb.iter() {
-                    let mut row = x.clone();
-                    row.extend(y.iter().cloned());
-                    charge_row(governor, "algebra.product", &row)?;
-                    out.insert(row);
+                    let mut row = x.to_vec();
+                    row.extend_from_slice(y);
+                    charge_row(governor, "algebra.product", row.len(), 0)?;
+                    out.insert(row.into_boxed_slice());
                 }
             }
             out
         }
         Expr::Union(a, b) => {
-            let mut ra = eval_unchecked(a, instance, governor)?;
-            let rb = eval_unchecked(b, instance, governor)?;
+            let mut ra = eval_i(a, instance, governor, int)?;
+            let rb = eval_i(b, instance, governor, int)?;
             ra.absorb(&rb);
             ra
         }
         Expr::Difference(a, b) => {
-            let ra = eval_unchecked(a, instance, governor)?;
-            let rb = eval_unchecked(b, instance, governor)?;
-            ra.iter().filter(|r| !rb.contains(r)).cloned().collect()
+            let ra = eval_i(a, instance, governor, int)?;
+            let rb = eval_i(b, instance, governor, int)?;
+            ra.iter()
+                .filter(|r| !rb.contains(r))
+                .map(|r| r.to_vec().into_boxed_slice())
+                .collect()
         }
         Expr::Intersect(a, b) => {
-            let ra = eval_unchecked(a, instance, governor)?;
-            let rb = eval_unchecked(b, instance, governor)?;
-            ra.iter().filter(|r| rb.contains(r)).cloned().collect()
+            let ra = eval_i(a, instance, governor, int)?;
+            let rb = eval_i(b, instance, governor, int)?;
+            ra.iter()
+                .filter(|r| rb.contains(r))
+                .map(|r| r.to_vec().into_boxed_slice())
+                .collect()
         }
         Expr::Nest(e, col) => {
-            let input = eval_unchecked(e, instance, governor)?;
+            let input = eval_i(e, instance, governor, int)?;
             let i = col - 1;
-            // group by all other columns, in canonical order for determinism
-            let mut groups: BTreeMap<Vec<Value>, Vec<Value>> = BTreeMap::new();
+            // group by all other columns; id rows hash in O(arity)
+            let mut groups: HashMap<Vec<ValueId>, Vec<ValueId>> = HashMap::new();
             for row in input.iter() {
                 governor.tick("algebra.nest")?;
-                let mut key = row.clone();
+                let mut key = row.to_vec();
                 let val = key.remove(i);
                 groups.entry(key).or_default().push(val);
             }
-            groups
-                .into_iter()
-                .map(|(mut key, vals)| {
-                    key.insert(i, Value::Set(SetValue::from_values(vals)));
-                    key
-                })
-                .collect()
+            let mut out = IdRelation::new();
+            for (mut key, vals) in groups {
+                let arena_before = int.bytes();
+                let set = int.intern_set(vals);
+                key.insert(i, set);
+                charge_row(
+                    governor,
+                    "algebra.nest",
+                    key.len(),
+                    int.bytes() - arena_before,
+                )?;
+                out.insert(key.into_boxed_slice());
+            }
+            out
         }
         Expr::Unnest(e, col) => {
-            let input = eval_unchecked(e, instance, governor)?;
+            let input = eval_i(e, instance, governor, int)?;
             let i = col - 1;
-            let mut out = Relation::new();
+            let mut out = IdRelation::new();
             for row in input.iter() {
-                let Value::Set(s) = &row[i] else {
+                let Some(elems) = int.set_elems(row[i]) else {
                     unreachable!("typechecked: unnest column is a set")
                 };
-                for elem in s.iter() {
-                    let mut new = row.clone();
-                    new[i] = elem.clone();
-                    charge_row(governor, "algebra.unnest", &new)?;
-                    out.insert(new);
+                let elems = elems.to_vec();
+                for elem in elems {
+                    let mut new = row.to_vec();
+                    new[i] = elem;
+                    charge_row(governor, "algebra.unnest", new.len(), 0)?;
+                    out.insert(new.into_boxed_slice());
                 }
                 guard(&out, governor)?;
             }
             out
         }
         Expr::Powerset(e) => {
-            let input = eval_unchecked(e, instance, governor)?;
+            let input = eval_i(e, instance, governor, int)?;
             let n = input.len();
             // check the 2^n blowup before materialising anything
             if n >= 63 {
                 governor.check_range("algebra.powerset", u64::MAX)?;
             }
             governor.check_range("algebra.powerset", 1u64 << n)?;
-            let elems: Vec<&Vec<Value>> = input.sorted_rows();
-            let mut out = Relation::new();
+            // single column (typechecked); canonical element order so every
+            // mask yields an already-canonical id slice
+            let mut elems: Vec<ValueId> = input.iter().map(|row| row[0]).collect();
+            elems.sort_unstable_by(|a, b| int.cmp(*a, *b));
+            let mut out = IdRelation::new();
             for mask in 0u64..(1u64 << n) {
-                let members = elems
+                let members: Vec<ValueId> = elems
                     .iter()
                     .enumerate()
                     .filter(|(j, _)| (mask >> j) & 1 == 1)
-                    .map(|(_, row)| row[0].clone());
-                let row = vec![Value::Set(SetValue::from_values(members))];
-                charge_row(governor, "algebra.powerset", &row)?;
-                out.insert(row);
+                    .map(|(_, id)| *id)
+                    .collect();
+                let arena_before = int.bytes();
+                let set = int.intern_set_presorted(members);
+                charge_row(governor, "algebra.powerset", 1, int.bytes() - arena_before)?;
+                out.insert(vec![set].into_boxed_slice());
             }
             out
         }
@@ -231,28 +269,32 @@ fn eval_unchecked(
     Ok(out)
 }
 
-fn holds(pred: &Pred, row: &[Value]) -> bool {
+fn holds(pred: &Pred, row: &[ValueId], int: &mut Interner) -> bool {
     match pred {
         Pred::EqCols(a, b) => row[a - 1] == row[b - 1],
-        Pred::EqConst(a, v) => &row[a - 1] == v,
-        Pred::InCols(a, b) => match &row[b - 1] {
-            Value::Set(s) => s.contains(&row[a - 1]),
+        Pred::EqConst(a, v) => {
+            // hash-consed: after the first call this is a lookup, and the
+            // comparison is an id compare
+            row[a - 1] == int.intern(v)
+        }
+        Pred::InCols(a, b) => match int.set_elems(row[b - 1]) {
+            Some(elems) => int.set_contains(elems, row[a - 1]),
+            None => false,
+        },
+        Pred::SubsetCols(a, b) => match (int.set_elems(row[a - 1]), int.set_elems(row[b - 1])) {
+            (Some(xs), Some(ys)) => int.set_is_subset(xs, ys),
             _ => false,
         },
-        Pred::SubsetCols(a, b) => match (&row[a - 1], &row[b - 1]) {
-            (Value::Set(x), Value::Set(y)) => x.is_subset(y),
-            _ => false,
-        },
-        Pred::Not(p) => !holds(p, row),
-        Pred::And(p, q) => holds(p, row) && holds(q, row),
-        Pred::Or(p, q) => holds(p, row) || holds(q, row),
+        Pred::Not(p) => !holds(p, row, int),
+        Pred::And(p, q) => holds(p, row, int) && holds(q, row, int),
+        Pred::Or(p, q) => holds(p, row, int) || holds(q, row, int),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use no_object::{BudgetKind, RelationSchema, Schema, Type, Universe};
+    use no_object::{BudgetKind, RelationSchema, Schema, Type, Universe, Value};
 
     fn dept_db() -> (Universe, Instance) {
         let mut u = Universe::new();
@@ -394,6 +436,34 @@ mod tests {
             Err(AlgebraError::Resource(e)) => assert_eq!(e.budget, BudgetKind::Memory),
             other => panic!("expected a memory Resource error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn repeated_rows_with_shared_values_charge_arena_once() {
+        // Nesting produces the same set value in several output rows (one
+        // per group key here); the arena charges the set's bytes once and
+        // every further row only its id width.
+        let mut u = Universe::new();
+        let schema =
+            Schema::from_relations([RelationSchema::new("W", vec![Type::Atom, Type::Atom])]);
+        let mut i = Instance::empty(schema);
+        let v = Value::Atom(u.intern("v"));
+        for k in 0..8 {
+            let key = Value::Atom(u.intern(&format!("k{k}")));
+            i.insert("W", vec![key, v.clone()]);
+        }
+        // nest col 2: eight rows, every set column is the same value {v}
+        let g = AlgebraConfig::default().governor();
+        let out = eval_governed(&Expr::rel("W").nest(2), &i, &g).unwrap();
+        assert_eq!(out.len(), 8);
+        // the {v} node is charged at most once: total spend stays below
+        // eight copies' worth of the old per-clone accounting
+        let one_set_bytes = Value::set([v]).approx_bytes();
+        assert!(
+            g.mem_spent() < 8 * one_set_bytes + 8 * 16,
+            "shared nested set recharged per row: {} bytes",
+            g.mem_spent()
+        );
     }
 
     #[test]

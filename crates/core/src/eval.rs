@@ -17,10 +17,9 @@ use crate::ast::{FixOp, Fixpoint, Formula, Term, VarName};
 use crate::error::{EvalConfig, EvalError};
 use no_object::domain::{card, DomainIter};
 use no_object::governor::Governor;
-use no_object::{AtomOrder, Instance, Relation, SetValue, Type, Value};
-use std::collections::hash_map::DefaultHasher;
+use no_object::intern::{IdRelation, Interner, ValueId};
+use no_object::{AtomOrder, Instance, Relation, Type, Value};
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Explicit ranges for the restricted-domain semantics: variable name →
@@ -114,14 +113,34 @@ impl Env {
     }
 }
 
+/// The internal environment: bindings as interned ids, so lookups copy a
+/// `u32` instead of cloning a value tree.
+type IEnv = Vec<(VarName, ValueId)>;
+
+fn ienv_get(env: &IEnv, v: &str) -> Option<ValueId> {
+    env.iter().rev().find(|(n, _)| n == v).map(|(_, id)| *id)
+}
+
 /// The CALC evaluator over one instance.
+///
+/// Internally the evaluator is fully hash-consed: every value it touches
+/// lives in a per-evaluator [`Interner`], relations are [`IdRelation`]s of
+/// id rows, and quantifier loops, fixpoint dedup, and membership tests all
+/// compare `u32` ids instead of value trees. The [`Value`]-level API
+/// (`query`, `holds`, `eval_term`, `eval_fixpoint`, [`Env`]) is the
+/// boundary representation; conversions happen once per call, not per
+/// binding.
 pub struct Evaluator<'a> {
     instance: &'a Instance,
     order: AtomOrder,
     governor: Governor,
-    ranges: RangeMap,
+    intern: Interner,
+    /// Explicit (restricted-domain) ranges, interned at installation.
+    ranges: HashMap<VarName, Arc<Vec<ValueId>>>,
+    /// Lazily interned copies of the instance's relations.
+    base: HashMap<String, IdRelation>,
     /// Fixpoint relations currently in scope (innermost last).
-    aux: Vec<(String, Relation)>,
+    aux: Vec<(String, IdRelation)>,
     /// Scope-context identifiers: every push of an auxiliary relation gets
     /// a fresh id, and popping restores the *parent's* id — so the
     /// top-level context keeps id 0 forever and fixpoints applied under
@@ -130,10 +149,13 @@ pub struct Evaluator<'a> {
     /// contents) never do.
     ctx_stack: Vec<u64>,
     ctx_counter: u64,
-    fix_cache: HashMap<(usize, u64), Arc<Relation>>,
+    fix_cache: HashMap<(usize, u64), Arc<IdRelation>>,
+    /// Resolved counterpart of `fix_cache` for the public
+    /// [`Evaluator::eval_fixpoint`] boundary.
+    fix_cache_resolved: HashMap<(usize, u64), Arc<Relation>>,
     /// Materialised active domains per type — quantifiers over the same
     /// type share one vector instead of re-enumerating per binding.
-    domain_cache: HashMap<Type, Arc<Vec<Value>>>,
+    domain_cache: HashMap<Type, Arc<Vec<ValueId>>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -152,20 +174,34 @@ impl<'a> Evaluator<'a> {
             instance,
             order,
             governor,
-            ranges: RangeMap::new(),
+            intern: Interner::new(),
+            ranges: HashMap::new(),
+            base: HashMap::new(),
             aux: Vec::new(),
             ctx_stack: vec![0],
             ctx_counter: 0,
             fix_cache: HashMap::new(),
+            fix_cache_resolved: HashMap::new(),
             domain_cache: HashMap::new(),
         }
     }
 
     /// Install explicit ranges (restricted-domain semantics). Variables not
-    /// in the map keep the active-domain range.
+    /// in the map keep the active-domain range. Range values are interned
+    /// here, once, as input data (uncharged — they were supplied by the
+    /// caller, not materialised by this evaluation).
     pub fn with_ranges(mut self, ranges: RangeMap) -> Self {
-        self.ranges = ranges;
+        for (v, vals) in ranges {
+            let ids: Vec<ValueId> = vals.iter().map(|val| self.intern.intern(val)).collect();
+            self.ranges.insert(v, Arc::new(ids));
+        }
         self
+    }
+
+    /// The interner backing this evaluation (for callers that want to
+    /// inspect arena growth, e.g. diagnostics).
+    pub fn interner(&self) -> &Interner {
+        &self.intern
     }
 
     /// The atom enumeration in use.
@@ -188,36 +224,50 @@ impl<'a> Evaluator<'a> {
         self.governor.tick("calc.eval").map_err(EvalError::from)
     }
 
+    /// Bytes a materialised id row costs: one id per column. The values
+    /// behind the ids are charged once, when the arena admits them.
+    fn row_bytes(row: &[ValueId]) -> u64 {
+        8 * row.len() as u64
+    }
+
+    /// Convert a boundary environment to the internal id environment.
+    fn intern_env(&mut self, env: &Env) -> IEnv {
+        env.stack
+            .iter()
+            .map(|(n, v)| (n.clone(), self.intern.intern(v)))
+            .collect()
+    }
+
     /// Evaluate a query to its answer relation.
     pub fn query(&mut self, q: &Query) -> Result<Relation, EvalError> {
-        let mut out = Relation::new();
-        let mut env = Env::new();
+        let mut out = IdRelation::new();
+        let mut env = IEnv::new();
         self.enumerate_heads(&q.head, &q.body, &mut env, &mut Vec::new(), &mut out)?;
-        Ok(out)
+        Ok(out.to_relation(&self.intern))
     }
 
     fn enumerate_heads(
         &mut self,
         head: &[(VarName, Type)],
         body: &Formula,
-        env: &mut Env,
-        row: &mut Vec<Value>,
-        out: &mut Relation,
+        env: &mut IEnv,
+        row: &mut Vec<ValueId>,
+        out: &mut IdRelation,
     ) -> Result<(), EvalError> {
         match head.split_first() {
             None => {
-                if self.holds(body, env)? {
-                    let bytes: u64 = row.iter().map(Value::approx_bytes).sum();
-                    self.governor.charge_mem("calc.answer", bytes)?;
-                    out.insert(row.clone());
+                if self.holds_i(body, env)? {
+                    self.governor
+                        .charge_mem("calc.answer", Self::row_bytes(row))?;
+                    out.insert(row.clone().into_boxed_slice());
                 }
                 Ok(())
             }
             Some(((v, ty), rest)) => {
                 let range = self.range_of(v, ty)?;
-                for val in range.iter() {
-                    env.push(v.clone(), val.clone());
-                    row.push(val.clone());
+                for &id in range.iter() {
+                    env.push((v.clone(), id));
+                    row.push(id);
                     let r = self.enumerate_heads(rest, body, env, row, out);
                     row.pop();
                     env.pop();
@@ -230,10 +280,10 @@ impl<'a> Evaluator<'a> {
 
     /// The range of values variable `v : ty` iterates over: the explicit
     /// range if one is installed, else the active domain `dom(ty, D)` —
-    /// materialised once per type and shared across bindings.
-    fn range_of(&mut self, v: &str, ty: &Type) -> Result<Arc<Vec<Value>>, EvalError> {
+    /// interned and materialised once per type, shared across bindings.
+    fn range_of(&mut self, v: &str, ty: &Type) -> Result<Arc<Vec<ValueId>>, EvalError> {
         if let Some(r) = self.ranges.get(v) {
-            return Ok(Arc::new(r.clone()));
+            return Ok(Arc::clone(r));
         }
         if let Some(cached) = self.domain_cache.get(ty) {
             return Ok(Arc::clone(cached));
@@ -249,44 +299,65 @@ impl<'a> Evaluator<'a> {
         // Fault-injection / cancellation checkpoint for the range budget
         // (the Nat comparison above reports the richer var/ty context).
         self.governor.checkpoint("calc.range")?;
-        let values: Arc<Vec<Value>> = Arc::new(DomainIter::new(&self.order, ty)?.collect());
-        let bytes: u64 = values.iter().map(Value::approx_bytes).sum();
+        let arena_before = self.intern.bytes();
+        let mut ids = Vec::new();
+        for val in DomainIter::new(&self.order, ty)? {
+            ids.push(self.intern.intern(&val));
+        }
+        let values = Arc::new(ids);
+        // Charge the arena growth (each domain value admitted once) plus
+        // the id vector itself.
+        let bytes = (self.intern.bytes() - arena_before) + 8 * values.len() as u64;
         self.governor.charge_mem("calc.domain", bytes)?;
         self.domain_cache.insert(ty.clone(), Arc::clone(&values));
         Ok(values)
     }
 
-    /// Truth of a formula under the environment.
+    /// Truth of a formula under the environment (boundary API; see
+    /// [`Evaluator::holds_i`] for the id-level loop).
     pub fn holds(&mut self, f: &Formula, env: &mut Env) -> Result<bool, EvalError> {
+        let mut ienv = self.intern_env(env);
+        self.holds_i(f, &mut ienv)
+    }
+
+    fn holds_i(&mut self, f: &Formula, env: &mut IEnv) -> Result<bool, EvalError> {
         self.tick()?;
         match f {
             Formula::Rel(name, args) => {
-                let row: Vec<Value> = args
+                let row: Vec<ValueId> = args
                     .iter()
-                    .map(|t| self.eval_term(t, env))
+                    .map(|t| self.eval_term_i(t, env))
                     .collect::<Result<_, _>>()?;
                 self.rel_contains(name, &row)
             }
-            Formula::Eq(a, b) => Ok(self.eval_term(a, env)? == self.eval_term(b, env)?),
+            Formula::Eq(a, b) => Ok(self.eval_term_i(a, env)? == self.eval_term_i(b, env)?),
             Formula::In(a, b) => {
-                let elem = self.eval_term(a, env)?;
-                match self.eval_term(b, env)? {
-                    Value::Set(s) => Ok(s.contains(&elem)),
-                    other => Err(EvalError::ShapeError(format!(
-                        "∈ right-hand side evaluated to non-set {other}"
+                let elem = self.eval_term_i(a, env)?;
+                let set = self.eval_term_i(b, env)?;
+                match self.intern.set_elems(set) {
+                    Some(elems) => Ok(self.intern.set_contains(elems, elem)),
+                    None => Err(EvalError::ShapeError(format!(
+                        "∈ right-hand side evaluated to non-set {}",
+                        self.intern.resolve(set)
                     ))),
                 }
             }
-            Formula::Subset(a, b) => match (self.eval_term(a, env)?, self.eval_term(b, env)?) {
-                (Value::Set(x), Value::Set(y)) => Ok(x.is_subset(&y)),
-                (x, y) => Err(EvalError::ShapeError(format!(
-                    "⊆ applied to non-sets {x} and {y}"
-                ))),
-            },
-            Formula::Not(g) => Ok(!self.holds(g, env)?),
+            Formula::Subset(a, b) => {
+                let x = self.eval_term_i(a, env)?;
+                let y = self.eval_term_i(b, env)?;
+                match (self.intern.set_elems(x), self.intern.set_elems(y)) {
+                    (Some(xs), Some(ys)) => Ok(self.intern.set_is_subset(xs, ys)),
+                    _ => Err(EvalError::ShapeError(format!(
+                        "⊆ applied to non-sets {} and {}",
+                        self.intern.resolve(x),
+                        self.intern.resolve(y)
+                    ))),
+                }
+            }
+            Formula::Not(g) => Ok(!self.holds_i(g, env)?),
             Formula::And(gs) => {
                 for g in gs {
-                    if !self.holds(g, env)? {
+                    if !self.holds_i(g, env)? {
                         return Ok(false);
                     }
                 }
@@ -294,20 +365,20 @@ impl<'a> Evaluator<'a> {
             }
             Formula::Or(gs) => {
                 for g in gs {
-                    if self.holds(g, env)? {
+                    if self.holds_i(g, env)? {
                         return Ok(true);
                     }
                 }
                 Ok(false)
             }
-            Formula::Implies(a, b) => Ok(!self.holds(a, env)? || self.holds(b, env)?),
-            Formula::Iff(a, b) => Ok(self.holds(a, env)? == self.holds(b, env)?),
+            Formula::Implies(a, b) => Ok(!self.holds_i(a, env)? || self.holds_i(b, env)?),
+            Formula::Iff(a, b) => Ok(self.holds_i(a, env)? == self.holds_i(b, env)?),
             Formula::Exists(x, ty, g) => {
                 let range = self.range_of(x, ty)?;
-                for val in range.iter() {
+                for &id in range.iter() {
                     self.tick()?;
-                    env.push(x.clone(), val.clone());
-                    let r = self.holds(g, env);
+                    env.push((x.clone(), id));
+                    let r = self.holds_i(g, env);
                     env.pop();
                     if r? {
                         return Ok(true);
@@ -317,10 +388,10 @@ impl<'a> Evaluator<'a> {
             }
             Formula::Forall(x, ty, g) => {
                 let range = self.range_of(x, ty)?;
-                for val in range.iter() {
+                for &id in range.iter() {
                     self.tick()?;
-                    env.push(x.clone(), val.clone());
-                    let r = self.holds(g, env);
+                    env.push((x.clone(), id));
+                    let r = self.holds_i(g, env);
                     env.pop();
                     if !r? {
                         return Ok(false);
@@ -329,50 +400,66 @@ impl<'a> Evaluator<'a> {
                 Ok(true)
             }
             Formula::FixApp(fix, args) => {
-                let row: Vec<Value> = args
+                let row: Vec<ValueId> = args
                     .iter()
-                    .map(|t| self.eval_term(t, env))
+                    .map(|t| self.eval_term_i(t, env))
                     .collect::<Result<_, _>>()?;
-                let rel = self.eval_fixpoint(fix)?;
+                let rel = self.eval_fixpoint_i(fix)?;
                 Ok(rel.contains(&row))
             }
         }
     }
 
-    fn rel_contains(&mut self, name: &str, row: &[Value]) -> Result<bool, EvalError> {
+    fn rel_contains(&mut self, name: &str, row: &[ValueId]) -> Result<bool, EvalError> {
         if let Some((_, rel)) = self.aux.iter().rev().find(|(n, _)| n == name) {
             return Ok(rel.contains(row));
         }
         if self.instance.schema().get(name).is_some() {
-            return Ok(self.instance.relation(name).contains(row));
+            if !self.base.contains_key(name) {
+                // Intern the stored relation once; input data is not
+                // charged against the memory budget.
+                let idr = IdRelation::from_relation(&mut self.intern, self.instance.relation(name));
+                self.base.insert(name.to_string(), idr);
+            }
+            return Ok(self.base[name].contains(row));
         }
         Err(EvalError::UnknownRelation(name.to_string()))
     }
 
-    /// Evaluate a term to a value.
+    /// Evaluate a term to a value (boundary API).
     pub fn eval_term(&mut self, t: &Term, env: &mut Env) -> Result<Value, EvalError> {
+        let mut ienv = self.intern_env(env);
+        let id = self.eval_term_i(t, &mut ienv)?;
+        Ok(self.intern.resolve(id))
+    }
+
+    fn eval_term_i(&mut self, t: &Term, env: &mut IEnv) -> Result<ValueId, EvalError> {
         self.tick()?;
         match t {
-            Term::Const(v) => Ok(v.clone()),
-            Term::Var(v) => env
-                .get(v)
-                .cloned()
-                .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
+            Term::Const(v) => Ok(self.intern.intern_charged(&self.governor, "calc.eval", v)?),
+            Term::Var(v) => ienv_get(env, v).ok_or_else(|| EvalError::UnboundVariable(v.clone())),
             Term::Proj(inner, i) => {
-                let v = self.eval_term(inner, env)?;
-                v.project(*i)
-                    .cloned()
-                    .ok_or_else(|| EvalError::ShapeError(format!("projection .{i} on {v}")))
+                let id = self.eval_term_i(inner, env)?;
+                self.intern.project(id, *i).ok_or_else(|| {
+                    EvalError::ShapeError(format!("projection .{i} on {}", self.intern.resolve(id)))
+                })
             }
             Term::Fix(fix) => {
-                let rel = self.eval_fixpoint(fix)?;
+                let rel = self.eval_fixpoint_i(fix)?;
                 // Unary fixpoints denote plain sets; wider ones, sets of
                 // tuples (see `Fixpoint::term_type`).
-                let values = rel.iter().map(|row| match row.as_slice() {
-                    [single] => single.clone(),
-                    _ => Value::Tuple(row.clone()),
-                });
-                Ok(Value::Set(SetValue::from_values(values)))
+                let arena_before = self.intern.bytes();
+                let elems: Vec<ValueId> = rel
+                    .iter()
+                    .map(|row| match row {
+                        [single] => *single,
+                        _ => self.intern.intern_tuple(row.to_vec()),
+                    })
+                    .collect();
+                let set = self.intern.intern_set(elems);
+                self.governor
+                    .charge_mem("calc.eval", self.intern.bytes() - arena_before)?;
+                Ok(set)
             }
         }
     }
@@ -380,8 +467,24 @@ impl<'a> Evaluator<'a> {
     /// Compute the relation denoted by a fixpoint expression
     /// (Definition 3.1), memoised by `Arc` identity and scope context: the
     /// same fixpoint applied repeatedly in one scope (e.g. under a
-    /// quantifier, once per binding) is computed once.
+    /// quantifier, once per binding) is computed once. Boundary API — the
+    /// id-level engine uses [`Evaluator::eval_fixpoint_i`] and never
+    /// resolves.
     pub fn eval_fixpoint(&mut self, fix: &Arc<Fixpoint>) -> Result<Arc<Relation>, EvalError> {
+        let key = (
+            Arc::as_ptr(fix) as usize,
+            *self.ctx_stack.last().expect("context stack never empty"),
+        );
+        if let Some(cached) = self.fix_cache_resolved.get(&key) {
+            return Ok(Arc::clone(cached));
+        }
+        let rel = self.eval_fixpoint_i(fix)?;
+        let resolved = Arc::new(rel.to_relation(&self.intern));
+        self.fix_cache_resolved.insert(key, Arc::clone(&resolved));
+        Ok(resolved)
+    }
+
+    fn eval_fixpoint_i(&mut self, fix: &Arc<Fixpoint>) -> Result<Arc<IdRelation>, EvalError> {
         let key = (
             Arc::as_ptr(fix) as usize,
             *self.ctx_stack.last().expect("context stack never empty"),
@@ -395,8 +498,8 @@ impl<'a> Evaluator<'a> {
         Ok(result)
     }
 
-    fn compute_fixpoint(&mut self, fix: &Fixpoint) -> Result<Relation, EvalError> {
-        let mut current = Relation::new();
+    fn compute_fixpoint(&mut self, fix: &Fixpoint) -> Result<IdRelation, EvalError> {
+        let mut current = IdRelation::new();
         let mut seen_states: HashSet<u64> = HashSet::new();
         let mut iters: u64 = 0;
         loop {
@@ -415,11 +518,11 @@ impl<'a> Evaluator<'a> {
                 return Ok(next);
             }
             if fix.op == FixOp::Pfp {
-                let h = relation_hash(&next);
+                let h = next.digest();
                 if !seen_states.insert(h) {
                     // Hash collision is theoretically possible but the
-                    // states hashed are full sorted-row digests; a repeat
-                    // means the PFP sequence cycles without converging.
+                    // states hashed are full row digests; a repeat means
+                    // the PFP sequence cycles without converging.
                     return Err(EvalError::PfpDiverged {
                         rel: fix.rel.clone(),
                         iters,
@@ -432,13 +535,17 @@ impl<'a> Evaluator<'a> {
 
     /// One application `φ(J)`: all tuples over the column ranges whose
     /// substitution satisfies the body with `S = J`.
-    fn apply_fixpoint_body(&mut self, fix: &Fixpoint, j: &Relation) -> Result<Relation, EvalError> {
+    fn apply_fixpoint_body(
+        &mut self,
+        fix: &Fixpoint,
+        j: &IdRelation,
+    ) -> Result<IdRelation, EvalError> {
         self.aux.push((fix.rel.clone(), j.clone()));
         self.ctx_counter += 1;
         self.ctx_stack.push(self.ctx_counter);
         let result = (|| {
-            let mut out = Relation::new();
-            let mut env = Env::new();
+            let mut out = IdRelation::new();
+            let mut env = IEnv::new();
             let mut row = Vec::new();
             self.enumerate_fix_columns(&fix.vars, &fix.body, &mut env, &mut row, &mut out)?;
             Ok(out)
@@ -452,24 +559,24 @@ impl<'a> Evaluator<'a> {
         &mut self,
         vars: &[(VarName, Type)],
         body: &Formula,
-        env: &mut Env,
-        row: &mut Vec<Value>,
-        out: &mut Relation,
+        env: &mut IEnv,
+        row: &mut Vec<ValueId>,
+        out: &mut IdRelation,
     ) -> Result<(), EvalError> {
         match vars.split_first() {
             None => {
-                if self.holds(body, env)? {
-                    let bytes: u64 = row.iter().map(Value::approx_bytes).sum();
-                    self.governor.charge_mem("calc.fixpoint.stage", bytes)?;
-                    out.insert(row.clone());
+                if self.holds_i(body, env)? {
+                    self.governor
+                        .charge_mem("calc.fixpoint.stage", Self::row_bytes(row))?;
+                    out.insert(row.clone().into_boxed_slice());
                 }
                 Ok(())
             }
             Some(((v, ty), rest)) => {
                 let range = self.range_of(v, ty)?;
-                for val in range.iter() {
-                    env.push(v.clone(), val.clone());
-                    row.push(val.clone());
+                for &id in range.iter() {
+                    env.push((v.clone(), id));
+                    row.push(id);
                     let r = self.enumerate_fix_columns(rest, body, env, row, out);
                     row.pop();
                     env.pop();
@@ -479,19 +586,6 @@ impl<'a> Evaluator<'a> {
             }
         }
     }
-}
-
-fn relation_hash(rel: &Relation) -> u64 {
-    let mut h = DefaultHasher::new();
-    for row in rel.sorted_rows() {
-        for v in row {
-            // Values hash structurally (canonical sets), so this digest is
-            // deterministic given the sorted row order.
-            v.hash(&mut h);
-        }
-        0xfeed_u16.hash(&mut h);
-    }
-    h.finish()
 }
 
 /// Evaluate `query` on `instance` under the active-domain semantics with
@@ -681,6 +775,48 @@ mod tests {
             }
             other => panic!("expected step-fuel Resource error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn repeated_materialisation_of_shared_value_charges_once() {
+        // Pre-interning, every answer row charged the deep `approx_bytes`
+        // of its values, so a large value reappearing in many rows
+        // inflated `mem_spent` linearly. With hash-consing the arena
+        // admits the value once; rows charge only their id widths.
+        let mut u = Universe::new();
+        let schema =
+            Schema::from_relations([RelationSchema::new("P", vec![Type::set(Type::Atom)])]);
+        let mut i = Instance::empty(schema);
+        let big = Value::set((0..64).map(|k| Value::Atom(u.intern(&format!("a{k}")))));
+        assert!(big.approx_bytes() > 500);
+        i.insert("P", vec![big.clone()]);
+        let q = Query::new(
+            vec![
+                ("x".into(), Type::set(Type::Atom)),
+                ("y".into(), Type::set(Type::Atom)),
+            ],
+            Formula::and([
+                Formula::Rel("P".into(), vec![Term::var("x")]),
+                Formula::Rel("P".into(), vec![Term::var("y")]),
+            ]),
+        );
+        let mut ranges = RangeMap::new();
+        ranges.insert("x".into(), vec![big.clone()]);
+        ranges.insert("y".into(), vec![big.clone()]);
+        let order = active_order(&i, &q);
+        let mut ev = Evaluator::new(&i, order, EvalConfig::default()).with_ranges(ranges);
+        let ans = ev.query(&q).unwrap();
+        assert_eq!(ans.len(), 1);
+        let first = ev.governor().mem_spent();
+        assert!(
+            first < 100,
+            "row with shared 500+-byte value should charge id widths only, charged {first}"
+        );
+        // Re-running the query adds only fresh row charges, never re-admits
+        // the value.
+        let _ = ev.query(&q).unwrap();
+        let second = ev.governor().mem_spent() - first;
+        assert!(second <= 16, "second run recharged {second} bytes");
     }
 
     #[test]

@@ -350,9 +350,20 @@ fn ranges(ctx: &mut Ctx<'_>, f: &Formula) -> Result<Ranges, EvalError> {
                     }
                 }
             }
-            // rule 7
+            // rule 7: of the ranges of ¬g, only the bound variable's may
+            // be exported — outside range(y in ¬g) the body holds
+            // automatically, so the quantifier may be soundly restricted.
+            // For a *free* variable x the polarity is inverted: outside
+            // ranges(¬g)[x] the formula is certainly TRUE, so propagating
+            // its entry upward would wrongly shrink enclosing quantifiers
+            // (unsoundness caught by the cross-engine differential suite).
             let pushed = Formula::Not(g.clone()).negation_normal_form();
-            out.merge(ranges(ctx, &pushed)?);
+            let inner = ranges(ctx, &pushed)?;
+            for (p, vs) in inner.iter() {
+                if p.root == *y {
+                    out.add(p.clone(), vs.iter().cloned());
+                }
+            }
             out
         }
         Formula::FixApp(fix, args) => {

@@ -14,13 +14,23 @@
 //! `naive_equals_seminaive` tests check the equivalence, and benchmark
 //! `datalog_seminaive` measures the speedup (a design-choice ablation from
 //! DESIGN.md §6).
+//!
+//! The join loops run over hash-consed rows: the EDB is interned once per
+//! evaluation, the IDB and deltas are [`IdRelation`]s, and unification
+//! binds [`ValueId`]s — so fact dedup and (not-)membership tests cost
+//! O(arity) id compares regardless of value nesting. Results resolve back
+//! to [`Relation`]s at the boundary.
 
 use crate::program::{DTerm, Literal, Program, ProgramError, Rule};
-use no_object::{Governor, Instance, Relation, Value};
+use no_object::intern::{IdRelation, Interner, ValueId};
+use no_object::{Governor, Instance, Relation};
 use std::collections::{BTreeMap, HashMap};
 
 /// The computed IDB: relation name → facts.
 pub type Idb = BTreeMap<String, Relation>;
+
+/// The interned IDB used internally during evaluation.
+type IdbI = BTreeMap<String, IdRelation>;
 
 /// Evaluation statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -63,20 +73,32 @@ pub fn eval_governed(
     governor: &Governor,
 ) -> Result<(Idb, EvalStats), ProgramError> {
     program.validate(instance.schema())?;
-    let mut idb: Idb = program
+    let mut interner = Interner::new();
+    // Intern the EDB once, as input data (uncharged).
+    let edb: HashMap<String, IdRelation> = instance
+        .schema()
+        .relations()
+        .map(|r| {
+            (
+                r.name.clone(),
+                IdRelation::from_relation(&mut interner, instance.relation(&r.name)),
+            )
+        })
+        .collect();
+    let mut idb: IdbI = program
         .idb
         .keys()
-        .map(|k| (k.clone(), Relation::new()))
+        .map(|k| (k.clone(), IdRelation::new()))
         .collect();
-    let mut delta: Idb = idb.clone();
+    let mut delta: IdbI = idb.clone();
     let mut stats = EvalStats::default();
     loop {
         stats.rounds += 1;
         governor.check_iters("datalog.round", stats.rounds as u64)?;
-        let mut new_delta: Idb = program
+        let mut new_delta: IdbI = program
             .idb
             .keys()
-            .map(|k| (k.clone(), Relation::new()))
+            .map(|k| (k.clone(), IdRelation::new()))
             .collect();
         let mut grew = false;
         for rule in &program.rules {
@@ -96,50 +118,52 @@ pub fn eval_governed(
                 for pos in delta_positions {
                     derive(
                         rule,
-                        instance,
+                        &edb,
                         &idb,
                         Some((pos, &delta)),
                         &mut new_delta,
                         &mut stats,
                         governor,
+                        &mut interner,
                     )?;
                 }
             } else {
                 derive(
                     rule,
-                    instance,
+                    &edb,
                     &idb,
                     None,
                     &mut new_delta,
                     &mut stats,
                     governor,
+                    &mut interner,
                 )?;
             }
         }
         for (name, facts) in &new_delta {
             let target = idb.get_mut(name).expect("declared IDB");
-            let mut fresh = Relation::new();
+            let mut fresh = IdRelation::new();
             for row in facts.iter() {
                 if !target.contains(row) {
-                    fresh.insert(row.clone());
+                    fresh.insert(row.to_vec().into_boxed_slice());
                 }
             }
             if !fresh.is_empty() {
                 grew = true;
                 target.absorb(&fresh);
             }
-            new_delta_replace(&mut delta, name, fresh);
+            delta.insert(name.to_string(), fresh);
         }
         if !grew {
             break;
         }
     }
-    stats.facts = idb.values().map(Relation::len).sum();
-    Ok((idb, stats))
-}
-
-fn new_delta_replace(delta: &mut Idb, name: &str, fresh: Relation) {
-    delta.insert(name.to_string(), fresh);
+    stats.facts = idb.values().map(IdRelation::len).sum();
+    let resolved: Idb = idb
+        .into_iter()
+        .map(|(name, rel)| (name, rel.to_relation(&interner)))
+        .collect();
+    Ok((resolved, stats))
 }
 
 /// Evaluate one rule body by backtracking over literals left to right,
@@ -147,52 +171,65 @@ fn new_delta_replace(delta: &mut Idb, name: &str, fresh: Relation) {
 #[allow(clippy::too_many_arguments)]
 fn derive(
     rule: &Rule,
-    instance: &Instance,
-    idb: &Idb,
-    pinned: Option<(usize, &Idb)>,
-    out: &mut Idb,
+    edb: &HashMap<String, IdRelation>,
+    idb: &IdbI,
+    pinned: Option<(usize, &IdbI)>,
+    out: &mut IdbI,
     stats: &mut EvalStats,
     governor: &Governor,
+    int: &mut Interner,
 ) -> Result<(), ProgramError> {
-    let mut env: HashMap<String, Value> = HashMap::new();
+    let mut env: HashMap<String, ValueId> = HashMap::new();
     search(
-        rule, instance, idb, pinned, 0, &mut env, out, stats, governor,
+        rule, edb, idb, pinned, 0, &mut env, out, stats, governor, int,
     )
 }
 
-fn lookup_rel<'a>(name: &str, instance: &'a Instance, idb: &'a Idb) -> Option<&'a Relation> {
-    idb.get(name)
-        .or_else(|| instance.schema().get(name).map(|_| instance.relation(name)))
+fn lookup_rel<'a>(
+    name: &str,
+    edb: &'a HashMap<String, IdRelation>,
+    idb: &'a IdbI,
+) -> Option<&'a IdRelation> {
+    idb.get(name).or_else(|| edb.get(name))
 }
 
-fn eval_term(t: &DTerm, env: &HashMap<String, Value>) -> Option<Value> {
+fn eval_term(t: &DTerm, env: &HashMap<String, ValueId>, int: &mut Interner) -> Option<ValueId> {
     match t {
-        DTerm::Const(c) => Some(c.clone()),
-        DTerm::Var(v) => env.get(v).cloned(),
+        // hash-consed: repeated constant evaluation is a map lookup
+        DTerm::Const(c) => Some(int.intern(c)),
+        DTerm::Var(v) => env.get(v).copied(),
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn search(
     rule: &Rule,
-    instance: &Instance,
-    idb: &Idb,
-    pinned: Option<(usize, &Idb)>,
+    edb: &HashMap<String, IdRelation>,
+    idb: &IdbI,
+    pinned: Option<(usize, &IdbI)>,
     depth: usize,
-    env: &mut HashMap<String, Value>,
-    out: &mut Idb,
+    env: &mut HashMap<String, ValueId>,
+    out: &mut IdbI,
     stats: &mut EvalStats,
     governor: &Governor,
+    int: &mut Interner,
 ) -> Result<(), ProgramError> {
     stats.joins += 1;
     governor.tick("datalog.search")?;
     if depth == rule.body.len() {
         // all literals satisfied: emit the head fact
-        let row: Option<Vec<Value>> = rule.head_args.iter().map(|t| eval_term(t, env)).collect();
+        let row: Option<Vec<ValueId>> = rule
+            .head_args
+            .iter()
+            .map(|t| eval_term(t, env, int))
+            .collect();
         if let Some(row) = row {
-            let bytes: u64 = row.iter().map(Value::approx_bytes).sum();
-            governor.charge_mem("datalog.derive", bytes)?;
-            out.get_mut(&rule.head).expect("declared IDB").insert(row);
+            // one id per column; the values behind the ids were admitted
+            // to the arena (and charged, where applicable) once
+            governor.charge_mem("datalog.derive", 8 * row.len() as u64)?;
+            out.get_mut(&rule.head)
+                .expect("declared IDB")
+                .insert(row.into_boxed_slice());
         }
         return Ok(());
     }
@@ -203,32 +240,41 @@ fn search(
                 Some((pos, delta)) if pos == depth => {
                     delta.get(name).expect("pinned literal is IDB")
                 }
-                _ => match lookup_rel(name, instance, idb) {
+                _ => match lookup_rel(name, edb, idb) {
                     Some(r) => r,
                     None => return Ok(()),
                 },
             };
+            // Pre-intern constant args so unification inside the scan is
+            // pure id compares.
+            let consts: Vec<Option<ValueId>> = args
+                .iter()
+                .map(|a| match a {
+                    DTerm::Const(c) => Some(int.intern(c)),
+                    DTerm::Var(_) => None,
+                })
+                .collect();
             for row in rel.iter() {
-                let mut bound_here: Vec<String> = Vec::new();
+                let mut bound_here: Vec<&str> = Vec::new();
                 let mut ok = true;
-                for (arg, val) in args.iter().zip(row.iter()) {
+                for ((arg, cid), &val) in args.iter().zip(&consts).zip(row.iter()) {
                     match arg {
-                        DTerm::Const(c) => {
-                            if c != val {
+                        DTerm::Const(_) => {
+                            if *cid != Some(val) {
                                 ok = false;
                                 break;
                             }
                         }
                         DTerm::Var(v) => match env.get(v) {
-                            Some(existing) => {
+                            Some(&existing) => {
                                 if existing != val {
                                     ok = false;
                                     break;
                                 }
                             }
                             None => {
-                                env.insert(v.clone(), val.clone());
-                                bound_here.push(v.clone());
+                                env.insert(v.clone(), val);
+                                bound_here.push(v);
                             }
                         },
                     }
@@ -236,7 +282,7 @@ fn search(
                 let deeper = if ok {
                     search(
                         rule,
-                        instance,
+                        edb,
                         idb,
                         pinned,
                         depth + 1,
@@ -244,27 +290,28 @@ fn search(
                         out,
                         stats,
                         governor,
+                        int,
                     )
                 } else {
                     Ok(())
                 };
                 for v in bound_here {
-                    env.remove(&v);
+                    env.remove(v);
                 }
                 deeper?;
             }
             Ok(())
         }
         Literal::Neg(name, args) => {
-            let row: Option<Vec<Value>> = args.iter().map(|t| eval_term(t, env)).collect();
+            let row: Option<Vec<ValueId>> = args.iter().map(|t| eval_term(t, env, int)).collect();
             let Some(row) = row else { return Ok(()) };
-            let holds = lookup_rel(name, instance, idb)
+            let holds = lookup_rel(name, edb, idb)
                 .map(|r| r.contains(&row))
                 .unwrap_or(false);
             if !holds {
                 search(
                     rule,
-                    instance,
+                    edb,
                     idb,
                     pinned,
                     depth + 1,
@@ -272,16 +319,17 @@ fn search(
                     out,
                     stats,
                     governor,
+                    int,
                 )?;
             }
             Ok(())
         }
-        Literal::Eq(a, b) => match (eval_term(a, env), eval_term(b, env)) {
+        Literal::Eq(a, b) => match (eval_term(a, env, int), eval_term(b, env, int)) {
             (Some(x), Some(y)) => {
                 if x == y {
                     search(
                         rule,
-                        instance,
+                        edb,
                         idb,
                         pinned,
                         depth + 1,
@@ -289,24 +337,25 @@ fn search(
                         out,
                         stats,
                         governor,
+                        int,
                     )?;
                 }
                 Ok(())
             }
             (Some(x), None) => bind_and_continue(
-                rule, instance, idb, pinned, depth, env, out, stats, governor, b, x,
+                rule, edb, idb, pinned, depth, env, out, stats, governor, int, b, x,
             ),
             (None, Some(y)) => bind_and_continue(
-                rule, instance, idb, pinned, depth, env, out, stats, governor, a, y,
+                rule, edb, idb, pinned, depth, env, out, stats, governor, int, a, y,
             ),
             (None, None) => Ok(()),
         },
         Literal::Neq(a, b) => {
-            if let (Some(x), Some(y)) = (eval_term(a, env), eval_term(b, env)) {
+            if let (Some(x), Some(y)) = (eval_term(a, env, int), eval_term(b, env, int)) {
                 if x != y {
                     search(
                         rule,
-                        instance,
+                        edb,
                         idb,
                         pinned,
                         depth + 1,
@@ -314,21 +363,25 @@ fn search(
                         out,
                         stats,
                         governor,
+                        int,
                     )?;
                 }
             }
             Ok(())
         }
         Literal::In(a, b) => {
-            let Some(Value::Set(set)) = eval_term(b, env) else {
+            let Some(set) = eval_term(b, env, int) else {
                 return Ok(());
             };
-            match eval_term(a, env) {
+            let Some(elems) = int.set_elems(set).map(<[ValueId]>::to_vec) else {
+                return Ok(());
+            };
+            match eval_term(a, env, int) {
                 Some(x) => {
-                    if set.contains(&x) {
+                    if int.set_contains(&elems, x) {
                         search(
                             rule,
-                            instance,
+                            edb,
                             idb,
                             pinned,
                             depth + 1,
@@ -336,6 +389,7 @@ fn search(
                             out,
                             stats,
                             governor,
+                            int,
                         )?;
                     }
                     Ok(())
@@ -343,11 +397,11 @@ fn search(
                 None => {
                     let DTerm::Var(v) = a else { return Ok(()) };
                     let mut result = Ok(());
-                    for elem in set.iter() {
-                        env.insert(v.clone(), elem.clone());
+                    for elem in elems {
+                        env.insert(v.clone(), elem);
                         result = search(
                             rule,
-                            instance,
+                            edb,
                             idb,
                             pinned,
                             depth + 1,
@@ -355,6 +409,7 @@ fn search(
                             out,
                             stats,
                             governor,
+                            int,
                         );
                         if result.is_err() {
                             break;
@@ -366,19 +421,22 @@ fn search(
             }
         }
         Literal::NotIn(a, b) => {
-            if let (Some(x), Some(Value::Set(set))) = (eval_term(a, env), eval_term(b, env)) {
-                if !set.contains(&x) {
-                    search(
-                        rule,
-                        instance,
-                        idb,
-                        pinned,
-                        depth + 1,
-                        env,
-                        out,
-                        stats,
-                        governor,
-                    )?;
+            if let (Some(x), Some(set)) = (eval_term(a, env, int), eval_term(b, env, int)) {
+                if let Some(elems) = int.set_elems(set) {
+                    if !int.set_contains(elems, x) {
+                        search(
+                            rule,
+                            edb,
+                            idb,
+                            pinned,
+                            depth + 1,
+                            env,
+                            out,
+                            stats,
+                            governor,
+                            int,
+                        )?;
+                    }
                 }
             }
             Ok(())
@@ -389,22 +447,23 @@ fn search(
 #[allow(clippy::too_many_arguments)]
 fn bind_and_continue(
     rule: &Rule,
-    instance: &Instance,
-    idb: &Idb,
-    pinned: Option<(usize, &Idb)>,
+    edb: &HashMap<String, IdRelation>,
+    idb: &IdbI,
+    pinned: Option<(usize, &IdbI)>,
     depth: usize,
-    env: &mut HashMap<String, Value>,
-    out: &mut Idb,
+    env: &mut HashMap<String, ValueId>,
+    out: &mut IdbI,
     stats: &mut EvalStats,
     governor: &Governor,
+    int: &mut Interner,
     target: &DTerm,
-    value: Value,
+    value: ValueId,
 ) -> Result<(), ProgramError> {
     let DTerm::Var(v) = target else { return Ok(()) };
     env.insert(v.clone(), value);
     let result = search(
         rule,
-        instance,
+        edb,
         idb,
         pinned,
         depth + 1,
@@ -412,15 +471,15 @@ fn bind_and_continue(
         out,
         stats,
         governor,
+        int,
     );
     env.remove(v);
     result
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use no_object::{RelationSchema, Schema, Type, Universe};
+    use no_object::{RelationSchema, Schema, Type, Universe, Value};
 
     fn graph(edges: &[(&str, &str)]) -> (Universe, Instance) {
         let mut u = Universe::new();

@@ -1,0 +1,641 @@
+//! Hash-consed value interning.
+//!
+//! Every engine in the workspace manipulates [`Value`] trees, and the hot
+//! paths of Theorem 4.1-style evaluation — quantifier enumeration over type
+//! domains, fixpoint dedup, set union — are dominated by O(size) deep
+//! clones, hashes, and comparisons. An [`Interner`] is a hash-consing arena
+//! that maps each *canonical* complex object to a small [`ValueId`] handle:
+//! tuples store children as ids, sets store a sorted duplicate-free id
+//! slice, and structurally equal values always receive the same id. With
+//! that invariant, equality and hashing become O(1) id compares, set
+//! membership becomes a binary search over ids, and a relation of interned
+//! rows ([`IdRelation`]) dedups tuples with O(arity) work regardless of how
+//! deeply nested the participating objects are.
+//!
+//! # Canonical form at intern time
+//!
+//! [`SetValue`] maintains the canonical form (elements sorted by the
+//! structural order, duplicates removed) at construction time; the interner
+//! enforces the *same* invariant on id slices: [`Interner::intern_set`]
+//! sorts candidate element ids by [`Interner::cmp`] — which agrees with the
+//! derived structural `Ord` on [`Value`] — and drops duplicate ids. Two set
+//! nodes are therefore bit-identical iff the sets are equal, and the
+//! hash-consing map collapses them to one id.
+//!
+//! Note the distinction maintained throughout the repo: this structural
+//! order is an internal representation device. The paper's *semantic*
+//! order `<_T` induced by an atom enumeration (Definition 4.2) lives in
+//! [`crate::order`] and is unrelated to id numbering; genericity tests
+//! check that query results do not depend on either internal order.
+//!
+//! # Memory accounting
+//!
+//! The arena knows its own approximate footprint ([`Interner::bytes`]),
+//! which grows only when a *new* node is admitted. Engines charge the
+//! governor for arena *growth* rather than per-clone
+//! ([`Interner::intern_charged`]): materialising the same large object
+//! twice costs its bytes once, matching what the allocator actually does
+//! under hash-consing.
+
+use crate::atom::Atom;
+use crate::governor::{Governor, ResourceError};
+use crate::instance::Relation;
+use crate::value::{SetValue, Value};
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// A handle to an interned value: cheap to copy, O(1) equality and hash.
+///
+/// Deliberately **not** `Ord`: raw id order is admission order, not the
+/// structural order on values. Use [`Interner::cmp`] for the structural
+/// comparison (it agrees with `Value`'s derived `Ord`), or
+/// [`crate::order`] for the paper's semantic order `<_T`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// The arena slot index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned node. Children are ids, so a node is shallow: hashing and
+/// comparing nodes is O(arity), never O(subtree size).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Node {
+    Atom(Atom),
+    Tuple(Box<[ValueId]>),
+    /// Invariant: sorted by the structural order ([`Interner::cmp`]) with
+    /// duplicates removed — the id-level image of `SetValue`'s canonical
+    /// form.
+    Set(Box<[ValueId]>),
+}
+
+fn node_bytes(node: &Node) -> u64 {
+    // Rough model: arena slot + hash-map entry for an atom; add the two
+    // boxed id slices (arena + map key) for compound nodes. The budget
+    // guards against hyperexponential blowup, not byte-exact accounting —
+    // same convention as `Value::approx_bytes`.
+    match node {
+        Node::Atom(_) => 24,
+        Node::Tuple(ids) | Node::Set(ids) => 48 + 8 * ids.len() as u64,
+    }
+}
+
+/// A hash-consing arena for complex-object values.
+///
+/// The arena only grows; ids are valid for the lifetime of the interner
+/// that issued them and must not be mixed across interners.
+#[derive(Debug, Default)]
+pub struct Interner {
+    nodes: Vec<Node>,
+    ids: HashMap<Node, ValueId>,
+    bytes: u64,
+}
+
+impl Interner {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Number of distinct nodes admitted so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Approximate arena footprint in bytes. Grows monotonically, and only
+    /// when a structurally new node is admitted.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn add(&mut self, node: Node) -> ValueId {
+        if let Some(&id) = self.ids.get(&node) {
+            return id;
+        }
+        let id = ValueId(u32::try_from(self.nodes.len()).expect("interner arena overflow"));
+        self.bytes += node_bytes(&node);
+        self.nodes.push(node.clone());
+        self.ids.insert(node, id);
+        id
+    }
+
+    /// Intern an atomic constant.
+    pub fn intern_atom(&mut self, a: Atom) -> ValueId {
+        self.add(Node::Atom(a))
+    }
+
+    /// Intern a tuple from already-interned component ids.
+    pub fn intern_tuple(&mut self, components: Vec<ValueId>) -> ValueId {
+        debug_assert!(!components.is_empty(), "tuple values have arity >= 1");
+        self.add(Node::Tuple(components.into_boxed_slice()))
+    }
+
+    /// Intern a set from candidate element ids: sorts by the structural
+    /// order and removes duplicates, enforcing the canonical-form
+    /// invariant at intern time.
+    pub fn intern_set(&mut self, mut elems: Vec<ValueId>) -> ValueId {
+        elems.sort_unstable_by(|a, b| self.cmp(*a, *b));
+        elems.dedup();
+        self.add(Node::Set(elems.into_boxed_slice()))
+    }
+
+    /// Intern a set whose element ids are already sorted by
+    /// [`Interner::cmp`] and duplicate-free (e.g. a mask over an already
+    /// canonical slice, as in powerset enumeration). Debug-asserts the
+    /// invariant.
+    pub fn intern_set_presorted(&mut self, elems: Vec<ValueId>) -> ValueId {
+        debug_assert!(
+            elems
+                .windows(2)
+                .all(|w| self.cmp(w[0], w[1]) == Ordering::Less),
+            "intern_set_presorted: ids not strictly sorted"
+        );
+        self.add(Node::Set(elems.into_boxed_slice()))
+    }
+
+    /// Intern a value tree, returning its canonical id.
+    pub fn intern(&mut self, v: &Value) -> ValueId {
+        match v {
+            Value::Atom(a) => self.intern_atom(*a),
+            Value::Tuple(vs) => {
+                let ids: Vec<ValueId> = vs.iter().map(|c| self.intern(c)).collect();
+                self.intern_tuple(ids)
+            }
+            Value::Set(s) => {
+                // `SetValue` is canonical (sorted by `Value`'s Ord, deduped)
+                // and `cmp` agrees with that order, so the id sequence is
+                // already sorted and duplicate-free.
+                let ids: Vec<ValueId> = s.iter().map(|c| self.intern(c)).collect();
+                self.intern_set_presorted(ids)
+            }
+        }
+    }
+
+    /// Intern a value, charging the governor for *arena growth only*: the
+    /// second interning of a structurally identical value costs nothing.
+    pub fn intern_charged(
+        &mut self,
+        governor: &Governor,
+        site: &'static str,
+        v: &Value,
+    ) -> Result<ValueId, ResourceError> {
+        let before = self.bytes;
+        let id = self.intern(v);
+        let grown = self.bytes - before;
+        if grown > 0 {
+            governor.charge_mem(site, grown)?;
+        }
+        Ok(id)
+    }
+
+    /// Reconstruct the value tree behind an id.
+    pub fn resolve(&self, id: ValueId) -> Value {
+        match &self.nodes[id.index()] {
+            Node::Atom(a) => Value::Atom(*a),
+            Node::Tuple(ids) => Value::Tuple(ids.iter().map(|c| self.resolve(*c)).collect()),
+            Node::Set(ids) => {
+                // Canonical id order maps to canonical value order, so the
+                // resolved elements are already sorted and deduped; rebuild
+                // the `SetValue` through the canonicalising constructor
+                // anyway — it is O(n log n) on already-sorted input and
+                // keeps the invariant independent of this reasoning.
+                Value::Set(SetValue::from_values(ids.iter().map(|c| self.resolve(*c))))
+            }
+        }
+    }
+
+    /// Structural comparison of two interned values. Agrees with the
+    /// derived `Ord` on [`Value`]: `Atom < Tuple < Set`, components
+    /// compared lexicographically. Equal ids short-circuit to `Equal`.
+    pub fn cmp(&self, a: ValueId, b: ValueId) -> Ordering {
+        if a == b {
+            return Ordering::Equal;
+        }
+        match (&self.nodes[a.index()], &self.nodes[b.index()]) {
+            (Node::Atom(x), Node::Atom(y)) => x.cmp(y),
+            (Node::Atom(_), _) => Ordering::Less,
+            (_, Node::Atom(_)) => Ordering::Greater,
+            (Node::Tuple(xs), Node::Tuple(ys)) => self.cmp_slices(xs, ys),
+            (Node::Tuple(_), Node::Set(_)) => Ordering::Less,
+            (Node::Set(_), Node::Tuple(_)) => Ordering::Greater,
+            (Node::Set(xs), Node::Set(ys)) => self.cmp_slices(xs, ys),
+        }
+    }
+
+    /// Lexicographic comparison of id slices under [`Interner::cmp`] —
+    /// matches `Vec<Value>`'s derived ordering.
+    pub fn cmp_slices(&self, xs: &[ValueId], ys: &[ValueId]) -> Ordering {
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            match self.cmp(*x, *y) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        xs.len().cmp(&ys.len())
+    }
+
+    /// Is the id an atom? Returns the atom if so.
+    pub fn as_atom(&self, id: ValueId) -> Option<Atom> {
+        match &self.nodes[id.index()] {
+            Node::Atom(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// The component ids of a tuple, or `None` for non-tuples.
+    pub fn tuple_elems(&self, id: ValueId) -> Option<&[ValueId]> {
+        match &self.nodes[id.index()] {
+            Node::Tuple(ids) => Some(ids),
+            _ => None,
+        }
+    }
+
+    /// The canonical element ids of a set, or `None` for non-sets.
+    pub fn set_elems(&self, id: ValueId) -> Option<&[ValueId]> {
+        match &self.nodes[id.index()] {
+            Node::Set(ids) => Some(ids),
+            _ => None,
+        }
+    }
+
+    /// Projection `v.i` with 1-based index `i`, as in the calculus: O(1).
+    pub fn project(&self, id: ValueId, i: usize) -> Option<ValueId> {
+        match &self.nodes[id.index()] {
+            Node::Tuple(ids) if i >= 1 => ids.get(i - 1).copied(),
+            _ => None,
+        }
+    }
+
+    /// Membership test over a canonical element slice: binary search by
+    /// the structural order.
+    pub fn set_contains(&self, elems: &[ValueId], x: ValueId) -> bool {
+        elems.binary_search_by(|e| self.cmp(*e, x)).is_ok()
+    }
+
+    /// Subset test `xs ⊆ ys` over canonical slices: merge scan.
+    pub fn set_is_subset(&self, xs: &[ValueId], ys: &[ValueId]) -> bool {
+        let mut it = ys.iter();
+        'outer: for x in xs {
+            for y in it.by_ref() {
+                match self.cmp(*y, *x) {
+                    Ordering::Less => continue,
+                    Ordering::Equal => continue 'outer,
+                    Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Union of two canonical slices, returned canonical (sorted merge).
+    pub fn set_union(&self, xs: &[ValueId], ys: &[ValueId]) -> Vec<ValueId> {
+        let mut out = Vec::with_capacity(xs.len() + ys.len());
+        let (mut i, mut j) = (0, 0);
+        while i < xs.len() && j < ys.len() {
+            match self.cmp(xs[i], ys[j]) {
+                Ordering::Less => {
+                    out.push(xs[i]);
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push(ys[j]);
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    out.push(xs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&xs[i..]);
+        out.extend_from_slice(&ys[j..]);
+        out
+    }
+
+    /// Difference `xs − ys` of canonical slices, returned canonical.
+    pub fn set_difference(&self, xs: &[ValueId], ys: &[ValueId]) -> Vec<ValueId> {
+        xs.iter()
+            .copied()
+            .filter(|x| !self.set_contains(ys, *x))
+            .collect()
+    }
+
+    /// Intersection of canonical slices, returned canonical.
+    pub fn set_intersection(&self, xs: &[ValueId], ys: &[ValueId]) -> Vec<ValueId> {
+        xs.iter()
+            .copied()
+            .filter(|x| self.set_contains(ys, *x))
+            .collect()
+    }
+
+    /// Intern every value of a row.
+    pub fn intern_row(&mut self, row: &[Value]) -> Box<[ValueId]> {
+        row.iter().map(|v| self.intern(v)).collect()
+    }
+
+    /// Resolve every id of a row.
+    pub fn resolve_row(&self, row: &[ValueId]) -> Vec<Value> {
+        row.iter().map(|id| self.resolve(*id)).collect()
+    }
+}
+
+/// A relation over interned rows: the id-level counterpart of
+/// [`Relation`], used by the engines' hot loops. Row dedup costs O(arity)
+/// hashing of ids instead of O(‖row‖) hashing of value trees.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IdRelation {
+    rows: HashSet<Box<[ValueId]>>,
+}
+
+impl IdRelation {
+    /// The empty relation.
+    pub fn new() -> Self {
+        IdRelation::default()
+    }
+
+    /// Intern every row of a value-level relation.
+    pub fn from_relation(interner: &mut Interner, rel: &Relation) -> Self {
+        IdRelation {
+            rows: rel.iter().map(|row| interner.intern_row(row)).collect(),
+        }
+    }
+
+    /// Resolve back to a value-level relation (the boundary conversion).
+    pub fn to_relation(&self, interner: &Interner) -> Relation {
+        Relation::from_rows(self.rows.iter().map(|row| interner.resolve_row(row)))
+    }
+
+    /// Insert a row; returns whether it was new.
+    pub fn insert(&mut self, row: Box<[ValueId]>) -> bool {
+        self.rows.insert(row)
+    }
+
+    /// Membership test: O(arity).
+    pub fn contains(&self, row: &[ValueId]) -> bool {
+        self.rows.contains(row)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate rows in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &[ValueId]> {
+        self.rows.iter().map(|r| r.as_ref())
+    }
+
+    /// Union in place; returns the number of newly added rows.
+    pub fn absorb(&mut self, other: &IdRelation) -> usize {
+        let before = self.rows.len();
+        self.rows.extend(other.rows.iter().cloned());
+        self.rows.len() - before
+    }
+
+    /// Rows sorted by the structural order on resolved values
+    /// (deterministic across runs).
+    pub fn sorted_rows(&self, interner: &Interner) -> Vec<&[ValueId]> {
+        let mut rows: Vec<&[ValueId]> = self.rows.iter().map(|r| r.as_ref()).collect();
+        rows.sort_unstable_by(|a, b| interner.cmp_slices(a, b));
+        rows
+    }
+
+    /// An order-independent digest of the relation's rows, used for PFP
+    /// cycle detection. Ids are canonical per value within one interner,
+    /// so hashing raw ids is sound (and deterministic within a run).
+    pub fn digest(&self) -> u64 {
+        let mut acc: u64 = 0;
+        for row in &self.rows {
+            let mut h = DefaultHasher::new();
+            row.hash(&mut h);
+            // XOR-combine so iteration order of the hash set is irrelevant.
+            acc ^= h.finish();
+        }
+        let mut h = DefaultHasher::new();
+        (self.rows.len() as u64).hash(&mut h);
+        acc ^ h.finish()
+    }
+}
+
+impl FromIterator<Box<[ValueId]>> for IdRelation {
+    fn from_iter<I: IntoIterator<Item = Box<[ValueId]>>>(iter: I) -> Self {
+        IdRelation {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::Limits;
+
+    fn a(i: u32) -> Value {
+        Value::Atom(Atom(i))
+    }
+
+    #[test]
+    fn equal_values_get_equal_ids() {
+        let mut int = Interner::new();
+        let v1 = Value::set([a(2), a(0), a(1), a(0)]);
+        let v2 = Value::set([a(0), a(1), a(2)]);
+        assert_eq!(int.intern(&v1), int.intern(&v2));
+        let t1 = Value::tuple([v1.clone(), a(3)]);
+        let t2 = Value::tuple([v2.clone(), a(3)]);
+        assert_eq!(int.intern(&t1), int.intern(&t2));
+        assert_ne!(int.intern(&v1), int.intern(&a(0)));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut int = Interner::new();
+        let vals = [
+            a(0),
+            Value::empty_set(),
+            Value::tuple([a(1), Value::set([a(2), Value::tuple([a(3), a(4)])])]),
+            Value::set([Value::set([a(0)]), Value::set([a(1), a(0)])]),
+        ];
+        for v in &vals {
+            let id = int.intern(v);
+            assert_eq!(&int.resolve(id), v);
+        }
+    }
+
+    #[test]
+    fn cmp_agrees_with_value_ord() {
+        let mut int = Interner::new();
+        let vals = [
+            a(0),
+            a(5),
+            Value::tuple([a(0)]),
+            Value::tuple([a(0), a(1)]),
+            Value::tuple([a(1)]),
+            Value::empty_set(),
+            Value::set([a(0)]),
+            Value::set([a(0), a(1)]),
+            Value::set([Value::tuple([a(0), a(1)])]),
+        ];
+        for x in &vals {
+            for y in &vals {
+                let ix = int.intern(x);
+                let iy = int.intern(y);
+                assert_eq!(int.cmp(ix, iy), x.cmp(y), "cmp mismatch on {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_ops_match_setvalue() {
+        let mut int = Interner::new();
+        let s = SetValue::from_values([a(0), a(1), Value::set([a(2)])]);
+        let t = SetValue::from_values([a(1), Value::set([a(2)]), a(3)]);
+        let sid = int.intern(&Value::Set(s.clone()));
+        let tid = int.intern(&Value::Set(t.clone()));
+        let se = int.set_elems(sid).unwrap().to_vec();
+        let te = int.set_elems(tid).unwrap().to_vec();
+
+        let union = int.set_union(&se, &te);
+        let uid = int.intern_set_presorted(union);
+        assert_eq!(int.resolve(uid), Value::Set(s.union(&t)));
+
+        let diff = int.set_difference(&se, &te);
+        let did = int.intern_set_presorted(diff);
+        assert_eq!(int.resolve(did), Value::Set(s.difference(&t)));
+
+        let inter = int.set_intersection(&se, &te);
+        let iid = int.intern_set_presorted(inter);
+        assert_eq!(int.resolve(iid), Value::Set(s.intersection(&t)));
+
+        assert!(int.set_is_subset(&int.set_intersection(&se, &te), &se));
+        assert!(!int.set_is_subset(&se, &te));
+        let a1 = int.intern(&a(1));
+        let a9 = int.intern(&a(9));
+        assert!(int.set_contains(&se, a1));
+        assert!(!int.set_contains(&se, a9));
+    }
+
+    #[test]
+    fn projection_is_one_based_and_constant_time() {
+        let mut int = Interner::new();
+        let t = int.intern(&Value::tuple([a(5), a(6)]));
+        assert_eq!(int.project(t, 1), Some(int.intern(&a(5))));
+        assert_eq!(int.project(t, 2), Some(int.intern(&a(6))));
+        assert_eq!(int.project(t, 0), None);
+        assert_eq!(int.project(t, 3), None);
+        assert_eq!(int.project(int.ids[&Node::Atom(Atom(5))], 1), None);
+    }
+
+    #[test]
+    fn bytes_grow_only_on_new_nodes() {
+        let mut int = Interner::new();
+        let big = Value::set((0..64).map(a));
+        let before = int.bytes();
+        assert_eq!(before, 0);
+        int.intern(&big);
+        let after_first = int.bytes();
+        assert!(after_first > 0);
+        int.intern(&big);
+        int.intern(&big.clone());
+        assert_eq!(
+            int.bytes(),
+            after_first,
+            "re-interning must not grow the arena"
+        );
+    }
+
+    #[test]
+    fn intern_charged_charges_growth_once() {
+        let mut int = Interner::new();
+        let g = Governor::new(Limits::unlimited());
+        let big = Value::set((0..64).map(a));
+        int.intern_charged(&g, "test", &big).unwrap();
+        let spent = g.mem_spent();
+        assert!(spent > 0);
+        // Re-interning the same value charges nothing further.
+        int.intern_charged(&g, "test", &big).unwrap();
+        assert_eq!(g.mem_spent(), spent);
+        // A shared subtree is charged only for the new wrapper node.
+        let wrapped = Value::tuple([big.clone(), big]);
+        int.intern_charged(&g, "test", &wrapped).unwrap();
+        assert!(g.mem_spent() - spent < spent, "shared subtree re-charged");
+    }
+
+    #[test]
+    fn intern_charged_surfaces_memory_error() {
+        let mut int = Interner::new();
+        let g = Governor::new(Limits {
+            max_memory_bytes: 32,
+            ..Limits::unlimited()
+        });
+        let big = Value::set((0..64).map(a));
+        let e = int.intern_charged(&g, "test", &big).unwrap_err();
+        assert_eq!(e.budget, crate::governor::BudgetKind::Memory);
+        assert_eq!(e.site, "test");
+    }
+
+    #[test]
+    fn id_relation_round_trips_and_dedups() {
+        let mut int = Interner::new();
+        let rel = Relation::from_rows([
+            vec![a(0), Value::set([a(1), a(2)])],
+            vec![a(1), Value::set([a(2), a(1)])],
+        ]);
+        let idr = IdRelation::from_relation(&mut int, &rel);
+        assert_eq!(idr.len(), 2);
+        assert_eq!(idr.to_relation(&int), rel);
+
+        let mut idr2 = idr.clone();
+        let dup = int.intern_row(&[a(0), Value::set([a(2), a(1)])]);
+        assert!(!idr2.insert(dup), "canonicalised duplicate must collapse");
+        assert_eq!(idr2.absorb(&idr), 0);
+    }
+
+    #[test]
+    fn id_relation_digest_detects_changes() {
+        let mut int = Interner::new();
+        let mut r = IdRelation::new();
+        let d0 = r.digest();
+        r.insert(int.intern_row(&[a(0), a(1)]));
+        let d1 = r.digest();
+        assert_ne!(d0, d1);
+        let mut r2 = IdRelation::new();
+        r2.insert(int.intern_row(&[a(0), a(1)]));
+        assert_eq!(
+            r2.digest(),
+            d1,
+            "digest must be iteration-order independent"
+        );
+    }
+
+    #[test]
+    fn sorted_rows_deterministic_structural_order() {
+        let mut int = Interner::new();
+        let mut r = IdRelation::new();
+        r.insert(int.intern_row(&[a(2)]));
+        r.insert(int.intern_row(&[a(0)]));
+        r.insert(int.intern_row(&[Value::set([a(0)])]));
+        let sorted: Vec<Value> = r
+            .sorted_rows(&int)
+            .into_iter()
+            .map(|row| int.resolve(row[0]))
+            .collect();
+        assert_eq!(sorted, vec![a(0), a(2), Value::set([a(0)])]);
+    }
+}

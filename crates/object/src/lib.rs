@@ -12,6 +12,8 @@
 //! * [`nat`] — the arbitrary-precision naturals backing that arithmetic;
 //! * [`hyper`] — the `hyper(i,k)` tower bound of Section 2;
 //! * [`instance`] — schemas, relations, instances, `|I|` vs `‖I‖`;
+//! * [`intern`] — the hash-consing arena giving every canonical value a
+//!   [`ValueId`] with O(1) equality, shared by all engine hot paths;
 //! * [`encoding`] — the standard TM-tape encoding of Figure 2, with a
 //!   decoder;
 //! * [`text`] — a human-readable database text format for tools and the
@@ -53,6 +55,7 @@ pub mod encoding;
 pub mod governor;
 pub mod hyper;
 pub mod instance;
+pub mod intern;
 pub mod nat;
 pub mod order;
 pub mod text;
@@ -63,6 +66,7 @@ pub use atom::{Atom, AtomOrder, Universe};
 pub use domain::{DomainError, DomainIter};
 pub use governor::{BudgetKind, Governor, Limits, ResourceError};
 pub use instance::{Instance, Relation, RelationSchema, Schema};
+pub use intern::{IdRelation, Interner, ValueId};
 pub use nat::Nat;
 pub use types::Type;
 pub use value::{SetValue, Value};

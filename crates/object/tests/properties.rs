@@ -1,12 +1,13 @@
 //! Property tests for the substrate: `Nat` arithmetic laws, canonical set
-//! invariants, induced-order/ranking coherence, and encoding round trips
-//! under random permuted enumerations.
+//! invariants, induced-order/ranking coherence, encoding round trips
+//! under random permuted enumerations, and the hash-consing interner's
+//! contract with structural `Value` semantics.
 
 use no_object::atom::{Atom, AtomOrder, Universe};
 use no_object::domain::{card, rank, unrank};
 use no_object::order::induced_cmp;
 use no_object::value::SetValue;
-use no_object::{Nat, Type, Value};
+use no_object::{Interner, Nat, Type, Value};
 use proptest::prelude::*;
 
 fn nat_strategy() -> impl Strategy<Value = Nat> {
@@ -147,5 +148,96 @@ proptest! {
             v1,
             v2
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `resolve ∘ intern` is the identity on values.
+    #[test]
+    fn intern_resolve_round_trips(v in small_value(3)) {
+        let mut int = Interner::new();
+        let id = int.intern(&v);
+        prop_assert_eq!(int.resolve(id), v);
+    }
+
+    /// Hash-consing: two values get the same id iff they are equal.
+    #[test]
+    fn id_equality_iff_value_equality(a in small_value(3), b in small_value(3)) {
+        let mut int = Interner::new();
+        let (ia, ib) = (int.intern(&a), int.intern(&b));
+        prop_assert_eq!(ia == ib, a == b);
+    }
+
+    /// `Interner::cmp` agrees with the derived structural order on `Value`
+    /// (the evaluator's dedup/sort order must not drift from the tree
+    /// order — raw id order intentionally carries no meaning).
+    #[test]
+    fn interner_cmp_agrees_with_value_ord(a in small_value(3), b in small_value(3)) {
+        let mut int = Interner::new();
+        let (ia, ib) = (int.intern(&a), int.intern(&b));
+        prop_assert_eq!(int.cmp(ia, ib), a.cmp(&b));
+    }
+
+    /// Interned set algebra commutes with `SetValue`'s: interning both
+    /// sides, applying the id-level operation, and resolving gives the
+    /// same value as operating on trees.
+    #[test]
+    fn interned_set_ops_agree_with_setvalue(
+        a in prop::collection::vec(small_value(2), 0..6),
+        b in prop::collection::vec(small_value(2), 0..6),
+        probe in small_value(2),
+    ) {
+        let (sa, sb) = (SetValue::from_values(a.clone()), SetValue::from_values(b.clone()));
+        let mut int = Interner::new();
+        let ia: Vec<_> = {
+            let id = int.intern(&Value::Set(sa.clone()));
+            int.set_elems(id).unwrap().to_vec()
+        };
+        let ib: Vec<_> = {
+            let id = int.intern(&Value::Set(sb.clone()));
+            int.set_elems(id).unwrap().to_vec()
+        };
+        let pid = int.intern(&probe);
+
+        prop_assert_eq!(int.set_contains(&ia, pid), sa.contains(&probe));
+        prop_assert_eq!(int.set_is_subset(&ia, &ib), sa.is_subset(&sb));
+
+        let resolve_set = |int: &Interner, ids: &[no_object::ValueId]| {
+            SetValue::from_values(ids.iter().map(|&i| int.resolve(i)).collect::<Vec<_>>())
+        };
+        prop_assert_eq!(resolve_set(&int, &int.set_union(&ia, &ib)), sa.union(&sb));
+        prop_assert_eq!(resolve_set(&int, &int.set_intersection(&ia, &ib)), sa.intersection(&sb));
+        prop_assert_eq!(resolve_set(&int, &int.set_difference(&ia, &ib)), sa.difference(&sb));
+    }
+
+    /// Interning is idempotent across orderings and duplications: the
+    /// canonical form enforced at intern time matches `SetValue`'s.
+    #[test]
+    fn intern_set_canonicalises(mut elems in prop::collection::vec(small_value(2), 0..6), seed in any::<u64>()) {
+        let mut int = Interner::new();
+        let canonical = int.intern(&Value::set(elems.clone()));
+        let len = elems.len();
+        if len > 1 {
+            let k = (seed as usize) % len;
+            elems.rotate_left(k);
+            let dup = elems[0].clone();
+            elems.push(dup);
+        }
+        let ids: Vec<_> = elems.iter().map(|e| int.intern(e)).collect();
+        prop_assert_eq!(int.intern_set(ids), canonical);
+    }
+
+    /// Arena growth is monotone and re-interning is free: interning the
+    /// same value twice adds no nodes and no bytes.
+    #[test]
+    fn reinterning_is_free(v in small_value(3)) {
+        let mut int = Interner::new();
+        let id = int.intern(&v);
+        let (nodes, bytes) = (int.len(), int.bytes());
+        prop_assert_eq!(int.intern(&v), id);
+        prop_assert_eq!(int.len(), nodes);
+        prop_assert_eq!(int.bytes(), bytes);
     }
 }

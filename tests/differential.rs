@@ -1,0 +1,261 @@
+//! Cross-engine differential harness.
+//!
+//! The repo carries five evaluators of the same query semantics: the
+//! active-domain CALC evaluator, the range-restricted safe evaluator
+//! (Theorem 5.1), the bottom-up algebra evaluator (translated to CALC via
+//! [`nestdb::algebra::to_query`]), and the Datalog¬ strategies (naive,
+//! semi-naive, stratified, simultaneous-IFP). Every query expressible in
+//! more than one of them is pushed through all of them here and the
+//! results must be *identical* — any divergence is a bug in one engine,
+//! and the disagreeing pair localises it.
+//!
+//! The second half repeats the exercise under starvation budgets: all
+//! engines must trip with a structured [`ResourceError`] — no panics, no
+//! hangs, no engine quietly returning a truncated answer.
+
+mod common;
+
+use common::*;
+use nestdb::algebra::{self, AlgebraError, Expr, Pred};
+use nestdb::core::error::{EvalConfig, EvalError};
+use nestdb::core::eval::{active_order, eval_query_with};
+use nestdb::core::ranges::{safe_eval, safe_eval_governed};
+use nestdb::datalog::{
+    eval_governed, eval_simultaneous, eval_stratified_governed, DTerm, Literal, Program,
+    ProgramError, SimEvalError, Strategy, StratifyError,
+};
+use nestdb::object::{Governor, Limits, Relation, Value};
+
+/// The Datalog¬ transitive-closure program over `G[U,U]`.
+fn tc_program() -> Program {
+    let mut p = Program::new();
+    p.declare("tc", vec![nestdb::object::Type::Atom; 2]);
+    p.rule(
+        "tc",
+        vec![DTerm::var("x"), DTerm::var("y")],
+        vec![Literal::Pos(
+            "G".into(),
+            vec![DTerm::var("x"), DTerm::var("y")],
+        )],
+    );
+    p.rule(
+        "tc",
+        vec![DTerm::var("x"), DTerm::var("y")],
+        vec![
+            Literal::Pos("tc".into(), vec![DTerm::var("x"), DTerm::var("z")]),
+            Literal::Pos("G".into(), vec![DTerm::var("z"), DTerm::var("y")]),
+        ],
+    );
+    p
+}
+
+/// Edge lists exercising distinct shapes: path, cycle, diamond-with-tail,
+/// self-loops, and a dense-ish tangle.
+fn graphs() -> Vec<Vec<(usize, usize)>> {
+    vec![
+        vec![(0, 1), (1, 2), (2, 3)],
+        vec![(0, 1), (1, 2), (2, 0)],
+        vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)],
+        vec![(0, 0), (1, 1), (0, 1)],
+        vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 1), (3, 4), (4, 0)],
+    ]
+}
+
+/// A suite of algebra expressions covering every operator at least once.
+fn operator_suite() -> Vec<Expr> {
+    vec![
+        Expr::rel("G"),
+        Expr::rel("G").select(Pred::EqCols(1, 2)),
+        Expr::rel("G").select(Pred::EqCols(1, 2).not()),
+        Expr::rel("G").project([1]),
+        Expr::rel("G").project([2, 1]),
+        Expr::rel("G")
+            .project([1])
+            .product(Expr::rel("G").project([2])),
+        Expr::rel("G").union(Expr::rel("G").project([2, 1])),
+        Expr::rel("G").difference(Expr::rel("G").project([2, 1])),
+        Expr::rel("G").intersect(Expr::rel("G").project([2, 1])),
+        Expr::rel("G").nest(2),
+        Expr::rel("G").nest(2).unnest(2),
+        Expr::rel("G").project([1]).powerset(),
+    ]
+}
+
+/// Every operator, three ways: algebra bottom-up, its CALC translation on
+/// the active-domain evaluator, and the same translation through range
+/// analysis — pairwise identical on every graph shape.
+#[test]
+fn algebra_calc_and_rr_agree_on_operator_suite() {
+    for edges in graphs() {
+        let (_u, _o, i) = graph_instance(5, &edges);
+        for expr in operator_suite() {
+            let a = algebra::eval(&expr, &i, &algebra::AlgebraConfig::default())
+                .unwrap_or_else(|e| panic!("algebra failed on {expr:?}: {e}"));
+            let q = algebra::to_query(&expr, i.schema()).expect("translatable");
+            let c = eval_query_with(&i, &q, EvalConfig::default())
+                .unwrap_or_else(|e| panic!("calc failed on {expr:?}: {e}"));
+            let r = safe_eval(&i, &q, EvalConfig::default())
+                .unwrap_or_else(|e| panic!("safe_eval failed on {expr:?}: {e}"));
+            assert_eq!(a, c, "algebra vs calc on {expr:?} over {edges:?}");
+            assert_eq!(c, r, "calc vs safe_eval on {expr:?} over {edges:?}");
+        }
+    }
+}
+
+/// Transitive closure through all five engines that can express recursion:
+/// CALC+IFP, safe eval of the same query, and the four Datalog strategies.
+#[test]
+fn transitive_closure_agrees_across_all_engines() {
+    for edges in graphs() {
+        let (u, _o, i) = graph_instance(5, &edges);
+        let q = tc_query();
+        let calc = eval_query_with(&i, &q, EvalConfig::default()).unwrap();
+        let rr = safe_eval(&i, &q, EvalConfig::default()).unwrap();
+        assert_eq!(calc, rr, "calc vs safe_eval over {edges:?}");
+
+        let p = tc_program();
+        let gov = Governor::unlimited();
+        let (naive, _) = eval_governed(&p, &i, Strategy::Naive, &gov).unwrap();
+        let (semi, _) = eval_governed(&p, &i, Strategy::SemiNaive, &gov).unwrap();
+        let strat = eval_stratified_governed(&p, &i, &gov).unwrap();
+        let order = active_order(&i, &q);
+        let sim = eval_simultaneous(&p, &[], &i, order, &gov).unwrap();
+        let _ = u;
+
+        assert_eq!(naive["tc"], calc, "naive datalog vs calc over {edges:?}");
+        assert_eq!(semi["tc"], calc, "semi-naive vs calc over {edges:?}");
+        assert_eq!(strat["tc"], calc, "stratified vs calc over {edges:?}");
+        assert_eq!(sim["tc"], calc, "simultaneous vs calc over {edges:?}");
+    }
+}
+
+/// Negation differential: `G` minus its reverse, as algebra difference, as
+/// CALC `∧¬`, and as a stratified Datalog¬ program.
+#[test]
+fn negation_agrees_across_algebra_calc_and_datalog() {
+    for edges in graphs() {
+        let (_u, _o, i) = graph_instance(5, &edges);
+        let expr = Expr::rel("G").difference(Expr::rel("G").project([2, 1]));
+        let a = algebra::eval(&expr, &i, &algebra::AlgebraConfig::default()).unwrap();
+        let q = algebra::to_query(&expr, i.schema()).unwrap();
+        let c = eval_query_with(&i, &q, EvalConfig::default()).unwrap();
+
+        let mut p = Program::new();
+        p.declare("asym", vec![nestdb::object::Type::Atom; 2]);
+        p.rule(
+            "asym",
+            vec![DTerm::var("x"), DTerm::var("y")],
+            vec![
+                Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")]),
+                Literal::Neg("G".into(), vec![DTerm::var("y"), DTerm::var("x")]),
+            ],
+        );
+        let d = eval_stratified_governed(&p, &i, &Governor::unlimited()).unwrap();
+
+        assert_eq!(a, c, "algebra vs calc over {edges:?}");
+        assert_eq!(c, d["asym"], "calc vs datalog over {edges:?}");
+    }
+}
+
+fn starvation_governor() -> Governor {
+    Governor::new(Limits {
+        max_steps: 25,
+        ..Limits::unlimited()
+    })
+}
+
+/// Under a starvation step budget every engine trips with a structured
+/// resource error: nothing panics, hangs, or silently truncates. (A
+/// trivially-small Ok would also be acceptable in principle, but the graph
+/// below needs far more than 25 evaluation steps in every engine, so here
+/// an Ok would mean the engine stopped counting its work.)
+#[test]
+fn starved_engines_trip_gracefully_and_none_diverge() {
+    let edges = vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 1), (3, 4), (4, 0)];
+    let (_u, _o, i) = graph_instance(5, &edges);
+    let q = tc_query();
+    let p = tc_program();
+
+    let err = {
+        let mut ev = nestdb::core::eval::Evaluator::with_governor(
+            &i,
+            active_order(&i, &q),
+            starvation_governor(),
+        );
+        ev.query(&q).unwrap_err()
+    };
+    assert!(matches!(err, EvalError::Resource(_)), "calc: {err}");
+
+    let err = safe_eval_governed(&i, &q, &starvation_governor()).unwrap_err();
+    assert!(matches!(err, EvalError::Resource(_)), "safe_eval: {err}");
+
+    let expr = Expr::rel("G").product(Expr::rel("G")).nest(4);
+    let err = algebra::eval_governed(&expr, &i, &starvation_governor()).unwrap_err();
+    assert!(matches!(err, AlgebraError::Resource(_)), "algebra: {err}");
+
+    for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+        let err = eval_governed(&p, &i, strategy, &starvation_governor()).unwrap_err();
+        assert!(
+            matches!(err, ProgramError::Resource(_)),
+            "{strategy:?}: {err}"
+        );
+    }
+
+    let err = eval_stratified_governed(&p, &i, &starvation_governor()).unwrap_err();
+    assert!(
+        matches!(err, StratifyError::Program(ProgramError::Resource(_))),
+        "stratified: {err}"
+    );
+
+    let err =
+        eval_simultaneous(&p, &[], &i, active_order(&i, &q), &starvation_governor()).unwrap_err();
+    assert!(
+        matches!(err, SimEvalError::Eval(EvalError::Resource(_))),
+        "simultaneous: {err}"
+    );
+}
+
+/// A starved engine that trips must leave the shared governor observable:
+/// the spent counters reflect work actually done, so a caller can report
+/// how far evaluation got. (Regression guard for the accounting rework —
+/// interning must not bypass the step meters.)
+#[test]
+fn starved_engines_report_spent_work() {
+    let edges = vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+    let (_u, _o, i) = graph_instance(5, &edges);
+    let gov = starvation_governor();
+    let _ = safe_eval_governed(&i, &tc_query(), &gov);
+    assert!(gov.steps_spent() > 0, "no work was metered");
+    // the meter increments before checking, so a trip reads limit + 1
+    assert!(gov.steps_spent() <= 26, "budget was overrun");
+}
+
+/// The nest query of Example 5.1 through safe eval and through the algebra
+/// `nest` operator — set-valued outputs must also be identical, which
+/// exercises canonical set form across both pipelines.
+#[test]
+fn nested_outputs_agree_between_safe_eval_and_algebra() {
+    let mut u = nestdb::object::Universe::new();
+    let (a, b, c) = (u.intern("a"), u.intern("b"), u.intern("c"));
+    let schema = nestdb::object::Schema::from_relations([nestdb::object::RelationSchema::new(
+        "P",
+        vec![nestdb::object::Type::Atom; 2],
+    )]);
+    let mut i = nestdb::object::Instance::empty(schema);
+    for (x, y) in [(a, b), (a, c), (b, b), (b, c)] {
+        i.insert("P", vec![Value::Atom(x), Value::Atom(y)]);
+    }
+    let alg = algebra::eval(
+        &Expr::rel("P").nest(2),
+        &i,
+        &algebra::AlgebraConfig::default(),
+    )
+    .unwrap();
+    let q = algebra::to_query(&Expr::rel("P").nest(2), i.schema()).unwrap();
+    let rr = safe_eval(&i, &q, EvalConfig::default()).unwrap();
+    let ad = eval_query_with(&i, &q, EvalConfig::default()).unwrap();
+    assert_eq!(alg, rr);
+    assert_eq!(rr, ad);
+    assert!(alg.iter().all(|row| matches!(row[1], Value::Set(_))));
+    let _: &Relation = &alg;
+}

@@ -1,0 +1,215 @@
+//! Golden snapshots of the concrete syntax: the printer's output for a
+//! fixed corpus of databases, queries, and Datalog programs is checked in
+//! under `tests/golden/` and compared byte-for-byte.
+//!
+//! The property tests in `parser_roundtrip.rs` prove `parse ∘ print` is
+//! the identity on random ASTs; these snapshots additionally pin the
+//! *concrete* output so an accidental formatting change (whitespace,
+//! precedence, parenthesisation) is caught even when it still round-trips.
+//!
+//! To refresh after an intentional syntax change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_roundtrip
+//! ```
+
+use nestdb::core::ast::{FixOp, Fixpoint, Formula, Term};
+use nestdb::core::eval::Query;
+use nestdb::core::parser::parse_query;
+use nestdb::core::print::Printer;
+use nestdb::datalog::parse_program;
+use nestdb::object::text::{parse_database, render_database};
+use nestdb::object::{Type, Universe};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compare `actual` against the checked-in snapshot `name`, or rewrite the
+/// snapshot when `UPDATE_GOLDEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {name} ({e}); create it with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        actual, expected,
+        "snapshot {name} drifted; if the change is intentional refresh with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Every `.no` database in `data/`: parse, render, snapshot — and the
+/// rendered text must itself parse back to the same rendering (fixpoint).
+#[test]
+fn database_corpus_snapshots() {
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("data");
+    let mut seen = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&data).unwrap().flatten().collect();
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("no") {
+            continue;
+        }
+        seen += 1;
+        let src = std::fs::read_to_string(&path).unwrap();
+        let mut u = Universe::new();
+        let (_schema, instance) =
+            parse_database(&src, &mut u).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        let rendered = render_database(&u, &instance);
+        let stem = path.file_name().unwrap().to_str().unwrap();
+        check_golden(&format!("{stem}.golden"), &rendered);
+
+        let mut u2 = Universe::new();
+        let (_s2, i2) = parse_database(&rendered, &mut u2).expect("rendering parses back");
+        assert_eq!(
+            render_database(&u2, &i2),
+            rendered,
+            "{stem}: rendering is not a fixpoint of parse ∘ render"
+        );
+    }
+    assert!(seen >= 2, "database corpus went missing from data/");
+}
+
+/// Every `.dl` program in `data/`: parse, print, snapshot, re-parse.
+#[test]
+fn datalog_corpus_snapshots() {
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("data");
+    let mut seen = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&data).unwrap().flatten().collect();
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("dl") {
+            continue;
+        }
+        seen += 1;
+        let src = std::fs::read_to_string(&path).unwrap();
+        let mut u = Universe::new();
+        let program = parse_program(&src, &mut u).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        let printed = program.to_string();
+        let stem = path.file_name().unwrap().to_str().unwrap();
+        check_golden(&format!("{stem}.golden"), &printed);
+
+        let mut u2 = Universe::new();
+        let back = parse_program(&printed, &mut u2).expect("printed program parses back");
+        assert_eq!(
+            back.to_string(),
+            printed,
+            "{stem}: printing is not a fixpoint of parse ∘ print"
+        );
+    }
+    assert!(seen >= 1, "datalog corpus went missing from data/");
+}
+
+/// A corpus of example queries spanning the whole formula grammar —
+/// quantifiers at set height 1, fixpoints, projections, constants,
+/// implication/iff precedence — printed and snapshotted together.
+#[test]
+fn query_corpus_snapshots() {
+    let pair = Type::tuple(vec![Type::Atom, Type::Atom]);
+    let tc_fix = Arc::new(Fixpoint {
+        op: FixOp::Ifp,
+        rel: "S".into(),
+        vars: vec![("fx".into(), Type::Atom), ("fy".into(), Type::Atom)],
+        body: Box::new(Formula::or([
+            Formula::Rel("G".into(), vec![Term::var("fx"), Term::var("fy")]),
+            Formula::exists(
+                "fz",
+                Type::Atom,
+                Formula::and([
+                    Formula::Rel("S".into(), vec![Term::var("fx"), Term::var("fz")]),
+                    Formula::Rel("G".into(), vec![Term::var("fz"), Term::var("fy")]),
+                ]),
+            ),
+        ])),
+    });
+    let corpus: Vec<(&str, Query)> = vec![
+        (
+            "asymmetric_edges",
+            Query::new(
+                vec![("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+                Formula::and([
+                    Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")]),
+                    Formula::Rel("G".into(), vec![Term::var("y"), Term::var("x")]).not(),
+                ]),
+            ),
+        ),
+        (
+            "transitive_closure_ifp",
+            Query::new(
+                vec![("u".into(), Type::Atom), ("v".into(), Type::Atom)],
+                Formula::FixApp(tc_fix, vec![Term::var("u"), Term::var("v")]),
+            ),
+        ),
+        (
+            "neighbourhood_nest",
+            Query::new(
+                vec![
+                    ("x".into(), Type::Atom),
+                    ("s".into(), Type::set(Type::Atom)),
+                ],
+                Formula::forall(
+                    "y",
+                    Type::Atom,
+                    Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")])
+                        .iff(Formula::In(Term::var("y"), Term::var("s"))),
+                ),
+            ),
+        ),
+        (
+            "projection_chain",
+            Query::new(
+                vec![("p".into(), pair.clone())],
+                Formula::and([
+                    Formula::Rel(
+                        "G".into(),
+                        vec![Term::var("p").proj(1), Term::var("p").proj(2)],
+                    ),
+                    Formula::Eq(Term::var("p").proj(1), Term::var("p").proj(2)).not(),
+                ]),
+            ),
+        ),
+        (
+            "subset_quantified",
+            Query::new(
+                vec![("X".into(), Type::set(Type::Atom))],
+                Formula::exists(
+                    "Y",
+                    Type::set(Type::Atom),
+                    Formula::and([
+                        Formula::Subset(Term::var("X"), Term::var("Y")),
+                        Formula::Rel("P".into(), vec![Term::var("Y")]),
+                    ])
+                    .implies(Formula::In(Term::var("z"), Term::var("X"))),
+                ),
+            ),
+        ),
+    ];
+
+    let printer = Printer::new();
+    let mut snapshot = String::new();
+    for (name, q) in &corpus {
+        let printed = printer.query(q);
+        let _ = writeln!(snapshot, "{name}: {printed}");
+
+        let mut u = Universe::new();
+        let back = parse_query(&printed, &mut u)
+            .unwrap_or_else(|e| panic!("{name}: printed query does not parse back: {e}"));
+        assert_eq!(&back, q, "{name}: parse ∘ print is not the identity");
+        assert_eq!(
+            printer.query(&back),
+            printed,
+            "{name}: printing is not a fixpoint"
+        );
+    }
+    check_golden("queries.golden", &snapshot);
+}
