@@ -17,10 +17,19 @@
 //! result resolved back to a [`Relation`] at the boundary.
 
 use crate::expr::{AlgebraError, Expr, Pred};
+use minipool::ThreadPool;
 use no_object::intern::{IdRelation, Interner, ValueId};
 use no_object::{Governor, Instance, Limits, Relation};
 use std::collections::HashMap;
 use std::time::Duration;
+
+/// Minimum product cell count before the evaluator bothers fanning a
+/// product out over the pool (below this, task setup dominates).
+const PARALLEL_PRODUCT_MIN_CELLS: u64 = 1024;
+
+/// Minimum powerset input cardinality before masks are fanned out
+/// (2^10 = 1024 output rows).
+const PARALLEL_POWERSET_MIN_ELEMS: usize = 10;
 
 /// Evaluation limits — a thin constructor over the shared [`Governor`].
 #[derive(Debug, Clone, PartialEq)]
@@ -92,10 +101,27 @@ pub fn eval_governed(
     instance: &Instance,
     governor: &Governor,
 ) -> Result<Relation, AlgebraError> {
+    eval_pooled(expr, instance, governor, &ThreadPool::sequential())
+}
+
+/// [`eval_governed`] with an explicit [`ThreadPool`]. The enumeration-heavy
+/// operators — product and powerset — fan their output loops out over the
+/// pool when the work is large enough to amortise task setup; all other
+/// operators run on the calling thread. At `threads == 1` evaluation is
+/// identical to previous releases. Results are identical at every
+/// parallelism level; under tight budgets the exact row at which a
+/// resource trip fires may differ when `threads > 1` because workers
+/// charge the governor concurrently.
+pub fn eval_pooled(
+    expr: &Expr,
+    instance: &Instance,
+    governor: &Governor,
+    pool: &ThreadPool,
+) -> Result<Relation, AlgebraError> {
     // typecheck up front so evaluation can assume well-formedness
     expr.output_types(instance.schema())?;
-    let mut interner = Interner::new();
-    let out = eval_i(expr, instance, governor, &mut interner)?;
+    let interner = Interner::new();
+    let out = eval_i(expr, instance, governor, &interner, pool)?;
     Ok(out.to_relation(&interner))
 }
 
@@ -125,14 +151,15 @@ fn eval_i(
     expr: &Expr,
     instance: &Instance,
     governor: &Governor,
-    int: &mut Interner,
+    int: &Interner,
+    pool: &ThreadPool,
 ) -> Result<IdRelation, AlgebraError> {
     governor.checkpoint("algebra.eval")?;
     let out = match expr {
         Expr::Rel(name) => IdRelation::from_relation(int, instance.relation(name)),
         Expr::Const(_, rows) => rows.iter().map(|r| int.intern_row(r)).collect(),
         Expr::Select(e, pred) => {
-            let input = eval_i(e, instance, governor, int)?;
+            let input = eval_i(e, instance, governor, int, pool)?;
             let mut out = IdRelation::new();
             for row in input.iter() {
                 if holds(pred, row, int) {
@@ -142,7 +169,7 @@ fn eval_i(
             out
         }
         Expr::Project(e, cols) => {
-            let input = eval_i(e, instance, governor, int)?;
+            let input = eval_i(e, instance, governor, int, pool)?;
             let mut out = IdRelation::new();
             for row in input.iter() {
                 let new: Vec<ValueId> = cols.iter().map(|&i| row[i - 1]).collect();
@@ -152,48 +179,70 @@ fn eval_i(
             out
         }
         Expr::Product(a, b) => {
-            let ra = eval_i(a, instance, governor, int)?;
-            let rb = eval_i(b, instance, governor, int)?;
+            let ra = eval_i(a, instance, governor, int, pool)?;
+            let rb = eval_i(b, instance, governor, int, pool)?;
             // check the product size before materialising anything
-            governor.check_range(
-                "algebra.product",
-                (ra.len() as u64).saturating_mul(rb.len() as u64),
-            )?;
-            let mut out = IdRelation::new();
-            for x in ra.iter() {
-                for y in rb.iter() {
-                    let mut row = x.to_vec();
-                    row.extend_from_slice(y);
-                    charge_row(governor, "algebra.product", row.len(), 0)?;
-                    out.insert(row.into_boxed_slice());
+            let cells = (ra.len() as u64).saturating_mul(rb.len() as u64);
+            governor.check_range("algebra.product", cells)?;
+            if pool.threads() > 1 && ra.len() >= 2 && cells >= PARALLEL_PRODUCT_MIN_CELLS {
+                // fan the left operand's rows out over the pool; each
+                // worker builds a partial product, merged at the end
+                let rows_a: Vec<&[ValueId]> = ra.iter().collect();
+                let spans = minipool::split(rows_a.len(), pool.threads());
+                let parts = pool.try_map(spans, |span| {
+                    let mut part = IdRelation::new();
+                    for x in &rows_a[span] {
+                        for y in rb.iter() {
+                            let mut row = x.to_vec();
+                            row.extend_from_slice(y);
+                            charge_row(governor, "algebra.product", row.len(), 0)?;
+                            part.insert(row.into_boxed_slice());
+                        }
+                    }
+                    Ok::<IdRelation, AlgebraError>(part)
+                })?;
+                let mut out = IdRelation::new();
+                for part in &parts {
+                    out.absorb(part);
                 }
+                out
+            } else {
+                let mut out = IdRelation::new();
+                for x in ra.iter() {
+                    for y in rb.iter() {
+                        let mut row = x.to_vec();
+                        row.extend_from_slice(y);
+                        charge_row(governor, "algebra.product", row.len(), 0)?;
+                        out.insert(row.into_boxed_slice());
+                    }
+                }
+                out
             }
-            out
         }
         Expr::Union(a, b) => {
-            let mut ra = eval_i(a, instance, governor, int)?;
-            let rb = eval_i(b, instance, governor, int)?;
+            let mut ra = eval_i(a, instance, governor, int, pool)?;
+            let rb = eval_i(b, instance, governor, int, pool)?;
             ra.absorb(&rb);
             ra
         }
         Expr::Difference(a, b) => {
-            let ra = eval_i(a, instance, governor, int)?;
-            let rb = eval_i(b, instance, governor, int)?;
+            let ra = eval_i(a, instance, governor, int, pool)?;
+            let rb = eval_i(b, instance, governor, int, pool)?;
             ra.iter()
                 .filter(|r| !rb.contains(r))
                 .map(|r| r.to_vec().into_boxed_slice())
                 .collect()
         }
         Expr::Intersect(a, b) => {
-            let ra = eval_i(a, instance, governor, int)?;
-            let rb = eval_i(b, instance, governor, int)?;
+            let ra = eval_i(a, instance, governor, int, pool)?;
+            let rb = eval_i(b, instance, governor, int, pool)?;
             ra.iter()
                 .filter(|r| rb.contains(r))
                 .map(|r| r.to_vec().into_boxed_slice())
                 .collect()
         }
         Expr::Nest(e, col) => {
-            let input = eval_i(e, instance, governor, int)?;
+            let input = eval_i(e, instance, governor, int, pool)?;
             let i = col - 1;
             // group by all other columns; id rows hash in O(arity)
             let mut groups: HashMap<Vec<ValueId>, Vec<ValueId>> = HashMap::new();
@@ -205,21 +254,15 @@ fn eval_i(
             }
             let mut out = IdRelation::new();
             for (mut key, vals) in groups {
-                let arena_before = int.bytes();
-                let set = int.intern_set(vals);
+                let (set, grown) = int.intern_set_with_growth(vals);
                 key.insert(i, set);
-                charge_row(
-                    governor,
-                    "algebra.nest",
-                    key.len(),
-                    int.bytes() - arena_before,
-                )?;
+                charge_row(governor, "algebra.nest", key.len(), grown)?;
                 out.insert(key.into_boxed_slice());
             }
             out
         }
         Expr::Unnest(e, col) => {
-            let input = eval_i(e, instance, governor, int)?;
+            let input = eval_i(e, instance, governor, int, pool)?;
             let i = col - 1;
             let mut out = IdRelation::new();
             for row in input.iter() {
@@ -238,7 +281,7 @@ fn eval_i(
             out
         }
         Expr::Powerset(e) => {
-            let input = eval_i(e, instance, governor, int)?;
+            let input = eval_i(e, instance, governor, int, pool)?;
             let n = input.len();
             // check the 2^n blowup before materialising anything
             if n >= 63 {
@@ -249,27 +292,47 @@ fn eval_i(
             // mask yields an already-canonical id slice
             let mut elems: Vec<ValueId> = input.iter().map(|row| row[0]).collect();
             elems.sort_unstable_by(|a, b| int.cmp(*a, *b));
-            let mut out = IdRelation::new();
-            for mask in 0u64..(1u64 << n) {
+            let emit = |mask: u64, out: &mut IdRelation| -> Result<(), AlgebraError> {
                 let members: Vec<ValueId> = elems
                     .iter()
                     .enumerate()
                     .filter(|(j, _)| (mask >> j) & 1 == 1)
                     .map(|(_, id)| *id)
                     .collect();
-                let arena_before = int.bytes();
-                let set = int.intern_set_presorted(members);
-                charge_row(governor, "algebra.powerset", 1, int.bytes() - arena_before)?;
+                let (set, grown) = int.intern_set_presorted_with_growth(members);
+                charge_row(governor, "algebra.powerset", 1, grown)?;
                 out.insert(vec![set].into_boxed_slice());
+                Ok(())
+            };
+            if pool.threads() > 1 && n >= PARALLEL_POWERSET_MIN_ELEMS {
+                // fan contiguous mask ranges out over the pool
+                let spans = minipool::split_u64(1u64 << n, pool.threads() as u64);
+                let parts = pool.try_map(spans, |span| {
+                    let mut part = IdRelation::new();
+                    for mask in span {
+                        emit(mask, &mut part)?;
+                    }
+                    Ok::<IdRelation, AlgebraError>(part)
+                })?;
+                let mut out = IdRelation::new();
+                for part in &parts {
+                    out.absorb(part);
+                }
+                out
+            } else {
+                let mut out = IdRelation::new();
+                for mask in 0u64..(1u64 << n) {
+                    emit(mask, &mut out)?;
+                }
+                out
             }
-            out
         }
     };
     guard(&out, governor)?;
     Ok(out)
 }
 
-fn holds(pred: &Pred, row: &[ValueId], int: &mut Interner) -> bool {
+fn holds(pred: &Pred, row: &[ValueId], int: &Interner) -> bool {
     match pred {
         Pred::EqCols(a, b) => row[a - 1] == row[b - 1],
         Pred::EqConst(a, v) => {
@@ -474,6 +537,35 @@ mod tests {
         match eval_governed(&Expr::rel("W"), &i, &g) {
             Err(AlgebraError::Resource(e)) => assert_eq!(e.budget, BudgetKind::Cancelled),
             other => panic!("expected a cancellation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pooled_matches_sequential() {
+        // a 12-element powerset (4096 rows) and a 3-way product both cross
+        // the parallel thresholds; the pooled result must be identical
+        let mut u = Universe::new();
+        let schema = Schema::from_relations([RelationSchema::new("E", vec![Type::Atom])]);
+        let mut i = Instance::empty(schema);
+        for k in 0..12 {
+            i.insert("E", vec![Value::Atom(u.intern(&format!("e{k}")))]);
+        }
+        let pow = Expr::rel("E").powerset();
+        let prod = Expr::rel("E")
+            .product(Expr::rel("E"))
+            .product(Expr::rel("E"));
+        for expr in [pow, prod] {
+            let seq = eval_governed(&expr, &i, &AlgebraConfig::default().governor()).unwrap();
+            for threads in [2, 4] {
+                let par = eval_pooled(
+                    &expr,
+                    &i,
+                    &AlgebraConfig::default().governor(),
+                    &ThreadPool::new(threads),
+                )
+                .unwrap();
+                assert_eq!(seq, par, "threads {threads}");
+            }
         }
     }
 

@@ -37,6 +37,6 @@ pub mod eval;
 pub mod expr;
 pub mod to_calc;
 
-pub use eval::{eval, eval_governed, AlgebraConfig};
+pub use eval::{eval, eval_governed, eval_pooled, AlgebraConfig};
 pub use expr::{AlgebraError, Expr, Pred};
 pub use to_calc::to_query;

@@ -119,7 +119,7 @@ fn powerset_tree(base: &[Value]) -> usize {
 
 /// All 2^n subsets through the interner: ids are sorted once up front,
 /// every mask is a presorted slice interned by id hashing alone.
-fn powerset_interned(int: &mut Interner, base: &[ValueId]) -> usize {
+fn powerset_interned(int: &Interner, base: &[ValueId]) -> usize {
     let mut sorted = base.to_vec();
     sorted.sort_by(|a, b| int.cmp(*a, *b));
     let n = sorted.len();
@@ -152,7 +152,7 @@ fn main() {
         .windows(2)
         .map(|w| (w[0].clone(), w[1].clone()))
         .collect();
-    let mut int = Interner::new();
+    let int = Interner::new();
     let id_edges: Vec<(ValueId, ValueId)> = edges
         .iter()
         .map(|(x, y)| (int.intern(x), int.intern(y)))
@@ -169,10 +169,10 @@ fn main() {
 
     // -- powerset of 14 nested-set elements -----------------------------
     let base: Vec<Value> = (100..114).map(|i| nested_node(&mut u, i)).collect();
-    let mut int = Interner::new();
+    let int = Interner::new();
     let base_ids: Vec<ValueId> = base.iter().map(|v| int.intern(v)).collect();
     let (tree_ms, n_tree) = best_of(reps, || powerset_tree(&base));
-    let (int_ms, n_int) = best_of(reps, || powerset_interned(&mut int, &base_ids));
+    let (int_ms, n_int) = best_of(reps, || powerset_interned(&int, &base_ids));
     assert_eq!(n_tree, n_int, "powerset variants disagree");
     rows.push(Row {
         name: "powerset_enumeration",

@@ -15,6 +15,7 @@
 
 use crate::ast::{FixOp, Fixpoint, Formula, Term, VarName};
 use crate::error::{EvalConfig, EvalError};
+use minipool::ThreadPool;
 use no_object::domain::{card, DomainIter};
 use no_object::governor::Governor;
 use no_object::intern::{IdRelation, Interner, ValueId};
@@ -135,12 +136,16 @@ pub struct Evaluator<'a> {
     order: AtomOrder,
     governor: Governor,
     intern: Interner,
+    /// Worker pool for the quantifier-enumeration hot loop. A sequential
+    /// pool (the default) reproduces single-threaded evaluation
+    /// bit-for-bit; see [`Evaluator::with_pool`].
+    pool: ThreadPool,
     /// Explicit (restricted-domain) ranges, interned at installation.
     ranges: HashMap<VarName, Arc<Vec<ValueId>>>,
     /// Lazily interned copies of the instance's relations.
-    base: HashMap<String, IdRelation>,
+    base: HashMap<String, Arc<IdRelation>>,
     /// Fixpoint relations currently in scope (innermost last).
-    aux: Vec<(String, IdRelation)>,
+    aux: Vec<(String, Arc<IdRelation>)>,
     /// Scope-context identifiers: every push of an auxiliary relation gets
     /// a fresh id, and popping restores the *parent's* id — so the
     /// top-level context keeps id 0 forever and fixpoints applied under
@@ -175,6 +180,7 @@ impl<'a> Evaluator<'a> {
             order,
             governor,
             intern: Interner::new(),
+            pool: ThreadPool::sequential(),
             ranges: HashMap::new(),
             base: HashMap::new(),
             aux: Vec::new(),
@@ -183,6 +189,43 @@ impl<'a> Evaluator<'a> {
             fix_cache: HashMap::new(),
             fix_cache_resolved: HashMap::new(),
             domain_cache: HashMap::new(),
+        }
+    }
+
+    /// Install a worker pool. With more than one thread, the outermost
+    /// variable of each head/fixpoint-stage enumeration is chunked across
+    /// workers; a sequential pool (the default) keeps the classic
+    /// single-threaded loop. Results are identical either way — the
+    /// answer set is a union over chunks and `IdRelation` is unordered —
+    /// but resource-trip *timing* can differ at `threads > 1` (workers
+    /// race to the shared budget).
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// A worker-private clone for parallel enumeration: shares the
+    /// interner arena and governor (both are concurrent handles), copies
+    /// the scope state (aux relations, caches, ranges), and downgrades the
+    /// pool to sequential so workers never fan out recursively.
+    fn fork(&self) -> Evaluator<'a> {
+        Evaluator {
+            instance: self.instance,
+            order: self.order.clone(),
+            governor: self.governor.clone(),
+            intern: self.intern.clone(),
+            pool: ThreadPool::sequential(),
+            ranges: self.ranges.clone(),
+            base: self.base.clone(),
+            aux: self.aux.clone(),
+            ctx_stack: self.ctx_stack.clone(),
+            // Worker-private context ids only key worker-private cache
+            // entries; fixpoints shared across workers are prewarmed into
+            // `fix_cache` before forking.
+            ctx_counter: self.ctx_counter,
+            fix_cache: self.fix_cache.clone(),
+            fix_cache_resolved: self.fix_cache_resolved.clone(),
+            domain_cache: self.domain_cache.clone(),
         }
     }
 
@@ -240,25 +283,101 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluate a query to its answer relation.
     pub fn query(&mut self, q: &Query) -> Result<Relation, EvalError> {
-        let mut out = IdRelation::new();
-        let mut env = IEnv::new();
-        self.enumerate_heads(&q.head, &q.body, &mut env, &mut Vec::new(), &mut out)?;
+        let out = self.enumerate_relation(&q.head, &q.body, "calc.answer")?;
         Ok(out.to_relation(&self.intern))
     }
 
-    fn enumerate_heads(
+    /// Enumerate all assignments of `vars` (over their ranges) satisfying
+    /// `body` — the shared driver behind query answering and fixpoint
+    /// stages. With a parallel pool, the first variable's range is chunked
+    /// across worker forks and the partial relations unioned; the
+    /// sequential path is the classic nested loop.
+    fn enumerate_relation(
         &mut self,
-        head: &[(VarName, Type)],
+        vars: &[(VarName, Type)],
         body: &Formula,
+        site: &'static str,
+    ) -> Result<IdRelation, EvalError> {
+        if self.pool.threads() > 1 {
+            if let Some(((v0, ty0), rest)) = vars.split_first() {
+                let range = self.range_of(v0, ty0)?;
+                if range.len() >= 2 {
+                    self.prewarm_for_fork(rest, body)?;
+                    let tasks: Vec<(Evaluator<'a>, std::ops::Range<usize>)> =
+                        minipool::split(range.len(), self.pool.threads())
+                            .into_iter()
+                            .map(|span| (self.fork(), span))
+                            .collect();
+                    let pool = self.pool.clone();
+                    let parts = pool.try_map(tasks, |(mut worker, span)| {
+                        let mut out = IdRelation::new();
+                        let mut env = IEnv::new();
+                        let mut row = Vec::with_capacity(rest.len() + 1);
+                        for &id in &range[span] {
+                            env.push((v0.clone(), id));
+                            row.push(id);
+                            let r = worker
+                                .enumerate_columns(rest, body, site, &mut env, &mut row, &mut out);
+                            row.pop();
+                            env.pop();
+                            r?;
+                        }
+                        Ok::<IdRelation, EvalError>(out)
+                    })?;
+                    let mut out = IdRelation::new();
+                    for part in &parts {
+                        out.absorb(part);
+                    }
+                    return Ok(out);
+                }
+            }
+        }
+        let mut out = IdRelation::new();
+        let mut env = IEnv::new();
+        let mut row = Vec::with_capacity(vars.len());
+        self.enumerate_columns(vars, body, site, &mut env, &mut row, &mut out)?;
+        Ok(out)
+    }
+
+    /// Materialise the state parallel workers will need *before* forking,
+    /// so it is computed once and shared instead of once per worker: the
+    /// ranges of the remaining enumeration variables and every *closed*
+    /// fixpoint of the body (one whose body's free variables are all its
+    /// own columns — in this engine fixpoint bodies cannot see enclosing
+    /// quantifier bindings, so any fixpoint that would evaluate without an
+    /// unbound-variable error is closed). Note this eagerly evaluates
+    /// fixpoints that a short-circuiting sequential pass might never
+    /// reach; results are unaffected, but resource accounting can differ
+    /// (documented in DESIGN.md §10).
+    fn prewarm_for_fork(
+        &mut self,
+        vars: &[(VarName, Type)],
+        body: &Formula,
+    ) -> Result<(), EvalError> {
+        for (v, ty) in vars {
+            self.range_of(v, ty)?;
+        }
+        let mut fixes = Vec::new();
+        collect_closed_fixpoints(body, &mut fixes);
+        for fix in fixes {
+            self.eval_fixpoint_i(&fix)?;
+        }
+        Ok(())
+    }
+
+    fn enumerate_columns(
+        &mut self,
+        vars: &[(VarName, Type)],
+        body: &Formula,
+        site: &'static str,
         env: &mut IEnv,
         row: &mut Vec<ValueId>,
         out: &mut IdRelation,
     ) -> Result<(), EvalError> {
-        match head.split_first() {
+        match vars.split_first() {
             None => {
                 if self.holds_i(body, env)? {
-                    self.governor
-                        .charge_mem("calc.answer", Self::row_bytes(row))?;
+                    self.governor.charge_mem(site, Self::row_bytes(row))?;
                     out.insert(row.clone().into_boxed_slice());
                 }
                 Ok(())
@@ -268,7 +387,7 @@ impl<'a> Evaluator<'a> {
                 for &id in range.iter() {
                     env.push((v.clone(), id));
                     row.push(id);
-                    let r = self.enumerate_heads(rest, body, env, row, out);
+                    let r = self.enumerate_columns(rest, body, site, env, row, out);
                     row.pop();
                     env.pop();
                     r?;
@@ -299,15 +418,18 @@ impl<'a> Evaluator<'a> {
         // Fault-injection / cancellation checkpoint for the range budget
         // (the Nat comparison above reports the richer var/ty context).
         self.governor.checkpoint("calc.range")?;
-        let arena_before = self.intern.bytes();
         let mut ids = Vec::new();
+        let mut grown: u64 = 0;
         for val in DomainIter::new(&self.order, ty)? {
-            ids.push(self.intern.intern(&val));
+            let (id, g) = self.intern.intern_with_growth(&val);
+            grown += g;
+            ids.push(id);
         }
         let values = Arc::new(ids);
-        // Charge the arena growth (each domain value admitted once) plus
-        // the id vector itself.
-        let bytes = (self.intern.bytes() - arena_before) + 8 * values.len() as u64;
+        // Charge the arena growth (each domain value admitted once, and
+        // attributed to the admitting call even when workers intern
+        // concurrently) plus the id vector itself.
+        let bytes = grown + 8 * values.len() as u64;
         self.governor.charge_mem("calc.domain", bytes)?;
         self.domain_cache.insert(ty.clone(), Arc::clone(&values));
         Ok(values)
@@ -418,8 +540,8 @@ impl<'a> Evaluator<'a> {
             if !self.base.contains_key(name) {
                 // Intern the stored relation once; input data is not
                 // charged against the memory budget.
-                let idr = IdRelation::from_relation(&mut self.intern, self.instance.relation(name));
-                self.base.insert(name.to_string(), idr);
+                let idr = IdRelation::from_relation(&self.intern, self.instance.relation(name));
+                self.base.insert(name.to_string(), Arc::new(idr));
             }
             return Ok(self.base[name].contains(row));
         }
@@ -448,17 +570,20 @@ impl<'a> Evaluator<'a> {
                 let rel = self.eval_fixpoint_i(fix)?;
                 // Unary fixpoints denote plain sets; wider ones, sets of
                 // tuples (see `Fixpoint::term_type`).
-                let arena_before = self.intern.bytes();
+                let mut grown: u64 = 0;
                 let elems: Vec<ValueId> = rel
                     .iter()
                     .map(|row| match row {
                         [single] => *single,
-                        _ => self.intern.intern_tuple(row.to_vec()),
+                        _ => {
+                            let (id, g) = self.intern.intern_tuple_with_growth(row.to_vec());
+                            grown += g;
+                            id
+                        }
                     })
                     .collect();
-                let set = self.intern.intern_set(elems);
-                self.governor
-                    .charge_mem("calc.eval", self.intern.bytes() - arena_before)?;
+                let (set, g) = self.intern.intern_set_with_growth(elems);
+                self.governor.charge_mem("calc.eval", grown + g)?;
                 Ok(set)
             }
         }
@@ -499,7 +624,7 @@ impl<'a> Evaluator<'a> {
     }
 
     fn compute_fixpoint(&mut self, fix: &Fixpoint) -> Result<IdRelation, EvalError> {
-        let mut current = IdRelation::new();
+        let mut current = Arc::new(IdRelation::new());
         let mut seen_states: HashSet<u64> = HashSet::new();
         let mut iters: u64 = 0;
         loop {
@@ -514,7 +639,7 @@ impl<'a> Evaluator<'a> {
                 }
                 FixOp::Pfp => next_stage,
             };
-            if next == current {
+            if next == *current {
                 return Ok(next);
             }
             if fix.op == FixOp::Pfp {
@@ -529,62 +654,67 @@ impl<'a> Evaluator<'a> {
                     });
                 }
             }
-            current = next;
+            current = Arc::new(next);
         }
     }
 
     /// One application `φ(J)`: all tuples over the column ranges whose
-    /// substitution satisfies the body with `S = J`.
+    /// substitution satisfies the body with `S = J`. Each stage is itself
+    /// an enumeration, so it parallelises through the same driver as the
+    /// answer loop (`J` is shared with workers by `Arc`, not cloned).
     fn apply_fixpoint_body(
         &mut self,
         fix: &Fixpoint,
-        j: &IdRelation,
+        j: &Arc<IdRelation>,
     ) -> Result<IdRelation, EvalError> {
-        self.aux.push((fix.rel.clone(), j.clone()));
+        self.aux.push((fix.rel.clone(), Arc::clone(j)));
         self.ctx_counter += 1;
         self.ctx_stack.push(self.ctx_counter);
-        let result = (|| {
-            let mut out = IdRelation::new();
-            let mut env = IEnv::new();
-            let mut row = Vec::new();
-            self.enumerate_fix_columns(&fix.vars, &fix.body, &mut env, &mut row, &mut out)?;
-            Ok(out)
-        })();
+        let result = self.enumerate_relation(&fix.vars, &fix.body, "calc.fixpoint.stage");
         self.aux.pop();
         self.ctx_stack.pop();
         result
     }
+}
 
-    fn enumerate_fix_columns(
-        &mut self,
-        vars: &[(VarName, Type)],
-        body: &Formula,
-        env: &mut IEnv,
-        row: &mut Vec<ValueId>,
-        out: &mut IdRelation,
-    ) -> Result<(), EvalError> {
-        match vars.split_first() {
-            None => {
-                if self.holds_i(body, env)? {
-                    self.governor
-                        .charge_mem("calc.fixpoint.stage", Self::row_bytes(row))?;
-                    out.insert(row.clone().into_boxed_slice());
-                }
-                Ok(())
-            }
-            Some(((v, ty), rest)) => {
-                let range = self.range_of(v, ty)?;
-                for &id in range.iter() {
-                    env.push((v.clone(), id));
-                    row.push(id);
-                    let r = self.enumerate_fix_columns(rest, body, env, row, out);
-                    row.pop();
-                    env.pop();
-                    r?;
-                }
-                Ok(())
-            }
+/// Collect the *closed* fixpoints of a formula — those whose body's free
+/// variables are all among their own columns, so they can be evaluated
+/// eagerly before forking parallel workers (see
+/// `Evaluator::prewarm_for_fork`). Does not descend into fixpoint bodies:
+/// evaluating an outer fixpoint computes its inner ones as needed.
+fn collect_closed_fixpoints(f: &Formula, out: &mut Vec<Arc<Fixpoint>>) {
+    fn term_fixes(t: &Term, out: &mut Vec<Arc<Fixpoint>>) {
+        match t {
+            Term::Fix(fix) => closed_entry(fix, out),
+            Term::Proj(inner, _) => term_fixes(inner, out),
+            Term::Const(_) | Term::Var(_) => {}
         }
+    }
+    fn closed_entry(fix: &Arc<Fixpoint>, out: &mut Vec<Arc<Fixpoint>>) {
+        let cols: HashSet<&str> = fix.vars.iter().map(|(v, _)| v.as_str()).collect();
+        if fix
+            .body
+            .free_vars()
+            .iter()
+            .all(|v| cols.contains(v.as_str()))
+        {
+            out.push(Arc::clone(fix));
+        }
+    }
+    match f {
+        Formula::Rel(_, ts) => ts.iter().for_each(|t| term_fixes(t, out)),
+        Formula::Eq(a, b) | Formula::In(a, b) | Formula::Subset(a, b) => {
+            term_fixes(a, out);
+            term_fixes(b, out);
+        }
+        Formula::FixApp(fix, ts) => {
+            closed_entry(fix, out);
+            ts.iter().for_each(|t| term_fixes(t, out));
+        }
+        _ => f
+            .children()
+            .into_iter()
+            .for_each(|c| collect_closed_fixpoints(c, out)),
     }
 }
 
@@ -993,6 +1123,48 @@ mod tests {
             with_cache,
             one_compute
         );
+    }
+
+    #[test]
+    fn parallel_pool_matches_sequential() {
+        let (_u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("b", "d")]);
+        let q = Query::new(
+            vec![("u".into(), Type::Atom), ("v".into(), Type::Atom)],
+            Formula::FixApp(tc_fixpoint(), vec![Term::var("u"), Term::var("v")]),
+        );
+        let seq = eval_query(&i, &q).unwrap();
+        for threads in [2, 4, 8] {
+            let order = active_order(&i, &q);
+            let mut ev = Evaluator::new(&i, order, EvalConfig::default())
+                .with_pool(ThreadPool::new(threads));
+            let par = ev.query(&q).unwrap();
+            assert_eq!(par, seq, "parallelism {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_pool_matches_sequential_on_set_heads() {
+        // Set-typed head variable: chunking splits a powerset-shaped range.
+        let (_u, i) = graph(&[("a", "b"), ("b", "c")]);
+        let q = Query::new(
+            vec![("X".into(), Type::set(Type::Atom))],
+            Formula::exists(
+                "x",
+                Type::Atom,
+                Formula::and([
+                    Formula::In(Term::var("x"), Term::var("X")),
+                    Formula::exists(
+                        "y",
+                        Type::Atom,
+                        Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")]),
+                    ),
+                ]),
+            ),
+        );
+        let seq = eval_query(&i, &q).unwrap();
+        let order = active_order(&i, &q);
+        let mut ev = Evaluator::new(&i, order, EvalConfig::default()).with_pool(ThreadPool::new(4));
+        assert_eq!(ev.query(&q).unwrap(), seq);
     }
 
     #[test]

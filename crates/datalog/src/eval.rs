@@ -22,6 +22,7 @@
 //! to [`Relation`]s at the boundary.
 
 use crate::program::{DTerm, Literal, Program, ProgramError, Rule};
+use minipool::ThreadPool;
 use no_object::intern::{IdRelation, Interner, ValueId};
 use no_object::{Governor, Instance, Relation};
 use std::collections::{BTreeMap, HashMap};
@@ -72,8 +73,62 @@ pub fn eval_governed(
     strategy: Strategy,
     governor: &Governor,
 ) -> Result<(Idb, EvalStats), ProgramError> {
+    eval_pooled(
+        program,
+        instance,
+        strategy,
+        governor,
+        &ThreadPool::sequential(),
+    )
+}
+
+/// A rule task's view of the delta: which body position (if any) is pinned
+/// to last round's delta, and the rows it is pinned to. Chunked tasks own
+/// their slice of the delta; unchunked tasks borrow the whole relation.
+enum Pin<'r> {
+    None,
+    Borrowed(usize, &'r IdRelation),
+    Owned(usize, IdRelation),
+}
+
+impl Pin<'_> {
+    fn get(&self) -> Option<(usize, &IdRelation)> {
+        match self {
+            Pin::None => None,
+            Pin::Borrowed(pos, rel) => Some((*pos, rel)),
+            Pin::Owned(pos, rel) => Some((*pos, rel)),
+        }
+    }
+}
+
+/// Split `rel` into at most `parts` non-empty relations covering its rows.
+fn partition_rows(rel: &IdRelation, parts: usize) -> Vec<IdRelation> {
+    let n = parts.clamp(1, rel.len().max(1));
+    let mut chunks = vec![IdRelation::new(); n];
+    for (i, row) in rel.iter().enumerate() {
+        chunks[i % n].insert(row.to_vec().into_boxed_slice());
+    }
+    chunks
+}
+
+/// [`eval_governed`] with an explicit [`ThreadPool`]. At `threads == 1` the
+/// round loop is executed exactly as in previous releases; at higher
+/// parallelism each round's rule evaluations — and, under semi-naive, each
+/// (rule, delta-position, delta-chunk) — become independent tasks fanned
+/// out over the pool, with worker-local outputs merged at the round
+/// barrier. Derived relations are identical at every parallelism level;
+/// [`EvalStats::joins`] and the exact step-fuel trip point may differ when
+/// `threads > 1` because chunked tasks re-scan the body prefix before the
+/// pinned literal.
+pub fn eval_pooled(
+    program: &Program,
+    instance: &Instance,
+    strategy: Strategy,
+    governor: &Governor,
+    pool: &ThreadPool,
+) -> Result<(Idb, EvalStats), ProgramError> {
     program.validate(instance.schema())?;
-    let mut interner = Interner::new();
+    let interner = Interner::new();
     // Intern the EDB once, as input data (uncharged).
     let edb: HashMap<String, IdRelation> = instance
         .schema()
@@ -81,7 +136,7 @@ pub fn eval_governed(
         .map(|r| {
             (
                 r.name.clone(),
-                IdRelation::from_relation(&mut interner, instance.relation(&r.name)),
+                IdRelation::from_relation(&interner, instance.relation(&r.name)),
             )
         })
         .collect();
@@ -101,42 +156,71 @@ pub fn eval_governed(
             .map(|k| (k.clone(), IdRelation::new()))
             .collect();
         let mut grew = false;
+        // Build this round's task list: one task per rule under naive
+        // evaluation (and in the first full round), one per delta-positive
+        // literal occurrence under semi-naive — split further into
+        // per-chunk tasks when the delta is large enough to share.
+        let mut tasks: Vec<(&Rule, Pin<'_>)> = Vec::new();
         for rule in &program.rules {
             let use_delta = strategy == Strategy::SemiNaive && stats.rounds > 1;
             if use_delta {
-                // evaluate once per delta-positive literal occurrence,
-                // pinning that literal to the delta relation
-                let delta_positions: Vec<usize> = rule
-                    .body
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, l)| match l {
-                        Literal::Pos(name, _) if idb.contains_key(name) => Some(i),
-                        _ => None,
-                    })
-                    .collect();
-                for pos in delta_positions {
-                    derive(
-                        rule,
-                        &edb,
-                        &idb,
-                        Some((pos, &delta)),
-                        &mut new_delta,
-                        &mut stats,
-                        governor,
-                        &mut interner,
-                    )?;
+                for (pos, lit) in rule.body.iter().enumerate() {
+                    let Literal::Pos(name, _) = lit else { continue };
+                    if !idb.contains_key(name) {
+                        continue;
+                    }
+                    let d = &delta[name];
+                    if pool.threads() > 1 && d.len() >= 2 {
+                        for chunk in partition_rows(d, pool.threads()) {
+                            tasks.push((rule, Pin::Owned(pos, chunk)));
+                        }
+                    } else {
+                        tasks.push((rule, Pin::Borrowed(pos, d)));
+                    }
                 }
             } else {
+                tasks.push((rule, Pin::None));
+            }
+        }
+        if pool.threads() > 1 && tasks.len() > 1 {
+            let results = pool.try_map(tasks, |(rule, pin)| {
+                let mut local: IdbI = program
+                    .idb
+                    .keys()
+                    .map(|k| (k.clone(), IdRelation::new()))
+                    .collect();
+                let mut local_stats = EvalStats::default();
                 derive(
                     rule,
                     &edb,
                     &idb,
-                    None,
+                    pin.get(),
+                    &mut local,
+                    &mut local_stats,
+                    governor,
+                    &interner,
+                )?;
+                Ok::<(IdbI, u64), ProgramError>((local, local_stats.joins))
+            })?;
+            for (local, joins) in results {
+                stats.joins += joins;
+                for (name, rel) in local {
+                    if !rel.is_empty() {
+                        new_delta.get_mut(&name).expect("declared IDB").absorb(&rel);
+                    }
+                }
+            }
+        } else {
+            for (rule, pin) in &tasks {
+                derive(
+                    rule,
+                    &edb,
+                    &idb,
+                    pin.get(),
                     &mut new_delta,
                     &mut stats,
                     governor,
-                    &mut interner,
+                    &interner,
                 )?;
             }
         }
@@ -173,11 +257,11 @@ fn derive(
     rule: &Rule,
     edb: &HashMap<String, IdRelation>,
     idb: &IdbI,
-    pinned: Option<(usize, &IdbI)>,
+    pinned: Option<(usize, &IdRelation)>,
     out: &mut IdbI,
     stats: &mut EvalStats,
     governor: &Governor,
-    int: &mut Interner,
+    int: &Interner,
 ) -> Result<(), ProgramError> {
     let mut env: HashMap<String, ValueId> = HashMap::new();
     search(
@@ -193,7 +277,7 @@ fn lookup_rel<'a>(
     idb.get(name).or_else(|| edb.get(name))
 }
 
-fn eval_term(t: &DTerm, env: &HashMap<String, ValueId>, int: &mut Interner) -> Option<ValueId> {
+fn eval_term(t: &DTerm, env: &HashMap<String, ValueId>, int: &Interner) -> Option<ValueId> {
     match t {
         // hash-consed: repeated constant evaluation is a map lookup
         DTerm::Const(c) => Some(int.intern(c)),
@@ -206,13 +290,13 @@ fn search(
     rule: &Rule,
     edb: &HashMap<String, IdRelation>,
     idb: &IdbI,
-    pinned: Option<(usize, &IdbI)>,
+    pinned: Option<(usize, &IdRelation)>,
     depth: usize,
     env: &mut HashMap<String, ValueId>,
     out: &mut IdbI,
     stats: &mut EvalStats,
     governor: &Governor,
-    int: &mut Interner,
+    int: &Interner,
 ) -> Result<(), ProgramError> {
     stats.joins += 1;
     governor.tick("datalog.search")?;
@@ -237,9 +321,7 @@ fn search(
     match lit {
         Literal::Pos(name, args) => {
             let rel = match pinned {
-                Some((pos, delta)) if pos == depth => {
-                    delta.get(name).expect("pinned literal is IDB")
-                }
+                Some((pos, drel)) if pos == depth => drel,
                 _ => match lookup_rel(name, edb, idb) {
                     Some(r) => r,
                     None => return Ok(()),
@@ -449,13 +531,13 @@ fn bind_and_continue(
     rule: &Rule,
     edb: &HashMap<String, IdRelation>,
     idb: &IdbI,
-    pinned: Option<(usize, &IdbI)>,
+    pinned: Option<(usize, &IdRelation)>,
     depth: usize,
     env: &mut HashMap<String, ValueId>,
     out: &mut IdbI,
     stats: &mut EvalStats,
     governor: &Governor,
-    int: &mut Interner,
+    int: &Interner,
     target: &DTerm,
     value: ValueId,
 ) -> Result<(), ProgramError> {
@@ -731,6 +813,21 @@ mod tests {
                 assert_eq!(e.budget, no_object::BudgetKind::Cancelled)
             }
             other => panic!("expected cancellation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pooled_matches_sequential() {
+        let (_u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("b", "a")]);
+        let (seq, _) =
+            eval_governed(&tc_program(), &i, Strategy::SemiNaive, &Governor::default()).unwrap();
+        for threads in [2, 4] {
+            for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+                let pool = ThreadPool::new(threads);
+                let (par, _) =
+                    eval_pooled(&tc_program(), &i, strategy, &Governor::default(), &pool).unwrap();
+                assert_eq!(seq, par, "threads {threads} {strategy:?}");
+            }
         }
     }
 

@@ -42,9 +42,13 @@ pub mod simultaneous;
 pub mod stratified;
 pub mod translate;
 
-pub use eval::{eval, eval_governed, EvalStats, Idb, Strategy};
+pub use eval::{eval, eval_governed, eval_pooled, EvalStats, Idb, Strategy};
 pub use parser::parse_program;
 pub use program::{DTerm, Literal, Program, ProgramError, Rule};
-pub use simultaneous::{eval_simultaneous, to_simultaneous_ifp, SimEvalError, Simultaneous};
-pub use stratified::{eval_stratified, eval_stratified_governed, stratify, StratifyError};
+pub use simultaneous::{
+    eval_simultaneous, eval_simultaneous_pooled, to_simultaneous_ifp, SimEvalError, Simultaneous,
+};
+pub use stratified::{
+    eval_stratified, eval_stratified_governed, eval_stratified_pooled, stratify, StratifyError,
+};
 pub use translate::{to_ifp, TranslateError};

@@ -121,6 +121,25 @@ pub fn eval_stratified_governed(
     instance: &Instance,
     governor: &Governor,
 ) -> Result<Idb, StratifyError> {
+    eval_stratified_pooled(
+        program,
+        instance,
+        governor,
+        &minipool::ThreadPool::sequential(),
+    )
+}
+
+/// [`eval_stratified_governed`] with an explicit [`minipool::ThreadPool`]:
+/// each stratum's inflationary fixpoint runs through
+/// [`crate::eval::eval_pooled`], so rule evaluation inside every stratum
+/// fans out over the pool (strata themselves stay sequential — each one
+/// negates over the previous ones, a hard dependency).
+pub fn eval_stratified_pooled(
+    program: &Program,
+    instance: &Instance,
+    governor: &Governor,
+    pool: &minipool::ThreadPool,
+) -> Result<Idb, StratifyError> {
     program.validate(instance.schema())?;
     let strata = stratify(program)?;
     // Evaluate one stratum at a time. Lower strata are *frozen*: their
@@ -142,7 +161,7 @@ pub fn eval_stratified_governed(
         governor
             .checkpoint("datalog.stratum")
             .map_err(|e| StratifyError::Program(ProgramError::Resource(e)))?;
-        let (idb, _) = crate::eval::eval_governed(&sub, &frozen, Strategy::SemiNaive, governor)
+        let (idb, _) = crate::eval::eval_pooled(&sub, &frozen, Strategy::SemiNaive, governor, pool)
             .map_err(StratifyError::Program)?;
         // freeze this stratum's results into the instance for the next one
         let mut schema = frozen.schema().clone();

@@ -1,4 +1,4 @@
-//! Hash-consed value interning.
+//! Hash-consed value interning over lock-sharded arenas.
 //!
 //! Every engine in the workspace manipulates [`Value`] trees, and the hot
 //! paths of Theorem 4.1-style evaluation — quantifier enumeration over type
@@ -28,37 +28,117 @@
 //! [`crate::order`] and is unrelated to id numbering; genericity tests
 //! check that query results do not depend on either internal order.
 //!
+//! # Concurrency: lock-sharded arenas
+//!
+//! The arena is split into [`NUM_SHARDS`] shards keyed by the node's hash;
+//! a [`ValueId`] packs the shard index into its high bits and the
+//! within-shard slot into the rest. Each shard serialises *writers* behind
+//! a mutex guarding its hash-consing map, while *readers* resolve ids
+//! entirely lock-free: nodes live in chained fixed-capacity segments
+//! (never reallocated, so `&Node` references — and the `&[ValueId]`
+//! slices handed out by [`Interner::set_elems`] / `tuple_elems` — are
+//! stable for the interner's lifetime), and a slot becomes visible only
+//! after its node is fully written (release store of the shard length /
+//! acquire load on the reader side; in practice readers hold ids, and an
+//! id only exists after its publishing store).
+//!
+//! All interning methods take `&self`: the interner is `Clone` (shared
+//! handle) + `Send` + `Sync` and can be hit from every worker of a thread
+//! pool concurrently. Structural equality of ids is unaffected by
+//! sharding: the shard index is a pure function of the node, so equal
+//! nodes land in the same shard and the same slot.
+//!
+//! Which *numeric* id a value receives now depends on admission order
+//! across threads — which is why `ValueId` is deliberately not `Ord` and
+//! no engine lets raw id order escape into results (see DESIGN.md §10 for
+//! the determinism argument).
+//!
 //! # Memory accounting
 //!
 //! The arena knows its own approximate footprint ([`Interner::bytes`]),
 //! which grows only when a *new* node is admitted. Engines charge the
-//! governor for arena *growth* rather than per-clone
-//! ([`Interner::intern_charged`]): materialising the same large object
-//! twice costs its bytes once, matching what the allocator actually does
-//! under hash-consing.
+//! governor for arena *growth* rather than per-clone. Under concurrency a
+//! "bytes before / bytes after" delta would attribute other threads'
+//! admissions to this call, so the interning entry points come in
+//! `*_with_growth` variants returning exactly the bytes *this* call
+//! admitted ([`Interner::intern_charged`] is built on them).
 
 use crate::atom::Atom;
 use crate::governor::{Governor, ResourceError};
 use crate::instance::Relation;
 use crate::value::{SetValue, Value};
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
 use std::cmp::Ordering;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
+
+/// Number of lock shards in the arena (a power of two).
+pub const NUM_SHARDS: usize = 1 << SHARD_BITS;
+
+const SHARD_BITS: u32 = 4;
+const SLOT_BITS: u32 = 32 - SHARD_BITS;
+const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
+
+/// log2 of the first segment's capacity; segment `s` holds `256 << s`
+/// nodes, so capacity doubles per segment and `NSEGS` segments cover the
+/// full `2^SLOT_BITS` slot space of a shard.
+const CHUNK_BITS: u32 = 8;
+const NSEGS: usize = 21;
+
+/// Capacity of segment `s`.
+fn seg_cap(s: usize) -> usize {
+    (1usize << CHUNK_BITS) << s
+}
+
+/// Map a within-shard slot to its (segment, offset) coordinates.
+///
+/// Slots `0..256` live in segment 0, the next `512` in segment 1, and so
+/// on doubling — so the segment index is the position of the top bit of
+/// `slot/256 + 1` and the arithmetic is branch-free.
+fn seg_of(slot: u32) -> (usize, usize) {
+    let v = (slot >> CHUNK_BITS) + 1;
+    let s = (31 - v.leading_zeros()) as usize;
+    let base = ((1u32 << s) - 1) << CHUNK_BITS;
+    (s, (slot - base) as usize)
+}
 
 /// A handle to an interned value: cheap to copy, O(1) equality and hash.
 ///
-/// Deliberately **not** `Ord`: raw id order is admission order, not the
-/// structural order on values. Use [`Interner::cmp`] for the structural
-/// comparison (it agrees with `Value`'s derived `Ord`), or
-/// [`crate::order`] for the paper's semantic order `<_T`.
+/// The high [`SHARD_BITS`](NUM_SHARDS) bits select the arena shard, the
+/// rest the within-shard slot. Deliberately **not** `Ord`: raw id order is
+/// admission order (and shard hash), not the structural order on values.
+/// Use [`Interner::cmp`] for the structural comparison (it agrees with
+/// `Value`'s derived `Ord`), or [`crate::order`] for the paper's semantic
+/// order `<_T`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ValueId(u32);
 
 impl ValueId {
-    /// The arena slot index of this id.
+    /// The raw packed handle (shard bits ∥ slot bits) as an index-like
+    /// integer. Opaque: useful only as a dense-ish map key or for
+    /// diagnostics.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The arena shard this id lives in (diagnostic; property tests use it
+    /// to assert cross-shard coverage).
+    pub fn shard(self) -> usize {
+        (self.0 >> SLOT_BITS) as usize
+    }
+
+    fn slot(self) -> u32 {
+        self.0 & SLOT_MASK
+    }
+
+    fn pack(shard: usize, slot: u32) -> ValueId {
+        debug_assert!(shard < NUM_SHARDS && slot <= SLOT_MASK);
+        ValueId(((shard as u32) << SLOT_BITS) | slot)
     }
 }
 
@@ -85,15 +165,165 @@ fn node_bytes(node: &Node) -> u64 {
     }
 }
 
+/// The shard a node belongs to: a pure function of the node's structure,
+/// so structurally equal nodes always land in the same shard regardless of
+/// which thread interns them first. `DefaultHasher::new()` is SipHash with
+/// fixed zero keys — deterministic across threads and runs.
+fn shard_of(node: &Node) -> usize {
+    let mut h = DefaultHasher::new();
+    node.hash(&mut h);
+    (h.finish() >> (64 - SHARD_BITS)) as usize
+}
+
+/// Writer-side state of a shard: the hash-consing map, guarded by the
+/// shard mutex. Slot allocation happens under the same lock.
+#[derive(Default)]
+struct ShardWriter {
+    ids: HashMap<Node, u32>,
+}
+
+/// One lock shard: a mutex for writers, lock-free segmented storage for
+/// readers.
+struct Shard {
+    writer: Mutex<ShardWriter>,
+    /// Chained segments of exponentially growing capacity. A non-null
+    /// pointer is an allocation of `seg_cap(s)` nodes of which the first
+    /// few (per `len`) are initialised.
+    segs: [AtomicPtr<Node>; NSEGS],
+    /// Number of initialised slots. Stored with `Release` after the slot's
+    /// node is written; readers that learn a slot number via any
+    /// synchronising channel (including the `Release`/`Acquire` pair on
+    /// this counter) observe the fully written node.
+    len: AtomicU32,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            writer: Mutex::new(ShardWriter::default()),
+            segs: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+            len: AtomicU32::new(0),
+        }
+    }
+
+    /// Lock-free read of an initialised slot.
+    ///
+    /// Safety: callers pass slots obtained from a `ValueId`, which only
+    /// exists after the publishing `Release` store; the `Acquire` load of
+    /// the segment pointer (stored before any node it contains) makes the
+    /// node's bytes visible.
+    fn node(&self, slot: u32) -> &Node {
+        debug_assert!(slot < self.len.load(AtomicOrdering::Acquire));
+        let (s, off) = seg_of(slot);
+        let p = self.segs[s].load(AtomicOrdering::Acquire);
+        debug_assert!(!p.is_null());
+        unsafe { &*p.add(off) }
+    }
+
+    /// Admit `node`, returning its slot and the arena growth in bytes
+    /// (0 for a hash-consing hit).
+    fn add(&self, node: Node) -> (u32, u64) {
+        let mut w = self.writer.lock().unwrap();
+        if let Some(&slot) = w.ids.get(&node) {
+            return (slot, 0);
+        }
+        let slot = self.len.load(AtomicOrdering::Relaxed);
+        assert!(slot < SLOT_MASK, "interner shard overflow");
+        let (s, off) = seg_of(slot);
+        let mut p = self.segs[s].load(AtomicOrdering::Relaxed);
+        if p.is_null() {
+            let layout = Layout::array::<Node>(seg_cap(s)).expect("segment layout");
+            p = unsafe { alloc(layout) } as *mut Node;
+            if p.is_null() {
+                handle_alloc_error(layout);
+            }
+            // Release: a reader that observes this pointer also observes
+            // the (empty) contents; individual nodes are published via
+            // `len` below.
+            self.segs[s].store(p, AtomicOrdering::Release);
+        }
+        let grown = node_bytes(&node);
+        // Write the node before publishing the slot. The map keeps its own
+        // clone of the node as key (same convention as the old Vec+HashMap
+        // layout).
+        unsafe { ptr::write(p.add(off), node.clone()) };
+        w.ids.insert(node, slot);
+        self.len.store(slot + 1, AtomicOrdering::Release);
+        (slot, grown)
+    }
+
+    fn len(&self) -> u32 {
+        self.len.load(AtomicOrdering::Acquire)
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        let len = self.len.load(AtomicOrdering::Acquire);
+        for slot in 0..len {
+            let (s, off) = seg_of(slot);
+            let p = self.segs[s].load(AtomicOrdering::Acquire);
+            unsafe { ptr::drop_in_place(p.add(off)) };
+        }
+        for (s, seg) in self.segs.iter().enumerate() {
+            let p = seg.load(AtomicOrdering::Acquire);
+            if !p.is_null() {
+                let layout = Layout::array::<Node>(seg_cap(s)).expect("segment layout");
+                unsafe { dealloc(p as *mut u8, layout) };
+            }
+        }
+    }
+}
+
+/// Shared arena state behind an `Arc`.
+struct ArenaInner {
+    shards: [Shard; NUM_SHARDS],
+    /// Approximate footprint; relaxed because it is a monotone statistic,
+    /// not a synchronisation channel.
+    bytes: AtomicU64,
+}
+
+// SAFETY: `Shard` owns raw segment pointers, which disables the auto
+// traits. All mutation (slot allocation, node writes, map inserts) happens
+// under the shard mutex; nodes are written exactly once, before the
+// `Release` store that publishes their slot, and are never moved or
+// dropped until the arena itself drops (which requires exclusive access).
+// Readers only dereference slots whose ids they hold, and an id reaches
+// another thread only through some synchronising transfer. `Node` itself
+// is `Send + Sync` (atoms and boxed id slices).
+unsafe impl Send for ArenaInner {}
+unsafe impl Sync for ArenaInner {}
+
 /// A hash-consing arena for complex-object values.
 ///
 /// The arena only grows; ids are valid for the lifetime of the interner
-/// that issued them and must not be mixed across interners.
-#[derive(Debug, Default)]
+/// that issued them and must not be mixed across interners. `Interner` is
+/// a shared handle (`Clone` is O(1)) and all interning methods take
+/// `&self` — it is safe to intern from many threads concurrently (see the
+/// module docs for the sharding scheme).
+#[derive(Clone)]
 pub struct Interner {
-    nodes: Vec<Node>,
-    ids: HashMap<Node, ValueId>,
-    bytes: u64,
+    arena: Arc<ArenaInner>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner {
+            arena: Arc::new(ArenaInner {
+                shards: std::array::from_fn(|_| Shard::new()),
+                bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .field("bytes", &self.bytes())
+            .finish()
+    }
 }
 
 impl Interner {
@@ -102,96 +332,150 @@ impl Interner {
         Interner::default()
     }
 
-    /// Number of distinct nodes admitted so far.
+    /// Number of distinct nodes admitted so far (across all shards).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.arena
+            .shards
+            .iter()
+            .map(|s| s.len() as usize)
+            .sum::<usize>()
     }
 
     /// True iff nothing has been interned.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     /// Approximate arena footprint in bytes. Grows monotonically, and only
     /// when a structurally new node is admitted.
     pub fn bytes(&self) -> u64 {
-        self.bytes
+        self.arena.bytes.load(AtomicOrdering::Relaxed)
     }
 
-    fn add(&mut self, node: Node) -> ValueId {
-        if let Some(&id) = self.ids.get(&node) {
-            return id;
+    fn node(&self, id: ValueId) -> &Node {
+        self.arena.shards[id.shard()].node(id.slot())
+    }
+
+    fn add_with_growth(&self, node: Node) -> (ValueId, u64) {
+        let shard = shard_of(&node);
+        let (slot, grown) = self.arena.shards[shard].add(node);
+        if grown > 0 {
+            self.arena.bytes.fetch_add(grown, AtomicOrdering::Relaxed);
         }
-        let id = ValueId(u32::try_from(self.nodes.len()).expect("interner arena overflow"));
-        self.bytes += node_bytes(&node);
-        self.nodes.push(node.clone());
-        self.ids.insert(node, id);
-        id
+        (ValueId::pack(shard, slot), grown)
+    }
+
+    fn add(&self, node: Node) -> ValueId {
+        self.add_with_growth(node).0
     }
 
     /// Intern an atomic constant.
-    pub fn intern_atom(&mut self, a: Atom) -> ValueId {
+    pub fn intern_atom(&self, a: Atom) -> ValueId {
         self.add(Node::Atom(a))
     }
 
     /// Intern a tuple from already-interned component ids.
-    pub fn intern_tuple(&mut self, components: Vec<ValueId>) -> ValueId {
+    pub fn intern_tuple(&self, components: Vec<ValueId>) -> ValueId {
+        self.intern_tuple_with_growth(components).0
+    }
+
+    /// [`intern_tuple`](Interner::intern_tuple), also returning the arena
+    /// growth in bytes caused by this call (0 on a hash-consing hit).
+    pub fn intern_tuple_with_growth(&self, components: Vec<ValueId>) -> (ValueId, u64) {
         debug_assert!(!components.is_empty(), "tuple values have arity >= 1");
-        self.add(Node::Tuple(components.into_boxed_slice()))
+        self.add_with_growth(Node::Tuple(components.into_boxed_slice()))
     }
 
     /// Intern a set from candidate element ids: sorts by the structural
     /// order and removes duplicates, enforcing the canonical-form
     /// invariant at intern time.
-    pub fn intern_set(&mut self, mut elems: Vec<ValueId>) -> ValueId {
+    pub fn intern_set(&self, elems: Vec<ValueId>) -> ValueId {
+        self.intern_set_with_growth(elems).0
+    }
+
+    /// [`intern_set`](Interner::intern_set), also returning the arena
+    /// growth in bytes caused by this call (0 on a hash-consing hit).
+    pub fn intern_set_with_growth(&self, mut elems: Vec<ValueId>) -> (ValueId, u64) {
         elems.sort_unstable_by(|a, b| self.cmp(*a, *b));
         elems.dedup();
-        self.add(Node::Set(elems.into_boxed_slice()))
+        self.add_with_growth(Node::Set(elems.into_boxed_slice()))
     }
 
     /// Intern a set whose element ids are already sorted by
     /// [`Interner::cmp`] and duplicate-free (e.g. a mask over an already
     /// canonical slice, as in powerset enumeration). Debug-asserts the
     /// invariant.
-    pub fn intern_set_presorted(&mut self, elems: Vec<ValueId>) -> ValueId {
+    pub fn intern_set_presorted(&self, elems: Vec<ValueId>) -> ValueId {
+        self.intern_set_presorted_with_growth(elems).0
+    }
+
+    /// [`intern_set_presorted`](Interner::intern_set_presorted), also
+    /// returning the arena growth in bytes caused by this call.
+    pub fn intern_set_presorted_with_growth(&self, elems: Vec<ValueId>) -> (ValueId, u64) {
         debug_assert!(
             elems
                 .windows(2)
                 .all(|w| self.cmp(w[0], w[1]) == Ordering::Less),
             "intern_set_presorted: ids not strictly sorted"
         );
-        self.add(Node::Set(elems.into_boxed_slice()))
+        self.add_with_growth(Node::Set(elems.into_boxed_slice()))
     }
 
     /// Intern a value tree, returning its canonical id.
-    pub fn intern(&mut self, v: &Value) -> ValueId {
+    pub fn intern(&self, v: &Value) -> ValueId {
+        self.intern_with_growth(v).0
+    }
+
+    /// [`intern`](Interner::intern), also returning the total arena growth
+    /// in bytes caused by this call (summed over all newly admitted
+    /// subtree nodes; 0 if the whole tree was already interned).
+    pub fn intern_with_growth(&self, v: &Value) -> (ValueId, u64) {
         match v {
-            Value::Atom(a) => self.intern_atom(*a),
+            Value::Atom(a) => self.add_with_growth(Node::Atom(*a)),
             Value::Tuple(vs) => {
-                let ids: Vec<ValueId> = vs.iter().map(|c| self.intern(c)).collect();
-                self.intern_tuple(ids)
+                let mut grown = 0;
+                let ids: Vec<ValueId> = vs
+                    .iter()
+                    .map(|c| {
+                        let (id, g) = self.intern_with_growth(c);
+                        grown += g;
+                        id
+                    })
+                    .collect();
+                let (id, g) = self.intern_tuple_with_growth(ids);
+                (id, grown + g)
             }
             Value::Set(s) => {
                 // `SetValue` is canonical (sorted by `Value`'s Ord, deduped)
                 // and `cmp` agrees with that order, so the id sequence is
                 // already sorted and duplicate-free.
-                let ids: Vec<ValueId> = s.iter().map(|c| self.intern(c)).collect();
-                self.intern_set_presorted(ids)
+                let mut grown = 0;
+                let ids: Vec<ValueId> = s
+                    .iter()
+                    .map(|c| {
+                        let (id, g) = self.intern_with_growth(c);
+                        grown += g;
+                        id
+                    })
+                    .collect();
+                let (id, g) = self.intern_set_presorted_with_growth(ids);
+                (id, grown + g)
             }
         }
     }
 
     /// Intern a value, charging the governor for *arena growth only*: the
     /// second interning of a structurally identical value costs nothing.
+    /// Growth is attributed per admitting call, so concurrent interning
+    /// from several workers never double-charges (each node's bytes are
+    /// charged by exactly one caller — the one whose insert admitted it).
     pub fn intern_charged(
-        &mut self,
+        &self,
         governor: &Governor,
         site: &'static str,
         v: &Value,
     ) -> Result<ValueId, ResourceError> {
-        let before = self.bytes;
-        let id = self.intern(v);
-        let grown = self.bytes - before;
+        let (id, grown) = self.intern_with_growth(v);
         if grown > 0 {
             governor.charge_mem(site, grown)?;
         }
@@ -200,7 +484,7 @@ impl Interner {
 
     /// Reconstruct the value tree behind an id.
     pub fn resolve(&self, id: ValueId) -> Value {
-        match &self.nodes[id.index()] {
+        match self.node(id) {
             Node::Atom(a) => Value::Atom(*a),
             Node::Tuple(ids) => Value::Tuple(ids.iter().map(|c| self.resolve(*c)).collect()),
             Node::Set(ids) => {
@@ -221,7 +505,7 @@ impl Interner {
         if a == b {
             return Ordering::Equal;
         }
-        match (&self.nodes[a.index()], &self.nodes[b.index()]) {
+        match (self.node(a), self.node(b)) {
             (Node::Atom(x), Node::Atom(y)) => x.cmp(y),
             (Node::Atom(_), _) => Ordering::Less,
             (_, Node::Atom(_)) => Ordering::Greater,
@@ -246,15 +530,16 @@ impl Interner {
 
     /// Is the id an atom? Returns the atom if so.
     pub fn as_atom(&self, id: ValueId) -> Option<Atom> {
-        match &self.nodes[id.index()] {
+        match self.node(id) {
             Node::Atom(a) => Some(*a),
             _ => None,
         }
     }
 
-    /// The component ids of a tuple, or `None` for non-tuples.
+    /// The component ids of a tuple, or `None` for non-tuples. The slice
+    /// borrows the arena directly (nodes have stable addresses).
     pub fn tuple_elems(&self, id: ValueId) -> Option<&[ValueId]> {
-        match &self.nodes[id.index()] {
+        match self.node(id) {
             Node::Tuple(ids) => Some(ids),
             _ => None,
         }
@@ -262,7 +547,7 @@ impl Interner {
 
     /// The canonical element ids of a set, or `None` for non-sets.
     pub fn set_elems(&self, id: ValueId) -> Option<&[ValueId]> {
-        match &self.nodes[id.index()] {
+        match self.node(id) {
             Node::Set(ids) => Some(ids),
             _ => None,
         }
@@ -270,7 +555,7 @@ impl Interner {
 
     /// Projection `v.i` with 1-based index `i`, as in the calculus: O(1).
     pub fn project(&self, id: ValueId, i: usize) -> Option<ValueId> {
-        match &self.nodes[id.index()] {
+        match self.node(id) {
             Node::Tuple(ids) if i >= 1 => ids.get(i - 1).copied(),
             _ => None,
         }
@@ -341,7 +626,7 @@ impl Interner {
     }
 
     /// Intern every value of a row.
-    pub fn intern_row(&mut self, row: &[Value]) -> Box<[ValueId]> {
+    pub fn intern_row(&self, row: &[Value]) -> Box<[ValueId]> {
         row.iter().map(|v| self.intern(v)).collect()
     }
 
@@ -366,7 +651,7 @@ impl IdRelation {
     }
 
     /// Intern every row of a value-level relation.
-    pub fn from_relation(interner: &mut Interner, rel: &Relation) -> Self {
+    pub fn from_relation(interner: &Interner, rel: &Relation) -> Self {
         IdRelation {
             rows: rel.iter().map(|row| interner.intern_row(row)).collect(),
         }
@@ -453,7 +738,7 @@ mod tests {
 
     #[test]
     fn equal_values_get_equal_ids() {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let v1 = Value::set([a(2), a(0), a(1), a(0)]);
         let v2 = Value::set([a(0), a(1), a(2)]);
         assert_eq!(int.intern(&v1), int.intern(&v2));
@@ -465,7 +750,7 @@ mod tests {
 
     #[test]
     fn resolve_round_trips() {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let vals = [
             a(0),
             Value::empty_set(),
@@ -480,7 +765,7 @@ mod tests {
 
     #[test]
     fn cmp_agrees_with_value_ord() {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let vals = [
             a(0),
             a(5),
@@ -503,7 +788,7 @@ mod tests {
 
     #[test]
     fn set_ops_match_setvalue() {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let s = SetValue::from_values([a(0), a(1), Value::set([a(2)])]);
         let t = SetValue::from_values([a(1), Value::set([a(2)]), a(3)]);
         let sid = int.intern(&Value::Set(s.clone()));
@@ -533,18 +818,19 @@ mod tests {
 
     #[test]
     fn projection_is_one_based_and_constant_time() {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let t = int.intern(&Value::tuple([a(5), a(6)]));
         assert_eq!(int.project(t, 1), Some(int.intern(&a(5))));
         assert_eq!(int.project(t, 2), Some(int.intern(&a(6))));
         assert_eq!(int.project(t, 0), None);
         assert_eq!(int.project(t, 3), None);
-        assert_eq!(int.project(int.ids[&Node::Atom(Atom(5))], 1), None);
+        let atom = int.intern(&a(5));
+        assert_eq!(int.project(atom, 1), None, "projection of a non-tuple");
     }
 
     #[test]
     fn bytes_grow_only_on_new_nodes() {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let big = Value::set((0..64).map(a));
         let before = int.bytes();
         assert_eq!(before, 0);
@@ -561,8 +847,19 @@ mod tests {
     }
 
     #[test]
+    fn intern_with_growth_attributes_admitted_bytes() {
+        let int = Interner::new();
+        let big = Value::set((0..64).map(a));
+        let (id1, g1) = int.intern_with_growth(&big);
+        assert_eq!(g1, int.bytes(), "first intern admits the whole tree");
+        let (id2, g2) = int.intern_with_growth(&big);
+        assert_eq!(id1, id2);
+        assert_eq!(g2, 0, "hash-consing hit grows nothing");
+    }
+
+    #[test]
     fn intern_charged_charges_growth_once() {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let g = Governor::new(Limits::unlimited());
         let big = Value::set((0..64).map(a));
         int.intern_charged(&g, "test", &big).unwrap();
@@ -579,7 +876,7 @@ mod tests {
 
     #[test]
     fn intern_charged_surfaces_memory_error() {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let g = Governor::new(Limits {
             max_memory_bytes: 32,
             ..Limits::unlimited()
@@ -592,12 +889,12 @@ mod tests {
 
     #[test]
     fn id_relation_round_trips_and_dedups() {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let rel = Relation::from_rows([
             vec![a(0), Value::set([a(1), a(2)])],
             vec![a(1), Value::set([a(2), a(1)])],
         ]);
-        let idr = IdRelation::from_relation(&mut int, &rel);
+        let idr = IdRelation::from_relation(&int, &rel);
         assert_eq!(idr.len(), 2);
         assert_eq!(idr.to_relation(&int), rel);
 
@@ -609,7 +906,7 @@ mod tests {
 
     #[test]
     fn id_relation_digest_detects_changes() {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let mut r = IdRelation::new();
         let d0 = r.digest();
         r.insert(int.intern_row(&[a(0), a(1)]));
@@ -626,7 +923,7 @@ mod tests {
 
     #[test]
     fn sorted_rows_deterministic_structural_order() {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let mut r = IdRelation::new();
         r.insert(int.intern_row(&[a(2)]));
         r.insert(int.intern_row(&[a(0)]));
@@ -637,5 +934,84 @@ mod tests {
             .map(|row| int.resolve(row[0]))
             .collect();
         assert_eq!(sorted, vec![a(0), a(2), Value::set([a(0)])]);
+    }
+
+    #[test]
+    fn segment_geometry_covers_slot_space() {
+        // (segment, offset) coordinates tile the slot space contiguously.
+        let mut expect = (0usize, 0usize);
+        for slot in 0u32..100_000 {
+            let (s, off) = seg_of(slot);
+            assert_eq!((s, off), expect, "slot {slot}");
+            expect = if off + 1 == seg_cap(s) {
+                (s + 1, 0)
+            } else {
+                (s, off + 1)
+            };
+        }
+        // The final segment reaches the full per-shard slot space.
+        let (s, off) = seg_of(SLOT_MASK - 1);
+        assert!(s < NSEGS, "slot space exceeds segment table");
+        assert!(off < seg_cap(s));
+    }
+
+    #[test]
+    fn ids_spread_across_shards_and_pack_round_trips() {
+        let int = Interner::new();
+        let mut shards_hit = [false; NUM_SHARDS];
+        for i in 0..512 {
+            let id = int.intern(&a(i));
+            assert!(id.shard() < NUM_SHARDS);
+            shards_hit[id.shard()] = true;
+            assert_eq!(int.resolve(id), a(i));
+        }
+        let hit = shards_hit.iter().filter(|h| **h).count();
+        assert!(hit > NUM_SHARDS / 2, "atoms landed in only {hit} shards");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees_with_sequential() {
+        // Hammer one interner from several threads with overlapping value
+        // sets; every thread must observe the same id for the same value,
+        // and resolution must round-trip.
+        let int = Interner::new();
+        let vals: Vec<Value> = (0..200)
+            .map(|i| Value::tuple([a(i % 17), Value::set((0..(i % 7)).map(a)), a(i)]))
+            .collect();
+        let ids: Vec<Vec<ValueId>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let int = int.clone();
+                    let vals = &vals;
+                    s.spawn(move || {
+                        let mut ids = Vec::new();
+                        // Each thread walks the values in a different
+                        // rotation (a bijection on indices).
+                        for k in 0..vals.len() {
+                            let idx = (k + t * 53) % vals.len();
+                            ids.push((idx, int.intern(&vals[idx])));
+                        }
+                        ids.sort_by_key(|(idx, _)| *idx);
+                        ids.into_iter().map(|(_, id)| id).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for per_thread in &ids[1..] {
+            assert_eq!(per_thread, &ids[0], "threads disagree on ids");
+        }
+        for (v, id) in vals.iter().zip(&ids[0]) {
+            assert_eq!(&int.resolve(*id), v);
+        }
+    }
+
+    #[test]
+    fn clone_shares_the_arena() {
+        let int = Interner::new();
+        let other = int.clone();
+        let id = other.intern(&a(7));
+        assert_eq!(int.resolve(id), a(7));
+        assert_eq!(int.len(), other.len());
     }
 }

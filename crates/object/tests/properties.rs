@@ -157,7 +157,7 @@ proptest! {
     /// `resolve ∘ intern` is the identity on values.
     #[test]
     fn intern_resolve_round_trips(v in small_value(3)) {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let id = int.intern(&v);
         prop_assert_eq!(int.resolve(id), v);
     }
@@ -165,7 +165,7 @@ proptest! {
     /// Hash-consing: two values get the same id iff they are equal.
     #[test]
     fn id_equality_iff_value_equality(a in small_value(3), b in small_value(3)) {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let (ia, ib) = (int.intern(&a), int.intern(&b));
         prop_assert_eq!(ia == ib, a == b);
     }
@@ -175,7 +175,7 @@ proptest! {
     /// order — raw id order intentionally carries no meaning).
     #[test]
     fn interner_cmp_agrees_with_value_ord(a in small_value(3), b in small_value(3)) {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let (ia, ib) = (int.intern(&a), int.intern(&b));
         prop_assert_eq!(int.cmp(ia, ib), a.cmp(&b));
     }
@@ -190,7 +190,7 @@ proptest! {
         probe in small_value(2),
     ) {
         let (sa, sb) = (SetValue::from_values(a.clone()), SetValue::from_values(b.clone()));
-        let mut int = Interner::new();
+        let int = Interner::new();
         let ia: Vec<_> = {
             let id = int.intern(&Value::Set(sa.clone()));
             int.set_elems(id).unwrap().to_vec()
@@ -216,7 +216,7 @@ proptest! {
     /// canonical form enforced at intern time matches `SetValue`'s.
     #[test]
     fn intern_set_canonicalises(mut elems in prop::collection::vec(small_value(2), 0..6), seed in any::<u64>()) {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let canonical = int.intern(&Value::set(elems.clone()));
         let len = elems.len();
         if len > 1 {
@@ -233,11 +233,60 @@ proptest! {
     /// same value twice adds no nodes and no bytes.
     #[test]
     fn reinterning_is_free(v in small_value(3)) {
-        let mut int = Interner::new();
+        let int = Interner::new();
         let id = int.intern(&v);
         let (nodes, bytes) = (int.len(), int.bytes());
         prop_assert_eq!(int.intern(&v), id);
         prop_assert_eq!(int.len(), nodes);
         prop_assert_eq!(int.bytes(), bytes);
+    }
+
+    /// Cross-shard coherence: structural comparison, resolution, and set
+    /// algebra are oblivious to which lock shard an id landed in. The ids
+    /// of a random value population span several shards (shard choice is a
+    /// hash of the node), and every pairwise `cmp` still agrees with the
+    /// tree order.
+    #[test]
+    fn cross_shard_ids_compare_structurally(vals in prop::collection::vec(small_value(3), 2..12)) {
+        let int = Interner::new();
+        let ids: Vec<_> = vals.iter().map(|v| int.intern(v)).collect();
+        for id in &ids {
+            prop_assert!(id.shard() < no_object::intern::NUM_SHARDS);
+        }
+        for (x, ix) in vals.iter().zip(&ids) {
+            for (y, iy) in vals.iter().zip(&ids) {
+                prop_assert_eq!(int.cmp(*ix, *iy), x.cmp(y), "{} vs {}", x, y);
+            }
+        }
+    }
+
+    /// Interning the same values from several threads yields the same ids
+    /// as interning them sequentially on one thread first: hash-consing is
+    /// stable under concurrent admission (sharding is a pure function of
+    /// the node, and each shard serialises its writers).
+    #[test]
+    fn concurrent_interning_is_coherent(vals in prop::collection::vec(small_value(2), 1..8)) {
+        let int = Interner::new();
+        let sequential: Vec<_> = vals.iter().map(|v| int.intern(v)).collect();
+        let concurrent: Vec<Vec<_>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|t| {
+                    let int = int.clone();
+                    let vals = &vals;
+                    s.spawn(move || {
+                        let mut ids: Vec<_> = (0..vals.len())
+                            .map(|k| (k + t) % vals.len())
+                            .map(|k| (k, int.intern(&vals[k])))
+                            .collect();
+                        ids.sort_by_key(|(k, _)| *k);
+                        ids.into_iter().map(|(_, id)| id).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for per_thread in concurrent {
+            prop_assert_eq!(&per_thread, &sequential);
+        }
     }
 }

@@ -1,0 +1,296 @@
+//! A minimal work-stealing thread pool built on `std::thread::scope`.
+//!
+//! The workspace has no crates.io access, so this vendored crate provides
+//! the tiny slice of a rayon-like API the evaluators need:
+//!
+//! * [`ThreadPool::try_map`] — apply a fallible function to every element
+//!   of a `Vec`, in parallel, returning results **in input order**;
+//! * [`split`] / [`split_u64`] — partition an index space into contiguous,
+//!   nearly-even chunks (the unit of work distribution).
+//!
+//! Design notes:
+//!
+//! * **Scoped tasks.** Workers are spawned inside `std::thread::scope`, so
+//!   closures may borrow from the caller's stack — no `'static` bounds, no
+//!   `Arc` plumbing for read-only inputs.
+//! * **Work stealing.** Each worker owns a deque seeded with a contiguous
+//!   block of input indices; it pops from the front of its own deque and,
+//!   when empty, steals from the back of a sibling's. Contiguous seeding
+//!   keeps cache locality for the common balanced case while stealing
+//!   absorbs skew.
+//! * **Determinism.** Results land in a slot table indexed by input
+//!   position, so the output `Vec` order never depends on scheduling. With
+//!   `threads <= 1` (or a single item) the map runs inline on the caller's
+//!   thread in input order, making the sequential configuration bit-for-bit
+//!   identical to a plain loop.
+//! * **Errors.** On the first observed error the pool sets a stop flag;
+//!   workers finish their in-flight item and exit. The reported error is
+//!   the smallest-index failure among those observed (items after the flag
+//!   is seen are simply never started, so a run is budget-bounded but the
+//!   winning error is stable for deterministic single-failure workloads).
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A handle describing how much parallelism to use.
+///
+/// The pool itself is stateless between calls — threads are spawned per
+/// [`try_map`](ThreadPool::try_map) invocation via `std::thread::scope` and
+/// joined before it returns, so a `ThreadPool` is cheap to clone and store.
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool that runs `threads` workers. Clamped to at least 1.
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool that always runs inline on the caller's thread.
+    pub fn sequential() -> Self {
+        ThreadPool { threads: 1 }
+    }
+
+    /// The configured worker count (always ≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every item, in parallel, returning the results in input
+    /// order. Stops early on the first error (see module docs for which
+    /// error wins when several workers fail concurrently).
+    ///
+    /// With `threads() <= 1` or fewer than two items this runs inline on
+    /// the caller's thread, left to right — bit-for-bit identical to a
+    /// sequential loop.
+    pub fn try_map<T, R, E>(
+        &self,
+        items: Vec<T>,
+        f: impl Fn(T) -> Result<R, E> + Sync,
+    ) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+    {
+        let len = items.len();
+        let workers = self.threads.min(len);
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(len);
+            for item in items {
+                out.push(f(item)?);
+            }
+            return Ok(out);
+        }
+
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+        let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+        let stop = AtomicBool::new(false);
+        let queues: Vec<Mutex<VecDeque<usize>>> = split(len, workers)
+            .into_iter()
+            .map(|r| Mutex::new(r.collect()))
+            .collect();
+
+        let worker = |me: usize| loop {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let job = queues[me].lock().unwrap().pop_front().or_else(|| {
+                // Own deque empty: steal from the back of a sibling's.
+                (0..queues.len())
+                    .filter(|&k| k != me)
+                    .find_map(|k| queues[k].lock().unwrap().pop_back())
+            });
+            let Some(job) = job else { return };
+            let Some(item) = slots[job].lock().unwrap().take() else {
+                continue;
+            };
+            match f(item) {
+                Ok(r) => *results[job].lock().unwrap() = Some(r),
+                Err(e) => {
+                    let mut slot = error.lock().unwrap();
+                    match &*slot {
+                        Some((prev, _)) if *prev <= job => {}
+                        _ => *slot = Some((job, e)),
+                    }
+                    stop.store(true, Ordering::Relaxed);
+                }
+            }
+        };
+
+        std::thread::scope(|s| {
+            let worker = &worker;
+            for me in 1..workers {
+                s.spawn(move || worker(me));
+            }
+            worker(0);
+        });
+
+        if let Some((_, e)) = error.into_inner().unwrap() {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("no error ⇒ every slot ran"))
+            .collect())
+    }
+
+    /// Infallible variant of [`try_map`](ThreadPool::try_map).
+    pub fn map<T, R>(&self, items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        enum Never {}
+        match self.try_map(items, |t| Ok::<R, Never>(f(t))) {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+}
+
+/// Partition `0..len` into at most `parts` contiguous, nearly-even,
+/// non-empty ranges. The concatenation of the ranges is exactly `0..len`.
+pub fn split(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.max(1).min(len);
+    let mut out = Vec::with_capacity(parts);
+    let (base, extra) = (len / parts, len % parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// [`split`] over a `u64` index space (used for powerset bitmask ranges,
+/// which can exceed `usize` expressiveness concerns on 32-bit hosts).
+pub fn split_u64(len: u64, parts: u64) -> Vec<Range<u64>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.max(1).min(len);
+    let mut out = Vec::with_capacity(parts as usize);
+    let (base, extra) = (len / parts, len % parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + u64::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn split_covers_exactly() {
+        for len in 0..40usize {
+            for parts in 1..10usize {
+                let ranges = split(len, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+                assert!(ranges.len() <= parts);
+            }
+        }
+    }
+
+    #[test]
+    fn split_u64_covers_exactly() {
+        let ranges = split_u64(1 << 20, 8);
+        assert_eq!(ranges.len(), 8);
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, 1 << 20);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let items: Vec<usize> = (0..1000).collect();
+            let out = pool.map(items, |x| x * 2);
+            assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_map_reports_smallest_observed_error() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let err = pool
+            .try_map(items, |x| if x == 37 { Err(x) } else { Ok(x) })
+            .unwrap_err();
+        assert_eq!(err, 37);
+    }
+
+    #[test]
+    fn try_map_runs_inline_when_sequential() {
+        let pool = ThreadPool::sequential();
+        let main = std::thread::current().id();
+        let out = pool
+            .try_map(vec![1, 2, 3], |x| {
+                assert_eq!(std::thread::current().id(), main);
+                Ok::<_, ()>(x + 1)
+            })
+            .unwrap();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn error_stops_remaining_work() {
+        let pool = ThreadPool::new(4);
+        let started = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..10_000).collect();
+        let res = pool.try_map(items, |x| {
+            started.fetch_add(1, Ordering::Relaxed);
+            if x == 0 {
+                Err(())
+            } else {
+                Ok(x)
+            }
+        });
+        assert!(res.is_err());
+        // Workers drain at most their in-flight item after the stop flag;
+        // the vast majority of the input is never started.
+        assert!(started.load(Ordering::Relaxed) < 10_000);
+    }
+
+    #[test]
+    fn stealing_balances_skewed_work() {
+        // One block is much more expensive; stealing must still finish and
+        // preserve order.
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let out = pool.map(items, |x| {
+            if x < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+    }
+}

@@ -325,9 +325,11 @@ pub(crate) mod string {
                             None => panic!("unterminated char class in {pat:?}"),
                             Some(']') => break,
                             Some('\\') => {
-                                set.push(chars.next().unwrap_or_else(|| {
-                                    panic!("dangling escape in {pat:?}")
-                                }));
+                                set.push(
+                                    chars
+                                        .next()
+                                        .unwrap_or_else(|| panic!("dangling escape in {pat:?}")),
+                                );
                             }
                             Some(lo) => {
                                 if chars.peek() == Some(&'-') {
@@ -543,7 +545,9 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// The `prop::` module alias (`prop::collection::vec`, `prop::sample::select`).
     pub mod prop {

@@ -17,4 +17,10 @@ pub use no_density as density;
 pub use no_object as object;
 pub use no_tm as tm;
 
+pub mod error;
+pub mod session;
 pub mod shell;
+
+pub use error::Error;
+pub use minipool::ThreadPool;
+pub use session::{Session, SessionBuilder};

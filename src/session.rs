@@ -1,0 +1,307 @@
+//! The [`Session`] facade: one handle over every evaluation engine.
+//!
+//! Historically each engine exposed its own free-function entry points
+//! (`eval_query_with`, `safe_eval_governed`, `datalog::eval_governed`,
+//! `algebra::eval_governed`, …) and callers wired governors and — since
+//! the parallel engine landed — thread pools into each one separately. A
+//! [`Session`] bundles that configuration once:
+//!
+//! ```
+//! use nestdb::Session;
+//! use nestdb::object::{Instance, RelationSchema, Schema, Type, Universe, Value};
+//!
+//! let mut u = Universe::new();
+//! let schema = Schema::from_relations([RelationSchema::new(
+//!     "G",
+//!     vec![Type::Atom, Type::Atom],
+//! )]);
+//! let mut db = Instance::empty(schema);
+//! let (a, b) = (u.intern("a"), u.intern("b"));
+//! db.insert("G", vec![Value::Atom(a), Value::Atom(b)]);
+//!
+//! let session = Session::builder().parallelism(4).build();
+//! let q = nestdb::core::parse_query("{[x:U, y:U] | G(x, y)}", &mut u).unwrap();
+//! let out = session.eval_calc(&db, &q).unwrap();
+//! assert_eq!(out.len(), 1);
+//! ```
+//!
+//! Every evaluation through one session draws from the *same* governor
+//! allowance — the cross-engine analogue of the rule that all strata of a
+//! stratified program share one budget. Callers wanting a fresh budget per
+//! query build a fresh session (construction is two `Arc` clones).
+//!
+//! The free functions remain available and are kept working — they are
+//! deprecated in favour of [`Session`] for new code, but existing examples
+//! and embeddings compile unchanged.
+
+use crate::error::Error;
+use minipool::ThreadPool;
+use no_algebra::Expr;
+use no_core::eval::{active_order, Evaluator};
+use no_core::Query;
+use no_datalog::{EvalStats, Idb, Program, Strategy};
+use no_object::{Governor, Instance, Limits, Relation, Type};
+
+/// Environment variable consulted for the default worker count when
+/// [`SessionBuilder::parallelism`] is not called. Unset, unparsable, or
+/// zero values fall back to `1` (sequential).
+pub const THREADS_ENV: &str = "NESTDB_THREADS";
+
+fn default_parallelism() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Configures and builds a [`Session`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    limits: Option<Limits>,
+    governor: Option<Governor>,
+    parallelism: Option<usize>,
+}
+
+impl SessionBuilder {
+    /// Budget limits for a session-owned governor. Ignored when an
+    /// explicit [`SessionBuilder::governor`] is supplied.
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Share an existing governor — e.g. to run session queries under the
+    /// same allowance as surrounding work, or to cancel the session from
+    /// another thread via [`Governor::cancel`].
+    pub fn governor(mut self, governor: Governor) -> Self {
+        self.governor = Some(governor);
+        self
+    }
+
+    /// Number of worker threads for the enumeration-heavy evaluation
+    /// loops. `1` (the default) evaluates exactly as the sequential
+    /// engines always have; values above `1` fan hot loops out over a
+    /// work-stealing pool. When not set, the [`THREADS_ENV`] environment
+    /// variable is consulted.
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = Some(threads.max(1));
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> Session {
+        let governor = self
+            .governor
+            .unwrap_or_else(|| Governor::new(self.limits.unwrap_or_else(Limits::unlimited)));
+        let pool = ThreadPool::new(self.parallelism.unwrap_or_else(default_parallelism));
+        Session { governor, pool }
+    }
+}
+
+/// A configured handle over all evaluation engines: one [`Governor`]
+/// (shared budget, cancellation) and one [`ThreadPool`] (parallelism),
+/// applied uniformly to CALC, Datalog¬ (inflationary, stratified, and
+/// simultaneous-fixpoint), and the algebra.
+#[derive(Debug, Clone)]
+pub struct Session {
+    governor: Governor,
+    pool: ThreadPool,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::builder().build()
+    }
+}
+
+impl Session {
+    /// Start configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The governor every evaluation in this session draws from.
+    pub fn governor(&self) -> &Governor {
+        &self.governor
+    }
+
+    /// The configured worker count.
+    pub fn parallelism(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Evaluate a CALC query under the active-domain semantics.
+    pub fn eval_calc(&self, instance: &Instance, query: &Query) -> Result<Relation, Error> {
+        let order = active_order(instance, query);
+        let mut ev = Evaluator::with_governor(instance, order, self.governor.clone())
+            .with_pool(self.pool.clone());
+        ev.query(query).map_err(Error::from)
+    }
+
+    /// Evaluate a CALC query under the restricted-domain semantics of
+    /// Theorem 5.1: compute ranges first, then enumerate only them.
+    pub fn eval_calc_safe(&self, instance: &Instance, query: &Query) -> Result<Relation, Error> {
+        no_core::ranges::safe_eval_pooled(instance, query, &self.governor, &self.pool)
+            .map_err(Error::from)
+    }
+
+    /// Evaluate a Datalog¬ program with inflationary semantics.
+    pub fn eval_datalog(
+        &self,
+        program: &Program,
+        instance: &Instance,
+        strategy: Strategy,
+    ) -> Result<(Idb, EvalStats), Error> {
+        no_datalog::eval_pooled(program, instance, strategy, &self.governor, &self.pool)
+            .map_err(Error::from)
+    }
+
+    /// Evaluate a Datalog¬ program with stratified semantics.
+    pub fn eval_datalog_stratified(
+        &self,
+        program: &Program,
+        instance: &Instance,
+    ) -> Result<Idb, Error> {
+        no_datalog::eval_stratified_pooled(program, instance, &self.governor, &self.pool)
+            .map_err(Error::from)
+    }
+
+    /// Evaluate a Datalog¬ program by translating it into one simultaneous
+    /// `IFP` fixpoint and running that on the CALC evaluator.
+    pub fn eval_datalog_simultaneous(
+        &self,
+        program: &Program,
+        body_var_types: &[(&str, Type)],
+        instance: &Instance,
+    ) -> Result<Idb, Error> {
+        let order = no_object::AtomOrder::new(instance.atoms().into_iter().collect());
+        no_datalog::eval_simultaneous_pooled(
+            program,
+            body_var_types,
+            instance,
+            order,
+            &self.governor,
+            &self.pool,
+        )
+        .map_err(Error::from)
+    }
+
+    /// Evaluate an algebra expression.
+    pub fn eval_algebra(&self, expr: &Expr, instance: &Instance) -> Result<Relation, Error> {
+        no_algebra::eval_pooled(expr, instance, &self.governor, &self.pool).map_err(Error::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_algebra::Pred;
+    use no_datalog::{DTerm, Literal};
+    use no_object::{RelationSchema, Schema, Universe, Value};
+
+    fn graph(edges: &[(&str, &str)]) -> (Universe, Instance) {
+        let mut u = Universe::new();
+        let schema =
+            Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
+        let mut i = Instance::empty(schema);
+        for (a, b) in edges {
+            let (a, b) = (u.intern(a), u.intern(b));
+            i.insert("G", vec![Value::Atom(a), Value::Atom(b)]);
+        }
+        (u, i)
+    }
+
+    fn tc_program() -> Program {
+        let mut p = Program::new();
+        p.declare("tc", vec![Type::Atom, Type::Atom]);
+        p.rule(
+            "tc",
+            vec![DTerm::var("x"), DTerm::var("y")],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
+        );
+        p.rule(
+            "tc",
+            vec![DTerm::var("x"), DTerm::var("y")],
+            vec![
+                Literal::Pos("tc".into(), vec![DTerm::var("x"), DTerm::var("z")]),
+                Literal::Pos("G".into(), vec![DTerm::var("z"), DTerm::var("y")]),
+            ],
+        );
+        p
+    }
+
+    #[test]
+    fn session_runs_every_engine() {
+        let (mut u, i) = graph(&[("a", "b"), ("b", "c")]);
+        for threads in [1, 4] {
+            let s = Session::builder().parallelism(threads).build();
+            assert_eq!(s.parallelism(), threads);
+            let q = no_core::parse_query("{[x:U, y:U] | G(x, y)}", &mut u).unwrap();
+            assert_eq!(s.eval_calc(&i, &q).unwrap().len(), 2);
+            assert_eq!(s.eval_calc_safe(&i, &q).unwrap().len(), 2);
+            let (idb, _) = s
+                .eval_datalog(&tc_program(), &i, Strategy::SemiNaive)
+                .unwrap();
+            assert_eq!(idb["tc"].len(), 3);
+            let idb = s.eval_datalog_stratified(&tc_program(), &i).unwrap();
+            assert_eq!(idb["tc"].len(), 3);
+            let idb = s
+                .eval_datalog_simultaneous(&tc_program(), &[("z", Type::Atom)], &i)
+                .unwrap();
+            assert_eq!(idb["tc"].len(), 3);
+            let e = Expr::rel("G").select(Pred::EqCols(1, 1));
+            assert_eq!(s.eval_algebra(&e, &i).unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn session_shares_one_budget_across_engines() {
+        let (_u, i) = graph(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        let s = Session::builder()
+            .limits(Limits {
+                max_steps: 60,
+                ..Limits::unlimited()
+            })
+            .build();
+        // datalog spends most of the fuel…
+        let first = s.eval_datalog(&tc_program(), &i, Strategy::SemiNaive);
+        // …so by some point an evaluation trips, and the trip is
+        // recognisable without matching engine-specific variants
+        let mut tripped = first.is_err();
+        for _ in 0..20 {
+            if tripped {
+                break;
+            }
+            tripped = s
+                .eval_algebra(&Expr::rel("G").product(Expr::rel("G")), &i)
+                .is_err();
+        }
+        assert!(tripped, "shared budget never tripped");
+        let err = s
+            .eval_datalog(&tc_program(), &i, Strategy::SemiNaive)
+            .unwrap_err();
+        assert!(err.is_resource_trip());
+    }
+
+    #[test]
+    fn cancellation_reaches_every_engine() {
+        let (mut u, i) = graph(&[("a", "b")]);
+        let g = Governor::default();
+        let s = Session::builder().governor(g.clone()).build();
+        g.cancel();
+        let q = no_core::parse_query("{[x:U, y:U] | G(x, y)}", &mut u).unwrap();
+        assert!(s.eval_calc(&i, &q).unwrap_err().is_resource_trip());
+        assert!(s
+            .eval_datalog(&tc_program(), &i, Strategy::Naive)
+            .unwrap_err()
+            .is_resource_trip());
+        assert!(s
+            .eval_algebra(&Expr::rel("G"), &i)
+            .unwrap_err()
+            .is_resource_trip());
+    }
+}

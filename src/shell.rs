@@ -15,11 +15,10 @@
 //! (range-restricted) evaluation by default, falling back to active
 //! domains per variable, under configurable budgets.
 
-use no_core::error::{EvalConfig, EvalError};
-use no_core::eval::{active_order, Evaluator};
+use crate::session::Session;
+use no_core::error::EvalConfig;
 use no_core::parser::parse_query;
 use no_core::print::Printer;
-use no_core::ranges::safe_eval_governed;
 use no_core::report::{classify, InputAssumption};
 use no_datalog as datalog;
 use no_object::text::{parse_database, render_database};
@@ -32,6 +31,7 @@ pub struct Shell {
     instance: Instance,
     config: EvalConfig,
     active_domain: bool,
+    threads: usize,
 }
 
 impl Shell {
@@ -42,7 +42,17 @@ impl Shell {
             instance: Instance::empty(Schema::new()),
             config: EvalConfig::default(),
             active_domain: false,
+            threads: 1,
         }
+    }
+
+    /// A fresh [`Session`] for one evaluation: current budgets as a fresh
+    /// governor allowance, current worker count.
+    fn session(&self) -> Session {
+        Session::builder()
+            .governor(self.config.governor())
+            .parallelism(self.threads)
+            .build()
     }
 
     /// Load a database file (text format), replacing the current one.
@@ -97,16 +107,15 @@ impl Shell {
     fn run_query(&mut self, src: &str) -> Result<String, String> {
         let query = parse_query(src, &mut self.universe).map_err(|e| e.to_string())?;
         let t = Instant::now();
-        let governor = self.config.governor();
+        let session = self.session();
         let result = if self.active_domain {
-            let order = active_order(&self.instance, &query);
-            Evaluator::with_governor(&self.instance, order, governor.clone()).query(&query)
+            session.eval_calc(&self.instance, &query)
         } else {
-            safe_eval_governed(&self.instance, &query, &governor)
+            session.eval_calc_safe(&self.instance, &query)
         };
-        let answer = result.map_err(|e| match e {
-            EvalError::Resource(ref r) => self.budget_diagnostic(&governor, r),
-            other => other.to_string(),
+        let answer = result.map_err(|e| match e.resource() {
+            Some(r) => self.budget_diagnostic(session.governor(), r),
+            None => e.to_string(),
         })?;
         let mut out = String::new();
         for row in answer.sorted_rows() {
@@ -214,15 +223,15 @@ impl Shell {
         let program =
             datalog::parse_program(&src, &mut self.universe).map_err(|e| e.to_string())?;
         let t = Instant::now();
-        let governor = self.config.governor();
+        let session = self.session();
+        let trip = |e: crate::error::Error| match e.resource() {
+            Some(r) => self.budget_diagnostic(session.governor(), r),
+            None => e.to_string(),
+        };
         let (idb, stats) = if stratified {
-            let idb = datalog::eval_stratified_governed(&program, &self.instance, &governor)
-                .map_err(|e| match e {
-                    datalog::StratifyError::Program(datalog::ProgramError::Resource(ref r)) => {
-                        self.budget_diagnostic(&governor, r)
-                    }
-                    other => other.to_string(),
-                })?;
+            let idb = session
+                .eval_datalog_stratified(&program, &self.instance)
+                .map_err(trip)?;
             let facts = idb.values().map(|r| r.len()).sum();
             (
                 idb,
@@ -233,16 +242,9 @@ impl Shell {
                 },
             )
         } else {
-            datalog::eval_governed(
-                &program,
-                &self.instance,
-                datalog::Strategy::SemiNaive,
-                &governor,
-            )
-            .map_err(|e| match e {
-                datalog::ProgramError::Resource(ref r) => self.budget_diagnostic(&governor, r),
-                other => other.to_string(),
-            })?
+            session
+                .eval_datalog(&program, &self.instance, datalog::Strategy::SemiNaive)
+                .map_err(trip)?
         };
         let mut out = String::new();
         for (name, rel) in &idb {
@@ -321,6 +323,17 @@ impl Shell {
                     }
                     Err(_) => Err(format!("not a number of milliseconds: {arg}")),
                 },
+                "threads" => match arg.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        self.threads = n;
+                        Ok(Some(format!(
+                            "worker threads set to {n}{}",
+                            if n == 1 { " (sequential)" } else { "" }
+                        )))
+                    }
+                    Ok(_) => Err("need at least 1 thread".to_string()),
+                    Err(_) => Err(format!("not a thread count: {arg}")),
+                },
                 "mem" => match arg.parse::<u64>() {
                     Ok(0) => {
                         self.config.max_memory_bytes = u64::MAX;
@@ -366,6 +379,7 @@ commands:
   :budget <n>        set the quantifier-range budget
   :deadline <ms>     wall-clock limit per evaluation (0 = unlimited)
   :mem <bytes>       memory budget for materialised values (0 = unlimited)
+  :threads <n>       worker threads for parallel evaluation (1 = sequential)
   :help  :quit";
 
 impl Default for Shell {
@@ -526,8 +540,28 @@ mod tests {
             ":budget",
             ":deadline",
             ":mem",
+            ":threads",
         ] {
             assert!(h.contains(cmd), "{h}");
         }
+    }
+
+    #[test]
+    fn threads_command_controls_parallelism() {
+        let mut sh = loaded_shell();
+        let out = sh.command(":threads 4").unwrap().unwrap();
+        assert!(out.contains('4'), "{out}");
+        assert_eq!(sh.threads, 4);
+        // queries and datalog still give the same answers at 4 workers
+        let out = sh.command("{[x:U, y:U] | G(x, y)}").unwrap().unwrap();
+        assert!(out.contains("3 rows"), "{out}");
+        sh.command(":active").unwrap();
+        let out = sh.command("{[x:U, y:U] | G(x, y)}").unwrap().unwrap();
+        assert!(out.contains("3 rows"), "{out}");
+        sh.command(":active").unwrap();
+        let out = sh.command(":threads 1").unwrap().unwrap();
+        assert!(out.contains("sequential"), "{out}");
+        assert!(sh.command(":threads 0").is_err());
+        assert!(sh.command(":threads many").is_err());
     }
 }
