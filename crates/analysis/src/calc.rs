@@ -1,0 +1,353 @@
+//! The CALC analyzer: parse → typecheck (all errors) → range-restriction
+//! trace → lints → certificate.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::{codes, Analysis};
+use no_core::report::{classify, InputAssumption};
+use no_core::typeck::TypeError;
+use no_core::{parse_query_spanned, rr, typeck, Formula, Query, SpanTable, Term};
+use no_object::{Schema, Universe};
+use std::collections::BTreeSet;
+
+/// Analyze CALC source text against a schema. Never fails: problems come
+/// back as diagnostics; a certificate is issued whenever the query is
+/// well-typed.
+pub fn analyze_calc(schema: &Schema, src: &str, universe: &mut Universe) -> Analysis {
+    match parse_query_spanned(src, universe) {
+        Ok((query, spans)) => analyze_query(schema, &query, &spans),
+        Err(e) => Analysis {
+            diagnostics: vec![
+                Diagnostic::new(codes::PARSE_CALC, Severity::Error, e.to_string())
+                    .with_span(e.span()),
+            ],
+            certificate: None,
+        },
+    }
+}
+
+/// Analyze an already-parsed query. `spans` anchors diagnostics to source
+/// bytes; pass `SpanTable::default()` for programmatically-built queries
+/// (diagnostics then carry no spans).
+pub fn analyze_query(schema: &Schema, query: &Query, spans: &SpanTable) -> Analysis {
+    let mut diagnostics = Vec::new();
+    let (checked, errors) = typeck::check_all(schema, &query.head, &query.body);
+    for e in &errors {
+        diagnostics.push(type_diag(e, spans));
+    }
+    if !errors.is_empty() {
+        // Without a trustworthy type profile there is no certificate; the
+        // partial `checked` is still useful for future lints but ⟨i,k⟩
+        // could be an under-approximation.
+        return Analysis {
+            diagnostics,
+            certificate: None,
+        };
+    }
+
+    unused_binders(&query.body, spans, &mut diagnostics);
+
+    let analysis = rr::analyze(schema, &checked.var_types, &query.body);
+    let report = classify(schema, query, InputAssumption::Unknown)
+        .expect("query typechecked; classify re-checks the same formula");
+    for v in &report.unrestricted_vars {
+        let span = spans.var(v);
+        diagnostics.push(
+            Diagnostic::new(
+                codes::RR_UNRESTRICTED,
+                Severity::Warning,
+                format!("variable {v} is not range restricted"),
+            )
+            .with_span_opt(span)
+            .with_citation("Definitions 5.2/5.3 (range restriction)")
+            .with_suggestion(format!(
+                "bind {v} through a relation atom, an equality with a restricted \
+                 variable or constant, or the grouping pattern ∀y (y ∈ {v} ⇔ φ)"
+            )),
+        );
+        // A set-typed unrestricted variable ranges over a powerset: the
+        // evaluator can only fall back to enumerating dom(T, D), whose
+        // cardinality is hyperexponential in the set height.
+        if let Some(ty) = checked.var_types.get(v) {
+            let (h, w) = (ty.set_height(), ty.tuple_width());
+            if h >= 1 {
+                diagnostics.push(
+                    Diagnostic::new(
+                        codes::LINT_HYPER_BLOWUP,
+                        Severity::Warning,
+                        format!(
+                            "enumerating {v}:{ty} ranges over all of dom({ty}, D) — \
+                             cost is bounded only by hyper({h},{w}) in ‖D‖"
+                        ),
+                    )
+                    .with_span_opt(span)
+                    .with_citation("Theorem 6.1 / Section 2 (hyper(i,k) domain bounds)")
+                    .with_suggestion(format!(
+                        "restrict {v} so evaluation stays within the ranges of Theorem 5.1"
+                    )),
+                );
+            }
+        }
+    }
+
+    let certificate = crate::Certificate::from_report(&report, &analysis.trace);
+    Analysis {
+        diagnostics,
+        certificate: Some(certificate),
+    }
+}
+
+/// Map a type error to a diagnostic with a stable code, a span anchored on
+/// the offending name where the span table knows one, and a suggestion.
+fn type_diag(e: &TypeError, spans: &SpanTable) -> Diagnostic {
+    let msg = e.to_string();
+    match e {
+        TypeError::UnknownRelation(r) => {
+            Diagnostic::new(codes::TY_UNKNOWN_RELATION, Severity::Error, msg)
+                .with_span_opt(spans.rel(r).or_else(|| spans.var(r)))
+                .with_suggestion(format!("declare {r} in the schema or check the spelling"))
+        }
+        TypeError::ArityMismatch { rel, expected, .. } => {
+            Diagnostic::new(codes::TY_ARITY, Severity::Error, msg)
+                .with_span_opt(spans.rel(rel))
+                .with_suggestion(format!("{rel} takes exactly {expected} arguments"))
+        }
+        TypeError::Mismatch { term, .. } => {
+            Diagnostic::new(codes::TY_MISMATCH, Severity::Error, msg)
+                .with_span_opt(var_in_term_debug(term).and_then(|v| spans.var(v)))
+        }
+        TypeError::UnboundVariable(v) => Diagnostic::new(codes::TY_UNBOUND, Severity::Error, msg)
+            .with_span_opt(spans.var(v))
+            .with_suggestion(format!(
+                "bind {v} with a quantifier or declare it in the query head"
+            )),
+        TypeError::VariableReuse(v) => {
+            Diagnostic::new(codes::TY_VARIABLE_REUSE, Severity::Error, msg)
+                .with_span_opt(spans.var(v))
+                .with_citation("Section 3 (variable convention)")
+                .with_suggestion(format!("rename one of the bindings of {v}"))
+        }
+        TypeError::NotATuple { term, .. } => {
+            Diagnostic::new(codes::TY_NOT_A_TUPLE, Severity::Error, msg)
+                .with_span_opt(var_in_term_debug(term).and_then(|v| spans.var(v)))
+        }
+        TypeError::ProjOutOfRange { .. } => {
+            Diagnostic::new(codes::TY_PROJ_RANGE, Severity::Error, msg)
+                .with_suggestion("projection indices are 1-based".to_string())
+        }
+        TypeError::NotASet { term, .. } => {
+            Diagnostic::new(codes::TY_NOT_A_SET, Severity::Error, msg)
+                .with_span_opt(var_in_term_debug(term).and_then(|v| spans.var(v)))
+        }
+        TypeError::FixpointFreeVar { rel, var } => {
+            Diagnostic::new(codes::TY_FIX_FREE_VAR, Severity::Error, msg)
+                .with_span_opt(spans.var(var).or_else(|| spans.rel(rel)))
+                .with_citation("Definition 3.1 (fixpoint bodies close over their columns)")
+                .with_suggestion(format!("add {var} to the columns of {rel} or quantify it"))
+        }
+        TypeError::AmbiguousConstants(_) => {
+            Diagnostic::new(codes::TY_AMBIGUOUS_CONST, Severity::Error, msg).with_suggestion(
+                "compare one of the constants against a typed variable instead".to_string(),
+            )
+        }
+    }
+}
+
+/// Extract the first variable name from a `Term` debug rendering, e.g.
+/// `Var("x")` inside `Proj(Var("t"), 2)` — best-effort span anchoring for
+/// errors that only carry a rendered term.
+fn var_in_term_debug(term: &str) -> Option<&str> {
+    let i = term.find("Var(\"")? + 5;
+    let rest = &term[i..];
+    let j = rest.find('"')?;
+    Some(&rest[..j])
+}
+
+/// Variables *used* in the terms of a formula (not binders), without
+/// descending into fixpoint bodies (those close over their own columns, so
+/// an outer binder can never be used there).
+fn used_vars(f: &Formula, out: &mut BTreeSet<String>) {
+    fn term(t: &Term, out: &mut BTreeSet<String>) {
+        match t {
+            Term::Var(v) => {
+                out.insert(v.clone());
+            }
+            Term::Proj(inner, _) => term(inner, out),
+            _ => {}
+        }
+    }
+    match f {
+        Formula::Rel(_, ts) | Formula::FixApp(_, ts) => ts.iter().for_each(|t| term(t, out)),
+        Formula::Eq(a, b) | Formula::In(a, b) | Formula::Subset(a, b) => {
+            term(a, out);
+            term(b, out);
+        }
+        _ => f.children().into_iter().for_each(|c| used_vars(c, out)),
+    }
+}
+
+/// LINT001: a quantifier binds a variable that never occurs in its body.
+fn unused_binders(f: &Formula, spans: &SpanTable, diags: &mut Vec<Diagnostic>) {
+    match f {
+        Formula::Exists(x, _, g) | Formula::Forall(x, _, g) => {
+            let mut used = BTreeSet::new();
+            used_vars(g, &mut used);
+            if !used.contains(x) {
+                diags.push(
+                    Diagnostic::new(
+                        codes::LINT_UNUSED_VAR,
+                        Severity::Warning,
+                        format!("bound variable {x} is never used"),
+                    )
+                    .with_span_opt(spans.var(x))
+                    .with_suggestion(format!("remove the quantifier binding {x}")),
+                );
+            }
+            unused_binders(g, spans, diags);
+        }
+        Formula::Rel(_, ts) | Formula::FixApp(_, ts) => {
+            for t in ts {
+                term_fix_binders(t, spans, diags);
+            }
+            if let Formula::FixApp(fix, _) = f {
+                unused_binders(&fix.body, spans, diags);
+            }
+        }
+        Formula::Eq(a, b) | Formula::In(a, b) | Formula::Subset(a, b) => {
+            term_fix_binders(a, spans, diags);
+            term_fix_binders(b, spans, diags);
+        }
+        _ => f
+            .children()
+            .into_iter()
+            .for_each(|c| unused_binders(c, spans, diags)),
+    }
+}
+
+fn term_fix_binders(t: &Term, spans: &SpanTable, diags: &mut Vec<Diagnostic>) {
+    match t {
+        Term::Fix(fix) => unused_binders(&fix.body, spans, diags),
+        Term::Proj(inner, _) => term_fix_binders(inner, spans, diags),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_object::{RelationSchema, Type};
+
+    fn graph_schema() -> Schema {
+        Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])])
+    }
+
+    #[test]
+    fn clean_query_gets_certificate_and_no_diagnostics() {
+        let mut u = Universe::new();
+        let a = analyze_calc(&graph_schema(), "{[x:U, y:U] | G(x, y)}", &mut u);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        let c = a.certificate.as_ref().unwrap();
+        assert!(c.range_restricted);
+        assert_eq!(c.ik, (0, 0));
+        assert_eq!(c.fixpoint, "none");
+        assert_eq!(c.bound, "LOGSPACE");
+        assert!(a.is_rr_safe());
+    }
+
+    #[test]
+    fn parse_error_yields_spanned_diagnostic() {
+        let mut u = Universe::new();
+        let a = analyze_calc(&graph_schema(), "{[x:U] | G(x,, x)}", &mut u);
+        assert_eq!(a.diagnostics.len(), 1);
+        let d = &a.diagnostics[0];
+        assert_eq!(d.code, codes::PARSE_CALC);
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.span.is_some());
+        assert!(a.certificate.is_none());
+        assert!(!a.is_rr_safe());
+    }
+
+    #[test]
+    fn multiple_type_errors_all_reported_with_spans() {
+        let mut u = Universe::new();
+        // H unknown; w unbound — both in one pass
+        let a = analyze_calc(&graph_schema(), "{[x:U] | H(x) /\\ G(x, w)}", &mut u);
+        let codes_seen: Vec<&str> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert!(
+            codes_seen.contains(&codes::TY_UNKNOWN_RELATION),
+            "{codes_seen:?}"
+        );
+        assert!(codes_seen.contains(&codes::TY_UNBOUND), "{codes_seen:?}");
+        for d in &a.diagnostics {
+            assert!(d.span.is_some(), "{d:?}");
+        }
+        assert!(a.certificate.is_none());
+    }
+
+    #[test]
+    fn unrestricted_set_variable_warns_rr_and_hyper() {
+        let mut u = Universe::new();
+        let a = analyze_calc(
+            &graph_schema(),
+            "{[X:{U}] | forall x:U (x in X -> G(x, x))}",
+            &mut u,
+        );
+        let codes_seen: Vec<&str> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert!(
+            codes_seen.contains(&codes::RR_UNRESTRICTED),
+            "{codes_seen:?}"
+        );
+        assert!(
+            codes_seen.contains(&codes::LINT_HYPER_BLOWUP),
+            "{codes_seen:?}"
+        );
+        let c = a.certificate.as_ref().unwrap();
+        assert!(!c.range_restricted);
+        assert!(c.unrestricted.contains(&"X".to_string()));
+        assert!(c.bound.contains("hyper"), "{}", c.bound);
+        assert!(!a.is_rr_safe());
+        // warnings only: not errors
+        assert!(!a.has_errors());
+    }
+
+    #[test]
+    fn unused_binder_lint_fires_with_binder_span() {
+        let mut u = Universe::new();
+        let src = "{[x:U] | G(x, x) /\\ exists y:U (G(x, x))}";
+        let a = analyze_calc(&graph_schema(), src, &mut u);
+        let lint: Vec<&Diagnostic> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == codes::LINT_UNUSED_VAR)
+            .collect();
+        assert_eq!(lint.len(), 1, "{:?}", a.diagnostics);
+        assert!(lint[0].message.contains('y'));
+        let span = lint[0].span.expect("binder span");
+        assert_eq!(&src[span.start..span.end], "y");
+        // a warning does not forfeit the certificate
+        assert!(a.certificate.is_some());
+    }
+
+    #[test]
+    fn rule_trace_lands_in_certificate() {
+        let mut u = Universe::new();
+        let a = analyze_calc(
+            &graph_schema(),
+            "{[u:U, v:U] | ifp(S; x:U, y:U | G(x, y) \\/ exists z:U (S(x, z) /\\ G(z, y)))(u, v)}",
+            &mut u,
+        );
+        let c = a.certificate.as_ref().unwrap();
+        assert!(c.range_restricted);
+        assert_eq!(c.fixpoint, "IFP");
+        assert_eq!(c.bound, "PTIME");
+        assert_eq!(c.by, "Theorem 5.1(b)");
+        let u_rules: Vec<&str> = c
+            .trace
+            .iter()
+            .filter(|t| t.var == "u")
+            .map(|t| t.rule.as_str())
+            .collect();
+        assert!(u_rules.contains(&"10"), "{:?}", c.trace);
+        assert!(c.trace.iter().any(|t| t.citation == "Definition 5.3"));
+        assert!(c.summary().contains("⇒ PTIME"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Complexity certificates: what fragment a query sits in and what the
+//! paper's theorems therefore guarantee.
+//!
+//! A [`Certificate`] is issued for every query that passes static checks.
+//! It records the inferred `⟨i,k⟩` measure (maximum set height and tuple
+//! width over the types of the formula), the fixpoint operators used, the
+//! range-restriction status with the per-variable trace of Definition
+//! 5.2/5.3 rule applications that established it, and the complexity class
+//! the classification implies (Theorems 4.1, 5.1, 5.3, 6.1).
+
+use crate::json;
+use no_core::report::QueryReport;
+use no_core::rr::RuleApp;
+use std::fmt;
+
+/// One entry of the range-restriction rule trace: which paper rule
+/// granted which variable its range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The variable (or projection path, e.g. `t.2`).
+    pub var: String,
+    /// The paper's rule number, e.g. `"1"`, `"9′"`.
+    pub rule: String,
+    /// Where the rule is stated, e.g. `"Definition 5.2"`.
+    pub citation: String,
+}
+
+impl From<&RuleApp> for TraceEntry {
+    fn from(app: &RuleApp) -> Self {
+        TraceEntry {
+            var: app.var.to_string(),
+            rule: app.rule.id().to_string(),
+            citation: app.rule.citation().to_string(),
+        }
+    }
+}
+
+/// A per-query complexity certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The least `⟨i,k⟩` with the query in `CALC_i^k` (set height, tuple
+    /// width over the formula's types).
+    pub ik: (usize, usize),
+    /// Fixpoint usage: `"none"`, `"IFP"`, `"PFP"`, or `"IFP+PFP"`.
+    pub fixpoint: String,
+    /// Whether every variable is range restricted (Definitions 5.2/5.3).
+    pub range_restricted: bool,
+    /// Variables that failed range restriction, sorted.
+    pub unrestricted: Vec<String>,
+    /// The fragment name, e.g. `"RR-(CALC_1^2 + IFP)"`.
+    pub language: String,
+    /// The complexity bound, e.g. `"PTIME"`.
+    pub bound: String,
+    /// The theorem justifying the bound, e.g. `"Theorem 5.1(b)"`.
+    pub by: String,
+    /// The rule applications establishing range restriction, one entry per
+    /// (variable, rule) pair, sorted by variable.
+    pub trace: Vec<TraceEntry>,
+}
+
+impl Certificate {
+    /// Assemble from a classification report and an RR rule trace.
+    pub fn from_report(report: &QueryReport, trace: &[RuleApp]) -> Self {
+        let fixpoint = match (report.fix.ifp, report.fix.pfp) {
+            (false, false) => "none",
+            (true, false) => "IFP",
+            (false, true) => "PFP",
+            (true, true) => "IFP+PFP",
+        };
+        Certificate {
+            ik: report.ik,
+            fixpoint: fixpoint.to_string(),
+            range_restricted: report.range_restricted,
+            unrestricted: report.unrestricted_vars.clone(),
+            language: report.language.clone(),
+            bound: report.bound.bound.clone(),
+            by: report.bound.by.to_string(),
+            trace: trace.iter().map(TraceEntry::from).collect(),
+        }
+    }
+
+    /// The one-line summary, e.g.
+    /// `RR-(CALC_1^2 + IFP) ⇒ PTIME (Theorem 5.1(b))`.
+    pub fn summary(&self) -> String {
+        format!("{} ⇒ {} ({})", self.language, self.bound, self.by)
+    }
+
+    /// The machine-readable JSON object for this certificate.
+    pub fn to_json(&self) -> String {
+        let trace = json::array(self.trace.iter().map(|t| {
+            format!(
+                "{{{}, {}, {}}}",
+                json::str_field("var", &t.var),
+                json::str_field("rule", &t.rule),
+                json::str_field("citation", &t.citation),
+            )
+        }));
+        format!(
+            "{{\"ik\": [{}, {}], {}, \"range_restricted\": {}, \"unrestricted\": {}, {}, {}, {}, {}, \"rules\": {}}}",
+            self.ik.0,
+            self.ik.1,
+            json::str_field("fixpoint", &self.fixpoint),
+            self.range_restricted,
+            json::array(self.unrestricted.iter().map(|v| json::esc(v))),
+            json::str_field("language", &self.language),
+            json::str_field("bound", &self.bound),
+            json::str_field("by", &self.by),
+            json::str_field("summary", &self.summary()),
+            trace,
+        )
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "certificate: {}", self.summary())?;
+        writeln!(
+            f,
+            "  ⟨i,k⟩ = ⟨{},{}⟩, fixpoint: {}, range restricted: {}",
+            self.ik.0,
+            self.ik.1,
+            self.fixpoint,
+            if self.range_restricted { "yes" } else { "no" },
+        )?;
+        if !self.unrestricted.is_empty() {
+            writeln!(f, "  unrestricted: {}", self.unrestricted.join(", "))?;
+        }
+        for t in &self.trace {
+            writeln!(
+                f,
+                "  {} restricted by rule {} ({})",
+                t.var, t.rule, t.citation
+            )?;
+        }
+        Ok(())
+    }
+}

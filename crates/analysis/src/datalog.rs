@@ -1,0 +1,340 @@
+//! The Datalog¬ analyzer: parse → per-rule validation → stratifiability
+//! with a cycle witness → certificate via the Section 3 correspondence
+//! `inf-Datalog¬_i^k ≡ CALC_i^k + IFP`.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::{codes, Analysis, Certificate};
+use no_datalog::{parse_program_spanned, stratify, Literal, Program, ProgramError, StratifyError};
+use no_object::{Schema, Span, Universe};
+use std::collections::BTreeSet;
+
+/// Analyze Datalog¬ source text against an EDB schema.
+pub fn analyze_datalog(schema: &Schema, src: &str, universe: &mut Universe) -> Analysis {
+    match parse_program_spanned(src, universe) {
+        Ok((program, rule_spans)) => analyze_program(schema, &program, &rule_spans),
+        Err(e) => Analysis {
+            diagnostics: vec![Diagnostic::new(
+                codes::PARSE_DATALOG,
+                Severity::Error,
+                e.to_string(),
+            )
+            .with_span(e.span())],
+            certificate: None,
+        },
+    }
+}
+
+/// Analyze an already-parsed program. `rule_spans` holds the head span of
+/// each rule (as returned by `parse_program_spanned`); pass `&[]` for
+/// programmatically-built programs.
+pub fn analyze_program(schema: &Schema, program: &Program, rule_spans: &[Span]) -> Analysis {
+    let mut diagnostics = Vec::new();
+
+    // Validate rule by rule so every faulty rule is reported, not just the
+    // first (`Program::validate` bails at its first error).
+    for (idx, rule) in program.rules.iter().enumerate() {
+        let single = Program {
+            idb: program.idb.clone(),
+            rules: vec![rule.clone()],
+        };
+        if let Err(e) = single.validate(schema) {
+            diagnostics.push(program_diag(&e, rule_spans.get(idx).copied()));
+        }
+    }
+    let valid = diagnostics.is_empty();
+
+    // Stratifiability: inflationary evaluation still works on a negative
+    // cycle (that is the point of Section 3's semantics), so this is a
+    // warning, with a concrete cycle as witness.
+    if let Err(StratifyError::NegativeCycle { on }) = stratify(program) {
+        let witness = negative_cycle_witness(program, &on);
+        let span = program
+            .rules
+            .iter()
+            .position(|r| {
+                witness.contains(&r.head)
+                    && r.body
+                        .iter()
+                        .any(|l| matches!(l, Literal::Neg(n, _) if witness.contains(n)))
+            })
+            .and_then(|i| rule_spans.get(i).copied());
+        let cycle = if witness.is_empty() {
+            on.clone()
+        } else {
+            let mut path = witness.clone();
+            path.push(witness[0].clone());
+            path.join(" → ")
+        };
+        diagnostics.push(
+            Diagnostic::new(
+                codes::DL_NEGATIVE_CYCLE,
+                Severity::Warning,
+                format!("program is not stratifiable: negation cycle {cycle}"),
+            )
+            .with_span_opt(span)
+            .with_citation("Section 3 (inflationary vs stratified semantics)")
+            .with_suggestion(
+                "inflationary evaluation is still defined; stratified evaluation will refuse \
+                 this program"
+                    .to_string(),
+            ),
+        );
+    }
+
+    // Certificate via the correspondence of Section 3: an inf-Datalog¬
+    // program whose IDB/EDB types sit at ⟨i,k⟩ is equivalent to a
+    // CALC_i^k + IFP query, and rule safety is the deductive counterpart
+    // of range restriction.
+    let certificate = if valid {
+        let (i, k) = program_ik(schema, program);
+        let language = format!("inf-Datalog¬_{i}^{k}");
+        let (bound, by) = (
+            "PTIME".to_string(),
+            "Theorem 5.1(b) via Section 3".to_string(),
+        );
+        Some(Certificate {
+            ik: (i, k),
+            fixpoint: "IFP".to_string(),
+            range_restricted: true,
+            unrestricted: Vec::new(),
+            language,
+            bound,
+            by,
+            trace: Vec::new(),
+        })
+    } else {
+        None
+    };
+
+    Analysis {
+        diagnostics,
+        certificate,
+    }
+}
+
+fn program_diag(e: &ProgramError, span: Option<Span>) -> Diagnostic {
+    let msg = e.to_string();
+    match e {
+        ProgramError::Unsafe { var, .. } => Diagnostic::new(codes::DL_UNSAFE, Severity::Error, msg)
+            .with_span_opt(span)
+            .with_citation("rule safety (the deductive counterpart of Definition 5.2)")
+            .with_suggestion(format!(
+                "bind {var} with a positive body literal before using it in the head, \
+                     a negation, or a comparison"
+            )),
+        ProgramError::UndeclaredHead(r) => {
+            Diagnostic::new(codes::DL_UNDECLARED_HEAD, Severity::Error, msg)
+                .with_span_opt(span)
+                .with_suggestion(format!("add `rel {r}(…).` before the first rule"))
+        }
+        ProgramError::ArityMismatch { rel, expected, .. } => {
+            Diagnostic::new(codes::DL_ARITY, Severity::Error, msg)
+                .with_span_opt(span)
+                .with_suggestion(format!("{rel} takes exactly {expected} arguments"))
+        }
+        ProgramError::UnknownRelation(r) => {
+            Diagnostic::new(codes::DL_UNKNOWN_RELATION, Severity::Error, msg)
+                .with_span_opt(span)
+                .with_suggestion(format!(
+                    "declare {r} as IDB or load a database providing it"
+                ))
+        }
+        ProgramError::HeadIsEdb(_) => Diagnostic::new(codes::DL_HEAD_IS_EDB, Severity::Error, msg)
+            .with_span_opt(span)
+            .with_suggestion("rules may only write IDB relations".to_string()),
+        // Resource errors cannot arise from validation (it never evaluates)
+        ProgramError::Resource(_) => {
+            Diagnostic::new(codes::DL_UNSAFE, Severity::Error, msg).with_span_opt(span)
+        }
+    }
+}
+
+/// A concrete predicate cycle through at least one negative edge, starting
+/// and ending at a predicate reachable from `seed` — the witness shown in
+/// the DL002 diagnostic. Empty when no such cycle is found (the stratifier
+/// then over-approximated; we fall back to naming the seed alone).
+fn negative_cycle_witness(program: &Program, seed: &str) -> Vec<String> {
+    // edges head → body-predicate, tagged with polarity, IDB only
+    let mut edges: Vec<(&str, &str, bool)> = Vec::new();
+    for rule in &program.rules {
+        for lit in &rule.body {
+            let (name, neg) = match lit {
+                Literal::Pos(n, _) => (n.as_str(), false),
+                Literal::Neg(n, _) => (n.as_str(), true),
+                _ => continue,
+            };
+            if program.idb.contains_key(name) {
+                edges.push((rule.head.as_str(), name, neg));
+            }
+        }
+    }
+    // DFS over (node, seen-negative) states, looking for a way back to the
+    // start that crossed a negative edge.
+    fn dfs<'a>(
+        node: &'a str,
+        start: &str,
+        seen_neg: bool,
+        edges: &[(&'a str, &'a str, bool)],
+        visited: &mut BTreeSet<(&'a str, bool)>,
+        path: &mut Vec<String>,
+    ) -> bool {
+        for (from, to, neg) in edges.iter().filter(|(f, _, _)| *f == node) {
+            let _ = from;
+            let crossed = seen_neg || *neg;
+            if *to == start && crossed {
+                return true;
+            }
+            if visited.insert((to, crossed)) {
+                path.push((*to).to_string());
+                if dfs(to, start, crossed, edges, visited, path) {
+                    return true;
+                }
+                path.pop();
+            }
+        }
+        false
+    }
+    // Try every IDB predicate as the cycle anchor, preferring the seed.
+    let mut anchors: Vec<&str> = vec![seed];
+    anchors.extend(
+        program
+            .idb
+            .keys()
+            .map(String::as_str)
+            .filter(|n| *n != seed),
+    );
+    for start in anchors {
+        let mut visited = BTreeSet::new();
+        let mut path = vec![start.to_string()];
+        if dfs(start, start, false, &edges, &mut visited, &mut path) {
+            return path;
+        }
+    }
+    Vec::new()
+}
+
+/// The `⟨i,k⟩` measure of a program: maximum set height and tuple width
+/// over the IDB signatures and the EDB relations the rules mention.
+fn program_ik(schema: &Schema, program: &Program) -> (usize, usize) {
+    let mut i = 0;
+    let mut k = 0;
+    let mut note = |t: &no_object::Type| {
+        i = i.max(t.set_height());
+        k = k.max(t.tuple_width());
+    };
+    for types in program.idb.values() {
+        types.iter().for_each(&mut note);
+    }
+    for rule in &program.rules {
+        for lit in &rule.body {
+            if let Literal::Pos(name, _) | Literal::Neg(name, _) = lit {
+                if let Some(r) = schema.get(name) {
+                    r.column_types.iter().for_each(&mut note);
+                }
+            }
+        }
+    }
+    (i, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_object::{RelationSchema, Type};
+
+    fn graph_schema() -> Schema {
+        Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])])
+    }
+
+    const TC: &str = "rel tc(U, U).\ntc(x, y) :- G(x, y).\ntc(x, y) :- tc(x, z), G(z, y).";
+
+    #[test]
+    fn clean_program_gets_certificate() {
+        let mut u = Universe::new();
+        let a = analyze_datalog(&graph_schema(), TC, &mut u);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        let c = a.certificate.as_ref().unwrap();
+        assert_eq!(c.ik, (0, 0));
+        assert_eq!(c.fixpoint, "IFP");
+        assert!(c.range_restricted);
+        assert_eq!(c.language, "inf-Datalog¬_0^0");
+        assert!(a.is_rr_safe());
+    }
+
+    #[test]
+    fn unsafe_head_variable_is_dl001_with_rule_span() {
+        let mut u = Universe::new();
+        let src = "rel r(U, U).\nr(x, y) :- G(x, x).";
+        let a = analyze_datalog(&graph_schema(), src, &mut u);
+        assert_eq!(a.diagnostics.len(), 1, "{:?}", a.diagnostics);
+        let d = &a.diagnostics[0];
+        assert_eq!(d.code, codes::DL_UNSAFE);
+        assert!(d.message.contains('y'), "{}", d.message);
+        let span = d.span.expect("rule head span");
+        assert_eq!(&src[span.start..span.end], "r");
+        assert!(a.certificate.is_none());
+    }
+
+    #[test]
+    fn every_bad_rule_reported_not_just_the_first() {
+        let mut u = Universe::new();
+        let src = "rel r(U).\nr(x) :- G(x, w).\nr(y) :- !G(y, y), missing(y).";
+        // rule 1 is fine syntactically but head-safe; make both rules bad:
+        let src2 = "rel r(U).\nr(w) :- G(x, x).\nr(y) :- missing(y).";
+        let _ = src;
+        let a = analyze_datalog(&graph_schema(), src2, &mut u);
+        assert_eq!(a.diagnostics.len(), 2, "{:?}", a.diagnostics);
+        let codes_seen: Vec<&str> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes_seen.contains(&codes::DL_UNSAFE));
+        assert!(codes_seen.contains(&codes::DL_UNKNOWN_RELATION));
+    }
+
+    #[test]
+    fn negative_cycle_warns_with_witness() {
+        let mut u = Universe::new();
+        let src = "rel p(U).\nrel q(U).\np(x) :- G(x, x), !q(x).\nq(x) :- G(x, x), !p(x).";
+        let a = analyze_datalog(&graph_schema(), src, &mut u);
+        let cycle: Vec<&Diagnostic> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == codes::DL_NEGATIVE_CYCLE)
+            .collect();
+        assert_eq!(cycle.len(), 1, "{:?}", a.diagnostics);
+        let d = cycle[0];
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains('→'), "{}", d.message);
+        assert!(
+            d.message.contains('p') && d.message.contains('q'),
+            "{}",
+            d.message
+        );
+        assert!(d.span.is_some());
+        // warning only: the program still gets its (inflationary) certificate
+        assert!(a.certificate.is_some());
+        assert!(!a.has_errors());
+    }
+
+    #[test]
+    fn ik_reflects_nested_types() {
+        let mut u = Universe::new();
+        let schema = Schema::from_relations([RelationSchema::new(
+            "E",
+            vec![Type::set(Type::Atom), Type::set(Type::Atom)],
+        )]);
+        let src = "rel r({U}).\nr(x) :- E(x, y).";
+        let a = analyze_datalog(&schema, src, &mut u);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        let c = a.certificate.as_ref().unwrap();
+        assert_eq!(c.ik, (1, 0));
+        assert_eq!(c.language, "inf-Datalog¬_1^0");
+    }
+
+    #[test]
+    fn parse_error_is_spanned() {
+        let mut u = Universe::new();
+        let a = analyze_datalog(&graph_schema(), "rel r(U).\nr(x :- G(x).", &mut u);
+        assert_eq!(a.diagnostics.len(), 1);
+        assert_eq!(a.diagnostics[0].code, codes::PARSE_DATALOG);
+        assert!(a.diagnostics[0].span.is_some());
+    }
+}

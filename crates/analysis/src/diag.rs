@@ -1,0 +1,163 @@
+//! Structured diagnostics with stable codes, severities, byte spans, and
+//! paper citations.
+//!
+//! Every diagnostic the analyzer emits carries a stable `code` (listed in
+//! DESIGN.md §11 and kept backward compatible so CI gates can match on
+//! them), a severity, an optional byte [`Span`] into the source text, the
+//! human message, an optional citation of the paper rule or definition the
+//! diagnostic enforces, and an optional suggestion.
+
+use crate::json;
+use no_object::{Excerpt, Span};
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The query cannot be evaluated as written.
+    Error,
+    /// The query evaluates, but something deserves attention (an
+    /// unrestricted variable, a hyperexponential blowup, dead syntax).
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code, e.g. `"TY004"`, `"RR001"`.
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Byte span into the analyzed source, when one could be anchored.
+    pub span: Option<Span>,
+    /// Human-readable message.
+    pub message: String,
+    /// The paper rule/definition/theorem this diagnostic enforces.
+    pub citation: Option<String>,
+    /// What to do about it.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with no span, citation, or suggestion.
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            span: None,
+            message: message.into(),
+            citation: None,
+            suggestion: None,
+        }
+    }
+
+    /// Attach a span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach a span if one is known.
+    pub fn with_span_opt(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Attach a paper citation.
+    pub fn with_citation(mut self, citation: impl Into<String>) -> Self {
+        self.citation = Some(citation.into());
+        self
+    }
+
+    /// Attach a suggestion.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// Render for a terminal: severity, code, message, caret excerpt of
+    /// the offending source (when a span is known), citation, suggestion.
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        if let Some(span) = self.span {
+            let ex = Excerpt::new(src, span);
+            out.push_str(&format!(
+                "\n  --> {span} (line {}, column {})",
+                ex.line, ex.column
+            ));
+            for line in ex.caret().lines() {
+                out.push_str("\n  ");
+                out.push_str(line);
+            }
+        }
+        if let Some(c) = &self.citation {
+            out.push_str(&format!("\n  = paper: {c}"));
+        }
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!("\n  = help: {s}"));
+        }
+        out
+    }
+
+    /// The machine-readable JSON object for this diagnostic.
+    pub fn to_json(&self) -> String {
+        let span = match self.span {
+            Some(s) => format!("{{\"start\": {}, \"end\": {}}}", s.start, s.end),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{{}, {}, \"span\": {}, {}, {}, {}}}",
+            json::str_field("code", self.code),
+            json::str_field("severity", &self.severity.to_string()),
+            span,
+            json::str_field("message", &self.message),
+            json::opt_str("citation", self.citation.as_deref()),
+            json::opt_str("suggestion", self.suggestion.as_deref()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_with_span_shows_caret_and_notes() {
+        let src = "{[x:U] | P(x)}";
+        let d = Diagnostic::new("TY001", Severity::Error, "unknown relation P")
+            .with_span(Span::new(9, 10))
+            .with_citation("Section 3")
+            .with_suggestion("declare P in the schema");
+        let r = d.render(src);
+        assert!(r.starts_with("error[TY001]: unknown relation P"), "{r}");
+        assert!(r.contains("line 1, column 10"), "{r}");
+        assert!(r.contains("{[x:U] | P(x)}"), "{r}");
+        assert!(r.contains('^'), "{r}");
+        assert!(r.contains("= paper: Section 3"), "{r}");
+        assert!(r.contains("= help: declare P"), "{r}");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let d = Diagnostic::new(
+            "RR001",
+            Severity::Warning,
+            "variable X is not range restricted",
+        )
+        .with_span(Span::new(2, 3));
+        let j = d.to_json();
+        assert!(j.contains("\"code\": \"RR001\""), "{j}");
+        assert!(j.contains("\"severity\": \"warning\""), "{j}");
+        assert!(j.contains("\"span\": {\"start\": 2, \"end\": 3}"), "{j}");
+        assert!(j.contains("\"citation\": null"), "{j}");
+    }
+}

@@ -1,0 +1,69 @@
+//! A minimal JSON writer.
+//!
+//! The build environment vendors no serialization framework, and the
+//! analyzer's report shape is small and fixed, so the JSON is assembled by
+//! hand. Everything routes through [`esc`] so strings are always valid
+//! JSON string literals, and [`opt_str`]/[`str_field`] keep the call sites
+//! in `diag.rs`/`certificate.rs` readable.
+
+/// Escape a string for inclusion inside JSON double quotes (quotes
+/// included in the output).
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `"name": "value"` with escaping.
+pub fn str_field(name: &str, value: &str) -> String {
+    format!("{}: {}", esc(name), esc(value))
+}
+
+/// `"name": "value"` or `"name": null`.
+pub fn opt_str(name: &str, value: Option<&str>) -> String {
+    match value {
+        Some(v) => str_field(name, v),
+        None => format!("{}: null", esc(name)),
+    }
+}
+
+/// A JSON array from already-serialized elements.
+pub fn array(elems: impl IntoIterator<Item = String>) -> String {
+    let inner: Vec<String> = elems.into_iter().collect();
+    format!("[{}]", inner.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(esc("plain"), "\"plain\"");
+        assert_eq!(esc("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(esc("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(esc("\u{01}"), "\"\\u0001\"");
+        // the paper's unicode survives untouched
+        assert_eq!(esc("⟨i,k⟩ ∈ τ*"), "\"⟨i,k⟩ ∈ τ*\"");
+    }
+
+    #[test]
+    fn fields_and_arrays() {
+        assert_eq!(str_field("k", "v"), "\"k\": \"v\"");
+        assert_eq!(opt_str("k", None), "\"k\": null");
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1, 2]");
+        assert_eq!(array(std::iter::empty::<String>()), "[]");
+    }
+}

@@ -9,7 +9,8 @@
 //! as a set-valued *term* `x = IFP(φ(S), S)`; the term form is what makes
 //! range-restricted grouping possible (Example 5.3).
 
-use no_object::{Type, Value};
+use no_object::{Span, Type, Value};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A variable name. Variables are identified by name; the well-formedness
@@ -19,6 +20,55 @@ pub type VarName = String;
 
 /// A relation name (database relation or fixpoint-bound relation).
 pub type RelName = String;
+
+/// Source anchors for a parsed formula or query, produced alongside the
+/// AST by the spanned parser entry points.
+///
+/// The AST itself carries no positions — it is built programmatically as
+/// often as it is parsed, and structural equality (printer round-trips,
+/// the differential harness) must not depend on where a node came from.
+/// Instead the parser records a *side table* keyed by the names that the
+/// paper's variable convention makes unique: every variable is bound at
+/// most once and never both free and bound (enforced by `typeck`), so a
+/// variable name identifies its binding site, and a relation name
+/// identifies a database relation. Diagnostics anchor on those.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanTable {
+    /// Binding site (quantifier, head bind, fixpoint column) per variable,
+    /// or first occurrence for variables that are never bound.
+    pub vars: BTreeMap<VarName, Span>,
+    /// Every occurrence of each relation atom, in source order.
+    pub rels: BTreeMap<RelName, Vec<Span>>,
+    /// The span of the whole parsed input.
+    pub full: Span,
+}
+
+impl SpanTable {
+    /// The anchor span for a variable (binding site or first occurrence).
+    pub fn var(&self, name: &str) -> Option<Span> {
+        self.vars.get(name).copied()
+    }
+
+    /// The anchor span for a relation (its first occurrence).
+    pub fn rel(&self, name: &str) -> Option<Span> {
+        self.rels.get(name).and_then(|v| v.first()).copied()
+    }
+
+    /// Record a variable's first occurrence (keeps an existing anchor).
+    pub fn note_var(&mut self, name: &str, span: Span) {
+        self.vars.entry(name.to_string()).or_insert(span);
+    }
+
+    /// Record a binding site (overrides a mere occurrence).
+    pub fn note_binder(&mut self, name: &str, span: Span) {
+        self.vars.insert(name.to_string(), span);
+    }
+
+    /// Record one occurrence of a relation atom.
+    pub fn note_rel(&mut self, name: &str, span: Span) {
+        self.rels.entry(name.to_string()).or_default().push(span);
+    }
+}
 
 /// Which fixpoint operator (Definition 3.1).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]

@@ -45,9 +45,11 @@ pub mod report;
 pub mod rr;
 pub mod typeck;
 
-pub use ast::{FixOp, Fixpoint, Formula, RelName, Term, VarName};
+pub use ast::{FixOp, Fixpoint, Formula, RelName, SpanTable, Term, VarName};
 pub use error::{EvalConfig, EvalError};
 pub use eval::{eval_query, eval_query_with, Env, Evaluator, Query, RangeMap};
-pub use parser::{parse_formula, parse_query, parse_type, ParseError};
+pub use parser::{
+    parse_formula, parse_formula_spanned, parse_query, parse_query_spanned, parse_type, ParseError,
+};
 pub use print::Printer;
-pub use typeck::{check, Checked, TypeError};
+pub use typeck::{check, check_all, Checked, TypeError};

@@ -24,9 +24,9 @@
 //! Atom constants are written `'name'` and interned into the caller's
 //! [`Universe`]. Keywords: `exists forall in sub ifp pfp`.
 
-use crate::ast::{FixOp, Fixpoint, Formula, Term};
+use crate::ast::{FixOp, Fixpoint, Formula, SpanTable, Term};
 use crate::eval::Query;
-use no_object::{Type, Universe, Value};
+use no_object::{caret_excerpt, Span, Type, Universe, Value};
 use std::fmt;
 use std::sync::Arc;
 
@@ -37,6 +37,19 @@ pub struct ParseError {
     pub at: usize,
     /// What went wrong.
     pub message: String,
+}
+
+impl ParseError {
+    /// The failure position as a point [`Span`].
+    pub fn span(&self) -> Span {
+        Span::point(self.at)
+    }
+
+    /// Render against the source: byte offset, line/column, and a one-line
+    /// caret excerpt pointing at the failure.
+    pub fn render(&self, src: &str) -> String {
+        format!("{self}\n{}", caret_excerpt(src, self.span()))
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -255,16 +268,28 @@ pub struct Parser<'s, 'u> {
     lexer: Lexer<'s>,
     universe: &'u mut Universe,
     peeked: Option<(usize, Tok)>,
+    spans: SpanTable,
 }
 
 impl<'s, 'u> Parser<'s, 'u> {
     /// Create a parser over `src`, interning atoms into `universe`.
     pub fn new(src: &'s str, universe: &'u mut Universe) -> Self {
+        let full = Span::new(0, src.len());
         Parser {
             lexer: Lexer::new(src),
             universe,
             peeked: None,
+            spans: SpanTable {
+                full,
+                ..SpanTable::default()
+            },
         }
+    }
+
+    /// The source anchors recorded while parsing (variable binding sites,
+    /// relation atom occurrences). Meaningful after a successful parse.
+    pub fn spans(&self) -> &SpanTable {
+        &self.spans
     }
 
     fn peek(&mut self) -> Result<&Tok, ParseError> {
@@ -301,9 +326,16 @@ impl<'s, 'u> Parser<'s, 'u> {
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
+        self.ident_spanned().map(|(s, _)| s)
+    }
+
+    fn ident_spanned(&mut self) -> Result<(String, Span), ParseError> {
         let (at, got) = self.advance()?;
         match got {
-            Tok::Ident(s) => Ok(s),
+            Tok::Ident(s) => {
+                let span = Span::new(at, at + s.len());
+                Ok((s, span))
+            }
             other => Err(ParseError {
                 at,
                 message: format!("expected identifier, found {other:?}"),
@@ -356,7 +388,8 @@ impl<'s, 'u> Parser<'s, 'u> {
             return Ok(out);
         }
         loop {
-            let name = self.ident()?;
+            let (name, span) = self.ident_spanned()?;
+            self.spans.note_binder(&name, span);
             self.expect(Tok::Colon)?;
             let ty = self.ty()?;
             out.push((name, ty));
@@ -442,7 +475,8 @@ impl<'s, 'u> Parser<'s, 'u> {
             Tok::Ident(s) if s == "exists" || s == "forall" => {
                 let is_exists = s == "exists";
                 self.advance()?;
-                let v = self.ident()?;
+                let (v, vspan) = self.ident_spanned()?;
+                self.spans.note_binder(&v, vspan);
                 self.expect(Tok::Colon)?;
                 let ty = self.ty()?;
                 let body = self.unary()?;
@@ -481,13 +515,16 @@ impl<'s, 'u> Parser<'s, 'u> {
         }
         // relation atom: ident '(' — else a term comparison
         if let Tok::Ident(name) = self.peek()?.clone() {
-            self.advance()?;
+            let (at, _) = self.advance()?;
+            let span = Span::new(at, at + name.len());
             if *self.peek()? == Tok::LParen {
+                self.spans.note_rel(&name, span);
                 self.advance()?;
                 let args = self.terms(Tok::RParen)?;
                 self.expect(Tok::RParen)?;
                 return Ok(Formula::Rel(name, args));
             }
+            self.spans.note_var(&name, span);
             let lhs = self.proj_chain(Term::Var(name))?;
             return self.comparison(lhs);
         }
@@ -528,7 +565,8 @@ impl<'s, 'u> Parser<'s, 'u> {
         let base = match self.peek()?.clone() {
             Tok::Ident(s) if s == "ifp" || s == "pfp" => Term::Fix(self.fix()?),
             Tok::Ident(s) => {
-                self.advance()?;
+                let (at, _) = self.advance()?;
+                self.spans.note_var(&s, Span::new(at, at + s.len()));
                 Term::Var(s)
             }
             Tok::Quoted(_) | Tok::LBrace | Tok::LBrack => Term::Const(self.constant()?),
@@ -619,7 +657,8 @@ impl<'s, 'u> Parser<'s, 'u> {
             }
         };
         self.expect(Tok::LParen)?;
-        let rel = self.ident()?;
+        let (rel, rspan) = self.ident_spanned()?;
+        self.spans.note_rel(&rel, rspan);
         self.expect(Tok::Semi)?;
         let vars = self.binds(Tok::Bar)?;
         self.expect(Tok::Bar)?;
@@ -639,9 +678,30 @@ pub fn parse_query(src: &str, universe: &mut Universe) -> Result<Query, ParseErr
     Parser::new(src, universe).query()
 }
 
+/// Parse a query string, also returning the [`SpanTable`] of source
+/// anchors (variable binders, relation occurrences) for diagnostics.
+pub fn parse_query_spanned(
+    src: &str,
+    universe: &mut Universe,
+) -> Result<(Query, SpanTable), ParseError> {
+    let mut p = Parser::new(src, universe);
+    let q = p.query()?;
+    Ok((q, p.spans))
+}
+
 /// Parse a formula string.
 pub fn parse_formula(src: &str, universe: &mut Universe) -> Result<Formula, ParseError> {
     Parser::new(src, universe).formula_complete()
+}
+
+/// Parse a formula string with its [`SpanTable`].
+pub fn parse_formula_spanned(
+    src: &str,
+    universe: &mut Universe,
+) -> Result<(Formula, SpanTable), ParseError> {
+    let mut p = Parser::new(src, universe);
+    let f = p.formula_complete()?;
+    Ok((f, p.spans))
 }
 
 /// Parse a type string.
@@ -760,6 +820,51 @@ mod tests {
             }
             other => panic!("expected Or, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn spans_anchor_binders_and_relations() {
+        let mut u = Universe::new();
+        let src = "{[x:U, s:{U}] | P(x) /\\ exists y:U (G(x, y) /\\ y in s)}";
+        let (_q, spans) = parse_query_spanned(src, &mut u).unwrap();
+        // binder anchors point at the declaration sites
+        assert_eq!(
+            &src[spans.var("x").unwrap().start..spans.var("x").unwrap().end],
+            "x"
+        );
+        assert_eq!(spans.var("x").unwrap().start, 2);
+        assert_eq!(spans.var("s").unwrap().start, 7);
+        let y = spans.var("y").unwrap();
+        assert_eq!(&src[y.start..y.end], "y");
+        assert!(y.start > 20, "y anchors at its quantifier, not usage");
+        // relation occurrences in source order
+        assert_eq!(spans.rels["P"].len(), 1);
+        assert_eq!(spans.rels["G"].len(), 1);
+        assert_eq!(
+            &src[spans.rel("G").unwrap().start..spans.rel("G").unwrap().end],
+            "G"
+        );
+        assert_eq!(spans.full.end, src.len());
+    }
+
+    #[test]
+    fn free_variables_anchor_at_first_occurrence() {
+        let mut u = Universe::new();
+        let src = "G(a, b) /\\ a = b";
+        let (_f, spans) = parse_formula_spanned(src, &mut u).unwrap();
+        assert_eq!(spans.var("a").unwrap().start, 2);
+        assert_eq!(spans.var("b").unwrap().start, 5);
+    }
+
+    #[test]
+    fn parse_error_renders_a_caret_excerpt() {
+        let mut u = Universe::new();
+        let src = "G(x,, y)";
+        let e = parse_formula(src, &mut u).unwrap_err();
+        let rendered = e.render(src);
+        assert!(rendered.contains("byte 4"), "{rendered}");
+        assert!(rendered.contains("line 1, column 5"), "{rendered}");
+        assert!(rendered.contains("G(x,, y)\n    ^"), "{rendered}");
     }
 
     #[test]

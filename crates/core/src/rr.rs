@@ -109,6 +109,83 @@ impl fmt::Display for VarPath {
     }
 }
 
+/// A range-restriction rule of Definition 5.2 or 5.3, identified the way
+/// the paper numbers them. Each grant recorded in the [`RrAnalysis::trace`]
+/// cites the rule that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RrRule {
+    /// Rule 1: database relation atoms restrict their argument variables.
+    RelationAtom,
+    /// Rule 2: a restricted tuple variable restricts its projections.
+    TupleProjection,
+    /// Rule 3: all components restricted ⇒ the tuple variable is.
+    TupleAssembly,
+    /// Rule 4: constants restrict directly; `=` and `∈` transfer ranges
+    /// across the conjuncts of a conjunction.
+    EqualityTransfer,
+    /// Rule 9: the grouping pattern `∀y (y ∈ x ⇔ φ(y))` restricts the set
+    /// variable `x` (and `y`, via `φ`).
+    Grouping,
+    /// Rule 1′: a fixpoint-bound relation atom restricts the variables in
+    /// its `τ`-classified columns.
+    FixRelationAtom,
+    /// Rule 9′: a fixpoint term with every column in `τ*` restricts the
+    /// variable it is equated with (or whose membership it bounds).
+    FixTerm,
+    /// Rule 10: a fixpoint application restricts the argument variables in
+    /// `τ*` positions.
+    FixApplication,
+}
+
+impl RrRule {
+    /// The paper's rule number, e.g. `"1"`, `"9′"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            RrRule::RelationAtom => "1",
+            RrRule::TupleProjection => "2",
+            RrRule::TupleAssembly => "3",
+            RrRule::EqualityTransfer => "4",
+            RrRule::Grouping => "9",
+            RrRule::FixRelationAtom => "1′",
+            RrRule::FixTerm => "9′",
+            RrRule::FixApplication => "10",
+        }
+    }
+
+    /// Which definition of the paper the rule comes from.
+    pub fn citation(self) -> &'static str {
+        match self {
+            RrRule::RelationAtom
+            | RrRule::TupleProjection
+            | RrRule::TupleAssembly
+            | RrRule::EqualityTransfer
+            | RrRule::Grouping => "Definition 5.2",
+            RrRule::FixRelationAtom | RrRule::FixTerm | RrRule::FixApplication => "Definition 5.3",
+        }
+    }
+}
+
+impl fmt::Display for RrRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule {} ({})", self.id(), self.citation())
+    }
+}
+
+/// One recorded rule application: `var` was granted its range by `rule`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleApp {
+    /// The variable (or projection) granted.
+    pub var: VarPath,
+    /// The rule that granted it.
+    pub rule: RrRule,
+}
+
+impl fmt::Display for RuleApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} restricted by {}", self.var, self.rule)
+    }
+}
+
 /// The result of a range-restriction analysis.
 #[derive(Debug, Clone, Default)]
 pub struct RrAnalysis {
@@ -117,12 +194,23 @@ pub struct RrAnalysis {
     /// For every fixpoint encountered, its `τ*`: the set of 1-based
     /// range-restricted columns, keyed by the `Arc` pointer identity.
     pub fix_columns: HashMap<usize, BTreeSet<usize>>,
+    /// Every rule application that contributed to the final `restricted`
+    /// set, sorted by variable then rule. Grants made only in discarded
+    /// speculative passes (pruned disjunction branches, pre-`τ*` fixpoint
+    /// iterations) are filtered out; a variable restricted by several rules
+    /// keeps one entry per rule.
+    pub trace: Vec<RuleApp>,
 }
 
 impl RrAnalysis {
     /// Whether a bare variable is restricted.
     pub fn is_restricted(&self, var: &str) -> bool {
         self.restricted.contains(&VarPath::root(var))
+    }
+
+    /// The trace entries whose variable has the given root name.
+    pub fn rules_for(&self, root: &str) -> Vec<&RuleApp> {
+        self.trace.iter().filter(|a| a.var.root == root).collect()
     }
 }
 
@@ -134,6 +222,16 @@ struct Ctx<'a> {
     var_types: BTreeMap<VarName, Type>,
     tau: Vec<(RelName, BTreeSet<usize>)>,
     fix_columns: HashMap<usize, BTreeSet<usize>>,
+    trace: BTreeSet<RuleApp>,
+}
+
+impl Ctx<'_> {
+    fn note(&mut self, rule: RrRule, var: &VarPath) {
+        self.trace.insert(RuleApp {
+            var: var.clone(),
+            rule,
+        });
+    }
 }
 
 /// Compute the set of range-restricted variables of `formula`
@@ -149,11 +247,18 @@ pub fn analyze(
         var_types: var_types.clone(),
         tau: Vec::new(),
         fix_columns: HashMap::new(),
+        trace: BTreeSet::new(),
     };
     let restricted = rr(&mut ctx, formula);
+    let trace: Vec<RuleApp> = ctx
+        .trace
+        .into_iter()
+        .filter(|a| restricted.contains(&a.var))
+        .collect();
     RrAnalysis {
         restricted,
         fix_columns: ctx.fix_columns,
+        trace,
     }
 }
 
@@ -251,7 +356,7 @@ fn occurring_roots(f: &Formula) -> BTreeSet<VarName> {
 
 /// Close a restricted set under rules 2 and 3 (tuple/projection coupling),
 /// restricted to paths whose types are known.
-fn saturate_projections(ctx: &Ctx<'_>, set: &mut BTreeSet<VarPath>) {
+fn saturate_projections(ctx: &mut Ctx<'_>, set: &mut BTreeSet<VarPath>) {
     loop {
         let mut added = Vec::new();
         for p in set.iter() {
@@ -264,6 +369,9 @@ fn saturate_projections(ctx: &Ctx<'_>, set: &mut BTreeSet<VarPath>) {
                     }
                 }
             }
+        }
+        for c in &added {
+            ctx.note(RrRule::TupleProjection, c);
         }
         // rule 3: all components restricted ⇒ x restricted. Apply to every
         // prefix of known paths.
@@ -281,6 +389,7 @@ fn saturate_projections(ctx: &Ctx<'_>, set: &mut BTreeSet<VarPath>) {
             }
             if let Some(Type::Tuple(ts)) = p.type_in(&ctx.var_types) {
                 if (1..=ts.len()).all(|i| set.contains(&p.child(i))) {
+                    ctx.note(RrRule::TupleAssembly, &p);
                     added.push(p);
                 }
             }
@@ -312,6 +421,12 @@ fn rr(ctx: &mut Ctx<'_>, f: &Formula) -> BTreeSet<VarPath> {
                 };
                 if granted {
                     if let Some(p) = VarPath::of_term(arg) {
+                        let rule = if tau_cols.is_some() {
+                            RrRule::FixRelationAtom
+                        } else {
+                            RrRule::RelationAtom
+                        };
+                        ctx.note(rule, &p);
                         out.insert(p);
                     }
                 }
@@ -327,6 +442,7 @@ fn rr(ctx: &mut Ctx<'_>, f: &Formula) -> BTreeSet<VarPath> {
             match (a, b) {
                 (t, Term::Const(_)) | (Term::Const(_), t) => {
                     if let Some(p) = VarPath::of_term(t) {
+                        ctx.note(RrRule::EqualityTransfer, &p);
                         out.insert(p);
                     }
                 }
@@ -339,6 +455,7 @@ fn rr(ctx: &mut Ctx<'_>, f: &Formula) -> BTreeSet<VarPath> {
                     out.extend(body_rr);
                     if tau_star.len() == fix.vars.len() {
                         if let Some(p) = VarPath::of_term(t) {
+                            ctx.note(RrRule::FixTerm, &p);
                             out.insert(p);
                         }
                     }
@@ -356,6 +473,7 @@ fn rr(ctx: &mut Ctx<'_>, f: &Formula) -> BTreeSet<VarPath> {
                 out.extend(body_rr);
                 if tau_star.len() == fix.vars.len() {
                     if let Some(p) = VarPath::of_term(a) {
+                        ctx.note(RrRule::FixTerm, &p);
                         out.insert(p);
                     }
                 }
@@ -394,7 +512,8 @@ fn rr(ctx: &mut Ctx<'_>, f: &Formula) -> BTreeSet<VarPath> {
                                 if let (Some(px), Some(py)) =
                                     (VarPath::of_term(x), VarPath::of_term(y))
                                 {
-                                    if out.contains(&py) {
+                                    if out.contains(&py) && !out.contains(&px) {
+                                        ctx.note(RrRule::EqualityTransfer, &px);
                                         out.insert(px);
                                     }
                                 }
@@ -403,7 +522,8 @@ fn rr(ctx: &mut Ctx<'_>, f: &Formula) -> BTreeSet<VarPath> {
                         Formula::In(a, b) => {
                             if let (Some(pa), Some(pb)) = (VarPath::of_term(a), VarPath::of_term(b))
                             {
-                                if out.contains(&pb) {
+                                if out.contains(&pb) && !out.contains(&pa) {
+                                    ctx.note(RrRule::EqualityTransfer, &pa);
                                     out.insert(pa);
                                 }
                             }
@@ -452,6 +572,8 @@ fn rr(ctx: &mut Ctx<'_>, f: &Formula) -> BTreeSet<VarPath> {
                             let phi_rr = rr(ctx, phi);
                             if phi_rr.contains(&VarPath::root(y.clone())) {
                                 if let Some(set_path) = VarPath::of_term(b) {
+                                    ctx.note(RrRule::Grouping, &set_path);
+                                    ctx.note(RrRule::Grouping, &VarPath::root(y.clone()));
                                     out.insert(set_path);
                                     out.insert(VarPath::root(y.clone()));
                                     out.extend(phi_rr);
@@ -473,6 +595,7 @@ fn rr(ctx: &mut Ctx<'_>, f: &Formula) -> BTreeSet<VarPath> {
             for (j, arg) in args.iter().enumerate() {
                 if tau_star.contains(&(j + 1)) {
                     if let Some(p) = VarPath::of_term(arg) {
+                        ctx.note(RrRule::FixApplication, &p);
                         out.insert(p);
                     }
                 }
@@ -825,6 +948,84 @@ mod tests {
         );
         let types = vt(&s, &[], &f);
         assert!(!is_range_restricted(&s, &types, &f));
+    }
+
+    #[test]
+    fn rule_trace_cites_the_granting_rules() {
+        // Example 5.1's nest query: x via rule 1, s and y via rule 9
+        let s = Schema::from_relations([RelationSchema::new("P", vec![Type::Atom, Type::Atom])]);
+        let f = Formula::and([
+            Formula::exists(
+                "z",
+                Type::Atom,
+                Formula::Rel("P".into(), vec![Term::var("x"), Term::var("z")]),
+            ),
+            Formula::forall(
+                "y",
+                Type::Atom,
+                Formula::Rel("P".into(), vec![Term::var("x"), Term::var("y")])
+                    .iff(Formula::In(Term::var("y"), Term::var("s"))),
+            ),
+        ]);
+        let types = vt(&s, &[("x", Type::Atom), ("s", Type::set(Type::Atom))], &f);
+        let a = analyze(&s, &types, &f);
+        let rules_of = |v: &str| -> Vec<RrRule> { a.rules_for(v).iter().map(|r| r.rule).collect() };
+        assert!(rules_of("x").contains(&RrRule::RelationAtom));
+        assert!(rules_of("s").contains(&RrRule::Grouping));
+        assert!(rules_of("y").contains(&RrRule::Grouping));
+        // the trace only mentions finally-restricted paths
+        assert!(a.trace.iter().all(|app| a.restricted.contains(&app.var)));
+        // citations render
+        assert_eq!(RrRule::Grouping.id(), "9");
+        assert_eq!(RrRule::Grouping.citation(), "Definition 5.2");
+        assert_eq!(
+            a.rules_for("s")[0].to_string(),
+            "s restricted by rule 9 (Definition 5.2)"
+        );
+    }
+
+    #[test]
+    fn rule_trace_drops_speculative_grants() {
+        let s = Schema::from_relations([RelationSchema::new("P", vec![Type::Atom])]);
+        // P(x) ∨ x = y: x is granted in branch 1 but pruned by rule 6
+        let f = Formula::or([
+            Formula::Rel("P".into(), vec![Term::var("x")]),
+            Formula::Eq(Term::var("x"), Term::var("y")),
+        ]);
+        let types = vt(&s, &[("x", Type::Atom), ("y", Type::Atom)], &f);
+        let a = analyze(&s, &types, &f);
+        assert!(a.trace.is_empty());
+    }
+
+    #[test]
+    fn rule_trace_for_fixpoint_application() {
+        let s = Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
+        let fix = Arc::new(Fixpoint {
+            op: FixOp::Ifp,
+            rel: "S".into(),
+            vars: vec![("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+            body: Box::new(Formula::or([
+                Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")]),
+                Formula::exists(
+                    "z",
+                    Type::Atom,
+                    Formula::and([
+                        Formula::Rel("S".into(), vec![Term::var("x"), Term::var("z")]),
+                        Formula::Rel("G".into(), vec![Term::var("z"), Term::var("y")]),
+                    ]),
+                ),
+            ])),
+        });
+        let f = Formula::FixApp(fix, vec![Term::var("u"), Term::var("v")]);
+        let types = vt(&s, &[("u", Type::Atom), ("v", Type::Atom)], &f);
+        let a = analyze(&s, &types, &f);
+        let u_rules: Vec<RrRule> = a.rules_for("u").iter().map(|r| r.rule).collect();
+        assert!(u_rules.contains(&RrRule::FixApplication));
+        // the body's x is restricted via the fixpoint-bound S atom (rule 1′)
+        let x_rules: Vec<RrRule> = a.rules_for("x").iter().map(|r| r.rule).collect();
+        assert!(
+            x_rules.contains(&RrRule::FixRelationAtom) || x_rules.contains(&RrRule::RelationAtom)
+        );
     }
 
     #[test]

@@ -192,12 +192,14 @@ struct Ck<'a, 'b> {
     env: &'b mut TypeEnv<'a>,
     scope: Vec<(VarName, Type)>,
     ever_bound: BTreeSet<VarName>,
+    errors: Vec<TypeError>,
     out: Checked,
 }
 
 /// Check a formula whose free variables have the given declared types.
 ///
-/// Returns the checked profile or the first error found.
+/// Returns the checked profile or the first error found (in source-walk
+/// order). Use [`check_all`] to obtain *every* error in one pass.
 pub fn check(
     schema: &Schema,
     free: &[(VarName, Type)],
@@ -207,16 +209,47 @@ pub fn check(
     check_in_env(&mut env, free, formula)
 }
 
+/// Check a formula, collecting every error instead of bailing at the
+/// first. The returned [`Checked`] profile is *partial* when errors are
+/// present: variables whose declarations were reached are typed, the
+/// `⟨i,k⟩` measure covers every type that was successfully inferred.
+/// Errors are reported in the order the checker's deterministic walk
+/// encounters them, so `errors.first()` is exactly what [`check`] would
+/// have returned.
+pub fn check_all(
+    schema: &Schema,
+    free: &[(VarName, Type)],
+    formula: &Formula,
+) -> (Checked, Vec<TypeError>) {
+    let mut env = TypeEnv::new(schema);
+    check_all_in_env(&mut env, free, formula)
+}
+
 /// Check within an existing environment (used for fixpoint bodies).
 pub fn check_in_env(
     env: &mut TypeEnv<'_>,
     free: &[(VarName, Type)],
     formula: &Formula,
 ) -> Result<Checked, TypeError> {
+    let (out, mut errors) = check_all_in_env(env, free, formula);
+    if errors.is_empty() {
+        Ok(out)
+    } else {
+        Err(errors.remove(0))
+    }
+}
+
+/// [`check_all`] within an existing environment.
+pub fn check_all_in_env(
+    env: &mut TypeEnv<'_>,
+    free: &[(VarName, Type)],
+    formula: &Formula,
+) -> (Checked, Vec<TypeError>) {
     let mut ck = Ck {
         env,
         scope: free.to_vec(),
         ever_bound: free.iter().map(|(v, _)| v.clone()).collect(),
+        errors: Vec::new(),
         out: Checked {
             var_types: free.iter().cloned().collect(),
             types: BTreeSet::new(),
@@ -227,8 +260,8 @@ pub fn check_in_env(
     for (_, t) in free {
         ck.note_type(t);
     }
-    ck.formula(formula)?;
-    Ok(ck.out)
+    ck.formula(formula);
+    (ck.out, ck.errors)
 }
 
 impl Ck<'_, '_> {
@@ -269,7 +302,7 @@ impl Ck<'_, '_> {
                 }
             }
             Term::Fix(fix) => {
-                self.fixpoint(fix)?;
+                self.fixpoint(fix);
                 fix.term_type()
             }
         };
@@ -329,11 +362,12 @@ impl Ck<'_, '_> {
         }
     }
 
-    fn fixpoint(&mut self, fix: &Fixpoint) -> Result<(), TypeError> {
-        // Body free variables must be among declared columns.
+    fn fixpoint(&mut self, fix: &Fixpoint) {
+        // Body free variables must be among declared columns. Record the
+        // violation but still check the body so its own errors surface.
         for v in fix.body.free_vars() {
             if !fix.vars.iter().any(|(n, _)| *n == v) {
-                return Err(TypeError::FixpointFreeVar {
+                self.errors.push(TypeError::FixpointFreeVar {
                     rel: fix.rel.clone(),
                     var: v,
                 });
@@ -345,14 +379,13 @@ impl Ck<'_, '_> {
         self.env
             .bound_rels
             .push((fix.rel.clone(), fix.column_types()));
-        let sub = check_in_env(self.env, &fix.vars, &fix.body);
+        let (sub, sub_errors) = check_all_in_env(self.env, &fix.vars, &fix.body);
         self.env.bound_rels.pop();
-        let sub = sub?;
+        self.errors.extend(sub_errors);
         // fold the body's profile into ours
         self.out.set_height = self.out.set_height.max(sub.set_height);
         self.out.tuple_width = self.out.tuple_width.max(sub.tuple_width);
         self.out.types.extend(sub.types);
-        Ok(())
     }
 
     fn bind(&mut self, v: &str, ty: &Type) -> Result<(), TypeError> {
@@ -366,7 +399,16 @@ impl Ck<'_, '_> {
         Ok(())
     }
 
-    fn formula(&mut self, f: &Formula) -> Result<(), TypeError> {
+    /// Walk one formula node, recording any error it produces. Recovery is
+    /// per-node: an error inside an atom abandons that atom only, siblings
+    /// in a connective are still checked.
+    fn formula(&mut self, f: &Formula) {
+        if let Err(e) = self.formula_inner(f) {
+            self.errors.push(e);
+        }
+    }
+
+    fn formula_inner(&mut self, f: &Formula) -> Result<(), TypeError> {
         match f {
             Formula::Rel(name, args) => {
                 let sig = self
@@ -381,7 +423,9 @@ impl Ck<'_, '_> {
                     });
                 }
                 for (arg, col) in args.iter().zip(&sig) {
-                    self.check_term(arg, col)?;
+                    if let Err(e) = self.check_term(arg, col) {
+                        self.errors.push(e);
+                    }
                 }
                 Ok(())
             }
@@ -418,25 +462,36 @@ impl Ck<'_, '_> {
                 }
                 Ok(())
             }
-            Formula::Not(g) => self.formula(g),
+            Formula::Not(g) => {
+                self.formula(g);
+                Ok(())
+            }
             Formula::And(gs) | Formula::Or(gs) => {
                 for g in gs {
-                    self.formula(g)?;
+                    self.formula(g);
                 }
                 Ok(())
             }
             Formula::Implies(a, b) | Formula::Iff(a, b) => {
-                self.formula(a)?;
-                self.formula(b)
+                self.formula(a);
+                self.formula(b);
+                Ok(())
             }
             Formula::Exists(x, ty, g) | Formula::Forall(x, ty, g) => {
-                self.bind(x, ty)?;
-                let r = self.formula(g);
+                if let Err(e) = self.bind(x, ty) {
+                    // Variable-convention violation: record it, but bring
+                    // the binder into scope anyway so the body is checked.
+                    self.errors.push(e);
+                    self.scope.push((x.clone(), ty.clone()));
+                    self.out.var_types.insert(x.clone(), ty.clone());
+                    self.note_type(ty);
+                }
+                self.formula(g);
                 self.scope.pop();
-                r
+                Ok(())
             }
             Formula::FixApp(fix, args) => {
-                self.fixpoint(fix)?;
+                self.fixpoint(fix);
                 if fix.vars.len() != args.len() {
                     return Err(TypeError::ArityMismatch {
                         rel: fix.rel.clone(),
@@ -445,7 +500,9 @@ impl Ck<'_, '_> {
                     });
                 }
                 for (arg, (_, col)) in args.iter().zip(&fix.vars) {
-                    self.check_term(arg, col)?;
+                    if let Err(e) = self.check_term(arg, col) {
+                        self.errors.push(e);
+                    }
                 }
                 Ok(())
             }
@@ -652,6 +709,44 @@ mod tests {
             &f,
         );
         assert!(matches!(bad, Err(TypeError::NotASet { .. })));
+    }
+
+    #[test]
+    fn check_all_collects_every_error_in_walk_order() {
+        let s = graph_schema();
+        // three independent faults: unknown relation, bad arity, unbound var
+        let f = Formula::and([
+            Formula::Rel("H".into(), vec![Term::var("x")]),
+            Formula::Rel("G".into(), vec![Term::var("x")]),
+            Formula::Rel("G".into(), vec![Term::var("x"), Term::var("w")]),
+        ]);
+        let (ck, errors) = check_all(&s, &[("x".into(), Type::Atom)], &f);
+        assert_eq!(errors.len(), 3);
+        assert!(matches!(errors[0], TypeError::UnknownRelation(_)));
+        assert!(matches!(errors[1], TypeError::ArityMismatch { .. }));
+        assert!(matches!(errors[2], TypeError::UnboundVariable(_)));
+        // the partial profile still typed the free variable
+        assert_eq!(ck.var_types.get("x"), Some(&Type::Atom));
+        // and check() reports exactly the first of these
+        assert!(matches!(
+            check(&s, &[("x".into(), Type::Atom)], &f),
+            Err(TypeError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn check_all_recovers_past_variable_reuse() {
+        let s = graph_schema();
+        // x is both free and bound; the body also misuses arity
+        let f = Formula::exists(
+            "x",
+            Type::Atom,
+            Formula::Rel("G".into(), vec![Term::var("x")]),
+        );
+        let (_, errors) = check_all(&s, &[("x".into(), Type::Atom)], &f);
+        assert_eq!(errors.len(), 2);
+        assert!(matches!(errors[0], TypeError::VariableReuse(_)));
+        assert!(matches!(errors[1], TypeError::ArityMismatch { .. }));
     }
 
     #[test]

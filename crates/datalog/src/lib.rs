@@ -43,7 +43,7 @@ pub mod stratified;
 pub mod translate;
 
 pub use eval::{eval, eval_governed, eval_pooled, EvalStats, Idb, Strategy};
-pub use parser::parse_program;
+pub use parser::{parse_program, parse_program_spanned};
 pub use program::{DTerm, Literal, Program, ProgramError, Rule};
 pub use simultaneous::{
     eval_simultaneous, eval_simultaneous_pooled, to_simultaneous_ifp, SimEvalError, Simultaneous,

@@ -14,7 +14,7 @@
 //! Comments run from `%` to end of line.
 
 use crate::program::{DTerm, Literal, Program};
-use no_object::{Type, Universe, Value};
+use no_object::{caret_excerpt, Span, Type, Universe, Value};
 use std::fmt;
 
 /// A parse failure.
@@ -24,6 +24,19 @@ pub struct ParseError {
     pub at: usize,
     /// Description.
     pub message: String,
+}
+
+impl ParseError {
+    /// The (point) span of the failure.
+    pub fn span(&self) -> Span {
+        Span::point(self.at)
+    }
+
+    /// Render the error with a caret excerpt of the offending line.
+    /// `src` must be the source text the error came from.
+    pub fn render(&self, src: &str) -> String {
+        format!("{self}\n{}", caret_excerpt(src, self.span()))
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -42,6 +55,7 @@ struct P<'s, 'u> {
     src: &'s [u8],
     pos: usize,
     universe: &'u mut Universe,
+    rule_spans: Vec<Span>,
 }
 
 impl<'s, 'u> P<'s, 'u> {
@@ -275,7 +289,10 @@ impl<'s, 'u> P<'s, 'u> {
                 continue;
             }
             // rule: head(args) :- body .   or a fact: head(args).
+            self.skip_ws();
+            let head_at = self.pos;
             let head = self.ident()?;
+            self.rule_spans.push(Span::new(head_at, self.pos));
             let head_args = self.terms()?;
             let mut body = Vec::new();
             self.skip_ws();
@@ -294,12 +311,24 @@ impl<'s, 'u> P<'s, 'u> {
 
 /// Parse a Datalog program, interning atom constants into `universe`.
 pub fn parse_program(src: &str, universe: &mut Universe) -> Result<Program, ParseError> {
-    P {
+    parse_program_spanned(src, universe).map(|(p, _)| p)
+}
+
+/// Like [`parse_program`], additionally returning the span of each rule's
+/// head identifier, in rule order (one entry per entry of
+/// `Program::rules`). Declarations carry no span.
+pub fn parse_program_spanned(
+    src: &str,
+    universe: &mut Universe,
+) -> Result<(Program, Vec<Span>), ParseError> {
+    let mut p = P {
         src: src.as_bytes(),
         pos: 0,
         universe,
-    }
-    .program()
+        rule_spans: Vec::new(),
+    };
+    let program = p.program()?;
+    Ok((program, p.rule_spans))
 }
 
 #[cfg(test)]
@@ -392,6 +421,18 @@ mod tests {
         assert!(parse_program("r(x) :- .", &mut u).is_err());
         assert!(parse_program("r(x :- G(x).", &mut u).is_err());
         assert!(parse_program("rel r(V).", &mut u).is_err());
+    }
+
+    #[test]
+    fn errors_render_with_a_caret_excerpt() {
+        let mut u = Universe::new();
+        let src = "rel r(U).\nr(x :- G(x).";
+        let e = parse_program(src, &mut u).unwrap_err();
+        let rendered = e.render(src);
+        assert!(rendered.contains("datalog parse error at byte"));
+        assert!(rendered.contains("line 2"), "rendered:\n{rendered}");
+        assert!(rendered.contains("r(x :- G(x)."), "rendered:\n{rendered}");
+        assert!(rendered.contains('^'), "rendered:\n{rendered}");
     }
 
     #[test]

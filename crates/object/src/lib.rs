@@ -58,6 +58,7 @@ pub mod instance;
 pub mod intern;
 pub mod nat;
 pub mod order;
+pub mod span;
 pub mod text;
 pub mod types;
 pub mod value;
@@ -68,5 +69,6 @@ pub use governor::{BudgetKind, Governor, Limits, ResourceError};
 pub use instance::{Instance, Relation, RelationSchema, Schema};
 pub use intern::{IdRelation, Interner, ValueId};
 pub use nat::Nat;
+pub use span::{caret_excerpt, Excerpt, Span};
 pub use types::Type;
 pub use value::{SetValue, Value};

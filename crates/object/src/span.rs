@@ -1,0 +1,183 @@
+//! Byte spans into source text and caret-rendered excerpts.
+//!
+//! Both query parsers (CALC in `no-core`, Datalog¬ in `no-datalog`) and
+//! the static analyzer anchor their messages to positions in the source
+//! string. A [`Span`] is a half-open byte range `[start, end)`; an empty
+//! span (`start == end`) marks a point, which is how parse errors report
+//! "here". [`Excerpt`] turns a span back into the line/column coordinates
+//! humans read and renders the classic one-line caret picture:
+//!
+//! ```text
+//! {[x:U] | G(x,, y)}
+//!              ^
+//! ```
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Span {
+    /// First byte of the spanned region.
+    pub start: usize,
+    /// One past the last byte (`end == start` marks a point).
+    pub end: usize,
+}
+
+impl Span {
+    /// The span `[start, end)`. Swapped bounds are normalised.
+    pub fn new(start: usize, end: usize) -> Span {
+        if end < start {
+            Span {
+                start: end,
+                end: start,
+            }
+        } else {
+            Span { start, end }
+        }
+    }
+
+    /// A zero-width span at `at`.
+    pub fn point(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both.
+    pub fn cover(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Byte length (zero for a point span).
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span is a point.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "byte {}", self.start)
+        } else {
+            write!(f, "bytes {}..{}", self.start, self.end)
+        }
+    }
+}
+
+/// A span resolved against its source: 1-based line/column plus the text
+/// of the line, ready for caret rendering.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Excerpt {
+    /// 1-based line number of the span start.
+    pub line: usize,
+    /// 1-based column (in bytes) of the span start within its line.
+    pub column: usize,
+    /// The full text of that line (no trailing newline).
+    pub line_text: String,
+    /// Width of the caret underline in bytes (at least 1).
+    pub width: usize,
+}
+
+impl Excerpt {
+    /// Resolve `span` against `src`. Positions past the end of `src`
+    /// clamp to the last line, so stale spans degrade rather than panic.
+    pub fn new(src: &str, span: Span) -> Excerpt {
+        let at = span.start.min(src.len());
+        let line_start = src[..at].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = src[at..].find('\n').map_or(src.len(), |i| at + i);
+        let line = src[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+        let column = at - line_start + 1;
+        // clamp the underline to the line it starts on
+        let width = span.len().clamp(1, line_end.saturating_sub(at).max(1));
+        Excerpt {
+            line,
+            column,
+            line_text: src[line_start..line_end].to_string(),
+            width,
+        }
+    }
+
+    /// The two-line caret picture: the source line, then a caret underline
+    /// at the span. Tabs in the prefix are preserved so the caret aligns.
+    pub fn caret(&self) -> String {
+        let pad: String = self
+            .line_text
+            .bytes()
+            .take(self.column - 1)
+            .map(|b| if b == b'\t' { '\t' } else { ' ' })
+            .collect();
+        let carets = "^".repeat(self.width);
+        format!("{}\n{pad}{carets}", self.line_text)
+    }
+}
+
+impl fmt::Display for Excerpt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}:\n{}",
+            self.line,
+            self.column,
+            self.caret()
+        )
+    }
+}
+
+/// One-call convenience: `"line L, column C:\n<line>\n  ^"` for a span.
+pub fn caret_excerpt(src: &str, span: Span) -> String {
+    Excerpt::new(src, span).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(3, 7);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(Span::new(7, 3), s, "swapped bounds normalise");
+        assert_eq!(Span::point(5).len(), 0);
+        assert_eq!(s.cover(Span::new(10, 12)), Span::new(3, 12));
+        assert_eq!(s.to_string(), "bytes 3..7");
+        assert_eq!(Span::point(5).to_string(), "byte 5");
+    }
+
+    #[test]
+    fn excerpt_lines_and_columns() {
+        let src = "first line\nsecond line\nthird";
+        let e = Excerpt::new(src, Span::new(18, 22)); // "line" on line 2
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, 8);
+        assert_eq!(e.line_text, "second line");
+        assert_eq!(e.caret(), "second line\n       ^^^^");
+    }
+
+    #[test]
+    fn excerpt_point_and_clamping() {
+        let src = "short";
+        let e = Excerpt::new(src, Span::point(2));
+        assert_eq!(e.caret(), "short\n  ^");
+        // past-the-end points clamp to the last line
+        let e = Excerpt::new(src, Span::point(99));
+        assert_eq!(e.line, 1);
+        assert_eq!(e.column, 6);
+        // a span crossing a newline underlines only its first line
+        let e = Excerpt::new("ab\ncd", Span::new(1, 4));
+        assert_eq!(e.caret(), "ab\n ^");
+    }
+
+    #[test]
+    fn caret_excerpt_one_call() {
+        let s = caret_excerpt("G(x,, y)", Span::point(4));
+        assert!(s.contains("line 1, column 5"), "{s}");
+        assert!(s.ends_with("G(x,, y)\n    ^"), "{s}");
+    }
+}

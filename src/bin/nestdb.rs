@@ -10,12 +10,101 @@
 //! All logic lives in [`nestdb::shell::Shell`]; this binary is the stdin
 //! loop.
 
+use nestdb::check::CorpusReport;
+use nestdb::object::text::parse_database;
+use nestdb::object::{Schema, Universe};
 use nestdb::shell::Shell;
 use std::io::{self, BufRead, Write};
 
+/// `nestdb analyze [--format json|text] [--deny] [--db <file.no>] <files…>`
+///
+/// Static analysis over query files: `.dl` files are Datalog¬ programs,
+/// anything else is one CALC query per non-comment line. `--deny` exits
+/// nonzero when *any* diagnostic (even a warning) is emitted — the CI
+/// gate. Prints the report to stdout; never evaluates anything.
+fn run_analyze(args: &[String]) -> i32 {
+    let mut format = "text".to_string();
+    let mut deny = false;
+    let mut db: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next() {
+                Some(f) if f == "json" || f == "text" => format = f.clone(),
+                other => {
+                    eprintln!("error: --format needs json or text, got {other:?}");
+                    return 2;
+                }
+            },
+            "--deny" => deny = true,
+            "--db" => match it.next() {
+                Some(p) => db = Some(p.clone()),
+                None => {
+                    eprintln!("error: --db needs a database file");
+                    return 2;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}");
+                return 2;
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: nestdb analyze [--format json|text] [--deny] [--db <file.no>] <files…>");
+        return 2;
+    }
+    let mut universe = Universe::new();
+    let schema = match &db {
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return 2;
+                }
+            };
+            match parse_database(&src, &mut universe) {
+                Ok((schema, _instance)) => schema,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return 2;
+                }
+            }
+        }
+        None => Schema::new(),
+    };
+    let mut report = CorpusReport::default();
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                return 2;
+            }
+        };
+        report.add_file(&schema, file, &src, &mut universe);
+    }
+    match format.as_str() {
+        "json" => println!("{}", report.to_json()),
+        _ => println!("{}", report.render_text()),
+    }
+    if deny && report.has_diagnostics() {
+        let (errors, warnings) = report.diagnostic_counts();
+        eprintln!("analyze --deny: {errors} error(s), {warnings} warning(s)");
+        return 1;
+    }
+    0
+}
+
 fn main() {
-    let mut shell = Shell::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("analyze") {
+        std::process::exit(run_analyze(&args[1..]));
+    }
+    let mut shell = Shell::new();
     for path in &args {
         match shell.load(path) {
             Ok(msg) => println!("{msg}"),

@@ -1,0 +1,213 @@
+//! The corpus runner behind `nestdb analyze`: run the static analyzer over
+//! query files and assemble one machine-readable report.
+//!
+//! Shared between the CLI (`nestdb analyze --format json data/*.calc`) and
+//! the golden-snapshot tests, so CI and the test suite gate on exactly the
+//! same JSON. File dialects by extension: `.dl` is one Datalog¬ program;
+//! anything else is a CALC query file — one query per non-empty,
+//! non-`%`-comment line.
+
+use no_analysis::{analyze_calc, analyze_datalog, Analysis, Severity};
+use no_object::{Schema, Universe};
+use std::fmt::Write as _;
+
+/// One analyzed query of a corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The file the query came from.
+    pub file: String,
+    /// 1-based line of the query within its file (always 1 for `.dl`
+    /// programs, which are analyzed whole).
+    pub line: usize,
+    /// The analyzed source text.
+    pub source: String,
+    /// The analyzer's findings and certificate.
+    pub analysis: Analysis,
+}
+
+/// The report over a whole corpus.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusReport {
+    /// Every analyzed query, in file order then line order.
+    pub entries: Vec<CorpusEntry>,
+}
+
+impl CorpusReport {
+    /// Analyze one file's worth of queries and append the entries.
+    pub fn add_file(&mut self, schema: &Schema, name: &str, src: &str, universe: &mut Universe) {
+        if name.ends_with(".dl") {
+            self.entries.push(CorpusEntry {
+                file: name.to_string(),
+                line: 1,
+                source: src.to_string(),
+                analysis: analyze_datalog(schema, src, universe),
+            });
+            return;
+        }
+        for (idx, line) in src.lines().enumerate() {
+            let query = line.trim();
+            if query.is_empty() || query.starts_with('%') {
+                continue;
+            }
+            self.entries.push(CorpusEntry {
+                file: name.to_string(),
+                line: idx + 1,
+                source: query.to_string(),
+                analysis: analyze_calc(schema, query, universe),
+            });
+        }
+    }
+
+    /// Count of diagnostics across the corpus, split `(errors, warnings)`.
+    pub fn diagnostic_counts(&self) -> (usize, usize) {
+        let mut errors = 0;
+        let mut warnings = 0;
+        for e in &self.entries {
+            for d in &e.analysis.diagnostics {
+                match d.severity {
+                    Severity::Error => errors += 1,
+                    Severity::Warning => warnings += 1,
+                }
+            }
+        }
+        (errors, warnings)
+    }
+
+    /// Whether any query has any diagnostic at all — the deny-mode gate.
+    pub fn has_diagnostics(&self) -> bool {
+        self.entries.iter().any(|e| !e.analysis.is_clean())
+    }
+
+    /// Whether every query received a certificate.
+    pub fn all_certified(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| e.analysis.certificate.is_some())
+    }
+
+    /// The JSON report: an array of
+    /// `{"file", "line", "source", "analysis"}` objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n ");
+            }
+            let _ = write!(
+                out,
+                "{{\"file\": {}, \"line\": {}, \"source\": {}, \"analysis\": {}}}",
+                json_esc(&e.file),
+                e.line,
+                json_esc(&e.source),
+                e.analysis.to_json(),
+            );
+        }
+        out.push(']');
+        out
+    }
+
+    /// The human report: per-query caret-rendered diagnostics and
+    /// certificate summaries, then a one-line tally.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(out, "── {}:{}", e.file, e.line);
+            for line in e.analysis.render(&e.source).lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        let (errors, warnings) = self.diagnostic_counts();
+        let certified = self
+            .entries
+            .iter()
+            .filter(|e| e.analysis.certificate.is_some())
+            .count();
+        let _ = write!(
+            out,
+            "{} queries analyzed: {certified} certified, {errors} error(s), {warnings} warning(s)",
+            self.entries.len(),
+        );
+        out
+    }
+}
+
+fn json_esc(s: &str) -> String {
+    // local copy of the analyzer's escaper (its json module is private)
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_object::{RelationSchema, Type};
+
+    fn graph_schema() -> Schema {
+        Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])])
+    }
+
+    #[test]
+    fn calc_files_split_per_line_and_skip_comments() {
+        let mut u = Universe::new();
+        let mut report = CorpusReport::default();
+        report.add_file(
+            &graph_schema(),
+            "q.calc",
+            "% header\n{[x:U, y:U] | G(x, y)}\n\n{[x:U] | H(x)}\n",
+            &mut u,
+        );
+        assert_eq!(report.entries.len(), 2);
+        assert_eq!(report.entries[0].line, 2);
+        assert!(report.entries[0].analysis.is_clean());
+        assert_eq!(report.entries[1].line, 4);
+        assert!(report.entries[1].analysis.has_errors());
+        assert!(report.has_diagnostics());
+        assert!(!report.all_certified());
+        assert_eq!(report.diagnostic_counts(), (1, 0));
+    }
+
+    #[test]
+    fn dl_files_are_one_program() {
+        let mut u = Universe::new();
+        let mut report = CorpusReport::default();
+        report.add_file(
+            &graph_schema(),
+            "tc.dl",
+            "rel tc(U, U).\ntc(x, y) :- G(x, y).",
+            &mut u,
+        );
+        assert_eq!(report.entries.len(), 1);
+        assert!(report.all_certified());
+        assert!(!report.has_diagnostics());
+    }
+
+    #[test]
+    fn json_and_text_reports() {
+        let mut u = Universe::new();
+        let mut report = CorpusReport::default();
+        report.add_file(&graph_schema(), "q.calc", "{[x:U, y:U] | G(x, y)}", &mut u);
+        let j = report.to_json();
+        assert!(j.starts_with("[{\"file\": \"q.calc\", \"line\": 1"), "{j}");
+        assert!(j.contains("\"status\": \"ok\""), "{j}");
+        assert!(j.ends_with("}]"), "{j}");
+        let t = report.render_text();
+        assert!(t.contains("── q.calc:1"), "{t}");
+        assert!(
+            t.contains("1 queries analyzed: 1 certified, 0 error(s), 0 warning(s)"),
+            "{t}"
+        );
+    }
+}

@@ -11,6 +11,7 @@
 //! [`Error::is_resource_trip`] predicate.
 
 use no_algebra::AlgebraError;
+use no_analysis::DiagnosticsError;
 use no_core::EvalError;
 use no_datalog::{ProgramError, SimEvalError, StratifyError};
 use no_object::ResourceError;
@@ -30,6 +31,9 @@ pub enum Error {
     Stratify(StratifyError),
     /// The simultaneous-fixpoint translation or its evaluation failed.
     Simultaneous(SimEvalError),
+    /// Static analysis found errors, so evaluation was refused (raised by
+    /// [`crate::Session::eval_calc_checked`]).
+    Diagnostics(DiagnosticsError),
 }
 
 impl fmt::Display for Error {
@@ -40,6 +44,7 @@ impl fmt::Display for Error {
             Error::Datalog(e) => write!(f, "datalog: {e}"),
             Error::Stratify(e) => write!(f, "stratify: {e}"),
             Error::Simultaneous(e) => write!(f, "simultaneous: {e}"),
+            Error::Diagnostics(e) => write!(f, "analysis: {e}"),
         }
     }
 }
@@ -52,6 +57,7 @@ impl std::error::Error for Error {
             Error::Datalog(e) => Some(e),
             Error::Stratify(e) => Some(e),
             Error::Simultaneous(e) => Some(e),
+            Error::Diagnostics(e) => Some(e),
         }
     }
 }
@@ -86,6 +92,12 @@ impl From<SimEvalError> for Error {
     }
 }
 
+impl From<DiagnosticsError> for Error {
+    fn from(e: DiagnosticsError) -> Self {
+        Error::Diagnostics(e)
+    }
+}
+
 impl Error {
     /// The [`ResourceError`] behind this failure, if a governor budget
     /// (steps, range, memory, iterations, deadline, or cancellation)
@@ -102,6 +114,8 @@ impl Error {
             Error::Stratify(_) => None,
             Error::Simultaneous(SimEvalError::Eval(EvalError::Resource(r))) => Some(r),
             Error::Simultaneous(_) => None,
+            // Analysis never evaluates, so it can never trip a budget.
+            Error::Diagnostics(_) => None,
         }
     }
 
@@ -159,5 +173,23 @@ mod tests {
         let e: Error = EvalError::UnboundVariable("x".into()).into();
         let src = e.source().expect("wraps an engine error");
         assert!(src.to_string().contains('x'));
+    }
+
+    #[test]
+    fn diagnostics_variant_chains_and_never_trips() {
+        use no_analysis::{Diagnostic, DiagnosticsError, Severity};
+        use std::error::Error as _;
+        let e: Error = DiagnosticsError {
+            diagnostics: vec![Diagnostic::new(
+                "TY004",
+                Severity::Error,
+                "variable w is unbound",
+            )],
+        }
+        .into();
+        assert!(e.to_string().starts_with("analysis: "), "{e}");
+        assert!(!e.is_resource_trip());
+        let src = e.source().expect("wraps the diagnostics error");
+        assert!(src.to_string().contains("TY004"), "{src}");
     }
 }

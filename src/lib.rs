@@ -9,14 +9,17 @@
 //! - [`tm`]: Turing machines and the relational simulation of Theorem 4.1
 //! - [`datalog`]: inflationary Datalog over complex objects
 //! - [`density`]: instance families and density/sparsity analysis
+//! - [`analysis`]: static analyzer — diagnostics and complexity certificates
 
 pub use no_algebra as algebra;
+pub use no_analysis as analysis;
 pub use no_core as core;
 pub use no_datalog as datalog;
 pub use no_density as density;
 pub use no_object as object;
 pub use no_tm as tm;
 
+pub mod check;
 pub mod error;
 pub mod session;
 pub mod shell;

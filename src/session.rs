@@ -191,6 +191,56 @@ impl Session {
     pub fn eval_algebra(&self, expr: &Expr, instance: &Instance) -> Result<Relation, Error> {
         no_algebra::eval_pooled(expr, instance, &self.governor, &self.pool).map_err(Error::from)
     }
+
+    /// Statically analyze a CALC query: diagnostics (spans, codes, paper
+    /// citations) plus a `⟨i,k⟩` complexity certificate when well-formed.
+    ///
+    /// Analysis is pure — it never evaluates and spends none of the
+    /// session's governor budget, so it is safe to run on untrusted input
+    /// before committing fuel to evaluation.
+    pub fn analyze(
+        &self,
+        schema: &no_object::Schema,
+        src: &str,
+        universe: &mut no_object::Universe,
+    ) -> no_analysis::Analysis {
+        no_analysis::analyze_calc(schema, src, universe)
+    }
+
+    /// Statically analyze a Datalog¬ program (same contract as
+    /// [`Session::analyze`]).
+    pub fn analyze_datalog(
+        &self,
+        schema: &no_object::Schema,
+        src: &str,
+        universe: &mut no_object::Universe,
+    ) -> no_analysis::Analysis {
+        no_analysis::analyze_datalog(schema, src, universe)
+    }
+
+    /// Analyze, then evaluate only if analysis found no errors; a refusal
+    /// comes back as [`Error::Diagnostics`] carrying every finding.
+    /// Certified range-restricted queries run under the restricted-domain
+    /// semantics (Theorem 5.1); others fall back to active-domain
+    /// enumeration.
+    pub fn eval_calc_checked(
+        &self,
+        instance: &Instance,
+        src: &str,
+        universe: &mut no_object::Universe,
+    ) -> Result<Relation, Error> {
+        let analysis = self.analyze(instance.schema(), src, universe);
+        if analysis.has_errors() {
+            return Err(no_analysis::DiagnosticsError::new(&analysis).into());
+        }
+        let query =
+            no_core::parse_query(src, universe).expect("analysis passed, so the query parses");
+        if analysis.is_rr_safe() {
+            self.eval_calc_safe(instance, &query)
+        } else {
+            self.eval_calc(instance, &query)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +335,47 @@ mod tests {
             .eval_datalog(&tc_program(), &i, Strategy::SemiNaive)
             .unwrap_err();
         assert!(err.is_resource_trip());
+    }
+
+    #[test]
+    fn analyze_is_pure_and_spends_no_fuel() {
+        let (mut u, i) = graph(&[("a", "b")]);
+        // zero fuel: any evaluation attempt would trip immediately
+        let s = Session::builder()
+            .limits(Limits {
+                max_steps: 0,
+                ..Limits::unlimited()
+            })
+            .parallelism(4)
+            .build();
+        let a = s.analyze(i.schema(), "{[x:U, y:U] | G(x, y)}", &mut u);
+        assert!(a.is_rr_safe(), "{:?}", a.diagnostics);
+        let d = s.analyze_datalog(i.schema(), "rel tc(U, U).\ntc(x, y) :- G(x, y).", &mut u);
+        assert!(d.is_rr_safe(), "{:?}", d.diagnostics);
+        assert_eq!(s.governor().steps_spent(), 0, "analysis must not evaluate");
+    }
+
+    #[test]
+    fn checked_eval_refuses_on_errors_and_runs_when_clean() {
+        let (mut u, i) = graph(&[("a", "b"), ("b", "c")]);
+        let s = Session::default();
+        let out = s
+            .eval_calc_checked(&i, "{[x:U, y:U] | G(x, y)}", &mut u)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let err = s
+            .eval_calc_checked(&i, "{[x:U] | H(x)}", &mut u)
+            .unwrap_err();
+        match &err {
+            Error::Diagnostics(d) => {
+                assert_eq!(
+                    d.diagnostics[0].code,
+                    no_analysis::codes::TY_UNKNOWN_RELATION
+                )
+            }
+            other => panic!("expected Diagnostics, got {other}"),
+        }
+        assert!(!err.is_resource_trip());
     }
 
     #[test]

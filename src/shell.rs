@@ -105,7 +105,7 @@ impl Shell {
     }
 
     fn run_query(&mut self, src: &str) -> Result<String, String> {
-        let query = parse_query(src, &mut self.universe).map_err(|e| e.to_string())?;
+        let query = parse_query(src, &mut self.universe).map_err(|e| e.render(src))?;
         let t = Instant::now();
         let session = self.session();
         let result = if self.active_domain {
@@ -136,7 +136,7 @@ impl Shell {
     }
 
     fn classify_query(&mut self, src: &str) -> Result<String, String> {
-        let query = parse_query(src, &mut self.universe).map_err(|e| e.to_string())?;
+        let query = parse_query(src, &mut self.universe).map_err(|e| e.render(src))?;
         let mut out = String::new();
         for (label, assumption) in [
             ("no assumption", InputAssumption::Unknown),
@@ -162,7 +162,7 @@ impl Shell {
         use no_core::nf;
         use no_core::ranges::compute_ranges;
         use no_core::typeck;
-        let query = parse_query(src, &mut self.universe).map_err(|e| e.to_string())?;
+        let query = parse_query(src, &mut self.universe).map_err(|e| e.render(src))?;
         let checked = typeck::check(self.instance.schema(), &query.head, &query.body)
             .map_err(|e| e.to_string())?;
         let m = nf::metrics(&query.body);
@@ -214,6 +214,31 @@ impl Shell {
         Ok(out.trim_end().to_string())
     }
 
+    /// `:check` — static analysis only. The argument is a `.dl` file path
+    /// (Datalog¬) or inline CALC query text. Never evaluates, so it works
+    /// under any budget and any `:threads` setting.
+    fn check_input(&mut self, arg: &str) -> Result<String, String> {
+        if arg.is_empty() {
+            return Err(":check needs a query or a .dl file (try :help)".to_string());
+        }
+        let session = self.session();
+        let (src, analysis) = if arg.ends_with(".dl") {
+            let src =
+                std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?;
+            let a = session.analyze_datalog(self.instance.schema(), &src, &mut self.universe);
+            (src, a)
+        } else {
+            let a = session.analyze(self.instance.schema(), arg, &mut self.universe);
+            (arg.to_string(), a)
+        };
+        debug_assert_eq!(
+            session.governor().steps_spent(),
+            0,
+            "analysis must not spend evaluation fuel"
+        );
+        Ok(analysis.render(&src))
+    }
+
     fn run_datalog(&mut self, path: &str) -> Result<String, String> {
         let (path, stratified) = match path.strip_suffix(" stratified") {
             Some(p) => (p.trim(), true),
@@ -221,7 +246,7 @@ impl Shell {
         };
         let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let program =
-            datalog::parse_program(&src, &mut self.universe).map_err(|e| e.to_string())?;
+            datalog::parse_program(&src, &mut self.universe).map_err(|e| e.render(&src))?;
         let t = Instant::now();
         let session = self.session();
         let trip = |e: crate::error::Error| match e.resource() {
@@ -304,6 +329,7 @@ impl Shell {
                 }
                 "classify" => self.classify_query(arg).map(Some),
                 "explain" => self.explain_query(arg).map(Some),
+                "check" => self.check_input(arg).map(Some),
                 "datalog" => self.run_datalog(arg).map(Some),
                 "budget" => match arg.parse::<u64>() {
                     Ok(n) => {
@@ -374,6 +400,8 @@ commands:
   :db                dump the database
   :classify <query>  language fragment + complexity bound (paper theorems)
   :explain <query>   formula metrics + the ranges safe evaluation would use
+  :check <query|file.dl>   static analysis: spanned diagnostics with paper
+                     citations + a <i,k> complexity certificate (no evaluation)
   :datalog <file> [stratified]   run a Datalog¬ program (default: inflationary)
   :active            toggle active-domain vs safe evaluation
   :budget <n>        set the quantifier-range budget
@@ -536,6 +564,7 @@ mod tests {
             ":load",
             ":classify",
             ":explain",
+            ":check",
             ":datalog",
             ":budget",
             ":deadline",
@@ -544,6 +573,74 @@ mod tests {
         ] {
             assert!(h.contains(cmd), "{h}");
         }
+    }
+
+    #[test]
+    fn check_renders_certificate_for_clean_query() {
+        let mut sh = loaded_shell();
+        let out = sh
+            .command(":check {[x:U, y:U] | G(x, y)}")
+            .unwrap()
+            .unwrap();
+        assert!(out.contains("certificate:"), "{out}");
+        assert!(out.contains("RR-(CALC_0^0)"), "{out}");
+        assert!(out.contains("LOGSPACE"), "{out}");
+        assert!(
+            out.contains("restricted by rule 1 (Definition 5.2)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn check_renders_spanned_diagnostics_with_carets() {
+        let mut sh = loaded_shell();
+        let out = sh.command(":check {[x:U] | H(x)}").unwrap().unwrap();
+        assert!(out.contains("error[TY001]"), "{out}");
+        assert!(out.contains('^'), "{out}");
+        assert!(out.contains("no certificate"), "{out}");
+    }
+
+    #[test]
+    fn check_analyzes_datalog_files() {
+        let mut sh = loaded_shell();
+        let dir = std::env::temp_dir().join("nestdb_shell_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tc.dl");
+        std::fs::write(
+            &path,
+            "rel tc(U, U).\ntc(x, y) :- G(x, y).\ntc(x, y) :- tc(x, z), G(z, y).",
+        )
+        .unwrap();
+        let out = sh
+            .command(&format!(":check {}", path.display()))
+            .unwrap()
+            .unwrap();
+        assert!(out.contains("inf-Datalog¬_0^0"), "{out}");
+        assert!(out.contains("PTIME"), "{out}");
+        assert!(sh.command(":check").is_err());
+    }
+
+    #[test]
+    fn check_is_pure_under_any_budget_and_thread_count() {
+        let mut sh = loaded_shell();
+        // zero fuel: evaluation would trip instantly, analysis must not
+        sh.config.max_steps = 0;
+        sh.command(":threads 4").unwrap();
+        let out = sh
+            .command(":check {[x:U, y:U] | G(x, y)}")
+            .unwrap()
+            .unwrap();
+        assert!(out.contains("certificate:"), "{out}");
+        // …while evaluation of the same query does trip
+        assert!(sh.command("{[x:U, y:U] | G(x, y)}").is_err());
+    }
+
+    #[test]
+    fn parse_errors_show_caret_excerpts() {
+        let mut sh = loaded_shell();
+        let err = sh.command("{[x:U] | G(x,, x)}").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains('^'), "{err}");
     }
 
     #[test]

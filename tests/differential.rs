@@ -25,6 +25,7 @@ use nestdb::datalog::{
     ProgramError, SimEvalError, Strategy, StratifyError,
 };
 use nestdb::object::{Governor, Limits, Relation, Value};
+use proptest::prelude::*;
 
 /// The Datalog¬ transitive-closure program over `G[U,U]`.
 fn tc_program() -> Program {
@@ -258,4 +259,67 @@ fn nested_outputs_agree_between_safe_eval_and_algebra() {
     assert_eq!(rr, ad);
     assert!(alg.iter().all(|row| matches!(row[1], Value::Set(_))));
     let _: &Relation = &alg;
+}
+
+/// A pool of query sources over `G(U, U)` mixing certified-range-restricted
+/// queries with deliberately unrestricted ones, so the soundness property
+/// below is exercised on both sides of the certificate.
+fn analyzer_query_pool() -> Vec<&'static str> {
+    vec![
+        // range restricted (the data/queries.calc corpus shapes)
+        "{[x:U, y:U] | G(x, y)}",
+        "{[x:U, y:U] | G(x, y) /\\ ~G(y, x)}",
+        "{[x:U] | exists y:U (G(x, y) /\\ G(y, x))}",
+        "{[x:U, s:{U}] | G(x, x) \\/ forall y:U (G(x, y) <-> y in s)}",
+        "{[u:U, v:U] | ifp(S; fx:U, fy:U | G(fx, fy) \\/ exists fz:U (S(fx, fz) /\\ G(fz, fy)))(u, v)}",
+        "{[p:[U,U]] | G(p.1, p.2) /\\ ~p.1 = p.2}",
+        // not range restricted: atom-typed fallback (small active domain)
+        "{[x:U, y:U] | ~G(x, y)}",
+        // not range restricted: set-typed fallback (powerset-sized domain)
+        "{[X:{U}] | X = X}",
+        "{[X:{U}] | forall x:U (x in X -> G(x, x))}",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Certificate soundness (the analyzer's core contract): a query the
+    /// analyzer certifies `is_rr_safe` evaluates under safe (range-
+    /// restricted) evaluation without ever hitting a range-restriction
+    /// failure — no `RangeTooLarge`, no `UnboundVariable`, no shape error —
+    /// on any instance, even with a range budget too small for domain
+    /// fallback. Contrapositively, any query that does trip `RangeTooLarge`
+    /// must be one the analyzer declined to certify.
+    #[test]
+    fn rr_certificates_are_sound(edges in edges_strategy(5, 12), qi in 0usize..9) {
+        let src = analyzer_query_pool()[qi];
+        let (mut u, _o, i) = graph_instance(5, &edges);
+        let analysis = nestdb::analysis::analyze_calc(i.schema(), src, &mut u);
+        prop_assert!(!analysis.has_errors(), "pool query rejected: {:?}", analysis.diagnostics);
+
+        let q = nestdb::core::parse_query(src, &mut u).expect("pool queries parse");
+        // dom({U}, 5) = 32 > 16, so an unrestricted set variable cannot be
+        // enumerated — but 16 still covers the 5-atom active domain.
+        let cfg = EvalConfig {
+            max_range: 16,
+            ..EvalConfig::default()
+        };
+        match safe_eval(&i, &q, cfg) {
+            Ok(_) => {}
+            // A governor budget trip is not a soundness failure: the
+            // certificate promises freedom from range-restriction errors,
+            // not that evaluation is cheap.
+            Err(EvalError::Resource(_)) => {}
+            Err(e @ (EvalError::RangeTooLarge { .. }
+                   | EvalError::UnboundVariable(_)
+                   | EvalError::ShapeError(_))) => {
+                prop_assert!(
+                    !analysis.is_rr_safe(),
+                    "analyzer certified {src} RR-safe but safe evaluation failed: {e}"
+                );
+            }
+            Err(other) => panic!("{src}: unexpected evaluation failure: {other}"),
+        }
+    }
 }
