@@ -1,0 +1,492 @@
+//! Compile-to-plan: one logical/physical query-plan IR for every engine.
+//!
+//! All three front-ends of the PODS'91 reproduction — the calculus
+//! (CALC_{i,k}), the nested algebra with powerset, and inflationary
+//! Datalog¬ — compile into a single logical plan IR ([`ir::Plan`]), get
+//! rewritten by a pipeline of semantics-preserving optimizer passes
+//! ([`passes`]), and execute as a physical plan ([`physical::Physical`])
+//! whose operators bind to the existing interned/pooled runtime kernels.
+//! Because the kernels already thread the [`no_object::Governor`] at every
+//! accounting site, planned evaluation draws the same fuel and trips with
+//! the same structured errors as the legacy tree-walk path — which is
+//! exactly what the differential suite proves.
+//!
+//! The pieces:
+//!
+//! - [`ir`] — the flat-arena logical plan (operators named after the
+//!   paper's constructs, down to Definition 5.2/5.3 range rules);
+//! - [`lower`] — CALC / algebra / Datalog¬ lowering;
+//! - [`stats`] — O(schema) instance statistics and schema fingerprints;
+//! - [`passes`] — pushdown, quantifier reordering, CSE, the semi-naive
+//!   delta rewrite, and governor-aware early-trip annotation;
+//! - [`physical`] — the executable plan and its kernel bindings;
+//! - [`explain`] — deterministic text/JSON renderings (`:explain`);
+//! - [`cache`] — the LRU plan cache keyed on normalized text + schema
+//!   fingerprint.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod explain;
+pub mod ir;
+pub mod lower;
+pub mod passes;
+pub mod physical;
+pub mod stats;
+
+pub use cache::{CacheKey, PlanCache, PlanKind};
+pub use explain::{json_escape, plan_tree_text};
+pub use ir::{Node, NodeId, Op, Plan};
+pub use lower::{lower_algebra, lower_calc, lower_datalog, to_expr, CalcLowering};
+pub use passes::{Pass, PassSet};
+pub use physical::{CalcMode, DatalogMode, Output, Physical, PlanError};
+pub use stats::{schema_fingerprint, Stats};
+
+use no_algebra::Expr;
+use no_core::print::Printer;
+use no_core::Query;
+use no_datalog::Program;
+use no_object::{Governor, Instance, Limits, Schema};
+
+/// The planner: owns the inputs optimization needs (schema, optional
+/// statistics, optional governor limits) and the pass set to apply.
+pub struct Planner<'a> {
+    schema: &'a Schema,
+    stats: Option<Stats>,
+    limits: Option<Limits>,
+    passes: PassSet,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner for `schema` with every pass enabled and no stats or
+    /// limits (stats unlock reordering; limits unlock trip warnings).
+    pub fn new(schema: &'a Schema) -> Self {
+        Planner {
+            schema,
+            stats: None,
+            limits: None,
+            passes: PassSet::all(),
+        }
+    }
+
+    /// Use instance statistics (enables quantifier reordering and
+    /// cardinality estimates in `:explain`).
+    pub fn with_stats(mut self, stats: Stats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Collect statistics from an instance directly.
+    pub fn with_instance(self, instance: &Instance) -> Self {
+        self.with_stats(Stats::of(instance))
+    }
+
+    /// Use governor limits (enables early-trip warnings in the plan).
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Restrict which optimizer passes run (the per-pass equivalence
+    /// property tests toggle passes one at a time through this).
+    pub fn with_passes(mut self, passes: PassSet) -> Self {
+        self.passes = passes;
+        self
+    }
+
+    /// Plan a CALC query under the given semantics.
+    pub fn plan_calc(&self, query: &Query, mode: CalcMode) -> Result<Planned, PlanError> {
+        let printer = Printer::new();
+        let lowered = lower::lower_calc(self.schema, self.stats.as_ref(), query)?;
+        let mut plan = lowered.plan;
+        let mut query = query.clone();
+        let mut applied = Vec::new();
+        let mut header = vec![format!(
+            "query class: CALC⟨i={}, k={}⟩",
+            lowered.ik.0, lowered.ik.1
+        )];
+
+        // Pushdown: top-level `v = c` conjuncts pin ranges to singletons.
+        let mut pins = Vec::new();
+        if self.passes.contains(Pass::Pushdown) {
+            applied.push(Pass::Pushdown.name());
+            pins = passes::calc_pins(&query);
+            for (v, c) in &pins {
+                if let Some(pos) = query.head.iter().position(|(hv, _)| hv == v) {
+                    let id = lowered.range_nodes[pos];
+                    plan.nodes[id].est = Some(1);
+                    plan.nodes[id].note =
+                        Some(format!("pinned to {} by pushdown", printer.value(c)));
+                }
+                header.push(format!(
+                    "pinned: {v} = {} (top-level equality)",
+                    printer.value(c)
+                ));
+            }
+        }
+
+        // Reorder: enumerate the cheapest range first; a RestoreColumns
+        // root puts the output back in source order.
+        let mut restore = None;
+        if self.passes.contains(Pass::Reorder) && self.stats.is_some() {
+            applied.push(Pass::Reorder.name());
+            let ests: Vec<Option<u64>> = lowered
+                .range_nodes
+                .iter()
+                .map(|&id| plan.nodes[id].est)
+                .collect();
+            if let Some(perm) = passes::sort_permutation(&ests) {
+                let head = query.head.clone();
+                query.head = perm.iter().map(|&i| head[i].clone()).collect();
+                let en = lowered.enumerate;
+                let matrix = *plan.nodes[en].children.last().expect("matrix child");
+                let mut children: Vec<NodeId> =
+                    perm.iter().map(|&i| lowered.range_nodes[i]).collect();
+                children.push(matrix);
+                plan.nodes[en].children = children;
+                if let Op::Enumerate { vars } = &mut plan.nodes[en].op {
+                    *vars = query.head.iter().map(|(v, _)| v.clone()).collect();
+                }
+                let est = plan.nodes[en].est;
+                plan.root = plan.add_est(Op::RestoreColumns { perm: perm.clone() }, vec![en], est);
+                header.push("quantifiers reordered by estimated range size".to_string());
+                restore = Some(perm);
+            }
+        }
+
+        let mode_label = match mode {
+            CalcMode::ActiveDomain => "active-domain",
+            CalcMode::Safe => "safe",
+        };
+        let physical = Physical::Calc {
+            query,
+            var_types: lowered.var_types,
+            mode,
+            restore,
+            pins,
+        };
+        Ok(self.finish(plan, physical, "calc", mode_label, applied, header))
+    }
+
+    /// Plan an algebra expression.
+    pub fn plan_algebra(&self, expr: &Expr) -> Result<Planned, PlanError> {
+        let mut applied = Vec::new();
+        let mut header = Vec::new();
+        let expr = if self.passes.contains(Pass::Pushdown) {
+            applied.push(Pass::Pushdown.name());
+            let (rewritten, changed) = passes::pushdown_expr(expr, self.schema);
+            if changed {
+                header.push("selections pushed toward scans".to_string());
+            }
+            rewritten
+        } else {
+            expr.clone()
+        };
+        let plan = lower::lower_algebra(self.schema, self.stats.as_ref(), &expr)?;
+        let physical = Physical::Algebra { expr };
+        Ok(self.finish(plan, physical, "algebra", "bottom-up", applied, header))
+    }
+
+    /// Plan a Datalog¬ program. A `SemiNaive` request only yields the
+    /// delta-rewritten plan when the delta pass is enabled; with the pass
+    /// off it downgrades to naive rounds (same fixpoint, no Δ pruning) —
+    /// that downgrade is what the per-pass equivalence test exercises.
+    pub fn plan_datalog(&self, program: &Program, mode: DatalogMode) -> Result<Planned, PlanError> {
+        let mut applied = Vec::new();
+        let mut header = vec![format!(
+            "{} rule(s), {} idb relation(s)",
+            program.rules.len(),
+            program.idb.len()
+        )];
+        let mode = match mode {
+            DatalogMode::SemiNaive if !self.passes.contains(Pass::Delta) => {
+                header.push("delta pass disabled: semi-naive downgraded to naive".to_string());
+                DatalogMode::Naive
+            }
+            m => m,
+        };
+        let mut plan = lower::lower_datalog(self.schema, self.stats.as_ref(), program, &mode)?;
+        if mode == DatalogMode::SemiNaive {
+            applied.push(Pass::Delta.name());
+            let idb = program.idb.keys().cloned().collect();
+            plan = passes::delta_rewrite(&plan, &idb);
+        }
+        let mode_label = match &mode {
+            DatalogMode::Naive => "naive",
+            DatalogMode::SemiNaive => "semi-naive",
+            DatalogMode::Stratified => "stratified",
+            DatalogMode::Simultaneous(_) => "simultaneous-ifp",
+        };
+        let physical = Physical::Datalog {
+            program: program.clone(),
+            mode,
+        };
+        Ok(self.finish(plan, physical, "datalog", mode_label, applied, header))
+    }
+
+    /// Shared tail of every front-end: CSE, trip annotation, packaging.
+    fn finish(
+        &self,
+        mut plan: Plan,
+        physical: Physical,
+        engine: &'static str,
+        mode_label: &str,
+        mut applied: Vec<&'static str>,
+        header: Vec<String>,
+    ) -> Planned {
+        if self.passes.contains(Pass::Cse) {
+            applied.push(Pass::Cse.name());
+            plan = passes::cse(&plan);
+        }
+        let mut warnings = Vec::new();
+        if self.passes.contains(Pass::Trips) {
+            if let Some(limits) = &self.limits {
+                applied.push(Pass::Trips.name());
+                warnings = passes::governor_trips(&mut plan, limits);
+            }
+        }
+        Planned {
+            plan,
+            physical,
+            engine,
+            mode_label: mode_label.to_string(),
+            passes: applied,
+            header,
+            warnings,
+        }
+    }
+}
+
+/// A finished plan: the logical IR for explaining, the physical form for
+/// executing, and the provenance the renderings show.
+#[derive(Debug)]
+pub struct Planned {
+    /// The (optimized) logical plan.
+    pub plan: Plan,
+    /// The executable physical plan.
+    pub physical: Physical,
+    /// `"calc"`, `"algebra"`, or `"datalog"`.
+    pub engine: &'static str,
+    /// Semantics/strategy within the engine.
+    pub mode_label: String,
+    /// Names of the optimizer passes that ran, in pipeline order.
+    pub passes: Vec<&'static str>,
+    /// Extra header lines (query class, pins, rewrite notes).
+    pub header: Vec<String>,
+    /// Early-trip warnings from the governor pass.
+    pub warnings: Vec<String>,
+}
+
+impl Planned {
+    /// The stable text rendering behind `:explain`.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("plan: {} ({})\n", self.engine, self.mode_label);
+        let passes = if self.passes.is_empty() {
+            "(none)".to_string()
+        } else {
+            self.passes.join(", ")
+        };
+        out.push_str(&format!("passes: {passes}\n"));
+        for h in &self.header {
+            out.push_str(h);
+            out.push('\n');
+        }
+        if self.plan.shared > 0 {
+            out.push_str(&format!("shared subplans merged: {}\n", self.plan.shared));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("warning: ⚠ {w}\n"));
+        }
+        out.push_str(&explain::plan_tree_text(&self.plan));
+        out
+    }
+
+    /// The stable JSON rendering behind `nestdb explain --format json`.
+    pub fn render_json(&self) -> String {
+        use explain::json_escape as esc;
+        let passes: Vec<String> = self
+            .passes
+            .iter()
+            .map(|p| format!("\"{}\"", esc(p)))
+            .collect();
+        let header: Vec<String> = self
+            .header
+            .iter()
+            .map(|h| format!("\"{}\"", esc(h)))
+            .collect();
+        let warnings: Vec<String> = self
+            .warnings
+            .iter()
+            .map(|w| format!("\"{}\"", esc(w)))
+            .collect();
+        format!(
+            "{{\"engine\": \"{}\", \"mode\": \"{}\", \"passes\": [{}], \"header\": [{}], \"warnings\": [{}], \"shared\": {}, \"root\": {}}}",
+            esc(self.engine),
+            esc(&self.mode_label),
+            passes.join(", "),
+            header.join(", "),
+            warnings.join(", "),
+            self.plan.shared,
+            explain::node_json(&self.plan, self.plan.root),
+        )
+    }
+
+    /// Execute on an instance (see [`Physical::execute`]).
+    pub fn execute(
+        &self,
+        instance: &Instance,
+        governor: &Governor,
+        pool: &minipool::ThreadPool,
+    ) -> Result<Output, PlanError> {
+        self.physical.execute(instance, governor, pool)
+    }
+}
+
+/// Cache key for a CALC query (normalized through the deterministic
+/// printer, so formatting differences in source text don't split entries).
+pub fn calc_key(schema: &Schema, query: &Query, mode: CalcMode) -> CacheKey {
+    CacheKey {
+        kind: match mode {
+            CalcMode::ActiveDomain => PlanKind::CalcActiveDomain,
+            CalcMode::Safe => PlanKind::CalcSafe,
+        },
+        mode: String::new(),
+        text: Printer::new().query(query),
+        schema: schema_fingerprint(schema),
+    }
+}
+
+/// Cache key for an algebra expression.
+pub fn algebra_key(schema: &Schema, expr: &Expr) -> CacheKey {
+    CacheKey {
+        kind: PlanKind::Algebra,
+        mode: String::new(),
+        text: expr.to_string(),
+        schema: schema_fingerprint(schema),
+    }
+}
+
+/// Cache key for a Datalog¬ program under a named strategy.
+pub fn datalog_key(schema: &Schema, program: &Program, strategy: &str) -> CacheKey {
+    CacheKey {
+        kind: PlanKind::Datalog,
+        mode: strategy.to_string(),
+        text: program.to_string(),
+        schema: schema_fingerprint(schema),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_core::ast::{Formula, Term};
+    use no_object::{Atom, RelationSchema, Type, Universe, Value};
+
+    fn graph() -> (Schema, Instance) {
+        let schema =
+            Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
+        let mut i = Instance::empty(schema.clone());
+        let _u = Universe::with_names(["a", "b", "c"]);
+        for (x, y) in [(0u32, 1u32), (1, 2)] {
+            i.insert("G", vec![Value::Atom(Atom(x)), Value::Atom(Atom(y))]);
+        }
+        (schema, i)
+    }
+
+    fn edge_query() -> Query {
+        Query::new(
+            vec![("x".to_string(), Type::Atom), ("y".to_string(), Type::Atom)],
+            Formula::Rel("G".to_string(), vec![Term::var("x"), Term::var("y")]),
+        )
+    }
+
+    #[test]
+    fn planned_calc_matches_direct_evaluation() {
+        let (schema, inst) = graph();
+        let q = edge_query();
+        let planner = Planner::new(&schema).with_instance(&inst);
+        let planned = planner.plan_calc(&q, CalcMode::Safe).unwrap();
+        let gov = Governor::unlimited();
+        let pool = minipool::ThreadPool::sequential();
+        let rel = planned.execute(&inst, &gov, &pool).unwrap().into_relation();
+        assert_eq!(rel.len(), 2);
+        assert!(planned.render_text().contains("range x ← rule 1"));
+    }
+
+    #[test]
+    fn pinned_constant_restricts_output() {
+        let (schema, inst) = graph();
+        let q = Query::new(
+            vec![("x".to_string(), Type::Atom), ("y".to_string(), Type::Atom)],
+            Formula::and([
+                Formula::Rel("G".to_string(), vec![Term::var("x"), Term::var("y")]),
+                Formula::Eq(Term::var("x"), Term::Const(Value::Atom(Atom(0)))),
+            ]),
+        );
+        let planner = Planner::new(&schema).with_instance(&inst);
+        for mode in [CalcMode::ActiveDomain, CalcMode::Safe] {
+            let planned = planner.plan_calc(&q, mode).unwrap();
+            let gov = Governor::unlimited();
+            let pool = minipool::ThreadPool::sequential();
+            let rel = planned.execute(&inst, &gov, &pool).unwrap().into_relation();
+            assert_eq!(rel.len(), 1, "only the edge out of atom 0");
+        }
+    }
+
+    #[test]
+    fn reorder_restores_column_order() {
+        // Head (x, y) where y's best relation (E, 1 row) is smaller than
+        // x's (G, 3 rows) forces a permutation; columns must come back in
+        // source order.
+        let schema2 = Schema::from_relations([
+            RelationSchema::new("G", vec![Type::Atom, Type::Atom]),
+            RelationSchema::new("E", vec![Type::Atom]),
+        ]);
+        let mut inst = Instance::empty(schema2.clone());
+        for (x, y) in [(0u32, 1u32), (1, 2), (2, 0)] {
+            inst.insert("G", vec![Value::Atom(Atom(x)), Value::Atom(Atom(y))]);
+        }
+        inst.insert("E", vec![Value::Atom(Atom(2))]);
+        let q = Query::new(
+            vec![("x".to_string(), Type::Atom), ("y".to_string(), Type::Atom)],
+            Formula::and([
+                Formula::Rel("G".to_string(), vec![Term::var("x"), Term::var("y")]),
+                Formula::Rel("E".to_string(), vec![Term::var("y")]),
+            ]),
+        );
+        let planner = Planner::new(&schema2).with_instance(&inst);
+        let planned = planner.plan_calc(&q, CalcMode::Safe).unwrap();
+        match &planned.physical {
+            Physical::Calc { restore, .. } => {
+                assert_eq!(restore.as_deref(), Some(&[1usize, 0][..]), "y first");
+            }
+            _ => unreachable!(),
+        }
+        let gov = Governor::unlimited();
+        let pool = minipool::ThreadPool::sequential();
+        let rel = planned.execute(&inst, &gov, &pool).unwrap().into_relation();
+        // G(1,2) ∧ E(2): row must come back as (x=1, y=2), not permuted.
+        let row = rel.iter().next().unwrap().clone();
+        assert_eq!(row, vec![Value::Atom(Atom(1)), Value::Atom(Atom(2))]);
+        // the unpermuted baseline agrees
+        let baseline = Planner::new(&schema2)
+            .with_passes(PassSet::none())
+            .plan_calc(&q, CalcMode::Safe)
+            .unwrap()
+            .execute(&inst, &gov, &pool)
+            .unwrap()
+            .into_relation();
+        assert_eq!(rel, baseline);
+    }
+
+    #[test]
+    fn cache_keys_normalize_and_separate() {
+        let (schema, _) = graph();
+        let q = edge_query();
+        let k1 = calc_key(&schema, &q, CalcMode::Safe);
+        let k2 = calc_key(&schema, &q.clone(), CalcMode::Safe);
+        assert_eq!(k1, k2);
+        let k3 = calc_key(&schema, &q, CalcMode::ActiveDomain);
+        assert_ne!(k1, k3, "semantics are part of the key");
+    }
+}

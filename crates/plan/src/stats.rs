@@ -1,0 +1,179 @@
+//! Cheap instance statistics and schema fingerprints.
+//!
+//! The optimizer never scans data: everything it knows comes from the
+//! relation cardinalities an [`Instance`] already maintains plus the atom
+//! count (the active-domain size). That keeps planning O(schema), so a
+//! plan-cache hit really does skip all per-query analysis work.
+
+use no_core::ast::{Formula, Term};
+use no_object::{Instance, Schema, Type};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// Relation cardinalities plus the active-domain size of one instance.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Rows per relation.
+    pub rel_rows: BTreeMap<String, u64>,
+    /// Number of distinct atoms in the instance (active-domain size).
+    pub atoms: u64,
+}
+
+impl Stats {
+    /// Collect stats from an instance (O(#relations), no data scan beyond
+    /// the cardinality counters the instance already keeps).
+    pub fn of(instance: &Instance) -> Stats {
+        let rel_rows = instance
+            .schema()
+            .relations()
+            .map(|r| (r.name.clone(), instance.relation(&r.name).len() as u64))
+            .collect();
+        Stats {
+            rel_rows,
+            atoms: instance.atoms().len() as u64,
+        }
+    }
+
+    /// Rows of a relation, when known.
+    pub fn rows(&self, rel: &str) -> Option<u64> {
+        self.rel_rows.get(rel).copied()
+    }
+
+    /// Estimated candidates a variable ranges over when it occurs in the
+    /// body of `formula` as an argument of a database relation atom: the
+    /// smallest such relation's cardinality (each column of `R` has at
+    /// most |R| distinct values). `None` when the variable never occurs in
+    /// a relation atom we have stats for.
+    pub fn estimate_var(&self, formula: &Formula, var: &str) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        collect_rel_occurrences(formula, &mut |rel, args| {
+            if args.iter().any(|t| term_mentions(t, var)) {
+                if let Some(n) = self.rows(rel) {
+                    best = Some(best.map_or(n, |b| b.min(n)));
+                }
+            }
+        });
+        best
+    }
+
+    /// Estimated active-domain size for a type: the atom count for atom
+    /// types, saturating `2^dom` growth for sets, products for tuples.
+    pub fn estimate_domain(&self, ty: &Type) -> u64 {
+        match ty {
+            Type::Atom => self.atoms.max(1),
+            Type::Set(inner) => {
+                let n = self.estimate_domain(inner);
+                if n >= 63 {
+                    u64::MAX
+                } else {
+                    1u64 << n
+                }
+            }
+            Type::Tuple(parts) => parts
+                .iter()
+                .map(|t| self.estimate_domain(t))
+                .fold(1u64, u64::saturating_mul),
+        }
+    }
+}
+
+fn term_mentions(t: &Term, var: &str) -> bool {
+    match t {
+        Term::Var(v) => v == var,
+        Term::Proj(inner, _) => term_mentions(inner, var),
+        Term::Const(_) | Term::Fix(_) => false,
+    }
+}
+
+/// Walk every relation atom in a formula (including under quantifiers,
+/// negation, and fixpoint bodies) and hand it to `f`.
+fn collect_rel_occurrences(formula: &Formula, f: &mut impl FnMut(&str, &[Term])) {
+    match formula {
+        Formula::Rel(name, args) => f(name, args),
+        Formula::Eq(..) | Formula::In(..) | Formula::Subset(..) => {}
+        Formula::Not(inner) => collect_rel_occurrences(inner, f),
+        Formula::And(parts) | Formula::Or(parts) => {
+            for p in parts {
+                collect_rel_occurrences(p, f);
+            }
+        }
+        Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            collect_rel_occurrences(a, f);
+            collect_rel_occurrences(b, f);
+        }
+        Formula::Exists(_, _, inner) | Formula::Forall(_, _, inner) => {
+            collect_rel_occurrences(inner, f)
+        }
+        Formula::FixApp(fix, args) => {
+            collect_rel_occurrences(&fix.body, f);
+            f(&fix.rel, args);
+        }
+    }
+}
+
+/// A stable fingerprint of a schema: relation names with their column
+/// types, hashed. Part of every plan-cache key — a plan lowered against
+/// one schema must never be replayed against another.
+pub fn schema_fingerprint(schema: &Schema) -> u64 {
+    let mut h = DefaultHasher::new();
+    for rel in schema.relations() {
+        rel.name.hash(&mut h);
+        for ty in &rel.column_types {
+            ty.to_string().hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_object::{Atom, RelationSchema, Universe, Value};
+
+    fn tiny() -> Instance {
+        let schema = Schema::from_relations([
+            RelationSchema::new("G", vec![Type::Atom, Type::Atom]),
+            RelationSchema::new("E", vec![Type::Atom]),
+        ]);
+        let mut i = Instance::empty(schema);
+        let _u = Universe::with_names(["a", "b", "c"]);
+        for (x, y) in [(0u32, 1u32), (1, 2), (2, 0)] {
+            i.insert("G", vec![Value::Atom(Atom(x)), Value::Atom(Atom(y))]);
+        }
+        i.insert("E", vec![Value::Atom(Atom(0))]);
+        i
+    }
+
+    #[test]
+    fn stats_count_rows_and_atoms() {
+        let i = tiny();
+        let s = Stats::of(&i);
+        assert_eq!(s.rows("G"), Some(3));
+        assert_eq!(s.rows("E"), Some(1));
+        assert_eq!(s.atoms, 3);
+        assert_eq!(s.estimate_domain(&Type::Atom), 3);
+        assert_eq!(s.estimate_domain(&Type::set(Type::Atom)), 8);
+    }
+
+    #[test]
+    fn var_estimates_take_the_smallest_relation() {
+        let i = tiny();
+        let s = Stats::of(&i);
+        let f = Formula::and([
+            Formula::Rel("G".into(), vec![Term::var("x"), Term::var("y")]),
+            Formula::Rel("E".into(), vec![Term::var("x")]),
+        ]);
+        assert_eq!(s.estimate_var(&f, "x"), Some(1), "E is smaller than G");
+        assert_eq!(s.estimate_var(&f, "y"), Some(3));
+        assert_eq!(s.estimate_var(&f, "z"), None);
+    }
+
+    #[test]
+    fn fingerprints_separate_schemas() {
+        let a = Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
+        let b = Schema::from_relations([RelationSchema::new("G", vec![Type::Atom])]);
+        assert_ne!(schema_fingerprint(&a), schema_fingerprint(&b));
+        assert_eq!(schema_fingerprint(&a), schema_fingerprint(&a.clone()));
+    }
+}

@@ -102,7 +102,11 @@ impl ThreadPool {
             if stop.load(Ordering::Relaxed) {
                 return;
             }
-            let job = queues[me].lock().unwrap().pop_front().or_else(|| {
+            // Pop in its own statement so the guard on our deque drops
+            // before stealing: holding it while locking a sibling's deque
+            // deadlocks when two workers steal from each other at once.
+            let own = queues[me].lock().unwrap().pop_front();
+            let job = own.or_else(|| {
                 // Own deque empty: steal from the back of a sibling's.
                 (0..queues.len())
                     .filter(|&k| k != me)
@@ -292,5 +296,23 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(ThreadPool::new(0).threads(), 1);
+    }
+
+    /// Regression: workers must release their own deque's lock *before*
+    /// stealing. Holding it across the steal deadlocked two workers that
+    /// emptied their deques simultaneously (each holding its own lock,
+    /// each waiting on the other's). Tiny inputs with trivial work make
+    /// simultaneous stealing likely; hammer enough rounds that the old
+    /// code locked up well within the suite timeout.
+    #[test]
+    fn concurrent_stealing_does_not_deadlock() {
+        for workers in [2usize, 4] {
+            let pool = ThreadPool::new(workers);
+            for round in 0..500 {
+                let items: Vec<usize> = (0..workers * 2).collect();
+                let out = pool.map(items, |x| x + round);
+                assert_eq!(out.len(), workers * 2);
+            }
+        }
     }
 }

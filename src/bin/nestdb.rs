@@ -12,8 +12,10 @@
 
 use nestdb::check::CorpusReport;
 use nestdb::object::text::parse_database;
-use nestdb::object::{Schema, Universe};
+use nestdb::object::{Instance, Schema, Universe};
+use nestdb::plan::{json_escape, CalcMode, DatalogMode};
 use nestdb::shell::Shell;
+use nestdb::{ExplainTarget, Session};
 use std::io::{self, BufRead, Write};
 
 /// `nestdb analyze [--format json|text] [--deny] [--db <file.no>] <files…>`
@@ -99,10 +101,177 @@ fn run_analyze(args: &[String]) -> i32 {
     0
 }
 
+/// `nestdb explain [--format json|text] [--deny] [--db <file.no>] <files…>`
+///
+/// Compile query files to optimized plans and print them without
+/// evaluating. `.dl` files are Datalog¬ programs (planned under the
+/// semi-naive delta rewrite), anything else is one CALC query per
+/// non-comment line (planned under safe evaluation). `--db` supplies the
+/// schema and the statistics the optimizer orders quantifiers by.
+/// `--deny` exits nonzero when any input fails to plan — the CI gate.
+fn run_explain(args: &[String]) -> i32 {
+    let mut format = "text".to_string();
+    let mut deny = false;
+    let mut db: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next() {
+                Some(f) if f == "json" || f == "text" => format = f.clone(),
+                other => {
+                    eprintln!("error: --format needs json or text, got {other:?}");
+                    return 2;
+                }
+            },
+            "--deny" => deny = true,
+            "--db" => match it.next() {
+                Some(p) => db = Some(p.clone()),
+                None => {
+                    eprintln!("error: --db needs a database file");
+                    return 2;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}");
+                return 2;
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: nestdb explain [--format json|text] [--deny] [--db <file.no>] <files…>");
+        return 2;
+    }
+    let mut universe = Universe::new();
+    let instance = match &db {
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return 2;
+                }
+            };
+            match parse_database(&src, &mut universe) {
+                Ok((_schema, instance)) => instance,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return 2;
+                }
+            }
+        }
+        None => Instance::empty(Schema::new()),
+    };
+    let session = Session::default();
+    // (source label, Ok(rendered plan) | Err(message))
+    let mut results: Vec<(String, Result<String, String>)> = Vec::new();
+    let json = format == "json";
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                return 2;
+            }
+        };
+        if file.ends_with(".dl") {
+            let label = file.clone();
+            let outcome = nestdb::datalog::parse_program(&src, &mut universe)
+                .map_err(|e| e.render(&src))
+                .and_then(|program| {
+                    session
+                        .explain(
+                            &instance,
+                            ExplainTarget::Datalog {
+                                program: &program,
+                                mode: DatalogMode::SemiNaive,
+                            },
+                        )
+                        .map(|p| {
+                            if json {
+                                p.render_json()
+                            } else {
+                                p.render_text()
+                            }
+                        })
+                        .map_err(|e| e.to_string())
+                });
+            results.push((label, outcome));
+        } else {
+            for (lineno, line) in src.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('%') {
+                    continue;
+                }
+                let label = format!("{file}:{}", lineno + 1);
+                let outcome = nestdb::core::parse_query(line, &mut universe)
+                    .map_err(|e| e.render(line))
+                    .and_then(|q| {
+                        session
+                            .explain(
+                                &instance,
+                                ExplainTarget::Calc {
+                                    query: &q,
+                                    mode: CalcMode::Safe,
+                                },
+                            )
+                            .map(|p| {
+                                if json {
+                                    p.render_json()
+                                } else {
+                                    p.render_text()
+                                }
+                            })
+                            .map_err(|e| e.to_string())
+                    });
+                results.push((label, outcome));
+            }
+        }
+    }
+    let failures = results.iter().filter(|(_, r)| r.is_err()).count();
+    if json {
+        let items: Vec<String> = results
+            .iter()
+            .map(|(label, r)| match r {
+                Ok(plan) => format!(
+                    "{{\"source\": \"{}\", \"plan\": {plan}}}",
+                    json_escape(label)
+                ),
+                Err(e) => format!(
+                    "{{\"source\": \"{}\", \"error\": \"{}\"}}",
+                    json_escape(label),
+                    json_escape(e)
+                ),
+            })
+            .collect();
+        println!(
+            "{{\"plans\": [{}], \"failures\": {failures}}}",
+            items.join(", ")
+        );
+    } else {
+        for (label, r) in &results {
+            println!("== {label} ==");
+            match r {
+                Ok(plan) => println!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    }
+    if deny && failures > 0 {
+        eprintln!("explain --deny: {failures} input(s) failed to plan");
+        return 1;
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("analyze") {
         std::process::exit(run_analyze(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("explain") {
+        std::process::exit(run_explain(&args[1..]));
     }
     let mut shell = Shell::new();
     for path in &args {

@@ -98,6 +98,24 @@ impl From<DiagnosticsError> for Error {
     }
 }
 
+impl From<no_plan::PlanError> for Error {
+    fn from(e: no_plan::PlanError) -> Self {
+        // Planned evaluation wraps the same engine errors the tree-walk
+        // paths raise; unwrap back to the matching variant so callers see
+        // identical errors regardless of which path ran.
+        match e {
+            no_plan::PlanError::Calc(e) => Error::Calc(e),
+            no_plan::PlanError::Algebra(e) => Error::Algebra(e),
+            no_plan::PlanError::Datalog(e) => Error::Datalog(e),
+            no_plan::PlanError::Stratify(e) => Error::Stratify(e),
+            no_plan::PlanError::Simultaneous(e) => Error::Simultaneous(e),
+            no_plan::PlanError::Unsupported(what) => {
+                Error::Calc(EvalError::ShapeError(format!("unplannable: {what}")))
+            }
+        }
+    }
+}
+
 impl Error {
     /// The [`ResourceError`] behind this failure, if a governor budget
     /// (steps, range, memory, iterations, deadline, or cancellation)

@@ -10,6 +10,8 @@
 //! - [`datalog`]: inflationary Datalog over complex objects
 //! - [`density`]: instance families and density/sparsity analysis
 //! - [`analysis`]: static analyzer — diagnostics and complexity certificates
+//! - [`plan`]: the logical/physical query-plan IR, optimizer passes, plan
+//!   cache, and `:explain` renderings shared by every engine
 
 pub use no_algebra as algebra;
 pub use no_analysis as analysis;
@@ -17,6 +19,7 @@ pub use no_core as core;
 pub use no_datalog as datalog;
 pub use no_density as density;
 pub use no_object as object;
+pub use no_plan as plan;
 pub use no_tm as tm;
 
 pub mod check;
@@ -26,4 +29,4 @@ pub mod shell;
 
 pub use error::Error;
 pub use minipool::ThreadPool;
-pub use session::{Session, SessionBuilder};
+pub use session::{ExplainTarget, Session, SessionBuilder};

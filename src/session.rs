@@ -41,6 +41,11 @@ use no_core::eval::{active_order, Evaluator};
 use no_core::Query;
 use no_datalog::{EvalStats, Idb, Program, Strategy};
 use no_object::{Governor, Instance, Limits, Relation, Type};
+use no_plan::{CacheKey, CalcMode, DatalogMode, PlanCache, Planned, Planner};
+use std::sync::{Arc, Mutex};
+
+/// How many plans a session keeps in its LRU plan cache.
+pub const PLAN_CACHE_CAPACITY: usize = 64;
 
 /// Environment variable consulted for the default worker count when
 /// [`SessionBuilder::parallelism`] is not called. Unset, unparsable, or
@@ -95,7 +100,11 @@ impl SessionBuilder {
             .governor
             .unwrap_or_else(|| Governor::new(self.limits.unwrap_or_else(Limits::unlimited)));
         let pool = ThreadPool::new(self.parallelism.unwrap_or_else(default_parallelism));
-        Session { governor, pool }
+        Session {
+            governor,
+            pool,
+            plans: Arc::new(Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY))),
+        }
     }
 }
 
@@ -107,6 +116,10 @@ impl SessionBuilder {
 pub struct Session {
     governor: Governor,
     pool: ThreadPool,
+    /// LRU cache of compiled plans, keyed on normalized query text plus a
+    /// schema fingerprint. Shared by clones of this session (a clone is a
+    /// view over the same budget, so sharing its plans is consistent).
+    plans: Arc<Mutex<PlanCache<Planned>>>,
 }
 
 impl Default for Session {
@@ -241,6 +254,188 @@ impl Session {
             self.eval_calc(instance, &query)
         }
     }
+
+    // ----- compile-to-plan entry points -------------------------------
+
+    /// Compile (or fetch from the plan cache) under the session's pass
+    /// set: stats come from the instance, limits from the governor.
+    fn cached<F>(&self, key: CacheKey, build: F) -> Result<Arc<Planned>, Error>
+    where
+        F: FnOnce() -> Result<Planned, no_plan::PlanError>,
+    {
+        if let Some(p) = self.plans.lock().unwrap().get(&key) {
+            return Ok(p);
+        }
+        let planned = Arc::new(build()?);
+        self.plans.lock().unwrap().put(key, Arc::clone(&planned));
+        Ok(planned)
+    }
+
+    fn planner<'s>(&self, instance: &'s Instance) -> Planner<'s> {
+        Planner::new(instance.schema())
+            .with_instance(instance)
+            .with_limits(self.governor.limits().clone())
+    }
+
+    /// Plan a CALC query (cached), under either semantics.
+    pub fn plan_calc(
+        &self,
+        instance: &Instance,
+        query: &Query,
+        mode: CalcMode,
+    ) -> Result<Arc<Planned>, Error> {
+        let key = no_plan::calc_key(instance.schema(), query, mode);
+        self.cached(key, || self.planner(instance).plan_calc(query, mode))
+    }
+
+    /// Plan an algebra expression (cached).
+    pub fn plan_algebra(&self, instance: &Instance, expr: &Expr) -> Result<Arc<Planned>, Error> {
+        let key = no_plan::algebra_key(instance.schema(), expr);
+        self.cached(key, || self.planner(instance).plan_algebra(expr))
+    }
+
+    /// Plan a Datalog¬ program (cached) under a named strategy.
+    pub fn plan_datalog(
+        &self,
+        instance: &Instance,
+        program: &Program,
+        mode: DatalogMode,
+    ) -> Result<Arc<Planned>, Error> {
+        let label = match &mode {
+            DatalogMode::Naive => "naive",
+            DatalogMode::SemiNaive => "semi-naive",
+            DatalogMode::Stratified => "stratified",
+            DatalogMode::Simultaneous(_) => "simultaneous-ifp",
+        };
+        let key = no_plan::datalog_key(instance.schema(), program, label);
+        self.cached(key, || self.planner(instance).plan_datalog(program, mode))
+    }
+
+    /// [`Session::eval_calc`] through the plan pipeline: compile (or hit
+    /// the plan cache), optimize, execute on the same kernels under the
+    /// same governor.
+    pub fn eval_calc_planned(&self, instance: &Instance, query: &Query) -> Result<Relation, Error> {
+        let planned = self.plan_calc(instance, query, CalcMode::ActiveDomain)?;
+        let out = planned.execute(instance, &self.governor, &self.pool)?;
+        Ok(out.into_relation())
+    }
+
+    /// [`Session::eval_calc_safe`] through the plan pipeline.
+    pub fn eval_calc_safe_planned(
+        &self,
+        instance: &Instance,
+        query: &Query,
+    ) -> Result<Relation, Error> {
+        let planned = self.plan_calc(instance, query, CalcMode::Safe)?;
+        let out = planned.execute(instance, &self.governor, &self.pool)?;
+        Ok(out.into_relation())
+    }
+
+    /// [`Session::eval_algebra`] through the plan pipeline (predicate
+    /// pushdown runs here).
+    pub fn eval_algebra_planned(
+        &self,
+        expr: &Expr,
+        instance: &Instance,
+    ) -> Result<Relation, Error> {
+        let planned = self.plan_algebra(instance, expr)?;
+        let out = planned.execute(instance, &self.governor, &self.pool)?;
+        Ok(out.into_relation())
+    }
+
+    /// [`Session::eval_datalog`] through the plan pipeline. A `SemiNaive`
+    /// request runs the delta-rewritten plan; `Naive` opts out.
+    pub fn eval_datalog_planned(
+        &self,
+        program: &Program,
+        instance: &Instance,
+        strategy: Strategy,
+    ) -> Result<(Idb, EvalStats), Error> {
+        let mode = match strategy {
+            Strategy::Naive => DatalogMode::Naive,
+            Strategy::SemiNaive => DatalogMode::SemiNaive,
+        };
+        let planned = self.plan_datalog(instance, program, mode)?;
+        match planned.execute(instance, &self.governor, &self.pool)? {
+            no_plan::Output::Idb(idb, Some(stats)) => Ok((idb, stats)),
+            _ => unreachable!("round strategies report stats"),
+        }
+    }
+
+    /// [`Session::eval_datalog_stratified`] through the plan pipeline.
+    pub fn eval_datalog_stratified_planned(
+        &self,
+        program: &Program,
+        instance: &Instance,
+    ) -> Result<Idb, Error> {
+        let planned = self.plan_datalog(instance, program, DatalogMode::Stratified)?;
+        let out = planned.execute(instance, &self.governor, &self.pool)?;
+        Ok(out.into_idb())
+    }
+
+    /// [`Session::eval_datalog_simultaneous`] through the plan pipeline.
+    pub fn eval_datalog_simultaneous_planned(
+        &self,
+        program: &Program,
+        body_var_types: &[(&str, Type)],
+        instance: &Instance,
+    ) -> Result<Idb, Error> {
+        let typed: Vec<(String, Type)> = body_var_types
+            .iter()
+            .map(|(v, t)| (v.to_string(), t.clone()))
+            .collect();
+        let planned = self.plan_datalog(instance, program, DatalogMode::Simultaneous(typed))?;
+        let out = planned.execute(instance, &self.governor, &self.pool)?;
+        Ok(out.into_idb())
+    }
+
+    /// Explain a query: the compiled, optimized plan with its pass
+    /// provenance, estimates, and early-trip warnings. Rendering is
+    /// deterministic — `planned.render_text()` / `planned.render_json()`
+    /// are snapshot-tested goldens.
+    pub fn explain(
+        &self,
+        instance: &Instance,
+        target: ExplainTarget<'_>,
+    ) -> Result<Arc<Planned>, Error> {
+        match target {
+            ExplainTarget::Calc { query, mode } => self.plan_calc(instance, query, mode),
+            ExplainTarget::Algebra(expr) => self.plan_algebra(instance, expr),
+            ExplainTarget::Datalog { program, mode } => self.plan_datalog(instance, program, mode),
+        }
+    }
+
+    /// `(hits, misses)` of the session's plan cache.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.plans.lock().unwrap().stats()
+    }
+
+    /// Drop every cached plan (call after schema or bulk data changes when
+    /// stale statistics would mis-order new plans; correctness never
+    /// depends on this).
+    pub fn clear_plan_cache(&self) {
+        self.plans.lock().unwrap().clear()
+    }
+}
+
+/// What [`Session::explain`] should compile.
+pub enum ExplainTarget<'a> {
+    /// A CALC query under the given semantics.
+    Calc {
+        /// The query.
+        query: &'a Query,
+        /// Active-domain or safe evaluation.
+        mode: CalcMode,
+    },
+    /// An algebra expression.
+    Algebra(&'a Expr),
+    /// A Datalog¬ program under a strategy.
+    Datalog {
+        /// The program.
+        program: &'a Program,
+        /// The strategy.
+        mode: DatalogMode,
+    },
 }
 
 #[cfg(test)]

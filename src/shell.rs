@@ -211,6 +211,28 @@ impl Shell {
 "
             )),
         }
+        // The compiled, optimized plan (cache-backed in long-lived
+        // sessions; the shell builds a session per evaluation, so this
+        // always shows a cold compile).
+        let session = self.session();
+        let mode = if self.active_domain {
+            no_plan::CalcMode::ActiveDomain
+        } else {
+            no_plan::CalcMode::Safe
+        };
+        match session.explain(
+            &self.instance,
+            crate::session::ExplainTarget::Calc {
+                query: &query,
+                mode,
+            },
+        ) {
+            Ok(planned) => {
+                out.push('\n');
+                out.push_str(&planned.render_text());
+            }
+            Err(e) => out.push_str(&format!("planning refused: {e}\n")),
+        }
         Ok(out.trim_end().to_string())
     }
 
@@ -399,7 +421,8 @@ commands:
   :schema            show the schema and its <i,k> classification
   :db                dump the database
   :classify <query>  language fragment + complexity bound (paper theorems)
-  :explain <query>   formula metrics + the ranges safe evaluation would use
+  :explain <query>   formula metrics, safe-evaluation ranges + the optimized
+                     query plan (passes, estimates, early-trip warnings)
   :check <query|file.dl>   static analysis: spanned diagnostics with paper
                      citations + a <i,k> complexity certificate (no evaluation)
   :datalog <file> [stratified]   run a Datalog¬ program (default: inflationary)
@@ -458,6 +481,10 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(e.contains("r(x): 3 candidates"), "{e}");
+        // the optimized plan follows the ranges section
+        assert!(e.contains("plan: calc (safe)"), "{e}");
+        assert!(e.contains("range x ← rule 1 (Definition 5.2)"), "{e}");
+        assert!(e.contains("enumerate"), "{e}");
     }
 
     #[test]

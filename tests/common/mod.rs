@@ -8,7 +8,31 @@ use nestdb::core::eval::Query;
 use nestdb::object::{Atom, AtomOrder, Instance, RelationSchema, Schema, Type, Universe, Value};
 use proptest::prelude::*;
 use std::collections::HashSet;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Where golden snapshots live, shared by every snapshot-style test.
+pub fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compare `actual` against the checked-in snapshot `name`, or rewrite the
+/// snapshot when `UPDATE_GOLDEN` is set.
+pub fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {name} ({e}); create it with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        actual, expected,
+        "snapshot {name} drifted; if the change is intentional refresh with UPDATE_GOLDEN=1"
+    );
+}
 
 /// The flat graph schema `G[U,U]`.
 pub fn graph_schema() -> Schema {

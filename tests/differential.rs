@@ -25,6 +25,8 @@ use nestdb::datalog::{
     ProgramError, SimEvalError, Strategy, StratifyError,
 };
 use nestdb::object::{Governor, Limits, Relation, Value};
+use nestdb::plan::{CalcMode, PassSet, Planner};
+use nestdb::Session;
 use proptest::prelude::*;
 
 /// The Datalog¬ transitive-closure program over `G[U,U]`.
@@ -279,6 +281,120 @@ fn analyzer_query_pool() -> Vec<&'static str> {
         "{[X:{U}] | X = X}",
         "{[X:{U}] | forall x:U (x in X -> G(x, x))}",
     ]
+}
+
+/// The compile-to-plan axis: every engine's planned execution must return
+/// exactly what its legacy tree-walk entry point returns — for CALC under
+/// both semantics (the analyzer pool covers AD fallbacks, sets, tuples,
+/// and fixpoints), the whole algebra operator suite, and all four Datalog¬
+/// strategies — at parallelism 1, 2, and 4.
+#[test]
+fn planned_execution_matches_tree_walk_across_all_engines() {
+    for threads in [1usize, 2, 4] {
+        for edges in graphs() {
+            let (mut u, _o, i) = graph_instance(5, &edges);
+            let s = Session::builder().parallelism(threads).build();
+
+            // CALC: the recursive TC query plus the full analyzer pool.
+            let mut queries = vec![tc_query()];
+            for src in analyzer_query_pool() {
+                queries.push(nestdb::core::parse_query(src, &mut u).unwrap());
+            }
+            for q in &queries {
+                let ad = s.eval_calc(&i, q).unwrap();
+                let ad_planned = s.eval_calc_planned(&i, q).unwrap();
+                assert_eq!(ad, ad_planned, "AD planned diverged at {threads} threads");
+                let rr = s.eval_calc_safe(&i, q).unwrap();
+                let rr_planned = s.eval_calc_safe_planned(&i, q).unwrap();
+                assert_eq!(rr, rr_planned, "safe planned diverged at {threads} threads");
+            }
+
+            // Algebra: every operator.
+            for expr in operator_suite() {
+                let walk = s.eval_algebra(&expr, &i).unwrap();
+                let planned = s.eval_algebra_planned(&expr, &i).unwrap();
+                assert_eq!(walk, planned, "algebra planned diverged on {expr:?}");
+            }
+
+            // Datalog¬: all four strategies.
+            let p = tc_program();
+            for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+                let (walk, _) = s.eval_datalog(&p, &i, strategy).unwrap();
+                let (planned, _) = s.eval_datalog_planned(&p, &i, strategy).unwrap();
+                assert_eq!(walk, planned, "{strategy:?} planned diverged");
+            }
+            let walk = s.eval_datalog_stratified(&p, &i).unwrap();
+            let planned = s.eval_datalog_stratified_planned(&p, &i).unwrap();
+            assert_eq!(walk, planned, "stratified planned diverged");
+            let walk = s.eval_datalog_simultaneous(&p, &[], &i).unwrap();
+            let planned = s.eval_datalog_simultaneous_planned(&p, &[], &i).unwrap();
+            assert_eq!(walk, planned, "simultaneous planned diverged");
+        }
+    }
+}
+
+/// Under starvation the planned path must trip exactly like the tree-walk
+/// path. With passes disabled the physical plan *is* the tree-walk
+/// invocation, so both the budget kind and the metered step count must be
+/// bit-identical; with the full pass set the plan may do strictly less
+/// work, but any failure must still be the same structured resource trip.
+#[test]
+fn planned_execution_trips_identically_under_starvation() {
+    let edges = vec![(0, 1), (1, 0), (1, 2), (2, 3), (3, 1), (3, 4), (4, 0)];
+    let (_u, _o, i) = graph_instance(5, &edges);
+    let q = tc_query();
+    let p = tc_program();
+    let pool = minipool::ThreadPool::sequential();
+
+    // tree-walk baseline
+    let walk_gov = starvation_governor();
+    let walk_err = safe_eval_governed(&i, &q, &walk_gov).unwrap_err();
+    let EvalError::Resource(walk_trip) = &walk_err else {
+        panic!("expected a resource trip, got {walk_err}")
+    };
+
+    // planned, no passes: identical accounting, step for step
+    let plan_gov = starvation_governor();
+    let planned = Planner::new(i.schema())
+        .with_passes(PassSet::none())
+        .plan_calc(&q, CalcMode::Safe)
+        .unwrap();
+    let plan_err = planned.execute(&i, &plan_gov, &pool).unwrap_err();
+    let plan_trip = plan_err.resource().expect("planned path must trip too");
+    assert_eq!(plan_trip.budget, walk_trip.budget, "budget kinds differ");
+    assert_eq!(
+        plan_gov.steps_spent(),
+        walk_gov.steps_spent(),
+        "planned (no passes) must meter exactly the tree-walk steps"
+    );
+
+    // planned, full pass set: still a structured trip of the same kind
+    let opt_gov = starvation_governor();
+    let planned = Planner::new(i.schema())
+        .with_instance(&i)
+        .plan_calc(&q, CalcMode::Safe)
+        .unwrap();
+    let err = planned.execute(&i, &opt_gov, &pool).unwrap_err();
+    assert_eq!(
+        err.resource().expect("optimized plan must trip too").budget,
+        walk_trip.budget
+    );
+
+    // datalog: the planned semi-naive path is the same engine invocation
+    let walk_gov = starvation_governor();
+    let walk_err = eval_governed(&p, &i, Strategy::SemiNaive, &walk_gov).unwrap_err();
+    let ProgramError::Resource(walk_trip) = &walk_err else {
+        panic!("expected a resource trip, got {walk_err}")
+    };
+    let plan_gov = starvation_governor();
+    let planned = Planner::new(i.schema())
+        .with_instance(&i)
+        .plan_datalog(&p, nestdb::plan::DatalogMode::SemiNaive)
+        .unwrap();
+    let err = planned.execute(&i, &plan_gov, &pool).unwrap_err();
+    let trip = err.resource().expect("planned datalog must trip");
+    assert_eq!(trip.budget, walk_trip.budget);
+    assert_eq!(plan_gov.steps_spent(), walk_gov.steps_spent());
 }
 
 proptest! {

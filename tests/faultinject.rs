@@ -229,6 +229,56 @@ fn algebra_powerset_degrades_gracefully() {
     });
 }
 
+/// The planned execution path threads the same governor through the same
+/// kernels, so an armed fault must surface as the same structured error
+/// regardless of which front-end compiled the plan.
+#[test]
+fn planned_execution_degrades_gracefully() {
+    use nestdb::plan::{CalcMode, DatalogMode, PlanError, Planner};
+    let (_u, _order, i) = graph_instance(4, &test_edges());
+    let pool = minipool::ThreadPool::sequential();
+    let plan_resource = |e: PlanError| match e.resource() {
+        Some(r) => r.clone(),
+        None => panic!("expected structured resource error, got {e:?}"),
+    };
+
+    let planner = Planner::new(i.schema()).with_instance(&i);
+    let calc_ad = planner
+        .plan_calc(&tc_query(), CalcMode::ActiveDomain)
+        .unwrap();
+    assert_degrades_gracefully("planned-calc-ad", |g| {
+        calc_ad.execute(&i, g, &pool).map_err(plan_resource)
+    });
+
+    let calc_safe = planner.plan_calc(&tc_query(), CalcMode::Safe).unwrap();
+    assert_degrades_gracefully("planned-calc-rr", |g| {
+        calc_safe.execute(&i, g, &pool).map_err(plan_resource)
+    });
+
+    let algebra = planner
+        .plan_algebra(&Expr::rel("G").project([1]).powerset())
+        .unwrap();
+    assert_degrades_gracefully("planned-algebra", |g| {
+        algebra.execute(&i, g, &pool).map_err(plan_resource)
+    });
+
+    let p = tc_program();
+    for (label, mode) in [
+        ("planned-datalog-naive", DatalogMode::Naive),
+        ("planned-datalog-semi-naive", DatalogMode::SemiNaive),
+        ("planned-datalog-stratified", DatalogMode::Stratified),
+        (
+            "planned-datalog-simultaneous",
+            DatalogMode::Simultaneous(vec![("z".to_string(), Type::Atom)]),
+        ),
+    ] {
+        let planned = planner.plan_datalog(&p, mode).unwrap();
+        assert_degrades_gracefully(label, |g| {
+            planned.execute(&i, g, &pool).map_err(plan_resource)
+        });
+    }
+}
+
 #[test]
 fn tm_run_degrades_gracefully() {
     let machine = machines::binary_increment();

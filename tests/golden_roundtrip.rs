@@ -13,6 +13,9 @@
 //! UPDATE_GOLDEN=1 cargo test --test golden_roundtrip
 //! ```
 
+mod common;
+
+use common::check_golden;
 use nestdb::core::ast::{FixOp, Fixpoint, Formula, Term};
 use nestdb::core::eval::Query;
 use nestdb::core::parser::parse_query;
@@ -21,30 +24,8 @@ use nestdb::datalog::parse_program;
 use nestdb::object::text::{parse_database, render_database};
 use nestdb::object::{Type, Universe};
 use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::Arc;
-
-fn golden_dir() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
-}
-
-/// Compare `actual` against the checked-in snapshot `name`, or rewrite the
-/// snapshot when `UPDATE_GOLDEN` is set.
-fn check_golden(name: &str, actual: &str) {
-    let path = golden_dir().join(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(golden_dir()).unwrap();
-        std::fs::write(&path, actual).unwrap();
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!("missing golden snapshot {name} ({e}); create it with UPDATE_GOLDEN=1")
-    });
-    assert_eq!(
-        actual, expected,
-        "snapshot {name} drifted; if the change is intentional refresh with UPDATE_GOLDEN=1"
-    );
-}
 
 /// Every `.no` database in `data/`: parse, render, snapshot — and the
 /// rendered text must itself parse back to the same rendering (fixpoint).
