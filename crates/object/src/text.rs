@@ -253,6 +253,85 @@ pub fn parse_database(src: &str, universe: &mut Universe) -> Result<(Schema, Ins
     .database()
 }
 
+/// One clause of the text format, parsed but not yet applied to any
+/// instance. The storage layer's write-ahead log records exactly one
+/// clause per frame, so replay is `parse_clause` + apply in log order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `schema R(T1, …, Tn).` — declare a relation.
+    Schema(RelationSchema),
+    /// `R(v1, …, vn).` — a fact for relation `R`. Values are *not*
+    /// validated against any schema here; the applier checks arity and
+    /// types against its current schema.
+    Fact(String, Vec<Value>),
+}
+
+/// Parse exactly one clause (a `schema` declaration or a fact). Rejects
+/// trailing input — a WAL frame holds one clause and nothing else.
+pub fn parse_clause(src: &str, universe: &mut Universe) -> Result<Clause, TextError> {
+    let mut p = P {
+        src: src.as_bytes(),
+        pos: 0,
+        universe,
+    };
+    let clause = p.clause()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after clause"));
+    }
+    Ok(clause)
+}
+
+impl P<'_, '_> {
+    fn clause(&mut self) -> Result<Clause, TextError> {
+        let id = self.ident()?;
+        if id == "schema" {
+            let name = self.ident()?;
+            self.eat(b'(')?;
+            let mut types = vec![self.ty()?];
+            while self.try_eat(b',') {
+                types.push(self.ty()?);
+            }
+            self.eat(b')')?;
+            self.eat(b'.')?;
+            Ok(Clause::Schema(RelationSchema::new(name, types)))
+        } else {
+            self.eat(b'(')?;
+            let mut row = Vec::new();
+            if self.peek() != Some(b')') {
+                row.push(self.value()?);
+                while self.try_eat(b',') {
+                    row.push(self.value()?);
+                }
+            }
+            self.eat(b')')?;
+            self.eat(b'.')?;
+            Ok(Clause::Fact(id, row))
+        }
+    }
+}
+
+/// Render one fact clause `R(v1, …, vn).` — the inverse of
+/// [`parse_clause`] for [`Clause::Fact`].
+pub fn render_fact(universe: &Universe, name: &str, row: &[Value]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{name}(");
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        render_value(universe, v, &mut out);
+    }
+    out.push_str(").");
+    out
+}
+
+/// Render one schema declaration `schema R(T1, …, Tn).` — the inverse of
+/// [`parse_clause`] for [`Clause::Schema`].
+pub fn render_schema_decl(rel: &RelationSchema) -> String {
+    let cols: Vec<String> = rel.column_types.iter().map(ToString::to_string).collect();
+    format!("schema {}({}).", rel.name, cols.join(", "))
+}
+
 fn render_value(universe: &Universe, v: &Value, out: &mut String) {
     match v {
         Value::Atom(a) => {
@@ -369,6 +448,34 @@ mod tests {
         let (_, i) = parse_database(src, &mut u).unwrap();
         assert_eq!(i.cardinality(), 1);
         assert!(i.relation("E").contains(&[Value::empty_set()]));
+    }
+
+    #[test]
+    fn clause_roundtrips() {
+        let mut u = Universe::new();
+        let rel = RelationSchema::new("P", vec![Type::Atom, Type::set(Type::Atom)]);
+        let decl = render_schema_decl(&rel);
+        assert_eq!(decl, "schema P(U, {U}).");
+        assert_eq!(parse_clause(&decl, &mut u).unwrap(), Clause::Schema(rel));
+        let row = vec![
+            Value::Atom(u.intern("a")),
+            Value::set([Value::Atom(u.intern("b"))]),
+        ];
+        let fact = render_fact(&u, "P", &row);
+        assert_eq!(fact, "P('a', {'b'}).");
+        assert_eq!(
+            parse_clause(&fact, &mut u).unwrap(),
+            Clause::Fact("P".into(), row)
+        );
+    }
+
+    #[test]
+    fn clause_rejects_trailing_and_garbage() {
+        let mut u = Universe::new();
+        assert!(parse_clause("P('a'). P('b').", &mut u).is_err());
+        assert!(parse_clause("", &mut u).is_err());
+        assert!(parse_clause("schema P(U)", &mut u).is_err());
+        assert!(parse_clause("P('a'", &mut u).is_err());
     }
 
     #[test]

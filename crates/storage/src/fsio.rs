@@ -1,0 +1,101 @@
+//! Fault-aware filesystem primitives: every OS call the storage layer
+//! makes goes through one of these wrappers, which consult the shared
+//! [`IoFaults`] handle first. This is the single choke point that makes
+//! the crash-anywhere sweep exhaustive — killing the writer at the Nth
+//! operation here covers every I/O the layer can perform.
+
+use crate::fault::{IoFaults, OpKind, WriteOutcome, INJECTED};
+use crate::StorageError;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+
+/// An injected failure, shaped like a real OS error but tagged so tests
+/// can tell them apart.
+fn injected(op: &'static str, path: &Path) -> StorageError {
+    StorageError::Io {
+        op,
+        path: path.display().to_string(),
+        kind: std::io::ErrorKind::Other,
+        message: format!("{INJECTED}: {op} killed"),
+    }
+}
+
+/// Create (truncating) a file.
+pub(crate) fn create(faults: &IoFaults, path: &Path) -> Result<File, StorageError> {
+    if faults.before(OpKind::Create).is_err() {
+        return Err(injected("create", path));
+    }
+    File::create(path).map_err(|e| StorageError::io("create", path, e))
+}
+
+/// Write a whole buffer, honouring injected crashes, short writes, and
+/// byte flips.
+pub(crate) fn write_all(
+    faults: &IoFaults,
+    file: &mut File,
+    path: &Path,
+    buf: &[u8],
+) -> Result<(), StorageError> {
+    match faults.before_write(buf) {
+        WriteOutcome::Ok => file
+            .write_all(buf)
+            .map_err(|e| StorageError::io("write", path, e)),
+        WriteOutcome::Corrupted(owned) => file
+            .write_all(&owned)
+            .map_err(|e| StorageError::io("write", path, e)),
+        WriteOutcome::Short(k) => {
+            // Persist the torn prefix, then report the kill.
+            let _ = file.write_all(&buf[..k]);
+            let _ = file.sync_all();
+            Err(injected("write", path))
+        }
+        WriteOutcome::Crash => Err(injected("write", path)),
+    }
+}
+
+/// `fsync` a file.
+pub(crate) fn sync(faults: &IoFaults, file: &File, path: &Path) -> Result<(), StorageError> {
+    if faults.before(OpKind::Sync).is_err() {
+        return Err(injected("fsync", path));
+    }
+    file.sync_all()
+        .map_err(|e| StorageError::io("fsync", path, e))
+}
+
+/// Atomic rename.
+pub(crate) fn rename(faults: &IoFaults, from: &Path, to: &Path) -> Result<(), StorageError> {
+    if faults.before(OpKind::Rename).is_err() {
+        return Err(injected("rename", from));
+    }
+    std::fs::rename(from, to).map_err(|e| StorageError::io("rename", from, e))
+}
+
+/// `fsync` a directory, making a preceding rename durable. On platforms
+/// where directories cannot be opened as files this is a no-op.
+pub(crate) fn sync_dir(faults: &IoFaults, dir: &Path) -> Result<(), StorageError> {
+    if faults.before(OpKind::Sync).is_err() {
+        return Err(injected("fsync-dir", dir));
+    }
+    #[cfg(unix)]
+    {
+        let f = File::open(dir).map_err(|e| StorageError::io("fsync-dir", dir, e))?;
+        f.sync_all()
+            .map_err(|e| StorageError::io("fsync-dir", dir, e))?;
+    }
+    Ok(())
+}
+
+/// Truncate a file to `len` bytes (torn-tail removal during recovery).
+pub(crate) fn set_len(
+    faults: &IoFaults,
+    file: &File,
+    path: &Path,
+    len: u64,
+) -> Result<(), StorageError> {
+    if faults.before(OpKind::Truncate).is_err() {
+        return Err(injected("truncate", path));
+    }
+    file.set_len(len)
+        .map_err(|e| StorageError::io("truncate", path, e))
+}

@@ -1,0 +1,408 @@
+//! The write-ahead log: an append-only file of length-prefixed,
+//! CRC32-checksummed frames.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! header  := magic "NDBWAL01" (8 bytes) ++ epoch (u64 LE)
+//! frame   := len (u32 LE) ++ crc (u32 LE) ++ payload (len bytes)
+//! wal.log := header ++ frame*
+//! ```
+//!
+//! `crc` is the CRC32 of the four length bytes followed by the payload,
+//! so a frame whose length field was torn mid-write cannot masquerade as
+//! a shorter valid frame. Payloads are clauses of the text format
+//! (`schema R(U).` / `R('a', 'b').`): self-describing, so replay does not
+//! depend on the atom numbering that `enc(I)` rows would bake in.
+//!
+//! [`scan_wal`] is a pure function over the file bytes — all torn-tail /
+//! mid-log-corruption classification lives there, where proptests can
+//! reach it without touching a filesystem.
+
+use crate::fault::IoFaults;
+use crate::{fsio, StorageError};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"NDBWAL01";
+/// Bytes of header before the first frame: magic plus the epoch.
+pub const WAL_HEADER_LEN: u64 = 16;
+/// Bytes of frame overhead before the payload: length plus checksum.
+pub const FRAME_OVERHEAD: u64 = 8;
+
+/// The result of scanning a WAL file's bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedWal {
+    /// The epoch from the header, or `None` if the header itself was torn
+    /// (the crash hit the WAL reset; the log holds no frames).
+    pub epoch: Option<u64>,
+    /// Payloads of every intact frame, in log order.
+    pub frames: Vec<Vec<u8>>,
+    /// Length of the valid prefix; bytes past this are a torn tail.
+    pub keep_len: u64,
+    /// True when a torn tail (or torn header) was found past `keep_len`.
+    pub torn: bool,
+}
+
+/// Scan the raw bytes of a WAL file, separating the valid frame prefix
+/// from a torn tail, and refusing outright on mid-log corruption.
+///
+/// Classification rules:
+///
+/// * fewer than [`FRAME_OVERHEAD`] bytes remain, or the length field
+///   points past end-of-file → **torn tail** (an append was killed
+///   mid-write); the prefix before it is valid;
+/// * checksum mismatch on the *final* frame of the file → **torn tail**
+///   (the payload bytes themselves were torn);
+/// * checksum mismatch with more bytes after the frame → **mid-log
+///   corruption**: later data proves the log continued past this frame,
+///   so the damage is not a torn append and recovery would silently drop
+///   acknowledged writes. Refuse with [`StorageError::Corrupt`].
+pub fn scan_wal(bytes: &[u8], path: &Path) -> Result<ScannedWal, StorageError> {
+    // Header: a short or absent header is a torn WAL reset — valid crash
+    // state, no frames. Wrong magic bytes are corruption.
+    if bytes.len() < WAL_HEADER_LEN as usize {
+        let n = bytes.len().min(WAL_MAGIC.len());
+        if bytes[..n] != WAL_MAGIC[..n] {
+            return Err(StorageError::corrupt(path, 0, "bad write-ahead log magic"));
+        }
+        return Ok(ScannedWal {
+            epoch: None,
+            frames: Vec::new(),
+            keep_len: 0,
+            torn: true,
+        });
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        return Err(StorageError::corrupt(path, 0, "bad write-ahead log magic"));
+    }
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+
+    let mut frames = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    loop {
+        let rem = bytes.len() - pos;
+        if rem == 0 {
+            return Ok(ScannedWal {
+                epoch: Some(epoch),
+                frames,
+                keep_len: pos as u64,
+                torn: false,
+            });
+        }
+        let torn = |frames: Vec<Vec<u8>>| ScannedWal {
+            epoch: Some(epoch),
+            frames,
+            keep_len: pos as u64,
+            torn: true,
+        };
+        if rem < FRAME_OVERHEAD as usize {
+            return Ok(torn(frames));
+        }
+        let len_bytes: [u8; 4] = bytes[pos..pos + 4].try_into().expect("4 bytes");
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > rem - FRAME_OVERHEAD as usize {
+            // Length points past EOF: either a torn append, or a torn
+            // length field. Both truncate to the same valid prefix.
+            return Ok(torn(frames));
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        let mut c = crate::crc::Crc32::new();
+        c.update(&len_bytes);
+        c.update(payload);
+        if c.finish() != stored_crc {
+            if pos + 8 + len == bytes.len() {
+                // Final frame of the file: a torn append.
+                return Ok(torn(frames));
+            }
+            return Err(StorageError::corrupt(
+                path,
+                pos as u64,
+                "frame checksum mismatch with live data after it",
+            ));
+        }
+        frames.push(payload.to_vec());
+        pos += 8 + len;
+    }
+}
+
+/// Build the on-disk bytes of one frame for `payload`.
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("frame payload fits in u32");
+    let len_bytes = len.to_le_bytes();
+    let mut c = crate::crc::Crc32::new();
+    c.update(&len_bytes);
+    c.update(payload);
+    let crc = c.finish();
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD as usize + payload.len());
+    out.extend_from_slice(&len_bytes);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Build the 16-byte header for `epoch`.
+pub fn header_bytes(epoch: u64) -> [u8; 16] {
+    let mut h = [0u8; 16];
+    h[..8].copy_from_slice(WAL_MAGIC);
+    h[8..].copy_from_slice(&epoch.to_le_bytes());
+    h
+}
+
+/// An open WAL with append access. All I/O is routed through the shared
+/// [`IoFaults`] handle. After any I/O failure the writer is *poisoned*:
+/// the on-disk tail is in an unknown state, so further appends refuse
+/// until the database is reopened (which truncates the torn tail).
+#[derive(Debug)]
+pub struct WalWriter {
+    path: PathBuf,
+    file: File,
+    faults: IoFaults,
+    frames: u64,
+    len: u64,
+    poisoned: bool,
+}
+
+impl WalWriter {
+    /// Create (truncating) a fresh WAL at `path` with `epoch`. Does not
+    /// sync; callers decide when the header must be durable.
+    pub fn create(path: &Path, epoch: u64, faults: &IoFaults) -> Result<Self, StorageError> {
+        let mut file = fsio::create(faults, path)?;
+        fsio::write_all(faults, &mut file, path, &header_bytes(epoch))?;
+        Ok(WalWriter {
+            path: path.to_path_buf(),
+            file,
+            faults: faults.clone(),
+            frames: 0,
+            len: WAL_HEADER_LEN,
+            poisoned: false,
+        })
+    }
+
+    /// Open an existing WAL for appending after a scan decided that the
+    /// first `keep_len` bytes (holding `frames` frames) are valid. Any
+    /// torn tail past `keep_len` is truncated away first.
+    pub fn open_append(
+        path: &Path,
+        keep_len: u64,
+        frames: u64,
+        truncate: bool,
+        faults: &IoFaults,
+    ) -> Result<Self, StorageError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| StorageError::io("open", path, e))?;
+        if truncate {
+            fsio::set_len(faults, &file, path, keep_len)?;
+        }
+        file.seek(SeekFrom::Start(keep_len))
+            .map_err(|e| StorageError::io("seek", path, e))?;
+        Ok(WalWriter {
+            path: path.to_path_buf(),
+            file,
+            faults: faults.clone(),
+            frames,
+            len: keep_len,
+            poisoned: false,
+        })
+    }
+
+    /// Append one frame. On failure the writer poisons itself — the tail
+    /// may be torn, so accepting further appends would turn a torn tail
+    /// into mid-log corruption.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StorageError> {
+        if self.poisoned {
+            return Err(StorageError::Invalid {
+                detail: "write-ahead log is in an unknown state after an i/o failure; \
+                         reopen the database to recover"
+                    .to_string(),
+            });
+        }
+        if u32::try_from(payload.len()).is_err() {
+            return Err(StorageError::Invalid {
+                detail: format!(
+                    "frame payload of {} bytes exceeds the u32 limit",
+                    payload.len()
+                ),
+            });
+        }
+        let frame = frame_bytes(payload);
+        if let Err(e) = fsio::write_all(&self.faults, &mut self.file, &self.path, &frame) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.frames += 1;
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// `fsync` the log.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        if let Err(e) = fsio::sync(&self.faults, &self.file, &self.path) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Mark the writer unusable (the database's save sequence failed
+    /// partway; only a reopen can re-establish a consistent tail).
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Number of frames written through or accounted to this writer.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Current valid length of the log in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the log holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wal_with(epoch: u64, payloads: &[&[u8]]) -> Vec<u8> {
+        let mut bytes = header_bytes(epoch).to_vec();
+        for p in payloads {
+            bytes.extend_from_slice(&frame_bytes(p));
+        }
+        bytes
+    }
+
+    #[test]
+    fn scan_roundtrips_frames() {
+        let bytes = wal_with(7, &[b"schema G(U, U).", b"G('a', 'b').", b""]);
+        let scan = scan_wal(&bytes, Path::new("w")).unwrap();
+        assert_eq!(scan.epoch, Some(7));
+        assert_eq!(scan.frames.len(), 3);
+        assert_eq!(scan.frames[0], b"schema G(U, U).");
+        assert_eq!(scan.frames[2], b"");
+        assert_eq!(scan.keep_len, bytes.len() as u64);
+        assert!(!scan.torn);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let good = wal_with(1, &[b"G('a').", b"G('b')."]);
+        // Chop the file at every byte boundary inside the final frame:
+        // always a torn tail keeping exactly the first frame.
+        let first_end = WAL_HEADER_LEN as usize + FRAME_OVERHEAD as usize + b"G('a').".len();
+        for cut in first_end + 1..good.len() {
+            let scan = scan_wal(&good[..cut], Path::new("w")).unwrap();
+            assert_eq!(scan.frames.len(), 1, "cut at {cut}");
+            assert_eq!(scan.keep_len, first_end as u64, "cut at {cut}");
+            assert!(scan.torn, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn torn_header_is_empty_wal() {
+        let good = wal_with(3, &[]);
+        for cut in 0..WAL_HEADER_LEN as usize {
+            let scan = scan_wal(&good[..cut], Path::new("w")).unwrap();
+            assert_eq!(scan.epoch, None, "cut at {cut}");
+            assert!(scan.frames.is_empty());
+            assert_eq!(scan.keep_len, 0);
+            assert!(scan.torn);
+        }
+    }
+
+    #[test]
+    fn corrupt_final_frame_is_torn_but_mid_log_is_fatal() {
+        let mut bytes = wal_with(1, &[b"G('a').", b"G('b')."]);
+        let second_start = WAL_HEADER_LEN as usize + FRAME_OVERHEAD as usize + b"G('a').".len();
+        // Flip a payload byte of the final frame: torn tail.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let scan = scan_wal(&bytes, Path::new("w")).unwrap();
+        assert_eq!(scan.frames.len(), 1);
+        assert_eq!(scan.keep_len, second_start as u64);
+        assert!(scan.torn);
+
+        // Flip a byte of the *first* frame: live data follows, so this is
+        // mid-log corruption and must refuse.
+        let mut bytes = wal_with(1, &[b"G('a').", b"G('b')."]);
+        bytes[second_start - 1] ^= 0x40;
+        let err = scan_wal(&bytes, Path::new("w")).unwrap_err();
+        assert!(err.is_corruption(), "got {err}");
+    }
+
+    #[test]
+    fn bad_magic_is_corruption() {
+        let mut bytes = wal_with(1, &[]);
+        bytes[0] = b'X';
+        assert!(scan_wal(&bytes, Path::new("w"))
+            .unwrap_err()
+            .is_corruption());
+        assert!(scan_wal(b"XYZ", Path::new("w"))
+            .unwrap_err()
+            .is_corruption());
+    }
+
+    #[test]
+    fn length_field_past_eof_is_torn() {
+        let mut bytes = wal_with(1, &[b"G('a')."]);
+        let mut frame = frame_bytes(b"G('b').");
+        frame[0] = 0xFF;
+        frame[1] = 0xFF; // length now far past EOF
+        let valid_len = bytes.len() as u64;
+        bytes.extend_from_slice(&frame);
+        let scan = scan_wal(&bytes, Path::new("w")).unwrap();
+        assert_eq!(scan.frames.len(), 1);
+        assert_eq!(scan.keep_len, valid_len);
+        assert!(scan.torn);
+    }
+
+    #[test]
+    fn writer_appends_scannable_frames() {
+        let dir = std::env::temp_dir().join(format!("no_storage_walw_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let faults = IoFaults::none();
+        let mut w = WalWriter::create(&path, 5, &faults).unwrap();
+        w.append(b"schema G(U).").unwrap();
+        w.append(b"G('a').").unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.frames(), 2);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len() as u64, w.len());
+        let scan = scan_wal(&bytes, &path).unwrap();
+        assert_eq!(scan.epoch, Some(5));
+        assert_eq!(
+            scan.frames,
+            vec![b"schema G(U).".to_vec(), b"G('a').".to_vec()]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_poisons_after_injected_failure() {
+        let dir = std::env::temp_dir().join(format!("no_storage_walp_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let faults = IoFaults::none();
+        let mut w = WalWriter::create(&path, 1, &faults).unwrap();
+        w.append(b"G('a').").unwrap();
+        faults.arm(Some(crate::OpKind::Write), 1, crate::FaultMode::Crash);
+        let err = w.append(b"G('b').").unwrap_err();
+        assert!(err.to_string().contains(crate::fault::INJECTED));
+        // Disarmed now, but the writer must still refuse.
+        let err = w.append(b"G('c').").unwrap_err();
+        assert!(matches!(err, StorageError::Invalid { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

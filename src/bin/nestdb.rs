@@ -7,16 +7,24 @@
 //! nestdb> :help
 //! ```
 //!
+//! Subcommands: `analyze` (static analysis), `explain` (plans without
+//! evaluation), `open` (shell attached to a durable database directory),
+//! `save` (import a text database into a durable directory and
+//! checkpoint), `verify` (read-only integrity check of a durable
+//! directory). With no subcommand, arguments are text database files
+//! loaded into an in-memory shell.
+//!
 //! All logic lives in [`nestdb::shell::Shell`]; this binary is the stdin
 //! loop.
 
-use nestdb::check::CorpusReport;
-use nestdb::object::text::parse_database;
+use nestdb::check::{load_database, CorpusReport};
 use nestdb::object::{Instance, Schema, Universe};
 use nestdb::plan::{json_escape, CalcMode, DatalogMode};
 use nestdb::shell::Shell;
+use nestdb::storage::{Db, DbOptions};
 use nestdb::{ExplainTarget, Session};
 use std::io::{self, BufRead, Write};
+use std::path::Path;
 
 /// `nestdb analyze [--format json|text] [--deny] [--db <file.no>] <files…>`
 ///
@@ -60,22 +68,16 @@ fn run_analyze(args: &[String]) -> i32 {
     }
     let mut universe = Universe::new();
     let schema = match &db {
-        Some(path) => {
-            let src = match std::fs::read_to_string(path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot read {path}: {e}");
-                    return 2;
-                }
-            };
-            match parse_database(&src, &mut universe) {
-                Ok((schema, _instance)) => schema,
-                Err(e) => {
-                    eprintln!("error: {path}: {e}");
-                    return 2;
-                }
+        Some(path) => match load_database(path) {
+            Ok(loaded) => {
+                universe = loaded.universe;
+                loaded.instance.schema().clone()
             }
-        }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
         None => Schema::new(),
     };
     let mut report = CorpusReport::default();
@@ -145,22 +147,16 @@ fn run_explain(args: &[String]) -> i32 {
     }
     let mut universe = Universe::new();
     let instance = match &db {
-        Some(path) => {
-            let src = match std::fs::read_to_string(path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot read {path}: {e}");
-                    return 2;
-                }
-            };
-            match parse_database(&src, &mut universe) {
-                Ok((_schema, instance)) => instance,
-                Err(e) => {
-                    eprintln!("error: {path}: {e}");
-                    return 2;
-                }
+        Some(path) => match load_database(path) {
+            Ok(loaded) => {
+                universe = loaded.universe;
+                loaded.instance
             }
-        }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
         None => Instance::empty(Schema::new()),
     };
     let session = Session::default();
@@ -265,24 +261,117 @@ fn run_explain(args: &[String]) -> i32 {
     0
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("analyze") {
-        std::process::exit(run_analyze(&args[1..]));
+/// `nestdb verify <path…>`
+///
+/// Read-only integrity check. Directories are verified as durable
+/// databases: the snapshot is decoded, the write-ahead log is scanned
+/// frame by frame, and every checksum is checked — without modifying a
+/// byte on disk. Plain files are loaded as text databases. Exits nonzero
+/// if any path fails, printing the structured error (never panicking) so
+/// CI and operators can gate on it.
+fn run_verify(args: &[String]) -> i32 {
+    if args.is_empty() {
+        eprintln!("usage: nestdb verify <path…>");
+        return 2;
     }
-    if args.first().map(String::as_str) == Some("explain") {
-        std::process::exit(run_explain(&args[1..]));
-    }
-    let mut shell = Shell::new();
-    for path in &args {
-        match shell.load(path) {
-            Ok(msg) => println!("{msg}"),
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+    let mut failures = 0;
+    for path in args {
+        let p = Path::new(path);
+        if p.is_dir() {
+            match nestdb::storage::verify(p) {
+                Ok(r) => {
+                    let wal = match r.wal_epoch {
+                        Some(e) => format!("wal epoch {e} ({} frames)", r.wal_frames),
+                        None => "no wal".to_string(),
+                    };
+                    println!(
+                        "{path}: ok — snapshot epoch {} ({} bytes), {wal}; \
+                         {} atoms, {} relations, {} tuples",
+                        r.snapshot_epoch, r.snapshot_bytes, r.atoms, r.relations, r.tuples,
+                    );
+                    if r.stale_wal {
+                        println!(
+                            "{path}: note — wal predates the snapshot; \
+                             it will be discarded on open"
+                        );
+                    }
+                    if r.torn_tail_bytes > 0 {
+                        println!(
+                            "{path}: note — torn tail of {} byte(s); \
+                             it will be truncated on open",
+                            r.torn_tail_bytes,
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: FAILED — {e}");
+                    failures += 1;
+                }
+            }
+        } else {
+            match load_database(path) {
+                Ok(loaded) => println!("{path}: ok — {}", loaded.summary),
+                Err(e) => {
+                    eprintln!("{path}: FAILED — {e}");
+                    failures += 1;
+                }
             }
         }
     }
+    if failures > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// `nestdb save <file.no> <dir>`
+///
+/// Import a text database file into a durable directory (created if it
+/// does not exist; recovered through the usual snapshot + WAL replay if
+/// it does) and checkpoint, folding the imported mutations into a fresh
+/// snapshot.
+fn run_save(args: &[String]) -> i32 {
+    let [src, dir] = args else {
+        eprintln!("usage: nestdb save <file.no> <dir>");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {src}: {e}");
+            return 1;
+        }
+    };
+    let mut db = match Db::open(Path::new(dir), DbOptions::default()) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let stats = match db.import_text(&text) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = db.save() {
+        eprintln!("error: {e}");
+        return 1;
+    }
+    println!(
+        "saved {src} into {dir}: +{} relations, +{} tuples (snapshot epoch {})",
+        stats.relations_added,
+        stats.tuples_added,
+        db.epoch(),
+    );
+    0
+}
+
+/// The stdin read-eval-print loop over an already set-up shell.
+fn repl(mut shell: Shell) {
     let stdin = io::stdin();
     let interactive = std::env::var_os("TERM").is_some();
     if interactive {
@@ -302,4 +391,46 @@ fn main() {
             Err(e) => println!("error: {e}"),
         }
     }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => std::process::exit(run_analyze(&args[1..])),
+        Some("explain") => std::process::exit(run_explain(&args[1..])),
+        Some("verify") => std::process::exit(run_verify(&args[1..])),
+        Some("save") => std::process::exit(run_save(&args[1..])),
+        Some("open") => {
+            // `nestdb open <dir>` — shell attached to a durable database:
+            // recovery runs on open, every insert is logged before it is
+            // applied, `:save` checkpoints.
+            if args.len() != 2 {
+                eprintln!("usage: nestdb open <dir>");
+                std::process::exit(2);
+            }
+            let mut shell = Shell::new();
+            match shell.command(&format!(":open {}", args[1])) {
+                Ok(Some(out)) => println!("{out}"),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+            repl(shell);
+            return;
+        }
+        _ => {}
+    }
+    let mut shell = Shell::new();
+    for path in &args {
+        match shell.load(path) {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    repl(shell);
 }

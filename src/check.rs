@@ -8,8 +8,68 @@
 //! non-`%`-comment line.
 
 use no_analysis::{analyze_calc, analyze_datalog, Analysis, Severity};
-use no_object::{Schema, Universe};
+use no_object::text::parse_database;
+use no_object::{Instance, Schema, Universe};
+use no_storage::DbOptions;
 use std::fmt::Write as _;
+use std::path::Path;
+
+/// A database loaded for a CLI run (`--db`, `nestdb open`, `nestdb
+/// verify`): the interned universe, the instance, and a one-line
+/// provenance summary.
+#[derive(Debug, Clone)]
+pub struct LoadedDb {
+    /// The universe the instance's atoms are interned in.
+    pub universe: Universe,
+    /// The loaded instance (its schema travels inside).
+    pub instance: Instance,
+    /// One line of provenance for logs: where it came from and what
+    /// recovery did.
+    pub summary: String,
+}
+
+/// Load the database behind a path argument, dispatching on what the
+/// path is: a **directory** is a durable database (opened read-only
+/// through full crash recovery — snapshot + write-ahead-log replay,
+/// structured errors on corruption); anything else is a text-format file
+/// (`schema R(U).` declarations and facts). This is the one loading path
+/// shared by `nestdb analyze --db`, `nestdb explain --db`, `nestdb
+/// open`, and `nestdb verify`.
+pub fn load_database(path: &str) -> Result<LoadedDb, String> {
+    let p = Path::new(path);
+    if p.is_dir() {
+        let db = no_storage::Db::open(p, DbOptions::default()).map_err(|e| e.to_string())?;
+        let stats = db.open_stats();
+        let summary = format!(
+            "opened durable database {path}: {} relations, {} tuples \
+             (snapshot epoch {}, {} frames replayed)",
+            db.instance().schema().len(),
+            db.instance().cardinality(),
+            stats.snapshot_epoch,
+            stats.replayed_frames,
+        );
+        Ok(LoadedDb {
+            universe: db.universe().clone(),
+            instance: db.instance().clone(),
+            summary,
+        })
+    } else {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut universe = Universe::new();
+        let (schema, instance) =
+            parse_database(&src, &mut universe).map_err(|e| format!("{path}: {e}"))?;
+        let summary = format!(
+            "loaded {path}: {} relations, {} tuples",
+            schema.len(),
+            instance.cardinality(),
+        );
+        Ok(LoadedDb {
+            universe,
+            instance,
+            summary,
+        })
+    }
+}
 
 /// One analyzed query of a corpus.
 #[derive(Debug, Clone)]

@@ -15,6 +15,7 @@ use no_analysis::DiagnosticsError;
 use no_core::EvalError;
 use no_datalog::{ProgramError, SimEvalError, StratifyError};
 use no_object::ResourceError;
+use no_storage::StorageError;
 use std::fmt;
 
 /// Any failure from any evaluation engine, as surfaced by
@@ -34,6 +35,9 @@ pub enum Error {
     /// Static analysis found errors, so evaluation was refused (raised by
     /// [`crate::Session::eval_calc_checked`]).
     Diagnostics(DiagnosticsError),
+    /// The durable storage layer failed (I/O, on-disk corruption, an
+    /// invalid mutation, or a budget trip while replaying recovery).
+    Storage(StorageError),
 }
 
 impl fmt::Display for Error {
@@ -45,6 +49,7 @@ impl fmt::Display for Error {
             Error::Stratify(e) => write!(f, "stratify: {e}"),
             Error::Simultaneous(e) => write!(f, "simultaneous: {e}"),
             Error::Diagnostics(e) => write!(f, "analysis: {e}"),
+            Error::Storage(e) => write!(f, "storage: {e}"),
         }
     }
 }
@@ -58,6 +63,7 @@ impl std::error::Error for Error {
             Error::Stratify(e) => Some(e),
             Error::Simultaneous(e) => Some(e),
             Error::Diagnostics(e) => Some(e),
+            Error::Storage(e) => Some(e),
         }
     }
 }
@@ -98,6 +104,12 @@ impl From<DiagnosticsError> for Error {
     }
 }
 
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+
 impl From<no_plan::PlanError> for Error {
     fn from(e: no_plan::PlanError) -> Self {
         // Planned evaluation wraps the same engine errors the tree-walk
@@ -134,6 +146,9 @@ impl Error {
             Error::Simultaneous(_) => None,
             // Analysis never evaluates, so it can never trip a budget.
             Error::Diagnostics(_) => None,
+            // Recovery replay charges the governor for rebuilt arenas.
+            Error::Storage(StorageError::Resource(r)) => Some(r),
+            Error::Storage(_) => None,
         }
     }
 
@@ -171,6 +186,7 @@ mod tests {
             ProgramError::Resource(r.clone()).into(),
             StratifyError::Program(ProgramError::Resource(r.clone())).into(),
             SimEvalError::Eval(EvalError::Resource(r.clone())).into(),
+            StorageError::Resource(r.clone()).into(),
         ];
         for e in cases {
             assert!(e.is_resource_trip(), "{e}");
@@ -183,6 +199,12 @@ mod tests {
         let e: Error = EvalError::UnboundVariable("x".into()).into();
         assert!(!e.is_resource_trip());
         assert!(e.resource().is_none());
+        let e: Error = StorageError::Invalid {
+            detail: "unknown relation".into(),
+        }
+        .into();
+        assert!(!e.is_resource_trip());
+        assert!(e.to_string().starts_with("storage: "), "{e}");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! - [`analysis`]: static analyzer — diagnostics and complexity certificates
 //! - [`plan`]: the logical/physical query-plan IR, optimizer passes, plan
 //!   cache, and `:explain` renderings shared by every engine
+//! - [`storage`]: durable databases — checksummed write-ahead log, `enc(I)`
+//!   snapshots, and crash-anywhere recovery
 
 pub use no_algebra as algebra;
 pub use no_analysis as analysis;
@@ -20,6 +22,7 @@ pub use no_datalog as datalog;
 pub use no_density as density;
 pub use no_object as object;
 pub use no_plan as plan;
+pub use no_storage as storage;
 pub use no_tm as tm;
 
 pub mod check;

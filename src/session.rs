@@ -42,6 +42,8 @@ use no_core::Query;
 use no_datalog::{EvalStats, Idb, Program, Strategy};
 use no_object::{Governor, Instance, Limits, Relation, Type};
 use no_plan::{CacheKey, CalcMode, DatalogMode, PlanCache, Planned, Planner};
+use no_storage::{Db, DbOptions, SyncPolicy};
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 /// How many plans a session keeps in its LRU plan cache.
@@ -66,6 +68,7 @@ pub struct SessionBuilder {
     limits: Option<Limits>,
     governor: Option<Governor>,
     parallelism: Option<usize>,
+    sync_policy: SyncPolicy,
 }
 
 impl SessionBuilder {
@@ -94,6 +97,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Durability policy for databases opened through this session:
+    /// [`SyncPolicy::Always`] (the default) fsyncs the write-ahead log on
+    /// every mutation; [`SyncPolicy::Manual`] defers to explicit
+    /// [`Session::sync`] / [`Session::save`] calls.
+    pub fn sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Session {
         let governor = self
@@ -104,6 +116,7 @@ impl SessionBuilder {
             governor,
             pool,
             plans: Arc::new(Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY))),
+            sync_policy: self.sync_policy,
         }
     }
 }
@@ -120,6 +133,8 @@ pub struct Session {
     /// schema fingerprint. Shared by clones of this session (a clone is a
     /// view over the same budget, so sharing its plans is consistent).
     plans: Arc<Mutex<PlanCache<Planned>>>,
+    /// Durability policy applied to databases opened via [`Session::open`].
+    sync_policy: SyncPolicy,
 }
 
 impl Default for Session {
@@ -142,6 +157,37 @@ impl Session {
     /// The configured worker count.
     pub fn parallelism(&self) -> usize {
         self.pool.threads()
+    }
+
+    // ----- durable storage --------------------------------------------
+
+    /// Open (creating if absent) the durable database at `dir`, running
+    /// full crash recovery: load the latest valid snapshot, replay the
+    /// write-ahead log, truncate a torn tail, refuse on mid-log
+    /// corruption. The session's governor is charged for the replayed
+    /// arenas, so recovering a huge store trips the same memory budget as
+    /// building it any other way; the session's
+    /// [`SessionBuilder::sync_policy`] decides mutation durability.
+    pub fn open(&self, dir: &Path) -> Result<Db, Error> {
+        let options = DbOptions {
+            sync: self.sync_policy,
+            governor: Some(self.governor.clone()),
+            faults: no_storage::IoFaults::none(),
+        };
+        Db::open(dir, options).map_err(Error::from)
+    }
+
+    /// Checkpoint `db`: fold the write-ahead log into a fresh snapshot
+    /// (published with an atomic rename) and reset the log.
+    pub fn save(&self, db: &mut Db) -> Result<(), Error> {
+        db.save().map_err(Error::from)
+    }
+
+    /// Make every mutation of `db` so far durable (meaningful under
+    /// [`SyncPolicy::Manual`]; a no-op-cost fsync under
+    /// [`SyncPolicy::Always`]).
+    pub fn sync(&self, db: &mut Db) -> Result<(), Error> {
+        db.sync().map_err(Error::from)
     }
 
     /// Evaluate a CALC query under the active-domain semantics.
@@ -571,6 +617,41 @@ mod tests {
             other => panic!("expected Diagnostics, got {other}"),
         }
         assert!(!err.is_resource_trip());
+    }
+
+    #[test]
+    fn session_opens_and_recovers_durable_databases() {
+        let dir = std::env::temp_dir().join(format!("nestdb_session_db_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = Session::default();
+        let mut db = s.open(&dir).unwrap();
+        assert!(db.open_stats().created);
+        db.import_text("schema G(U, U).\nG('a', 'b').\nG('b', 'c').\n")
+            .unwrap();
+        s.save(&mut db).unwrap();
+        drop(db);
+
+        // Replay through a session with a tiny memory budget must trip —
+        // recovery is charged like any other materialisation.
+        let tight = Session::builder()
+            .limits(Limits {
+                max_memory_bytes: 4,
+                ..Limits::unlimited()
+            })
+            .build();
+        let err = tight.open(&dir).unwrap_err();
+        assert!(err.is_resource_trip(), "{err}");
+
+        // A roomy session recovers the data and queries it directly.
+        let s2 = Session::builder().sync_policy(SyncPolicy::Manual).build();
+        let mut db = s2.open(&dir).unwrap();
+        assert_eq!(db.epoch(), 1);
+        let q = no_core::parse_query("{[x:U, y:U] | G(x, y)}", db.universe_mut()).unwrap();
+        let out = s2.eval_calc(db.instance(), &q).unwrap();
+        assert_eq!(out.len(), 2);
+        s2.sync(&mut db).unwrap();
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -21,14 +21,21 @@ use no_core::parser::parse_query;
 use no_core::print::Printer;
 use no_core::report::{classify, InputAssumption};
 use no_datalog as datalog;
-use no_object::text::{parse_database, render_database};
+use no_object::text::{parse_clause, parse_database, render_database, Clause};
 use no_object::{Governor, Instance, Schema, Universe, Value};
+use no_storage::{Db, DbOptions};
 use std::time::{Duration, Instant};
 
 /// The shell: a universe, a database, budgets, and an evaluation mode.
+/// With `:open` the database becomes durable — a [`Db`] backed by a
+/// snapshot + write-ahead log directory owns the state, mutations are
+/// logged before they apply, and the in-memory fields sit unused until
+/// the store is detached.
 pub struct Shell {
     universe: Universe,
     instance: Instance,
+    /// A durable store, when one is attached via `:open`.
+    db: Option<Db>,
     config: EvalConfig,
     active_domain: bool,
     threads: usize,
@@ -40,9 +47,36 @@ impl Shell {
         Shell {
             universe: Universe::new(),
             instance: Instance::empty(Schema::new()),
+            db: None,
             config: EvalConfig::default(),
             active_domain: false,
             threads: 1,
+        }
+    }
+
+    /// The live universe: the durable store's when one is attached.
+    fn uni(&self) -> &Universe {
+        match &self.db {
+            Some(db) => db.universe(),
+            None => &self.universe,
+        }
+    }
+
+    /// Mutable universe access (parsing interns atoms). Sound against a
+    /// durable store: the universe is append-only and replay re-interns
+    /// atom names from the logged clauses themselves.
+    fn uni_mut(&mut self) -> &mut Universe {
+        match &mut self.db {
+            Some(db) => db.universe_mut(),
+            None => &mut self.universe,
+        }
+    }
+
+    /// The live instance: the durable store's when one is attached.
+    fn inst(&self) -> &Instance {
+        match &self.db {
+            Some(db) => db.instance(),
+            None => &self.instance,
         }
     }
 
@@ -55,9 +89,20 @@ impl Shell {
             .build()
     }
 
-    /// Load a database file (text format), replacing the current one.
+    /// Load a database file (text format). Without a durable store this
+    /// replaces the in-memory database; with one attached it imports the
+    /// file's declarations and facts into the store (logged, durable).
     pub fn load(&mut self, path: &str) -> Result<String, String> {
         let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        if let Some(db) = &mut self.db {
+            let stats = db.import_text(&src).map_err(|e| e.to_string())?;
+            return Ok(format!(
+                "imported {path} into {}: +{} relations, +{} tuples",
+                db.dir().display(),
+                stats.relations_added,
+                stats.tuples_added
+            ));
+        }
         let (schema, instance) =
             parse_database(&src, &mut self.universe).map_err(|e| e.to_string())?;
         let summary = format!(
@@ -71,8 +116,114 @@ impl Shell {
         Ok(summary)
     }
 
+    /// Attach the durable database at `dir` (creating it if absent),
+    /// running full crash recovery under the shell's budgets.
+    fn open_db(&mut self, dir: &str) -> Result<String, String> {
+        if dir.is_empty() {
+            return Err(":open needs a database directory (try :help)".to_string());
+        }
+        let options = DbOptions {
+            governor: Some(self.config.governor()),
+            ..DbOptions::default()
+        };
+        let db = Db::open(std::path::Path::new(dir), options).map_err(|e| e.to_string())?;
+        let stats = db.open_stats().clone();
+        let inst = db.instance();
+        let mut out = if stats.created {
+            format!("created durable database at {dir}")
+        } else {
+            format!(
+                "opened {dir}: {} relations, {} tuples, {} atoms (snapshot epoch {}, {} frames replayed)",
+                inst.schema().len(),
+                inst.cardinality(),
+                db.universe().len(),
+                stats.snapshot_epoch,
+                stats.replayed_frames,
+            )
+        };
+        if stats.truncated_bytes > 0 {
+            out.push_str(&format!(
+                "\nrecovered: {} bytes of torn write-ahead-log tail truncated",
+                stats.truncated_bytes
+            ));
+        }
+        if stats.stale_wal_discarded {
+            out.push_str("\nrecovered: stale write-ahead log discarded (already in snapshot)");
+        }
+        self.db = Some(db);
+        Ok(out)
+    }
+
+    /// `:insert <clause>` — apply one `schema R(U).` declaration or one
+    /// fact. Logged first when a durable store is attached.
+    fn insert_clause(&mut self, src: &str) -> Result<String, String> {
+        if src.is_empty() {
+            return Err(":insert needs a clause like G('a', 'b'). (try :help)".to_string());
+        }
+        let clause = parse_clause(src, self.uni_mut()).map_err(|e| e.to_string())?;
+        if let Some(db) = &mut self.db {
+            return match clause {
+                Clause::Schema(rel) => {
+                    let name = rel.name.clone();
+                    db.declare(rel).map_err(|e| e.to_string())?;
+                    Ok(format!("declared {name} (logged)"))
+                }
+                Clause::Fact(name, row) => {
+                    let fresh = db.insert(&name, row).map_err(|e| e.to_string())?;
+                    Ok(if fresh {
+                        format!("inserted into {name} (logged)")
+                    } else {
+                        format!("already in {name} (nothing logged)")
+                    })
+                }
+            };
+        }
+        match clause {
+            Clause::Schema(rel) => {
+                if self.instance.schema().get(&rel.name).is_some() {
+                    return Err(format!("relation {:?} is already declared", rel.name));
+                }
+                let name = rel.name.clone();
+                let mut schema = Schema::new();
+                for r in self.instance.schema().relations() {
+                    schema.add(r.clone());
+                }
+                schema.add(rel);
+                let mut next = Instance::empty(schema);
+                for r in self.instance.schema().relations() {
+                    next.set_relation(&r.name, self.instance.relation(&r.name).clone());
+                }
+                self.instance = next;
+                Ok(format!("declared {name}"))
+            }
+            Clause::Fact(name, row) => {
+                let (arity, col_types) = match self.instance.schema().get(&name) {
+                    Some(r) => (r.arity(), r.column_types.clone()),
+                    None => return Err(format!("unknown relation {name:?}")),
+                };
+                if arity != row.len() {
+                    return Err(format!(
+                        "relation {name:?} has arity {arity} but the tuple has {} values",
+                        row.len()
+                    ));
+                }
+                for (v, t) in row.iter().zip(col_types.iter()) {
+                    if !v.has_type(t) {
+                        return Err(format!("value is not of type {t} in relation {name:?}"));
+                    }
+                }
+                let fresh = self.instance.insert(&name, row);
+                Ok(if fresh {
+                    format!("inserted into {name}")
+                } else {
+                    format!("already in {name}")
+                })
+            }
+        }
+    }
+
     fn render_row(&self, row: &[Value]) -> String {
-        let printer = Printer::with_universe(&self.universe);
+        let printer = Printer::with_universe(self.uni());
         let cells: Vec<String> = row.iter().map(|v| printer.value(v)).collect();
         format!("({})", cells.join(", "))
     }
@@ -105,13 +256,13 @@ impl Shell {
     }
 
     fn run_query(&mut self, src: &str) -> Result<String, String> {
-        let query = parse_query(src, &mut self.universe).map_err(|e| e.render(src))?;
+        let query = parse_query(src, self.uni_mut()).map_err(|e| e.render(src))?;
         let t = Instant::now();
         let session = self.session();
         let result = if self.active_domain {
-            session.eval_calc(&self.instance, &query)
+            session.eval_calc(self.inst(), &query)
         } else {
-            session.eval_calc_safe(&self.instance, &query)
+            session.eval_calc_safe(self.inst(), &query)
         };
         let answer = result.map_err(|e| match e.resource() {
             Some(r) => self.budget_diagnostic(session.governor(), r),
@@ -136,14 +287,14 @@ impl Shell {
     }
 
     fn classify_query(&mut self, src: &str) -> Result<String, String> {
-        let query = parse_query(src, &mut self.universe).map_err(|e| e.render(src))?;
+        let query = parse_query(src, self.uni_mut()).map_err(|e| e.render(src))?;
         let mut out = String::new();
         for (label, assumption) in [
             ("no assumption", InputAssumption::Unknown),
             ("dense inputs ", InputAssumption::Dense),
         ] {
             let report =
-                classify(self.instance.schema(), &query, assumption).map_err(|e| e.to_string())?;
+                classify(self.inst().schema(), &query, assumption).map_err(|e| e.to_string())?;
             out.push_str(&format!(
                 "{label}: {} → {} (by {})\n",
                 report.language, report.bound.bound, report.bound.by
@@ -162,8 +313,8 @@ impl Shell {
         use no_core::nf;
         use no_core::ranges::compute_ranges;
         use no_core::typeck;
-        let query = parse_query(src, &mut self.universe).map_err(|e| e.render(src))?;
-        let checked = typeck::check(self.instance.schema(), &query.head, &query.body)
+        let query = parse_query(src, self.uni_mut()).map_err(|e| e.render(src))?;
+        let checked = typeck::check(self.inst().schema(), &query.head, &query.body)
             .map_err(|e| e.to_string())?;
         let m = nf::metrics(&query.body);
         let mut out = format!(
@@ -171,12 +322,7 @@ impl Shell {
 ",
             checked.set_height, checked.tuple_width, m.size, m.quantifier_rank, m.fixpoint_depth
         );
-        match compute_ranges(
-            &self.instance,
-            &checked.var_types,
-            &query.body,
-            &self.config,
-        ) {
+        match compute_ranges(self.inst(), &checked.var_types, &query.body, &self.config) {
             Ok(ranges) => {
                 out.push_str(
                     "computed ranges (Theorem 5.1):
@@ -221,7 +367,7 @@ impl Shell {
             no_plan::CalcMode::Safe
         };
         match session.explain(
-            &self.instance,
+            self.inst(),
             crate::session::ExplainTarget::Calc {
                 query: &query,
                 mode,
@@ -244,13 +390,16 @@ impl Shell {
             return Err(":check needs a query or a .dl file (try :help)".to_string());
         }
         let session = self.session();
+        // Clone the schema up front: analysis needs the universe mutably
+        // and the (Arc-backed, cheap) schema immutably at once.
+        let schema = self.inst().schema().clone();
         let (src, analysis) = if arg.ends_with(".dl") {
             let src =
                 std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?;
-            let a = session.analyze_datalog(self.instance.schema(), &src, &mut self.universe);
+            let a = session.analyze_datalog(&schema, &src, self.uni_mut());
             (src, a)
         } else {
-            let a = session.analyze(self.instance.schema(), arg, &mut self.universe);
+            let a = session.analyze(&schema, arg, self.uni_mut());
             (arg.to_string(), a)
         };
         debug_assert_eq!(
@@ -267,8 +416,7 @@ impl Shell {
             None => (path, false),
         };
         let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let program =
-            datalog::parse_program(&src, &mut self.universe).map_err(|e| e.render(&src))?;
+        let program = datalog::parse_program(&src, self.uni_mut()).map_err(|e| e.render(&src))?;
         let t = Instant::now();
         let session = self.session();
         let trip = |e: crate::error::Error| match e.resource() {
@@ -277,7 +425,7 @@ impl Shell {
         };
         let (idb, stats) = if stratified {
             let idb = session
-                .eval_datalog_stratified(&program, &self.instance)
+                .eval_datalog_stratified(&program, self.inst())
                 .map_err(trip)?;
             let facts = idb.values().map(|r| r.len()).sum();
             (
@@ -290,7 +438,7 @@ impl Shell {
             )
         } else {
             session
-                .eval_datalog(&program, &self.instance, datalog::Strategy::SemiNaive)
+                .eval_datalog(&program, self.inst(), datalog::Strategy::SemiNaive)
                 .map_err(trip)?
         };
         let mut out = String::new();
@@ -329,23 +477,56 @@ impl Shell {
                 "help" | "h" => Ok(Some(HELP.to_string())),
                 "quit" | "q" => Err("quit".to_string()),
                 "load" => self.load(arg).map(Some),
-                "save" => {
-                    let text = render_database(&self.universe, &self.instance);
-                    std::fs::write(arg, &text).map_err(|e| format!("cannot write {arg}: {e}"))?;
-                    Ok(Some(format!(
-                        "saved {} tuples to {arg}",
-                        self.instance.cardinality()
-                    )))
-                }
-                "db" => Ok(Some(render_database(&self.universe, &self.instance))),
+                "open" => self.open_db(arg).map(Some),
+                "insert" => self.insert_clause(arg).map(Some),
+                "sync" => match &mut self.db {
+                    Some(db) => {
+                        db.sync().map_err(|e| e.to_string())?;
+                        Ok(Some(format!(
+                            "write-ahead log fsynced ({} frames, epoch {})",
+                            db.wal_frames(),
+                            db.epoch()
+                        )))
+                    }
+                    None => Err("no durable database attached (use :open <dir>)".to_string()),
+                },
+                "close" => match self.db.take() {
+                    Some(db) => Ok(Some(format!("detached {}", db.dir().display()))),
+                    None => Err("no durable database attached".to_string()),
+                },
+                "save" => match (&mut self.db, arg.is_empty()) {
+                    // With a store attached and no path: checkpoint.
+                    (Some(db), true) => {
+                        db.save().map_err(|e| e.to_string())?;
+                        Ok(Some(format!(
+                            "checkpointed {} at epoch {} (write-ahead log reset)",
+                            db.dir().display(),
+                            db.epoch()
+                        )))
+                    }
+                    (None, true) => {
+                        Err(":save needs a file path (or :open a durable database)".to_string())
+                    }
+                    // With a path: write the text format, from either mode.
+                    _ => {
+                        let text = render_database(self.uni(), self.inst());
+                        std::fs::write(arg, &text)
+                            .map_err(|e| format!("cannot write {arg}: {e}"))?;
+                        Ok(Some(format!(
+                            "saved {} tuples to {arg}",
+                            self.inst().cardinality()
+                        )))
+                    }
+                },
+                "db" => Ok(Some(render_database(self.uni(), self.inst()))),
                 "schema" => {
                     let mut out = String::new();
-                    for r in self.instance.schema().relations() {
+                    for r in self.inst().schema().relations() {
                         let cols: Vec<String> =
                             r.column_types.iter().map(ToString::to_string).collect();
                         out.push_str(&format!("{}({})\n", r.name, cols.join(", ")));
                     }
-                    let (i, k) = self.instance.schema().ik();
+                    let (i, k) = self.inst().schema().ik();
                     out.push_str(&format!("an <{i},{k}>-database schema"));
                     Ok(Some(out))
                 }
@@ -417,7 +598,15 @@ const HELP: &str = "\
 queries:   {[x:U, y:{U}] | Friends(x, y) /\\ ...}   evaluate a CALC query
 commands:
   :load <file>       load a database (text format: schema R(U). R('a').)
+                     (with a store attached: import into it, logged)
+  :open <dir>        attach a durable database (snapshot + write-ahead log,
+                     created if absent; crash recovery runs on open)
+  :insert <clause>   apply one clause — schema R(U). or R('a'). — logged
+                     to the write-ahead log when a store is attached
+  :save              checkpoint the attached store (snapshot + log reset)
   :save <file>       write the database back out in the text format
+  :sync              fsync the write-ahead log now
+  :close             detach the durable database (files stay on disk)
   :schema            show the schema and its <i,k> classification
   :db                dump the database
   :classify <query>  language fragment + complexity bound (paper theorems)
@@ -589,6 +778,10 @@ mod tests {
         let h = sh.command(":help").unwrap().unwrap();
         for cmd in [
             ":load",
+            ":open",
+            ":insert",
+            ":sync",
+            ":close",
             ":classify",
             ":explain",
             ":check",
@@ -668,6 +861,96 @@ mod tests {
         let err = sh.command("{[x:U] | G(x,, x)}").unwrap_err();
         assert!(err.contains("line 1"), "{err}");
         assert!(err.contains('^'), "{err}");
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("nestdb_shell_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_open_insert_query_reopen() {
+        let dir = scratch("durable");
+        let d = dir.display().to_string();
+        let mut sh = Shell::new();
+        let out = sh.command(&format!(":open {d}")).unwrap().unwrap();
+        assert!(out.contains("created"), "{out}");
+        sh.command(":insert schema G(U, U).").unwrap();
+        sh.command(":insert G('a', 'b').").unwrap();
+        sh.command(":insert G('b', 'c').").unwrap();
+        let out = sh.command("{[x:U, y:U] | G(x, y)}").unwrap().unwrap();
+        assert!(out.contains("2 rows"), "{out}");
+        let out = sh.command(":save").unwrap().unwrap();
+        assert!(out.contains("epoch 1"), "{out}");
+        sh.command(":insert G('c', 'd').").unwrap();
+        // Duplicate inserts are reported and not logged.
+        let out = sh.command(":insert G('c', 'd').").unwrap().unwrap();
+        assert!(out.contains("already"), "{out}");
+        // Invalid mutations surface as messages, never a panic.
+        assert!(sh.command(":insert H('a').").is_err());
+        assert!(sh.command(":insert G('a').").is_err());
+        drop(sh);
+
+        // A fresh shell recovers: 2 checkpointed tuples + 1 replayed frame.
+        let mut sh = Shell::new();
+        let out = sh.command(&format!(":open {d}")).unwrap().unwrap();
+        assert!(out.contains("1 relations, 3 tuples"), "{out}");
+        assert!(out.contains("1 frames replayed"), "{out}");
+        let out = sh.command("{[x:U, y:U] | G(x, y)}").unwrap().unwrap();
+        assert!(out.contains("3 rows"), "{out}");
+        let out = sh.command(":sync").unwrap().unwrap();
+        assert!(out.contains("fsynced"), "{out}");
+        let out = sh.command(":close").unwrap().unwrap();
+        assert!(out.contains("detached"), "{out}");
+        assert!(sh.command(":sync").is_err(), "no store attached any more");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_load_imports_into_the_store() {
+        let dir = scratch("import");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("graph.no");
+        std::fs::write(&file, "schema G(U, U).\nG('a','b').\nG('b','c').\n").unwrap();
+        let store = dir.join("store");
+        let mut sh = Shell::new();
+        sh.command(&format!(":open {}", store.display())).unwrap();
+        let out = sh
+            .command(&format!(":load {}", file.display()))
+            .unwrap()
+            .unwrap();
+        assert!(out.contains("+1 relations, +2 tuples"), "{out}");
+        drop(sh);
+        let mut sh = Shell::new();
+        sh.command(&format!(":open {}", store.display())).unwrap();
+        let out = sh.command("{[x:U, y:U] | G(x, y)}").unwrap().unwrap();
+        assert!(out.contains("2 rows"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_open_reports_corruption_without_panic() {
+        let dir = scratch("corrupt");
+        let d = dir.display().to_string();
+        let mut sh = Shell::new();
+        sh.command(&format!(":open {d}")).unwrap();
+        sh.command(":insert schema G(U, U).").unwrap();
+        sh.command(":insert G('a', 'b').").unwrap();
+        sh.command(":insert G('b', 'c').").unwrap();
+        sh.command(":close").unwrap();
+        // Flip a payload byte of the first frame — live frames follow, so
+        // this is mid-log corruption and :open must refuse, structurally.
+        let wal = dir.join(no_storage::WAL_FILE);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let at =
+            no_storage::wal::WAL_HEADER_LEN as usize + no_storage::wal::FRAME_OVERHEAD as usize + 2;
+        bytes[at] ^= 0x20;
+        std::fs::write(&wal, &bytes).unwrap();
+        let err = sh.command(&format!(":open {d}")).unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
+        assert!(err.contains("checksum"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

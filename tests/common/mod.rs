@@ -9,7 +9,46 @@ use nestdb::object::{Atom, AtomOrder, Instance, RelationSchema, Schema, Type, Un
 use proptest::prelude::*;
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A unique scratch directory for one test, removed on drop.
+///
+/// Std-only: uniqueness comes from the process id plus a process-wide
+/// counter, so parallel tests within one binary and concurrently running
+/// test binaries never collide. A stale directory left by a previous
+/// killed run is wiped before use.
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Create `$TMPDIR/nestdb_<tag>_<pid>_<seq>/`.
+    pub fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("nestdb_{tag}_{}_{seq}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        ScratchDir { path }
+    }
+
+    /// The directory itself.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for `name` inside the directory (not created).
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
 
 /// Where golden snapshots live, shared by every snapshot-style test.
 pub fn golden_dir() -> PathBuf {

@@ -15,6 +15,9 @@ use nestdb::object::text::{parse_database, render_database};
 use nestdb::object::{AtomOrder, Universe};
 use nestdb::shell::Shell;
 
+mod common;
+use common::ScratchDir;
+
 const DB: &str = "\
 schema Enroll(U, U).      % (student, course)
 schema Meets(U, {U}).     % course -> set of weekdays
@@ -67,7 +70,8 @@ fn every_layer_agrees() {
 
     // --- the shell sees the same world ---
     let mut shell = Shell::new();
-    let dbfile = std::env::temp_dir().join("nestdb_end_to_end.no");
+    let scratch = ScratchDir::new("end_to_end");
+    let dbfile = scratch.file("db.no");
     std::fs::write(&dbfile, DB).unwrap();
     shell.load(dbfile.to_str().unwrap()).unwrap();
     let out = shell
