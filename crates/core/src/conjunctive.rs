@@ -1,0 +1,329 @@
+//! The flat conjunctive fragment of CALC, and its recognizer.
+//!
+//! A query is *flat conjunctive* when its body is (up to nesting of ∃ and
+//! ∧) a conjunction of positive relation atoms over plain variables and
+//! constants, plus equality conjuncts. For such queries active-domain and
+//! range-restricted semantics coincide with natural-join semantics —
+//! every satisfying assignment draws each variable's value from a
+//! relation column, hence from the active domain — so the planner may
+//! lower them to the columnar join kernels of `no-exec` instead of
+//! quantifier enumeration ([Thm 4.1]'s data-complexity bound is preserved
+//! since joins are polynomial in `|I|`).
+//!
+//! [`decompose`] recognizes the fragment syntactically and conservatively:
+//! anything with negation, disjunction, ∀, →, ↔, membership, containment,
+//! projection terms, or fixpoints returns `None` and falls back to the
+//! tree-walk evaluator. Equalities are solved here — variable/variable
+//! merges via union–find, variable/constant pins, constant/constant either
+//! vanishing or marking the query statically unsatisfiable — so the
+//! lowered plan sees only atoms, canonical variables, and pins.
+
+use crate::ast::{Formula, RelName, Term, VarName};
+use crate::eval::Query;
+use no_object::Value;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// An argument position of a conjunctive atom, after equality solving:
+/// either a canonical variable or a constant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CArg {
+    /// A canonical (union–find representative) variable.
+    Var(VarName),
+    /// A complex-object constant.
+    Const(Value),
+}
+
+/// A flat conjunctive query: positive atoms, canonical head variables,
+/// and residual variable pins.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConjunctiveQuery {
+    /// The positive atoms, in body order, with canonicalized arguments.
+    pub atoms: Vec<(RelName, Vec<CArg>)>,
+    /// One canonical variable per head column (head order preserved).
+    pub head: Vec<VarName>,
+    /// Variables forced to a constant by an equality conjunct.
+    pub pins: BTreeMap<VarName, Value>,
+    /// True when equality conjuncts are contradictory (`'a' = 'b'`, or
+    /// one variable pinned to two constants): the result is statically
+    /// empty.
+    pub unsat: bool,
+}
+
+struct Collector {
+    bound: HashSet<VarName>,
+    atoms: Vec<(RelName, Vec<CArg>)>,
+    var_eqs: Vec<(VarName, VarName)>,
+    raw_pins: Vec<(VarName, Value)>,
+    unsat: bool,
+}
+
+impl Collector {
+    fn collect(&mut self, f: &Formula) -> Option<()> {
+        match f {
+            Formula::And(parts) => {
+                for p in parts {
+                    self.collect(p)?;
+                }
+                Some(())
+            }
+            Formula::Exists(v, _, inner) => {
+                // Reject shadowing outright rather than α-renaming: the
+                // fragment check must stay conservative.
+                if !self.bound.insert(v.clone()) {
+                    return None;
+                }
+                self.collect(inner)
+            }
+            Formula::Rel(name, args) => {
+                let mut out = Vec::with_capacity(args.len());
+                for a in args {
+                    match a {
+                        Term::Var(v) if self.bound.contains(v) => {
+                            out.push(CArg::Var(v.clone()));
+                        }
+                        Term::Const(c) => out.push(CArg::Const(c.clone())),
+                        _ => return None,
+                    }
+                }
+                self.atoms.push((name.clone(), out));
+                Some(())
+            }
+            Formula::Eq(a, b) => match (a, b) {
+                (Term::Var(x), Term::Var(y))
+                    if self.bound.contains(x) && self.bound.contains(y) =>
+                {
+                    self.var_eqs.push((x.clone(), y.clone()));
+                    Some(())
+                }
+                (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x))
+                    if self.bound.contains(x) =>
+                {
+                    self.raw_pins.push((x.clone(), c.clone()));
+                    Some(())
+                }
+                (Term::Const(c1), Term::Const(c2)) => {
+                    if c1 != c2 {
+                        self.unsat = true;
+                    }
+                    Some(())
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// Union–find with lexicographically-least representatives, so canonical
+/// names are deterministic for a given query text.
+fn resolve(parent: &mut HashMap<VarName, VarName>, v: &str) -> VarName {
+    let p = match parent.get(v) {
+        None => return v.to_string(),
+        Some(p) => p.clone(),
+    };
+    if p == v {
+        return p;
+    }
+    let root = resolve(parent, &p);
+    parent.insert(v.to_string(), root.clone());
+    root
+}
+
+/// Recognize a flat conjunctive query, or `None` when any construct
+/// outside the fragment appears (the caller then falls back to the
+/// tree-walk path). Also `None` when some variable occurs in no atom —
+/// such queries need domain enumeration, not joins.
+pub fn decompose(q: &Query) -> Option<ConjunctiveQuery> {
+    let mut c = Collector {
+        bound: HashSet::new(),
+        atoms: Vec::new(),
+        var_eqs: Vec::new(),
+        raw_pins: Vec::new(),
+        unsat: false,
+    };
+    for (v, _) in &q.head {
+        if !c.bound.insert(v.clone()) {
+            return None; // duplicate head variable
+        }
+    }
+    c.collect(&q.body)?;
+    if c.atoms.is_empty() {
+        return None;
+    }
+
+    let mut parent: HashMap<VarName, VarName> = HashMap::new();
+    for (x, y) in &c.var_eqs {
+        let rx = resolve(&mut parent, x);
+        let ry = resolve(&mut parent, y);
+        if rx != ry {
+            // Lexicographically-least name wins as representative.
+            let (lo, hi) = if rx < ry { (rx, ry) } else { (ry, rx) };
+            parent.insert(hi, lo);
+        }
+    }
+
+    let mut unsat = c.unsat;
+    let mut pins: BTreeMap<VarName, Value> = BTreeMap::new();
+    for (x, v) in &c.raw_pins {
+        let r = resolve(&mut parent, x);
+        match pins.get(&r) {
+            Some(prev) if prev != v => unsat = true,
+            _ => {
+                pins.insert(r, v.clone());
+            }
+        }
+    }
+
+    let atoms: Vec<(RelName, Vec<CArg>)> = c
+        .atoms
+        .iter()
+        .map(|(name, args)| {
+            let args = args
+                .iter()
+                .map(|a| match a {
+                    CArg::Var(v) => CArg::Var(resolve(&mut parent, v)),
+                    CArg::Const(v) => CArg::Const(v.clone()),
+                })
+                .collect();
+            (name.clone(), args)
+        })
+        .collect();
+
+    let head: Vec<VarName> = q
+        .head
+        .iter()
+        .map(|(v, _)| resolve(&mut parent, v))
+        .collect();
+
+    let in_atoms: HashSet<&str> = atoms
+        .iter()
+        .flat_map(|(_, args)| args.iter())
+        .filter_map(|a| match a {
+            CArg::Var(v) => Some(v.as_str()),
+            CArg::Const(_) => None,
+        })
+        .collect();
+    let mentioned: HashSet<VarName> = head
+        .iter()
+        .cloned()
+        .chain(pins.keys().cloned())
+        .chain(
+            c.var_eqs
+                .iter()
+                .flat_map(|(x, y)| [x.clone(), y.clone()])
+                .map(|v| resolve(&mut parent, &v)),
+        )
+        .collect();
+    if mentioned.iter().any(|v| !in_atoms.contains(v.as_str())) {
+        return None;
+    }
+
+    Some(ConjunctiveQuery {
+        atoms,
+        head,
+        pins,
+        unsat,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Formula;
+    use no_object::{Type, Universe, Value};
+
+    fn var(v: &str) -> Term {
+        Term::var(v)
+    }
+
+    fn atom_val(u: &Universe, name: &str) -> Value {
+        Value::atom(u.get(name).unwrap())
+    }
+
+    fn g(x: Term, y: Term) -> Formula {
+        Formula::Rel("G".into(), vec![x, y])
+    }
+
+    #[test]
+    fn recognizes_join_with_existential() {
+        // q(x) :- exists y (G(x,y) /\ G(y,x))
+        let q = Query::new(
+            vec![("x".into(), Type::Atom)],
+            Formula::Exists(
+                "y".into(),
+                Type::Atom,
+                Box::new(Formula::and([g(var("x"), var("y")), g(var("y"), var("x"))])),
+            ),
+        );
+        let cq = decompose(&q).expect("conjunctive");
+        assert_eq!(cq.atoms.len(), 2);
+        assert_eq!(cq.head, vec!["x".to_string()]);
+        assert!(!cq.unsat);
+        assert!(cq.pins.is_empty());
+    }
+
+    #[test]
+    fn equalities_unify_and_pin() {
+        let u = Universe::with_names(["a", "b"]);
+        // q(x,z) :- G(x,y) /\ y = z /\ G(z,w) /\ w = 'a' — with z,y,w ∃-bound…
+        // keep it free-var simple: head (x, z).
+        let body = Formula::Exists(
+            "y".into(),
+            Type::Atom,
+            Box::new(Formula::Exists(
+                "w".into(),
+                Type::Atom,
+                Box::new(Formula::and([
+                    g(var("x"), var("y")),
+                    Formula::Eq(var("y"), var("z")),
+                    g(var("z"), var("w")),
+                    Formula::Eq(var("w"), Term::Const(atom_val(&u, "a"))),
+                ])),
+            )),
+        );
+        let q = Query::new(
+            vec![("x".into(), Type::Atom), ("z".into(), Type::Atom)],
+            body,
+        );
+        let cq = decompose(&q).expect("conjunctive");
+        // y and z merged to one representative appearing in both atoms.
+        let rep = &cq.head[1];
+        assert!(cq
+            .atoms
+            .iter()
+            .all(|(_, args)| args.iter().any(|a| a == &CArg::Var(rep.clone()))));
+        assert_eq!(cq.pins.len(), 1);
+        assert!(!cq.unsat);
+    }
+
+    #[test]
+    fn contradictory_pins_mark_unsat() {
+        let u = Universe::with_names(["a", "b"]);
+        let body = Formula::and([
+            g(var("x"), var("x")),
+            Formula::Eq(var("x"), Term::Const(atom_val(&u, "a"))),
+            Formula::Eq(var("x"), Term::Const(atom_val(&u, "b"))),
+        ]);
+        let q = Query::new(vec![("x".into(), Type::Atom)], body);
+        let cq = decompose(&q).expect("still conjunctive");
+        assert!(cq.unsat);
+    }
+
+    #[test]
+    fn rejects_everything_outside_the_fragment() {
+        let mk = |body: Formula| Query::new(vec![("x".into(), Type::Atom)], body);
+        let cases = [
+            Formula::Not(Box::new(g(var("x"), var("x")))),
+            Formula::or([g(var("x"), var("x")), g(var("x"), var("x"))]),
+            Formula::Forall("y".into(), Type::Atom, Box::new(g(var("x"), var("y")))),
+            Formula::In(var("x"), var("x")),
+            Formula::Rel("G".into(), vec![var("x"), var("x").proj(1)]),
+            // variable occurring in no atom
+            Formula::Eq(var("x"), var("x")),
+        ];
+        for body in cases {
+            let q = mk(body);
+            assert!(decompose(&q).is_none(), "must reject {:?}", q.body);
+        }
+    }
+}

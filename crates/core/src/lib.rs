@@ -34,6 +34,7 @@
 
 pub mod ast;
 pub mod code;
+pub mod conjunctive;
 pub mod error;
 pub mod eval;
 pub mod nf;

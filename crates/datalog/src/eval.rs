@@ -20,6 +20,18 @@
 //! binds [`ValueId`]s — so fact dedup and (not-)membership tests cost
 //! O(arity) id compares regardless of value nesting. Results resolve back
 //! to [`Relation`]s at the boundary.
+//!
+//! Positive body literals are *index-probed*: per rule evaluation, the
+//! first literal argument whose value is already known when the literal
+//! is reached (a constant, or a variable bound by an earlier literal)
+//! keys a lazily-built hash index over the literal's relation, and only
+//! the matching group is unified. Under semi-naive evaluation this is the
+//! `HashJoin(probe=Δ)` shape `:explain` reports: each delta row's
+//! bindings probe the indexes of the later body literals. Probing is an
+//! iteration-order optimization only — the rows it skips would have
+//! failed the same id compare inside the unification loop *without
+//! consuming fuel* — so derived facts, [`EvalStats::joins`], and step
+//! accounting are bit-for-bit identical to the full-scan engine.
 
 use crate::program::{DTerm, Literal, Program, ProgramError, Rule};
 use minipool::ThreadPool;
@@ -250,6 +262,25 @@ pub fn eval_pooled(
     Ok((resolved, stats))
 }
 
+/// A positive literal's lazily-built probe index. Which argument position
+/// keys the index depends only on the body *prefix* (the set of variables
+/// bound before a given depth is the same for every visit), so one slot
+/// per body literal suffices for a whole rule evaluation.
+enum Probe {
+    /// Not yet decided for this rule evaluation.
+    Unbuilt,
+    /// No argument is known when the literal is reached: scan.
+    Scan,
+    /// Rows grouped by the value at `col`; probes clone only the matching
+    /// group (O(matches), each of which is recursed into anyway).
+    Index {
+        /// The probed argument position.
+        col: usize,
+        /// Rows grouped by their value at `col`.
+        groups: HashMap<ValueId, Vec<Box<[ValueId]>>>,
+    },
+}
+
 /// Evaluate one rule body by backtracking over literals left to right,
 /// inserting derived head facts into `out`.
 #[allow(clippy::too_many_arguments)]
@@ -264,8 +295,19 @@ fn derive(
     int: &Interner,
 ) -> Result<(), ProgramError> {
     let mut env: HashMap<String, ValueId> = HashMap::new();
+    let mut probes: Vec<Probe> = rule.body.iter().map(|_| Probe::Unbuilt).collect();
     search(
-        rule, edb, idb, pinned, 0, &mut env, out, stats, governor, int,
+        rule,
+        edb,
+        idb,
+        pinned,
+        0,
+        &mut env,
+        &mut probes,
+        out,
+        stats,
+        governor,
+        int,
     )
 }
 
@@ -285,6 +327,40 @@ fn eval_term(t: &DTerm, env: &HashMap<String, ValueId>, int: &Interner) -> Optio
     }
 }
 
+/// Unify a row against a literal's arguments under `env`. Returns whether
+/// the row matched and which variables this row newly bound (for the
+/// caller to undo); on mismatch, bindings made before the failing column
+/// are already recorded in the returned list.
+fn unify<'a>(
+    args: &'a [DTerm],
+    consts: &[Option<ValueId>],
+    row: &[ValueId],
+    env: &mut HashMap<String, ValueId>,
+) -> (bool, Vec<&'a str>) {
+    let mut bound_here: Vec<&str> = Vec::new();
+    for ((arg, cid), &val) in args.iter().zip(consts).zip(row.iter()) {
+        match arg {
+            DTerm::Const(_) => {
+                if *cid != Some(val) {
+                    return (false, bound_here);
+                }
+            }
+            DTerm::Var(v) => match env.get(v) {
+                Some(&existing) => {
+                    if existing != val {
+                        return (false, bound_here);
+                    }
+                }
+                None => {
+                    env.insert(v.clone(), val);
+                    bound_here.push(v);
+                }
+            },
+        }
+    }
+    (true, bound_here)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn search(
     rule: &Rule,
@@ -293,6 +369,7 @@ fn search(
     pinned: Option<(usize, &IdRelation)>,
     depth: usize,
     env: &mut HashMap<String, ValueId>,
+    probes: &mut Vec<Probe>,
     out: &mut IdbI,
     stats: &mut EvalStats,
     governor: &Governor,
@@ -336,51 +413,93 @@ fn search(
                     DTerm::Var(_) => None,
                 })
                 .collect();
-            for row in rel.iter() {
-                let mut bound_here: Vec<&str> = Vec::new();
-                let mut ok = true;
-                for ((arg, cid), &val) in args.iter().zip(&consts).zip(row.iter()) {
-                    match arg {
-                        DTerm::Const(_) => {
-                            if *cid != Some(val) {
-                                ok = false;
-                                break;
-                            }
+            // Decide (once per rule evaluation) whether this literal can
+            // probe: the first argument whose value is known here keys a
+            // hash index over the relation. Scratch only — never charged,
+            // like the scans it replaces.
+            if matches!(probes[depth], Probe::Unbuilt) {
+                let col = args.iter().position(|a| match a {
+                    DTerm::Const(_) => true,
+                    DTerm::Var(v) => env.contains_key(v),
+                });
+                probes[depth] = match col {
+                    None => Probe::Scan,
+                    Some(col) => {
+                        let mut groups: HashMap<ValueId, Vec<Box<[ValueId]>>> = HashMap::new();
+                        for row in rel.iter() {
+                            groups
+                                .entry(row[col])
+                                .or_default()
+                                .push(row.to_vec().into_boxed_slice());
                         }
-                        DTerm::Var(v) => match env.get(v) {
-                            Some(&existing) => {
-                                if existing != val {
-                                    ok = false;
-                                    break;
-                                }
-                            }
-                            None => {
-                                env.insert(v.clone(), val);
-                                bound_here.push(v);
-                            }
-                        },
+                        Probe::Index { col, groups }
+                    }
+                };
+            }
+            let probed: Option<Vec<Box<[ValueId]>>> = match &probes[depth] {
+                Probe::Scan => None,
+                Probe::Index { col, groups } => {
+                    let key = match &args[*col] {
+                        DTerm::Const(_) => consts[*col].expect("interned above"),
+                        DTerm::Var(v) => env[v.as_str()],
+                    };
+                    Some(groups.get(&key).cloned().unwrap_or_default())
+                }
+                Probe::Unbuilt => unreachable!("decided above"),
+            };
+            match probed {
+                Some(rows) => {
+                    for row in &rows {
+                        let (ok, bound_here) = unify(args, &consts, row, env);
+                        let deeper = if ok {
+                            search(
+                                rule,
+                                edb,
+                                idb,
+                                pinned,
+                                depth + 1,
+                                env,
+                                probes,
+                                out,
+                                stats,
+                                governor,
+                                int,
+                            )
+                        } else {
+                            Ok(())
+                        };
+                        for v in bound_here {
+                            env.remove(v);
+                        }
+                        deeper?;
                     }
                 }
-                let deeper = if ok {
-                    search(
-                        rule,
-                        edb,
-                        idb,
-                        pinned,
-                        depth + 1,
-                        env,
-                        out,
-                        stats,
-                        governor,
-                        int,
-                    )
-                } else {
-                    Ok(())
-                };
-                for v in bound_here {
-                    env.remove(v);
+                None => {
+                    for row in rel.iter() {
+                        let (ok, bound_here) = unify(args, &consts, row, env);
+                        let deeper = if ok {
+                            search(
+                                rule,
+                                edb,
+                                idb,
+                                pinned,
+                                depth + 1,
+                                env,
+                                probes,
+                                out,
+                                stats,
+                                governor,
+                                int,
+                            )
+                        } else {
+                            Ok(())
+                        };
+                        for v in bound_here {
+                            env.remove(v);
+                        }
+                        deeper?;
+                    }
                 }
-                deeper?;
             }
             Ok(())
         }
@@ -398,6 +517,7 @@ fn search(
                     pinned,
                     depth + 1,
                     env,
+                    probes,
                     out,
                     stats,
                     governor,
@@ -416,6 +536,7 @@ fn search(
                         pinned,
                         depth + 1,
                         env,
+                        probes,
                         out,
                         stats,
                         governor,
@@ -425,10 +546,10 @@ fn search(
                 Ok(())
             }
             (Some(x), None) => bind_and_continue(
-                rule, edb, idb, pinned, depth, env, out, stats, governor, int, b, x,
+                rule, edb, idb, pinned, depth, env, probes, out, stats, governor, int, b, x,
             ),
             (None, Some(y)) => bind_and_continue(
-                rule, edb, idb, pinned, depth, env, out, stats, governor, int, a, y,
+                rule, edb, idb, pinned, depth, env, probes, out, stats, governor, int, a, y,
             ),
             (None, None) => Ok(()),
         },
@@ -442,6 +563,7 @@ fn search(
                         pinned,
                         depth + 1,
                         env,
+                        probes,
                         out,
                         stats,
                         governor,
@@ -468,6 +590,7 @@ fn search(
                             pinned,
                             depth + 1,
                             env,
+                            probes,
                             out,
                             stats,
                             governor,
@@ -488,6 +611,7 @@ fn search(
                             pinned,
                             depth + 1,
                             env,
+                            probes,
                             out,
                             stats,
                             governor,
@@ -513,6 +637,7 @@ fn search(
                             pinned,
                             depth + 1,
                             env,
+                            probes,
                             out,
                             stats,
                             governor,
@@ -534,6 +659,7 @@ fn bind_and_continue(
     pinned: Option<(usize, &IdRelation)>,
     depth: usize,
     env: &mut HashMap<String, ValueId>,
+    probes: &mut Vec<Probe>,
     out: &mut IdbI,
     stats: &mut EvalStats,
     governor: &Governor,
@@ -550,6 +676,7 @@ fn bind_and_continue(
         pinned,
         depth + 1,
         env,
+        probes,
         out,
         stats,
         governor,

@@ -1,0 +1,96 @@
+//! Row predicates for the columnar select kernel.
+//!
+//! [`RowPred`] mirrors the algebra's `Pred` shape (equality between
+//! columns, equality with a constant, membership, subset, and the boolean
+//! connectives) but over **0-based** columns and carrying constants as
+//! plain values: an execution plan is built once and executed against a
+//! fresh interner each run, so constants are interned per execution by
+//! [`RowPred::compile`], after which evaluation is pure id work.
+
+use crate::table::ColumnTable;
+use no_object::{Interner, Value, ValueId};
+
+/// A predicate over one row of a [`ColumnTable`], columns 0-based.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RowPred {
+    /// Column = column.
+    EqCols(usize, usize),
+    /// Column = constant.
+    EqConst(usize, Value),
+    /// Column ∈ column (element, set).
+    InCols(usize, usize),
+    /// Column ⊆ column.
+    SubsetCols(usize, usize),
+    /// Negation.
+    Not(Box<RowPred>),
+    /// Conjunction.
+    And(Box<RowPred>, Box<RowPred>),
+    /// Disjunction.
+    Or(Box<RowPred>, Box<RowPred>),
+}
+
+impl RowPred {
+    /// `self ∧ other`.
+    pub fn and(self, other: RowPred) -> RowPred {
+        RowPred::And(Box::new(self), Box::new(other))
+    }
+
+    /// Intern every constant, producing the id-level form evaluated by
+    /// the select kernel.
+    pub fn compile(&self, int: &Interner) -> CompiledPred {
+        match self {
+            RowPred::EqCols(a, b) => CompiledPred::EqCols(*a, *b),
+            RowPred::EqConst(c, v) => CompiledPred::EqConst(*c, int.intern(v)),
+            RowPred::InCols(a, b) => CompiledPred::InCols(*a, *b),
+            RowPred::SubsetCols(a, b) => CompiledPred::SubsetCols(*a, *b),
+            RowPred::Not(p) => CompiledPred::Not(Box::new(p.compile(int))),
+            RowPred::And(a, b) => {
+                CompiledPred::And(Box::new(a.compile(int)), Box::new(b.compile(int)))
+            }
+            RowPred::Or(a, b) => {
+                CompiledPred::Or(Box::new(a.compile(int)), Box::new(b.compile(int)))
+            }
+        }
+    }
+}
+
+/// [`RowPred`] with constants resolved to ids of one interner.
+#[derive(Clone, Debug)]
+pub enum CompiledPred {
+    /// Column = column.
+    EqCols(usize, usize),
+    /// Column = interned constant.
+    EqConst(usize, ValueId),
+    /// Column ∈ column.
+    InCols(usize, usize),
+    /// Column ⊆ column.
+    SubsetCols(usize, usize),
+    /// Negation.
+    Not(Box<CompiledPred>),
+    /// Conjunction.
+    And(Box<CompiledPred>, Box<CompiledPred>),
+    /// Disjunction.
+    Or(Box<CompiledPred>, Box<CompiledPred>),
+}
+
+impl CompiledPred {
+    /// Evaluate against row `i` of `t`.
+    pub fn eval(&self, t: &ColumnTable, i: usize, int: &Interner) -> bool {
+        match self {
+            CompiledPred::EqCols(a, b) => t.col(*a)[i] == t.col(*b)[i],
+            CompiledPred::EqConst(c, id) => t.col(*c)[i] == *id,
+            CompiledPred::InCols(a, b) => int
+                .set_elems(t.col(*b)[i])
+                .is_some_and(|elems| int.set_contains(elems, t.col(*a)[i])),
+            CompiledPred::SubsetCols(a, b) => {
+                match (int.set_elems(t.col(*a)[i]), int.set_elems(t.col(*b)[i])) {
+                    (Some(xs), Some(ys)) => int.set_is_subset(xs, ys),
+                    _ => false,
+                }
+            }
+            CompiledPred::Not(p) => !p.eval(t, i, int),
+            CompiledPred::And(a, b) => a.eval(t, i, int) && b.eval(t, i, int),
+            CompiledPred::Or(a, b) => a.eval(t, i, int) || b.eval(t, i, int),
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Columnar relation storage over interned ids.
+//!
+//! A [`ColumnTable`] stores a relation as one `Vec<ValueId>` per column —
+//! the layout implog-style engines use — kept in a *canonical* row order:
+//! rows sorted lexicographically by raw id and deduplicated. Because id
+//! equality coincides with value equality (the interner's hash-consing
+//! invariant), the canonical form is unique for a fixed interner, so two
+//! tables over the same interner are bit-for-bit equal iff they denote the
+//! same relation. Every kernel in [`crate::kernels`] both consumes and
+//! produces canonical tables, which is what lets the differential fuzzer
+//! compare hash/merge/nested-loop outputs with plain `==` and makes
+//! results independent of thread count and hash-map iteration order.
+//!
+//! Note raw-id order is an *internal* device (admission order, not the
+//! structural order on values — see `no_object::intern`); it never escapes
+//! into results, which are resolved back to value-level [`Relation`]s at
+//! the plan boundary.
+//!
+//! [`IndexedRel`] is the row-major sibling used by the Datalog engine: an
+//! append-only relation with per-column hash indexes so semi-naive delta
+//! joins probe bound positions instead of scanning.
+//!
+//! [`Relation`]: no_object::Relation
+
+use no_object::{IdRelation, ValueId};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// A relation stored column-major over interned ids, in canonical
+/// (raw-id-sorted, duplicate-free) row order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnTable {
+    arity: usize,
+    len: usize,
+    cols: Vec<Vec<ValueId>>,
+}
+
+impl ColumnTable {
+    /// The empty table of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        ColumnTable {
+            arity,
+            len: 0,
+            cols: vec![Vec::new(); arity],
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One column's ids, row-aligned.
+    pub fn col(&self, c: usize) -> &[ValueId] {
+        &self.cols[c]
+    }
+
+    /// Gather row `i` across columns.
+    pub fn row(&self, i: usize) -> Vec<ValueId> {
+        self.cols.iter().map(|c| c[i]).collect()
+    }
+
+    /// Append a row without restoring the canonical order; callers must
+    /// finish with [`canonicalize`](ColumnTable::canonicalize).
+    pub fn push_row(&mut self, row: &[ValueId]) {
+        debug_assert_eq!(row.len(), self.arity);
+        for (c, id) in row.iter().enumerate() {
+            self.cols[c].push(*id);
+        }
+        self.len += 1;
+    }
+
+    /// Raw-id lexicographic comparison of rows `i` and `j`.
+    fn cmp_idx(&self, i: usize, j: usize) -> Ordering {
+        for col in &self.cols {
+            match col[i].index().cmp(&col[j].index()) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Restore the canonical form: sort rows by raw-id lexicographic
+    /// order and drop duplicates.
+    pub fn canonicalize(&mut self) {
+        let mut perm: Vec<u32> = (0..self.len as u32).collect();
+        perm.sort_unstable_by(|&a, &b| self.cmp_idx(a as usize, b as usize));
+        perm.dedup_by(|&mut a, &mut b| self.cmp_idx(a as usize, b as usize) == Ordering::Equal);
+        self.gather(&perm);
+    }
+
+    /// Replace the rows by `perm`'s selection, in `perm` order.
+    fn gather(&mut self, perm: &[u32]) {
+        for col in &mut self.cols {
+            let picked: Vec<ValueId> = perm.iter().map(|&i| col[i as usize]).collect();
+            *col = picked;
+        }
+        self.len = perm.len();
+    }
+
+    /// A new table holding the rows selected by `keep`, in `keep` order.
+    /// When `keep` is an ascending subsequence of row indices (a filter),
+    /// the result is canonical without re-sorting.
+    pub fn gathered(&self, keep: &[u32]) -> ColumnTable {
+        ColumnTable {
+            arity: self.arity,
+            len: keep.len(),
+            cols: self
+                .cols
+                .iter()
+                .map(|col| keep.iter().map(|&i| col[i as usize]).collect())
+                .collect(),
+        }
+    }
+
+    /// Raw-id lexicographic comparison of `self`'s row `i` with `other`'s
+    /// row `j` (both tables must share one interner).
+    pub fn cmp_row_cross(&self, i: usize, other: &ColumnTable, j: usize) -> Ordering {
+        debug_assert_eq!(self.arity, other.arity);
+        for (a, b) in self.cols.iter().zip(&other.cols) {
+            match a[i].index().cmp(&b[j].index()) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Build (canonically) from an iterator of rows.
+    pub fn from_rows<'a>(arity: usize, rows: impl IntoIterator<Item = &'a [ValueId]>) -> Self {
+        let mut t = ColumnTable::empty(arity);
+        for row in rows {
+            t.push_row(row);
+        }
+        t.canonicalize();
+        t
+    }
+
+    /// Build from an [`IdRelation`] (already duplicate-free; still sorted
+    /// here to reach the canonical order).
+    pub fn from_id_relation(arity: usize, rel: &IdRelation) -> Self {
+        ColumnTable::from_rows(arity, rel.iter())
+    }
+
+    /// Convert back to a set-of-rows relation.
+    pub fn to_id_relation(&self) -> IdRelation {
+        (0..self.len)
+            .map(|i| self.row(i).into_boxed_slice())
+            .collect()
+    }
+
+    /// Secondary hash index over one column: id → ascending row indices.
+    pub fn hash_index(&self, c: usize) -> HashMap<ValueId, Vec<u32>> {
+        let mut idx: HashMap<ValueId, Vec<u32>> = HashMap::new();
+        for (i, id) in self.cols[c].iter().enumerate() {
+            idx.entry(*id).or_default().push(i as u32);
+        }
+        idx
+    }
+
+    /// Secondary hash index over a column combination: key ids → ascending
+    /// row indices. This is the build side of a hash join.
+    pub fn key_index(&self, key_cols: &[usize]) -> HashMap<Box<[ValueId]>, Vec<u32>> {
+        let mut idx: HashMap<Box<[ValueId]>, Vec<u32>> = HashMap::new();
+        for i in 0..self.len {
+            idx.entry(self.key_at(key_cols, i))
+                .or_default()
+                .push(i as u32);
+        }
+        idx
+    }
+
+    /// The key of row `i` restricted to `key_cols`.
+    pub fn key_at(&self, key_cols: &[usize], i: usize) -> Box<[ValueId]> {
+        key_cols.iter().map(|&c| self.cols[c][i]).collect()
+    }
+
+    /// Sorted secondary index: row indices ordered by the raw ids of
+    /// `key_cols` (ties broken by row position, keeping the permutation
+    /// deterministic). This is one side of a merge join.
+    pub fn sort_perm(&self, key_cols: &[usize]) -> Vec<u32> {
+        let mut perm: Vec<u32> = (0..self.len as u32).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            for &c in key_cols {
+                let ord = self.cols[c][a as usize]
+                    .index()
+                    .cmp(&self.cols[c][b as usize].index());
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.cmp(&b)
+        });
+        perm
+    }
+
+    /// Compare the `key_cols` of rows `i` and `j` by raw id.
+    pub fn cmp_keys(&self, key_cols: &[usize], i: usize, j: usize) -> Ordering {
+        for &c in key_cols {
+            match self.cols[c][i].index().cmp(&self.cols[c][j].index()) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Number of distinct ids in column `c` (exact, O(n) expected).
+    pub fn distinct(&self, c: usize) -> usize {
+        let mut seen: std::collections::HashSet<ValueId> =
+            std::collections::HashSet::with_capacity(self.cols[c].len());
+        seen.extend(self.cols[c].iter().copied());
+        seen.len()
+    }
+}
+
+/// A row-major relation with per-column hash indexes, append-only: the
+/// Datalog engine's working representation. `insert_new` keeps the set,
+/// the row vector, and every column index in lockstep, so the semi-naive
+/// delta join can probe a bound position (`probe`) instead of scanning
+/// while `contains` stays O(arity).
+#[derive(Clone, Debug, Default)]
+pub struct IndexedRel {
+    rows: Vec<Box<[ValueId]>>,
+    set: std::collections::HashSet<Box<[ValueId]>>,
+    cols: Vec<HashMap<ValueId, Vec<u32>>>,
+}
+
+impl IndexedRel {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        IndexedRel {
+            rows: Vec::new(),
+            set: std::collections::HashSet::new(),
+            cols: vec![HashMap::new(); arity],
+        }
+    }
+
+    /// Index every row of an [`IdRelation`].
+    pub fn from_id_relation(arity: usize, rel: &IdRelation) -> Self {
+        let mut r = IndexedRel::new(arity);
+        for row in rel.iter() {
+            r.insert_new(row.to_vec().into_boxed_slice());
+        }
+        r
+    }
+
+    /// Insert a row, updating all column indexes; returns whether it was
+    /// new.
+    pub fn insert_new(&mut self, row: Box<[ValueId]>) -> bool {
+        debug_assert_eq!(row.len(), self.cols.len());
+        if !self.set.insert(row.clone()) {
+            return false;
+        }
+        let i = self.rows.len() as u32;
+        for (c, id) in row.iter().enumerate() {
+            self.cols[c].entry(*id).or_default().push(i);
+        }
+        self.rows.push(row);
+        true
+    }
+
+    /// Row indices whose column `c` holds exactly `id` (ascending; empty
+    /// slice when absent).
+    pub fn probe(&self, c: usize, id: ValueId) -> &[u32] {
+        self.cols[c].get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Box<[ValueId]>] {
+        &self.rows
+    }
+
+    /// Row `i`.
+    pub fn row(&self, i: u32) -> &[ValueId] {
+        &self.rows[i as usize]
+    }
+
+    /// Membership test: O(arity).
+    pub fn contains(&self, row: &[ValueId]) -> bool {
+        self.set.contains(row)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_object::{Interner, Universe, Value};
+
+    fn ids(int: &Interner, names: &[&str]) -> Vec<ValueId> {
+        let universe = Universe::with_names(names.iter().copied());
+        names
+            .iter()
+            .map(|n| int.intern(&Value::atom(universe.get(n).unwrap())))
+            .collect()
+    }
+
+    #[test]
+    fn canonical_form_is_sorted_and_deduped() {
+        let int = Interner::new();
+        let v = ids(&int, &["a", "b", "c"]);
+        let rows: Vec<Vec<ValueId>> = vec![
+            vec![v[2], v[0]],
+            vec![v[0], v[1]],
+            vec![v[2], v[0]],
+            vec![v[1], v[1]],
+        ];
+        let t = ColumnTable::from_rows(2, rows.iter().map(Vec::as_slice));
+        assert_eq!(t.len(), 3);
+        for i in 1..t.len() {
+            assert_eq!(t.cmp_idx(i - 1, i), Ordering::Less);
+        }
+        // Same rows in any order build the identical table.
+        let mut rev = rows.clone();
+        rev.reverse();
+        let t2 = ColumnTable::from_rows(2, rev.iter().map(Vec::as_slice));
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn indexes_agree_with_scan() {
+        let int = Interner::new();
+        let v = ids(&int, &["a", "b", "c", "d"]);
+        let rows: Vec<Vec<ValueId>> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .map(|(i, j)| vec![v[i], v[j]])
+            .collect();
+        let t = ColumnTable::from_rows(2, rows.iter().map(Vec::as_slice));
+        let idx = t.hash_index(0);
+        for (id, rows_with) in &idx {
+            for &i in rows_with {
+                assert_eq!(t.col(0)[i as usize], *id);
+            }
+        }
+        let total: usize = idx.values().map(Vec::len).sum();
+        assert_eq!(total, t.len());
+        assert_eq!(t.distinct(0), 4);
+        assert_eq!(t.distinct(1), 4);
+
+        let mut ir = IndexedRel::new(2);
+        for r in &rows {
+            ir.insert_new(r.clone().into_boxed_slice());
+        }
+        assert_eq!(ir.len(), 16);
+        for r in &rows {
+            assert!(ir.contains(r));
+            assert!(ir.probe(0, r[0]).iter().any(|&i| ir.row(i) == &r[..]));
+        }
+    }
+
+    #[test]
+    fn zero_arity_tables_collapse_to_one_row() {
+        let mut t = ColumnTable::empty(0);
+        t.push_row(&[]);
+        t.push_row(&[]);
+        t.canonicalize();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.arity(), 0);
+    }
+}

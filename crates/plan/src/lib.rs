@@ -19,6 +19,10 @@
 //! - [`stats`] — O(schema) instance statistics and schema fingerprints;
 //! - [`passes`] — pushdown, quantifier reordering, CSE, the semi-naive
 //!   delta rewrite, and governor-aware early-trip annotation;
+//! - [`joins`] — the join-algorithms pass: flat conjunctive CALC and flat
+//!   algebra expressions lower to the columnar `no-exec` kernels, with a
+//!   statistics-driven algorithm picked per join (hash / merge / nested
+//!   loop) and recorded in the plan;
 //! - [`physical`] — the executable plan and its kernel bindings;
 //! - [`explain`] — deterministic text/JSON renderings (`:explain`);
 //! - [`cache`] — the LRU plan cache keyed on normalized text + schema
@@ -29,6 +33,7 @@
 pub mod cache;
 pub mod explain;
 pub mod ir;
+pub mod joins;
 pub mod lower;
 pub mod passes;
 pub mod physical;
@@ -37,9 +42,10 @@ pub mod stats;
 pub use cache::{CacheKey, PlanCache, PlanKind};
 pub use explain::{json_escape, plan_tree_text};
 pub use ir::{Node, NodeId, Op, Plan};
+pub use joins::{choose_join, ExecLowering};
 pub use lower::{lower_algebra, lower_calc, lower_datalog, to_expr, CalcLowering};
 pub use passes::{Pass, PassSet};
-pub use physical::{CalcMode, DatalogMode, Output, Physical, PlanError};
+pub use physical::{CalcMode, DatalogMode, ExecOrigin, Output, Physical, PlanError};
 pub use stats::{schema_fingerprint, Stats};
 
 use no_algebra::Expr;
@@ -76,9 +82,11 @@ impl<'a> Planner<'a> {
         self
     }
 
-    /// Collect statistics from an instance directly.
+    /// Collect statistics from an instance directly — the detailed tier,
+    /// including exact per-column distinct counts, which the
+    /// join-algorithms pass uses to pick per-join algorithms.
     pub fn with_instance(self, instance: &Instance) -> Self {
-        self.with_stats(Stats::of(instance))
+        self.with_stats(Stats::of_detailed(instance))
     }
 
     /// Use governor limits (enables early-trip warnings in the plan).
@@ -98,6 +106,42 @@ impl<'a> Planner<'a> {
     pub fn plan_calc(&self, query: &Query, mode: CalcMode) -> Result<Planned, PlanError> {
         let printer = Printer::new();
         let lowered = lower::lower_calc(self.schema, self.stats.as_ref(), query)?;
+        let mode_label = match mode {
+            CalcMode::ActiveDomain => "active-domain",
+            CalcMode::Safe => "safe",
+        };
+
+        // Flat conjunctive queries lower to the columnar join kernels
+        // instead of quantifier enumeration: the recognized fragment has
+        // identical active-domain and safe semantics (every variable is
+        // restricted by a positive atom — rule 1 of Definition 5.2), so
+        // one physical plan serves both modes.
+        if self.passes.contains(Pass::Joins) {
+            if let Some(cq) = no_core::conjunctive::decompose(query) {
+                let head_types: Vec<no_object::Type> =
+                    query.head.iter().map(|(_, t)| t.clone()).collect();
+                let lowering = joins::lower_conjunctive_calc(&cq, &head_types, self.stats.as_ref());
+                let applied = vec![Pass::Joins.name()];
+                let mut header = vec![
+                    format!("query class: CALC⟨i={}, k={}⟩", lowered.ik.0, lowered.ik.1),
+                    "flat conjunctive query: lowered to columnar join kernels".to_string(),
+                ];
+                header.extend(lowering.notes);
+                let physical = Physical::Exec {
+                    plan: lowering.exec,
+                    origin: ExecOrigin::Calc,
+                };
+                return Ok(self.finish(
+                    lowering.plan,
+                    physical,
+                    "calc",
+                    mode_label,
+                    applied,
+                    header,
+                ));
+            }
+        }
+
         let mut plan = lowered.plan;
         let mut query = query.clone();
         let mut applied = Vec::new();
@@ -154,10 +198,6 @@ impl<'a> Planner<'a> {
             }
         }
 
-        let mode_label = match mode {
-            CalcMode::ActiveDomain => "active-domain",
-            CalcMode::Safe => "safe",
-        };
         let physical = Physical::Calc {
             query,
             var_types: lowered.var_types,
@@ -183,6 +223,34 @@ impl<'a> Planner<'a> {
             expr.clone()
         };
         let plan = lower::lower_algebra(self.schema, self.stats.as_ref(), &expr)?;
+
+        // Flat expressions (no nest/unnest/powerset) lower to the
+        // columnar kernels; σ-over-product with cross-side equalities
+        // becomes an equi-join with a planner-chosen algorithm. The
+        // legacy lowering above already validated the expression, so
+        // error behavior is identical on both paths.
+        if self.passes.contains(Pass::Joins) {
+            if let Some(lowering) =
+                joins::lower_algebra_exec(&expr, self.schema, self.stats.as_ref())
+            {
+                applied.push(Pass::Joins.name());
+                header.push("flat expression: lowered to columnar join kernels".to_string());
+                header.extend(lowering.notes);
+                let physical = Physical::Exec {
+                    plan: lowering.exec,
+                    origin: ExecOrigin::Algebra,
+                };
+                return Ok(self.finish(
+                    lowering.plan,
+                    physical,
+                    "algebra",
+                    "columnar",
+                    applied,
+                    header,
+                ));
+            }
+        }
+
         let physical = Physical::Algebra { expr };
         Ok(self.finish(plan, physical, "algebra", "bottom-up", applied, header))
     }
@@ -206,6 +274,13 @@ impl<'a> Planner<'a> {
             m => m,
         };
         let mut plan = lower::lower_datalog(self.schema, self.stats.as_ref(), program, &mode)?;
+        if self.passes.contains(Pass::Joins) {
+            applied.push(Pass::Joins.name());
+            header.push(
+                "joins probe per-column hash indexes; delta rules run HashJoin(probe=Δ)"
+                    .to_string(),
+            );
+        }
         if mode == DatalogMode::SemiNaive {
             applied.push(Pass::Delta.name());
             let idb = program.idb.keys().cloned().collect();
@@ -410,7 +485,18 @@ mod tests {
         let pool = minipool::ThreadPool::sequential();
         let rel = planned.execute(&inst, &gov, &pool).unwrap().into_relation();
         assert_eq!(rel.len(), 2);
-        assert!(planned.render_text().contains("range x ← rule 1"));
+        // The conjunctive query takes the columnar path...
+        assert!(matches!(planned.physical, Physical::Exec { .. }));
+        assert!(planned.render_text().contains("join-algorithms"));
+        // ...and with the pass off, the legacy safe-evaluation plan.
+        let legacy = Planner::new(&schema)
+            .with_instance(&inst)
+            .with_passes(PassSet::all().without(Pass::Joins))
+            .plan_calc(&q, CalcMode::Safe)
+            .unwrap();
+        assert!(legacy.render_text().contains("range x ← rule 1"));
+        let lrel = legacy.execute(&inst, &gov, &pool).unwrap().into_relation();
+        assert_eq!(rel, lrel, "columnar and legacy plans agree");
     }
 
     #[test]
@@ -454,7 +540,11 @@ mod tests {
                 Formula::Rel("E".to_string(), vec![Term::var("y")]),
             ]),
         );
-        let planner = Planner::new(&schema2).with_instance(&inst);
+        // Disable the join-algorithms pass: this test exercises the
+        // legacy quantifier-reordering machinery specifically.
+        let planner = Planner::new(&schema2)
+            .with_instance(&inst)
+            .with_passes(PassSet::all().without(Pass::Joins));
         let planned = planner.plan_calc(&q, CalcMode::Safe).unwrap();
         match &planned.physical {
             Physical::Calc { restore, .. } => {
@@ -477,6 +567,15 @@ mod tests {
             .unwrap()
             .into_relation();
         assert_eq!(rel, baseline);
+        // the columnar path (all passes) agrees too
+        let columnar = Planner::new(&schema2)
+            .with_instance(&inst)
+            .plan_calc(&q, CalcMode::Safe)
+            .unwrap()
+            .execute(&inst, &gov, &pool)
+            .unwrap()
+            .into_relation();
+        assert_eq!(rel, columnar);
     }
 
     #[test]

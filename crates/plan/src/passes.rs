@@ -26,6 +26,9 @@ pub enum Pass {
     Pushdown,
     /// Quantifier reordering by estimated range cardinality.
     Reorder,
+    /// Columnar lowering with per-join algorithm selection (hash, merge,
+    /// or nested loop) for the flat conjunctive fragment.
+    Joins,
     /// Common-subplan elimination via hash-consed plan nodes.
     Cse,
     /// Semi-naive delta rewrite for Datalog¬.
@@ -36,9 +39,10 @@ pub enum Pass {
 
 impl Pass {
     /// All passes in pipeline order.
-    pub const ALL: [Pass; 5] = [
+    pub const ALL: [Pass; 6] = [
         Pass::Pushdown,
         Pass::Reorder,
+        Pass::Joins,
         Pass::Delta,
         Pass::Cse,
         Pass::Trips,
@@ -49,6 +53,7 @@ impl Pass {
         match self {
             Pass::Pushdown => "pushdown",
             Pass::Reorder => "reorder-quantifiers",
+            Pass::Joins => "join-algorithms",
             Pass::Cse => "cse",
             Pass::Delta => "delta-rewrite",
             Pass::Trips => "governor-trips",
@@ -59,19 +64,19 @@ impl Pass {
 /// Which passes an optimization run applies.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PassSet {
-    enabled: [bool; 5],
+    enabled: [bool; 6],
 }
 
 impl PassSet {
     /// Every pass.
     pub fn all() -> PassSet {
-        PassSet { enabled: [true; 5] }
+        PassSet { enabled: [true; 6] }
     }
 
     /// No passes (pure lowering; the differential baseline).
     pub fn none() -> PassSet {
         PassSet {
-            enabled: [false; 5],
+            enabled: [false; 6],
         }
     }
 

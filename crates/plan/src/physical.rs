@@ -83,6 +83,25 @@ pub enum Physical {
         /// The strategy (semi-naive iff the delta pass ran).
         mode: DatalogMode,
     },
+    /// A columnar plan over the `no-exec` kernels, produced by the
+    /// join-algorithms pass for flat conjunctive CALC queries and flat
+    /// algebra expressions.
+    Exec {
+        /// The operator arena to run.
+        plan: no_exec::ExecPlan,
+        /// Which front-end produced it (decides how a resource trip is
+        /// wrapped, so `Session` error chains stay per-engine).
+        origin: ExecOrigin,
+    },
+}
+
+/// The front-end a [`Physical::Exec`] plan came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecOrigin {
+    /// Lowered from a CALC query.
+    Calc,
+    /// Lowered from an algebra expression.
+    Algebra,
 }
 
 /// What a plan execution produced.
@@ -278,6 +297,14 @@ impl Physical {
                     Ok(Output::Idb(idb, None))
                 }
             },
+            Physical::Exec { plan, origin } => {
+                let rel =
+                    no_exec::execute(plan, instance, governor, pool).map_err(|r| match origin {
+                        ExecOrigin::Calc => PlanError::Calc(EvalError::Resource(r)),
+                        ExecOrigin::Algebra => PlanError::Algebra(AlgebraError::Resource(r)),
+                    })?;
+                Ok(Output::Relation(rel))
+            }
         }
     }
 }

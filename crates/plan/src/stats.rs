@@ -1,23 +1,32 @@
-//! Cheap instance statistics and schema fingerprints.
+//! Instance statistics and schema fingerprints.
 //!
-//! The optimizer never scans data: everything it knows comes from the
-//! relation cardinalities an [`Instance`] already maintains plus the atom
-//! count (the active-domain size). That keeps planning O(schema), so a
-//! plan-cache hit really does skip all per-query analysis work.
+//! Two collection tiers. [`Stats::of`] never scans data: everything it
+//! knows comes from the relation cardinalities an [`Instance`] already
+//! maintains plus the atom count (the active-domain size), keeping
+//! planning O(schema). [`Stats::of_detailed`] additionally makes one
+//! O(data) pass to count **exact** distinct values per column — the
+//! signal the join-algorithm pass uses to spot duplicate-heavy keys.
+//! Sessions collect detailed stats once per planner build and the plan
+//! cache amortizes the scan; staleness can only affect algorithm
+//! *choice*, never correctness (every algorithm computes the same join).
 
 use no_core::ast::{Formula, Term};
-use no_object::{Instance, Schema, Type};
+use no_object::{Instance, Schema, Type, Value};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
 
-/// Relation cardinalities plus the active-domain size of one instance.
+/// Relation cardinalities, the active-domain size, and (when collected
+/// via [`Stats::of_detailed`]) exact per-column distinct counts.
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
     /// Rows per relation.
     pub rel_rows: BTreeMap<String, u64>,
     /// Number of distinct atoms in the instance (active-domain size).
     pub atoms: u64,
+    /// Exact distinct values per column of each relation (empty unless
+    /// collected by [`Stats::of_detailed`]).
+    pub rel_distinct: BTreeMap<String, Vec<u64>>,
 }
 
 impl Stats {
@@ -32,12 +41,43 @@ impl Stats {
         Stats {
             rel_rows,
             atoms: instance.atoms().len() as u64,
+            rel_distinct: BTreeMap::new(),
         }
+    }
+
+    /// Collect stats including exact per-column distinct counts: one
+    /// O(‖I‖ log ‖I‖) pass per relation.
+    pub fn of_detailed(instance: &Instance) -> Stats {
+        let mut stats = Stats::of(instance);
+        for r in instance.schema().relations() {
+            let rel = instance.relation(&r.name);
+            let arity = r.arity();
+            let mut sets: Vec<BTreeSet<&Value>> = vec![BTreeSet::new(); arity];
+            for row in rel.iter() {
+                for (c, v) in row.iter().enumerate() {
+                    sets[c].insert(v);
+                }
+            }
+            stats.rel_distinct.insert(
+                r.name.clone(),
+                sets.iter().map(|s| s.len() as u64).collect(),
+            );
+        }
+        stats
     }
 
     /// Rows of a relation, when known.
     pub fn rows(&self, rel: &str) -> Option<u64> {
         self.rel_rows.get(rel).copied()
+    }
+
+    /// Exact distinct count of a relation's column (0-based), when
+    /// detailed stats were collected.
+    pub fn distinct(&self, rel: &str, col: usize) -> Option<u64> {
+        self.rel_distinct
+            .get(rel)
+            .and_then(|cols| cols.get(col))
+            .copied()
     }
 
     /// Estimated candidates a variable ranges over when it occurs in the
@@ -154,6 +194,19 @@ mod tests {
         assert_eq!(s.atoms, 3);
         assert_eq!(s.estimate_domain(&Type::Atom), 3);
         assert_eq!(s.estimate_domain(&Type::set(Type::Atom)), 8);
+        assert_eq!(s.distinct("G", 0), None, "cheap stats carry no distincts");
+    }
+
+    #[test]
+    fn detailed_stats_count_distincts_exactly() {
+        let i = tiny();
+        let s = Stats::of_detailed(&i);
+        // G = {(a,b),(b,c),(c,a)}: both columns hold 3 distinct atoms.
+        assert_eq!(s.distinct("G", 0), Some(3));
+        assert_eq!(s.distinct("G", 1), Some(3));
+        assert_eq!(s.distinct("E", 0), Some(1));
+        assert_eq!(s.distinct("G", 2), None, "out-of-range column");
+        assert_eq!(s.distinct("H", 0), None, "unknown relation");
     }
 
     #[test]

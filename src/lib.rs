@@ -9,6 +9,8 @@
 //! - [`tm`]: Turing machines and the relational simulation of Theorem 4.1
 //! - [`datalog`]: inflationary Datalog over complex objects
 //! - [`density`]: instance families and density/sparsity analysis
+//! - [`exec`]: columnar execution kernels — hash/merge/nested-loop joins
+//!   over per-column id vectors, picked per join by the planner
 //! - [`analysis`]: static analyzer — diagnostics and complexity certificates
 //! - [`plan`]: the logical/physical query-plan IR, optimizer passes, plan
 //!   cache, and `:explain` renderings shared by every engine
@@ -20,6 +22,7 @@ pub use no_analysis as analysis;
 pub use no_core as core;
 pub use no_datalog as datalog;
 pub use no_density as density;
+pub use no_exec as exec;
 pub use no_object as object;
 pub use no_plan as plan;
 pub use no_storage as storage;

@@ -279,6 +279,37 @@ fn planned_execution_degrades_gracefully() {
     }
 }
 
+/// Every columnar join algorithm unwinds cleanly through the kernel,
+/// sequential and threaded: the depth-1 fault fires on the `exec.start`
+/// checkpoint, deeper ones inside scan/build/probe metering.
+#[test]
+fn exec_kernels_degrade_gracefully() {
+    use nestdb::exec::{execute, ExecOp, ExecPlan, JoinAlgo};
+    let (_u, _order, i) = graph_instance(4, &test_edges());
+    for algo in [
+        JoinAlgo::NestedLoop,
+        JoinAlgo::Hash { build_left: true },
+        JoinAlgo::Hash { build_left: false },
+        JoinAlgo::Merge,
+    ] {
+        let mut p = ExecPlan::new();
+        let l = p.push(ExecOp::Scan { rel: "G".into() });
+        let r = p.push(ExecOp::Scan { rel: "G".into() });
+        p.push(ExecOp::Join {
+            left: l,
+            right: r,
+            keys: vec![(1, 0)],
+            algo,
+        });
+        for threads in [1usize, 4] {
+            let pool = minipool::ThreadPool::new(threads);
+            assert_degrades_gracefully(&format!("exec-{}-t{threads}", algo.label()), |g| {
+                execute(&p, &i, g, &pool)
+            });
+        }
+    }
+}
+
 #[test]
 fn tm_run_degrades_gracefully() {
     let machine = machines::binary_increment();
