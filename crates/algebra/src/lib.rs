@@ -35,8 +35,10 @@
 
 pub mod eval;
 pub mod expr;
+pub mod parser;
 pub mod to_calc;
 
 pub use eval::{eval, eval_governed, eval_pooled, AlgebraConfig};
 pub use expr::{AlgebraError, Expr, Pred};
+pub use parser::{parse_expr, ParseError};
 pub use to_calc::to_query;

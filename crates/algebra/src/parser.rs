@@ -1,0 +1,466 @@
+//! A text grammar for algebra expressions.
+//!
+//! The wire protocol ships every query as text, so the algebra needs the
+//! same "parse from a string" entry point the calculus and Datalog already
+//! have. The grammar mirrors the [`Display`](std::fmt::Display) shapes of
+//! [`Expr`]: unary operators are written function-style with `[...]`
+//! arguments, binary operators are explicitly parenthesised infix:
+//!
+//! ```text
+//! expr := IDENT                              % database relation
+//!       | select[pred](expr)
+//!       | project[n, n, ...](expr)
+//!       | nest[n](expr)
+//!       | unnest[n](expr)
+//!       | powerset(expr)
+//!       | ( expr OP expr )                   % OP := x | + | - | &
+//!
+//! pred := eq(n, n)                           % column = column
+//!       | eqc(n, value)                      % column = constant
+//!       | in(n, n)                           % column ∈ column
+//!       | sub(n, n)                          % column ⊆ column
+//!       | not(pred) | and(pred, pred) | or(pred, pred)
+//!
+//! value := 'atom' | { value, ... } | [ value, ... ]
+//! ```
+//!
+//! Column indices are 1-based, like everywhere else in the algebra. Atom
+//! constants are interned into the caller's [`Universe`]. Comments run
+//! from `%` to end of line, matching the database text format.
+
+use crate::expr::{Expr, Pred};
+use no_object::{Universe, Value};
+use std::fmt;
+
+/// An algebra parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the source.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "algebra parse error at byte {}: {}",
+            self.at, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse an algebra expression from text, interning atom constants into
+/// `universe`. Trailing input after the expression is an error.
+pub fn parse_expr(src: &str, universe: &mut Universe) -> Result<Expr, ParseError> {
+    let mut p = P {
+        src: src.as_bytes(),
+        pos: 0,
+        universe,
+        depth: 0,
+    };
+    let e = p.expr()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct P<'s, 'u> {
+    src: &'s [u8],
+    pos: usize,
+    universe: &'u mut Universe,
+    depth: usize,
+}
+
+impl P<'_, '_> {
+    fn err(&self, m: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: m.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self
+                .src
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+            if self.src.get(self.pos) == Some(&b'%') {
+                while self.src.get(self.pos).is_some_and(|&b| b != b'\n') {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn try_eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii checked")
+            .to_string())
+    }
+
+    fn number(&mut self) -> Result<usize, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected column number"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii checked")
+            .parse()
+            .map_err(|_| self.err("column number out of range"))
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("expression nested deeper than {MAX_DEPTH}")));
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let e = if self.try_eat(b'(') {
+            // `( expr OP expr )` — explicitly parenthesised binary form.
+            let left = self.expr()?;
+            self.skip_ws();
+            let op = match self.peek() {
+                Some(b'+') | Some(b'-') | Some(b'&') => {
+                    let b = self.src[self.pos];
+                    self.pos += 1;
+                    b
+                }
+                Some(b'x') => {
+                    // `x` is the product operator only when it stands alone
+                    // (not a prefix of a relation name like `xs`).
+                    if self
+                        .src
+                        .get(self.pos + 1)
+                        .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                    {
+                        return Err(self.err("expected binary operator x, +, -, or &"));
+                    }
+                    self.pos += 1;
+                    b'x'
+                }
+                _ => return Err(self.err("expected binary operator x, +, -, or &")),
+            };
+            let right = self.expr()?;
+            self.eat(b')')?;
+            match op {
+                b'x' => left.product(right),
+                b'+' => left.union(right),
+                b'-' => left.difference(right),
+                _ => left.intersect(right),
+            }
+        } else {
+            let id = self.ident()?;
+            match id.as_str() {
+                "select" => {
+                    self.eat(b'[')?;
+                    let pred = self.pred()?;
+                    self.eat(b']')?;
+                    self.eat(b'(')?;
+                    let e = self.expr()?;
+                    self.eat(b')')?;
+                    e.select(pred)
+                }
+                "project" => {
+                    self.eat(b'[')?;
+                    let mut cols = vec![self.number()?];
+                    while self.try_eat(b',') {
+                        cols.push(self.number()?);
+                    }
+                    self.eat(b']')?;
+                    self.eat(b'(')?;
+                    let e = self.expr()?;
+                    self.eat(b')')?;
+                    e.project(cols)
+                }
+                "nest" | "unnest" => {
+                    self.eat(b'[')?;
+                    let col = self.number()?;
+                    self.eat(b']')?;
+                    self.eat(b'(')?;
+                    let e = self.expr()?;
+                    self.eat(b')')?;
+                    if id == "nest" {
+                        e.nest(col)
+                    } else {
+                        e.unnest(col)
+                    }
+                }
+                "powerset" => {
+                    self.eat(b'(')?;
+                    let e = self.expr()?;
+                    self.eat(b')')?;
+                    e.powerset()
+                }
+                _ => Expr::Rel(id),
+            }
+        };
+        self.depth -= 1;
+        Ok(e)
+    }
+
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        self.enter()?;
+        let id = self.ident()?;
+        self.eat(b'(')?;
+        let p = match id.as_str() {
+            "eq" => {
+                let a = self.number()?;
+                self.eat(b',')?;
+                Pred::EqCols(a, self.number()?)
+            }
+            "eqc" => {
+                let a = self.number()?;
+                self.eat(b',')?;
+                Pred::EqConst(a, self.value()?)
+            }
+            "in" => {
+                let a = self.number()?;
+                self.eat(b',')?;
+                Pred::InCols(a, self.number()?)
+            }
+            "sub" => {
+                let a = self.number()?;
+                self.eat(b',')?;
+                Pred::SubsetCols(a, self.number()?)
+            }
+            "not" => self.pred()?.not(),
+            "and" => {
+                let a = self.pred()?;
+                self.eat(b',')?;
+                a.and(self.pred()?)
+            }
+            "or" => {
+                let a = self.pred()?;
+                self.eat(b',')?;
+                a.or(self.pred()?)
+            }
+            _ => {
+                return Err(self.err(format!(
+                    "expected predicate (eq, eqc, in, sub, not, and, or), found {id}"
+                )))
+            }
+        };
+        self.eat(b')')?;
+        self.depth -= 1;
+        Ok(p)
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
+        let v = match self.peek() {
+            Some(b'\'') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.src.get(self.pos).is_some_and(|&b| b != b'\'') {
+                    self.pos += 1;
+                }
+                if self.src.get(self.pos) != Some(&b'\'') {
+                    return Err(self.err("unterminated atom literal"));
+                }
+                let name = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("non-UTF8 atom"))?
+                    .to_string();
+                self.pos += 1;
+                Value::Atom(self.universe.intern(&name))
+            }
+            Some(b'{') => {
+                self.eat(b'{')?;
+                let mut elems = Vec::new();
+                if self.peek() != Some(b'}') {
+                    elems.push(self.value()?);
+                    while self.try_eat(b',') {
+                        elems.push(self.value()?);
+                    }
+                }
+                self.eat(b'}')?;
+                Value::set(elems)
+            }
+            Some(b'[') => {
+                self.eat(b'[')?;
+                let mut elems = vec![self.value()?];
+                while self.try_eat(b',') {
+                    elems.push(self.value()?);
+                }
+                self.eat(b']')?;
+                Value::tuple(elems)
+            }
+            _ => return Err(self.err("expected value ('atom', {...}, or [...])")),
+        };
+        self.depth -= 1;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Result<Expr, ParseError> {
+        let mut u = Universe::new();
+        parse_expr(src, &mut u)
+    }
+
+    #[test]
+    fn relation_and_unary_ops() {
+        assert_eq!(parse("G").unwrap(), Expr::rel("G"));
+        assert_eq!(
+            parse("project[2, 1](G)").unwrap(),
+            Expr::rel("G").project([2, 1])
+        );
+        assert_eq!(parse("nest[2](G)").unwrap(), Expr::rel("G").nest(2));
+        assert_eq!(parse("unnest[1](D)").unwrap(), Expr::rel("D").unnest(1));
+        assert_eq!(
+            parse("powerset(project[1](G))").unwrap(),
+            Expr::rel("G").project([1]).powerset()
+        );
+    }
+
+    #[test]
+    fn binary_ops_parenthesised() {
+        assert_eq!(
+            parse("(G + H)").unwrap(),
+            Expr::rel("G").union(Expr::rel("H"))
+        );
+        assert_eq!(
+            parse("(G - H)").unwrap(),
+            Expr::rel("G").difference(Expr::rel("H"))
+        );
+        assert_eq!(
+            parse("(G & H)").unwrap(),
+            Expr::rel("G").intersect(Expr::rel("H"))
+        );
+        assert_eq!(
+            parse("(G x H)").unwrap(),
+            Expr::rel("G").product(Expr::rel("H"))
+        );
+        // Relations may be named `x`; only a bare `x` is the operator.
+        assert_eq!(
+            parse("(x x xs)").unwrap(),
+            Expr::rel("x").product(Expr::rel("xs"))
+        );
+        assert_eq!(
+            parse("((G x H) - (H x G))").unwrap(),
+            Expr::rel("G")
+                .product(Expr::rel("H"))
+                .difference(Expr::rel("H").product(Expr::rel("G")))
+        );
+    }
+
+    #[test]
+    fn predicates() {
+        assert_eq!(
+            parse("select[eq(1, 2)](G)").unwrap(),
+            Expr::rel("G").select(Pred::EqCols(1, 2))
+        );
+        assert_eq!(
+            parse("select[and(in(1, 2), not(sub(2, 2)))](D)").unwrap(),
+            Expr::rel("D").select(Pred::InCols(1, 2).and(Pred::SubsetCols(2, 2).not()))
+        );
+        let mut u = Universe::new();
+        let e = parse_expr("select[eqc(1, 'ann')](G)", &mut u).unwrap();
+        let ann = u.intern("ann");
+        assert_eq!(e, Expr::rel("G").select(Pred::EqConst(1, Value::Atom(ann))));
+    }
+
+    #[test]
+    fn constant_values_nest() {
+        let mut u = Universe::new();
+        let e = parse_expr("select[eqc(2, {'a', 'b'})](D)", &mut u).unwrap();
+        let (a, b) = (u.intern("a"), u.intern("b"));
+        assert_eq!(
+            e,
+            Expr::rel("D").select(Pred::EqConst(
+                2,
+                Value::set(vec![Value::Atom(a), Value::Atom(b)])
+            ))
+        );
+        let e = parse_expr("select[eqc(1, ['a', {'b'}])](T)", &mut u).unwrap();
+        assert_eq!(
+            e,
+            Expr::rel("T").select(Pred::EqConst(
+                1,
+                Value::tuple(vec![Value::Atom(a), Value::set(vec![Value::Atom(b)])])
+            ))
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        assert_eq!(
+            parse("% grouped by department\n  nest[2]( % inner\n G )").unwrap(),
+            Expr::rel("G").nest(2)
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse("project[](G)").unwrap_err();
+        assert!(e.message.contains("column number"), "{e}");
+        let e = parse("(G ? H)").unwrap_err();
+        assert!(e.message.contains("binary operator"), "{e}");
+        let e = parse("G extra").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+        let e = parse("select[near(1, 2)](G)").unwrap_err();
+        assert!(e.message.contains("expected predicate"), "{e}");
+        assert!(parse("select[eqc(1, 'oops)](G)").is_err());
+        let deep = format!("{}G{}", "nest[1](".repeat(200), ")".repeat(200));
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("nested deeper"), "{e}");
+    }
+}

@@ -26,6 +26,8 @@
 //! planning does the same analysis the tree-walk front end does. All
 //! three columns are asserted to produce identical cardinalities.
 
+#![allow(deprecated)] // benches the legacy shims directly to skip Request plumbing overhead
+
 use nestdb::core::eval::Query;
 use nestdb::datalog::{DTerm, Literal, Program, Strategy};
 use nestdb::object::{Atom, AtomOrder, Instance, RelationSchema, Schema, Type, Universe, Value};

@@ -1,0 +1,148 @@
+//! Server load benchmark: mixed CALC / Datalog¬ / algebra traffic over
+//! real TCP connections at 1, 4, and 16 concurrent clients.
+//!
+//! ```text
+//! cargo run --release -p no-bench --bin bench_server
+//! ```
+//!
+//! Emits `BENCH_server.json` in the current directory:
+//!
+//! ```json
+//! { "benchmarks": [ { "name": "clients_4", "items": n, "total_ms": t,
+//!                     "per_item_us": u, "p50_us": a, "p99_us": b }, ... ] }
+//! ```
+//!
+//! Honest caveats: client and server share one machine, so the 16-client
+//! row measures contention on the shared store's `RwLock` and the
+//! loopback stack together, not network behaviour. Each request is a full
+//! parse → evaluate round trip on purpose — the plan cache is shared
+//! across connections, so repeated shapes hit it, which is exactly the
+//! production configuration. `per_item_us` is throughput-derived
+//! (wall_time / requests), while `p50_us`/`p99_us` come from the server's
+//! own fixed-bucket latency histogram and are reported as bucket upper
+//! bounds.
+
+use nestdb::object::{Instance, RelationSchema, Schema, Type, Universe, Value};
+use nestdb::proto::{Lang, Op, Request, Strategy};
+use nestdb::server::{Client, Server, ServerConfig};
+use nestdb::service::serve;
+use nestdb::{Session, Store};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Requests per concurrency level, split evenly across the clients.
+const TOTAL_REQUESTS: usize = 240;
+
+const TC_SRC: &str = "rel tc(U, U).\ntc(x, y) :- G(x, y).\ntc(x, y) :- tc(x, z), G(z, y).";
+
+/// The mixed workload, cycled per request index.
+fn request_for(i: usize) -> Request {
+    match i % 4 {
+        0 => Request::eval(Lang::Calc, "{[x:U, y:U] | G(x, y)}"),
+        1 => Request::eval(Lang::Calc, "{[x:U] | exists y:U (G(x, y))}"),
+        2 => Request {
+            op: Op::Eval,
+            lang: Lang::Datalog,
+            strategy: Strategy::SemiNaive,
+            text: TC_SRC.to_string(),
+            ..Request::default()
+        },
+        _ => Request::eval(Lang::Algebra, "select[eq(2, 3)]((G x G))"),
+    }
+}
+
+/// A fresh server over a `G`-chain of `n` nodes.
+fn chain_server(n: usize) -> Server {
+    let mut u = Universe::new();
+    let schema = Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
+    let mut i = Instance::empty(schema);
+    for k in 0..n - 1 {
+        let (a, b) = (u.intern(&format!("n{k}")), u.intern(&format!("n{}", k + 1)));
+        i.insert("G", vec![Value::Atom(a), Value::Atom(b)]);
+    }
+    let session = Session::builder()
+        .store(Arc::new(RwLock::new(Store::with_data(u, i))))
+        .build();
+    serve("127.0.0.1:0", session, ServerConfig::default()).expect("bind bench server")
+}
+
+struct Row {
+    name: String,
+    items: usize,
+    total_ms: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Drive `clients` concurrent connections through the mixed workload and
+/// report wall time plus the server's own latency percentiles.
+fn run_level(clients: usize) -> Row {
+    let server = chain_server(24);
+    let addr = server.local_addr();
+    let per_client = TOTAL_REQUESTS / clients;
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..per_client {
+                    let resp = client
+                        .roundtrip(&request_for(c * per_client + i))
+                        .expect("roundtrip");
+                    assert!(resp.ok, "bench request failed: {:?}", resp.error);
+                    assert!(!resp.relations.is_empty());
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("bench client");
+    }
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut probe = Client::connect(addr).expect("connect for stats");
+    let stats = probe
+        .roundtrip(&Request {
+            op: Op::Stats,
+            ..Request::default()
+        })
+        .expect("stats")
+        .stats
+        .expect("stats payload");
+    assert_eq!(stats.requests as usize, per_client * clients);
+    assert_eq!(stats.rejected, 0, "default budgets must not reject");
+    server.shutdown();
+    Row {
+        name: format!("clients_{clients}"),
+        items: per_client * clients,
+        total_ms,
+        p50_us: stats.p50_us,
+        p99_us: stats.p99_us,
+    }
+}
+
+fn main() {
+    let rows: Vec<Row> = [1usize, 4, 16].into_iter().map(run_level).collect();
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let per_item_us = r.total_ms * 1e3 / r.items.max(1) as f64;
+        println!(
+            "{:<12} {:>6} reqs   {:>10.3} ms total   {:>9.2} us/req   p50 {:>7} us   p99 {:>7} us",
+            r.name, r.items, r.total_ms, per_item_us, r.p50_us, r.p99_us
+        );
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"items\": {}, \"total_ms\": {:.3}, \
+             \"per_item_us\": {:.2}, \"p50_us\": {}, \"p99_us\": {} }}{}\n",
+            r.name,
+            r.items,
+            r.total_ms,
+            per_item_us,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("wrote BENCH_server.json");
+}

@@ -11,7 +11,8 @@
 //! evaluation), `open` (shell attached to a durable database directory),
 //! `save` (import a text database into a durable directory and
 //! checkpoint), `verify` (read-only integrity check of a durable
-//! directory). With no subcommand, arguments are text database files
+//! directory), `serve` (TCP query service speaking newline-delimited
+//! JSON requests). With no subcommand, arguments are text database files
 //! loaded into an in-memory shell.
 //!
 //! All logic lives in [`nestdb::shell::Shell`]; this binary is the stdin
@@ -19,12 +20,30 @@
 
 use nestdb::check::{load_database, CorpusReport};
 use nestdb::object::{Instance, Schema, Universe};
-use nestdb::plan::{json_escape, CalcMode, DatalogMode};
+use nestdb::plan::json_escape;
+use nestdb::proto::{Lang, Op, Request};
+use nestdb::server::ServerConfig;
 use nestdb::shell::Shell;
 use nestdb::storage::{Db, DbOptions};
-use nestdb::{ExplainTarget, Session};
+use nestdb::{Session, Store};
 use std::io::{self, BufRead, Write};
 use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// A session over the database behind `--db` (or an empty one): the
+/// single dispatch point `analyze` and `explain` route through.
+fn session_for(db: Option<&String>) -> Result<Session, String> {
+    let (universe, instance) = match db {
+        Some(path) => {
+            let loaded = load_database(path)?;
+            (loaded.universe, loaded.instance)
+        }
+        None => (Universe::new(), Instance::empty(Schema::new())),
+    };
+    Ok(Session::builder()
+        .store(Arc::new(RwLock::new(Store::with_data(universe, instance))))
+        .build())
+}
 
 /// `nestdb analyze [--format json|text] [--deny] [--db <file.no>] <files…>`
 ///
@@ -66,19 +85,12 @@ fn run_analyze(args: &[String]) -> i32 {
         eprintln!("usage: nestdb analyze [--format json|text] [--deny] [--db <file.no>] <files…>");
         return 2;
     }
-    let mut universe = Universe::new();
-    let schema = match &db {
-        Some(path) => match load_database(path) {
-            Ok(loaded) => {
-                universe = loaded.universe;
-                loaded.instance.schema().clone()
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return 2;
-            }
-        },
-        None => Schema::new(),
+    let session = match session_for(db.as_ref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
     };
     let mut report = CorpusReport::default();
     for file in &files {
@@ -89,7 +101,7 @@ fn run_analyze(args: &[String]) -> i32 {
                 return 2;
             }
         };
-        report.add_file(&schema, file, &src, &mut universe);
+        report.add_file(&session, file, &src);
     }
     match format.as_str() {
         "json" => println!("{}", report.to_json()),
@@ -145,24 +157,31 @@ fn run_explain(args: &[String]) -> i32 {
         eprintln!("usage: nestdb explain [--format json|text] [--deny] [--db <file.no>] <files…>");
         return 2;
     }
-    let mut universe = Universe::new();
-    let instance = match &db {
-        Some(path) => match load_database(path) {
-            Ok(loaded) => {
-                universe = loaded.universe;
-                loaded.instance
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return 2;
-            }
-        },
-        None => Instance::empty(Schema::new()),
+    let session = match session_for(db.as_ref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
     };
-    let session = Session::default();
     // (source label, Ok(rendered plan) | Err(message))
     let mut results: Vec<(String, Result<String, String>)> = Vec::new();
     let json = format == "json";
+    let explain = |lang: Lang, text: &str| -> Result<String, String> {
+        let resp = session.run(&Request {
+            op: Op::Explain,
+            lang,
+            text: text.to_string(),
+            ..Request::default()
+        });
+        match resp.explain {
+            Some(plan) => Ok(if json { plan.json } else { plan.text }),
+            None => Err(resp
+                .error
+                .map(|e| e.message)
+                .unwrap_or_else(|| "no plan in response".to_string())),
+        }
+    };
     for file in &files {
         let src = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -172,28 +191,7 @@ fn run_explain(args: &[String]) -> i32 {
             }
         };
         if file.ends_with(".dl") {
-            let label = file.clone();
-            let outcome = nestdb::datalog::parse_program(&src, &mut universe)
-                .map_err(|e| e.render(&src))
-                .and_then(|program| {
-                    session
-                        .explain(
-                            &instance,
-                            ExplainTarget::Datalog {
-                                program: &program,
-                                mode: DatalogMode::SemiNaive,
-                            },
-                        )
-                        .map(|p| {
-                            if json {
-                                p.render_json()
-                            } else {
-                                p.render_text()
-                            }
-                        })
-                        .map_err(|e| e.to_string())
-                });
-            results.push((label, outcome));
+            results.push((file.clone(), explain(Lang::Datalog, &src)));
         } else {
             for (lineno, line) in src.lines().enumerate() {
                 let line = line.trim();
@@ -201,27 +199,7 @@ fn run_explain(args: &[String]) -> i32 {
                     continue;
                 }
                 let label = format!("{file}:{}", lineno + 1);
-                let outcome = nestdb::core::parse_query(line, &mut universe)
-                    .map_err(|e| e.render(line))
-                    .and_then(|q| {
-                        session
-                            .explain(
-                                &instance,
-                                ExplainTarget::Calc {
-                                    query: &q,
-                                    mode: CalcMode::Safe,
-                                },
-                            )
-                            .map(|p| {
-                                if json {
-                                    p.render_json()
-                                } else {
-                                    p.render_text()
-                                }
-                            })
-                            .map_err(|e| e.to_string())
-                    });
-                results.push((label, outcome));
+                results.push((label, explain(Lang::Calc, line)));
             }
         }
     }
@@ -370,6 +348,110 @@ fn run_save(args: &[String]) -> i32 {
     0
 }
 
+/// `nestdb serve [--addr host:port] [--db <path>] [--tenant-steps N] [--tenant-refill N]`
+///
+/// Run the TCP query service: newline-delimited JSON requests in, one
+/// JSON response line per request out (wire protocol in DESIGN.md §15).
+/// `--db` takes either a durable database directory (opened with
+/// recovery; inserts are logged) or a text database file (loaded into
+/// memory). `--tenant-steps`/`--tenant-refill` size the per-tenant
+/// admission-control buckets in governor steps.
+fn run_serve(args: &[String]) -> i32 {
+    let mut addr = "127.0.0.1:4617".to_string();
+    let mut db: Option<String> = None;
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => {
+                    eprintln!("error: --addr needs host:port");
+                    return 2;
+                }
+            },
+            "--db" => match it.next() {
+                Some(p) => db = Some(p.clone()),
+                None => {
+                    eprintln!("error: --db needs a database file or directory");
+                    return 2;
+                }
+            },
+            "--tenant-steps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.tenant_capacity_steps = n,
+                None => {
+                    eprintln!("error: --tenant-steps needs a number");
+                    return 2;
+                }
+            },
+            "--tenant-refill" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.tenant_refill_steps_per_sec = n,
+                None => {
+                    eprintln!("error: --tenant-refill needs a number");
+                    return 2;
+                }
+            },
+            flag => {
+                eprintln!("error: unknown flag {flag}");
+                eprintln!(
+                    "usage: nestdb serve [--addr host:port] [--db <path>] \
+                     [--tenant-steps N] [--tenant-refill N]"
+                );
+                return 2;
+            }
+        }
+    }
+    let session = match db.as_ref().filter(|p| Path::new(p.as_str()).is_dir()) {
+        Some(dir) => {
+            // durable directory: open through the protocol so recovery
+            // messages surface the same way the shell prints them
+            let session = match session_for(None) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let resp = session.run(&Request {
+                op: Op::Open,
+                text: dir.clone(),
+                ..Request::default()
+            });
+            match (resp.ok, resp.message, resp.error) {
+                (true, Some(msg), _) => println!("{msg}"),
+                (true, None, _) => {}
+                (false, _, err) => {
+                    eprintln!(
+                        "error: {}",
+                        err.map(|e| e.message)
+                            .unwrap_or_else(|| "open failed".into())
+                    );
+                    return 2;
+                }
+            }
+            session
+        }
+        None => match session_for(db.as_ref()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
+    };
+    match nestdb::service::serve(&addr, session, config) {
+        Ok(server) => {
+            println!("nestdb serving on {}", server.local_addr());
+            server.join();
+            0
+        }
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            1
+        }
+    }
+}
+
 /// The stdin read-eval-print loop over an already set-up shell.
 fn repl(mut shell: Shell) {
     let stdin = io::stdin();
@@ -400,6 +482,7 @@ fn main() {
         Some("explain") => std::process::exit(run_explain(&args[1..])),
         Some("verify") => std::process::exit(run_verify(&args[1..])),
         Some("save") => std::process::exit(run_save(&args[1..])),
+        Some("serve") => std::process::exit(run_serve(&args[1..])),
         Some("open") => {
             // `nestdb open <dir>` — shell attached to a durable database:
             // recovery runs on open, every insert is logged before it is

@@ -7,9 +7,10 @@
 //! anything else is a CALC query file — one query per non-empty,
 //! non-`%`-comment line.
 
-use no_analysis::{analyze_calc, analyze_datalog, Analysis, Severity};
+use crate::session::Session;
 use no_object::text::parse_database;
-use no_object::{Instance, Schema, Universe};
+use no_object::{Instance, Universe};
+use no_proto::{AnalysisOut, Lang, Op, Request};
 use no_storage::DbOptions;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -81,8 +82,11 @@ pub struct CorpusEntry {
     pub line: usize,
     /// The analyzed source text.
     pub source: String,
-    /// The analyzer's findings and certificate.
-    pub analysis: Analysis,
+    /// The analyzer's findings and certificate, in wire form (the JSON
+    /// field is the analyzer's own rendering, spliced verbatim into
+    /// [`CorpusReport::to_json`], so reports are byte-stable across the
+    /// protocol boundary).
+    pub analysis: AnalysisOut,
 }
 
 /// The report over a whole corpus.
@@ -93,14 +97,26 @@ pub struct CorpusReport {
 }
 
 impl CorpusReport {
-    /// Analyze one file's worth of queries and append the entries.
-    pub fn add_file(&mut self, schema: &Schema, name: &str, src: &str, universe: &mut Universe) {
+    /// Analyze one file's worth of queries against the session's store
+    /// (schema and universe) and append the entries. Each query is one
+    /// `op: Analyze` request through [`Session::run`] — the same path the
+    /// server and shell take.
+    pub fn add_file(&mut self, session: &Session, name: &str, src: &str) {
+        let analyze = |lang: Lang, text: &str| {
+            let resp = session.run(&Request {
+                op: Op::Analyze,
+                lang,
+                text: text.to_string(),
+                ..Request::default()
+            });
+            resp.analysis.expect("analyze responses carry findings")
+        };
         if name.ends_with(".dl") {
             self.entries.push(CorpusEntry {
                 file: name.to_string(),
                 line: 1,
                 source: src.to_string(),
-                analysis: analyze_datalog(schema, src, universe),
+                analysis: analyze(Lang::Datalog, src),
             });
             return;
         }
@@ -113,36 +129,32 @@ impl CorpusReport {
                 file: name.to_string(),
                 line: idx + 1,
                 source: query.to_string(),
-                analysis: analyze_calc(schema, query, universe),
+                analysis: analyze(Lang::Calc, query),
             });
         }
     }
 
     /// Count of diagnostics across the corpus, split `(errors, warnings)`.
     pub fn diagnostic_counts(&self) -> (usize, usize) {
-        let mut errors = 0;
-        let mut warnings = 0;
+        let mut errors = 0usize;
+        let mut warnings = 0usize;
         for e in &self.entries {
-            for d in &e.analysis.diagnostics {
-                match d.severity {
-                    Severity::Error => errors += 1,
-                    Severity::Warning => warnings += 1,
-                }
-            }
+            errors += e.analysis.errors as usize;
+            warnings += e.analysis.warnings as usize;
         }
         (errors, warnings)
     }
 
     /// Whether any query has any diagnostic at all — the deny-mode gate.
     pub fn has_diagnostics(&self) -> bool {
-        self.entries.iter().any(|e| !e.analysis.is_clean())
+        self.entries
+            .iter()
+            .any(|e| e.analysis.errors + e.analysis.warnings > 0)
     }
 
     /// Whether every query received a certificate.
     pub fn all_certified(&self) -> bool {
-        self.entries
-            .iter()
-            .all(|e| e.analysis.certificate.is_some())
+        self.entries.iter().all(|e| e.analysis.certified)
     }
 
     /// The JSON report: an array of
@@ -159,7 +171,7 @@ impl CorpusReport {
                 json_esc(&e.file),
                 e.line,
                 json_esc(&e.source),
-                e.analysis.to_json(),
+                e.analysis.json,
             );
         }
         out.push(']');
@@ -172,16 +184,12 @@ impl CorpusReport {
         let mut out = String::new();
         for e in &self.entries {
             let _ = writeln!(out, "── {}:{}", e.file, e.line);
-            for line in e.analysis.render(&e.source).lines() {
+            for line in e.analysis.text.lines() {
                 let _ = writeln!(out, "  {line}");
             }
         }
         let (errors, warnings) = self.diagnostic_counts();
-        let certified = self
-            .entries
-            .iter()
-            .filter(|e| e.analysis.certificate.is_some())
-            .count();
+        let certified = self.entries.iter().filter(|e| e.analysis.certified).count();
         let _ = write!(
             out,
             "{} queries analyzed: {certified} certified, {errors} error(s), {warnings} warning(s)",
@@ -213,27 +221,33 @@ fn json_esc(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use no_object::{RelationSchema, Type};
+    use crate::session::Store;
+    use no_object::{Instance, RelationSchema, Schema, Type};
+    use std::sync::{Arc, RwLock};
 
-    fn graph_schema() -> Schema {
-        Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])])
+    fn graph_session() -> Session {
+        let schema =
+            Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
+        let store = Store::with_data(Universe::new(), Instance::empty(schema));
+        Session::builder()
+            .store(Arc::new(RwLock::new(store)))
+            .build()
     }
 
     #[test]
     fn calc_files_split_per_line_and_skip_comments() {
-        let mut u = Universe::new();
+        let s = graph_session();
         let mut report = CorpusReport::default();
         report.add_file(
-            &graph_schema(),
+            &s,
             "q.calc",
             "% header\n{[x:U, y:U] | G(x, y)}\n\n{[x:U] | H(x)}\n",
-            &mut u,
         );
         assert_eq!(report.entries.len(), 2);
         assert_eq!(report.entries[0].line, 2);
-        assert!(report.entries[0].analysis.is_clean());
+        assert_eq!(report.entries[0].analysis.errors, 0);
         assert_eq!(report.entries[1].line, 4);
-        assert!(report.entries[1].analysis.has_errors());
+        assert!(report.entries[1].analysis.errors > 0);
         assert!(report.has_diagnostics());
         assert!(!report.all_certified());
         assert_eq!(report.diagnostic_counts(), (1, 0));
@@ -241,14 +255,9 @@ mod tests {
 
     #[test]
     fn dl_files_are_one_program() {
-        let mut u = Universe::new();
+        let s = graph_session();
         let mut report = CorpusReport::default();
-        report.add_file(
-            &graph_schema(),
-            "tc.dl",
-            "rel tc(U, U).\ntc(x, y) :- G(x, y).",
-            &mut u,
-        );
+        report.add_file(&s, "tc.dl", "rel tc(U, U).\ntc(x, y) :- G(x, y).");
         assert_eq!(report.entries.len(), 1);
         assert!(report.all_certified());
         assert!(!report.has_diagnostics());
@@ -256,9 +265,9 @@ mod tests {
 
     #[test]
     fn json_and_text_reports() {
-        let mut u = Universe::new();
+        let s = graph_session();
         let mut report = CorpusReport::default();
-        report.add_file(&graph_schema(), "q.calc", "{[x:U, y:U] | G(x, y)}", &mut u);
+        report.add_file(&s, "q.calc", "{[x:U, y:U] | G(x, y)}");
         let j = report.to_json();
         assert!(j.starts_with("[{\"file\": \"q.calc\", \"line\": 1"), "{j}");
         assert!(j.contains("\"status\": \"ok\""), "{j}");

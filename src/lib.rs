@@ -25,14 +25,18 @@ pub use no_density as density;
 pub use no_exec as exec;
 pub use no_object as object;
 pub use no_plan as plan;
+pub use no_proto as proto;
+pub use no_server as server;
 pub use no_storage as storage;
 pub use no_tm as tm;
 
 pub mod check;
 pub mod error;
+pub mod service;
 pub mod session;
 pub mod shell;
 
 pub use error::Error;
 pub use minipool::ThreadPool;
-pub use session::{ExplainTarget, Session, SessionBuilder};
+pub use proto::{Request, Response};
+pub use session::{ExplainTarget, Session, SessionBuilder, Store};

@@ -1,50 +1,62 @@
-//! The [`Session`] facade: one handle over every evaluation engine.
+//! The [`Session`] facade: one handle over every evaluation engine, and
+//! the single dispatch point behind the wire protocol.
 //!
-//! Historically each engine exposed its own free-function entry points
-//! (`eval_query_with`, `safe_eval_governed`, `datalog::eval_governed`,
-//! `algebra::eval_governed`, …) and callers wired governors and — since
-//! the parallel engine landed — thread pools into each one separately. A
-//! [`Session`] bundles that configuration once:
+//! A session bundles a [`Governor`] (budgets, cancellation), a
+//! [`ThreadPool`] (parallelism), a plan cache, and a shared [`Store`]
+//! (universe + instance + optional durable [`Db`]). Every caller surface —
+//! the shell, the `nestdb` CLI subcommands, the TCP server, embeddings —
+//! reduces its work to one serializable [`Request`] and calls
+//! [`Session::run`]:
 //!
 //! ```
 //! use nestdb::Session;
-//! use nestdb::object::{Instance, RelationSchema, Schema, Type, Universe, Value};
-//!
-//! let mut u = Universe::new();
-//! let schema = Schema::from_relations([RelationSchema::new(
-//!     "G",
-//!     vec![Type::Atom, Type::Atom],
-//! )]);
-//! let mut db = Instance::empty(schema);
-//! let (a, b) = (u.intern("a"), u.intern("b"));
-//! db.insert("G", vec![Value::Atom(a), Value::Atom(b)]);
+//! use no_proto::{Lang, Request};
 //!
 //! let session = Session::builder().parallelism(4).build();
-//! let q = nestdb::core::parse_query("{[x:U, y:U] | G(x, y)}", &mut u).unwrap();
-//! let out = session.eval_calc(&db, &q).unwrap();
-//! assert_eq!(out.len(), 1);
+//! let r = session.run(&Request {
+//!     op: no_proto::Op::Insert,
+//!     text: "schema G(U, U).".into(),
+//!     ..Request::default()
+//! });
+//! assert!(r.ok);
+//! session.run(&Request {
+//!     op: no_proto::Op::Insert,
+//!     text: "G('a', 'b').".into(),
+//!     ..Request::default()
+//! });
+//! let r = session.run(&Request::eval(Lang::Calc, "{[x:U, y:U] | G(x, y)}"));
+//! assert_eq!(r.relations[0].rows, vec!["('a', 'b')".to_string()]);
 //! ```
 //!
-//! Every evaluation through one session draws from the *same* governor
-//! allowance — the cross-engine analogue of the rule that all strata of a
-//! stratified program share one budget. Callers wanting a fresh budget per
-//! query build a fresh session (construction is two `Arc` clones).
+//! Requests without a [`Request::limits`] override draw from the *same*
+//! session governor allowance — the cross-engine analogue of the rule that
+//! all strata of a stratified program share one budget. A request carrying
+//! an override runs under a fresh per-request allowance (what the shell
+//! does per evaluation and the server does per tenant).
 //!
-//! The free functions remain available and are kept working — they are
-//! deprecated in favour of [`Session`] for new code, but existing examples
-//! and embeddings compile unchanged.
+//! The old typed entry points (`eval_calc`, `eval_datalog`, …) remain as
+//! thin deprecated shims over the same internals — `tests/api_equivalence.rs`
+//! asserts `run` is bit-identical to every one of them.
 
 use crate::error::Error;
 use minipool::ThreadPool;
 use no_algebra::Expr;
 use no_core::eval::{active_order, Evaluator};
+use no_core::print::Printer;
 use no_core::Query;
 use no_datalog::{EvalStats, Idb, Program, Strategy};
-use no_object::{Governor, Instance, Limits, Relation, Type};
+use no_object::text::{parse_clause, render_database, Clause};
+use no_object::{Governor, Instance, Limits, Relation, Schema, Type, Universe, Value};
 use no_plan::{CacheKey, CalcMode, DatalogMode, PlanCache, Planned, Planner};
+use no_proto::{
+    AnalysisOut, ExplainOut, Json, Lang, LimitsSpec, Mode, Op, RelationOut, Request, Response,
+    Spend, StatsOut,
+};
 use no_storage::{Db, DbOptions, SyncPolicy};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 /// How many plans a session keeps in its LRU plan cache.
 pub const PLAN_CACHE_CAPACITY: usize = 64;
@@ -62,6 +74,172 @@ fn default_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+/// The mutable database state behind a session: an interning [`Universe`],
+/// an in-memory [`Instance`], and — once attached — a durable [`Db`] that
+/// takes over both. Shared behind `Arc<RwLock<_>>` so concurrent readers
+/// (server requests) evaluate in parallel while mutations take the write
+/// lock.
+#[derive(Debug)]
+pub struct Store {
+    universe: Universe,
+    instance: Instance,
+    db: Option<Db>,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+impl Store {
+    /// An empty in-memory store.
+    pub fn new() -> Store {
+        Store {
+            universe: Universe::new(),
+            instance: Instance::empty(Schema::new()),
+            db: None,
+        }
+    }
+
+    /// A store over already-built data.
+    pub fn with_data(universe: Universe, instance: Instance) -> Store {
+        Store {
+            universe,
+            instance,
+            db: None,
+        }
+    }
+
+    /// The live universe: the durable store's when one is attached.
+    pub fn universe(&self) -> &Universe {
+        match &self.db {
+            Some(db) => db.universe(),
+            None => &self.universe,
+        }
+    }
+
+    /// Mutable universe access (parsing interns atoms). Sound against a
+    /// durable store: the universe is append-only and replay re-interns
+    /// atom names from the logged clauses themselves.
+    pub fn universe_mut(&mut self) -> &mut Universe {
+        match &mut self.db {
+            Some(db) => db.universe_mut(),
+            None => &mut self.universe,
+        }
+    }
+
+    /// The live instance: the durable store's when one is attached.
+    pub fn instance(&self) -> &Instance {
+        match &self.db {
+            Some(db) => db.instance(),
+            None => &self.instance,
+        }
+    }
+
+    /// Replace the in-memory instance (ignored while a durable store is
+    /// attached — mutate through the log instead).
+    pub fn set_instance(&mut self, instance: Instance) {
+        if self.db.is_none() {
+            self.instance = instance;
+        }
+    }
+
+    /// The attached durable database, if any.
+    pub fn db(&self) -> Option<&Db> {
+        self.db.as_ref()
+    }
+
+    /// Mutable access to the attached durable database.
+    pub fn db_mut(&mut self) -> Option<&mut Db> {
+        self.db.as_mut()
+    }
+
+    /// Attach a durable database; it owns the live state from here on.
+    pub fn attach(&mut self, db: Db) {
+        self.db = Some(db);
+    }
+
+    /// Detach the durable database (files stay on disk) and return it.
+    pub fn detach(&mut self) -> Option<Db> {
+        self.db.take()
+    }
+
+    /// Apply one parsed clause — a `schema R(U).` declaration or a fact —
+    /// logging it first when a durable store is attached. Returns the
+    /// one-line outcome message; errors are message strings too (they
+    /// never poison the store).
+    pub fn apply_clause(&mut self, clause: Clause) -> Result<String, String> {
+        if let Some(db) = &mut self.db {
+            return match clause {
+                Clause::Schema(rel) => {
+                    let name = rel.name.clone();
+                    db.declare(rel).map_err(|e| e.to_string())?;
+                    Ok(format!("declared {name} (logged)"))
+                }
+                Clause::Fact(name, row) => {
+                    let fresh = db.insert(&name, row).map_err(|e| e.to_string())?;
+                    Ok(if fresh {
+                        format!("inserted into {name} (logged)")
+                    } else {
+                        format!("already in {name} (nothing logged)")
+                    })
+                }
+            };
+        }
+        match clause {
+            Clause::Schema(rel) => {
+                if self.instance.schema().get(&rel.name).is_some() {
+                    return Err(format!("relation {:?} is already declared", rel.name));
+                }
+                let name = rel.name.clone();
+                let mut schema = Schema::new();
+                for r in self.instance.schema().relations() {
+                    schema.add(r.clone());
+                }
+                schema.add(rel);
+                let mut next = Instance::empty(schema);
+                for r in self.instance.schema().relations() {
+                    next.set_relation(&r.name, self.instance.relation(&r.name).clone());
+                }
+                self.instance = next;
+                Ok(format!("declared {name}"))
+            }
+            Clause::Fact(name, row) => {
+                let (arity, col_types) = match self.instance.schema().get(&name) {
+                    Some(r) => (r.arity(), r.column_types.clone()),
+                    None => return Err(format!("unknown relation {name:?}")),
+                };
+                if arity != row.len() {
+                    return Err(format!(
+                        "relation {name:?} has arity {arity} but the tuple has {} values",
+                        row.len()
+                    ));
+                }
+                for (v, t) in row.iter().zip(col_types.iter()) {
+                    if !v.has_type(t) {
+                        return Err(format!("value is not of type {t} in relation {name:?}"));
+                    }
+                }
+                let fresh = self.instance.insert(&name, row);
+                Ok(if fresh {
+                    format!("inserted into {name}")
+                } else {
+                    format!("already in {name}")
+                })
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
 /// Configures and builds a [`Session`].
 #[derive(Debug, Clone, Default)]
 pub struct SessionBuilder {
@@ -69,6 +247,8 @@ pub struct SessionBuilder {
     governor: Option<Governor>,
     parallelism: Option<usize>,
     sync_policy: SyncPolicy,
+    store: Option<Arc<RwLock<Store>>>,
+    plans: Option<Arc<Mutex<PlanCache<Planned>>>>,
 }
 
 impl SessionBuilder {
@@ -106,6 +286,21 @@ impl SessionBuilder {
         self
     }
 
+    /// Share an existing [`Store`] — several sessions (server connections,
+    /// a shell plus background work) then see one database.
+    pub fn store(mut self, store: Arc<RwLock<Store>>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Share an existing plan cache across sessions. Keys carry a schema
+    /// fingerprint, so one cache can safely serve many tenants: a plan is
+    /// only reused when normalized query text *and* schema both match.
+    pub fn plan_cache(mut self, plans: Arc<Mutex<PlanCache<Planned>>>) -> Self {
+        self.plans = Some(plans);
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Session {
         let governor = self
@@ -115,26 +310,34 @@ impl SessionBuilder {
         Session {
             governor,
             pool,
-            plans: Arc::new(Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY))),
+            plans: self
+                .plans
+                .unwrap_or_else(|| Arc::new(Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)))),
             sync_policy: self.sync_policy,
+            store: self
+                .store
+                .unwrap_or_else(|| Arc::new(RwLock::new(Store::new()))),
         }
     }
 }
 
 /// A configured handle over all evaluation engines: one [`Governor`]
-/// (shared budget, cancellation) and one [`ThreadPool`] (parallelism),
-/// applied uniformly to CALC, Datalog¬ (inflationary, stratified, and
-/// simultaneous-fixpoint), and the algebra.
+/// (shared budget, cancellation), one [`ThreadPool`] (parallelism), one
+/// plan cache, and one shared [`Store`], applied uniformly to CALC,
+/// Datalog¬ (inflationary, stratified, and simultaneous-fixpoint), and
+/// the algebra. [`Session::run`] is the protocol entry point.
 #[derive(Debug, Clone)]
 pub struct Session {
     governor: Governor,
     pool: ThreadPool,
     /// LRU cache of compiled plans, keyed on normalized query text plus a
-    /// schema fingerprint. Shared by clones of this session (a clone is a
-    /// view over the same budget, so sharing its plans is consistent).
+    /// schema fingerprint. Shared by clones of this session, and across
+    /// sessions when built with [`SessionBuilder::plan_cache`].
     plans: Arc<Mutex<PlanCache<Planned>>>,
     /// Durability policy applied to databases opened via [`Session::open`].
     sync_policy: SyncPolicy,
+    /// The shared database state [`Session::run`] reads and mutates.
+    store: Arc<RwLock<Store>>,
 }
 
 impl Default for Session {
@@ -149,7 +352,8 @@ impl Session {
         SessionBuilder::default()
     }
 
-    /// The governor every evaluation in this session draws from.
+    /// The governor every no-override evaluation in this session draws
+    /// from.
     pub fn governor(&self) -> &Governor {
         &self.governor
     }
@@ -157,6 +361,464 @@ impl Session {
     /// The configured worker count.
     pub fn parallelism(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// The shared store handle.
+    pub fn store(&self) -> Arc<RwLock<Store>> {
+        Arc::clone(&self.store)
+    }
+
+    /// The shared plan-cache handle (for wiring several sessions to one
+    /// cache; see [`SessionBuilder::plan_cache`]).
+    pub fn plan_cache_handle(&self) -> Arc<Mutex<PlanCache<Planned>>> {
+        Arc::clone(&self.plans)
+    }
+
+    /// This session with a different governor — same pool, plan cache,
+    /// store, and sync policy. Construction is a few `Arc` clones.
+    pub fn with_governor(&self, governor: Governor) -> Session {
+        Session {
+            governor,
+            pool: self.pool.clone(),
+            plans: Arc::clone(&self.plans),
+            sync_policy: self.sync_policy,
+            store: Arc::clone(&self.store),
+        }
+    }
+
+    /// This session with a different worker count — same governor, plan
+    /// cache, store, and sync policy.
+    pub fn with_parallelism(&self, threads: usize) -> Session {
+        Session {
+            governor: self.governor.clone(),
+            pool: ThreadPool::new(threads.max(1)),
+            plans: Arc::clone(&self.plans),
+            sync_policy: self.sync_policy,
+            store: Arc::clone(&self.store),
+        }
+    }
+
+    fn read_store(&self) -> RwLockReadGuard<'_, Store> {
+        // A panicking request must not take the whole service down with a
+        // poisoned lock; the store's invariants are per-mutation.
+        self.store
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write_store(&self) -> RwLockWriteGuard<'_, Store> {
+        self.store
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    // ----- the protocol entry point -----------------------------------
+
+    /// Execute one [`Request`] against the session's store and return its
+    /// [`Response`]. Never panics on bad input and never returns `Err` —
+    /// failures are structured [`no_proto::ErrorOut`] payloads. A request
+    /// with [`Request::limits`] runs under a fresh governor built from the
+    /// session limits overlaid with the override; otherwise it draws from
+    /// the shared session allowance.
+    pub fn run(&self, req: &Request) -> Response {
+        let governor = match &req.limits {
+            Some(spec) => Governor::new(overlay(self.governor.limits(), spec)),
+            None => self.governor.clone(),
+        };
+        self.run_governed(req, governor)
+    }
+
+    /// A fresh per-request governor for `req`: the session limits
+    /// overlaid with the request's [`Request::limits`] override, counters
+    /// at zero. The server builds its governors through this so it can
+    /// cancel them on client disconnect and charge their spend to the
+    /// tenant; in-process callers can just use [`Session::run`].
+    pub fn governor_for(&self, req: &Request) -> Governor {
+        let limits = match &req.limits {
+            Some(spec) => overlay(self.governor.limits(), spec),
+            None => self.governor.limits().clone(),
+        };
+        Governor::new(limits)
+    }
+
+    /// [`Session::run`] under an explicit per-request governor — the
+    /// server hook: it builds the governor itself so it can cancel it when
+    /// the client disconnects, and charges its spend to the tenant.
+    pub fn run_governed(&self, req: &Request, governor: Governor) -> Response {
+        let session = self.with_governor(governor);
+        let start = Instant::now();
+        let steps0 = session.governor.steps_spent();
+        let mem0 = session.governor.mem_spent();
+        let mut resp = session.dispatch(req);
+        resp.spend = Some(Spend {
+            steps: session.governor.steps_spent().saturating_sub(steps0),
+            mem_bytes: session.governor.mem_spent().saturating_sub(mem0),
+            elapsed_us: start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        });
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        match req.op {
+            Op::Eval => match req.lang {
+                Lang::Calc => self.op_eval_calc(req),
+                Lang::Datalog => self.op_eval_datalog(req),
+                Lang::Algebra => self.op_eval_algebra(req),
+            },
+            Op::Analyze => self.op_analyze(req),
+            Op::Explain => self.op_explain(req),
+            Op::Insert => self.op_insert(req),
+            Op::Save => self.op_save(req),
+            Op::Open => self.op_open(req),
+            Op::Stats => self.op_stats(),
+        }
+    }
+
+    fn op_eval_calc(&self, req: &Request) -> Response {
+        // Checked: analyze first, refuse with the findings on any error,
+        // then run under the strongest applicable semantics. Both the
+        // refusal and the successful run carry the analysis — the
+        // certificate travels with the rows.
+        let mut checked_analysis = None;
+        let safe = match req.mode {
+            Mode::Fast => false,
+            Mode::Safe => true,
+            Mode::Checked => {
+                let analysis = {
+                    let mut store = self.write_store();
+                    let schema = store.instance().schema().clone();
+                    no_analysis::analyze_calc(&schema, &req.text, store.universe_mut())
+                };
+                let out = analysis_out(&analysis, &req.text);
+                if analysis.has_errors() {
+                    let err: Error = no_analysis::DiagnosticsError::new(&analysis).into();
+                    let mut resp = error_response(&err);
+                    resp.analysis = Some(out);
+                    return resp;
+                }
+                let safe = analysis.is_rr_safe();
+                checked_analysis = Some(out);
+                safe
+            }
+        };
+        let query = {
+            let mut store = self.write_store();
+            match no_core::parse_query(&req.text, store.universe_mut()) {
+                Ok(q) => q,
+                Err(e) => return Response::error("parse", e.render(&req.text)),
+            }
+        };
+        let store = self.read_store();
+        let instance = store.instance();
+        let result = match (safe, req.planned) {
+            (false, false) => self.calc_active(instance, &query),
+            (false, true) => self.calc_active_planned(instance, &query),
+            (true, false) => self.calc_safe(instance, &query),
+            (true, true) => self.calc_safe_planned(instance, &query),
+        };
+        match result {
+            Ok(rel) => Response {
+                ok: true,
+                relations: vec![relation_out(store.universe(), "result", &rel)],
+                analysis: checked_analysis,
+                ..Response::default()
+            },
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn op_eval_datalog(&self, req: &Request) -> Response {
+        if req.mode == Mode::Checked {
+            let analysis = {
+                let mut store = self.write_store();
+                let schema = store.instance().schema().clone();
+                no_analysis::analyze_datalog(&schema, &req.text, store.universe_mut())
+            };
+            if analysis.has_errors() {
+                let err: Error = no_analysis::DiagnosticsError::new(&analysis).into();
+                let mut resp = error_response(&err);
+                resp.analysis = Some(analysis_out(&analysis, &req.text));
+                return resp;
+            }
+        }
+        let program = {
+            let mut store = self.write_store();
+            match no_datalog::parse_program(&req.text, store.universe_mut()) {
+                Ok(p) => p,
+                Err(e) => return Response::error("parse", e.render(&req.text)),
+            }
+        };
+        let store = self.read_store();
+        let instance = store.instance();
+        let (idb, rounds) = match req.strategy {
+            no_proto::Strategy::Naive | no_proto::Strategy::SemiNaive => {
+                let strat = if req.strategy == no_proto::Strategy::Naive {
+                    Strategy::Naive
+                } else {
+                    Strategy::SemiNaive
+                };
+                let result = if req.planned {
+                    self.datalog_planned(&program, instance, strat)
+                } else {
+                    self.datalog(&program, instance, strat)
+                };
+                match result {
+                    Ok((idb, stats)) => (idb, Some(stats.rounds as u64)),
+                    Err(e) => return error_response(&e),
+                }
+            }
+            no_proto::Strategy::Stratified => {
+                let result = if req.planned {
+                    self.datalog_stratified_planned(&program, instance)
+                } else {
+                    self.datalog_stratified(&program, instance)
+                };
+                match result {
+                    Ok(idb) => (idb, None),
+                    Err(e) => return error_response(&e),
+                }
+            }
+            no_proto::Strategy::Simultaneous => {
+                let typed = infer_body_var_types(&program, instance.schema());
+                let borrowed: Vec<(&str, Type)> =
+                    typed.iter().map(|(v, t)| (v.as_str(), t.clone())).collect();
+                let result = if req.planned {
+                    self.datalog_simultaneous_planned(&program, &borrowed, instance)
+                } else {
+                    self.datalog_simultaneous(&program, &borrowed, instance)
+                };
+                match result {
+                    Ok(idb) => (idb, None),
+                    Err(e) => return error_response(&e),
+                }
+            }
+        };
+        Response {
+            ok: true,
+            relations: idb
+                .iter()
+                .map(|(name, rel)| relation_out(store.universe(), name, rel))
+                .collect(),
+            rounds,
+            ..Response::default()
+        }
+    }
+
+    fn op_eval_algebra(&self, req: &Request) -> Response {
+        let expr = {
+            let mut store = self.write_store();
+            match no_algebra::parse_expr(&req.text, store.universe_mut()) {
+                Ok(e) => e,
+                Err(e) => return Response::error("parse", e.to_string()),
+            }
+        };
+        let store = self.read_store();
+        let instance = store.instance();
+        let result = if req.planned {
+            self.algebra_planned(&expr, instance)
+        } else {
+            self.algebra(&expr, instance)
+        };
+        match result {
+            Ok(rel) => Response {
+                ok: true,
+                relations: vec![relation_out(store.universe(), "result", &rel)],
+                ..Response::default()
+            },
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn op_analyze(&self, req: &Request) -> Response {
+        let analysis = {
+            let mut store = self.write_store();
+            let schema = store.instance().schema().clone();
+            match req.lang {
+                Lang::Calc => no_analysis::analyze_calc(&schema, &req.text, store.universe_mut()),
+                Lang::Datalog => {
+                    no_analysis::analyze_datalog(&schema, &req.text, store.universe_mut())
+                }
+                Lang::Algebra => {
+                    return Response::error(
+                        "unsupported",
+                        "the algebra has no static analyzer; analyze calc or datalog text",
+                    )
+                }
+            }
+        };
+        Response {
+            ok: true,
+            analysis: Some(analysis_out(&analysis, &req.text)),
+            ..Response::default()
+        }
+    }
+
+    fn op_explain(&self, req: &Request) -> Response {
+        let planned: Result<Arc<Planned>, Response> = match req.lang {
+            Lang::Calc => {
+                let query = {
+                    let mut store = self.write_store();
+                    match no_core::parse_query(&req.text, store.universe_mut()) {
+                        Ok(q) => q,
+                        Err(e) => return Response::error("parse", e.render(&req.text)),
+                    }
+                };
+                let mode = if req.mode == Mode::Fast {
+                    CalcMode::ActiveDomain
+                } else {
+                    CalcMode::Safe
+                };
+                let store = self.read_store();
+                self.plan_calc(store.instance(), &query, mode)
+                    .map_err(|e| error_response(&e))
+            }
+            Lang::Algebra => {
+                let expr = {
+                    let mut store = self.write_store();
+                    match no_algebra::parse_expr(&req.text, store.universe_mut()) {
+                        Ok(e) => e,
+                        Err(e) => return Response::error("parse", e.to_string()),
+                    }
+                };
+                let store = self.read_store();
+                self.plan_algebra(store.instance(), &expr)
+                    .map_err(|e| error_response(&e))
+            }
+            Lang::Datalog => {
+                let program = {
+                    let mut store = self.write_store();
+                    match no_datalog::parse_program(&req.text, store.universe_mut()) {
+                        Ok(p) => p,
+                        Err(e) => return Response::error("parse", e.render(&req.text)),
+                    }
+                };
+                let store = self.read_store();
+                let mode = match req.strategy {
+                    no_proto::Strategy::Naive => DatalogMode::Naive,
+                    no_proto::Strategy::SemiNaive => DatalogMode::SemiNaive,
+                    no_proto::Strategy::Stratified => DatalogMode::Stratified,
+                    no_proto::Strategy::Simultaneous => DatalogMode::Simultaneous(
+                        infer_body_var_types(&program, store.instance().schema()),
+                    ),
+                };
+                self.plan_datalog(store.instance(), &program, mode)
+                    .map_err(|e| error_response(&e))
+            }
+        };
+        match planned {
+            Ok(p) => Response {
+                ok: true,
+                explain: Some(ExplainOut {
+                    text: p.render_text(),
+                    json: p.render_json(),
+                }),
+                ..Response::default()
+            },
+            Err(resp) => resp,
+        }
+    }
+
+    fn op_insert(&self, req: &Request) -> Response {
+        if req.text.trim().is_empty() {
+            return Response::error(
+                "protocol",
+                "insert needs a clause like schema G(U, U). or G('a', 'b').",
+            );
+        }
+        let mut store = self.write_store();
+        let clause = match parse_clause(&req.text, store.universe_mut()) {
+            Ok(c) => c,
+            Err(e) => return Response::error("parse", e.to_string()),
+        };
+        match store.apply_clause(clause) {
+            Ok(msg) => Response::message(msg),
+            Err(msg) => Response::error("storage", msg),
+        }
+    }
+
+    fn op_save(&self, req: &Request) -> Response {
+        let path = req.text.trim();
+        if path.is_empty() {
+            let mut store = self.write_store();
+            match store.db_mut() {
+                None => Response::error(
+                    "storage",
+                    "no durable database attached (open a directory first)",
+                ),
+                Some(db) => match db.save() {
+                    Ok(()) => Response::message(format!(
+                        "checkpointed {} at epoch {} (write-ahead log reset)",
+                        db.dir().display(),
+                        db.epoch()
+                    )),
+                    Err(e) => error_response(&Error::Storage(e)),
+                },
+            }
+        } else {
+            let store = self.read_store();
+            let text = render_database(store.universe(), store.instance());
+            match std::fs::write(path, &text) {
+                Ok(()) => Response::message(format!(
+                    "saved {} tuples to {path}",
+                    store.instance().cardinality()
+                )),
+                Err(e) => Response::error("storage", format!("cannot write {path}: {e}")),
+            }
+        }
+    }
+
+    fn op_open(&self, req: &Request) -> Response {
+        let dir = req.text.trim();
+        if dir.is_empty() {
+            return Response::error("protocol", "open needs a database directory");
+        }
+        let options = DbOptions {
+            sync: self.sync_policy,
+            governor: Some(self.governor.clone()),
+            faults: no_storage::IoFaults::none(),
+        };
+        let db = match Db::open(Path::new(dir), options) {
+            Ok(db) => db,
+            Err(e) => return error_response(&Error::Storage(e)),
+        };
+        let stats = db.open_stats().clone();
+        let inst = db.instance();
+        let mut msg = if stats.created {
+            format!("created durable database at {dir}")
+        } else {
+            format!(
+                "opened {dir}: {} relations, {} tuples, {} atoms (snapshot epoch {}, {} frames replayed)",
+                inst.schema().len(),
+                inst.cardinality(),
+                db.universe().len(),
+                stats.snapshot_epoch,
+                stats.replayed_frames,
+            )
+        };
+        if stats.truncated_bytes > 0 {
+            msg.push_str(&format!(
+                "\nrecovered: {} bytes of torn write-ahead-log tail truncated",
+                stats.truncated_bytes
+            ));
+        }
+        if stats.stale_wal_discarded {
+            msg.push_str("\nrecovered: stale write-ahead log discarded (already in snapshot)");
+        }
+        self.write_store().attach(db);
+        Response::message(msg)
+    }
+
+    fn op_stats(&self) -> Response {
+        let (cache_hits, cache_misses) = self.plan_cache_stats();
+        Response {
+            ok: true,
+            stats: Some(StatsOut {
+                cache_hits,
+                cache_misses,
+                ..StatsOut::default()
+            }),
+            ..Response::default()
+        }
     }
 
     // ----- durable storage --------------------------------------------
@@ -190,23 +852,21 @@ impl Session {
         db.sync().map_err(Error::from)
     }
 
-    /// Evaluate a CALC query under the active-domain semantics.
-    pub fn eval_calc(&self, instance: &Instance, query: &Query) -> Result<Relation, Error> {
+    // ----- engine internals (the legacy shims and `run` share these) ---
+
+    fn calc_active(&self, instance: &Instance, query: &Query) -> Result<Relation, Error> {
         let order = active_order(instance, query);
         let mut ev = Evaluator::with_governor(instance, order, self.governor.clone())
             .with_pool(self.pool.clone());
         ev.query(query).map_err(Error::from)
     }
 
-    /// Evaluate a CALC query under the restricted-domain semantics of
-    /// Theorem 5.1: compute ranges first, then enumerate only them.
-    pub fn eval_calc_safe(&self, instance: &Instance, query: &Query) -> Result<Relation, Error> {
+    fn calc_safe(&self, instance: &Instance, query: &Query) -> Result<Relation, Error> {
         no_core::ranges::safe_eval_pooled(instance, query, &self.governor, &self.pool)
             .map_err(Error::from)
     }
 
-    /// Evaluate a Datalog¬ program with inflationary semantics.
-    pub fn eval_datalog(
+    fn datalog(
         &self,
         program: &Program,
         instance: &Instance,
@@ -216,19 +876,12 @@ impl Session {
             .map_err(Error::from)
     }
 
-    /// Evaluate a Datalog¬ program with stratified semantics.
-    pub fn eval_datalog_stratified(
-        &self,
-        program: &Program,
-        instance: &Instance,
-    ) -> Result<Idb, Error> {
+    fn datalog_stratified(&self, program: &Program, instance: &Instance) -> Result<Idb, Error> {
         no_datalog::eval_stratified_pooled(program, instance, &self.governor, &self.pool)
             .map_err(Error::from)
     }
 
-    /// Evaluate a Datalog¬ program by translating it into one simultaneous
-    /// `IFP` fixpoint and running that on the CALC evaluator.
-    pub fn eval_datalog_simultaneous(
+    fn datalog_simultaneous(
         &self,
         program: &Program,
         body_var_types: &[(&str, Type)],
@@ -246,9 +899,141 @@ impl Session {
         .map_err(Error::from)
     }
 
-    /// Evaluate an algebra expression.
-    pub fn eval_algebra(&self, expr: &Expr, instance: &Instance) -> Result<Relation, Error> {
+    fn algebra(&self, expr: &Expr, instance: &Instance) -> Result<Relation, Error> {
         no_algebra::eval_pooled(expr, instance, &self.governor, &self.pool).map_err(Error::from)
+    }
+
+    fn calc_checked(
+        &self,
+        instance: &Instance,
+        src: &str,
+        universe: &mut Universe,
+    ) -> Result<Relation, Error> {
+        let analysis = no_analysis::analyze_calc(instance.schema(), src, universe);
+        if analysis.has_errors() {
+            return Err(no_analysis::DiagnosticsError::new(&analysis).into());
+        }
+        let query =
+            no_core::parse_query(src, universe).expect("analysis passed, so the query parses");
+        if analysis.is_rr_safe() {
+            self.calc_safe(instance, &query)
+        } else {
+            self.calc_active(instance, &query)
+        }
+    }
+
+    fn calc_active_planned(&self, instance: &Instance, query: &Query) -> Result<Relation, Error> {
+        let planned = self.plan_calc(instance, query, CalcMode::ActiveDomain)?;
+        let out = planned.execute(instance, &self.governor, &self.pool)?;
+        Ok(out.into_relation())
+    }
+
+    fn calc_safe_planned(&self, instance: &Instance, query: &Query) -> Result<Relation, Error> {
+        let planned = self.plan_calc(instance, query, CalcMode::Safe)?;
+        let out = planned.execute(instance, &self.governor, &self.pool)?;
+        Ok(out.into_relation())
+    }
+
+    fn algebra_planned(&self, expr: &Expr, instance: &Instance) -> Result<Relation, Error> {
+        let planned = self.plan_algebra(instance, expr)?;
+        let out = planned.execute(instance, &self.governor, &self.pool)?;
+        Ok(out.into_relation())
+    }
+
+    fn datalog_planned(
+        &self,
+        program: &Program,
+        instance: &Instance,
+        strategy: Strategy,
+    ) -> Result<(Idb, EvalStats), Error> {
+        let mode = match strategy {
+            Strategy::Naive => DatalogMode::Naive,
+            Strategy::SemiNaive => DatalogMode::SemiNaive,
+        };
+        let planned = self.plan_datalog(instance, program, mode)?;
+        match planned.execute(instance, &self.governor, &self.pool)? {
+            no_plan::Output::Idb(idb, Some(stats)) => Ok((idb, stats)),
+            _ => unreachable!("round strategies report stats"),
+        }
+    }
+
+    fn datalog_stratified_planned(
+        &self,
+        program: &Program,
+        instance: &Instance,
+    ) -> Result<Idb, Error> {
+        let planned = self.plan_datalog(instance, program, DatalogMode::Stratified)?;
+        let out = planned.execute(instance, &self.governor, &self.pool)?;
+        Ok(out.into_idb())
+    }
+
+    fn datalog_simultaneous_planned(
+        &self,
+        program: &Program,
+        body_var_types: &[(&str, Type)],
+        instance: &Instance,
+    ) -> Result<Idb, Error> {
+        let typed: Vec<(String, Type)> = body_var_types
+            .iter()
+            .map(|(v, t)| (v.to_string(), t.clone()))
+            .collect();
+        let planned = self.plan_datalog(instance, program, DatalogMode::Simultaneous(typed))?;
+        let out = planned.execute(instance, &self.governor, &self.pool)?;
+        Ok(out.into_idb())
+    }
+
+    // ----- deprecated typed shims -------------------------------------
+
+    /// Evaluate a CALC query under the active-domain semantics.
+    #[deprecated(note = "use Session::run with a Request { mode: Fast }")]
+    pub fn eval_calc(&self, instance: &Instance, query: &Query) -> Result<Relation, Error> {
+        self.calc_active(instance, query)
+    }
+
+    /// Evaluate a CALC query under the restricted-domain semantics of
+    /// Theorem 5.1: compute ranges first, then enumerate only them.
+    #[deprecated(note = "use Session::run with a Request { mode: Safe }")]
+    pub fn eval_calc_safe(&self, instance: &Instance, query: &Query) -> Result<Relation, Error> {
+        self.calc_safe(instance, query)
+    }
+
+    /// Evaluate a Datalog¬ program with inflationary semantics.
+    #[deprecated(note = "use Session::run with a Request { lang: Datalog }")]
+    pub fn eval_datalog(
+        &self,
+        program: &Program,
+        instance: &Instance,
+        strategy: Strategy,
+    ) -> Result<(Idb, EvalStats), Error> {
+        self.datalog(program, instance, strategy)
+    }
+
+    /// Evaluate a Datalog¬ program with stratified semantics.
+    #[deprecated(note = "use Session::run with a Request { strategy: Stratified }")]
+    pub fn eval_datalog_stratified(
+        &self,
+        program: &Program,
+        instance: &Instance,
+    ) -> Result<Idb, Error> {
+        self.datalog_stratified(program, instance)
+    }
+
+    /// Evaluate a Datalog¬ program by translating it into one simultaneous
+    /// `IFP` fixpoint and running that on the CALC evaluator.
+    #[deprecated(note = "use Session::run with a Request { strategy: Simultaneous }")]
+    pub fn eval_datalog_simultaneous(
+        &self,
+        program: &Program,
+        body_var_types: &[(&str, Type)],
+        instance: &Instance,
+    ) -> Result<Idb, Error> {
+        self.datalog_simultaneous(program, body_var_types, instance)
+    }
+
+    /// Evaluate an algebra expression.
+    #[deprecated(note = "use Session::run with a Request { lang: Algebra }")]
+    pub fn eval_algebra(&self, expr: &Expr, instance: &Instance) -> Result<Relation, Error> {
+        self.algebra(expr, instance)
     }
 
     /// Statically analyze a CALC query: diagnostics (spans, codes, paper
@@ -257,6 +1042,7 @@ impl Session {
     /// Analysis is pure — it never evaluates and spends none of the
     /// session's governor budget, so it is safe to run on untrusted input
     /// before committing fuel to evaluation.
+    #[deprecated(note = "use Session::run with a Request { op: Analyze }")]
     pub fn analyze(
         &self,
         schema: &no_object::Schema,
@@ -268,6 +1054,7 @@ impl Session {
 
     /// Statically analyze a Datalog¬ program (same contract as
     /// [`Session::analyze`]).
+    #[deprecated(note = "use Session::run with a Request { op: Analyze, lang: Datalog }")]
     pub fn analyze_datalog(
         &self,
         schema: &no_object::Schema,
@@ -282,23 +1069,14 @@ impl Session {
     /// Certified range-restricted queries run under the restricted-domain
     /// semantics (Theorem 5.1); others fall back to active-domain
     /// enumeration.
+    #[deprecated(note = "use Session::run with a Request { mode: Checked }")]
     pub fn eval_calc_checked(
         &self,
         instance: &Instance,
         src: &str,
         universe: &mut no_object::Universe,
     ) -> Result<Relation, Error> {
-        let analysis = self.analyze(instance.schema(), src, universe);
-        if analysis.has_errors() {
-            return Err(no_analysis::DiagnosticsError::new(&analysis).into());
-        }
-        let query =
-            no_core::parse_query(src, universe).expect("analysis passed, so the query parses");
-        if analysis.is_rr_safe() {
-            self.eval_calc_safe(instance, &query)
-        } else {
-            self.eval_calc(instance, &query)
-        }
+        self.calc_checked(instance, src, universe)
     }
 
     // ----- compile-to-plan entry points -------------------------------
@@ -360,85 +1138,72 @@ impl Session {
     /// [`Session::eval_calc`] through the plan pipeline: compile (or hit
     /// the plan cache), optimize, execute on the same kernels under the
     /// same governor.
+    #[deprecated(note = "use Session::run with a Request { mode: Fast, planned: true }")]
     pub fn eval_calc_planned(&self, instance: &Instance, query: &Query) -> Result<Relation, Error> {
-        let planned = self.plan_calc(instance, query, CalcMode::ActiveDomain)?;
-        let out = planned.execute(instance, &self.governor, &self.pool)?;
-        Ok(out.into_relation())
+        self.calc_active_planned(instance, query)
     }
 
     /// [`Session::eval_calc_safe`] through the plan pipeline.
+    #[deprecated(note = "use Session::run with a Request { mode: Safe, planned: true }")]
     pub fn eval_calc_safe_planned(
         &self,
         instance: &Instance,
         query: &Query,
     ) -> Result<Relation, Error> {
-        let planned = self.plan_calc(instance, query, CalcMode::Safe)?;
-        let out = planned.execute(instance, &self.governor, &self.pool)?;
-        Ok(out.into_relation())
+        self.calc_safe_planned(instance, query)
     }
 
     /// [`Session::eval_algebra`] through the plan pipeline (predicate
     /// pushdown runs here).
+    #[deprecated(note = "use Session::run with a Request { lang: Algebra, planned: true }")]
     pub fn eval_algebra_planned(
         &self,
         expr: &Expr,
         instance: &Instance,
     ) -> Result<Relation, Error> {
-        let planned = self.plan_algebra(instance, expr)?;
-        let out = planned.execute(instance, &self.governor, &self.pool)?;
-        Ok(out.into_relation())
+        self.algebra_planned(expr, instance)
     }
 
     /// [`Session::eval_datalog`] through the plan pipeline. A `SemiNaive`
     /// request runs the delta-rewritten plan; `Naive` opts out.
+    #[deprecated(note = "use Session::run with a Request { lang: Datalog, planned: true }")]
     pub fn eval_datalog_planned(
         &self,
         program: &Program,
         instance: &Instance,
         strategy: Strategy,
     ) -> Result<(Idb, EvalStats), Error> {
-        let mode = match strategy {
-            Strategy::Naive => DatalogMode::Naive,
-            Strategy::SemiNaive => DatalogMode::SemiNaive,
-        };
-        let planned = self.plan_datalog(instance, program, mode)?;
-        match planned.execute(instance, &self.governor, &self.pool)? {
-            no_plan::Output::Idb(idb, Some(stats)) => Ok((idb, stats)),
-            _ => unreachable!("round strategies report stats"),
-        }
+        self.datalog_planned(program, instance, strategy)
     }
 
     /// [`Session::eval_datalog_stratified`] through the plan pipeline.
+    #[deprecated(note = "use Session::run with a Request { strategy: Stratified, planned: true }")]
     pub fn eval_datalog_stratified_planned(
         &self,
         program: &Program,
         instance: &Instance,
     ) -> Result<Idb, Error> {
-        let planned = self.plan_datalog(instance, program, DatalogMode::Stratified)?;
-        let out = planned.execute(instance, &self.governor, &self.pool)?;
-        Ok(out.into_idb())
+        self.datalog_stratified_planned(program, instance)
     }
 
     /// [`Session::eval_datalog_simultaneous`] through the plan pipeline.
+    #[deprecated(
+        note = "use Session::run with a Request { strategy: Simultaneous, planned: true }"
+    )]
     pub fn eval_datalog_simultaneous_planned(
         &self,
         program: &Program,
         body_var_types: &[(&str, Type)],
         instance: &Instance,
     ) -> Result<Idb, Error> {
-        let typed: Vec<(String, Type)> = body_var_types
-            .iter()
-            .map(|(v, t)| (v.to_string(), t.clone()))
-            .collect();
-        let planned = self.plan_datalog(instance, program, DatalogMode::Simultaneous(typed))?;
-        let out = planned.execute(instance, &self.governor, &self.pool)?;
-        Ok(out.into_idb())
+        self.datalog_simultaneous_planned(program, body_var_types, instance)
     }
 
     /// Explain a query: the compiled, optimized plan with its pass
     /// provenance, estimates, and early-trip warnings. Rendering is
     /// deterministic — `planned.render_text()` / `planned.render_json()`
     /// are snapshot-tested goldens.
+    #[deprecated(note = "use Session::run with a Request { op: Explain }")]
     pub fn explain(
         &self,
         instance: &Instance,
@@ -484,7 +1249,135 @@ pub enum ExplainTarget<'a> {
     },
 }
 
+// ---------------------------------------------------------------------------
+// Response assembly helpers
+// ---------------------------------------------------------------------------
+
+/// Overlay a wire-level [`LimitsSpec`] onto base limits. `deadline_ms: 0`
+/// clears the deadline (matches the shell's `:deadline 0`).
+fn overlay(base: &Limits, spec: &LimitsSpec) -> Limits {
+    Limits {
+        max_steps: spec.max_steps.unwrap_or(base.max_steps),
+        max_range: spec.max_range.unwrap_or(base.max_range),
+        max_fixpoint_iters: spec.max_fixpoint_iters.unwrap_or(base.max_fixpoint_iters),
+        max_memory_bytes: spec.max_memory_bytes.unwrap_or(base.max_memory_bytes),
+        deadline: match spec.deadline_ms {
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => base.deadline,
+        },
+    }
+}
+
+fn error_response(e: &Error) -> Response {
+    let trip = e.is_resource_trip();
+    let kind = if trip {
+        "resource"
+    } else {
+        match e {
+            Error::Diagnostics(_) => "diagnostics",
+            Error::Storage(_) => "storage",
+            _ => "eval",
+        }
+    };
+    let mut resp = Response::error(kind, e.to_string());
+    if let Some(err) = resp.error.as_mut() {
+        err.resource_trip = trip;
+    }
+    resp
+}
+
+fn analysis_out(analysis: &no_analysis::Analysis, src: &str) -> AnalysisOut {
+    let errors = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == no_analysis::Severity::Error)
+        .count() as u64;
+    AnalysisOut {
+        text: analysis.render(src),
+        json: analysis.to_json(),
+        errors,
+        warnings: analysis.diagnostics.len() as u64 - errors,
+        certified: analysis.certificate.is_some(),
+    }
+}
+
+fn value_json(universe: &Universe, v: &Value) -> Json {
+    match v {
+        Value::Atom(a) => Json::Str(universe.name(*a).to_string()),
+        Value::Tuple(vs) => Json::Arr(vs.iter().map(|v| value_json(universe, v)).collect()),
+        // Canonical set order is the element order SetValue maintains.
+        Value::Set(s) => Json::Arr(s.iter().map(|v| value_json(universe, v)).collect()),
+    }
+}
+
+fn relation_out(universe: &Universe, name: &str, rel: &Relation) -> RelationOut {
+    let printer = Printer::with_universe(universe);
+    let sorted = rel.sorted_rows();
+    let rows: Vec<String> = sorted
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(|v| printer.value(v)).collect();
+            format!("({})", cells.join(", "))
+        })
+        .collect();
+    let rows_json = Json::Arr(
+        sorted
+            .iter()
+            .map(|row| Json::Arr(row.iter().map(|v| value_json(universe, v)).collect()))
+            .collect(),
+    )
+    .render();
+    RelationOut {
+        name: name.to_string(),
+        rows,
+        rows_json,
+    }
+}
+
+/// Infer the `body_var_types` argument of the simultaneous-IFP translation
+/// from the program itself: every variable that occurs in some rule body
+/// but not in that rule's head, typed by the column it occurs at (IDB
+/// declarations first, then the EDB schema). First occurrence wins on the
+/// rare cross-rule name collision.
+fn infer_body_var_types(program: &Program, schema: &Schema) -> Vec<(String, Type)> {
+    let mut out: BTreeMap<String, Type> = BTreeMap::new();
+    for rule in &program.rules {
+        let head_vars: BTreeSet<&str> = rule
+            .head_args
+            .iter()
+            .filter_map(|t| match t {
+                no_datalog::DTerm::Var(v) => Some(v.as_str()),
+                no_datalog::DTerm::Const(_) => None,
+            })
+            .collect();
+        for lit in &rule.body {
+            let (rel, terms) = match lit {
+                no_datalog::Literal::Pos(rel, terms) | no_datalog::Literal::Neg(rel, terms) => {
+                    (rel, terms)
+                }
+                _ => continue,
+            };
+            let cols: Option<Vec<Type>> = program
+                .idb
+                .get(rel)
+                .cloned()
+                .or_else(|| schema.get(rel).map(|r| r.column_types.clone()));
+            let Some(cols) = cols else { continue };
+            for (term, ty) in terms.iter().zip(cols) {
+                if let no_datalog::DTerm::Var(v) = term {
+                    if !head_vars.contains(v.as_str()) {
+                        out.entry(v.clone()).or_insert(ty);
+                    }
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims are exercised on purpose here
 mod tests {
     use super::*;
     use no_algebra::Pred;
@@ -501,6 +1394,13 @@ mod tests {
             i.insert("G", vec![Value::Atom(a), Value::Atom(b)]);
         }
         (u, i)
+    }
+
+    fn graph_session(edges: &[(&str, &str)]) -> Session {
+        let (u, i) = graph(edges);
+        Session::builder()
+            .store(Arc::new(RwLock::new(Store::with_data(u, i))))
+            .build()
     }
 
     fn tc_program() -> Program {
@@ -524,6 +1424,8 @@ mod tests {
         );
         p
     }
+
+    const TC_SRC: &str = "rel tc(U, U).\ntc(x, y) :- G(x, y).\ntc(x, y) :- tc(x, z), G(z, y).";
 
     #[test]
     fn session_runs_every_engine() {
@@ -670,5 +1572,327 @@ mod tests {
             .eval_algebra(&Expr::rel("G"), &i)
             .unwrap_err()
             .is_resource_trip());
+    }
+
+    // ----- Session::run ------------------------------------------------
+
+    #[test]
+    fn run_evaluates_calc_in_every_mode() {
+        let s = graph_session(&[("a", "b"), ("b", "c")]);
+        for mode in [Mode::Fast, Mode::Safe, Mode::Checked] {
+            for planned in [false, true] {
+                let r = s.run(&Request {
+                    mode,
+                    planned,
+                    text: "{[x:U, y:U] | G(x, y)}".into(),
+                    ..Request::default()
+                });
+                assert!(r.ok, "{mode:?}/{planned}: {:?}", r.error);
+                assert_eq!(r.relations.len(), 1);
+                assert_eq!(r.relations[0].name, "result");
+                assert_eq!(
+                    r.relations[0].rows,
+                    vec!["('a', 'b')".to_string(), "('b', 'c')".to_string()]
+                );
+                assert_eq!(r.relations[0].rows_json, r#"[["a","b"],["b","c"]]"#);
+                assert!(r.spend.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn run_evaluates_datalog_under_every_strategy() {
+        let s = graph_session(&[("a", "b"), ("b", "c")]);
+        for strategy in [
+            no_proto::Strategy::Naive,
+            no_proto::Strategy::SemiNaive,
+            no_proto::Strategy::Stratified,
+            no_proto::Strategy::Simultaneous,
+        ] {
+            for planned in [false, true] {
+                let r = s.run(&Request {
+                    lang: Lang::Datalog,
+                    strategy,
+                    planned,
+                    text: TC_SRC.into(),
+                    ..Request::default()
+                });
+                assert!(r.ok, "{strategy:?}/{planned}: {:?}", r.error);
+                let tc = r.relations.iter().find(|r| r.name == "tc").unwrap();
+                assert_eq!(tc.rows.len(), 3, "{strategy:?}");
+                if matches!(
+                    strategy,
+                    no_proto::Strategy::Naive | no_proto::Strategy::SemiNaive
+                ) {
+                    assert!(r.rounds.is_some(), "{strategy:?} reports rounds");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_evaluates_algebra_text() {
+        let s = graph_session(&[("a", "b"), ("b", "a")]);
+        for planned in [false, true] {
+            let r = s.run(&Request {
+                lang: Lang::Algebra,
+                planned,
+                text: "select[eq(2, 3)]((G x G))".into(),
+                ..Request::default()
+            });
+            assert!(r.ok, "{:?}", r.error);
+            assert_eq!(r.relations[0].rows.len(), 2);
+        }
+    }
+
+    #[test]
+    fn run_checked_refusal_carries_diagnostics() {
+        let s = graph_session(&[("a", "b")]);
+        let r = s.run(&Request {
+            mode: Mode::Checked,
+            text: "{[x:U] | H(x)}".into(),
+            ..Request::default()
+        });
+        assert!(!r.ok);
+        let e = r.error.as_ref().unwrap();
+        assert_eq!(e.kind, "diagnostics");
+        assert!(!e.resource_trip);
+        let a = r.analysis.as_ref().unwrap();
+        assert!(a.errors >= 1);
+        assert!(!a.certified);
+        assert!(a.text.contains("TY001"), "{}", a.text);
+    }
+
+    #[test]
+    fn run_parse_errors_are_structured() {
+        let s = graph_session(&[("a", "b")]);
+        for (lang, text) in [
+            (Lang::Calc, "{[x:U] | G(x,, x)}"),
+            (Lang::Datalog, "rel tc(U, U).\ntc(x :- G(x, y)."),
+            (Lang::Algebra, "project[](G)"),
+        ] {
+            let r = s.run(&Request::eval(lang, text));
+            assert!(!r.ok, "{lang:?}");
+            assert_eq!(r.error.as_ref().unwrap().kind, "parse", "{lang:?}");
+        }
+    }
+
+    #[test]
+    fn run_limits_override_gets_a_fresh_allowance_per_request() {
+        let s = graph_session(&[("a", "b"), ("b", "c")]);
+        let tight = Request {
+            text: "{[x:U, y:U] | G(x, y)}".into(),
+            limits: Some(LimitsSpec {
+                max_steps: Some(0),
+                ..LimitsSpec::default()
+            }),
+            ..Request::default()
+        };
+        let r = s.run(&tight);
+        assert!(!r.ok);
+        let e = r.error.as_ref().unwrap();
+        assert_eq!(e.kind, "resource");
+        assert!(e.resource_trip);
+        // The *session* allowance was untouched: the same request without
+        // an override still succeeds.
+        let r = s.run(&Request::eval(Lang::Calc, "{[x:U, y:U] | G(x, y)}"));
+        assert!(r.ok, "{:?}", r.error);
+    }
+
+    #[test]
+    fn run_analyze_and_explain() {
+        let s = graph_session(&[("a", "b")]);
+        let r = s.run(&Request {
+            op: Op::Analyze,
+            text: "{[x:U, y:U] | G(x, y)}".into(),
+            ..Request::default()
+        });
+        assert!(r.ok);
+        let a = r.analysis.as_ref().unwrap();
+        assert!(a.certified);
+        assert_eq!((a.errors, a.warnings), (0, 0));
+        assert!(a.json.contains("\"status\": \"ok\""), "{}", a.json);
+
+        let r = s.run(&Request {
+            op: Op::Explain,
+            text: "{[x:U, y:U] | G(x, y)}".into(),
+            ..Request::default()
+        });
+        assert!(r.ok);
+        let e = r.explain.as_ref().unwrap();
+        assert!(e.text.contains("plan: calc (safe)"), "{}", e.text);
+        assert!(e.json.contains("\"mode\""), "{}", e.json);
+
+        let r = s.run(&Request {
+            op: Op::Analyze,
+            lang: Lang::Algebra,
+            text: "G".into(),
+            ..Request::default()
+        });
+        assert!(!r.ok);
+        assert_eq!(r.error.as_ref().unwrap().kind, "unsupported");
+    }
+
+    #[test]
+    fn run_insert_then_eval_round_trip() {
+        let s = Session::default();
+        for clause in ["schema G(U, U).", "G('a', 'b').", "G('b', 'c')."] {
+            let r = s.run(&Request {
+                op: Op::Insert,
+                text: clause.into(),
+                ..Request::default()
+            });
+            assert!(r.ok, "{clause}: {:?}", r.error);
+        }
+        // duplicate insert reports, does not fail
+        let r = s.run(&Request {
+            op: Op::Insert,
+            text: "G('a', 'b').".into(),
+            ..Request::default()
+        });
+        assert!(r.ok);
+        assert!(r.message.as_ref().unwrap().contains("already"));
+        // bad inserts are structured errors
+        for bad in ["H('a').", "G('a').", "schema G(U)."] {
+            let r = s.run(&Request {
+                op: Op::Insert,
+                text: bad.into(),
+                ..Request::default()
+            });
+            assert!(!r.ok, "{bad}");
+        }
+        let r = s.run(&Request::eval(Lang::Calc, "{[x:U, y:U] | G(x, y)}"));
+        assert_eq!(r.relations[0].rows.len(), 2);
+    }
+
+    #[test]
+    fn run_open_insert_save_against_durable_store() {
+        let dir = std::env::temp_dir().join(format!("nestdb_run_db_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = Session::default();
+        let r = s.run(&Request {
+            op: Op::Open,
+            text: dir.display().to_string(),
+            ..Request::default()
+        });
+        assert!(r.ok, "{:?}", r.error);
+        assert!(r.message.as_ref().unwrap().contains("created"));
+        for clause in ["schema G(U, U).", "G('a', 'b')."] {
+            let r = s.run(&Request {
+                op: Op::Insert,
+                text: clause.into(),
+                ..Request::default()
+            });
+            assert!(r.ok, "{clause}: {:?}", r.error);
+            assert!(r.message.as_ref().unwrap().contains("logged"));
+        }
+        let r = s.run(&Request {
+            op: Op::Save,
+            ..Request::default()
+        });
+        assert!(r.ok, "{:?}", r.error);
+        assert!(r.message.as_ref().unwrap().contains("epoch 1"));
+        // reopen in a second session: the data survived
+        let s2 = Session::default();
+        let r = s2.run(&Request {
+            op: Op::Open,
+            text: dir.display().to_string(),
+            ..Request::default()
+        });
+        assert!(r.ok, "{:?}", r.error);
+        assert!(r
+            .message
+            .as_ref()
+            .unwrap()
+            .contains("1 relations, 1 tuples"));
+        let r = s2.run(&Request::eval(Lang::Calc, "{[x:U, y:U] | G(x, y)}"));
+        assert_eq!(r.relations[0].rows, vec!["('a', 'b')".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_save_to_text_file() {
+        let s = graph_session(&[("a", "b")]);
+        let path = std::env::temp_dir().join(format!("nestdb_run_save_{}.no", std::process::id()));
+        let r = s.run(&Request {
+            op: Op::Save,
+            text: path.display().to_string(),
+            ..Request::default()
+        });
+        assert!(r.ok, "{:?}", r.error);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("G('a', 'b')."), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_stats_reports_plan_cache_counters() {
+        let s = graph_session(&[("a", "b")]);
+        let q = Request {
+            planned: true,
+            text: "{[x:U, y:U] | G(x, y)}".into(),
+            ..Request::default()
+        };
+        s.run(&q);
+        s.run(&q);
+        let r = s.run(&Request {
+            op: Op::Stats,
+            ..Request::default()
+        });
+        let stats = r.stats.as_ref().unwrap();
+        assert!(stats.cache_hits >= 1, "second planned run hits the cache");
+        assert!(stats.cache_misses >= 1);
+    }
+
+    #[test]
+    fn run_responses_serialize_to_single_lines() {
+        let s = graph_session(&[("a", "b")]);
+        for req in [
+            Request::eval(Lang::Calc, "{[x:U, y:U] | G(x, y)}"),
+            Request {
+                op: Op::Analyze,
+                text: "{[x:U] | H(x)}".into(),
+                ..Request::default()
+            },
+            Request {
+                op: Op::Explain,
+                text: "{[x:U, y:U] | G(x, y)}".into(),
+                ..Request::default()
+            },
+            Request::eval(Lang::Calc, "{[x:U] | G(x,, x)}"),
+        ] {
+            let resp = s.run(&req);
+            let line = resp.to_json();
+            assert!(!line.contains('\n'), "{line}");
+            let back = Response::from_json(&line).unwrap();
+            assert_eq!(back.to_json(), line);
+        }
+    }
+
+    #[test]
+    fn infer_body_var_types_finds_body_only_vars() {
+        let (_u, i) = graph(&[("a", "b")]);
+        let typed = infer_body_var_types(&tc_program(), i.schema());
+        assert_eq!(typed, vec![("z".to_string(), Type::Atom)]);
+    }
+
+    #[test]
+    fn sessions_share_stores_and_plan_caches() {
+        let s = graph_session(&[("a", "b")]);
+        let peer = Session::builder()
+            .store(s.store())
+            .plan_cache(s.plan_cache_handle())
+            .build();
+        let q = Request {
+            planned: true,
+            text: "{[x:U, y:U] | G(x, y)}".into(),
+            ..Request::default()
+        };
+        assert!(s.run(&q).ok);
+        let (_, misses_before) = peer.plan_cache_stats();
+        assert!(peer.run(&q).ok);
+        let (hits, misses) = peer.plan_cache_stats();
+        assert_eq!(misses, misses_before, "peer reused the shared plan");
+        assert!(hits >= 1);
     }
 }

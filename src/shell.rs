@@ -14,28 +14,29 @@
 //! use the `no_datalog::parser` syntax. Queries are evaluated with safe
 //! (range-restricted) evaluation by default, falling back to active
 //! domains per variable, under configurable budgets.
+//!
+//! Every evaluating command builds one [`Request`] and goes through
+//! [`Session::run`] — the same dispatch point the TCP server and the CLI
+//! subcommands use. The shell keeps only presentation (prompt text,
+//! budget diagnostics, row truncation) on its side of that line.
 
-use crate::session::Session;
+use crate::session::{Session, Store};
 use no_core::error::EvalConfig;
 use no_core::parser::parse_query;
-use no_core::print::Printer;
 use no_core::report::{classify, InputAssumption};
-use no_datalog as datalog;
-use no_object::text::{parse_clause, parse_database, render_database, Clause};
-use no_object::{Governor, Instance, Schema, Universe, Value};
-use no_storage::{Db, DbOptions};
+use no_object::text::{parse_database, render_database};
+use no_proto::{Lang, LimitsSpec, Mode, Op, Request, Response, Spend};
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
-/// The shell: a universe, a database, budgets, and an evaluation mode.
-/// With `:open` the database becomes durable — a [`Db`] backed by a
-/// snapshot + write-ahead log directory owns the state, mutations are
-/// logged before they apply, and the in-memory fields sit unused until
-/// the store is detached.
+/// The shell: a shared [`Store`] (universe + database + optional durable
+/// store), a persistent [`Session`], budgets, and an evaluation mode.
+/// With `:open` the database becomes durable — a `no_storage::Db` backed
+/// by a snapshot + write-ahead log directory owns the state, and
+/// mutations are logged before they apply.
 pub struct Shell {
-    universe: Universe,
-    instance: Instance,
-    /// A durable store, when one is attached via `:open`.
-    db: Option<Db>,
+    store: Arc<RwLock<Store>>,
+    session: Session,
     config: EvalConfig,
     active_domain: bool,
     threads: usize,
@@ -44,49 +45,72 @@ pub struct Shell {
 impl Shell {
     /// A fresh shell with an empty database.
     pub fn new() -> Self {
+        let store = Arc::new(RwLock::new(Store::new()));
+        let session = Session::builder()
+            .store(Arc::clone(&store))
+            .parallelism(1)
+            .build();
         Shell {
-            universe: Universe::new(),
-            instance: Instance::empty(Schema::new()),
-            db: None,
+            store,
+            session,
             config: EvalConfig::default(),
             active_domain: false,
             threads: 1,
         }
     }
 
-    /// The live universe: the durable store's when one is attached.
-    fn uni(&self) -> &Universe {
-        match &self.db {
-            Some(db) => db.universe(),
-            None => &self.universe,
+    /// The store this shell reads and mutates (shared with its session,
+    /// and shareable with further sessions — e.g. a server on the same
+    /// database).
+    pub fn store(&self) -> Arc<RwLock<Store>> {
+        Arc::clone(&self.store)
+    }
+
+    /// The shell's budgets as a per-request limits override: every
+    /// evaluating [`Request`] carries these, so each evaluation gets a
+    /// fresh allowance (a tripped query never eats the next one's fuel).
+    fn limits_spec(&self) -> LimitsSpec {
+        LimitsSpec {
+            max_steps: Some(self.config.max_steps),
+            max_range: Some(self.config.max_range),
+            max_fixpoint_iters: Some(self.config.max_fixpoint_iters),
+            max_memory_bytes: Some(self.config.max_memory_bytes),
+            // 0 is the wire encoding for "no deadline".
+            deadline_ms: Some(match self.config.deadline {
+                Some(d) => (d.as_millis() as u64).max(1),
+                None => 0,
+            }),
         }
     }
 
-    /// Mutable universe access (parsing interns atoms). Sound against a
-    /// durable store: the universe is append-only and replay re-interns
-    /// atom names from the logged clauses themselves.
-    fn uni_mut(&mut self) -> &mut Universe {
-        match &mut self.db {
-            Some(db) => db.universe_mut(),
-            None => &mut self.universe,
+    /// Run one request and map failures to shell error strings: resource
+    /// trips get the budget diagnostic, everything else shows its message.
+    fn respond(&self, req: Request) -> Result<Response, String> {
+        let resp = self.session.run(&req);
+        if resp.ok {
+            return Ok(resp);
+        }
+        let err = resp.error.as_ref().expect("failed responses carry errors");
+        if err.resource_trip {
+            Err(self.budget_diagnostic(resp.spend.as_ref(), &err.message))
+        } else {
+            Err(err.message.clone())
         }
     }
 
-    /// The live instance: the durable store's when one is attached.
-    fn inst(&self) -> &Instance {
-        match &self.db {
-            Some(db) => db.instance(),
-            None => &self.instance,
+    fn eval_request(&self, op: Op, lang: Lang, text: &str) -> Request {
+        Request {
+            op,
+            lang,
+            mode: if self.active_domain {
+                Mode::Fast
+            } else {
+                Mode::Safe
+            },
+            text: text.to_string(),
+            limits: Some(self.limits_spec()),
+            ..Request::default()
         }
-    }
-
-    /// A fresh [`Session`] for one evaluation: current budgets as a fresh
-    /// governor allowance, current worker count.
-    fn session(&self) -> Session {
-        Session::builder()
-            .governor(self.config.governor())
-            .parallelism(self.threads)
-            .build()
     }
 
     /// Load a database file (text format). Without a durable store this
@@ -94,7 +118,11 @@ impl Shell {
     /// file's declarations and facts into the store (logged, durable).
     pub fn load(&mut self, path: &str) -> Result<String, String> {
         let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        if let Some(db) = &mut self.db {
+        let mut store = self
+            .store
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(db) = store.db_mut() {
             let stats = db.import_text(&src).map_err(|e| e.to_string())?;
             return Ok(format!(
                 "imported {path} into {}: +{} relations, +{} tuples",
@@ -104,7 +132,7 @@ impl Shell {
             ));
         }
         let (schema, instance) =
-            parse_database(&src, &mut self.universe).map_err(|e| e.to_string())?;
+            parse_database(&src, store.universe_mut()).map_err(|e| e.to_string())?;
         let summary = format!(
             "loaded {}: {} relations, {} tuples, {} atoms",
             path,
@@ -112,125 +140,13 @@ impl Shell {
             instance.cardinality(),
             instance.atoms().len()
         );
-        self.instance = instance;
+        store.set_instance(instance);
         Ok(summary)
-    }
-
-    /// Attach the durable database at `dir` (creating it if absent),
-    /// running full crash recovery under the shell's budgets.
-    fn open_db(&mut self, dir: &str) -> Result<String, String> {
-        if dir.is_empty() {
-            return Err(":open needs a database directory (try :help)".to_string());
-        }
-        let options = DbOptions {
-            governor: Some(self.config.governor()),
-            ..DbOptions::default()
-        };
-        let db = Db::open(std::path::Path::new(dir), options).map_err(|e| e.to_string())?;
-        let stats = db.open_stats().clone();
-        let inst = db.instance();
-        let mut out = if stats.created {
-            format!("created durable database at {dir}")
-        } else {
-            format!(
-                "opened {dir}: {} relations, {} tuples, {} atoms (snapshot epoch {}, {} frames replayed)",
-                inst.schema().len(),
-                inst.cardinality(),
-                db.universe().len(),
-                stats.snapshot_epoch,
-                stats.replayed_frames,
-            )
-        };
-        if stats.truncated_bytes > 0 {
-            out.push_str(&format!(
-                "\nrecovered: {} bytes of torn write-ahead-log tail truncated",
-                stats.truncated_bytes
-            ));
-        }
-        if stats.stale_wal_discarded {
-            out.push_str("\nrecovered: stale write-ahead log discarded (already in snapshot)");
-        }
-        self.db = Some(db);
-        Ok(out)
-    }
-
-    /// `:insert <clause>` — apply one `schema R(U).` declaration or one
-    /// fact. Logged first when a durable store is attached.
-    fn insert_clause(&mut self, src: &str) -> Result<String, String> {
-        if src.is_empty() {
-            return Err(":insert needs a clause like G('a', 'b'). (try :help)".to_string());
-        }
-        let clause = parse_clause(src, self.uni_mut()).map_err(|e| e.to_string())?;
-        if let Some(db) = &mut self.db {
-            return match clause {
-                Clause::Schema(rel) => {
-                    let name = rel.name.clone();
-                    db.declare(rel).map_err(|e| e.to_string())?;
-                    Ok(format!("declared {name} (logged)"))
-                }
-                Clause::Fact(name, row) => {
-                    let fresh = db.insert(&name, row).map_err(|e| e.to_string())?;
-                    Ok(if fresh {
-                        format!("inserted into {name} (logged)")
-                    } else {
-                        format!("already in {name} (nothing logged)")
-                    })
-                }
-            };
-        }
-        match clause {
-            Clause::Schema(rel) => {
-                if self.instance.schema().get(&rel.name).is_some() {
-                    return Err(format!("relation {:?} is already declared", rel.name));
-                }
-                let name = rel.name.clone();
-                let mut schema = Schema::new();
-                for r in self.instance.schema().relations() {
-                    schema.add(r.clone());
-                }
-                schema.add(rel);
-                let mut next = Instance::empty(schema);
-                for r in self.instance.schema().relations() {
-                    next.set_relation(&r.name, self.instance.relation(&r.name).clone());
-                }
-                self.instance = next;
-                Ok(format!("declared {name}"))
-            }
-            Clause::Fact(name, row) => {
-                let (arity, col_types) = match self.instance.schema().get(&name) {
-                    Some(r) => (r.arity(), r.column_types.clone()),
-                    None => return Err(format!("unknown relation {name:?}")),
-                };
-                if arity != row.len() {
-                    return Err(format!(
-                        "relation {name:?} has arity {arity} but the tuple has {} values",
-                        row.len()
-                    ));
-                }
-                for (v, t) in row.iter().zip(col_types.iter()) {
-                    if !v.has_type(t) {
-                        return Err(format!("value is not of type {t} in relation {name:?}"));
-                    }
-                }
-                let fresh = self.instance.insert(&name, row);
-                Ok(if fresh {
-                    format!("inserted into {name}")
-                } else {
-                    format!("already in {name}")
-                })
-            }
-        }
-    }
-
-    fn render_row(&self, row: &[Value]) -> String {
-        let printer = Printer::with_universe(self.uni());
-        let cells: Vec<String> = row.iter().map(|v| printer.value(v)).collect();
-        format!("({})", cells.join(", "))
     }
 
     /// Render a tripped budget: which budget, where, and how much of each
     /// allowance was consumed. The shell stays alive after showing this.
-    fn budget_diagnostic(&self, governor: &Governor, err: &dyn std::fmt::Display) -> String {
+    fn budget_diagnostic(&self, spend: Option<&Spend>, err: &str) -> String {
         let show = |v: u64| {
             if v == u64::MAX {
                 "unlimited".to_string()
@@ -238,44 +154,38 @@ impl Shell {
                 v.to_string()
             }
         };
-        let limits = governor.limits();
-        let deadline = match limits.deadline {
+        let deadline = match self.config.deadline {
             Some(d) => format!("{} ms", d.as_millis()),
             None => "unlimited".to_string(),
+        };
+        let (steps, mem, elapsed_ms) = match spend {
+            Some(s) => (s.steps, s.mem_bytes, s.elapsed_us as f64 / 1e3),
+            None => (0, 0, 0.0),
         };
         format!(
             "{err}\nbudgets: steps {}/{}, memory {}/{} bytes, elapsed {:.1} ms (deadline {})\n\
              the database is unchanged; raise :budget, :mem or :deadline, or simplify the query",
-            governor.steps_spent(),
-            show(limits.max_steps),
-            governor.mem_spent(),
-            show(limits.max_memory_bytes),
-            governor.elapsed().as_secs_f64() * 1e3,
+            steps,
+            show(self.config.max_steps),
+            mem,
+            show(self.config.max_memory_bytes),
+            elapsed_ms,
             deadline,
         )
     }
 
     fn run_query(&mut self, src: &str) -> Result<String, String> {
-        let query = parse_query(src, self.uni_mut()).map_err(|e| e.render(src))?;
         let t = Instant::now();
-        let session = self.session();
-        let result = if self.active_domain {
-            session.eval_calc(self.inst(), &query)
-        } else {
-            session.eval_calc_safe(self.inst(), &query)
-        };
-        let answer = result.map_err(|e| match e.resource() {
-            Some(r) => self.budget_diagnostic(session.governor(), r),
-            None => e.to_string(),
-        })?;
+        let resp = self.respond(self.eval_request(Op::Eval, Lang::Calc, src))?;
+        let rel = &resp.relations[0];
         let mut out = String::new();
-        for row in answer.sorted_rows() {
-            out.push_str(&self.render_row(row));
+        for row in &rel.rows {
+            out.push_str(row);
             out.push('\n');
         }
         out.push_str(&format!(
             "{} rows in {:.1} ms ({})",
-            answer.len(),
+            rel.rows.len(),
             t.elapsed().as_secs_f64() * 1e3,
             if self.active_domain {
                 "active-domain"
@@ -287,14 +197,24 @@ impl Shell {
     }
 
     fn classify_query(&mut self, src: &str) -> Result<String, String> {
-        let query = parse_query(src, self.uni_mut()).map_err(|e| e.render(src))?;
+        let query = {
+            let mut store = self
+                .store
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            parse_query(src, store.universe_mut()).map_err(|e| e.render(src))?
+        };
+        let store = self
+            .store
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::new();
         for (label, assumption) in [
             ("no assumption", InputAssumption::Unknown),
             ("dense inputs ", InputAssumption::Dense),
         ] {
-            let report =
-                classify(self.inst().schema(), &query, assumption).map_err(|e| e.to_string())?;
+            let report = classify(store.instance().schema(), &query, assumption)
+                .map_err(|e| e.to_string())?;
             out.push_str(&format!(
                 "{label}: {} → {} (by {})\n",
                 report.language, report.bound.bound, report.bound.by
@@ -313,69 +233,57 @@ impl Shell {
         use no_core::nf;
         use no_core::ranges::compute_ranges;
         use no_core::typeck;
-        let query = parse_query(src, self.uni_mut()).map_err(|e| e.render(src))?;
-        let checked = typeck::check(self.inst().schema(), &query.head, &query.body)
-            .map_err(|e| e.to_string())?;
-        let m = nf::metrics(&query.body);
-        let mut out = format!(
-            "CALC_{}^{} formula: {} nodes, quantifier rank {}, fixpoint depth {}
-",
-            checked.set_height, checked.tuple_width, m.size, m.quantifier_rank, m.fixpoint_depth
-        );
-        match compute_ranges(self.inst(), &checked.var_types, &query.body, &self.config) {
-            Ok(ranges) => {
-                out.push_str(
-                    "computed ranges (Theorem 5.1):
-",
-                );
-                let mut any = false;
-                for (path, vals) in ranges.iter() {
-                    any = true;
-                    out.push_str(&format!(
-                        "  r({path}): {} candidates
-",
-                        vals.len()
-                    ));
-                }
-                if !any {
-                    out.push_str(
-                        "  (none — evaluation falls back to active domains)
-",
-                    );
-                }
-                for (v, ty) in checked.var_types.iter() {
-                    if ranges.of_var(v).is_none() {
-                        out.push_str(&format!(
-                            "  {v}:{ty} unrestricted → active domain
-"
-                        ));
+        let query = {
+            let mut store = self
+                .store
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            parse_query(src, store.universe_mut()).map_err(|e| e.render(src))?
+        };
+        let mut out = {
+            let store = self
+                .store
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let instance = store.instance();
+            let checked = typeck::check(instance.schema(), &query.head, &query.body)
+                .map_err(|e| e.to_string())?;
+            let m = nf::metrics(&query.body);
+            let mut out = format!(
+                "CALC_{}^{} formula: {} nodes, quantifier rank {}, fixpoint depth {}\n",
+                checked.set_height,
+                checked.tuple_width,
+                m.size,
+                m.quantifier_rank,
+                m.fixpoint_depth
+            );
+            match compute_ranges(instance, &checked.var_types, &query.body, &self.config) {
+                Ok(ranges) => {
+                    out.push_str("computed ranges (Theorem 5.1):\n");
+                    let mut any = false;
+                    for (path, vals) in ranges.iter() {
+                        any = true;
+                        out.push_str(&format!("  r({path}): {} candidates\n", vals.len()));
+                    }
+                    if !any {
+                        out.push_str("  (none — evaluation falls back to active domains)\n");
+                    }
+                    for (v, ty) in checked.var_types.iter() {
+                        if ranges.of_var(v).is_none() {
+                            out.push_str(&format!("  {v}:{ty} unrestricted → active domain\n"));
+                        }
                     }
                 }
+                Err(e) => out.push_str(&format!("range computation refused: {e}\n")),
             }
-            Err(e) => out.push_str(&format!(
-                "range computation refused: {e}
-"
-            )),
-        }
-        // The compiled, optimized plan (cache-backed in long-lived
-        // sessions; the shell builds a session per evaluation, so this
-        // always shows a cold compile).
-        let session = self.session();
-        let mode = if self.active_domain {
-            no_plan::CalcMode::ActiveDomain
-        } else {
-            no_plan::CalcMode::Safe
+            out
         };
-        match session.explain(
-            self.inst(),
-            crate::session::ExplainTarget::Calc {
-                query: &query,
-                mode,
-            },
-        ) {
-            Ok(planned) => {
+        // The compiled, optimized plan — through the same Request path the
+        // server uses, so repeated :explain hits the session's plan cache.
+        match self.respond(self.eval_request(Op::Explain, Lang::Calc, src)) {
+            Ok(resp) => {
                 out.push('\n');
-                out.push_str(&planned.render_text());
+                out.push_str(&resp.explain.expect("explain responses carry a plan").text);
             }
             Err(e) => out.push_str(&format!("planning refused: {e}\n")),
         }
@@ -389,25 +297,23 @@ impl Shell {
         if arg.is_empty() {
             return Err(":check needs a query or a .dl file (try :help)".to_string());
         }
-        let session = self.session();
-        // Clone the schema up front: analysis needs the universe mutably
-        // and the (Arc-backed, cheap) schema immutably at once.
-        let schema = self.inst().schema().clone();
-        let (src, analysis) = if arg.ends_with(".dl") {
+        let (lang, src) = if arg.ends_with(".dl") {
             let src =
                 std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?;
-            let a = session.analyze_datalog(&schema, &src, self.uni_mut());
-            (src, a)
+            (Lang::Datalog, src)
         } else {
-            let a = session.analyze(&schema, arg, self.uni_mut());
-            (arg.to_string(), a)
+            (Lang::Calc, arg.to_string())
         };
-        debug_assert_eq!(
-            session.governor().steps_spent(),
-            0,
-            "analysis must not spend evaluation fuel"
-        );
-        Ok(analysis.render(&src))
+        let resp = self.respond(Request {
+            op: Op::Analyze,
+            lang,
+            text: src,
+            ..Request::default()
+        })?;
+        Ok(resp
+            .analysis
+            .expect("analyze responses carry findings")
+            .text)
     }
 
     fn run_datalog(&mut self, path: &str) -> Result<String, String> {
@@ -416,45 +322,30 @@ impl Shell {
             None => (path, false),
         };
         let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let program = datalog::parse_program(&src, self.uni_mut()).map_err(|e| e.render(&src))?;
         let t = Instant::now();
-        let session = self.session();
-        let trip = |e: crate::error::Error| match e.resource() {
-            Some(r) => self.budget_diagnostic(session.governor(), r),
-            None => e.to_string(),
-        };
-        let (idb, stats) = if stratified {
-            let idb = session
-                .eval_datalog_stratified(&program, self.inst())
-                .map_err(trip)?;
-            let facts = idb.values().map(|r| r.len()).sum();
-            (
-                idb,
-                datalog::EvalStats {
-                    rounds: 0,
-                    facts,
-                    joins: 0,
-                },
-            )
+        let mut req = self.eval_request(Op::Eval, Lang::Datalog, &src);
+        req.strategy = if stratified {
+            no_proto::Strategy::Stratified
         } else {
-            session
-                .eval_datalog(&program, self.inst(), datalog::Strategy::SemiNaive)
-                .map_err(trip)?
+            no_proto::Strategy::SemiNaive
         };
+        let resp = self.respond(req)?;
         let mut out = String::new();
-        for (name, rel) in &idb {
-            out.push_str(&format!("{name}: {} facts\n", rel.len()));
-            for row in rel.sorted_rows().into_iter().take(20) {
-                out.push_str(&format!("  {}\n", self.render_row(row)));
+        let mut facts = 0usize;
+        for rel in &resp.relations {
+            facts += rel.rows.len();
+            out.push_str(&format!("{}: {} facts\n", rel.name, rel.rows.len()));
+            for row in rel.rows.iter().take(20) {
+                out.push_str(&format!("  {row}\n"));
             }
-            if rel.len() > 20 {
+            if rel.rows.len() > 20 {
                 out.push_str("  …\n");
             }
         }
         out.push_str(&format!(
             "{} rounds, {} facts, {:.1} ms",
-            stats.rounds,
-            stats.facts,
+            resp.rounds.unwrap_or(0),
+            facts,
             t.elapsed().as_secs_f64() * 1e3
         ));
         Ok(out)
@@ -477,56 +368,96 @@ impl Shell {
                 "help" | "h" => Ok(Some(HELP.to_string())),
                 "quit" | "q" => Err("quit".to_string()),
                 "load" => self.load(arg).map(Some),
-                "open" => self.open_db(arg).map(Some),
-                "insert" => self.insert_clause(arg).map(Some),
-                "sync" => match &mut self.db {
-                    Some(db) => {
-                        db.sync().map_err(|e| e.to_string())?;
-                        Ok(Some(format!(
-                            "write-ahead log fsynced ({} frames, epoch {})",
-                            db.wal_frames(),
-                            db.epoch()
-                        )))
+                "open" => {
+                    if arg.is_empty() {
+                        return Err(":open needs a database directory (try :help)".to_string());
                     }
-                    None => Err("no durable database attached (use :open <dir>)".to_string()),
-                },
-                "close" => match self.db.take() {
-                    Some(db) => Ok(Some(format!("detached {}", db.dir().display()))),
-                    None => Err("no durable database attached".to_string()),
-                },
-                "save" => match (&mut self.db, arg.is_empty()) {
-                    // With a store attached and no path: checkpoint.
-                    (Some(db), true) => {
-                        db.save().map_err(|e| e.to_string())?;
-                        Ok(Some(format!(
-                            "checkpointed {} at epoch {} (write-ahead log reset)",
-                            db.dir().display(),
-                            db.epoch()
-                        )))
+                    let resp = self.respond(Request {
+                        op: Op::Open,
+                        text: arg.to_string(),
+                        limits: Some(self.limits_spec()),
+                        ..Request::default()
+                    })?;
+                    Ok(resp.message)
+                }
+                "insert" => {
+                    if arg.is_empty() {
+                        return Err(
+                            ":insert needs a clause like G('a', 'b'). (try :help)".to_string()
+                        );
                     }
-                    (None, true) => {
-                        Err(":save needs a file path (or :open a durable database)".to_string())
+                    let resp = self.respond(Request {
+                        op: Op::Insert,
+                        text: arg.to_string(),
+                        ..Request::default()
+                    })?;
+                    Ok(resp.message)
+                }
+                "sync" => {
+                    let mut store = self
+                        .store
+                        .write()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    match store.db_mut() {
+                        Some(db) => {
+                            db.sync().map_err(|e| e.to_string())?;
+                            Ok(Some(format!(
+                                "write-ahead log fsynced ({} frames, epoch {})",
+                                db.wal_frames(),
+                                db.epoch()
+                            )))
+                        }
+                        None => Err("no durable database attached (use :open <dir>)".to_string()),
                     }
-                    // With a path: write the text format, from either mode.
-                    _ => {
-                        let text = render_database(self.uni(), self.inst());
-                        std::fs::write(arg, &text)
-                            .map_err(|e| format!("cannot write {arg}: {e}"))?;
-                        Ok(Some(format!(
-                            "saved {} tuples to {arg}",
-                            self.inst().cardinality()
-                        )))
+                }
+                "close" => {
+                    let mut store = self
+                        .store
+                        .write()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    match store.detach() {
+                        Some(db) => Ok(Some(format!("detached {}", db.dir().display()))),
+                        None => Err("no durable database attached".to_string()),
                     }
-                },
-                "db" => Ok(Some(render_database(self.uni(), self.inst()))),
+                }
+                "save" => {
+                    let has_db = self
+                        .store
+                        .read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .db()
+                        .is_some();
+                    if arg.is_empty() && !has_db {
+                        return Err(
+                            ":save needs a file path (or :open a durable database)".to_string()
+                        );
+                    }
+                    let resp = self.respond(Request {
+                        op: Op::Save,
+                        text: arg.to_string(),
+                        ..Request::default()
+                    })?;
+                    Ok(resp.message)
+                }
+                "db" => {
+                    let store = self
+                        .store
+                        .read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    Ok(Some(render_database(store.universe(), store.instance())))
+                }
                 "schema" => {
+                    let store = self
+                        .store
+                        .read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     let mut out = String::new();
-                    for r in self.inst().schema().relations() {
+                    for r in store.instance().schema().relations() {
                         let cols: Vec<String> =
                             r.column_types.iter().map(ToString::to_string).collect();
                         out.push_str(&format!("{}({})\n", r.name, cols.join(", ")));
                     }
-                    let (i, k) = self.inst().schema().ik();
+                    let (i, k) = store.instance().schema().ik();
                     out.push_str(&format!("an <{i},{k}>-database schema"));
                     Ok(Some(out))
                 }
@@ -555,6 +486,7 @@ impl Shell {
                 "threads" => match arg.parse::<usize>() {
                     Ok(n) if n >= 1 => {
                         self.threads = n;
+                        self.session = self.session.with_parallelism(n);
                         Ok(Some(format!(
                             "worker threads set to {n}{}",
                             if n == 1 { " (sequential)" } else { "" }
@@ -633,15 +565,18 @@ mod tests {
     use super::*;
 
     fn loaded_shell() -> Shell {
-        let mut sh = Shell::new();
+        let sh = Shell::new();
         // build the graph database inline rather than from a file
-        let (schema, instance) = parse_database(
-            "schema G(U, U).\nG('a','b').\nG('b','c').\nG('c','a').",
-            &mut sh.universe,
-        )
-        .unwrap();
-        let _ = schema;
-        sh.instance = instance;
+        {
+            let store = sh.store();
+            let mut s = store.write().unwrap();
+            let (_schema, instance) = parse_database(
+                "schema G(U, U).\nG('a','b').\nG('b','c').\nG('c','a').",
+                s.universe_mut(),
+            )
+            .unwrap();
+            s.set_instance(instance);
+        }
         sh
     }
 
@@ -961,6 +896,7 @@ mod tests {
         let out = sh.command(":threads 4").unwrap().unwrap();
         assert!(out.contains('4'), "{out}");
         assert_eq!(sh.threads, 4);
+        assert_eq!(sh.session.parallelism(), 4);
         // queries and datalog still give the same answers at 4 workers
         let out = sh.command("{[x:U, y:U] | G(x, y)}").unwrap().unwrap();
         assert!(out.contains("3 rows"), "{out}");

@@ -13,7 +13,9 @@
 use nestdb::check::CorpusReport;
 use nestdb::object::text::parse_database;
 use nestdb::object::Universe;
+use nestdb::{Session, Store};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
 
 fn golden_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -44,13 +46,16 @@ fn analyzer_json_report_over_data_corpus() {
     let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("data");
     let mut universe = Universe::new();
     let db = std::fs::read_to_string(data.join("graph.no")).unwrap();
-    let (schema, _instance) = parse_database(&db, &mut universe).unwrap();
+    let (_schema, instance) = parse_database(&db, &mut universe).unwrap();
+    let session = Session::builder()
+        .store(Arc::new(RwLock::new(Store::with_data(universe, instance))))
+        .build();
 
     let mut report = CorpusReport::default();
     for name in ["queries.calc", "tc.dl"] {
         let src = std::fs::read_to_string(data.join(name)).unwrap();
         // repo-relative names keep the snapshot machine-independent
-        report.add_file(&schema, &format!("data/{name}"), &src, &mut universe);
+        report.add_file(&session, &format!("data/{name}"), &src);
     }
 
     assert!(!report.entries.is_empty(), "corpus went missing");

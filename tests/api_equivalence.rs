@@ -1,0 +1,366 @@
+//! The deprecation contract of the API redesign: every legacy `eval_*` /
+//! `analyze` / `explain` entry point must agree exactly with
+//! `Session::run` on the equivalent [`Request`] — same rows, same rounds,
+//! same analysis, same plan renderings — across every engine and at
+//! parallelism 1, 2, and 4. The legacy methods are shims over the same
+//! internals, and this test is what keeps them honest until they are
+//! removed.
+
+#![allow(deprecated)] // exercising the legacy surface is the point
+
+use nestdb::core::print::Printer;
+use nestdb::object::{Relation, RelationSchema, Schema, Type, Universe, Value};
+use nestdb::plan::CalcMode;
+use nestdb::proto::{Lang, Mode, Op, Request, Strategy};
+use nestdb::{ExplainTarget, Session, Store};
+use std::sync::{Arc, RwLock};
+
+const EDGES: &[(&str, &str)] = &[("a", "b"), ("b", "c"), ("c", "a"), ("a", "d")];
+const CALC_QUERIES: &[&str] = &["{[x:U, y:U] | G(x, y)}", "{[x:U] | exists y:U (G(x, y))}"];
+const TC_SRC: &str = "rel tc(U, U).\ntc(x, y) :- G(x, y).\ntc(x, y) :- tc(x, z), G(z, y).";
+const ALGEBRA_SRC: &str = "select[eq(2, 3)]((G x G))";
+
+fn graph_session(parallelism: usize) -> Session {
+    let mut u = Universe::new();
+    let schema = Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])]);
+    let mut i = nestdb::object::Instance::empty(schema);
+    for (a, b) in EDGES {
+        let (a, b) = (u.intern(a), u.intern(b));
+        i.insert("G", vec![Value::Atom(a), Value::Atom(b)]);
+    }
+    Session::builder()
+        .store(Arc::new(RwLock::new(Store::with_data(u, i))))
+        .parallelism(parallelism)
+        .build()
+}
+
+/// The canonical text rendering `Session::run` puts in
+/// `RelationOut::rows`, reproduced from a raw [`Relation`].
+fn canon_rows(universe: &Universe, rel: &Relation) -> Vec<String> {
+    let printer = Printer::with_universe(universe);
+    rel.sorted_rows()
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(|v| printer.value(v)).collect();
+            format!("({})", cells.join(", "))
+        })
+        .collect()
+}
+
+fn eval_request(lang: Lang, mode: Mode, strategy: Strategy, planned: bool, text: &str) -> Request {
+    Request {
+        op: Op::Eval,
+        lang,
+        mode,
+        strategy,
+        planned,
+        text: text.to_string(),
+        ..Request::default()
+    }
+}
+
+#[test]
+fn calc_fast_and_safe_match_the_legacy_entry_points() {
+    for threads in [1, 2, 4] {
+        let session = graph_session(threads);
+        let store = session.store();
+        for src in CALC_QUERIES {
+            let query = {
+                let mut guard = store.write().unwrap();
+                nestdb::core::parse_query(src, guard.universe_mut()).unwrap()
+            };
+            for planned in [false, true] {
+                let guard = store.read().unwrap();
+                let legacy_fast = if planned {
+                    session.eval_calc_planned(guard.instance(), &query)
+                } else {
+                    session.eval_calc(guard.instance(), &query)
+                }
+                .unwrap();
+                let legacy_safe = if planned {
+                    session.eval_calc_safe_planned(guard.instance(), &query)
+                } else {
+                    session.eval_calc_safe(guard.instance(), &query)
+                }
+                .unwrap();
+                let fast_rows = canon_rows(guard.universe(), &legacy_fast);
+                let safe_rows = canon_rows(guard.universe(), &legacy_safe);
+                drop(guard);
+
+                let fast = session.run(&eval_request(
+                    Lang::Calc,
+                    Mode::Fast,
+                    Strategy::default(),
+                    planned,
+                    src,
+                ));
+                assert!(
+                    fast.ok,
+                    "threads={threads} planned={planned}: {:?}",
+                    fast.error
+                );
+                assert_eq!(fast.relations[0].rows, fast_rows, "fast {src}");
+
+                let safe = session.run(&eval_request(
+                    Lang::Calc,
+                    Mode::Safe,
+                    Strategy::default(),
+                    planned,
+                    src,
+                ));
+                assert!(safe.ok, "{:?}", safe.error);
+                assert_eq!(safe.relations[0].rows, safe_rows, "safe {src}");
+            }
+        }
+    }
+}
+
+#[test]
+fn calc_checked_matches_the_legacy_entry_point() {
+    for threads in [1, 2, 4] {
+        let session = graph_session(threads);
+        let store = session.store();
+        let src = CALC_QUERIES[0];
+        let legacy = {
+            let mut guard = store.write().unwrap();
+            let instance = guard.instance().clone();
+            let rel = session
+                .eval_calc_checked(&instance, src, guard.universe_mut())
+                .unwrap();
+            canon_rows(guard.universe(), &rel)
+        };
+        let resp = session.run(&eval_request(
+            Lang::Calc,
+            Mode::Checked,
+            Strategy::default(),
+            false,
+            src,
+        ));
+        assert!(resp.ok, "{:?}", resp.error);
+        assert_eq!(resp.relations[0].rows, legacy);
+        // Checked responses carry the analysis alongside the rows
+        let analysis = resp.analysis.as_ref().expect("checked carries analysis");
+        assert!(analysis.certified);
+        assert_eq!(analysis.errors, 0);
+    }
+}
+
+#[test]
+fn datalog_strategies_match_the_legacy_entry_points() {
+    for threads in [1, 2, 4] {
+        let session = graph_session(threads);
+        let store = session.store();
+        let program = {
+            let mut guard = store.write().unwrap();
+            nestdb::datalog::parse_program(TC_SRC, guard.universe_mut()).unwrap()
+        };
+        for planned in [false, true] {
+            let guard = store.read().unwrap();
+            let instance = guard.instance();
+
+            // inflationary semi-naive, with rounds
+            let (legacy_idb, stats) = if planned {
+                session.eval_datalog_planned(
+                    &program,
+                    instance,
+                    nestdb::datalog::Strategy::SemiNaive,
+                )
+            } else {
+                session.eval_datalog(&program, instance, nestdb::datalog::Strategy::SemiNaive)
+            }
+            .unwrap();
+            let legacy: Vec<(String, Vec<String>)> = legacy_idb
+                .iter()
+                .map(|(name, rel)| (name.to_string(), canon_rows(guard.universe(), rel)))
+                .collect();
+
+            // stratified
+            let strat_idb = if planned {
+                session.eval_datalog_stratified_planned(&program, instance)
+            } else {
+                session.eval_datalog_stratified(&program, instance)
+            }
+            .unwrap();
+            let stratified: Vec<(String, Vec<String>)> = strat_idb
+                .iter()
+                .map(|(name, rel)| (name.to_string(), canon_rows(guard.universe(), rel)))
+                .collect();
+
+            // simultaneous IFP; `z` is the only body-only variable of TC
+            let body_types = [("z", Type::Atom)];
+            let sim_idb = if planned {
+                session.eval_datalog_simultaneous_planned(&program, &body_types, instance)
+            } else {
+                session.eval_datalog_simultaneous(&program, &body_types, instance)
+            }
+            .unwrap();
+            let simultaneous: Vec<(String, Vec<String>)> = sim_idb
+                .iter()
+                .map(|(name, rel)| (name.to_string(), canon_rows(guard.universe(), rel)))
+                .collect();
+            drop(guard);
+
+            let resp = session.run(&eval_request(
+                Lang::Datalog,
+                Mode::default(),
+                Strategy::SemiNaive,
+                planned,
+                TC_SRC,
+            ));
+            assert!(resp.ok, "{:?}", resp.error);
+            let got: Vec<(String, Vec<String>)> = resp
+                .relations
+                .iter()
+                .map(|r| (r.name.clone(), r.rows.clone()))
+                .collect();
+            assert_eq!(
+                got, legacy,
+                "semi-naive threads={threads} planned={planned}"
+            );
+            assert_eq!(resp.rounds, Some(stats.rounds as u64));
+
+            let resp = session.run(&eval_request(
+                Lang::Datalog,
+                Mode::default(),
+                Strategy::Stratified,
+                planned,
+                TC_SRC,
+            ));
+            assert!(resp.ok, "{:?}", resp.error);
+            let got: Vec<(String, Vec<String>)> = resp
+                .relations
+                .iter()
+                .map(|r| (r.name.clone(), r.rows.clone()))
+                .collect();
+            assert_eq!(
+                got, stratified,
+                "stratified threads={threads} planned={planned}"
+            );
+
+            let resp = session.run(&eval_request(
+                Lang::Datalog,
+                Mode::default(),
+                Strategy::Simultaneous,
+                planned,
+                TC_SRC,
+            ));
+            assert!(resp.ok, "{:?}", resp.error);
+            let got: Vec<(String, Vec<String>)> = resp
+                .relations
+                .iter()
+                .map(|r| (r.name.clone(), r.rows.clone()))
+                .collect();
+            assert_eq!(
+                got, simultaneous,
+                "simultaneous threads={threads} planned={planned}"
+            );
+        }
+    }
+}
+
+#[test]
+fn algebra_matches_the_legacy_entry_point() {
+    for threads in [1, 2, 4] {
+        let session = graph_session(threads);
+        let store = session.store();
+        let expr = {
+            let mut guard = store.write().unwrap();
+            nestdb::algebra::parse_expr(ALGEBRA_SRC, guard.universe_mut()).unwrap()
+        };
+        for planned in [false, true] {
+            let guard = store.read().unwrap();
+            let legacy = if planned {
+                session.eval_algebra_planned(&expr, guard.instance())
+            } else {
+                session.eval_algebra(&expr, guard.instance())
+            }
+            .unwrap();
+            let rows = canon_rows(guard.universe(), &legacy);
+            assert!(!rows.is_empty(), "the join must produce rows");
+            drop(guard);
+
+            let resp = session.run(&eval_request(
+                Lang::Algebra,
+                Mode::default(),
+                Strategy::default(),
+                planned,
+                ALGEBRA_SRC,
+            ));
+            assert!(resp.ok, "{:?}", resp.error);
+            assert_eq!(resp.relations[0].rows, rows);
+        }
+    }
+}
+
+#[test]
+fn analyze_matches_the_legacy_entry_points() {
+    // one clean query, one with diagnostics, plus the Datalog analyzer
+    let cases = [
+        (Lang::Calc, CALC_QUERIES[0]),
+        (Lang::Calc, "{[x:U] | forall y:U (G(x, y))}"),
+        (Lang::Datalog, TC_SRC),
+    ];
+    for threads in [1, 2, 4] {
+        let session = graph_session(threads);
+        let store = session.store();
+        for (lang, src) in cases.iter() {
+            let legacy = {
+                let mut guard = store.write().unwrap();
+                let schema = guard.instance().schema().clone();
+                let universe = guard.universe_mut();
+                match lang {
+                    Lang::Calc => session.analyze(&schema, src, universe),
+                    Lang::Datalog => session.analyze_datalog(&schema, src, universe),
+                    Lang::Algebra => unreachable!(),
+                }
+            };
+            let resp = session.run(&Request {
+                op: Op::Analyze,
+                lang: *lang,
+                text: src.to_string(),
+                ..Request::default()
+            });
+            assert!(resp.ok, "{:?}", resp.error);
+            let out = resp.analysis.as_ref().unwrap();
+            assert_eq!(out.text, legacy.render(src));
+            assert_eq!(out.json, legacy.to_json());
+            assert_eq!(out.certified, legacy.certificate.is_some());
+        }
+    }
+}
+
+#[test]
+fn explain_matches_the_legacy_entry_point() {
+    for threads in [1, 2, 4] {
+        let session = graph_session(threads);
+        let store = session.store();
+        let src = CALC_QUERIES[0];
+        let query = {
+            let mut guard = store.write().unwrap();
+            nestdb::core::parse_query(src, guard.universe_mut()).unwrap()
+        };
+        let legacy = {
+            let guard = store.read().unwrap();
+            session
+                .explain(
+                    guard.instance(),
+                    ExplainTarget::Calc {
+                        query: &query,
+                        mode: CalcMode::Safe,
+                    },
+                )
+                .unwrap()
+        };
+        let resp = session.run(&Request {
+            op: Op::Explain,
+            lang: Lang::Calc,
+            mode: Mode::Safe,
+            text: src.to_string(),
+            ..Request::default()
+        });
+        assert!(resp.ok, "{:?}", resp.error);
+        let out = resp.explain.as_ref().unwrap();
+        assert_eq!(out.text, legacy.render_text());
+        assert_eq!(out.json, legacy.render_json());
+    }
+}

@@ -14,6 +14,8 @@
 //! UPDATE_GOLDEN=1 cargo test --test explain_golden
 //! ```
 
+#![allow(deprecated)] // golden snapshots pin the legacy explain surface too
+
 mod common;
 
 use common::check_golden;

@@ -8,6 +8,8 @@
 //! matter how many threads are hammering the governor, and cancellation is
 //! observed by every worker.
 
+#![allow(deprecated)] // determinism suite drives the legacy eval_* shims on purpose
+
 mod common;
 
 use common::*;
