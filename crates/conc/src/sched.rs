@@ -1,0 +1,1191 @@
+//! Bounded deterministic-schedule model checker.
+//!
+//! [`explore`] runs a closed scenario closure many times, each time
+//! driving every *scheduling point* (instrumented lock acquisition,
+//! atomic op, or explicit [`yield_point`](crate::yield_point)) from a
+//! deterministic policy:
+//!
+//! * **seeded random schedules** (PCT-style): each seed is a complete,
+//!   replayable schedule — a failure prints its seed, and re-running
+//!   [`ExploreOpts::replay`] with that seed reproduces it exactly;
+//! * **exhaustive small-preemption-bound DFS**: every schedule whose
+//!   number of preemptions (switching away from a runnable thread) is at
+//!   most the bound is enumerated, up to `max_schedules`.
+//!
+//! Execution is *serialised*: exactly one scenario thread runs between
+//! scheduling points, so each schedule is a deterministic
+//! sequentially-consistent interleaving. Lock ownership is simulated by
+//! the scheduler (the real `std` lock is only ever taken by the thread
+//! the simulation granted it to), which is what lets the checker *detect*
+//! a deadlock and abort the schedule instead of hanging in it.
+//!
+//! Failures are reported as structured [`Diag`]s: `CC002` (a schedule
+//! actually deadlocked — witness lines show who holds what and waits for
+//! what), `CC003` (a scenario assertion failed on some schedule), `CC004`
+//! (a schedule exceeded the step cap — livelock-like). `CC001` lock-order
+//! cycles are the [`lockdep`](crate::lockdep) module's department, but
+//! every acquisition performed under the checker feeds that graph too;
+//! [`ExploreResult::new_edges`] reports the delta a scenario contributed.
+//!
+//! Scenario rules: build all shared state inside the closure (it runs
+//! once per schedule); spawn workers with
+//! [`thread::spawn_scoped`](crate::thread::spawn_scoped) inside
+//! [`thread::scope`](crate::thread::scope); call
+//! [`thread::await_children`](crate::thread::await_children) before the
+//! scope ends (the scope's own join blocks outside the scheduler's
+//! knowledge); never touch wall-clock time or OS randomness.
+
+use crate::lockdep;
+use crate::report::Diag;
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::panic::Location;
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Panic payload used to unwind scenario threads when a schedule is
+/// aborted (deadlock detected, step cap hit). Never escapes [`explore`].
+pub(crate) struct SchedAbort;
+
+/// How a lock is being acquired, for the ownership simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum LockKind {
+    /// Exclusive: `Mutex::lock`, `RwLock::write`.
+    Excl,
+    /// Shared: `RwLock::read`.
+    Shared,
+}
+
+// ---------------------------------------------------------------------------
+// Controller state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum TState {
+    /// Allocated by `prepare_child`, OS thread not yet running.
+    Starting,
+    Runnable,
+    Blocked {
+        lock: usize,
+        kind: LockKind,
+        site: &'static Location<'static>,
+    },
+    BlockedChildren,
+    Finished,
+}
+
+struct Hold {
+    lock: usize,
+    class: &'static str,
+    site: String,
+}
+
+struct ThreadRec {
+    state: TState,
+    parent: Option<usize>,
+    live_children: usize,
+    holds: Vec<Hold>,
+}
+
+impl ThreadRec {
+    fn new(state: TState, parent: Option<usize>) -> Self {
+        ThreadRec {
+            state,
+            parent,
+            live_children: 0,
+            holds: Vec::new(),
+        }
+    }
+}
+
+struct LockSim {
+    class: &'static str,
+    excl: Option<usize>,
+    shared: Vec<usize>,
+}
+
+/// One scheduling decision, recorded in scripted (exhaustive) runs so
+/// the DFS can branch on the alternatives.
+#[derive(Clone, Debug)]
+struct Choice {
+    options: Vec<usize>,
+    chosen: usize,
+    /// The previously running thread, iff it was itself still runnable
+    /// (so picking anything else counts as a preemption).
+    prev: Option<usize>,
+}
+
+enum Policy {
+    Inactive,
+    Random(XorShift),
+    Script {
+        script: Vec<usize>,
+        pos: usize,
+        choices: Vec<Choice>,
+    },
+}
+
+struct Ctrl {
+    active: bool,
+    abort: bool,
+    name: &'static str,
+    threads: Vec<ThreadRec>,
+    current: Option<usize>,
+    policy: Policy,
+    steps: usize,
+    step_cap: usize,
+    trace: Vec<usize>,
+    locks: BTreeMap<usize, LockSim>,
+    failure: Option<Diag>,
+    first_panic: Option<String>,
+}
+
+impl Ctrl {
+    const fn initial() -> Ctrl {
+        Ctrl {
+            active: false,
+            abort: false,
+            name: "",
+            threads: Vec::new(),
+            current: None,
+            policy: Policy::Inactive,
+            steps: 0,
+            step_cap: 0,
+            trace: Vec::new(),
+            locks: BTreeMap::new(),
+            failure: None,
+            first_panic: None,
+        }
+    }
+}
+
+static CTRL_M: StdMutex<Ctrl> = StdMutex::new(Ctrl::initial());
+static CTRL_CV: Condvar = Condvar::new();
+/// Serialises explorations: one `explore` at a time per process.
+static EXPLORE_GUARD: StdMutex<()> = StdMutex::new(());
+
+fn ctrl() -> StdMutexGuard<'static, Ctrl> {
+    CTRL_M.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn wait_turn(mut g: StdMutexGuard<'static, Ctrl>, tid: usize) -> StdMutexGuard<'static, Ctrl> {
+    loop {
+        if g.abort {
+            drop(g);
+            panic_any(SchedAbort);
+        }
+        if g.current == Some(tid) {
+            return g;
+        }
+        g = CTRL_CV.wait(g).unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+fn default_pick(prev: Option<usize>, runnable: &[usize]) -> usize {
+    prev.unwrap_or(runnable[0])
+}
+
+/// Pick the next thread to run. Also the single place deadlocks and the
+/// step cap are detected.
+fn choose_next(c: &mut Ctrl) {
+    if c.abort {
+        c.current = None;
+        return;
+    }
+    if c.threads
+        .iter()
+        .any(|t| matches!(t.state, TState::Starting))
+    {
+        // A spawned thread hasn't reached its first gate yet. Defer ALL
+        // decisions until it registers (it calls choose_next then):
+        // deciding early would let OS thread-startup latency hide the
+        // late thread from the schedule, making runs nondeterministic
+        // and exhaustive exploration blind to its interleavings.
+        c.current = None;
+        return;
+    }
+    let runnable: Vec<usize> = c
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| matches!(t.state, TState::Runnable))
+        .map(|(i, _)| i)
+        .collect();
+    if runnable.is_empty() {
+        let blocked: Vec<usize> = c
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.state, TState::Blocked { .. } | TState::BlockedChildren))
+            .map(|(i, _)| i)
+            .collect();
+        if !blocked.is_empty() {
+            let mut witnesses = Vec::new();
+            for &tid in &blocked {
+                let t = &c.threads[tid];
+                let holds: Vec<String> = t
+                    .holds
+                    .iter()
+                    .map(|h| format!("{} @ {}", h.class, h.site))
+                    .collect();
+                let line = match t.state {
+                    TState::Blocked { lock, kind, site } => {
+                        let class = c.locks.get(&lock).map(|l| l.class).unwrap_or("<unknown>");
+                        let verb = match kind {
+                            LockKind::Excl => "acquiring",
+                            LockKind::Shared => "read-acquiring",
+                        };
+                        format!(
+                            "t{tid}: holds [{}], blocked {verb} `{class}` at {}:{}",
+                            holds.join(", "),
+                            site.file(),
+                            site.line()
+                        )
+                    }
+                    TState::BlockedChildren => format!(
+                        "t{tid}: holds [{}], waiting for {} child thread(s)",
+                        holds.join(", "),
+                        t.live_children
+                    ),
+                    _ => unreachable!(),
+                };
+                witnesses.push(line);
+            }
+            witnesses.push(format!("schedule so far: {:?}", c.trace));
+            c.failure = Some(Diag {
+                code: "CC002",
+                message: format!(
+                    "actual deadlock in scenario `{}`: {} thread(s) blocked, none runnable",
+                    c.name,
+                    blocked.len()
+                ),
+                witnesses,
+            });
+            c.abort = true;
+        }
+        c.current = None;
+        return;
+    }
+    c.steps += 1;
+    if c.steps > c.step_cap {
+        c.failure = Some(Diag {
+            code: "CC004",
+            message: format!(
+                "scenario `{}` exceeded the step cap of {} scheduling points (livelock-like)",
+                c.name, c.step_cap
+            ),
+            witnesses: vec![format!(
+                "schedule tail: {:?}",
+                &c.trace[c.trace.len().saturating_sub(24)..]
+            )],
+        });
+        c.abort = true;
+        c.current = None;
+        return;
+    }
+    let prev = c.current.filter(|t| runnable.contains(t));
+    let chosen = match &mut c.policy {
+        Policy::Inactive => default_pick(prev, &runnable),
+        Policy::Random(rng) => runnable[(rng.next() as usize) % runnable.len()],
+        Policy::Script {
+            script,
+            pos,
+            choices,
+        } => {
+            let pick = if *pos < script.len() {
+                let want = script[*pos];
+                if runnable.contains(&want) {
+                    want
+                } else {
+                    default_pick(prev, &runnable)
+                }
+            } else {
+                default_pick(prev, &runnable)
+            };
+            choices.push(Choice {
+                options: runnable.clone(),
+                chosen: pick,
+                prev,
+            });
+            *pos += 1;
+            pick
+        }
+    };
+    c.trace.push(chosen);
+    c.current = Some(chosen);
+}
+
+// ---------------------------------------------------------------------------
+// Internal hooks used by the shims and the thread helpers
+// ---------------------------------------------------------------------------
+
+pub(crate) mod internal {
+    use super::*;
+    use std::cell::Cell;
+
+    thread_local! {
+        static TID: Cell<Option<usize>> = const { Cell::new(None) };
+    }
+
+    pub(crate) fn cur_tid() -> Option<usize> {
+        TID.with(|t| t.get())
+    }
+
+    pub(crate) fn set_tid(tid: Option<usize>) {
+        TID.with(|t| t.set(tid));
+    }
+
+    /// A plain scheduling point: hand control to the scheduler and wait
+    /// until this thread is picked again.
+    pub(crate) fn yield_gate() {
+        let Some(tid) = cur_tid() else { return };
+        if std::thread::panicking() {
+            return;
+        }
+        let mut c = ctrl();
+        if !c.active {
+            return;
+        }
+        if c.abort {
+            drop(c);
+            panic_any(SchedAbort);
+        }
+        choose_next(&mut c);
+        CTRL_CV.notify_all();
+        let _c = wait_turn(c, tid);
+    }
+
+    /// Simulated blocking lock acquisition. Returns `true` when the
+    /// calling thread is controlled and now owns the simulated lock (the
+    /// caller may then take the real lock, which is guaranteed
+    /// uncontended); `false` when uncontrolled (caller just takes the
+    /// real lock).
+    pub(crate) fn lock_acquire(
+        id: usize,
+        class: &'static str,
+        kind: LockKind,
+        site: &'static Location<'static>,
+    ) -> bool {
+        let Some(tid) = cur_tid() else { return false };
+        if std::thread::panicking() {
+            return false;
+        }
+        let mut c = ctrl();
+        if !c.active {
+            return false;
+        }
+        if c.abort {
+            drop(c);
+            panic_any(SchedAbort);
+        }
+        // Scheduling point before the acquire attempt.
+        choose_next(&mut c);
+        CTRL_CV.notify_all();
+        c = wait_turn(c, tid);
+        loop {
+            let can = {
+                let sim = c.locks.entry(id).or_insert(LockSim {
+                    class,
+                    excl: None,
+                    shared: Vec::new(),
+                });
+                match kind {
+                    LockKind::Excl => sim.excl.is_none() && sim.shared.is_empty(),
+                    LockKind::Shared => sim.excl.is_none(),
+                }
+            };
+            if can {
+                let sim = c.locks.get_mut(&id).expect("lock just inserted");
+                match kind {
+                    LockKind::Excl => sim.excl = Some(tid),
+                    LockKind::Shared => sim.shared.push(tid),
+                }
+                c.threads[tid].holds.push(Hold {
+                    lock: id,
+                    class,
+                    site: format!("{}:{}", site.file(), site.line()),
+                });
+                return true;
+            }
+            c.threads[tid].state = TState::Blocked {
+                lock: id,
+                kind,
+                site,
+            };
+            choose_next(&mut c);
+            CTRL_CV.notify_all();
+            c = wait_turn(c, tid);
+        }
+    }
+
+    /// Simulated `try_lock`. `None` = uncontrolled (caller should do a
+    /// real `try_lock`); `Some(true)` = granted; `Some(false)` = would
+    /// block.
+    pub(crate) fn lock_try_acquire(
+        id: usize,
+        class: &'static str,
+        kind: LockKind,
+        site: &'static Location<'static>,
+    ) -> Option<bool> {
+        let tid = cur_tid()?;
+        if std::thread::panicking() {
+            return None;
+        }
+        let mut c = ctrl();
+        if !c.active {
+            return None;
+        }
+        if c.abort {
+            drop(c);
+            panic_any(SchedAbort);
+        }
+        choose_next(&mut c);
+        CTRL_CV.notify_all();
+        c = wait_turn(c, tid);
+        let sim = c.locks.entry(id).or_insert(LockSim {
+            class,
+            excl: None,
+            shared: Vec::new(),
+        });
+        let can = match kind {
+            LockKind::Excl => sim.excl.is_none() && sim.shared.is_empty(),
+            LockKind::Shared => sim.excl.is_none(),
+        };
+        if !can {
+            return Some(false);
+        }
+        match kind {
+            LockKind::Excl => sim.excl = Some(tid),
+            LockKind::Shared => sim.shared.push(tid),
+        }
+        c.threads[tid].holds.push(Hold {
+            lock: id,
+            class,
+            site: format!("{}:{}", site.file(), site.line()),
+        });
+        Some(true)
+    }
+
+    /// Release a simulated lock and wake its waiters. Safe to call
+    /// during unwinding (never gates, never panics).
+    pub(crate) fn lock_release(id: usize, kind: LockKind) {
+        let Some(tid) = cur_tid() else { return };
+        let mut c = ctrl();
+        if !c.active {
+            return;
+        }
+        if let Some(pos) = c.threads[tid].holds.iter().rposition(|h| h.lock == id) {
+            c.threads[tid].holds.remove(pos);
+        }
+        if let Some(sim) = c.locks.get_mut(&id) {
+            match kind {
+                LockKind::Excl => {
+                    if sim.excl == Some(tid) {
+                        sim.excl = None;
+                    }
+                }
+                LockKind::Shared => {
+                    if let Some(i) = sim.shared.iter().rposition(|&t| t == tid) {
+                        sim.shared.remove(i);
+                    }
+                }
+            }
+        }
+        for t in 0..c.threads.len() {
+            if let TState::Blocked { lock, .. } = c.threads[t].state {
+                if lock == id {
+                    c.threads[t].state = TState::Runnable;
+                }
+            }
+        }
+        CTRL_CV.notify_all();
+    }
+
+    /// Allocate a tid for a child about to be spawned (deterministic:
+    /// assigned in the parent, in spawn order). `None` when the caller
+    /// is uncontrolled — the child then runs uncontrolled too.
+    pub(crate) fn prepare_child() -> Option<usize> {
+        let tid = cur_tid()?;
+        let mut c = ctrl();
+        if !c.active {
+            return None;
+        }
+        let child = c.threads.len();
+        c.threads.push(ThreadRec::new(TState::Starting, Some(tid)));
+        c.threads[tid].live_children += 1;
+        Some(child)
+    }
+
+    /// Body wrapper for a controlled child thread: register, wait for
+    /// the first grant, run `f`, then do finish bookkeeping (including
+    /// waking a parent parked in [`await_children`]).
+    pub(crate) fn run_child<F, T>(tid: usize, f: F) -> T
+    where
+        F: FnOnce() -> T,
+    {
+        set_tid(Some(tid));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            {
+                let mut c = ctrl();
+                if c.active {
+                    c.threads[tid].state = TState::Runnable;
+                    if c.current.is_none() {
+                        choose_next(&mut c);
+                    }
+                    CTRL_CV.notify_all();
+                    let _c = wait_turn(c, tid);
+                }
+            }
+            f()
+        }));
+        {
+            let mut c = ctrl();
+            if c.active {
+                c.threads[tid].state = TState::Finished;
+                if let Some(p) = c.threads[tid].parent {
+                    c.threads[p].live_children = c.threads[p].live_children.saturating_sub(1);
+                    if c.threads[p].live_children == 0
+                        && matches!(c.threads[p].state, TState::BlockedChildren)
+                    {
+                        c.threads[p].state = TState::Runnable;
+                    }
+                }
+                if let Err(p) = &result {
+                    if !p.is::<SchedAbort>() && c.first_panic.is_none() {
+                        c.first_panic = Some(payload_msg_ref(p.as_ref()));
+                    }
+                }
+                if c.current == Some(tid) || c.current.is_none() {
+                    choose_next(&mut c);
+                }
+                CTRL_CV.notify_all();
+            }
+        }
+        set_tid(None);
+        match result {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    /// Park (via the scheduler) until every child spawned by the calling
+    /// thread has finished. See [`crate::thread::await_children`].
+    pub(crate) fn await_children() {
+        let Some(tid) = cur_tid() else { return };
+        if std::thread::panicking() {
+            return;
+        }
+        loop {
+            let mut c = ctrl();
+            if !c.active {
+                return;
+            }
+            if c.abort {
+                drop(c);
+                panic_any(SchedAbort);
+            }
+            if c.threads[tid].live_children == 0 {
+                return;
+            }
+            c.threads[tid].state = TState::BlockedChildren;
+            choose_next(&mut c);
+            CTRL_CV.notify_all();
+            let _c = wait_turn(c, tid);
+        }
+    }
+
+    /// Called by [`crate::thread::scope`] when the scope closure unwinds
+    /// with a non-abort panic: abort the schedule so children parked at
+    /// gates exit (otherwise the scope's implicit join would hang the
+    /// harness).
+    pub(crate) fn abort_on_scope_panic(payload: &(dyn Any + Send)) {
+        if cur_tid().is_none() {
+            return;
+        }
+        if payload.is::<SchedAbort>() {
+            return;
+        }
+        let mut c = ctrl();
+        if !c.active || c.abort {
+            return;
+        }
+        if c.first_panic.is_none() {
+            c.first_panic = Some(payload_msg_ref(payload));
+        }
+        c.abort = true;
+        c.current = None;
+        CTRL_CV.notify_all();
+    }
+}
+
+fn payload_msg_ref(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+/// Deterministic PRNG used for seeded random schedules (xorshift64*).
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How to reproduce a failing schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Replay {
+    /// Re-run with [`ExploreOpts::replay`] and this seed.
+    Seed(u64),
+    /// Re-run with [`ExploreOpts::replay_script`] set to this decision
+    /// sequence (exhaustive-mode failures).
+    Script(Vec<usize>),
+}
+
+impl std::fmt::Display for Replay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Replay::Seed(s) => write!(f, "seed {s:#x}"),
+            Replay::Script(v) => write!(f, "script {v:?}"),
+        }
+    }
+}
+
+/// A failure found on some schedule, with how to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The structured diagnostic (`CC002`/`CC003`/`CC004`).
+    pub diag: Diag,
+    /// The schedule that produced it.
+    pub replay: Replay,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}  replay: {}", self.diag, self.replay)
+    }
+}
+
+/// Exploration configuration. Construct via [`ExploreOpts::random`],
+/// [`ExploreOpts::exhaustive`], or [`ExploreOpts::replay`], then tweak
+/// fields as needed.
+#[derive(Clone, Debug)]
+pub struct ExploreOpts {
+    /// Scenario name, used in diagnostics.
+    pub name: &'static str,
+    /// Seeds for random schedules (each seed = one schedule).
+    pub seeds: Vec<u64>,
+    /// `Some(k)` additionally runs the exhaustive DFS over all schedules
+    /// with at most `k` preemptions.
+    pub preemption_bound: Option<usize>,
+    /// A single scripted schedule to replay first (from a `CC00x`
+    /// `Replay::Script`).
+    pub replay_script: Option<Vec<usize>>,
+    /// Cap on the number of schedules the exhaustive DFS may run; hitting
+    /// it sets [`ExploreResult::capped`] (no silent truncation).
+    pub max_schedules: usize,
+    /// Scheduling points allowed per schedule before `CC004` fires.
+    pub step_cap: usize,
+}
+
+impl ExploreOpts {
+    /// `n` random schedules derived from `base_seed` (printed on
+    /// failure; each derived seed is individually replayable).
+    pub fn random(name: &'static str, n: usize, base_seed: u64) -> Self {
+        let mut s = base_seed;
+        ExploreOpts {
+            name,
+            seeds: (0..n).map(|_| splitmix(&mut s)).collect(),
+            preemption_bound: None,
+            replay_script: None,
+            max_schedules: 4000,
+            step_cap: 20_000,
+        }
+    }
+
+    /// Exhaustive DFS over all schedules with at most `bound`
+    /// preemptions.
+    pub fn exhaustive(name: &'static str, bound: usize) -> Self {
+        ExploreOpts {
+            name,
+            seeds: Vec::new(),
+            preemption_bound: Some(bound),
+            replay_script: None,
+            max_schedules: 4000,
+            step_cap: 20_000,
+        }
+    }
+
+    /// Replay exactly one seeded schedule (from a failure report).
+    pub fn replay(name: &'static str, seed: u64) -> Self {
+        ExploreOpts {
+            name,
+            seeds: vec![seed],
+            preemption_bound: None,
+            replay_script: None,
+            max_schedules: 4000,
+            step_cap: 20_000,
+        }
+    }
+}
+
+/// Outcome of an [`explore`] call.
+#[derive(Debug)]
+pub struct ExploreResult {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Total schedules executed.
+    pub schedules_run: usize,
+    /// True iff the exhaustive DFS was cut off by `max_schedules`.
+    pub capped: bool,
+    /// Deduplicated failures (by code + message), each with a replay.
+    pub failures: Vec<Failure>,
+    /// Lock-order edges first observed during this exploration.
+    pub new_edges: Vec<lockdep::Edge>,
+}
+
+impl ExploreResult {
+    /// True iff no schedule failed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Panic (with every failure and its replay line) unless clean.
+    pub fn assert_ok(&self) {
+        if !self.failures.is_empty() {
+            let mut msg = format!(
+                "concheck scenario `{}` failed on {} of {} schedule(s):\n",
+                self.name,
+                self.failures.len(),
+                self.schedules_run
+            );
+            for f in &self.failures {
+                msg.push_str(&format!("{f}\n"));
+            }
+            panic!("{msg}");
+        }
+    }
+}
+
+enum Outcome {
+    Pass,
+    Abort(Diag),
+    Panic(String),
+}
+
+struct RunOut {
+    outcome: Outcome,
+    choices: Vec<Choice>,
+    trace: Vec<usize>,
+}
+
+fn run_one<F: Fn()>(name: &'static str, policy: Policy, step_cap: usize, scenario: &F) -> RunOut {
+    {
+        let mut c = ctrl();
+        *c = Ctrl::initial();
+        c.active = true;
+        c.name = name;
+        c.policy = policy;
+        c.step_cap = step_cap;
+        c.threads.push(ThreadRec::new(TState::Runnable, None));
+        c.current = Some(0);
+    }
+    internal::set_tid(Some(0));
+    let r = catch_unwind(AssertUnwindSafe(scenario));
+    internal::set_tid(None);
+    let mut c = ctrl();
+    c.active = false;
+    let failure = c.failure.take();
+    let first_panic = c.first_panic.take();
+    let choices = match std::mem::replace(&mut c.policy, Policy::Inactive) {
+        Policy::Script { choices, .. } => choices,
+        _ => Vec::new(),
+    };
+    let trace = std::mem::take(&mut c.trace);
+    c.threads.clear();
+    c.locks.clear();
+    drop(c);
+    let outcome = match r {
+        Ok(()) => {
+            if let Some(d) = failure {
+                Outcome::Abort(d)
+            } else {
+                Outcome::Pass
+            }
+        }
+        Err(p) if p.is::<SchedAbort>() => {
+            if let Some(d) = failure {
+                Outcome::Abort(d)
+            } else if let Some(m) = first_panic {
+                Outcome::Panic(m)
+            } else {
+                Outcome::Panic("schedule aborted without a recorded failure".to_string())
+            }
+        }
+        Err(p) => Outcome::Panic(first_panic.unwrap_or_else(|| payload_msg_ref(p.as_ref()))),
+    };
+    RunOut {
+        outcome,
+        choices,
+        trace,
+    }
+}
+
+/// Run `scenario` under every schedule the options call for, collecting
+/// structured failures. Explorations are serialised process-wide.
+pub fn explore<F: Fn()>(opts: ExploreOpts, scenario: F) -> ExploreResult {
+    let _g = EXPLORE_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    let edges_before = lockdep::edge_count();
+    let mut failures: Vec<Failure> = Vec::new();
+    let mut seen: Vec<(&'static str, String)> = Vec::new();
+    let mut schedules_run = 0usize;
+    let mut capped = false;
+
+    let note = |failures: &mut Vec<Failure>,
+                seen: &mut Vec<(&'static str, String)>,
+                out: &RunOut,
+                replay: Replay| {
+        let diag = match &out.outcome {
+            Outcome::Pass => return,
+            Outcome::Abort(d) => d.clone(),
+            Outcome::Panic(m) => Diag {
+                code: "CC003",
+                message: format!("invariant violation in scenario `{}`: {m}", opts.name),
+                witnesses: vec![format!("schedule: {:?}", out.trace)],
+            },
+        };
+        let key = (diag.code, diag.message.clone());
+        if seen.contains(&key) {
+            return;
+        }
+        seen.push(key);
+        failures.push(Failure { diag, replay });
+    };
+
+    if let Some(script) = &opts.replay_script {
+        let out = run_one(
+            opts.name,
+            Policy::Script {
+                script: script.clone(),
+                pos: 0,
+                choices: Vec::new(),
+            },
+            opts.step_cap,
+            &scenario,
+        );
+        schedules_run += 1;
+        note(
+            &mut failures,
+            &mut seen,
+            &out,
+            Replay::Script(script.clone()),
+        );
+    }
+
+    for &seed in &opts.seeds {
+        let out = run_one(
+            opts.name,
+            Policy::Random(XorShift::new(seed)),
+            opts.step_cap,
+            &scenario,
+        );
+        schedules_run += 1;
+        note(&mut failures, &mut seen, &out, Replay::Seed(seed));
+    }
+
+    if let Some(bound) = opts.preemption_bound {
+        let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+        while let Some(script) = stack.pop() {
+            if schedules_run >= opts.max_schedules {
+                capped = true;
+                break;
+            }
+            let out = run_one(
+                opts.name,
+                Policy::Script {
+                    script: script.clone(),
+                    pos: 0,
+                    choices: Vec::new(),
+                },
+                opts.step_cap,
+                &scenario,
+            );
+            schedules_run += 1;
+            note(
+                &mut failures,
+                &mut seen,
+                &out,
+                Replay::Script(script.clone()),
+            );
+            // Branch on every decision at or beyond the forced prefix.
+            let mut preempt_before = script
+                .iter()
+                .zip(out.choices.iter())
+                .filter(|(_, ch)| matches!(ch.prev, Some(p) if p != ch.chosen))
+                .count();
+            // Count preemptions in the default tail incrementally as we
+            // walk positions >= script.len().
+            for i in script.len()..out.choices.len() {
+                let ch = &out.choices[i];
+                for &o in &ch.options {
+                    if o == ch.chosen {
+                        continue;
+                    }
+                    let extra = usize::from(matches!(ch.prev, Some(p) if p != o));
+                    if preempt_before + extra <= bound {
+                        let mut s: Vec<usize> = out.choices[..i].iter().map(|c| c.chosen).collect();
+                        s.push(o);
+                        stack.push(s);
+                    }
+                }
+                preempt_before += usize::from(matches!(ch.prev, Some(p) if p != ch.chosen));
+            }
+        }
+    }
+
+    ExploreResult {
+        name: opts.name,
+        schedules_run,
+        capped,
+        failures,
+        new_edges: lockdep::edges_since(edges_before),
+    }
+}
+
+/// Extra random seeds requested via the environment (used by the CI
+/// `concheck` job to run fresh schedules every build):
+/// `CONCHECK_EXTRA_SEEDS` = how many, `CONCHECK_EXTRA_SEED_BASE` = base
+/// (decimal or `0x`-hex) they are derived from. Empty when unset.
+pub fn env_seeds() -> Vec<u64> {
+    let n: usize = std::env::var("CONCHECK_EXTRA_SEEDS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0);
+    let mut base: u64 = std::env::var("CONCHECK_EXTRA_SEED_BASE")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim();
+            if let Some(h) = s.strip_prefix("0x") {
+                u64::from_str_radix(h, 16).ok()
+            } else {
+                s.parse().ok()
+            }
+        })
+        .unwrap_or(0x5EED_BA5E_0000_0001);
+    (0..n).map(|_| splitmix(&mut base)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    #[test]
+    fn default_schedule_is_deterministic_and_clean() {
+        let res = explore(ExploreOpts::exhaustive("two-incrementers", 0), || {
+            let a = crate::AtomicUsize::new(0);
+            crate::thread::scope(|s| {
+                for _ in 0..2 {
+                    crate::thread::spawn_scoped(s, || {
+                        a.fetch_add(1, SeqCst);
+                    });
+                }
+                crate::thread::await_children();
+            });
+            assert_eq!(a.load(SeqCst), 2);
+        });
+        res.assert_ok();
+        assert!(res.schedules_run >= 1);
+        assert!(!res.capped);
+    }
+
+    #[test]
+    fn lost_update_found_exhaustively_and_fixed_version_clean() {
+        let racy = || {
+            let a = crate::AtomicUsize::new(0);
+            crate::thread::scope(|s| {
+                for _ in 0..2 {
+                    crate::thread::spawn_scoped(s, || {
+                        let v = a.load(SeqCst); // read...
+                        a.store(v + 1, SeqCst); // ...modify-write, non-atomically
+                    });
+                }
+                crate::thread::await_children();
+            });
+            assert_eq!(
+                a.load(SeqCst),
+                2,
+                "lost update: counter ended at {}",
+                a.load(SeqCst)
+            );
+        };
+        let res = explore(ExploreOpts::exhaustive("lost-update", 2), racy);
+        assert!(
+            res.failures.iter().any(|f| f.diag.code == "CC003"),
+            "expected CC003 among {:?}",
+            res.failures
+        );
+        // The failing schedule replays: run exactly that script again.
+        let script = res
+            .failures
+            .iter()
+            .find_map(|f| match &f.replay {
+                Replay::Script(s) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("exhaustive failures carry scripts");
+        let mut opts = ExploreOpts::exhaustive("lost-update-replay", 0);
+        opts.preemption_bound = None;
+        opts.replay_script = Some(script);
+        let replayed = explore(opts, racy);
+        assert!(
+            replayed.failures.iter().any(|f| f.diag.code == "CC003"),
+            "replay did not reproduce: {:?}",
+            replayed.failures
+        );
+        // With a real atomic RMW the same exploration is clean.
+        let res = explore(ExploreOpts::exhaustive("fetch-add", 2), || {
+            let a = crate::AtomicUsize::new(0);
+            crate::thread::scope(|s| {
+                for _ in 0..2 {
+                    crate::thread::spawn_scoped(s, || {
+                        a.fetch_add(1, SeqCst);
+                    });
+                }
+                crate::thread::await_children();
+            });
+            assert_eq!(a.load(SeqCst), 2);
+        });
+        res.assert_ok();
+    }
+
+    #[test]
+    fn abba_deadlock_found_with_cc002_and_lockdep_cycle() {
+        let before = lockdep::edge_count();
+        let res = explore(ExploreOpts::exhaustive("abba", 2), || {
+            let a = crate::Mutex::new_named("schedtest.a", ());
+            let b = crate::Mutex::new_named("schedtest.b", ());
+            crate::thread::scope(|s| {
+                crate::thread::spawn_scoped(s, || {
+                    let _g = a.lock();
+                    let _h = b.lock();
+                });
+                crate::thread::spawn_scoped(s, || {
+                    let _g = b.lock();
+                    let _h = a.lock();
+                });
+                crate::thread::await_children();
+            });
+        });
+        let dl = res
+            .failures
+            .iter()
+            .find(|f| f.diag.code == "CC002")
+            .unwrap_or_else(|| panic!("expected CC002 among {:?}", res.failures));
+        assert!(dl.diag.witnesses.iter().any(|w| w.contains("schedtest.a")));
+        assert!(dl.diag.witnesses.iter().any(|w| w.contains("schedtest.b")));
+        // Both halves of the ABBA pair landed in the lock-order graph.
+        let cyc = lockdep::cycles_in(&lockdep::edges_since(before));
+        assert!(
+            cyc.iter()
+                .any(|d| d.code == "CC001" && d.message.contains("schedtest")),
+            "expected CC001 among {cyc:?}"
+        );
+    }
+
+    #[test]
+    fn random_seeds_find_and_replay_the_lost_update() {
+        let racy = || {
+            let a = crate::AtomicUsize::new(0);
+            crate::thread::scope(|s| {
+                for _ in 0..2 {
+                    crate::thread::spawn_scoped(s, || {
+                        let v = a.load(SeqCst);
+                        a.store(v + 1, SeqCst);
+                    });
+                }
+                crate::thread::await_children();
+            });
+            assert_eq!(a.load(SeqCst), 2);
+        };
+        let res = explore(
+            ExploreOpts::random("lost-update-random", 64, 0xC0FFEE),
+            racy,
+        );
+        let seed = res
+            .failures
+            .iter()
+            .find_map(|f| match f.replay {
+                Replay::Seed(s) => Some(s),
+                _ => None,
+            })
+            .expect("64 random schedules should hit the 2-thread race");
+        let replayed = explore(ExploreOpts::replay("lost-update-replayed", seed), racy);
+        assert_eq!(replayed.schedules_run, 1);
+        assert!(
+            replayed.failures.iter().any(|f| f.diag.code == "CC003"),
+            "seed {seed:#x} did not replay: {:?}",
+            replayed.failures
+        );
+    }
+
+    #[test]
+    fn livelock_hits_step_cap_as_cc004() {
+        let mut opts = ExploreOpts::random("spin-forever", 1, 7);
+        opts.step_cap = 64;
+        let res = explore(opts, || {
+            let flag = crate::AtomicBool::new(false);
+            while !flag.load(SeqCst) {
+                crate::yield_point();
+            }
+        });
+        assert!(
+            res.failures.iter().any(|f| f.diag.code == "CC004"),
+            "{:?}",
+            res.failures
+        );
+    }
+
+    #[test]
+    fn self_deadlock_is_reported_not_hung() {
+        let res = explore(ExploreOpts::random("self-lock", 1, 3), || {
+            let m = crate::Mutex::new_named("schedtest.self", 0u32);
+            let _a = m.lock();
+            let _b = m.lock();
+        });
+        assert!(
+            res.failures.iter().any(|f| f.diag.code == "CC002"),
+            "{:?}",
+            res.failures
+        );
+    }
+}

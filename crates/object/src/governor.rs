@@ -36,8 +36,9 @@
 //! no partial state — without having to construct a genuinely explosive
 //! input for each code path.
 
+use conc::{AtomicBool, AtomicU64};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -409,25 +410,34 @@ impl Governor {
 #[cfg(any(test, feature = "faultinject"))]
 mod fault {
     use super::BudgetKind;
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Mutex;
+    use conc::{AtomicU64, Mutex};
+    use std::sync::atomic::Ordering;
 
-    #[derive(Debug, Default)]
+    #[derive(Debug)]
     pub(super) struct Fault {
         /// Checks remaining until the fault fires; 0 = disarmed.
         countdown: AtomicU64,
         kind: Mutex<Option<BudgetKind>>,
     }
 
+    impl Default for Fault {
+        fn default() -> Self {
+            Fault {
+                countdown: AtomicU64::new(0),
+                kind: Mutex::new_named("governor.fault", None),
+            }
+        }
+    }
+
     impl Fault {
         pub(super) fn arm(&self, n: u64, kind: BudgetKind) {
-            *self.kind.lock().expect("fault lock") = Some(kind);
+            *self.kind.lock() = Some(kind);
             self.countdown.store(n.max(1), Ordering::SeqCst);
         }
 
         pub(super) fn clear(&self) {
             self.countdown.store(0, Ordering::SeqCst);
-            *self.kind.lock().expect("fault lock") = None;
+            *self.kind.lock() = None;
         }
 
         /// Decrement the countdown; report the armed kind when it hits 0.
@@ -437,7 +447,7 @@ mod fault {
                 return None;
             }
             if self.countdown.fetch_sub(1, Ordering::SeqCst) == 1 {
-                return *self.kind.lock().expect("fault lock");
+                return *self.kind.lock();
             }
             None
         }

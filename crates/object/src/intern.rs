@@ -67,6 +67,7 @@ use crate::atom::Atom;
 use crate::governor::{Governor, ResourceError};
 use crate::instance::Relation;
 use crate::value::{SetValue, Value};
+use conc::{AtomicPtr, AtomicU32, AtomicU64, Mutex};
 use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
 use std::cmp::Ordering;
 use std::collections::hash_map::DefaultHasher;
@@ -74,8 +75,8 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering as AtomicOrdering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::Arc;
 
 /// Number of lock shards in the arena (a power of two).
 pub const NUM_SHARDS: usize = 1 << SHARD_BITS;
@@ -200,7 +201,7 @@ struct Shard {
 impl Shard {
     fn new() -> Self {
         Shard {
-            writer: Mutex::new(ShardWriter::default()),
+            writer: Mutex::new_named("intern.shard_writer", ShardWriter::default()),
             segs: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
             len: AtomicU32::new(0),
         }
@@ -223,7 +224,7 @@ impl Shard {
     /// Admit `node`, returning its slot and the arena growth in bytes
     /// (0 for a hash-consing hit).
     fn add(&self, node: Node) -> (u32, u64) {
-        let mut w = self.writer.lock().unwrap();
+        let mut w = self.writer.lock();
         if let Some(&slot) = w.ids.get(&node) {
             return (slot, 0);
         }

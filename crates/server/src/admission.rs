@@ -1,0 +1,175 @@
+//! Per-tenant token buckets denominated in governor steps.
+//!
+//! Extracted from the server's metrics so admission control can be
+//! exercised on its own — in particular by the `concheck` model-checker
+//! scenarios, which race several tenants against one bucket table
+//! without a TCP server in sight. With `refill_steps_per_sec == 0` the
+//! bucket never reads the clock, so every outcome is a pure function of
+//! the operation interleaving — exactly what a deterministic schedule
+//! explorer needs.
+
+use no_proto::TenantStats;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use conc::Mutex;
+
+#[derive(Debug)]
+struct Bucket {
+    balance: f64,
+    last_refill: Instant,
+    requests: u64,
+    rejected: u64,
+    trips: u64,
+    spent_steps: u64,
+}
+
+/// A table of per-tenant token buckets, one behind a single named lock
+/// (`server.buckets`). A fresh tenant starts with a full bucket;
+/// admitted requests settle their actual spend afterwards, and debt is
+/// allowed — the refill pays it down.
+#[derive(Debug)]
+pub struct TokenBuckets {
+    capacity_steps: u64,
+    refill_steps_per_sec: u64,
+    tenants: Mutex<BTreeMap<String, Bucket>>,
+}
+
+impl TokenBuckets {
+    /// A bucket table where every tenant gets `capacity_steps` of burst
+    /// and refills at `refill_steps_per_sec`. A zero refill rate means
+    /// budgets never replenish *and* the table never reads the clock —
+    /// the deterministic mode the model checker relies on.
+    pub fn new(capacity_steps: u64, refill_steps_per_sec: u64) -> TokenBuckets {
+        TokenBuckets {
+            capacity_steps,
+            refill_steps_per_sec,
+            tenants: Mutex::new_named("server.buckets", BTreeMap::new()),
+        }
+    }
+
+    /// The tenant's bucket, created full if absent and refilled up to
+    /// now (unless the refill rate is zero).
+    fn bucket<'a>(
+        &self,
+        tenants: &'a mut BTreeMap<String, Bucket>,
+        tenant: &str,
+    ) -> &'a mut Bucket {
+        let b = tenants.entry(tenant.to_string()).or_insert_with(|| Bucket {
+            balance: self.capacity_steps as f64,
+            last_refill: Instant::now(),
+            requests: 0,
+            rejected: 0,
+            trips: 0,
+            spent_steps: 0,
+        });
+        if self.refill_steps_per_sec > 0 {
+            let now = Instant::now();
+            let refill =
+                now.duration_since(b.last_refill).as_secs_f64() * self.refill_steps_per_sec as f64;
+            b.balance = (b.balance + refill).min(self.capacity_steps as f64);
+            b.last_refill = now;
+        }
+        b
+    }
+
+    /// Admit or reject one request for `tenant`: `Err(retry_after_ms)`
+    /// is a rejection. Admission costs nothing up front — the request
+    /// settles its real spend via [`TokenBuckets::settle`].
+    pub fn admit(&self, tenant: &str) -> Result<(), u64> {
+        let mut tenants = self.tenants.lock();
+        let rate = self.refill_steps_per_sec;
+        let b = self.bucket(&mut tenants, tenant);
+        if b.balance >= 1.0 {
+            b.requests += 1;
+            Ok(())
+        } else {
+            b.rejected += 1;
+            let deficit = 1.0 - b.balance;
+            let retry_ms = if rate == 0 {
+                60_000
+            } else {
+                ((deficit / rate as f64) * 1000.0).ceil().max(1.0) as u64
+            };
+            Err(retry_ms)
+        }
+    }
+
+    /// Settle an admitted request: deduct `spent_steps` from the
+    /// tenant's bucket (going negative if it must) and record the trip
+    /// flag in the tenant's counters.
+    pub fn settle(&self, tenant: &str, spent_steps: u64, tripped: bool) {
+        let mut tenants = self.tenants.lock();
+        let b = self.bucket(&mut tenants, tenant);
+        b.balance -= spent_steps as f64;
+        b.spent_steps = b.spent_steps.saturating_add(spent_steps);
+        if tripped {
+            b.trips += 1;
+        }
+    }
+
+    /// The tenant's current balance in whole steps, clamped at zero.
+    /// Creates the bucket (full) if the tenant is new.
+    pub fn balance_steps(&self, tenant: &str) -> u64 {
+        let mut tenants = self.tenants.lock();
+        self.bucket(&mut tenants, tenant).balance.max(0.0) as u64
+    }
+
+    /// Per-tenant counters for `op: "stats"`, with every balance
+    /// refreshed to now first so the report is current, not stale.
+    pub fn snapshot(&self) -> Vec<TenantStats> {
+        let mut tenants = self.tenants.lock();
+        let names: Vec<String> = tenants.keys().cloned().collect();
+        for name in &names {
+            self.bucket(&mut tenants, name);
+        }
+        tenants
+            .iter()
+            .map(|(name, b)| TenantStats {
+                tenant: name.clone(),
+                requests: b.requests,
+                rejected: b.rejected,
+                trips: b.trips,
+                spent_steps: b.spent_steps,
+                balance_steps: b.balance.max(0.0) as u64,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_is_pure_arithmetic() {
+        let b = TokenBuckets::new(3, 0);
+        assert!(b.admit("t").is_ok());
+        b.settle("t", 3, false);
+        let err = b.admit("t").unwrap_err();
+        assert_eq!(err, 60_000, "zero-rate rejection uses the fixed backoff");
+        assert_eq!(b.balance_steps("t"), 0);
+    }
+
+    #[test]
+    fn debt_is_allowed_and_clamped_in_reports() {
+        let b = TokenBuckets::new(10, 0);
+        assert!(b.admit("t").is_ok());
+        b.settle("t", 25, true); // overspend: balance goes to -15
+        assert_eq!(b.balance_steps("t"), 0);
+        let snap = b.snapshot();
+        let t = snap.iter().find(|s| s.tenant == "t").unwrap();
+        assert_eq!(t.spent_steps, 25);
+        assert_eq!(t.trips, 1);
+        assert_eq!(t.balance_steps, 0);
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let b = TokenBuckets::new(1, 0);
+        assert!(b.admit("a").is_ok());
+        b.settle("a", 1, false);
+        assert!(b.admit("a").is_err());
+        assert!(b.admit("b").is_ok(), "another tenant has its own bucket");
+    }
+}

@@ -28,28 +28,58 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use no_proto::{Op, Request, Response, TenantStats};
-use std::collections::BTreeMap;
+use conc::{AtomicBool, AtomicU64, Mutex};
+use no_proto::{Op, Request, Response};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
+
+pub mod admission;
+use admission::TokenBuckets;
 
 // ---------------------------------------------------------------------------
 // Cancellation
 // ---------------------------------------------------------------------------
 
-#[derive(Default)]
+struct HookState {
+    fired: bool,
+    hooks: Vec<Box<dyn Fn() + Send + Sync>>,
+}
+
 struct CancelInner {
     cancelled: AtomicBool,
-    hooks: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+    state: Mutex<HookState>,
+}
+
+impl Default for CancelInner {
+    fn default() -> CancelInner {
+        CancelInner {
+            cancelled: AtomicBool::new(false),
+            state: Mutex::new_named(
+                "server.cancel_hooks",
+                HookState {
+                    fired: false,
+                    hooks: Vec::new(),
+                },
+            ),
+        }
+    }
 }
 
 /// A cooperative cancellation token: the server fires it when the client
 /// behind an in-flight request disconnects; handlers register hooks (e.g.
 /// tripping a governor) so evaluation stops at its next checkpoint.
+///
+/// Every hook runs **exactly once** no matter how the races fall: the
+/// `fired` flag lives under the hooks lock, [`CancelToken::cancel`]
+/// drains the registered hooks while flipping it (so a second or
+/// concurrent `cancel()` finds nothing left to run), and a hook
+/// registered after the fact is run by the registering thread itself.
+/// Hooks always run *outside* the lock, so a hook may freely touch the
+/// token again.
 #[derive(Clone, Default)]
 pub struct CancelToken(Arc<CancelInner>);
 
@@ -60,10 +90,19 @@ impl CancelToken {
     }
 
     /// Fire the token: set the flag and run every registered hook.
+    /// Idempotent — only the first `cancel()` runs hooks.
     pub fn cancel(&self) {
         self.0.cancelled.store(true, Ordering::SeqCst);
-        let hooks = self.0.hooks.lock().unwrap_or_else(|p| p.into_inner());
-        for hook in hooks.iter() {
+        let to_run = {
+            let mut st = self.0.state.lock();
+            if st.fired {
+                Vec::new()
+            } else {
+                st.fired = true;
+                std::mem::take(&mut st.hooks)
+            }
+        };
+        for hook in &to_run {
             hook();
         }
     }
@@ -74,20 +113,15 @@ impl CancelToken {
     }
 
     /// Register a hook to run when the token fires. A hook registered
-    /// after the fact runs immediately — there is no lost-wakeup window.
+    /// after the fact runs immediately on this thread — there is no
+    /// lost-wakeup window, and no schedule in which it runs twice.
     pub fn on_cancel(&self, hook: impl Fn() + Send + Sync + 'static) {
-        let fire_now = {
-            let mut hooks = self.0.hooks.lock().unwrap_or_else(|p| p.into_inner());
-            hooks.push(Box::new(hook));
-            // the flag is checked under the hooks lock so a concurrent
-            // cancel() either sees the new hook or we fire it here
-            self.is_cancelled()
-        };
-        if fire_now {
-            let hooks = self.0.hooks.lock().unwrap_or_else(|p| p.into_inner());
-            if let Some(last) = hooks.last() {
-                last();
-            }
+        let mut st = self.0.state.lock();
+        if st.fired {
+            drop(st);
+            hook();
+        } else {
+            st.hooks.push(Box::new(hook));
         }
     }
 }
@@ -171,107 +205,62 @@ const LAT_BOUNDS_US: [u64; 18] = [
     u64::MAX,
 ];
 
-#[derive(Debug)]
-struct Bucket {
-    balance: f64,
-    last_refill: Instant,
-    requests: u64,
-    rejected: u64,
-    trips: u64,
-    spent_steps: u64,
-}
-
 #[derive(Debug, Default)]
 struct Counters {
     requests: u64,
     rejected: u64,
     trips: u64,
     latency: [u64; LAT_BOUNDS_US.len()],
-    tenants: BTreeMap<String, Bucket>,
 }
 
-impl Counters {
-    /// The tenant's bucket, refilled up to now.
-    fn bucket<'a>(&'a mut self, tenant: &str, cfg: &ServerConfig) -> &'a mut Bucket {
-        let b = self
-            .tenants
-            .entry(tenant.to_string())
-            .or_insert_with(|| Bucket {
-                balance: cfg.tenant_capacity_steps as f64,
-                last_refill: Instant::now(),
-                requests: 0,
-                rejected: 0,
-                trips: 0,
-                spent_steps: 0,
-            });
-        let now = Instant::now();
-        let refill = now.duration_since(b.last_refill).as_secs_f64()
-            * cfg.tenant_refill_steps_per_sec as f64;
-        b.balance = (b.balance + refill).min(cfg.tenant_capacity_steps as f64);
-        b.last_refill = now;
-        b
-    }
-}
-
-/// Shared server metrics: counters behind one mutex (requests are
-/// milliseconds-scale, contention is negligible), plus an atomic
-/// live-connection gauge.
-#[derive(Debug, Default)]
+/// Shared server metrics: global counters behind one named mutex
+/// (requests are milliseconds-scale, contention is negligible), the
+/// per-tenant [`TokenBuckets`] table behind its own, plus an atomic
+/// live-connection gauge. The two locks are never held together, so the
+/// lock-order graph stays edge-free here by construction.
+#[derive(Debug)]
 struct Metrics {
     counters: Mutex<Counters>,
+    buckets: TokenBuckets,
     connections: AtomicU64,
 }
 
 impl Metrics {
-    fn lock(&self) -> std::sync::MutexGuard<'_, Counters> {
-        self.counters.lock().unwrap_or_else(|p| p.into_inner())
+    fn new(cfg: &ServerConfig) -> Metrics {
+        Metrics {
+            counters: Mutex::new_named("server.counters", Counters::default()),
+            buckets: TokenBuckets::new(cfg.tenant_capacity_steps, cfg.tenant_refill_steps_per_sec),
+            connections: AtomicU64::new(0),
+        }
     }
 
     /// Admit or reject a request for `tenant`; `Err(retry_after_ms)` is a
     /// rejection.
-    fn admit(&self, tenant: &str, cfg: &ServerConfig) -> Result<(), u64> {
-        let mut c = self.lock();
-        c.requests += 1;
-        let rate = cfg.tenant_refill_steps_per_sec;
-        let b = c.bucket(tenant, cfg);
-        if b.balance >= 1.0 {
-            b.requests += 1;
-            Ok(())
-        } else {
-            b.rejected += 1;
-            let deficit = 1.0 - b.balance;
-            let retry_ms = if rate == 0 {
-                60_000
-            } else {
-                ((deficit / rate as f64) * 1000.0).ceil().max(1.0) as u64
-            };
-            c.rejected += 1;
-            Err(retry_ms)
-        }
+    fn admit(&self, tenant: &str) -> Result<(), u64> {
+        self.counters.lock().requests += 1;
+        self.buckets.admit(tenant).inspect_err(|_| {
+            self.counters.lock().rejected += 1;
+        })
     }
 
     /// Settle an admitted request: deduct its spend from the tenant's
-    /// bucket (debt is allowed — the refill pays it down), record trips
-    /// and latency.
-    fn settle(&self, tenant: &str, resp: &Response, elapsed: Duration, cfg: &ServerConfig) {
+    /// bucket, record trips and latency.
+    fn settle(&self, tenant: &str, resp: &Response, elapsed: Duration) {
         let tripped = resp.error.as_ref().is_some_and(|e| e.resource_trip);
         let steps = resp.spend.as_ref().map_or(0, |s| s.steps);
-        let mut c = self.lock();
-        if tripped {
-            c.trips += 1;
+        {
+            let mut c = self.counters.lock();
+            if tripped {
+                c.trips += 1;
+            }
+            let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+            let slot = LAT_BOUNDS_US
+                .iter()
+                .position(|&bound| us <= bound)
+                .unwrap_or(LAT_BOUNDS_US.len() - 1);
+            c.latency[slot] += 1;
         }
-        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        let slot = LAT_BOUNDS_US
-            .iter()
-            .position(|&bound| us <= bound)
-            .unwrap_or(LAT_BOUNDS_US.len() - 1);
-        c.latency[slot] += 1;
-        let b = c.bucket(tenant, cfg);
-        b.balance -= steps as f64;
-        b.spent_steps = b.spent_steps.saturating_add(steps);
-        if tripped {
-            b.trips += 1;
-        }
+        self.buckets.settle(tenant, steps, tripped);
     }
 
     fn percentile(latency: &[u64; LAT_BOUNDS_US.len()], p: f64) -> u64 {
@@ -292,32 +281,18 @@ impl Metrics {
 
     /// Overlay server-side counters onto a handler `op: Stats` response
     /// (which already carries the plan-cache hit/miss counters).
-    fn overlay(&self, resp: &mut Response, cfg: &ServerConfig) {
-        let mut c = self.lock();
-        // refresh balances so the report shows current, not stale, values
-        let names: Vec<String> = c.tenants.keys().cloned().collect();
-        for name in &names {
-            c.bucket(name, cfg);
-        }
+    fn overlay(&self, resp: &mut Response) {
         let mut stats = resp.stats.take().unwrap_or_default();
-        stats.requests = c.requests;
-        stats.rejected = c.rejected;
-        stats.trips = c.trips;
-        stats.p50_us = Self::percentile(&c.latency, 0.50);
-        stats.p99_us = Self::percentile(&c.latency, 0.99);
+        {
+            let c = self.counters.lock();
+            stats.requests = c.requests;
+            stats.rejected = c.rejected;
+            stats.trips = c.trips;
+            stats.p50_us = Self::percentile(&c.latency, 0.50);
+            stats.p99_us = Self::percentile(&c.latency, 0.99);
+        }
         stats.connections = self.connections.load(Ordering::SeqCst);
-        stats.tenants = c
-            .tenants
-            .iter()
-            .map(|(name, b)| TenantStats {
-                tenant: name.clone(),
-                requests: b.requests,
-                rejected: b.rejected,
-                trips: b.trips,
-                spent_steps: b.spent_steps,
-                balance_steps: b.balance.max(0.0) as u64,
-            })
-            .collect();
+        stats.tenants = self.buckets.snapshot();
         resp.stats = Some(stats);
         resp.ok = true;
         resp.error = None;
@@ -350,10 +325,10 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let metrics = Arc::new(Metrics::default());
+        let metrics = Arc::new(Metrics::new(&config));
         let accept = {
             let stop = Arc::clone(&stop);
-            thread::spawn(move || accept_loop(listener, handler, config, metrics, stop))
+            thread::spawn(move || accept_loop(listener, handler, metrics, stop))
         };
         Ok(Server {
             addr,
@@ -403,7 +378,6 @@ impl std::fmt::Debug for Server {
 fn accept_loop(
     listener: TcpListener,
     handler: Arc<dyn Handler>,
-    config: ServerConfig,
     metrics: Arc<Metrics>,
     stop: Arc<AtomicBool>,
 ) {
@@ -411,11 +385,10 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let handler = Arc::clone(&handler);
-                let config = config.clone();
                 let metrics = Arc::clone(&metrics);
                 thread::spawn(move || {
                     metrics.connections.fetch_add(1, Ordering::SeqCst);
-                    let _ = serve_connection(stream, handler, config, &metrics);
+                    let _ = serve_connection(stream, handler, &metrics);
                     metrics.connections.fetch_sub(1, Ordering::SeqCst);
                 });
             }
@@ -435,12 +408,12 @@ fn accept_loop(
 fn serve_connection(
     stream: TcpStream,
     handler: Arc<dyn Handler>,
-    config: ServerConfig,
     metrics: &Metrics,
 ) -> io::Result<()> {
     let read_half = stream.try_clone()?;
     let (tx, rx) = mpsc::channel::<String>();
-    let in_flight: Arc<Mutex<Option<CancelToken>>> = Arc::new(Mutex::new(None));
+    let in_flight: Arc<Mutex<Option<CancelToken>>> =
+        Arc::new(Mutex::new_named("server.in_flight", None));
     let reader = {
         let in_flight = Arc::clone(&in_flight);
         thread::spawn(move || {
@@ -458,7 +431,7 @@ fn serve_connection(
                 }
             }
             // the client is gone: abort whatever is running for it
-            let current = in_flight.lock().unwrap_or_else(|p| p.into_inner()).take();
+            let current = in_flight.lock().take();
             if let Some(token) = current {
                 token.cancel();
             }
@@ -470,7 +443,7 @@ fn serve_connection(
         if line.is_empty() {
             continue;
         }
-        let resp = process_line(line, handler.as_ref(), &config, metrics, &in_flight);
+        let resp = process_line(line, handler.as_ref(), metrics, &in_flight);
         let mut encoded = resp.to_json();
         encoded.push('\n');
         if out
@@ -489,7 +462,6 @@ fn serve_connection(
 fn process_line(
     line: &str,
     handler: &dyn Handler,
-    config: &ServerConfig,
     metrics: &Metrics,
     in_flight: &Mutex<Option<CancelToken>>,
 ) -> Response {
@@ -500,10 +472,10 @@ fn process_line(
     if req.op == Op::Stats {
         // introspection is never admission-controlled and never counted
         let mut resp = handler.handle(&req, &CancelToken::new());
-        metrics.overlay(&mut resp, config);
+        metrics.overlay(&mut resp);
         return resp;
     }
-    if let Err(retry_ms) = metrics.admit(&req.tenant, config) {
+    if let Err(retry_ms) = metrics.admit(&req.tenant) {
         let mut resp = Response::error(
             "rejected",
             format!(
@@ -517,11 +489,11 @@ fn process_line(
         return resp;
     }
     let token = CancelToken::new();
-    *in_flight.lock().unwrap_or_else(|p| p.into_inner()) = Some(token.clone());
+    *in_flight.lock() = Some(token.clone());
     let start = Instant::now();
     let resp = handler.handle(&req, &token);
-    in_flight.lock().unwrap_or_else(|p| p.into_inner()).take();
-    metrics.settle(&req.tenant, &resp, start.elapsed(), config);
+    in_flight.lock().take();
+    metrics.settle(&req.tenant, &resp, start.elapsed());
     resp
 }
 
@@ -583,8 +555,8 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use conc::AtomicUsize;
     use no_proto::{Lang, Spend};
-    use std::sync::atomic::AtomicUsize;
 
     /// Echoes the request text back and reports a fixed spend.
     struct Echo {

@@ -28,11 +28,42 @@
 //!   the smallest-index failure among those observed (items after the flag
 //!   is seen are simply never started, so a run is budget-bounded but the
 //!   winning error is stable for deterministic single-failure workloads).
+//! * **Panics.** A panicking task no longer poisons the pool's internal
+//!   mutexes into a process-wide panic storm: the pool's locks recover
+//!   poison, the panic is caught at the task boundary, remaining work is
+//!   cancelled via the stop flag, and exactly one structured panic
+//!   (`minipool: task <smallest index> panicked: <message>`) is re-raised
+//!   after all workers have parked.
+//!
+//! All synchronisation goes through the `conc` shims: zero-cost
+//! `std::sync` wrappers in release builds, and — under the `concheck`
+//! feature — instrumented scheduling points for the deterministic-schedule
+//! model checker plus lockdep lock-order recording (lock classes
+//! `minipool.deque`, `minipool.slot`, `minipool.result`,
+//! `minipool.error`, `minipool.panic`).
 
+use conc::{AtomicBool, Mutex};
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+
+/// Planted-bug switch for the concurrency sanitizer's self-validation:
+/// when enabled, workers re-acquire the PR 5 ABBA steal order (holding
+/// their own deque's lock while locking a sibling's). Both analyses —
+/// lockdep (`CC001` self-cycle on `minipool.deque`) and the model checker
+/// (`CC002` deadlocking schedule) — must catch it. Test-only; the switch
+/// and the buggy path do not exist in release builds.
+#[cfg(feature = "concheck")]
+static ABBA_STEAL: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable the planted ABBA steal order (see [`ABBA_STEAL`]).
+/// Only compiled under `concheck`; callers must reset it to `false` when
+/// done.
+#[cfg(feature = "concheck")]
+pub fn set_abba_steal(on: bool) {
+    ABBA_STEAL.store(on, Ordering::SeqCst);
+}
 
 /// A handle describing how much parallelism to use.
 ///
@@ -89,60 +120,105 @@ impl ThreadPool {
             return Ok(out);
         }
 
-        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-        let results: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
-        let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+        let slots: Vec<Mutex<Option<T>>> = items
+            .into_iter()
+            .map(|t| Mutex::new_named("minipool.slot", Some(t)))
+            .collect();
+        let results: Vec<Mutex<Option<R>>> = (0..len)
+            .map(|_| Mutex::new_named("minipool.result", None))
+            .collect();
+        let error: Mutex<Option<(usize, E)>> = Mutex::new_named("minipool.error", None);
+        let panicked: Mutex<Option<(usize, String)>> = Mutex::new_named("minipool.panic", None);
         let stop = AtomicBool::new(false);
         let queues: Vec<Mutex<VecDeque<usize>>> = split(len, workers)
             .into_iter()
-            .map(|r| Mutex::new(r.collect()))
+            .map(|r| Mutex::new_named("minipool.deque", r.collect()))
             .collect();
+
+        let pop_job = |me: usize| -> Option<usize> {
+            #[cfg(feature = "concheck")]
+            if ABBA_STEAL.load(Ordering::Relaxed) {
+                // Planted PR 5 bug: hold our own deque's guard across the
+                // steal. Two workers stealing from each other deadlock.
+                let mut own = queues[me].lock();
+                return own.pop_front().or_else(|| {
+                    (0..queues.len())
+                        .filter(|&k| k != me)
+                        .find_map(|k| queues[k].lock().pop_back())
+                });
+            }
+            // Pop in its own statement so the guard on our deque drops
+            // before stealing: holding it while locking a sibling's deque
+            // deadlocks when two workers steal from each other at once.
+            let own = queues[me].lock().pop_front();
+            own.or_else(|| {
+                // Own deque empty: steal from the back of a sibling's.
+                (0..queues.len())
+                    .filter(|&k| k != me)
+                    .find_map(|k| queues[k].lock().pop_back())
+            })
+        };
 
         let worker = |me: usize| loop {
             if stop.load(Ordering::Relaxed) {
                 return;
             }
-            // Pop in its own statement so the guard on our deque drops
-            // before stealing: holding it while locking a sibling's deque
-            // deadlocks when two workers steal from each other at once.
-            let own = queues[me].lock().unwrap().pop_front();
-            let job = own.or_else(|| {
-                // Own deque empty: steal from the back of a sibling's.
-                (0..queues.len())
-                    .filter(|&k| k != me)
-                    .find_map(|k| queues[k].lock().unwrap().pop_back())
-            });
-            let Some(job) = job else { return };
-            let Some(item) = slots[job].lock().unwrap().take() else {
+            let Some(job) = pop_job(me) else { return };
+            let Some(item) = slots[job].lock().take() else {
                 continue;
             };
-            match f(item) {
-                Ok(r) => *results[job].lock().unwrap() = Some(r),
-                Err(e) => {
-                    let mut slot = error.lock().unwrap();
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(Ok(r)) => *results[job].lock() = Some(r),
+                Ok(Err(e)) => {
+                    let mut slot = error.lock();
                     match &*slot {
                         Some((prev, _)) if *prev <= job => {}
                         _ => *slot = Some((job, e)),
                     }
                     stop.store(true, Ordering::Relaxed);
                 }
+                Err(payload) => {
+                    // Task panicked. Record the smallest-index panic as a
+                    // structured error and cancel remaining work; the
+                    // pool's own locks recover poison, so nothing
+                    // cascades. Non-string payloads (including the model
+                    // checker's schedule-abort token) pass through raw.
+                    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        resume_unwind(payload);
+                    };
+                    let mut slot = panicked.lock();
+                    match &*slot {
+                        Some((prev, _)) if *prev <= job => {}
+                        _ => *slot = Some((job, msg)),
+                    }
+                    drop(slot);
+                    stop.store(true, Ordering::Relaxed);
+                }
             }
         };
 
-        std::thread::scope(|s| {
+        conc::thread::scope(|s| {
             let worker = &worker;
             for me in 1..workers {
-                s.spawn(move || worker(me));
+                conc::thread::spawn_scoped(s, move || worker(me));
             }
             worker(0);
+            conc::thread::await_children();
         });
 
-        if let Some((_, e)) = error.into_inner().unwrap() {
+        if let Some((idx, msg)) = panicked.into_inner() {
+            panic!("minipool: task {idx} panicked: {msg} (smallest panicking index; remaining work was cancelled)");
+        }
+        if let Some((_, e)) = error.into_inner() {
             return Err(e);
         }
         Ok(results
             .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("no error ⇒ every slot ran"))
+            .map(|m| m.into_inner().expect("no error ⇒ every slot ran"))
             .collect())
     }
 
@@ -199,7 +275,7 @@ pub fn split_u64(len: u64, parts: u64) -> Vec<Range<u64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use conc::AtomicUsize;
 
     #[test]
     fn split_covers_exactly() {
@@ -296,6 +372,65 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(ThreadPool::new(0).threads(), 1);
+    }
+
+    /// Regression: a panicking task must surface as exactly one
+    /// structured panic, and the pool must remain fully usable afterwards
+    /// — previously the panic poisoned the shared result/error mutexes
+    /// and every later `.lock().unwrap()` cascaded.
+    #[test]
+    fn task_panic_is_structured_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(items, |x| {
+                if x == 7 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }))
+        .expect_err("task panic must propagate");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("structured panic is a String");
+        assert!(
+            msg.contains("minipool: task") && msg.contains("panicked: boom at"),
+            "unstructured panic: {msg}"
+        );
+        // Exactly one index is reported, and it is a panicking one.
+        assert!(msg.contains("boom at 7") || !msg.contains("boom at 7 boom"));
+        // The pool (and fresh mutexes) work fine on the next call.
+        let out = pool.map((0..32).collect::<Vec<usize>>(), |x| x * 2);
+        assert_eq!(out, (0..32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    /// Regression: when several tasks panic concurrently, the reported
+    /// index is the smallest observed one (mirrors the error contract).
+    #[test]
+    fn panic_reports_smallest_observed_index() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..256).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(items, |x| {
+                if x % 2 == 0 {
+                    panic!("even {x}");
+                }
+                x
+            })
+        }))
+        .expect_err("panics must propagate");
+        let msg = caught.downcast_ref::<String>().unwrap();
+        // With every even index panicking, whichever panic is recorded
+        // first can only be displaced by a smaller index; index 0 is in
+        // worker 0's own deque, so the winner is always small and even.
+        let idx: usize = msg
+            .split("task ")
+            .nth(1)
+            .and_then(|r| r.split(' ').next())
+            .and_then(|n| n.parse().ok())
+            .expect("message names an index");
+        assert_eq!(idx % 2, 0, "{msg}");
     }
 
     /// Regression: workers must release their own deque's lock *before*
