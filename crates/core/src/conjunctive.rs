@@ -226,6 +226,28 @@ pub fn decompose(q: &Query) -> Option<ConjunctiveQuery> {
     })
 }
 
+/// Recognize the *non-conjunctive* CALC fragment reachable by union: a
+/// body that is a top-level disjunction each of whose disjuncts is
+/// itself flat conjunctive over the full head. Active-domain and safe
+/// semantics still coincide — every disjunct range-restricts every head
+/// variable through a positive atom, and a union of such queries is the
+/// union of their (coinciding) answers — so the planner may lower the
+/// query as a union of conjunctive plans. Conservative like
+/// [`decompose`]: any disjunct outside the conjunctive fragment (nested
+/// disjunction included) rejects the whole query.
+pub fn decompose_union(q: &Query) -> Option<Vec<ConjunctiveQuery>> {
+    let Formula::Or(parts) = &q.body else {
+        return None;
+    };
+    if parts.len() < 2 {
+        return None;
+    }
+    parts
+        .iter()
+        .map(|d| decompose(&Query::new(q.head.clone(), d.clone())))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +329,44 @@ mod tests {
         let q = Query::new(vec![("x".into(), Type::Atom)], body);
         let cq = decompose(&q).expect("still conjunctive");
         assert!(cq.unsat);
+    }
+
+    #[test]
+    fn union_of_conjunctive_disjuncts_decomposes() {
+        // q(x,y) :- G(x,y) \/ G(y,x)
+        let q = Query::new(
+            vec![("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+            Formula::or([g(var("x"), var("y")), g(var("y"), var("x"))]),
+        );
+        let cqs = decompose_union(&q).expect("union of conjunctive");
+        assert_eq!(cqs.len(), 2);
+        assert_eq!(cqs[0].head, vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(cqs[1].atoms[0].1[0], CArg::Var("y".into()));
+    }
+
+    #[test]
+    fn union_rejects_unsafe_or_nested_disjuncts() {
+        // one disjunct fails to bind y through an atom
+        let q = Query::new(
+            vec![("x".into(), Type::Atom), ("y".into(), Type::Atom)],
+            Formula::or([
+                g(var("x"), var("y")),
+                Formula::and([g(var("x"), var("x")), Formula::Eq(var("y"), var("y"))]),
+            ]),
+        );
+        assert!(decompose_union(&q).is_none());
+        // negation inside a disjunct
+        let q = Query::new(
+            vec![("x".into(), Type::Atom)],
+            Formula::or([
+                g(var("x"), var("x")),
+                Formula::Not(Box::new(g(var("x"), var("x")))),
+            ]),
+        );
+        assert!(decompose_union(&q).is_none());
+        // a conjunctive (non-disjunctive) body is not this fragment
+        let q = Query::new(vec![("x".into(), Type::Atom)], g(var("x"), var("x")));
+        assert!(decompose_union(&q).is_none());
     }
 
     #[test]

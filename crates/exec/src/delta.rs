@@ -1,0 +1,561 @@
+//! Δ — columnar delta kernels for incremental view maintenance.
+//!
+//! The maintenance engine (`crates/ivm`) propagates *changes* through an
+//! operator tree instead of recomputing it. A change to a canonical
+//! [`ColumnTable`] is a [`DeltaTable`] in **effective form**:
+//!
+//! * `add ∩ old = ∅` — every added row is genuinely new;
+//! * `del ⊆ old`    — every deleted row is genuinely present;
+//! * both halves are canonical tables of the relation's arity.
+//!
+//! Effective form makes application trivially correct and order-free
+//! (`new = (old ∖ del) ∪ add`) and keeps every kernel's output unique:
+//! like the full kernels in [`crate::kernels`], the same inputs produce
+//! the same bit pattern regardless of algorithm or thread count, so the
+//! differential suite can compare maintained state against full
+//! recomputation with `==`.
+//!
+//! Each kernel answers: given old inputs and effective deltas, what is
+//! the effective delta of the operator's output? The join identity is the
+//! classical product rule, arranged so no term can produce a row that was
+//! already present (`a_keep = a_old ∖ Δa.del`):
+//!
+//! ```text
+//! Δ⁺(a ⋈ b) = (Δ⁺a ⋈ b_new) ∪ (a_keep ⋈ Δ⁺b)
+//! Δ⁻(a ⋈ b) = (Δ⁻a ⋈ b_old) ∪ (a_keep ⋈ Δ⁻b)
+//! ```
+//!
+//! Selection distributes over deltas exactly (a row's fate is decided by
+//! the row alone). Union, difference, and projection are *not* row-local
+//! — a deleted input row only leaves the output when its last witness
+//! goes — so those kernels re-derive membership against the old and new
+//! states with the linear merge set-ops; they are O(|old| + |new|), not
+//! O(|Δ|), which is still far below re-running the joins above them.
+//!
+//! All kernels charge the governor through the same [`BlockMeter`] sites
+//! as the full kernels they compose, plus `exec.delta` for their own
+//! bookkeeping.
+
+use crate::kernels::{difference, join, project, select, union, JoinAlgo};
+use crate::meter::BlockMeter;
+use crate::pred::RowPred;
+use crate::table::ColumnTable;
+use minipool::ThreadPool;
+use no_object::{Governor, Interner, ResourceError};
+
+/// An effective change to a canonical table: rows to insert (none of
+/// which are present) and rows to remove (all of which are present).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaTable {
+    /// Rows entering the relation; disjoint from the old state.
+    pub add: ColumnTable,
+    /// Rows leaving the relation; a subset of the old state.
+    pub del: ColumnTable,
+}
+
+impl DeltaTable {
+    /// The empty (no-op) delta at the given arity.
+    pub fn empty(arity: usize) -> Self {
+        DeltaTable {
+            add: ColumnTable::empty(arity),
+            del: ColumnTable::empty(arity),
+        }
+    }
+
+    /// Column count of both halves.
+    pub fn arity(&self) -> usize {
+        self.add.arity()
+    }
+
+    /// True when applying this delta would change nothing.
+    pub fn is_empty(&self) -> bool {
+        self.add.is_empty() && self.del.is_empty()
+    }
+
+    /// Total rows across both halves — the "size" of the change, used
+    /// for step accounting and bench reporting.
+    pub fn len(&self) -> usize {
+        self.add.len() + self.del.len()
+    }
+
+    /// The effective delta turning `old` into `new`:
+    /// `add = new ∖ old`, `del = old ∖ new`.
+    pub fn between(
+        old: &ColumnTable,
+        new: &ColumnTable,
+        gov: &Governor,
+    ) -> Result<Self, ResourceError> {
+        Ok(DeltaTable {
+            add: difference(new, old, gov)?,
+            del: difference(old, new, gov)?,
+        })
+    }
+
+    /// Restore effective form against `old`: drop added rows already
+    /// present and deletions of absent rows, and cancel rows that appear
+    /// in both halves. Used when a delta is assembled from raw mutation
+    /// streams rather than produced by a kernel.
+    pub fn normalized(&self, old: &ColumnTable, gov: &Governor) -> Result<Self, ResourceError> {
+        let add = difference(&difference(&self.add, old, gov)?, &self.del, gov)?;
+        let del = crate::kernels::intersect(&difference(&self.del, &self.add, gov)?, old, gov)?;
+        Ok(DeltaTable { add, del })
+    }
+
+    /// `new = (old ∖ del) ∪ add`. Canonical because the set-ops are.
+    pub fn apply(&self, old: &ColumnTable, gov: &Governor) -> Result<ColumnTable, ResourceError> {
+        union(&difference(old, &self.del, gov)?, &self.add, gov)
+    }
+
+    /// Debug check of the effective-form invariant against `old`.
+    #[cfg(test)]
+    fn assert_effective(&self, old: &ColumnTable, gov: &Governor) {
+        use crate::kernels::intersect;
+        assert!(
+            intersect(&self.add, old, gov).unwrap().is_empty(),
+            "delta add overlaps old state"
+        );
+        assert_eq!(
+            difference(&self.del, old, gov).unwrap().len(),
+            0,
+            "delta del not a subset of old state"
+        );
+    }
+}
+
+/// Δ⋈ — effective delta of an equi-join given effective input deltas.
+/// `keys` and `algo` are exactly the planner's choices for the full
+/// join (reuse `no-plan`'s `choose_join` verbatim), so the maintained
+/// output matches the full kernel bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn delta_join(
+    a_old: &ColumnTable,
+    da: &DeltaTable,
+    b_old: &ColumnTable,
+    db: &DeltaTable,
+    keys: &[(usize, usize)],
+    algo: JoinAlgo,
+    gov: &Governor,
+    pool: &ThreadPool,
+) -> Result<DeltaTable, ResourceError> {
+    let mut m = BlockMeter::new(gov, "exec.delta");
+    m.work((da.len() + db.len()) as u64)?;
+    m.finish()?;
+    // Rows of `a` surviving the delta; joined against Δb so neither add
+    // term can emit a pair whose a-part was deleted, and neither term
+    // overlaps the old join (its a-part or b-part is brand new).
+    let a_keep = difference(a_old, &da.del, gov)?;
+    let b_new = db.apply(b_old, gov)?;
+    let add = union(
+        &join(&da.add, &b_new, keys, algo, gov, pool)?,
+        &join(&a_keep, &db.add, keys, algo, gov, pool)?,
+        gov,
+    )?;
+    // A pair leaves the join when its a-part left `a` (against the full
+    // old `b`) or its a-part stayed but its b-part left `b`.
+    let del = union(
+        &join(&da.del, b_old, keys, algo, gov, pool)?,
+        &join(&a_keep, &db.del, keys, algo, gov, pool)?,
+        gov,
+    )?;
+    Ok(DeltaTable { add, del })
+}
+
+/// Δ∪ — effective delta of a union. A row enters when some input adds it
+/// and no input held it; it leaves when every input holding it drops it.
+pub fn delta_union(
+    a_old: &ColumnTable,
+    da: &DeltaTable,
+    b_old: &ColumnTable,
+    db: &DeltaTable,
+    gov: &Governor,
+) -> Result<DeltaTable, ResourceError> {
+    let mut m = BlockMeter::new(gov, "exec.delta");
+    m.work((da.len() + db.len()) as u64)?;
+    m.finish()?;
+    let old_u = union(a_old, b_old, gov)?;
+    // Only rows some input added can enter; subtract what was visible.
+    let add = difference(&union(&da.add, &db.add, gov)?, &old_u, gov)?;
+    // Only rows some input dropped can leave; subtract what remains.
+    let a_new = da.apply(a_old, gov)?;
+    let b_new = db.apply(b_old, gov)?;
+    let del = difference(
+        &difference(&union(&da.del, &db.del, gov)?, &a_new, gov)?,
+        &b_new,
+        gov,
+    )?;
+    Ok(DeltaTable { add, del })
+}
+
+/// Δ∖ — effective delta of `a ∖ b` (the stratified-negation kernel). A
+/// change on either side can flip a row's membership in both directions
+/// (deleting from `b` *adds* to the output), so the kernel classifies
+/// each candidate against the old and new results.
+pub fn delta_difference(
+    a_old: &ColumnTable,
+    da: &DeltaTable,
+    b_old: &ColumnTable,
+    db: &DeltaTable,
+    gov: &Governor,
+) -> Result<DeltaTable, ResourceError> {
+    let mut m = BlockMeter::new(gov, "exec.delta");
+    m.work((da.len() + db.len()) as u64)?;
+    m.finish()?;
+    let a_new = da.apply(a_old, gov)?;
+    let b_new = db.apply(b_old, gov)?;
+    let old_r = difference(a_old, b_old, gov)?;
+    let new_r = difference(&a_new, &b_new, gov)?;
+    DeltaTable::between(&old_r, &new_r, gov)
+}
+
+/// Δπ — effective delta of a deduplicating projection. A deleted input
+/// row only deletes an output row once its last witness is gone, so
+/// candidates from `Δ⁻` are checked against the new projection (and
+/// symmetrically `Δ⁺` candidates against the old one).
+pub fn delta_project(
+    t_old: &ColumnTable,
+    dt: &DeltaTable,
+    cols: &[usize],
+    gov: &Governor,
+) -> Result<DeltaTable, ResourceError> {
+    let mut m = BlockMeter::new(gov, "exec.delta");
+    m.work(dt.len() as u64)?;
+    m.finish()?;
+    let old_p = project(t_old, cols, gov)?;
+    let new_p = project(&dt.apply(t_old, gov)?, cols, gov)?;
+    let add = difference(&project(&dt.add, cols, gov)?, &old_p, gov)?;
+    let del = difference(&project(&dt.del, cols, gov)?, &new_p, gov)?;
+    Ok(DeltaTable { add, del })
+}
+
+/// Δσ — effective delta of a selection. Selection is row-local, so the
+/// delta distributes exactly: filter each half. This is the only kernel
+/// that is O(|Δ|) outright.
+pub fn delta_select(
+    dt: &DeltaTable,
+    pred: &RowPred,
+    int: &Interner,
+    gov: &Governor,
+) -> Result<DeltaTable, ResourceError> {
+    Ok(DeltaTable {
+        add: select(&dt.add, pred, int, gov)?,
+        del: select(&dt.del, pred, int, gov)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_object::{Governor, Limits, Universe, Value, ValueId};
+
+    fn gov() -> Governor {
+        Governor::new(Limits::default())
+    }
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(2)
+    }
+
+    /// An interner pre-loaded with `n` atoms, returned as raw ids the
+    /// tests draw table cells from.
+    fn domain(n: usize) -> Vec<ValueId> {
+        let int = Interner::new();
+        let names: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+        let universe = Universe::with_names(names.iter().map(|s| s.as_str()));
+        names
+            .iter()
+            .map(|name| int.intern(&Value::atom(universe.get(name).unwrap())))
+            .collect()
+    }
+
+    /// Deterministic xorshift so the randomized identities repeat.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn table(rng: &mut Rng, arity: usize, rows: usize, dom: &[ValueId]) -> ColumnTable {
+        let mut t = ColumnTable::empty(arity);
+        let mut row = vec![dom[0]; arity];
+        for _ in 0..rows {
+            for c in row.iter_mut() {
+                *c = dom[rng.below(dom.len() as u64) as usize];
+            }
+            t.push_row(&row);
+        }
+        t.canonicalize();
+        t
+    }
+
+    /// A random effective delta over `old`: delete some present rows,
+    /// add some rows not present.
+    fn delta_for(rng: &mut Rng, old: &ColumnTable, dom: &[ValueId], g: &Governor) -> DeltaTable {
+        let mut del = ColumnTable::empty(old.arity());
+        for i in 0..old.len() {
+            if rng.below(3) == 0 {
+                del.push_row(&old.row(i));
+            }
+        }
+        del.canonicalize();
+        let fresh = table(rng, old.arity(), 6, dom);
+        let add = difference(&fresh, old, g).unwrap();
+        let d = DeltaTable { add, del };
+        d.assert_effective(old, g);
+        d
+    }
+
+    #[test]
+    fn apply_and_between_are_inverses() {
+        let g = gov();
+        let dom = domain(8);
+        let mut rng = Rng(0x5eed);
+        for _ in 0..20 {
+            let old = table(&mut rng, 2, 12, &dom);
+            let new = table(&mut rng, 2, 12, &dom);
+            let d = DeltaTable::between(&old, &new, &g).unwrap();
+            d.assert_effective(&old, &g);
+            assert_eq!(d.apply(&old, &g).unwrap(), new);
+        }
+    }
+
+    #[test]
+    fn normalized_recovers_effective_form() {
+        let g = gov();
+        let dom = domain(6);
+        let mut rng = Rng(0xbead);
+        for _ in 0..20 {
+            let old = table(&mut rng, 2, 10, &dom);
+            // A raw, possibly-ineffective delta: adds may already exist,
+            // deletes may be absent, halves may overlap.
+            let raw = DeltaTable {
+                add: table(&mut rng, 2, 6, &dom),
+                del: table(&mut rng, 2, 6, &dom),
+            };
+            let d = raw.normalized(&old, &g).unwrap();
+            d.assert_effective(&old, &g);
+            // Overlapping rows cancel; surviving adds and deletes match
+            // the raw intent.
+            let want_add =
+                difference(&difference(&raw.add, &old, &g).unwrap(), &raw.del, &g).unwrap();
+            assert_eq!(d.add, want_add);
+        }
+    }
+
+    #[test]
+    fn delta_join_matches_full_recomputation() {
+        let g = gov();
+        let p = pool();
+        let mut rng = Rng(0x1234);
+        let algos = [
+            JoinAlgo::NestedLoop,
+            JoinAlgo::Hash { build_left: true },
+            JoinAlgo::Hash { build_left: false },
+            JoinAlgo::Merge,
+        ];
+        let dom = domain(6);
+        for trial in 0..24 {
+            let a_old = table(&mut rng, 2, 14, &dom);
+            let b_old = table(&mut rng, 2, 14, &dom);
+            let da = delta_for(&mut rng, &a_old, &dom, &g);
+            let db = delta_for(&mut rng, &b_old, &dom, &g);
+            let keys = [(1usize, 0usize)];
+            let algo = algos[trial % algos.len()];
+            let d = delta_join(&a_old, &da, &b_old, &db, &keys, algo, &g, &p).unwrap();
+            let old_j = join(&a_old, &b_old, &keys, algo, &g, &p).unwrap();
+            d.assert_effective(&old_j, &g);
+            let a_new = da.apply(&a_old, &g).unwrap();
+            let b_new = db.apply(&b_old, &g).unwrap();
+            let new_j = join(&a_new, &b_new, &keys, algo, &g, &p).unwrap();
+            assert_eq!(d.apply(&old_j, &g).unwrap(), new_j, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn delta_join_algorithms_agree_bitwise() {
+        let g = gov();
+        let p = pool();
+        let mut rng = Rng(0xa11);
+        let dom = domain(5);
+        let a_old = table(&mut rng, 2, 20, &dom);
+        let b_old = table(&mut rng, 2, 20, &dom);
+        let da = delta_for(&mut rng, &a_old, &dom, &g);
+        let db = delta_for(&mut rng, &b_old, &dom, &g);
+        let keys = [(0usize, 0usize)];
+        let base = delta_join(
+            &a_old,
+            &da,
+            &b_old,
+            &db,
+            &keys,
+            JoinAlgo::NestedLoop,
+            &g,
+            &p,
+        )
+        .unwrap();
+        for algo in [
+            JoinAlgo::Hash { build_left: true },
+            JoinAlgo::Hash { build_left: false },
+            JoinAlgo::Merge,
+        ] {
+            let d = delta_join(&a_old, &da, &b_old, &db, &keys, algo, &g, &p).unwrap();
+            assert_eq!(d, base, "{}", algo.label());
+        }
+    }
+
+    #[test]
+    fn delta_union_matches_full_recomputation() {
+        let g = gov();
+        let mut rng = Rng(0x0231);
+        let dom = domain(5);
+        for trial in 0..24 {
+            let a_old = table(&mut rng, 2, 12, &dom);
+            let b_old = table(&mut rng, 2, 12, &dom);
+            let da = delta_for(&mut rng, &a_old, &dom, &g);
+            let db = delta_for(&mut rng, &b_old, &dom, &g);
+            let d = delta_union(&a_old, &da, &b_old, &db, &g).unwrap();
+            let old_u = union(&a_old, &b_old, &g).unwrap();
+            d.assert_effective(&old_u, &g);
+            let new_u = union(
+                &da.apply(&a_old, &g).unwrap(),
+                &db.apply(&b_old, &g).unwrap(),
+                &g,
+            )
+            .unwrap();
+            assert_eq!(d.apply(&old_u, &g).unwrap(), new_u, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn delta_difference_matches_full_recomputation() {
+        let g = gov();
+        let mut rng = Rng(0xd1ff);
+        let dom = domain(4);
+        for trial in 0..24 {
+            let a_old = table(&mut rng, 2, 12, &dom);
+            let b_old = table(&mut rng, 2, 12, &dom);
+            let da = delta_for(&mut rng, &a_old, &dom, &g);
+            let db = delta_for(&mut rng, &b_old, &dom, &g);
+            let d = delta_difference(&a_old, &da, &b_old, &db, &g).unwrap();
+            let old_r = difference(&a_old, &b_old, &g).unwrap();
+            d.assert_effective(&old_r, &g);
+            let new_r = difference(
+                &da.apply(&a_old, &g).unwrap(),
+                &db.apply(&b_old, &g).unwrap(),
+                &g,
+            )
+            .unwrap();
+            assert_eq!(d.apply(&old_r, &g).unwrap(), new_r, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn deleting_from_the_negated_side_adds_to_a_difference() {
+        let g = gov();
+        let dom = domain(3);
+        let a = ColumnTable::from_rows(1, [[dom[1]], [dom[2]]].iter().map(|r| &r[..]));
+        let b = ColumnTable::from_rows(1, [[dom[2]]].iter().map(|r| &r[..]));
+        let db = DeltaTable {
+            add: ColumnTable::empty(1),
+            del: b.clone(),
+        };
+        let d = delta_difference(&a, &DeltaTable::empty(1), &b, &db, &g).unwrap();
+        assert_eq!(d.add.len(), 1);
+        assert_eq!(d.add.row(0), vec![dom[2]]);
+        assert!(d.del.is_empty());
+    }
+
+    #[test]
+    fn delta_project_respects_remaining_witnesses() {
+        let g = gov();
+        // Two rows projecting to the same output; deleting one must not
+        // delete the projected row.
+        let dom = domain(9);
+        let t = ColumnTable::from_rows(
+            2,
+            [[dom[1], dom[7]], [dom[1], dom[8]]].iter().map(|r| &r[..]),
+        );
+        let dt = DeltaTable {
+            add: ColumnTable::empty(2),
+            del: ColumnTable::from_rows(2, [[dom[1], dom[7]]].iter().map(|r| &r[..])),
+        };
+        let d = delta_project(&t, &dt, &[0], &g).unwrap();
+        assert!(d.is_empty(), "a surviving witness must keep the output row");
+        // Deleting both witnesses does delete it.
+        let dt2 = DeltaTable {
+            add: ColumnTable::empty(2),
+            del: t.clone(),
+        };
+        let d2 = delta_project(&t, &dt2, &[0], &g).unwrap();
+        assert_eq!(d2.del.len(), 1);
+    }
+
+    #[test]
+    fn delta_project_matches_full_recomputation() {
+        let g = gov();
+        let mut rng = Rng(0x9201);
+        let dom = domain(4);
+        for trial in 0..24 {
+            let t_old = table(&mut rng, 3, 14, &dom);
+            let dt = delta_for(&mut rng, &t_old, &dom, &g);
+            let cols = [2usize, 0usize];
+            let d = delta_project(&t_old, &dt, &cols, &g).unwrap();
+            let old_p = project(&t_old, &cols, &g).unwrap();
+            d.assert_effective(&old_p, &g);
+            let new_p = project(&dt.apply(&t_old, &g).unwrap(), &cols, &g).unwrap();
+            assert_eq!(d.apply(&old_p, &g).unwrap(), new_p, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_deltas_propagate_as_empty() {
+        let g = gov();
+        let p = pool();
+        let mut rng = Rng(0xe0);
+        let dom = domain(5);
+        let a = table(&mut rng, 2, 10, &dom);
+        let b = table(&mut rng, 2, 10, &dom);
+        let e = DeltaTable::empty(2);
+        let keys = [(0usize, 1usize)];
+        assert!(delta_join(&a, &e, &b, &e, &keys, JoinAlgo::Merge, &g, &p)
+            .unwrap()
+            .is_empty());
+        assert!(delta_union(&a, &e, &b, &e, &g).unwrap().is_empty());
+        assert!(delta_difference(&a, &e, &b, &e, &g).unwrap().is_empty());
+        assert!(delta_project(&a, &e, &[1], &g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delta_kernels_are_governor_metered() {
+        let g = Governor::new(Limits {
+            max_steps: 4,
+            ..Limits::default()
+        });
+        let p = pool();
+        let mut rng = Rng(0x901);
+        let dom = domain(8);
+        let a = table(&mut rng, 2, 40, &dom);
+        let b = table(&mut rng, 2, 40, &dom);
+        let da = DeltaTable {
+            add: ColumnTable::empty(2),
+            del: a.clone(),
+        };
+        let r = delta_join(
+            &a,
+            &da,
+            &b,
+            &DeltaTable::empty(2),
+            &[(0, 0)],
+            JoinAlgo::Merge,
+            &g,
+            &p,
+        );
+        assert!(r.is_err(), "a 4-step budget must trip");
+    }
+}

@@ -1,0 +1,47 @@
+//! The IVM error type.
+
+use no_object::ResourceError;
+use no_plan::PlanError;
+use std::fmt;
+
+/// Why a view could not be materialized, maintained, or restored.
+#[derive(Debug)]
+pub enum IvmError {
+    /// The view's Datalog¬ source failed to parse.
+    Parse(String),
+    /// The program failed validation or stratification.
+    Plan(PlanError),
+    /// A governor budget tripped mid-work. The registry is
+    /// transactional: no view was partially updated.
+    Resource(ResourceError),
+    /// No view with that name is registered.
+    UnknownView(String),
+    /// A view checkpoint was malformed.
+    Checkpoint(String),
+}
+
+impl fmt::Display for IvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IvmError::Parse(m) => write!(f, "view definition: {m}"),
+            IvmError::Plan(e) => write!(f, "view planning: {e}"),
+            IvmError::Resource(e) => write!(f, "{e}"),
+            IvmError::UnknownView(n) => write!(f, "unknown view {n:?}"),
+            IvmError::Checkpoint(m) => write!(f, "view checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IvmError {}
+
+impl From<ResourceError> for IvmError {
+    fn from(e: ResourceError) -> Self {
+        IvmError::Resource(e)
+    }
+}
+
+impl From<PlanError> for IvmError {
+    fn from(e: PlanError) -> Self {
+        IvmError::Plan(e)
+    }
+}

@@ -1,0 +1,751 @@
+//! The rule-firing matcher: backtracking enumeration of rule bodies
+//! against phase-resolved relation states.
+//!
+//! One firing = one assignment of the rule's body variables satisfying
+//! every literal. The maintenance algorithms (counting and DRed, see
+//! [`crate::engine`]) need three things the batch evaluator does not
+//! offer:
+//!
+//! * **pins** — enumerate one body literal from an explicit delta
+//!   relation instead of the stored state (the semi-naive/Δ trick);
+//! * **per-literal phases** — evaluate literal `j` against the *old*,
+//!   *mid* (deletions applied) or *new* state independently, which is
+//!   what makes the counting telescope `Σ_k new…Δ_k…old` exact;
+//! * **targeted derivation checks** — unify the head with a given fact
+//!   first, then ask whether any satisfying body extension exists
+//!   (DRed's re-derivation step).
+//!
+//! Every candidate row considered charges one governor step at
+//! `"ivm.fire"`, so maintenance draws from the same allowance as query
+//! evaluation.
+
+use no_datalog::{DTerm, Literal, Rule};
+use no_object::{Governor, Relation, ResourceError, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which version of a relation a literal reads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Phase {
+    /// The state before the delta.
+    Old,
+    /// Deletions applied, insertions not yet (DRed re-derivation reads
+    /// externals here).
+    Mid,
+    /// The state after the delta.
+    New,
+}
+
+/// Resolves relation names (at a phase) to concrete relations. The
+/// engine implements this on small per-stratum context structs; `name`
+/// may be a base relation, a lower-stratum (frozen) relation, or a
+/// same-stratum relation.
+pub trait StateFetch {
+    /// The contents of `name` at `phase`.
+    fn rel(&self, name: &str, phase: Phase) -> &Relation;
+
+    /// Enumerate the rows of `name`@`phase` whose values at `positions`
+    /// equal `key`, calling `each` per match (`Ok(false)` stops early).
+    ///
+    /// The default scans and filters, charging one `"ivm.fire"` step per
+    /// row considered — exactly the cost the scan-based matcher paid.
+    /// Contexts that own an [`IndexCache`] override this to build a hash
+    /// index per `(relation, phase, positions)` once and answer every
+    /// later probe in output-sensitive time.
+    fn probe(
+        &self,
+        name: &str,
+        phase: Phase,
+        positions: &[usize],
+        key: &[Value],
+        gov: &Governor,
+        each: &mut dyn FnMut(&Vec<Value>) -> Result<bool, ResourceError>,
+    ) -> Result<(), ResourceError> {
+        scan_probe(self.rel(name, phase), positions, key, gov, each)
+    }
+}
+
+/// The fallback probe: scan every row, keep those matching `key` at
+/// `positions`. One governor step per row considered.
+pub fn scan_probe(
+    rel: &Relation,
+    positions: &[usize],
+    key: &[Value],
+    gov: &Governor,
+    each: &mut dyn FnMut(&Vec<Value>) -> Result<bool, ResourceError>,
+) -> Result<(), ResourceError> {
+    for row in rel.iter() {
+        gov.tick("ivm.fire")?;
+        if positions.iter().zip(key).all(|(&p, v)| &row[p] == v) && !each(row)? {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+type Index = HashMap<Vec<Value>, Vec<Vec<Value>>>;
+
+/// Per-maintenance-call hash indexes over relation states, keyed by
+/// `(relation, phase, bound positions)`. Building an index costs one
+/// pass over the relation (one `"ivm.index"` governor step per row);
+/// every subsequent probe with the same shape is O(matches). Every
+/// relation a probe reads is frozen for the cache's lifetime — the
+/// engine layers mutable same-stratum state as an overlay *over* the
+/// frozen snapshot rather than mutating what the cache indexed.
+#[derive(Default)]
+pub struct IndexCache {
+    map: RefCell<HashMap<ProbeShape, Arc<Index>>>,
+    /// Probe shapes seen so far: an index is only built the *second*
+    /// time a shape is probed — a one-shot probe is cheaper as a scan.
+    seen: RefCell<HashMap<ProbeShape, u32>>,
+}
+
+/// Cache key: which relation/phase is probed and which positions are bound.
+type ProbeShape = (String, Phase, Vec<usize>);
+
+impl IndexCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        IndexCache::default()
+    }
+
+    /// Indexed probe over `rel` (the resolved contents of
+    /// `name`@`phase`, frozen for this cache's lifetime).
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe(
+        &self,
+        rel: &Relation,
+        name: &str,
+        phase: Phase,
+        positions: &[usize],
+        key: &[Value],
+        gov: &Governor,
+        each: &mut dyn FnMut(&Vec<Value>) -> Result<bool, ResourceError>,
+    ) -> Result<(), ResourceError> {
+        if positions.is_empty() {
+            // nothing bound: an index has no selectivity to offer
+            return scan_probe(rel, positions, key, gov, each);
+        }
+        // fully bound: a membership test, no enumeration at all
+        if positions.len() == key.len()
+            && positions.iter().enumerate().all(|(i, &p)| i == p)
+            && rel.iter().next().is_none_or(|row| row.len() == key.len())
+        {
+            gov.tick("ivm.fire")?;
+            if rel.contains(key) {
+                let row = key.to_vec();
+                each(&row)?;
+            }
+            return Ok(());
+        }
+        let cache_key = (name.to_string(), phase, positions.to_vec());
+        // resolve (or build) the index, then release the borrow before
+        // calling `each` — deeper literals probe this cache reentrantly
+        let index: Option<Arc<Index>> = {
+            let mut map = self.map.borrow_mut();
+            match map.get(&cache_key) {
+                Some(idx) => Some(Arc::clone(idx)),
+                None => {
+                    // build only on the second probe of this shape —
+                    // a one-shot probe is cheaper as a plain scan
+                    let hits = self
+                        .seen
+                        .borrow_mut()
+                        .entry(cache_key.clone())
+                        .and_modify(|c| *c += 1)
+                        .or_insert(1)
+                        .to_owned();
+                    if hits < 2 {
+                        None
+                    } else {
+                        let mut built: Index = HashMap::new();
+                        for row in rel.iter() {
+                            gov.tick("ivm.index")?;
+                            let k: Vec<Value> = positions.iter().map(|&p| row[p].clone()).collect();
+                            built.entry(k).or_default().push(row.clone());
+                        }
+                        let idx = Arc::new(built);
+                        map.insert(cache_key, Arc::clone(&idx));
+                        Some(idx)
+                    }
+                }
+            }
+        };
+        let Some(index) = index else {
+            return scan_probe(rel, positions, key, gov, each);
+        };
+        if let Some(rows) = index.get(key) {
+            for row in rows {
+                gov.tick("ivm.fire")?;
+                if !each(row)? {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Enumerate one literal from explicit rows instead of the stored state.
+pub struct Pin<'a> {
+    /// Index into `rule.body` of the pinned literal.
+    pub lit: usize,
+    /// The rows enumerated there (a delta, not the full relation).
+    pub rows: &'a Relation,
+}
+
+/// A variable binding as a backtrackable stack (rules have few
+/// variables; linear lookup beats a map here).
+struct Binding<'r> {
+    stack: Vec<(&'r str, Value)>,
+}
+
+impl<'r> Binding<'r> {
+    fn get(&self, var: &str) -> Option<&Value> {
+        self.stack
+            .iter()
+            .rev()
+            .find(|(v, _)| *v == var)
+            .map(|(_, val)| val)
+    }
+
+    /// Unify literal arguments against a concrete row. Returns the stack
+    /// length to truncate back to on backtrack, or `None` on mismatch
+    /// (already truncated).
+    fn unify(&mut self, args: &'r [DTerm], row: &[Value]) -> Option<usize> {
+        let mark = self.stack.len();
+        debug_assert_eq!(args.len(), row.len());
+        for (arg, val) in args.iter().zip(row) {
+            let ok = match arg {
+                DTerm::Const(c) => c == val,
+                DTerm::Var(v) => match self.get(v) {
+                    Some(bound) => bound == val,
+                    None => {
+                        self.stack.push((v.as_str(), val.clone()));
+                        true
+                    }
+                },
+            };
+            if !ok {
+                self.stack.truncate(mark);
+                return None;
+            }
+        }
+        Some(mark)
+    }
+
+    fn term(&self, t: &DTerm) -> Option<Value> {
+        match t {
+            DTerm::Const(c) => Some(c.clone()),
+            DTerm::Var(v) => self.get(v).cloned(),
+        }
+    }
+
+    /// Whether `t` is determined under the current binding (no clone).
+    fn is_bound(&self, t: &DTerm) -> bool {
+        match t {
+            DTerm::Const(_) => true,
+            DTerm::Var(v) => self.get(v).is_some(),
+        }
+    }
+}
+
+/// Enumerate every firing of `rule` and hand the instantiated head row
+/// to `sink`. With a [`Pin`], the pinned literal enumerates `pin.rows`
+/// (for a negated pin the literal only binds, it is not re-checked —
+/// the pin rows *are* the violation/satisfaction delta). `phase_of`
+/// assigns each body literal index the state it reads. `sink` returns
+/// `false` to stop early.
+pub fn for_each_firing(
+    rule: &Rule,
+    pin: Option<&Pin<'_>>,
+    phase_of: &dyn Fn(usize) -> Phase,
+    st: &dyn StateFetch,
+    gov: &Governor,
+    sink: &mut dyn FnMut(Vec<Value>) -> Result<bool, ResourceError>,
+) -> Result<(), ResourceError> {
+    let mut binding = Binding { stack: Vec::new() };
+    let mut emit = |b: &Binding<'_>| -> Result<bool, ResourceError> {
+        let row: Vec<Value> = rule
+            .head_args
+            .iter()
+            .map(|t| {
+                b.term(t)
+                    .expect("validated rule: head variable bound by the body")
+            })
+            .collect();
+        sink(row)
+    };
+    drive(rule, pin, phase_of, st, gov, &mut binding, &mut emit)?;
+    Ok(())
+}
+
+/// Does any firing of `rule` derive exactly `fact`? Unifies the head
+/// with `fact` first, then searches for a satisfying body extension
+/// (DRed re-derivation).
+pub fn derives(
+    rule: &Rule,
+    fact: &[Value],
+    phase_of: &dyn Fn(usize) -> Phase,
+    st: &dyn StateFetch,
+    gov: &Governor,
+) -> Result<bool, ResourceError> {
+    if rule.head_args.len() != fact.len() {
+        return Ok(false);
+    }
+    let mut binding = Binding { stack: Vec::new() };
+    if binding.unify(&rule.head_args, fact).is_none() {
+        return Ok(false);
+    }
+    let mut found = false;
+    let mut emit = |_: &Binding<'_>| -> Result<bool, ResourceError> {
+        found = true;
+        Ok(false) // one witness is enough
+    };
+    drive(rule, None, phase_of, st, gov, &mut binding, &mut emit)?;
+    Ok(found)
+}
+
+/// Shared driver: pin enumeration (if any), then the positive literals,
+/// then the constraint solver, calling `emit` per satisfying binding.
+fn drive<'r>(
+    rule: &'r Rule,
+    pin: Option<&Pin<'_>>,
+    phase_of: &dyn Fn(usize) -> Phase,
+    st: &dyn StateFetch,
+    gov: &Governor,
+    binding: &mut Binding<'r>,
+    emit: &mut dyn FnMut(&Binding<'r>) -> Result<bool, ResourceError>,
+) -> Result<(), ResourceError> {
+    // Positive literals to enumerate (the pinned one is handled first,
+    // whatever its polarity); the rest are constraints solved at the leaf.
+    let mut positives: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| matches!(l, Literal::Pos(..)) && pin.is_none_or(|p| p.lit != *i))
+        .map(|(i, _)| i)
+        .collect();
+    let constraints: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| !matches!(l, Literal::Pos(..)) && pin.is_none_or(|p| p.lit != *i))
+        .map(|(i, _)| i)
+        .collect();
+
+    match pin {
+        Some(p) => {
+            let args = match &rule.body[p.lit] {
+                Literal::Pos(_, args) | Literal::Neg(_, args) => args,
+                other => unreachable!("only relation literals can be pinned, got {other}"),
+            };
+            for row in p.rows.iter() {
+                gov.tick("ivm.fire")?;
+                let Some(mark) = binding.unify(args, row) else {
+                    continue;
+                };
+                if !enumerate(
+                    rule,
+                    &mut positives,
+                    0,
+                    &constraints,
+                    phase_of,
+                    st,
+                    gov,
+                    binding,
+                    emit,
+                )? {
+                    binding.stack.truncate(mark);
+                    return Ok(());
+                }
+                binding.stack.truncate(mark);
+            }
+            Ok(())
+        }
+        None => {
+            enumerate(
+                rule,
+                &mut positives,
+                0,
+                &constraints,
+                phase_of,
+                st,
+                gov,
+                binding,
+                emit,
+            )?;
+            Ok(())
+        }
+    }
+}
+
+/// Backtracking enumeration over the positive literals; `Ok(false)`
+/// propagates an early stop from `emit`.
+///
+/// The literal order is chosen greedily per depth: the most-bound
+/// remaining literal goes next (fully-bound ones first of all, where
+/// the probe degenerates to a membership test). Each depth re-selects
+/// under its own binding, so the swap needs no undo on backtrack —
+/// `positives[..depth]` is never disturbed.
+#[allow(clippy::too_many_arguments)]
+fn enumerate<'r>(
+    rule: &'r Rule,
+    positives: &mut [usize],
+    depth: usize,
+    constraints: &[usize],
+    phase_of: &dyn Fn(usize) -> Phase,
+    st: &dyn StateFetch,
+    gov: &Governor,
+    binding: &mut Binding<'r>,
+    emit: &mut dyn FnMut(&Binding<'r>) -> Result<bool, ResourceError>,
+) -> Result<bool, ResourceError> {
+    if depth >= positives.len() {
+        return solve_constraints(rule, constraints, 0, phase_of, st, gov, binding, emit);
+    }
+    let mut best = depth;
+    let mut best_key = (false, 0usize, std::cmp::Reverse(usize::MAX));
+    for (j, &cand) in positives.iter().enumerate().skip(depth) {
+        let Literal::Pos(name, args) = &rule.body[cand] else {
+            unreachable!("positives holds Pos indices only")
+        };
+        let bound = args.iter().filter(|a| binding.is_bound(a)).count();
+        // ties on boundness go to the smaller relation
+        let size = st.rel(name, phase_of(cand)).len();
+        let key = (bound == args.len(), bound, std::cmp::Reverse(size));
+        if key > best_key {
+            (best, best_key) = (j, key);
+        }
+    }
+    positives.swap(depth, best);
+    let idx = positives[depth];
+    let Literal::Pos(name, args) = &rule.body[idx] else {
+        unreachable!("positives holds Pos indices only")
+    };
+    // probe on the argument positions the binding already determines;
+    // unify re-checks them and binds the rest
+    let mut positions = Vec::new();
+    let mut key = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = binding.term(arg) {
+            positions.push(i);
+            key.push(v);
+        }
+    }
+    let mut keep_going = true;
+    st.probe(name, phase_of(idx), &positions, &key, gov, &mut |row| {
+        let Some(mark) = binding.unify(args, row) else {
+            return Ok(true);
+        };
+        let keep = enumerate(
+            rule,
+            positives,
+            depth + 1,
+            constraints,
+            phase_of,
+            st,
+            gov,
+            binding,
+            emit,
+        )?;
+        binding.stack.truncate(mark);
+        if !keep {
+            keep_going = false;
+        }
+        Ok(keep)
+    })?;
+    Ok(keep_going)
+}
+
+/// Solve the constraint literals under the current binding. `Eq` may
+/// *bind* a still-free variable and `In` may *enumerate* a bound set
+/// (both sanctioned by `Program::validate`'s safety saturation); the
+/// rest are pure checks. Constraints whose variables are not yet bound
+/// are deferred by rotating them to the back — validated rules always
+/// make progress, so the pass count is bounded by `constraints.len()`.
+#[allow(clippy::too_many_arguments)]
+fn solve_constraints<'r>(
+    rule: &'r Rule,
+    remaining: &[usize],
+    stuck: usize,
+    phase_of: &dyn Fn(usize) -> Phase,
+    st: &dyn StateFetch,
+    gov: &Governor,
+    binding: &mut Binding<'r>,
+    emit: &mut dyn FnMut(&Binding<'r>) -> Result<bool, ResourceError>,
+) -> Result<bool, ResourceError> {
+    let Some((&idx, rest)) = remaining.split_first() else {
+        return emit(binding);
+    };
+    if stuck > remaining.len() {
+        // every remaining constraint is waiting on a variable none of
+        // them can bind — impossible for validated rules
+        unreachable!("constraint solving stalled on a validated rule");
+    }
+    let defer = |binding: &mut Binding<'r>,
+                 emit: &mut dyn FnMut(&Binding<'r>) -> Result<bool, ResourceError>|
+     -> Result<bool, ResourceError> {
+        let mut rotated: Vec<usize> = rest.to_vec();
+        rotated.push(idx);
+        solve_constraints(rule, &rotated, stuck + 1, phase_of, st, gov, binding, emit)
+    };
+    gov.tick("ivm.fire")?;
+    match &rule.body[idx] {
+        Literal::Neg(name, args) => {
+            let vals: Option<Vec<Value>> = args.iter().map(|t| binding.term(t)).collect();
+            match vals {
+                None => defer(binding, emit),
+                Some(row) => {
+                    if st.rel(name, phase_of(idx)).contains(&row) {
+                        Ok(true) // constraint fails; keep enumerating others
+                    } else {
+                        solve_constraints(rule, rest, 0, phase_of, st, gov, binding, emit)
+                    }
+                }
+            }
+        }
+        Literal::Eq(a, b) => match (binding.term(a), binding.term(b)) {
+            (Some(x), Some(y)) => {
+                if x == y {
+                    solve_constraints(rule, rest, 0, phase_of, st, gov, binding, emit)
+                } else {
+                    Ok(true)
+                }
+            }
+            (Some(x), None) | (None, Some(x)) => {
+                let var = match (a, b) {
+                    (DTerm::Var(v), _) if binding.get(v).is_none() => v,
+                    (_, DTerm::Var(v)) => v,
+                    _ => unreachable!("unbound side must be a variable"),
+                };
+                binding.stack.push((var.as_str(), x));
+                let r = solve_constraints(rule, rest, 0, phase_of, st, gov, binding, emit);
+                binding.stack.pop();
+                r
+            }
+            (None, None) => defer(binding, emit),
+        },
+        Literal::Neq(a, b) => match (binding.term(a), binding.term(b)) {
+            (Some(x), Some(y)) => {
+                if x != y {
+                    solve_constraints(rule, rest, 0, phase_of, st, gov, binding, emit)
+                } else {
+                    Ok(true)
+                }
+            }
+            _ => defer(binding, emit),
+        },
+        Literal::In(a, b) => match binding.term(b) {
+            None => defer(binding, emit),
+            Some(Value::Set(members)) => match binding.term(a) {
+                Some(x) => {
+                    if members.iter().any(|m| *m == x) {
+                        solve_constraints(rule, rest, 0, phase_of, st, gov, binding, emit)
+                    } else {
+                        Ok(true)
+                    }
+                }
+                None => {
+                    let DTerm::Var(v) = a else {
+                        unreachable!("unbound membership side must be a variable")
+                    };
+                    for m in members.iter() {
+                        gov.tick("ivm.fire")?;
+                        binding.stack.push((v.as_str(), m.clone()));
+                        let keep =
+                            solve_constraints(rule, rest, 0, phase_of, st, gov, binding, emit)?;
+                        binding.stack.pop();
+                        if !keep {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                }
+            },
+            Some(_) => Ok(true), // membership in a non-set never holds
+        },
+        Literal::NotIn(a, b) => match (binding.term(a), binding.term(b)) {
+            (Some(x), Some(Value::Set(members))) => {
+                if members.iter().all(|m| *m != x) {
+                    solve_constraints(rule, rest, 0, phase_of, st, gov, binding, emit)
+                } else {
+                    Ok(true)
+                }
+            }
+            (Some(_), Some(_)) => {
+                // not-in over a non-set vacuously holds
+                solve_constraints(rule, rest, 0, phase_of, st, gov, binding, emit)
+            }
+            _ => defer(binding, emit),
+        },
+        Literal::Pos(..) => unreachable!("positive literals are enumerated, not solved"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_object::Universe;
+    use std::collections::BTreeMap;
+
+    struct Flat {
+        rels: BTreeMap<String, Relation>,
+    }
+
+    impl StateFetch for Flat {
+        fn rel(&self, name: &str, _phase: Phase) -> &Relation {
+            static EMPTY: std::sync::OnceLock<Relation> = std::sync::OnceLock::new();
+            self.rels
+                .get(name)
+                .unwrap_or_else(|| EMPTY.get_or_init(Relation::new))
+        }
+    }
+
+    fn edge_state(u: &mut Universe, edges: &[(&str, &str)]) -> Flat {
+        let rows = edges
+            .iter()
+            .map(|(a, b)| vec![Value::Atom(u.intern(a)), Value::Atom(u.intern(b))]);
+        let mut rels = BTreeMap::new();
+        rels.insert("G".to_string(), Relation::from_rows(rows));
+        Flat { rels }
+    }
+
+    fn collect(rule: &Rule, pin: Option<&Pin<'_>>, st: &dyn StateFetch) -> Vec<Vec<Value>> {
+        let gov = Governor::unlimited();
+        let mut out = Vec::new();
+        for_each_firing(rule, pin, &|_| Phase::Old, st, &gov, &mut |row| {
+            out.push(row);
+            Ok(true)
+        })
+        .unwrap();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn join_firings_match_composition() {
+        let mut u = Universe::new();
+        let st = edge_state(&mut u, &[("a", "b"), ("b", "c"), ("b", "d")]);
+        // two_hop(x, z) :- G(x, y), G(y, z).
+        let rule = Rule {
+            head: "two_hop".to_string(),
+            head_args: vec![DTerm::var("x"), DTerm::var("z")],
+            body: vec![
+                Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")]),
+                Literal::Pos("G".into(), vec![DTerm::var("y"), DTerm::var("z")]),
+            ],
+        };
+        let rows = collect(&rule, None, &st);
+        let a = |s: &str| Value::Atom(u.get(s).unwrap());
+        assert_eq!(rows, vec![vec![a("a"), a("c")], vec![a("a"), a("d")]]);
+    }
+
+    #[test]
+    fn pinned_enumeration_restricts_to_delta_rows() {
+        let mut u = Universe::new();
+        let st = edge_state(&mut u, &[("a", "b"), ("b", "c"), ("c", "d")]);
+        let rule = Rule {
+            head: "two_hop".to_string(),
+            head_args: vec![DTerm::var("x"), DTerm::var("z")],
+            body: vec![
+                Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")]),
+                Literal::Pos("G".into(), vec![DTerm::var("y"), DTerm::var("z")]),
+            ],
+        };
+        // pin the second literal to just (c, d): only (b, d) can fire
+        let delta = Relation::from_rows([vec![
+            Value::Atom(u.get("c").unwrap()),
+            Value::Atom(u.get("d").unwrap()),
+        ]]);
+        let pin = Pin {
+            lit: 1,
+            rows: &delta,
+        };
+        let rows = collect(&rule, Some(&pin), &st);
+        let a = |s: &str| Value::Atom(u.get(s).unwrap());
+        assert_eq!(rows, vec![vec![a("b"), a("d")]]);
+    }
+
+    #[test]
+    fn derives_checks_one_fact_only() {
+        let mut u = Universe::new();
+        let st = edge_state(&mut u, &[("a", "b"), ("b", "c")]);
+        let rule = Rule {
+            head: "two_hop".to_string(),
+            head_args: vec![DTerm::var("x"), DTerm::var("z")],
+            body: vec![
+                Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")]),
+                Literal::Pos("G".into(), vec![DTerm::var("y"), DTerm::var("z")]),
+            ],
+        };
+        let gov = Governor::unlimited();
+        let a = |s: &str| Value::Atom(u.get(s).unwrap());
+        assert!(derives(&rule, &[a("a"), a("c")], &|_| Phase::Old, &st, &gov).unwrap());
+        assert!(!derives(&rule, &[a("a"), a("b")], &|_| Phase::Old, &st, &gov).unwrap());
+    }
+
+    #[test]
+    fn negation_and_comparisons_filter_firings() {
+        let mut u = Universe::new();
+        let mut st = edge_state(&mut u, &[("a", "b"), ("b", "c"), ("c", "c")]);
+        st.rels.insert(
+            "Blocked".to_string(),
+            Relation::from_rows([vec![Value::Atom(u.intern("a")), Value::Atom(u.intern("b"))]]),
+        );
+        // ok(x, y) :- G(x, y), !Blocked(x, y), x != y.
+        let rule = Rule {
+            head: "ok".to_string(),
+            head_args: vec![DTerm::var("x"), DTerm::var("y")],
+            body: vec![
+                Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")]),
+                Literal::Neg("Blocked".into(), vec![DTerm::var("x"), DTerm::var("y")]),
+                Literal::Neq(DTerm::var("x"), DTerm::var("y")),
+            ],
+        };
+        let rows = collect(&rule, None, &st);
+        let a = |s: &str| Value::Atom(u.get(s).unwrap());
+        assert_eq!(rows, vec![vec![a("b"), a("c")]]);
+    }
+
+    #[test]
+    fn eq_binds_and_in_enumerates() {
+        let mut u = Universe::new();
+        let st = edge_state(&mut u, &[("a", "b")]);
+        let set = Value::set([Value::Atom(u.intern("p")), Value::Atom(u.intern("q"))]);
+        // tag(x, t, c) :- G(x, y), t in S, c = y   (S a constant set)
+        let rule = Rule {
+            head: "tag".to_string(),
+            head_args: vec![DTerm::var("x"), DTerm::var("t"), DTerm::var("c")],
+            body: vec![
+                Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")]),
+                Literal::In(DTerm::var("t"), DTerm::Const(set)),
+                Literal::Eq(DTerm::var("c"), DTerm::var("y")),
+            ],
+        };
+        let rows = collect(&rule, None, &st);
+        assert_eq!(rows.len(), 2, "one firing per set member: {rows:?}");
+    }
+
+    #[test]
+    fn firing_attempts_are_governor_metered() {
+        let mut u = Universe::new();
+        let st = edge_state(&mut u, &[("a", "b"), ("b", "c"), ("c", "d")]);
+        let rule = Rule {
+            head: "two_hop".to_string(),
+            head_args: vec![DTerm::var("x"), DTerm::var("z")],
+            body: vec![
+                Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("y")]),
+                Literal::Pos("G".into(), vec![DTerm::var("y"), DTerm::var("z")]),
+            ],
+        };
+        let gov = Governor::new(no_object::Limits {
+            max_steps: 2,
+            ..no_object::Limits::unlimited()
+        });
+        let err = for_each_firing(&rule, None, &|_| Phase::Old, &st, &gov, &mut |_| Ok(true))
+            .unwrap_err();
+        assert_eq!(err.budget, no_object::BudgetKind::Steps);
+    }
+}

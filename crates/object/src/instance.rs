@@ -160,6 +160,11 @@ impl Relation {
         self.rows.contains(row)
     }
 
+    /// Remove a row; returns whether it was present.
+    pub fn remove(&mut self, row: &[Value]) -> bool {
+        self.rows.remove(row)
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -252,6 +257,18 @@ impl Instance {
             .get_mut(name)
             .expect("validated above")
             .insert(row)
+    }
+
+    /// Delete a row; returns whether it was present. The inverse of
+    /// [`Instance::insert`] — deleting an absent row is a no-op.
+    ///
+    /// # Panics
+    /// Panics on an unknown relation name, like every schema mismatch.
+    pub fn delete(&mut self, name: &str, row: &[Value]) -> bool {
+        self.relations
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("relation {name:?} not in schema"))
+            .remove(row)
     }
 
     /// Replace the extension of a relation wholesale (rows must already be
@@ -374,6 +391,19 @@ mod tests {
         assert_eq!(i.cardinality(), 2);
         assert_eq!(i.atoms().len(), 2);
         assert!(i.relation("G").contains(&[Value::Atom(a), Value::Atom(b)]));
+    }
+
+    #[test]
+    fn delete_removes_and_reports_presence() {
+        let mut u = Universe::new();
+        let (a, b) = (u.intern("a"), u.intern("b"));
+        let mut i = Instance::empty(graph_schema());
+        i.insert("G", vec![Value::Atom(a), Value::Atom(b)]);
+        assert!(i.delete("G", &[Value::Atom(a), Value::Atom(b)]));
+        assert!(!i.delete("G", &[Value::Atom(a), Value::Atom(b)]));
+        assert_eq!(i.cardinality(), 0);
+        // insert after delete works again
+        assert!(i.insert("G", vec![Value::Atom(a), Value::Atom(b)]));
     }
 
     #[test]

@@ -264,6 +264,9 @@ pub enum Clause {
     /// validated against any schema here; the applier checks arity and
     /// types against its current schema.
     Fact(String, Vec<Value>),
+    /// `delete R(v1, …, vn).` — retract a fact from relation `R`. Like
+    /// [`Clause::Fact`], validation is the applier's job.
+    Retract(String, Vec<Value>),
 }
 
 /// Parse exactly one clause (a `schema` declaration or a fact). Rejects
@@ -294,19 +297,28 @@ impl P<'_, '_> {
             self.eat(b')')?;
             self.eat(b'.')?;
             Ok(Clause::Schema(RelationSchema::new(name, types)))
+        } else if id == "delete" {
+            let name = self.ident()?;
+            let row = self.fact_row()?;
+            Ok(Clause::Retract(name, row))
         } else {
-            self.eat(b'(')?;
-            let mut row = Vec::new();
-            if self.peek() != Some(b')') {
-                row.push(self.value()?);
-                while self.try_eat(b',') {
-                    row.push(self.value()?);
-                }
-            }
-            self.eat(b')')?;
-            self.eat(b'.')?;
+            let row = self.fact_row()?;
             Ok(Clause::Fact(id, row))
         }
+    }
+
+    fn fact_row(&mut self) -> Result<Vec<Value>, TextError> {
+        self.eat(b'(')?;
+        let mut row = Vec::new();
+        if self.peek() != Some(b')') {
+            row.push(self.value()?);
+            while self.try_eat(b',') {
+                row.push(self.value()?);
+            }
+        }
+        self.eat(b')')?;
+        self.eat(b'.')?;
+        Ok(row)
     }
 }
 
@@ -323,6 +335,12 @@ pub fn render_fact(universe: &Universe, name: &str, row: &[Value]) -> String {
     }
     out.push_str(").");
     out
+}
+
+/// Render one retraction clause `delete R(v1, …, vn).` — the inverse of
+/// [`parse_clause`] for [`Clause::Retract`].
+pub fn render_retract(universe: &Universe, name: &str, row: &[Value]) -> String {
+    format!("delete {}", render_fact(universe, name, row))
 }
 
 /// Render one schema declaration `schema R(T1, …, Tn).` — the inverse of
@@ -466,6 +484,18 @@ mod tests {
         assert_eq!(
             parse_clause(&fact, &mut u).unwrap(),
             Clause::Fact("P".into(), row)
+        );
+    }
+
+    #[test]
+    fn retract_clause_roundtrips() {
+        let mut u = Universe::new();
+        let row = vec![Value::Atom(u.intern("a")), Value::Atom(u.intern("b"))];
+        let clause = render_retract(&u, "G", &row);
+        assert_eq!(clause, "delete G('a', 'b').");
+        assert_eq!(
+            parse_clause(&clause, &mut u).unwrap(),
+            Clause::Retract("G".into(), row)
         );
     }
 

@@ -1,0 +1,437 @@
+//! Delta plans: the semi-naive rewrite as a standalone module, plus
+//! per-stratum **maintenance plans** for incremental view maintenance.
+//!
+//! Historically the delta rewrite lived inside the optimizer pass
+//! pipeline ([`crate::passes`]) because its only consumer was semi-naive
+//! Datalog evaluation. The IVM engine (`crates/ivm`) needs the same
+//! Δ-pinned rule variants *outside* the optimizer — to propagate base
+//! mutations through materialized views — so the rewrite now lives here
+//! and the pass pipeline re-exports it.
+//!
+//! [`plan_maintenance`] turns a stratified Datalog¬ program into one
+//! plan per stratum, mirroring `no_datalog::eval_stratified_pooled`:
+//! each stratum is lowered against a schema extended with all lower
+//! strata (frozen, so negation only consults finished relations), and
+//! gets a maintenance strategy:
+//!
+//! | stratum shape  | strategy                 | why                                            |
+//! |----------------|--------------------------|------------------------------------------------|
+//! | non-recursive  | [`MaintenanceStrategy::Counting`] | every derived fact's support count is exact; deletions decrement and drop at zero — no re-derivation pass needed |
+//! | recursive      | [`MaintenanceStrategy::DRed`]     | counts diverge on cyclic derivations; delete-rederive over-deletes then re-derives facts with surviving alternative proofs |
+
+use crate::ir::{Node, NodeId, Op, Plan};
+use crate::lower::lower_datalog;
+use crate::physical::{DatalogMode, PlanError};
+use crate::stats::Stats;
+use no_datalog::{stratify, Literal, Program};
+use no_object::{RelationSchema, Schema};
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------------
+// delta-rewrite (moved out of the pass pipeline)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn copy_subtree(
+    src: &Plan,
+    id: NodeId,
+    dst: &mut Plan,
+    transform: &mut impl FnMut(&Node, &mut Plan, Vec<NodeId>) -> NodeId,
+) -> NodeId {
+    let node = src.node(id);
+    let children: Vec<NodeId> = node
+        .children
+        .iter()
+        .map(|&c| copy_subtree(src, c, dst, transform))
+        .collect();
+    transform(node, dst, children)
+}
+
+/// The semi-naive rewrite (the plan-level form of the classic Datalog
+/// delta transformation): each rule with `n ≥ 1` positive IDB body
+/// literals expands into `n` variants, the `k`-th reading literal `k`
+/// from the previous round's **delta** instead of the full relation.
+/// Non-recursive rules keep one variant, noted as contributing from the
+/// first round only. Soundness: every new fact derivable in round `m`
+/// uses at least one fact first derived in round `m−1`, so the variant
+/// family derives exactly what the naive rule does.
+pub fn delta_rewrite(plan: &Plan, idb: &BTreeSet<String>) -> Plan {
+    let root = plan.node(plan.root);
+    let Op::Program { semantics: _ } = &root.op else {
+        return plan.clone(); // not a Datalog plan; nothing to do
+    };
+    let mut out = Plan::new();
+    let mut new_rules = Vec::new();
+    for &rule_id in &root.children {
+        let rule = plan.node(rule_id);
+        let (Op::Rule { head, .. }, [body]) = (&rule.op, rule.children.as_slice()) else {
+            new_rules.push(copy_subtree(plan, rule_id, &mut out, &mut |n, dst, ch| {
+                dst.add_est(n.op.clone(), ch, n.est)
+            }));
+            continue;
+        };
+        // Count IDB scans in this body, in DFS order.
+        let idb_scans = {
+            let mut stack = vec![*body];
+            let mut n = 0usize;
+            while let Some(i) = stack.pop() {
+                let node = plan.node(i);
+                if matches!(&node.op, Op::Scan { rel } if idb.contains(rel)) {
+                    n += 1;
+                }
+                stack.extend(&node.children);
+            }
+            n
+        };
+        if idb_scans == 0 {
+            let new_body = copy_subtree(plan, *body, &mut out, &mut |n, dst, ch| {
+                dst.add_est(n.op.clone(), ch, n.est)
+            });
+            let id = out.add(
+                Op::Rule {
+                    head: head.clone(),
+                    delta_pos: None,
+                },
+                vec![new_body],
+            );
+            out.nodes[id].note = Some("non-recursive: fires from round 0".to_string());
+            new_rules.push(id);
+            continue;
+        }
+        for k in 0..idb_scans {
+            let mut seen = 0usize;
+            let new_body = copy_subtree(plan, *body, &mut out, &mut |n, dst, ch| {
+                if let Op::Scan { rel } = &n.op {
+                    if idb.contains(rel) {
+                        let this = seen;
+                        seen += 1;
+                        if this == k {
+                            let id = dst.add_est(Op::DeltaScan { rel: rel.clone() }, ch, None);
+                            dst.nodes[id].note =
+                                Some("facts new in the previous round".to_string());
+                            return id;
+                        }
+                    }
+                }
+                dst.add_est(n.op.clone(), ch, n.est)
+            });
+            new_rules.push(out.add(
+                Op::Rule {
+                    head: head.clone(),
+                    delta_pos: Some(k),
+                },
+                vec![new_body],
+            ));
+        }
+    }
+    out.root = out.add(
+        Op::Program {
+            semantics: "semi-naive".to_string(),
+        },
+        new_rules,
+    );
+    out.shared = plan.shared;
+    out
+}
+
+// ---------------------------------------------------------------------------
+// maintenance planning
+// ---------------------------------------------------------------------------
+
+/// How a stratum's materialized relations are maintained under deletions.
+///
+/// Insertions are uniform — semi-naive propagation of the Δ-pinned rule
+/// variants — so the strategy only decides the deletion side.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MaintenanceStrategy {
+    /// Count derivations per fact (bookkeeping at head projection only).
+    /// A deletion decrements the count of every derivation it supported;
+    /// a fact dies when its count reaches zero. Exact for non-recursive
+    /// strata, where distinct derivations are finite and independent.
+    Counting,
+    /// Delete-and-re-derive (Gupta–Mumick–Subrahmanian): over-delete
+    /// everything transitively supported by the deleted facts, then
+    /// re-derive over-deleted facts with a surviving alternative proof.
+    /// Required for recursive strata, where derivation counts diverge on
+    /// cycles.
+    DRed,
+}
+
+impl MaintenanceStrategy {
+    /// Stable lowercase label used in explain output and wire stats.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MaintenanceStrategy::Counting => "counting",
+            MaintenanceStrategy::DRed => "dred",
+        }
+    }
+}
+
+/// One stratum of a [`MaintenancePlan`]: the relations it defines, its
+/// Δ-rewritten plan, and the maintenance strategy the shape forces.
+#[derive(Clone, Debug)]
+pub struct StratumPlan {
+    /// The IDB relations this stratum defines, in stratification order.
+    pub relations: Vec<String>,
+    /// Whether any rule in the stratum reads a same-stratum relation
+    /// (i.e. the stratum's fixpoint genuinely iterates).
+    pub recursive: bool,
+    /// The deletion-side maintenance strategy ([`MaintenanceStrategy::DRed`]
+    /// when recursive, [`MaintenanceStrategy::Counting`] otherwise).
+    pub strategy: MaintenanceStrategy,
+    /// The Δ-rewritten semi-naive plan for this stratum. Lower strata
+    /// appear as plain [`Op::Scan`]s — frozen inputs, exactly as in
+    /// stratified evaluation — and same-stratum reads expand into
+    /// [`Op::DeltaScan`]-pinned rule variants.
+    pub plan: Plan,
+}
+
+/// A full maintenance plan: one [`StratumPlan`] per stratum, lowest
+/// first. Maintained semantics are the **stratified model** (the
+/// inflationary model is not incrementalizable: a fact kept by a
+/// since-falsified negation has no local justification to retract).
+#[derive(Clone, Debug)]
+pub struct MaintenancePlan {
+    /// Strata in dependency order; later strata may negate earlier ones.
+    pub strata: Vec<StratumPlan>,
+}
+
+impl MaintenancePlan {
+    /// All maintained relation names, in stratification order.
+    pub fn relations(&self) -> Vec<String> {
+        self.strata
+            .iter()
+            .flat_map(|s| s.relations.iter().cloned())
+            .collect()
+    }
+
+    /// Human-readable per-stratum summary lines for explain output.
+    pub fn notes(&self) -> Vec<String> {
+        self.strata
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                format!(
+                    "stratum {}: {} [{}{}]",
+                    i,
+                    s.relations.join(", "),
+                    s.strategy.label(),
+                    if s.recursive { ", recursive" } else { "" },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Plan incremental maintenance for a stratified Datalog¬ program.
+///
+/// Mirrors `no_datalog::eval_stratified_pooled`: strata are planned
+/// bottom-up, each against a schema extended with every lower stratum's
+/// relations (so those lower — already maintained — relations lower as
+/// plain frozen scans), then Δ-rewritten over the stratum's own IDB set.
+/// Fails with [`PlanError::Stratify`] when the program has a negative
+/// cycle and with [`PlanError::Datalog`] when it doesn't validate.
+pub fn plan_maintenance(
+    schema: &Schema,
+    stats: Option<&Stats>,
+    program: &Program,
+) -> Result<MaintenancePlan, PlanError> {
+    program.validate(schema).map_err(PlanError::Datalog)?;
+    let strata = stratify(program).map_err(PlanError::Stratify)?;
+    let mut frozen = schema.clone();
+    let mut out = Vec::with_capacity(strata.len());
+    for layer in &strata {
+        let layer_set: BTreeSet<String> = layer.iter().cloned().collect();
+        let mut sub = Program::new();
+        for name in layer {
+            sub.declare(name.clone(), program.idb[name].clone());
+        }
+        for rule in &program.rules {
+            if layer_set.contains(&rule.head) {
+                sub.rules.push(rule.clone());
+            }
+        }
+        let recursive = sub.rules.iter().any(|rule| {
+            rule.body.iter().any(|lit| {
+                matches!(lit, Literal::Pos(name, _) | Literal::Neg(name, _)
+                    if layer_set.contains(name))
+            })
+        });
+        let lowered = lower_datalog(&frozen, stats, &sub, &DatalogMode::SemiNaive)?;
+        let plan = delta_rewrite(&lowered, &layer_set);
+        out.push(StratumPlan {
+            relations: layer.clone(),
+            recursive,
+            strategy: if recursive {
+                MaintenanceStrategy::DRed
+            } else {
+                MaintenanceStrategy::Counting
+            },
+            plan,
+        });
+        // freeze this stratum's relations into the schema for the next one
+        for name in layer {
+            frozen.add(RelationSchema::new(name.clone(), program.idb[name].clone()));
+        }
+    }
+    Ok(MaintenancePlan { strata: out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use no_datalog::DTerm;
+    use no_object::Type;
+
+    fn graph_schema() -> Schema {
+        Schema::from_relations([RelationSchema::new("G", vec![Type::Atom, Type::Atom])])
+    }
+
+    /// tc + node + unreach — the textbook two-stratum program.
+    fn unreach_program() -> Program {
+        let mut p = Program::new();
+        p.declare("tc", vec![Type::Atom, Type::Atom]);
+        p.declare("node", vec![Type::Atom]);
+        p.declare("unreach", vec![Type::Atom, Type::Atom]);
+        p.rule(
+            "node",
+            vec![DTerm::var("x")],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
+        );
+        p.rule(
+            "tc",
+            vec![DTerm::var("x"), DTerm::var("y")],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
+        );
+        p.rule(
+            "tc",
+            vec![DTerm::var("x"), DTerm::var("y")],
+            vec![
+                Literal::Pos("tc".into(), vec![DTerm::var("x"), DTerm::var("z")]),
+                Literal::Pos("G".into(), vec![DTerm::var("z"), DTerm::var("y")]),
+            ],
+        );
+        p.rule(
+            "unreach",
+            vec![DTerm::var("x"), DTerm::var("y")],
+            vec![
+                Literal::Pos("node".into(), vec![DTerm::var("x")]),
+                Literal::Pos("node".into(), vec![DTerm::var("y")]),
+                Literal::Neg("tc".into(), vec![DTerm::var("x"), DTerm::var("y")]),
+            ],
+        );
+        p
+    }
+
+    fn count_ops(plan: &Plan, pred: impl Fn(&Op) -> bool) -> usize {
+        plan.nodes.iter().filter(|n| pred(&n.op)).count()
+    }
+
+    #[test]
+    fn strategies_follow_stratum_recursion() {
+        let mp = plan_maintenance(&graph_schema(), None, &unreach_program()).unwrap();
+        assert_eq!(mp.strata.len(), 2);
+        let lower = &mp.strata[0];
+        assert!(lower.relations.contains(&"tc".to_string()));
+        assert!(lower.recursive);
+        assert_eq!(lower.strategy, MaintenanceStrategy::DRed);
+        let upper = &mp.strata[1];
+        assert_eq!(upper.relations, vec!["unreach".to_string()]);
+        assert!(!upper.recursive);
+        assert_eq!(upper.strategy, MaintenanceStrategy::Counting);
+        assert_eq!(
+            mp.relations(),
+            vec!["node".to_string(), "tc".to_string(), "unreach".to_string()]
+        );
+    }
+
+    #[test]
+    fn recursive_stratum_gets_delta_scans_and_frozen_lower_strata_do_not() {
+        let mp = plan_maintenance(&graph_schema(), None, &unreach_program()).unwrap();
+        // stratum 0: the recursive tc rule reads Δtc
+        assert!(
+            count_ops(&mp.strata[0].plan, |op| matches!(op, Op::DeltaScan { .. })) >= 1,
+            "recursive stratum must pin a delta scan"
+        );
+        // stratum 1 reads node/tc as frozen inputs — plain scans only
+        assert_eq!(
+            count_ops(&mp.strata[1].plan, |op| matches!(op, Op::DeltaScan { .. })),
+            0,
+            "lower strata are frozen, never delta-scanned"
+        );
+    }
+
+    #[test]
+    fn negative_cycle_is_a_plan_error() {
+        let mut p = Program::new();
+        p.declare("p", vec![Type::Atom]);
+        p.declare("q", vec![Type::Atom]);
+        p.rule(
+            "p",
+            vec![DTerm::var("x")],
+            vec![
+                Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("x")]),
+                Literal::Neg("q".into(), vec![DTerm::var("x")]),
+            ],
+        );
+        p.rule(
+            "q",
+            vec![DTerm::var("x")],
+            vec![
+                Literal::Pos("G".into(), vec![DTerm::var("x"), DTerm::var("x")]),
+                Literal::Neg("p".into(), vec![DTerm::var("x")]),
+            ],
+        );
+        assert!(matches!(
+            plan_maintenance(&graph_schema(), None, &p),
+            Err(PlanError::Stratify(_))
+        ));
+    }
+
+    #[test]
+    fn notes_summarize_each_stratum() {
+        let mp = plan_maintenance(&graph_schema(), None, &unreach_program()).unwrap();
+        let notes = mp.notes();
+        assert_eq!(notes.len(), 2);
+        assert!(notes[0].contains("dred") && notes[0].contains("recursive"));
+        assert!(notes[1].contains("counting"));
+    }
+
+    #[test]
+    fn delta_rewrite_expands_each_recursive_rule_per_idb_scan() {
+        let schema = graph_schema();
+        let mut p = Program::new();
+        p.declare("tc", vec![Type::Atom, Type::Atom]);
+        p.rule(
+            "tc",
+            vec![DTerm::var("x"), DTerm::var("y")],
+            vec![Literal::Pos(
+                "G".into(),
+                vec![DTerm::var("x"), DTerm::var("y")],
+            )],
+        );
+        p.rule(
+            "tc",
+            vec![DTerm::var("x"), DTerm::var("y")],
+            vec![
+                Literal::Pos("tc".into(), vec![DTerm::var("x"), DTerm::var("z")]),
+                Literal::Pos("tc".into(), vec![DTerm::var("z"), DTerm::var("y")]),
+            ],
+        );
+        let lowered = lower_datalog(&schema, None, &p, &DatalogMode::SemiNaive).unwrap();
+        let idb: BTreeSet<String> = ["tc".to_string()].into();
+        let rewritten = delta_rewrite(&lowered, &idb);
+        // base rule stays single; the quadratic rule splits into 2 variants
+        let rules = count_ops(&rewritten, |op| matches!(op, Op::Rule { .. }));
+        assert_eq!(rules, 3);
+        assert_eq!(
+            count_ops(&rewritten, |op| matches!(op, Op::DeltaScan { .. })),
+            2
+        );
+    }
+}

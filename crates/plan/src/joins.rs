@@ -166,9 +166,76 @@ pub fn lower_conjunctive_calc(
     let mut exec = ExecPlan::new();
     let mut plan = Plan::new();
     let mut notes = Vec::new();
+    let (_, nid, _) =
+        lower_conjunctive_into(cq, head_types, stats, &mut exec, &mut plan, &mut notes);
+    plan.root = nid;
+    ExecLowering { plan, exec, notes }
+}
 
+/// Lower a union of flat conjunctive queries (the disjunctive CALC
+/// fragment recognized by `no_core::conjunctive::decompose_union`): each
+/// disjunct lowers independently — join order and algorithms chosen per
+/// disjunct — and the results fold left through the deduplicating union
+/// kernel, so disjunctive views stay maintainable by the same delta
+/// kernels as conjunctive ones.
+pub fn lower_union_calc(
+    cqs: &[ConjunctiveQuery],
+    head_types: &[Type],
+    stats: Option<&Stats>,
+) -> ExecLowering {
+    let mut exec = ExecPlan::new();
+    let mut plan = Plan::new();
+    let mut notes = vec![format!(
+        "disjunctive query: union of {} conjunctive plans",
+        cqs.len()
+    )];
+    let mut acc: Option<(ExecId, NodeId, Option<u64>)> = None;
+    for (i, cq) in cqs.iter().enumerate() {
+        let mut local_notes = Vec::new();
+        let (eid, nid, est) = lower_conjunctive_into(
+            cq,
+            head_types,
+            stats,
+            &mut exec,
+            &mut plan,
+            &mut local_notes,
+        );
+        notes.extend(
+            local_notes
+                .into_iter()
+                .map(|n| format!("disjunct {}: {n}", i + 1)),
+        );
+        acc = Some(match acc {
+            None => (eid, nid, est),
+            Some((prev_eid, prev_nid, prev_est)) => {
+                let u = exec.push(ExecOp::Union {
+                    left: prev_eid,
+                    right: eid,
+                });
+                let est = prev_est.zip(est).map(|(a, b)| a.saturating_add(b));
+                let un = plan.add_est(Op::Union, vec![prev_nid, nid], est);
+                (u, un, est)
+            }
+        });
+    }
+    let (_, root, _) = acc.expect("decompose_union yields at least two disjuncts");
+    plan.root = root;
+    ExecLowering { plan, exec, notes }
+}
+
+/// Shared body of the conjunctive lowerings: emit one disjunct's scans,
+/// selects, joins, and head projection into `exec`/`plan`, returning the
+/// projected result's ids and estimate (the caller sets the root).
+fn lower_conjunctive_into(
+    cq: &ConjunctiveQuery,
+    head_types: &[Type],
+    stats: Option<&Stats>,
+    exec: &mut ExecPlan,
+    plan: &mut Plan,
+    notes: &mut Vec<String>,
+) -> (ExecId, NodeId, Option<u64>) {
     if cq.unsat {
-        exec.push(ExecOp::Empty {
+        let eid = exec.push(ExecOp::Empty {
             arity: cq.head.len(),
         });
         let n = plan.add_est(
@@ -180,9 +247,8 @@ pub fn lower_conjunctive_calc(
             Some(0),
         );
         plan.nodes[n].note = Some("statically unsatisfiable equalities".to_string());
-        plan.root = n;
         notes.push("equality conjuncts contradict: result is empty".to_string());
-        return ExecLowering { plan, exec, notes };
+        return (eid, n, Some(0));
     }
 
     // Prepare each atom: scan + intra-atom selects (constants, duplicate
@@ -190,7 +256,7 @@ pub fn lower_conjunctive_calc(
     let mut pending: Vec<Side> = cq
         .atoms
         .iter()
-        .map(|(rel, args)| prepare_atom(rel, args, cq, stats, &mut exec, &mut plan))
+        .map(|(rel, args)| prepare_atom(rel, args, cq, stats, exec, plan))
         .collect();
 
     // Greedy left-deep join order: start from the smallest estimate,
@@ -272,18 +338,18 @@ pub fn lower_conjunctive_calc(
                 .expect("coverage checked by decompose")
         })
         .collect();
-    exec.push(ExecOp::Project {
+    let eid = exec.push(ExecOp::Project {
         input: cur.eid,
         cols: cols.clone(),
     });
-    plan.root = plan.add_est(
+    let nid = plan.add_est(
         Op::Project {
             cols: cols.iter().map(|c| c + 1).collect(),
         },
         vec![cur.nid],
         cur.est,
     );
-    ExecLowering { plan, exec, notes }
+    (eid, nid, cur.est)
 }
 
 /// Index of the smallest-estimate side satisfying `keep` (unknown

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod delta;
 pub mod explain;
 pub mod ir;
 pub mod joins;
@@ -40,6 +41,9 @@ pub mod physical;
 pub mod stats;
 
 pub use cache::{CacheKey, PlanCache, PlanKind};
+pub use delta::{
+    delta_rewrite, plan_maintenance, MaintenancePlan, MaintenanceStrategy, StratumPlan,
+};
 pub use explain::{json_escape, plan_tree_text};
 pub use ir::{Node, NodeId, Op, Plan};
 pub use joins::{choose_join, ExecLowering};
@@ -117,14 +121,29 @@ impl<'a> Planner<'a> {
         // restricted by a positive atom — rule 1 of Definition 5.2), so
         // one physical plan serves both modes.
         if self.passes.contains(Pass::Joins) {
-            if let Some(cq) = no_core::conjunctive::decompose(query) {
-                let head_types: Vec<no_object::Type> =
-                    query.head.iter().map(|(_, t)| t.clone()).collect();
-                let lowering = joins::lower_conjunctive_calc(&cq, &head_types, self.stats.as_ref());
+            let head_types: Vec<no_object::Type> =
+                query.head.iter().map(|(_, t)| t.clone()).collect();
+            let lowering = if let Some(cq) = no_core::conjunctive::decompose(query) {
+                Some((
+                    joins::lower_conjunctive_calc(&cq, &head_types, self.stats.as_ref()),
+                    "flat conjunctive query: lowered to columnar join kernels",
+                ))
+            } else {
+                // The non-conjunctive fragment reachable by union: a
+                // top-level disjunction of flat conjunctive disjuncts
+                // lowers to a union of conjunctive plans.
+                no_core::conjunctive::decompose_union(query).map(|cqs| {
+                    (
+                        joins::lower_union_calc(&cqs, &head_types, self.stats.as_ref()),
+                        "disjunctive query: lowered to a union of conjunctive plans",
+                    )
+                })
+            };
+            if let Some((lowering, class_note)) = lowering {
                 let applied = vec![Pass::Joins.name()];
                 let mut header = vec![
                     format!("query class: CALC⟨i={}, k={}⟩", lowered.ik.0, lowered.ik.1),
-                    "flat conjunctive query: lowered to columnar join kernels".to_string(),
+                    class_note.to_string(),
                 ];
                 header.extend(lowering.notes);
                 let physical = Physical::Exec {
@@ -497,6 +516,45 @@ mod tests {
         assert!(legacy.render_text().contains("range x ← rule 1"));
         let lrel = legacy.execute(&inst, &gov, &pool).unwrap().into_relation();
         assert_eq!(rel, lrel, "columnar and legacy plans agree");
+    }
+
+    #[test]
+    fn disjunctive_query_lowers_to_union_of_conjunctive_plans() {
+        let (schema, inst) = graph();
+        // q(x, y) :- G(x, y) \/ G(y, x) — the symmetric closure.
+        let q = Query::new(
+            vec![("x".to_string(), Type::Atom), ("y".to_string(), Type::Atom)],
+            Formula::or([
+                Formula::Rel("G".to_string(), vec![Term::var("x"), Term::var("y")]),
+                Formula::Rel("G".to_string(), vec![Term::var("y"), Term::var("x")]),
+            ]),
+        );
+        let gov = Governor::unlimited();
+        let pool = minipool::ThreadPool::sequential();
+        let planned = Planner::new(&schema)
+            .with_instance(&inst)
+            .plan_calc(&q, CalcMode::Safe)
+            .unwrap();
+        assert!(
+            matches!(planned.physical, Physical::Exec { .. }),
+            "disjunctive fragment takes the columnar path"
+        );
+        assert!(planned
+            .header
+            .iter()
+            .any(|h| h.contains("union of conjunctive plans")));
+        let rel = planned.execute(&inst, &gov, &pool).unwrap().into_relation();
+        // edges (a,b),(b,c) plus their reversals = 4 rows
+        assert_eq!(rel.len(), 4);
+        // the tree-walk baseline agrees
+        let baseline = Planner::new(&schema)
+            .with_passes(PassSet::none())
+            .plan_calc(&q, CalcMode::Safe)
+            .unwrap()
+            .execute(&inst, &gov, &pool)
+            .unwrap()
+            .into_relation();
+        assert_eq!(rel, baseline);
     }
 
     #[test]

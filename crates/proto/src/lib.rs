@@ -144,6 +144,22 @@ pub enum Op {
     /// Service / session counters (requests, trips, cache hit rate,
     /// latency percentiles).
     Stats,
+    /// Define (or replace) the materialized view named by
+    /// [`Request::view`] from the Datalog¬ source in [`Request::text`]
+    /// and evaluate it once; it is maintained incrementally from then
+    /// on.
+    Materialize,
+    /// Apply a batch of mutation clauses (one per line of
+    /// [`Request::text`]) as a single maintenance delta: every
+    /// materialized view is updated incrementally and the response
+    /// carries each view's net change.
+    Update,
+    /// Subscribe this connection to change pushes for the view named by
+    /// [`Request::view`] (server only; in-process sessions have direct
+    /// registry access).
+    Subscribe,
+    /// Drop the subscription on [`Request::view`] (server only).
+    Unsubscribe,
 }
 
 impl Op {
@@ -156,6 +172,10 @@ impl Op {
             Op::Save => "save",
             Op::Open => "open",
             Op::Stats => "stats",
+            Op::Materialize => "materialize",
+            Op::Update => "update",
+            Op::Subscribe => "subscribe",
+            Op::Unsubscribe => "unsubscribe",
         }
     }
 
@@ -168,6 +188,10 @@ impl Op {
             "save" => Op::Save,
             "open" => Op::Open,
             "stats" => Op::Stats,
+            "materialize" => Op::Materialize,
+            "update" => Op::Update,
+            "subscribe" => Op::Subscribe,
+            "unsubscribe" => Op::Unsubscribe,
             _ => return None,
         })
     }
@@ -247,6 +271,9 @@ pub struct Request {
     /// The payload: query/program/expression source, a mutation clause,
     /// a path for `Open`/`Save`, or empty.
     pub text: String,
+    /// The materialized view a `Materialize`/`Subscribe`/`Unsubscribe`
+    /// request targets; empty otherwise.
+    pub view: String,
     /// Per-request budget overrides.
     pub limits: Option<LimitsSpec>,
 }
@@ -273,6 +300,7 @@ impl Request {
             ("planned".into(), Json::Bool(self.planned)),
             ("tenant".into(), Json::Str(self.tenant.clone())),
             ("text".into(), Json::Str(self.text.clone())),
+            ("view".into(), Json::Str(self.view.clone())),
             (
                 "limits".into(),
                 match &self.limits {
@@ -328,6 +356,9 @@ impl Request {
         }
         if let Some(s) = str_field("text")? {
             req.text = s.to_string();
+        }
+        if let Some(s) = str_field("view")? {
+            req.view = s.to_string();
         }
         match v.get("limits") {
             None | Some(Json::Null) => {}
@@ -406,6 +437,39 @@ pub struct ErrorOut {
     pub retry_after_ms: Option<u64>,
 }
 
+/// One maintained view's net change under a maintenance delta —
+/// carried on `Update` responses and pushed to subscribers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeltaOut {
+    /// The view the change belongs to.
+    pub view: String,
+    /// Rows that appeared, one entry per changed view relation.
+    pub added: Vec<RelationOut>,
+    /// Rows that disappeared, one entry per changed view relation.
+    pub removed: Vec<RelationOut>,
+}
+
+impl DeltaOut {
+    /// True when the delta changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Per-view maintenance counters, reported by `op: Stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ViewStatsOut {
+    /// The view name.
+    pub view: String,
+    /// Maintenance rounds the view has been through.
+    pub maintain_calls: u64,
+    /// Governor steps spent on the view in total (materialization
+    /// included).
+    pub steps_total: u64,
+    /// Governor steps the most recent maintenance call spent.
+    pub steps_last: u64,
+}
+
 /// Per-tenant counters, reported by `op: Stats`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TenantStats {
@@ -444,6 +508,8 @@ pub struct StatsOut {
     pub connections: u64,
     /// Per-tenant breakdown.
     pub tenants: Vec<TenantStats>,
+    /// Per-view maintenance breakdown.
+    pub views: Vec<ViewStatsOut>,
 }
 
 /// The response to one [`Request`].
@@ -469,6 +535,13 @@ pub struct Response {
     pub message: Option<String>,
     /// Datalog fixpoint rounds, when the strategy reports them.
     pub rounds: Option<u64>,
+    /// View changes caused by this request (`Update`, `Insert` with
+    /// views live) or carried by a pushed event.
+    pub deltas: Vec<DeltaOut>,
+    /// Set on lines the server *pushes* rather than sends in reply —
+    /// `"delta"` for maintenance notifications — so clients reading the
+    /// stream can tell pushes from responses. `None` on replies.
+    pub event: Option<String>,
 }
 
 impl Response {
@@ -498,21 +571,21 @@ impl Response {
     /// Canonical single-line JSON (same contract as [`Request::to_json`]).
     pub fn to_json(&self) -> String {
         let opt_u64 = |v: Option<u64>| v.map(Json::u64).unwrap_or(Json::Null);
-        let relations = Json::Arr(
-            self.relations
+        let relations = Json::Arr(self.relations.iter().map(relation_json).collect());
+        let deltas = Json::Arr(
+            self.deltas
                 .iter()
-                .map(|r| {
-                    // rows_json is canonical JSON produced by this crate's
-                    // writer; parse-and-splice keeps the response line valid
-                    // even if a caller hand-built it.
-                    let rows_json = json::parse(&r.rows_json).unwrap_or(Json::Arr(vec![]));
+                .map(|d| {
                     Json::Obj(vec![
-                        ("name".into(), Json::Str(r.name.clone())),
+                        ("view".into(), Json::Str(d.view.clone())),
                         (
-                            "rows".into(),
-                            Json::Arr(r.rows.iter().map(|s| Json::Str(s.clone())).collect()),
+                            "added".into(),
+                            Json::Arr(d.added.iter().map(relation_json).collect()),
                         ),
-                        ("rows_json".into(), rows_json),
+                        (
+                            "removed".into(),
+                            Json::Arr(d.removed.iter().map(relation_json).collect()),
+                        ),
                     ])
                 })
                 .collect(),
@@ -580,6 +653,22 @@ impl Response {
                             .collect(),
                     ),
                 ),
+                (
+                    "views".into(),
+                    Json::Arr(
+                        s.views
+                            .iter()
+                            .map(|v| {
+                                Json::Obj(vec![
+                                    ("view".into(), Json::Str(v.view.clone())),
+                                    ("maintain_calls".into(), Json::u64(v.maintain_calls)),
+                                    ("steps_total".into(), Json::u64(v.steps_total)),
+                                    ("steps_last".into(), Json::u64(v.steps_last)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         };
         Json::Obj(vec![
@@ -598,6 +687,14 @@ impl Response {
                 },
             ),
             ("rounds".into(), opt_u64(self.rounds)),
+            ("deltas".into(), deltas),
+            (
+                "event".into(),
+                match &self.event {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
         ])
         .render()
     }
@@ -633,26 +730,24 @@ impl Response {
             });
         }
         if let Some(Json::Arr(rels)) = v.get("relations") {
-            for r in rels {
-                resp.relations.push(RelationOut {
-                    name: opt_str(r.get("name")).unwrap_or_default(),
-                    rows: r
-                        .get("rows")
-                        .and_then(Json::as_arr)
-                        .map(|rows| {
-                            rows.iter()
-                                .filter_map(Json::as_str)
-                                .map(str::to_string)
-                                .collect()
-                        })
-                        .unwrap_or_default(),
-                    rows_json: r
-                        .get("rows_json")
-                        .map(Json::render)
-                        .unwrap_or_else(|| "[]".to_string()),
+            resp.relations = rels.iter().map(relation_from_json).collect();
+        }
+        if let Some(Json::Arr(items)) = v.get("deltas") {
+            for d in items {
+                let rel_list = |key: &str| -> Vec<RelationOut> {
+                    match d.get(key) {
+                        Some(Json::Arr(rs)) => rs.iter().map(relation_from_json).collect(),
+                        _ => Vec::new(),
+                    }
+                };
+                resp.deltas.push(DeltaOut {
+                    view: opt_str(d.get("view")).unwrap_or_default(),
+                    added: rel_list("added"),
+                    removed: rel_list("removed"),
                 });
             }
         }
+        resp.event = opt_str(v.get("event"));
         if let Some(a @ Json::Obj(_)) = v.get("analysis") {
             resp.analysis = Some(AnalysisOut {
                 text: opt_str(a.get("text")).unwrap_or_default(),
@@ -689,6 +784,17 @@ impl Response {
                     });
                 }
             }
+            let mut views = Vec::new();
+            if let Some(Json::Arr(items)) = s.get("views") {
+                for t in items {
+                    views.push(ViewStatsOut {
+                        view: opt_str(t.get("view")).unwrap_or_default(),
+                        maintain_calls: u(t.get("maintain_calls")),
+                        steps_total: u(t.get("steps_total")),
+                        steps_last: u(t.get("steps_last")),
+                    });
+                }
+            }
             resp.stats = Some(StatsOut {
                 requests: u(s.get("requests")),
                 rejected: u(s.get("rejected")),
@@ -699,11 +805,51 @@ impl Response {
                 p99_us: u(s.get("p99_us")),
                 connections: u(s.get("connections")),
                 tenants,
+                views,
             });
         }
         resp.message = opt_str(v.get("message"));
         resp.rounds = opt_u(v.get("rounds"));
         Ok(resp)
+    }
+}
+
+fn relation_json(r: &RelationOut) -> Json {
+    // rows_json is canonical JSON produced by this crate's writer;
+    // parse-and-splice keeps the response line valid even if a caller
+    // hand-built it.
+    let rows_json = json::parse(&r.rows_json).unwrap_or(Json::Arr(vec![]));
+    Json::Obj(vec![
+        ("name".into(), Json::Str(r.name.clone())),
+        (
+            "rows".into(),
+            Json::Arr(r.rows.iter().map(|s| Json::Str(s.clone())).collect()),
+        ),
+        ("rows_json".into(), rows_json),
+    ])
+}
+
+fn relation_from_json(r: &Json) -> RelationOut {
+    RelationOut {
+        name: r
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        rows: r
+            .get("rows")
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(Json::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default(),
+        rows_json: r
+            .get("rows_json")
+            .map(Json::render)
+            .unwrap_or_else(|| "[]".to_string()),
     }
 }
 
@@ -737,6 +883,7 @@ mod tests {
             planned: true,
             tenant: "acme".into(),
             text: "rel tc(U, U).\ntc(x, y) :- G(x, y).".into(),
+            view: "paths".into(),
             limits: Some(LimitsSpec {
                 max_steps: Some(u64::MAX),
                 deadline_ms: Some(250),
@@ -809,6 +956,55 @@ mod tests {
     }
 
     #[test]
+    fn view_ops_and_pushed_deltas_round_trip() {
+        let r = Request {
+            op: Op::Materialize,
+            lang: Lang::Datalog,
+            view: "paths".into(),
+            text: "rel tc(U, U).\ntc(x, y) :- G(x, y).".into(),
+            ..Request::default()
+        };
+        let back = Request::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        for (op, wire) in [
+            (Op::Update, "update"),
+            (Op::Subscribe, "subscribe"),
+            (Op::Unsubscribe, "unsubscribe"),
+        ] {
+            let r = Request {
+                op,
+                view: "paths".into(),
+                ..Request::default()
+            };
+            assert!(r.to_json().contains(&format!("\"op\":\"{wire}\"")));
+            assert_eq!(Request::from_json(&r.to_json()).unwrap().op, op);
+        }
+
+        // a pushed maintenance event: the marker and deltas survive
+        let push = Response {
+            ok: true,
+            event: Some("delta".into()),
+            deltas: vec![DeltaOut {
+                view: "paths".into(),
+                added: vec![RelationOut {
+                    name: "tc".into(),
+                    rows: vec!["('a', 'c')".into()],
+                    rows_json: r#"[["a","c"]]"#.into(),
+                }],
+                removed: vec![],
+            }],
+            ..Response::default()
+        };
+        let j = push.to_json();
+        assert!(!j.contains('\n'), "{j}");
+        let back = Response::from_json(&j).unwrap();
+        assert_eq!(back, push);
+        assert_eq!(back.to_json(), j);
+        // replies leave the marker unset, so clients can branch on it
+        assert_eq!(Response::message("ok").event, None);
+    }
+
+    #[test]
     fn stats_response_round_trips_tenants() {
         let r = Response {
             ok: true,
@@ -828,6 +1024,12 @@ mod tests {
                     trips: 1,
                     spent_steps: 999,
                     balance_steps: 1,
+                }],
+                views: vec![ViewStatsOut {
+                    view: "paths".into(),
+                    maintain_calls: 3,
+                    steps_total: 120,
+                    steps_last: 12,
                 }],
             }),
             ..Response::default()
@@ -854,6 +1056,10 @@ mod tests {
                     Op::Save,
                     Op::Open,
                     Op::Stats,
+                    Op::Materialize,
+                    Op::Update,
+                    Op::Subscribe,
+                    Op::Unsubscribe,
                 ]),
                 proptest::sample::select(vec![Lang::Calc, Lang::Datalog, Lang::Algebra]),
                 proptest::sample::select(vec![Mode::Fast, Mode::Safe, Mode::Checked]),
@@ -868,6 +1074,7 @@ mod tests {
             ),
             (
                 "[ -~\\n\"\\\\]{0,40}",
+                "[ -~]{0,20}",
                 any::<bool>(),
                 (any::<bool>(), any::<u64>()),
                 (any::<bool>(), any::<u64>()),
@@ -875,7 +1082,10 @@ mod tests {
             ),
         )
             .prop_map(
-                |((op, lang, mode, strategy, planned, tenant), (text, has_limits, a, b, c))| {
+                |(
+                    (op, lang, mode, strategy, planned, tenant),
+                    (text, view, has_limits, a, b, c),
+                )| {
                     let opt = |(some, v): (bool, u64)| some.then_some(v);
                     Request {
                         op,
@@ -885,6 +1095,7 @@ mod tests {
                         planned,
                         tenant,
                         text,
+                        view,
                         limits: has_limits.then(|| LimitsSpec {
                             max_steps: opt(a),
                             max_range: opt(b),

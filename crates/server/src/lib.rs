@@ -24,12 +24,19 @@
 //!   histogram (p50/p99 without unbounded memory), a live connection
 //!   gauge, and per-tenant accounting — all served back through
 //!   `op: "stats"`.
+//! - **Live view subscriptions**: `op: "subscribe"` registers the
+//!   connection for a maintained view; whenever any connection's
+//!   mutation changes that view, subscribers receive an unsolicited
+//!   push line (`event: "delta"`) carrying the view's net change. The
+//!   handler validates the view; the server owns the fan-out table, so
+//!   subscriptions are connection-scoped and die with the socket.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use conc::{AtomicBool, AtomicU64, Mutex};
-use no_proto::{Op, Request, Response};
+use no_proto::{DeltaOut, Op, Request, Response};
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::Ordering;
@@ -300,6 +307,104 @@ impl Metrics {
 }
 
 // ---------------------------------------------------------------------------
+// Subscriptions
+// ---------------------------------------------------------------------------
+
+/// A connection's write half, shared between its executor thread (reply
+/// lines) and publishers on other connections (push lines). Every line
+/// is written and flushed under the lock, so replies and pushes
+/// interleave only at line granularity.
+type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+/// The server-wide fan-out table: view name → subscribed connections.
+/// The handler decides whether a subscribe is valid (the view must
+/// exist); this table only routes deltas. Lock order is
+/// `server.subscriptions` → `server.conn_writer`, never the reverse —
+/// publishers snapshot the target writers and write outside the table
+/// lock.
+struct Subscriptions {
+    table: Mutex<BTreeMap<String, Vec<(u64, SharedWriter)>>>,
+}
+
+impl Subscriptions {
+    fn new() -> Subscriptions {
+        Subscriptions {
+            table: Mutex::new_named("server.subscriptions", BTreeMap::new()),
+        }
+    }
+
+    fn subscribe(&self, view: &str, conn: u64, writer: SharedWriter) {
+        let mut t = self.table.lock();
+        let subs = t.entry(view.to_string()).or_default();
+        if !subs.iter().any(|(id, _)| *id == conn) {
+            subs.push((conn, writer));
+        }
+    }
+
+    fn unsubscribe(&self, view: &str, conn: u64) {
+        let mut t = self.table.lock();
+        if let Some(subs) = t.get_mut(view) {
+            subs.retain(|(id, _)| *id != conn);
+            if subs.is_empty() {
+                t.remove(view);
+            }
+        }
+    }
+
+    /// Remove every subscription a closed connection held.
+    fn drop_conn(&self, conn: u64) {
+        let mut t = self.table.lock();
+        t.retain(|_, subs| {
+            subs.retain(|(id, _)| *id != conn);
+            !subs.is_empty()
+        });
+    }
+
+    /// Push each view's delta to its subscribers, except the connection
+    /// that caused it (its own reply already carries the deltas). A
+    /// subscriber whose socket is dead is dropped from the table.
+    fn publish(&self, deltas: &[DeltaOut], from_conn: u64) {
+        for delta in deltas {
+            let targets: Vec<(u64, SharedWriter)> = {
+                let t = self.table.lock();
+                match t.get(&delta.view) {
+                    Some(subs) => subs
+                        .iter()
+                        .filter(|(id, _)| *id != from_conn)
+                        .cloned()
+                        .collect(),
+                    None => continue,
+                }
+            };
+            if targets.is_empty() {
+                continue;
+            }
+            let push = Response {
+                ok: true,
+                event: Some("delta".to_string()),
+                deltas: vec![delta.clone()],
+                ..Response::default()
+            };
+            let mut line = push.to_json();
+            line.push('\n');
+            let mut dead = Vec::new();
+            for (id, writer) in &targets {
+                let mut w = writer.lock();
+                if w.write_all(line.as_bytes())
+                    .and_then(|()| w.flush())
+                    .is_err()
+                {
+                    dead.push(*id);
+                }
+            }
+            for id in dead {
+                self.unsubscribe(&delta.view, id);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The server
 // ---------------------------------------------------------------------------
 
@@ -326,9 +431,10 @@ impl Server {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(Metrics::new(&config));
+        let subs = Arc::new(Subscriptions::new());
         let accept = {
             let stop = Arc::clone(&stop);
-            thread::spawn(move || accept_loop(listener, handler, metrics, stop))
+            thread::spawn(move || accept_loop(listener, handler, metrics, subs, stop))
         };
         Ok(Server {
             addr,
@@ -379,16 +485,22 @@ fn accept_loop(
     listener: TcpListener,
     handler: Arc<dyn Handler>,
     metrics: Arc<Metrics>,
+    subs: Arc<Subscriptions>,
     stop: Arc<AtomicBool>,
 ) {
+    let mut next_conn_id = 0u64;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let handler = Arc::clone(&handler);
                 let metrics = Arc::clone(&metrics);
+                let subs = Arc::clone(&subs);
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
                 thread::spawn(move || {
                     metrics.connections.fetch_add(1, Ordering::SeqCst);
-                    let _ = serve_connection(stream, handler, &metrics);
+                    let _ = serve_connection(stream, handler, &metrics, &subs, conn_id);
+                    subs.drop_conn(conn_id);
                     metrics.connections.fetch_sub(1, Ordering::SeqCst);
                 });
             }
@@ -409,6 +521,8 @@ fn serve_connection(
     stream: TcpStream,
     handler: Arc<dyn Handler>,
     metrics: &Metrics,
+    subs: &Subscriptions,
+    conn_id: u64,
 ) -> io::Result<()> {
     let read_half = stream.try_clone()?;
     let (tx, rx) = mpsc::channel::<String>();
@@ -437,20 +551,31 @@ fn serve_connection(
             }
         })
     };
-    let mut out = BufWriter::new(stream);
+    let out: SharedWriter = Arc::new(Mutex::new_named(
+        "server.conn_writer",
+        BufWriter::new(stream),
+    ));
     while let Ok(line) = rx.recv() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let resp = process_line(line, handler.as_ref(), metrics, &in_flight);
+        let resp = process_line(
+            line,
+            handler.as_ref(),
+            metrics,
+            &in_flight,
+            subs,
+            conn_id,
+            &out,
+        );
         let mut encoded = resp.to_json();
         encoded.push('\n');
-        if out
-            .write_all(encoded.as_bytes())
-            .and_then(|()| out.flush())
-            .is_err()
-        {
+        let written = {
+            let mut w = out.lock();
+            w.write_all(encoded.as_bytes()).and_then(|()| w.flush())
+        };
+        if written.is_err() {
             break;
         }
     }
@@ -459,11 +584,15 @@ fn serve_connection(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn process_line(
     line: &str,
     handler: &dyn Handler,
     metrics: &Metrics,
     in_flight: &Mutex<Option<CancelToken>>,
+    subs: &Subscriptions,
+    conn_id: u64,
+    writer: &SharedWriter,
 ) -> Response {
     let req = match Request::from_json(line) {
         Ok(r) => r,
@@ -475,6 +604,8 @@ fn process_line(
         metrics.overlay(&mut resp);
         return resp;
     }
+    // every other op — including Materialize/Update maintenance work —
+    // pays admission in governor steps like any query
     if let Err(retry_ms) = metrics.admit(&req.tenant) {
         let mut resp = Response::error(
             "rejected",
@@ -494,6 +625,20 @@ fn process_line(
     let resp = handler.handle(&req, &token);
     in_flight.lock().take();
     metrics.settle(&req.tenant, &resp, start.elapsed());
+    if resp.ok {
+        // the handler validated; the server owns connection-scoped state
+        match req.op {
+            Op::Subscribe => subs.subscribe(&req.view, conn_id, Arc::clone(writer)),
+            Op::Unsubscribe => subs.unsubscribe(&req.view, conn_id),
+            _ => {}
+        }
+        if !resp.deltas.is_empty() {
+            // fan out BEFORE the originator's reply is written: once the
+            // mutating client sees its response, every subscriber's push
+            // is already on the wire
+            subs.publish(&resp.deltas, conn_id);
+        }
+    }
     resp
 }
 
@@ -754,6 +899,138 @@ mod tests {
         let b2 = Arc::clone(&b);
         token.on_cancel(move || b2.store(true, Ordering::SeqCst));
         assert!(b.load(Ordering::SeqCst), "late hooks fire immediately");
+    }
+
+    /// Accepts every subscribe; answers `Update` with a one-view delta.
+    struct Viewy;
+
+    impl Handler for Viewy {
+        fn handle(&self, req: &Request, _cancel: &CancelToken) -> Response {
+            match req.op {
+                Op::Subscribe => Response::message(format!("subscribed to view {}", req.view)),
+                Op::Unsubscribe => {
+                    Response::message(format!("unsubscribed from view {}", req.view))
+                }
+                Op::Update => {
+                    let mut resp = Response::message("applied 1 mutations");
+                    resp.deltas = vec![DeltaOut {
+                        view: "paths".to_string(),
+                        added: vec![no_proto::RelationOut {
+                            name: "tc".to_string(),
+                            rows: vec![format!("('a', {})", req.text)],
+                            rows_json: String::new(),
+                        }],
+                        removed: Vec::new(),
+                    }];
+                    resp
+                }
+                _ => Response::message("ok"),
+            }
+        }
+    }
+
+    fn sub_request(view: &str) -> Request {
+        Request {
+            op: Op::Subscribe,
+            view: view.to_string(),
+            ..Request::default()
+        }
+    }
+
+    #[test]
+    fn subscribers_get_pushed_deltas_from_other_connections() {
+        let server = Server::bind("127.0.0.1:0", Arc::new(Viewy), ServerConfig::default()).unwrap();
+        let mut watcher = Client::connect(server.local_addr()).unwrap();
+        let mut mutator = Client::connect(server.local_addr()).unwrap();
+        assert!(watcher.roundtrip(&sub_request("paths")).unwrap().ok);
+
+        let update = Request {
+            op: Op::Update,
+            text: "'b'".to_string(),
+            ..Request::default()
+        };
+        let reply = mutator.roundtrip(&update).unwrap();
+        assert!(reply.ok);
+        assert_eq!(reply.deltas.len(), 1);
+        assert!(reply.event.is_none(), "a direct reply is not an event");
+
+        // the mutator's reply arriving means the push is already sent
+        let push = watcher.recv().unwrap();
+        assert_eq!(push.event.as_deref(), Some("delta"));
+        assert_eq!(push.deltas.len(), 1);
+        assert_eq!(push.deltas[0].view, "paths");
+        assert_eq!(push.deltas[0].added[0].rows, vec!["('a', 'b')".to_string()]);
+
+        // unsubscribing stops the stream: the next thing the watcher
+        // reads after another update must be its own stats reply
+        assert!(
+            watcher
+                .roundtrip(&Request {
+                    op: Op::Unsubscribe,
+                    view: "paths".to_string(),
+                    ..Request::default()
+                })
+                .unwrap()
+                .ok
+        );
+        assert!(mutator.roundtrip(&update).unwrap().ok);
+        let resp = watcher
+            .roundtrip(&Request {
+                op: Op::Stats,
+                ..Request::default()
+            })
+            .unwrap();
+        assert!(resp.event.is_none(), "push arrived after unsubscribe");
+        assert!(resp.stats.is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn mutators_do_not_get_their_own_deltas_pushed_back() {
+        let server = Server::bind("127.0.0.1:0", Arc::new(Viewy), ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert!(client.roundtrip(&sub_request("paths")).unwrap().ok);
+        // the reply carries the delta; no separate push line follows
+        let reply = client
+            .roundtrip(&Request {
+                op: Op::Update,
+                text: "'x'".to_string(),
+                ..Request::default()
+            })
+            .unwrap();
+        assert_eq!(reply.deltas.len(), 1);
+        let resp = client
+            .roundtrip(&Request {
+                op: Op::Stats,
+                ..Request::default()
+            })
+            .unwrap();
+        assert!(resp.event.is_none(), "self-push would arrive before stats");
+        assert!(resp.stats.is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnecting_a_subscriber_cleans_up_its_registration() {
+        let server = Server::bind("127.0.0.1:0", Arc::new(Viewy), ServerConfig::default()).unwrap();
+        let mut watcher = Client::connect(server.local_addr()).unwrap();
+        assert!(watcher.roundtrip(&sub_request("paths")).unwrap().ok);
+        drop(watcher); // disconnect with the subscription live
+        let mut mutator = Client::connect(server.local_addr()).unwrap();
+        // publishing into the dead subscription must not wedge anything
+        for _ in 0..3 {
+            assert!(
+                mutator
+                    .roundtrip(&Request {
+                        op: Op::Update,
+                        text: "'y'".to_string(),
+                        ..Request::default()
+                    })
+                    .unwrap()
+                    .ok
+            );
+        }
+        server.shutdown();
     }
 
     #[test]

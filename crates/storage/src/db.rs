@@ -23,11 +23,18 @@
 //! those appends on the next open, so the database refuses further
 //! mutations until reopened.
 
+use crate::delta::{
+    decode_delta, decode_views, delta_file_name, encode_delta, encode_views, ViewsCheckpoint,
+};
 use crate::fault::IoFaults;
 use crate::snapshot::{decode_snapshot, encode_snapshot};
 use crate::wal::{scan_wal, WalWriter};
-use crate::{fsio, StorageError, SNAPSHOT_FILE, SNAPSHOT_TMP, WAL_FILE};
-use no_object::text::{parse_clause, parse_database, render_fact, render_schema_decl, Clause};
+use crate::{
+    fsio, StorageError, DELTA_TMP, SNAPSHOT_FILE, SNAPSHOT_TMP, VIEWS_FILE, VIEWS_TMP, WAL_FILE,
+};
+use no_object::text::{
+    parse_clause, parse_database, render_fact, render_retract, render_schema_decl, Clause,
+};
 use no_object::{Governor, Instance, RelationSchema, Schema, Universe, Value};
 use std::path::{Path, PathBuf};
 
@@ -74,6 +81,11 @@ pub struct OpenStats {
     pub stale_wal_discarded: bool,
     /// Bytes charged to the governor for replayed state.
     pub replayed_bytes: u64,
+    /// Incremental-checkpoint delta files replayed between the snapshot
+    /// and the WAL.
+    pub delta_files: u64,
+    /// Clauses replayed from those delta files.
+    pub delta_clauses: u64,
 }
 
 /// Counts from a bulk text import.
@@ -101,6 +113,8 @@ pub struct VerifyReport {
     pub stale_wal: bool,
     /// Bytes of torn tail that recovery would truncate.
     pub torn_tail_bytes: u64,
+    /// Incremental-checkpoint delta files in the recovery chain.
+    pub delta_files: u64,
     /// Atoms in the recovered universe.
     pub atoms: u64,
     /// Relations in the recovered schema.
@@ -120,6 +134,11 @@ pub struct Db {
     sync: SyncPolicy,
     faults: IoFaults,
     stats: OpenStats,
+    /// Every clause of the current epoch, replayed or appended, in log
+    /// order: payload bytes (for sealing into a delta file) plus the
+    /// parsed clause (the maintenance engine's change feed). Cleared by
+    /// every checkpoint.
+    tail: Vec<(Vec<u8>, Clause)>,
 }
 
 impl Db {
@@ -159,7 +178,7 @@ impl Db {
         let snap = decode_snapshot(&snap_bytes, &snap_path)?;
         let mut universe = snap.universe;
         let mut instance = snap.instance;
-        let epoch = snap.epoch;
+        let mut epoch = snap.epoch;
 
         let mut stats = OpenStats {
             created: false,
@@ -167,6 +186,33 @@ impl Db {
             ..OpenStats::default()
         };
 
+        // Replay the incremental-checkpoint chain: delta files at
+        // consecutive epochs after the snapshot. Each holds the clause
+        // texts of the WAL it sealed; replay is identical to WAL replay.
+        loop {
+            let delta_path = dir.join(delta_file_name(epoch + 1));
+            if !delta_path.exists() {
+                break;
+            }
+            let delta_bytes =
+                std::fs::read(&delta_path).map_err(|e| StorageError::io("read", &delta_path, e))?;
+            if let Some(g) = &options.governor {
+                g.charge_mem("storage.replay", delta_bytes.len() as u64)?;
+            }
+            replayed_bytes += delta_bytes.len() as u64;
+            let clauses = decode_delta(&delta_bytes, epoch + 1, &delta_path)?;
+            for (i, text) in clauses.iter().enumerate() {
+                let clause = parse_clause(text, &mut universe).map_err(|e| {
+                    StorageError::corrupt(&delta_path, 0, format!("clause {i} does not parse: {e}"))
+                })?;
+                apply_clause(&mut instance, &clause, &delta_path, i)?;
+            }
+            epoch += 1;
+            stats.delta_files += 1;
+            stats.delta_clauses += clauses.len() as u64;
+        }
+
+        let mut tail = Vec::new();
         let wal = if !wal_path.exists() {
             let mut w = WalWriter::create(&wal_path, epoch, &options.faults)?;
             w.sync()?;
@@ -189,7 +235,9 @@ impl Db {
                             g.charge_mem("storage.replay", frame.len() as u64)?;
                         }
                         replayed_bytes += frame.len() as u64;
-                        apply_frame(&mut universe, &mut instance, frame, &wal_path, i)?;
+                        let clause = parse_frame(&mut universe, frame, &wal_path, i)?;
+                        apply_clause(&mut instance, &clause, &wal_path, i)?;
+                        tail.push((frame.clone(), clause));
                     }
                     stats.replayed_frames = scan.frames.len() as u64;
                     stats.truncated_bytes = wal_bytes.len() as u64 - scan.keep_len;
@@ -223,6 +271,7 @@ impl Db {
             sync: options.sync,
             faults: options.faults,
             stats,
+            tail,
         })
     }
 
@@ -247,6 +296,7 @@ impl Db {
                 created: true,
                 ..OpenStats::default()
             },
+            tail: Vec::new(),
         })
     }
 
@@ -262,6 +312,8 @@ impl Db {
         if self.sync == SyncPolicy::Always {
             self.wal.sync()?;
         }
+        self.tail
+            .push((clause.into_bytes(), Clause::Schema(rel.clone())));
         apply_declare(&mut self.instance, rel);
         Ok(())
     }
@@ -280,7 +332,35 @@ impl Db {
         if self.sync == SyncPolicy::Always {
             self.wal.sync()?;
         }
+        self.tail.push((
+            clause.into_bytes(),
+            Clause::Fact(name.to_string(), row.clone()),
+        ));
         self.instance.insert(name, row);
+        Ok(true)
+    }
+
+    /// Delete one tuple. Validated, logged as a `delete R(…).` clause,
+    /// then applied. Returns `Ok(false)` without logging when the tuple
+    /// was not present — like duplicate inserts, no-op deletes never
+    /// reach the log, so replay applies every logged retraction to a
+    /// present row.
+    pub fn delete(&mut self, name: &str, row: &[Value]) -> Result<bool, StorageError> {
+        validate_row(self.instance.schema(), name, row)
+            .map_err(|detail| StorageError::Invalid { detail })?;
+        if !self.instance.relation(name).contains(row) {
+            return Ok(false);
+        }
+        let clause = render_retract(&self.universe, name, row);
+        self.wal.append(clause.as_bytes())?;
+        if self.sync == SyncPolicy::Always {
+            self.wal.sync()?;
+        }
+        self.tail.push((
+            clause.into_bytes(),
+            Clause::Retract(name.to_string(), row.to_vec()),
+        ));
+        self.instance.delete(name, row);
         Ok(true)
     }
 
@@ -298,6 +378,8 @@ impl Db {
             if self.instance.schema().get(&rel.name).is_none() {
                 let clause = render_schema_decl(rel);
                 self.wal.append(clause.as_bytes())?;
+                self.tail
+                    .push((clause.into_bytes(), Clause::Schema(rel.clone())));
                 apply_declare(&mut self.instance, rel.clone());
                 stats.relations_added += 1;
             }
@@ -311,6 +393,10 @@ impl Db {
                 }
                 let clause = render_fact(&self.universe, &rel.name, row);
                 self.wal.append(clause.as_bytes())?;
+                self.tail.push((
+                    clause.into_bytes(),
+                    Clause::Fact(rel.name.clone(), row.clone()),
+                ));
                 self.instance.insert(&rel.name, row.clone());
                 stats.tuples_added += 1;
             }
@@ -366,6 +452,20 @@ impl Db {
             Ok(wal) => {
                 self.wal = wal;
                 self.epoch = next;
+                self.tail.clear();
+                // The new snapshot subsumes every sealed delta; leftover
+                // delta files are at epochs the chain scan can no longer
+                // reach, so removal is pure housekeeping and failures are
+                // harmless.
+                if let Ok(entries) = std::fs::read_dir(&self.dir) {
+                    for entry in entries.flatten() {
+                        let name = entry.file_name();
+                        let name = name.to_string_lossy();
+                        if name.starts_with("delta-") && name.ends_with(".bin") {
+                            let _ = std::fs::remove_file(entry.path());
+                        }
+                    }
+                }
                 Ok(())
             }
             Err(e) => {
@@ -373,6 +473,119 @@ impl Db {
                 Err(e)
             }
         }
+    }
+
+    /// Incremental checkpoint: seal the current WAL tail into an
+    /// immutable `delta-<e+1>.bin` file and reset the WAL to epoch `e+1`,
+    /// without rewriting the snapshot — O(changes since last checkpoint)
+    /// instead of O(`enc(I)`). A no-op when nothing changed. The crash
+    /// windows mirror [`Db::save`]: the delta rename is the single
+    /// publication point, and a crash between it and the WAL reset leaves
+    /// a stale-epoch WAL that recovery discards (its frames live in the
+    /// delta file).
+    pub fn save_incremental(&mut self) -> Result<(), StorageError> {
+        if self.tail.is_empty() {
+            return Ok(());
+        }
+        // The sealed frames must be durable before the log is reset.
+        if self.sync == SyncPolicy::Manual {
+            self.wal.sync()?;
+        }
+        let next = self.epoch + 1;
+        let payloads: Vec<Vec<u8>> = self.tail.iter().map(|(p, _)| p.clone()).collect();
+        let bytes = encode_delta(next, &payloads);
+        let tmp_path = self.dir.join(DELTA_TMP);
+        let delta_path = self.dir.join(delta_file_name(next));
+
+        // Phase 1: stage. Failure here changes nothing visible.
+        let stage = (|| {
+            let mut f = fsio::create(&self.faults, &tmp_path)?;
+            fsio::write_all(&self.faults, &mut f, &tmp_path, &bytes)?;
+            fsio::sync(&self.faults, &f, &tmp_path)
+        })();
+        if let Err(e) = stage {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e);
+        }
+
+        // Phase 2: publish. The rename is the commit point.
+        if let Err(e) = fsio::rename(&self.faults, &tmp_path, &delta_path) {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e);
+        }
+
+        // Phase 3: from here the old WAL is stale; any failure leaves the
+        // writer unusable until reopen (recovery handles every window).
+        let finish = (|| {
+            fsio::sync_dir(&self.faults, &self.dir)?;
+            let mut wal = WalWriter::create(&self.dir.join(WAL_FILE), next, &self.faults)?;
+            wal.sync()?;
+            Ok(wal)
+        })();
+        match finish {
+            Ok(wal) => {
+                self.wal = wal;
+                self.epoch = next;
+                self.tail.clear();
+                Ok(())
+            }
+            Err(e) => {
+                self.wal.poison();
+                Err(e)
+            }
+        }
+    }
+
+    /// Checkpoint the maintenance engine's serialised view states,
+    /// stamped with the current epoch and WAL frame count. Written with
+    /// the same atomic staging as every checkpoint; on open,
+    /// [`Db::load_views`] plus [`Db::epoch_clauses`] tell the caller
+    /// exactly which tail to replay over the stored states.
+    pub fn save_views(&mut self, body: &[u8]) -> Result<(), StorageError> {
+        let bytes = encode_views(self.epoch, self.wal.frames(), body);
+        let tmp_path = self.dir.join(VIEWS_TMP);
+        let views_path = self.dir.join(VIEWS_FILE);
+        let stage = (|| {
+            let mut f = fsio::create(&self.faults, &tmp_path)?;
+            fsio::write_all(&self.faults, &mut f, &tmp_path, &bytes)?;
+            fsio::sync(&self.faults, &f, &tmp_path)
+        })();
+        if let Err(e) = stage {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e);
+        }
+        if let Err(e) = fsio::rename(&self.faults, &tmp_path, &views_path) {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e);
+        }
+        fsio::sync_dir(&self.faults, &self.dir)
+    }
+
+    /// Load the view checkpoint, if one exists. Returns `Ok(None)` when
+    /// no checkpoint was ever written **or** when the stored one belongs
+    /// to an older epoch (a checkpoint happened without a view save, so
+    /// the states are stale and must be recomputed). Corrupt bytes are a
+    /// structured error, like every on-disk validation failure.
+    pub fn load_views(&self) -> Result<Option<ViewsCheckpoint>, StorageError> {
+        let views_path = self.dir.join(VIEWS_FILE);
+        if !views_path.exists() {
+            return Ok(None);
+        }
+        let bytes =
+            std::fs::read(&views_path).map_err(|e| StorageError::io("read", &views_path, e))?;
+        let ck = decode_views(&bytes, &views_path)?;
+        if ck.epoch != self.epoch || ck.frames > self.tail.len() as u64 {
+            return Ok(None);
+        }
+        Ok(Some(ck))
+    }
+
+    /// The clauses of the current epoch, replayed or appended, in log
+    /// order — the maintenance engine's change feed. Index `i` is WAL
+    /// frame `i`; a view checkpoint at frame count `f` catches up by
+    /// replaying `epoch_clauses()[f..]`.
+    pub fn epoch_clauses(&self) -> impl ExactSizeIterator<Item = &Clause> {
+        self.tail.iter().map(|(_, c)| c)
     }
 
     /// `fsync` the WAL — makes every mutation so far durable under
@@ -478,39 +691,60 @@ fn validate_row(schema: &Schema, name: &str, row: &[Value]) -> Result<(), String
     Ok(())
 }
 
-/// Parse and apply one replayed WAL frame. Frames passed their checksum,
-/// so any failure here means the log was tampered with below CRC
-/// granularity or written by something else — corruption, not a caller
-/// mistake.
-fn apply_frame(
+/// Parse one replayed WAL frame. Frames passed their checksum, so any
+/// failure here means the log was tampered with below CRC granularity or
+/// written by something else — corruption, not a caller mistake.
+fn parse_frame(
     universe: &mut Universe,
-    instance: &mut Instance,
     frame: &[u8],
     wal_path: &Path,
     index: usize,
-) -> Result<(), StorageError> {
+) -> Result<Clause, StorageError> {
     let text = std::str::from_utf8(frame).map_err(|e| {
         StorageError::corrupt(wal_path, 0, format!("frame {index} is not utf-8: {e}"))
     })?;
-    let clause = parse_clause(text, universe).map_err(|e| {
+    parse_clause(text, universe).map_err(|e| {
         StorageError::corrupt(wal_path, 0, format!("frame {index} does not parse: {e}"))
-    })?;
+    })
+}
+
+/// Apply one replayed clause. Mutations are validated before logging and
+/// no-ops are never logged, so replay from the same starting state must
+/// apply cleanly — anything else is corruption.
+fn apply_clause(
+    instance: &mut Instance,
+    clause: &Clause,
+    path: &Path,
+    index: usize,
+) -> Result<(), StorageError> {
     match clause {
         Clause::Schema(rel) => {
             if instance.schema().get(&rel.name).is_some() {
                 return Err(StorageError::corrupt(
-                    wal_path,
+                    path,
                     0,
                     format!("frame {index} redeclares relation {:?}", rel.name),
                 ));
             }
-            apply_declare(instance, rel);
+            apply_declare(instance, rel.clone());
         }
         Clause::Fact(name, row) => {
-            validate_row(instance.schema(), &name, &row).map_err(|detail| {
-                StorageError::corrupt(wal_path, 0, format!("frame {index}: {detail}"))
+            validate_row(instance.schema(), name, row).map_err(|detail| {
+                StorageError::corrupt(path, 0, format!("frame {index}: {detail}"))
             })?;
-            instance.insert(&name, row);
+            instance.insert(name, row.clone());
+        }
+        Clause::Retract(name, row) => {
+            validate_row(instance.schema(), name, row).map_err(|detail| {
+                StorageError::corrupt(path, 0, format!("frame {index}: {detail}"))
+            })?;
+            if !instance.delete(name, row) {
+                return Err(StorageError::corrupt(
+                    path,
+                    0,
+                    format!("frame {index} retracts an absent tuple from {name:?}"),
+                ));
+            }
         }
     }
     Ok(())
@@ -535,6 +769,7 @@ pub fn verify(dir: &Path) -> Result<VerifyReport, StorageError> {
     let snap = decode_snapshot(&snap_bytes, &snap_path)?;
     let mut universe = snap.universe;
     let mut instance = snap.instance;
+    let mut epoch = snap.epoch;
 
     let mut report = VerifyReport {
         snapshot_epoch: snap.epoch,
@@ -543,10 +778,29 @@ pub fn verify(dir: &Path) -> Result<VerifyReport, StorageError> {
         wal_frames: 0,
         stale_wal: false,
         torn_tail_bytes: 0,
+        delta_files: 0,
         atoms: 0,
         relations: 0,
         tuples: 0,
     };
+
+    loop {
+        let delta_path = dir.join(delta_file_name(epoch + 1));
+        if !delta_path.exists() {
+            break;
+        }
+        let delta_bytes =
+            std::fs::read(&delta_path).map_err(|e| StorageError::io("read", &delta_path, e))?;
+        let clauses = decode_delta(&delta_bytes, epoch + 1, &delta_path)?;
+        for (i, text) in clauses.iter().enumerate() {
+            let clause = parse_clause(text, &mut universe).map_err(|e| {
+                StorageError::corrupt(&delta_path, 0, format!("clause {i} does not parse: {e}"))
+            })?;
+            apply_clause(&mut instance, &clause, &delta_path, i)?;
+        }
+        epoch += 1;
+        report.delta_files += 1;
+    }
 
     if wal_path.exists() {
         let wal_bytes =
@@ -555,19 +809,17 @@ pub fn verify(dir: &Path) -> Result<VerifyReport, StorageError> {
         report.wal_epoch = scan.epoch;
         report.torn_tail_bytes = wal_bytes.len() as u64 - scan.keep_len;
         match scan.epoch {
-            Some(we) if we > snap.epoch => {
+            Some(we) if we > epoch => {
                 return Err(StorageError::corrupt(
                     &wal_path,
                     8,
-                    format!(
-                        "write-ahead log epoch {we} is ahead of snapshot epoch {}",
-                        snap.epoch
-                    ),
+                    format!("write-ahead log epoch {we} is ahead of recovered epoch {epoch}"),
                 ));
             }
-            Some(we) if we == snap.epoch => {
+            Some(we) if we == epoch => {
                 for (i, frame) in scan.frames.iter().enumerate() {
-                    apply_frame(&mut universe, &mut instance, frame, &wal_path, i)?;
+                    let clause = parse_frame(&mut universe, frame, &wal_path, i)?;
+                    apply_clause(&mut instance, &clause, &wal_path, i)?;
                 }
                 report.wal_frames = scan.frames.len() as u64;
             }
@@ -711,6 +963,119 @@ mod tests {
         drop(db);
         let db = Db::open(&t.0, DbOptions::default()).unwrap();
         assert_eq!(db.instance().relation("E").len(), 2);
+    }
+
+    #[test]
+    fn delete_logs_and_replays() {
+        let t = TempDir::new("delete");
+        let mut db = populated(&t.0);
+        let a = db.universe_mut().intern("a");
+        let b = db.universe_mut().intern("b");
+        assert!(db.delete("G", &[Value::Atom(a), Value::Atom(b)]).unwrap());
+        assert!(!db.delete("G", &[Value::Atom(a), Value::Atom(b)]).unwrap());
+        assert_eq!(db.wal_frames(), 4, "no-op delete not logged");
+        assert_eq!(db.instance().relation("G").len(), 1);
+        drop(db);
+
+        let db = Db::open(&t.0, DbOptions::default()).unwrap();
+        assert_eq!(db.instance().relation("G").len(), 1);
+        let a = db.universe().get("a").unwrap();
+        let b = db.universe().get("b").unwrap();
+        assert!(!db
+            .instance()
+            .relation("G")
+            .contains(&[Value::Atom(a), Value::Atom(b)]));
+        assert!(db
+            .instance()
+            .relation("G")
+            .contains(&[Value::Atom(b), Value::Atom(a)]));
+    }
+
+    #[test]
+    fn incremental_checkpoint_seals_and_replays() {
+        let t = TempDir::new("incr");
+        let mut db = populated(&t.0);
+        db.save_incremental().unwrap();
+        assert_eq!(db.epoch(), 1);
+        assert_eq!(db.wal_frames(), 0);
+        assert!(t.0.join(delta_file_name(1)).exists());
+        // Second incremental checkpoint over fresh mutations.
+        let c = db.universe_mut().intern("c");
+        let a = db.universe().get("a").unwrap();
+        db.insert("G", vec![Value::Atom(a), Value::Atom(c)])
+            .unwrap();
+        db.save_incremental().unwrap();
+        assert_eq!(db.epoch(), 2);
+        // Empty tail: a no-op, no delta file.
+        db.save_incremental().unwrap();
+        assert_eq!(db.epoch(), 2);
+        assert!(!t.0.join(delta_file_name(3)).exists());
+        drop(db);
+
+        let db = Db::open(&t.0, DbOptions::default()).unwrap();
+        assert_eq!(db.open_stats().snapshot_epoch, 0);
+        assert_eq!(db.open_stats().delta_files, 2);
+        assert_eq!(db.epoch(), 2);
+        assert_eq!(db.instance().relation("G").len(), 3);
+
+        let report = verify(&t.0).unwrap();
+        assert_eq!(report.delta_files, 2);
+        assert_eq!(report.tuples, 3);
+    }
+
+    #[test]
+    fn full_save_removes_delta_chain() {
+        let t = TempDir::new("fold");
+        let mut db = populated(&t.0);
+        db.save_incremental().unwrap();
+        assert!(t.0.join(delta_file_name(1)).exists());
+        db.save().unwrap();
+        assert_eq!(db.epoch(), 2);
+        assert!(!t.0.join(delta_file_name(1)).exists());
+        drop(db);
+        let db = Db::open(&t.0, DbOptions::default()).unwrap();
+        assert_eq!(db.open_stats().snapshot_epoch, 2);
+        assert_eq!(db.open_stats().delta_files, 0);
+        assert_eq!(db.instance().relation("G").len(), 2);
+    }
+
+    #[test]
+    fn epoch_clauses_feed_and_view_checkpoint_roundtrip() {
+        let t = TempDir::new("views");
+        let mut db = populated(&t.0);
+        assert_eq!(db.epoch_clauses().len(), 3);
+        db.save_views(b"view state v1").unwrap();
+        let ck = db.load_views().unwrap().unwrap();
+        assert_eq!(ck.epoch, 0);
+        assert_eq!(ck.frames, 3);
+        assert_eq!(ck.body, b"view state v1");
+        let a = db.universe().get("a").unwrap();
+        let c = db.universe_mut().intern("c");
+        db.insert("G", vec![Value::Atom(a), Value::Atom(c)])
+            .unwrap();
+        drop(db);
+
+        // Reopen: the checkpoint is current-epoch; the caller replays the
+        // tail past its frame count.
+        let db = Db::open(&t.0, DbOptions::default()).unwrap();
+        let ck = db.load_views().unwrap().unwrap();
+        assert_eq!(ck.frames, 3);
+        let tail: Vec<_> = db.epoch_clauses().skip(ck.frames as usize).collect();
+        assert_eq!(tail.len(), 1);
+        assert!(matches!(tail[0], Clause::Fact(name, _) if name == "G"));
+    }
+
+    #[test]
+    fn stale_view_checkpoint_is_discarded() {
+        let t = TempDir::new("viewstale");
+        let mut db = populated(&t.0);
+        db.save_views(b"old").unwrap();
+        db.save_incremental().unwrap();
+        // Epoch moved past the checkpoint without a view save.
+        assert_eq!(db.load_views().unwrap(), None);
+        drop(db);
+        let db = Db::open(&t.0, DbOptions::default()).unwrap();
+        assert_eq!(db.load_views().unwrap(), None);
     }
 
     #[test]

@@ -159,8 +159,8 @@ impl IoFaults {
 #[cfg(any(test, feature = "faultinject"))]
 mod imp {
     use super::{FaultMode, OpKind};
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Mutex;
+    use conc::{AtomicU64, Mutex};
+    use std::sync::atomic::Ordering;
 
     #[derive(Debug, Default)]
     pub(super) struct Inner {
@@ -179,7 +179,7 @@ mod imp {
 
     impl Inner {
         pub(super) fn arm(&self, kind: Option<OpKind>, n: u64, mode: FaultMode) {
-            *self.plan.lock().expect("fault lock") = Some(Plan {
+            *self.plan.lock() = Some(Plan {
                 kind,
                 countdown: n.max(1),
                 mode,
@@ -187,7 +187,7 @@ mod imp {
         }
 
         pub(super) fn disarm(&self) {
-            *self.plan.lock().expect("fault lock") = None;
+            *self.plan.lock() = None;
         }
 
         pub(super) fn ops(&self) -> u64 {
@@ -196,7 +196,7 @@ mod imp {
 
         pub(super) fn fire(&self, kind: OpKind) -> Option<FaultMode> {
             self.ops.fetch_add(1, Ordering::Relaxed);
-            let mut guard = self.plan.lock().expect("fault lock");
+            let mut guard = self.plan.lock();
             let plan = guard.as_mut()?;
             if plan.kind.is_some_and(|k| k != kind) {
                 return None;

@@ -40,12 +40,14 @@
 
 pub mod crc;
 pub mod db;
+pub mod delta;
 pub mod fault;
 mod fsio;
 pub mod snapshot;
 pub mod wal;
 
 pub use db::{verify, Db, DbOptions, ImportStats, OpenStats, SyncPolicy, VerifyReport};
+pub use delta::ViewsCheckpoint;
 pub use fault::{FaultMode, IoFaults, OpKind};
 
 use no_object::ResourceError;
@@ -57,6 +59,12 @@ pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
 /// The name of the write-ahead log inside a database directory.
 pub const WAL_FILE: &str = "wal.log";
+/// The name of the temporary delta file written before its atomic rename.
+pub const DELTA_TMP: &str = "delta.tmp";
+/// The name of the view-checkpoint file inside a database directory.
+pub const VIEWS_FILE: &str = "views.bin";
+/// The name of the temporary view checkpoint before its atomic rename.
+pub const VIEWS_TMP: &str = "views.tmp";
 
 /// Any failure from the storage layer. Structured, cloneable, and — like
 /// every other error in this workspace — never a panic: corrupted bytes

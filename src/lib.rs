@@ -23,6 +23,7 @@ pub use no_core as core;
 pub use no_datalog as datalog;
 pub use no_density as density;
 pub use no_exec as exec;
+pub use no_ivm as ivm;
 pub use no_object as object;
 pub use no_plan as plan;
 pub use no_proto as proto;

@@ -45,12 +45,13 @@ use no_core::eval::{active_order, Evaluator};
 use no_core::print::Printer;
 use no_core::Query;
 use no_datalog::{EvalStats, Idb, Program, Strategy};
+use no_ivm::{decode_registry, encode_registry, BaseDelta, IvmError, ViewDelta, ViewRegistry};
 use no_object::text::{parse_clause, render_database, Clause};
 use no_object::{Governor, Instance, Limits, Relation, Schema, Type, Universe, Value};
 use no_plan::{CacheKey, CalcMode, DatalogMode, PlanCache, Planned, Planner};
 use no_proto::{
-    AnalysisOut, ExplainOut, Json, Lang, LimitsSpec, Mode, Op, RelationOut, Request, Response,
-    Spend, StatsOut,
+    AnalysisOut, DeltaOut, ExplainOut, Json, Lang, LimitsSpec, Mode, Op, RelationOut, Request,
+    Response, Spend, StatsOut, ViewStatsOut,
 };
 use no_storage::{Db, DbOptions, SyncPolicy};
 use std::collections::{BTreeMap, BTreeSet};
@@ -88,6 +89,7 @@ pub struct Store {
     universe: Universe,
     instance: Instance,
     db: Option<Db>,
+    views: ViewRegistry,
 }
 
 impl Default for Store {
@@ -103,6 +105,7 @@ impl Store {
             universe: Universe::new(),
             instance: Instance::empty(Schema::new()),
             db: None,
+            views: ViewRegistry::new(),
         }
     }
 
@@ -112,6 +115,7 @@ impl Store {
             universe,
             instance,
             db: None,
+            views: ViewRegistry::new(),
         }
     }
 
@@ -159,6 +163,70 @@ impl Store {
         self.db.as_mut()
     }
 
+    /// The materialized views maintained over this store.
+    pub fn views(&self) -> &ViewRegistry {
+        &self.views
+    }
+
+    /// Mutable access to the view registry (e.g. to drop a view or
+    /// install a restored registry).
+    pub fn views_mut(&mut self) -> &mut ViewRegistry {
+        &mut self.views
+    }
+
+    /// Define (or replace) the materialized view `name` from Datalog¬
+    /// source and evaluate it against the live instance.
+    pub fn materialize_view(
+        &mut self,
+        name: &str,
+        source: &str,
+        gov: &Governor,
+    ) -> Result<(), IvmError> {
+        let program = no_datalog::parse_program(source, self.universe_mut())
+            .map_err(|e| IvmError::Parse(e.to_string()))?;
+        // the registry is taken out so its mutation can overlap the
+        // instance borrow (both live behind `self`)
+        let mut views = std::mem::take(&mut self.views);
+        let result = views
+            .materialize_program(name, source.to_string(), program, self.instance(), gov)
+            .map(|_| ());
+        self.views = views;
+        result
+    }
+
+    /// Incrementally maintain every view under `delta`, which describes
+    /// mutations **not yet applied** to the live instance. Transactional:
+    /// an error leaves every view consistent with the pre-delta state.
+    pub fn maintain_views(
+        &mut self,
+        delta: &BaseDelta,
+        gov: &Governor,
+    ) -> Result<BTreeMap<String, ViewDelta>, IvmError> {
+        let mut views = std::mem::take(&mut self.views);
+        let result = views.maintain(self.instance(), delta, gov);
+        self.views = views;
+        result
+    }
+
+    /// Re-materialize every view from scratch against the live instance
+    /// (the recovery fallback when incremental state is unusable).
+    pub fn recompute_views(&mut self, gov: &Governor) -> Result<(), IvmError> {
+        let mut views = std::mem::take(&mut self.views);
+        let result = views.recompute_all(self.instance(), gov);
+        self.views = views;
+        result
+    }
+
+    /// Persist the view registry into the attached durable database's
+    /// views checkpoint (no-op without one).
+    pub fn save_views_checkpoint(&mut self) -> Result<(), no_storage::StorageError> {
+        if let Some(db) = &mut self.db {
+            let body = encode_registry(&self.views, db.universe());
+            db.save_views(&body)?;
+        }
+        Ok(())
+    }
+
     /// Attach a durable database; it owns the live state from here on.
     pub fn attach(&mut self, db: Db) {
         self.db = Some(db);
@@ -187,6 +255,14 @@ impl Store {
                         format!("inserted into {name} (logged)")
                     } else {
                         format!("already in {name} (nothing logged)")
+                    })
+                }
+                Clause::Retract(name, row) => {
+                    let removed = db.delete(&name, &row).map_err(|e| e.to_string())?;
+                    Ok(if removed {
+                        format!("deleted from {name} (logged)")
+                    } else {
+                        format!("not in {name} (nothing logged)")
                     })
                 }
             };
@@ -230,6 +306,17 @@ impl Store {
                     format!("inserted into {name}")
                 } else {
                     format!("already in {name}")
+                })
+            }
+            Clause::Retract(name, row) => {
+                if self.instance.schema().get(&name).is_none() {
+                    return Err(format!("unknown relation {name:?}"));
+                }
+                let removed = self.instance.delete(&name, &row);
+                Ok(if removed {
+                    format!("deleted from {name}")
+                } else {
+                    format!("not in {name}")
                 })
             }
         }
@@ -471,6 +558,10 @@ impl Session {
             Op::Save => self.op_save(req),
             Op::Open => self.op_open(req),
             Op::Stats => self.op_stats(),
+            Op::Materialize => self.op_materialize(req),
+            Op::Update => self.op_update(req),
+            Op::Subscribe => self.op_subscribe(req),
+            Op::Unsubscribe => self.op_unsubscribe(req),
         }
     }
 
@@ -730,29 +821,204 @@ impl Session {
             Ok(c) => c,
             Err(e) => return Response::error("parse", e.to_string()),
         };
-        match store.apply_clause(clause) {
-            Ok(msg) => Response::message(msg),
-            Err(msg) => Response::error("storage", msg),
+        // with views live, route the mutation through maintenance first —
+        // the engine needs the pre-delta instance
+        let mut view_deltas = BTreeMap::new();
+        if !store.views().is_empty() {
+            let mut delta = BaseDelta::new();
+            match &clause {
+                Clause::Fact(name, row) => {
+                    if let Err(m) = validate_mutation(store.instance(), name, row) {
+                        return Response::error("storage", m);
+                    }
+                    delta.insert(name, row.clone());
+                }
+                Clause::Retract(name, row) => {
+                    if let Err(m) = validate_mutation(store.instance(), name, row) {
+                        return Response::error("storage", m);
+                    }
+                    delta.delete(name, row.clone());
+                }
+                // a fresh relation is empty: no view can read it yet
+                Clause::Schema(_) => {}
+            }
+            if !delta.is_empty() {
+                match store.maintain_views(&delta, &self.governor) {
+                    Ok(d) => view_deltas = d,
+                    Err(e) => return ivm_error_response(&e),
+                }
+            }
         }
+        match store.apply_clause(clause) {
+            Ok(msg) => {
+                let mut resp = Response::message(msg);
+                resp.deltas = delta_outs(store.universe(), &view_deltas);
+                resp
+            }
+            Err(msg) => {
+                if !view_deltas.is_empty() {
+                    // views ran ahead of a failed apply; fall back to a
+                    // recomputation so they match whatever is live
+                    let _ = store.recompute_views(&self.governor);
+                }
+                Response::error("storage", msg)
+            }
+        }
+    }
+
+    fn op_materialize(&self, req: &Request) -> Response {
+        let name = req.view.trim();
+        if name.is_empty() {
+            return Response::error("protocol", "materialize needs a view name in `view`");
+        }
+        if req.text.trim().is_empty() {
+            return Response::error(
+                "protocol",
+                "materialize needs the view's datalog source in `text`",
+            );
+        }
+        let mut store = self.write_store();
+        if let Err(e) = store.materialize_view(name, &req.text, &self.governor) {
+            return ivm_error_response(&e);
+        }
+        let view = store.views().get(name).expect("just materialized");
+        let relations = view
+            .relations()
+            .map(|(rel, rows)| relation_out(store.universe(), rel, rows))
+            .collect();
+        let notes = view.strategy_notes().join("; ");
+        Response {
+            ok: true,
+            relations,
+            message: Some(format!("materialized view {name} ({notes})")),
+            ..Response::default()
+        }
+    }
+
+    fn op_update(&self, req: &Request) -> Response {
+        let mut store = self.write_store();
+        let mut clauses = Vec::new();
+        {
+            let universe = store.universe_mut();
+            for line in req.text.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match parse_clause(line, universe) {
+                    Ok(c) => clauses.push(c),
+                    Err(e) => return Response::error("parse", format!("{line:?}: {e}")),
+                }
+            }
+        }
+        if clauses.is_empty() {
+            return Response::error(
+                "protocol",
+                "update needs fact or delete clauses, one per line of `text`",
+            );
+        }
+        // validate everything up front so maintenance never runs ahead of
+        // a mutation the store would refuse
+        let mut delta = BaseDelta::new();
+        for c in &clauses {
+            match c {
+                Clause::Schema(_) => {
+                    return Response::error(
+                        "protocol",
+                        "update takes fact/delete clauses; declare schema through op: insert",
+                    )
+                }
+                Clause::Fact(name, row) => {
+                    if let Err(m) = validate_mutation(store.instance(), name, row) {
+                        return Response::error("storage", m);
+                    }
+                    delta.insert(name, row.clone());
+                }
+                Clause::Retract(name, row) => {
+                    if let Err(m) = validate_mutation(store.instance(), name, row) {
+                        return Response::error("storage", m);
+                    }
+                    delta.delete(name, row.clone());
+                }
+            }
+        }
+        let view_deltas = match store.maintain_views(&delta, &self.governor) {
+            Ok(d) => d,
+            Err(e) => return ivm_error_response(&e),
+        };
+        let mut applied = 0usize;
+        for c in clauses {
+            match store.apply_clause(c) {
+                Ok(_) => applied += 1,
+                Err(m) => {
+                    // views were maintained for the whole batch; resync
+                    // them with what actually landed
+                    let _ = store.recompute_views(&self.governor);
+                    return Response::error("storage", format!("after {applied} clauses: {m}"));
+                }
+            }
+        }
+        let mut resp = Response::message(format!(
+            "applied {applied} mutations; {} views maintained",
+            store.views().len()
+        ));
+        resp.deltas = delta_outs(store.universe(), &view_deltas);
+        resp
+    }
+
+    fn op_subscribe(&self, req: &Request) -> Response {
+        let name = req.view.trim();
+        if name.is_empty() {
+            return Response::error("protocol", "subscribe needs a view name in `view`");
+        }
+        // the session only validates; the connection-scoped fan-out state
+        // lives in the server front
+        if self.read_store().views().get(name).is_none() {
+            return ivm_error_response(&IvmError::UnknownView(name.to_string()));
+        }
+        Response::message(format!("subscribed to view {name}"))
+    }
+
+    fn op_unsubscribe(&self, req: &Request) -> Response {
+        let name = req.view.trim();
+        if name.is_empty() {
+            return Response::error("protocol", "unsubscribe needs a view name in `view`");
+        }
+        Response::message(format!("unsubscribed from view {name}"))
     }
 
     fn op_save(&self, req: &Request) -> Response {
         let path = req.text.trim();
         if path.is_empty() {
             let mut store = self.write_store();
-            match store.db_mut() {
-                None => Response::error(
-                    "storage",
-                    "no durable database attached (open a directory first)",
-                ),
-                Some(db) => match db.save() {
-                    Ok(()) => Response::message(format!(
-                        "checkpointed {} at epoch {} (write-ahead log reset)",
-                        db.dir().display(),
-                        db.epoch()
-                    )),
-                    Err(e) => error_response(&Error::Storage(e)),
-                },
+            let saved = match store.db_mut() {
+                None => {
+                    return Response::error(
+                        "storage",
+                        "no durable database attached (open a directory first)",
+                    )
+                }
+                Some(db) => db
+                    .save()
+                    .map(|()| (db.dir().display().to_string(), db.epoch())),
+            };
+            match saved {
+                Ok((dir, epoch)) => {
+                    // stamp the maintained views at the fresh epoch so the
+                    // next open replays an empty tail over them
+                    if let Err(e) = store.save_views_checkpoint() {
+                        return error_response(&Error::Storage(e));
+                    }
+                    let views = store.views().len();
+                    Response::message(if views > 0 {
+                        format!(
+                            "checkpointed {dir} at epoch {epoch} (write-ahead log reset; {views} views checkpointed)"
+                        )
+                    } else {
+                        format!("checkpointed {dir} at epoch {epoch} (write-ahead log reset)")
+                    })
+                }
+                Err(e) => error_response(&Error::Storage(e)),
             }
         } else {
             let store = self.read_store();
@@ -777,7 +1043,7 @@ impl Session {
             governor: Some(self.governor.clone()),
             faults: no_storage::IoFaults::none(),
         };
-        let db = match Db::open(Path::new(dir), options) {
+        let mut db = match Db::open(Path::new(dir), options) {
             Ok(db) => db,
             Err(e) => return error_response(&Error::Storage(e)),
         };
@@ -804,17 +1070,102 @@ impl Session {
         if stats.stale_wal_discarded {
             msg.push_str("\nrecovered: stale write-ahead log discarded (already in snapshot)");
         }
-        self.write_store().attach(db);
+        let registry = self.restore_views(&mut db, &mut msg);
+        let mut store = self.write_store();
+        store.attach(db);
+        *store.views_mut() = registry;
         Response::message(msg)
+    }
+
+    /// Restore maintained views on open: decode the view checkpoint (if
+    /// one is current for this epoch) and replay the write-ahead-log tail
+    /// it had not yet seen as one maintenance delta. Failures never block
+    /// the open — they degrade to "re-materialize by hand" with a note.
+    fn restore_views(&self, db: &mut Db, msg: &mut String) -> ViewRegistry {
+        let ck = match db.load_views() {
+            Ok(Some(ck)) => ck,
+            Ok(None) => return ViewRegistry::new(),
+            Err(e) => {
+                msg.push_str(&format!(
+                    "\nview checkpoint corrupt ({e}); views must be re-materialized"
+                ));
+                return ViewRegistry::new();
+            }
+        };
+        let schema = db.instance().schema().clone();
+        let mut reg = match decode_registry(&ck.body, db.universe_mut(), &schema) {
+            Ok(reg) => reg,
+            Err(e) => {
+                msg.push_str(&format!(
+                    "\nview checkpoint unreadable ({e}); views must be re-materialized"
+                ));
+                return ViewRegistry::new();
+            }
+        };
+        // the net change between the checkpoint's WAL position and now
+        let mut delta = BaseDelta::new();
+        let mut replayed = 0usize;
+        for clause in db.epoch_clauses().skip(ck.frames as usize) {
+            replayed += 1;
+            match clause {
+                Clause::Fact(name, row) => delta.insert(name, row.clone()),
+                Clause::Retract(name, row) => delta.delete(name, row.clone()),
+                // relations declared after the checkpoint are empty then
+                // and unreadable by any checkpointed view
+                Clause::Schema(_) => {}
+            }
+        }
+        // maintenance needs the pre-delta instance; recovery already
+        // replayed the whole log, so un-apply the net tail first
+        let mut pre = db.instance().clone();
+        for (rel, rows) in &delta.add {
+            for row in rows.iter() {
+                pre.delete(rel, row);
+            }
+        }
+        for (rel, rows) in &delta.del {
+            for row in rows.iter() {
+                pre.insert(rel, row.clone());
+            }
+        }
+        match reg.maintain(&pre, &delta, &self.governor) {
+            Ok(_) => {
+                msg.push_str(&format!(
+                    "\nviews restored: {} from checkpoint, {replayed} log clauses replayed",
+                    reg.len()
+                ));
+                reg
+            }
+            Err(e) => {
+                msg.push_str(&format!(
+                    "\nview replay failed ({e}); views must be re-materialized"
+                ));
+                ViewRegistry::new()
+            }
+        }
     }
 
     fn op_stats(&self) -> Response {
         let (cache_hits, cache_misses) = self.plan_cache_stats();
+        let views = {
+            let store = self.read_store();
+            let reg = store.views();
+            reg.names()
+                .filter_map(|name| reg.get(name).map(|v| (name.to_string(), v.stats())))
+                .map(|(view, s)| ViewStatsOut {
+                    view,
+                    maintain_calls: s.maintain_calls,
+                    steps_total: s.steps_total,
+                    steps_last: s.steps_last,
+                })
+                .collect()
+        };
         Response {
             ok: true,
             stats: Some(StatsOut {
                 cache_hits,
                 cache_misses,
+                views,
                 ..StatsOut::default()
             }),
             ..Response::default()
@@ -1285,6 +1636,67 @@ fn error_response(e: &Error) -> Response {
         err.resource_trip = trip;
     }
     resp
+}
+
+fn ivm_error_response(e: &IvmError) -> Response {
+    let (kind, trip) = match e {
+        IvmError::Parse(_) => ("parse", false),
+        IvmError::Plan(_) => ("eval", false),
+        IvmError::Resource(_) => ("resource", true),
+        IvmError::UnknownView(_) => ("protocol", false),
+        IvmError::Checkpoint(_) => ("storage", false),
+    };
+    let mut resp = Response::error(kind, e.to_string());
+    if let Some(err) = resp.error.as_mut() {
+        err.resource_trip = trip;
+    }
+    resp
+}
+
+/// Check a fact/delete mutation against the schema without applying it,
+/// so a batch can be validated up front and applied all-or-nothing.
+fn validate_mutation(instance: &Instance, name: &str, row: &[Value]) -> Result<(), String> {
+    let rel = match instance.schema().get(name) {
+        Some(r) => r,
+        None => return Err(format!("unknown relation {name:?}")),
+    };
+    if rel.arity() != row.len() {
+        return Err(format!(
+            "relation {name:?} has arity {} but the tuple has {} values",
+            rel.arity(),
+            row.len()
+        ));
+    }
+    for (v, t) in row.iter().zip(rel.column_types.iter()) {
+        if !v.has_type(t) {
+            return Err(format!("value is not of type {t} in relation {name:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Render per-view maintenance deltas for the wire, skipping views the
+/// mutation did not touch.
+fn delta_outs(universe: &Universe, deltas: &BTreeMap<String, ViewDelta>) -> Vec<DeltaOut> {
+    deltas
+        .iter()
+        .filter(|(_, d)| !d.is_empty())
+        .map(|(view, d)| DeltaOut {
+            view: view.clone(),
+            added: d
+                .add
+                .iter()
+                .filter(|(_, rows)| !rows.is_empty())
+                .map(|(rel, rows)| relation_out(universe, rel, rows))
+                .collect(),
+            removed: d
+                .del
+                .iter()
+                .filter(|(_, rows)| !rows.is_empty())
+                .map(|(rel, rows)| relation_out(universe, rel, rows))
+                .collect(),
+        })
+        .collect()
 }
 
 fn analysis_out(analysis: &no_analysis::Analysis, src: &str) -> AnalysisOut {
@@ -1894,5 +2306,174 @@ mod tests {
         let (hits, misses) = peer.plan_cache_stats();
         assert_eq!(misses, misses_before, "peer reused the shared plan");
         assert!(hits >= 1);
+    }
+
+    #[test]
+    fn run_materialize_update_round_trip() {
+        let s = graph_session(&[("a", "b"), ("b", "c")]);
+        let r = s.run(&Request {
+            op: Op::Materialize,
+            view: "paths".into(),
+            text: TC_SRC.into(),
+            ..Request::default()
+        });
+        assert!(r.ok, "{:?}", r.error);
+        assert!(r.message.as_ref().unwrap().contains("materialized"));
+        let tc = r.relations.iter().find(|r| r.name == "tc").unwrap();
+        assert_eq!(tc.rows.len(), 3);
+
+        // a batch update maintains the view and reports its delta
+        let r = s.run(&Request {
+            op: Op::Update,
+            text: "G('c', 'd').".into(),
+            ..Request::default()
+        });
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.deltas.len(), 1);
+        assert_eq!(r.deltas[0].view, "paths");
+        let added = &r.deltas[0].added[0];
+        assert_eq!(added.name, "tc");
+        assert_eq!(added.rows.len(), 3, "(c,d) (b,d) (a,d)");
+        assert!(r.deltas[0].removed.is_empty());
+
+        // a single Op::Insert mutation maintains too
+        let r = s.run(&Request {
+            op: Op::Insert,
+            text: "delete G('c', 'd').".into(),
+            ..Request::default()
+        });
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.deltas[0].removed[0].rows.len(), 3);
+
+        // stats expose per-view maintenance accounting
+        let r = s.run(&Request {
+            op: Op::Stats,
+            ..Request::default()
+        });
+        let views = &r.stats.as_ref().unwrap().views;
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].view, "paths");
+        assert_eq!(views[0].maintain_calls, 2);
+        assert!(views[0].steps_total > 0);
+
+        // subscribe validates the view name
+        let r = s.run(&Request {
+            op: Op::Subscribe,
+            view: "paths".into(),
+            ..Request::default()
+        });
+        assert!(r.ok);
+        let r = s.run(&Request {
+            op: Op::Subscribe,
+            view: "nope".into(),
+            ..Request::default()
+        });
+        assert!(!r.ok);
+        assert_eq!(r.error.as_ref().unwrap().kind, "protocol");
+    }
+
+    #[test]
+    fn run_update_rejects_bad_batches_atomically() {
+        let s = graph_session(&[("a", "b"), ("b", "c")]);
+        assert!(
+            s.run(&Request {
+                op: Op::Materialize,
+                view: "paths".into(),
+                text: TC_SRC.into(),
+                ..Request::default()
+            })
+            .ok
+        );
+        // one bad clause anywhere rejects the whole batch up front
+        let r = s.run(&Request {
+            op: Op::Update,
+            text: "G('c', 'd').\nH('x', 'y').".into(),
+            ..Request::default()
+        });
+        assert!(!r.ok);
+        // nothing was applied, nothing was maintained
+        let r = s.run(&Request::eval(Lang::Calc, "{[x:U, y:U] | G(x, y)}"));
+        assert_eq!(r.relations[0].rows.len(), 2);
+        let r = s.run(&Request {
+            op: Op::Stats,
+            ..Request::default()
+        });
+        assert_eq!(r.stats.as_ref().unwrap().views[0].maintain_calls, 0);
+    }
+
+    #[test]
+    fn durable_views_checkpoint_and_replay_from_log_tail() {
+        let dir = std::env::temp_dir().join(format!("nestdb_run_ivm_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = Session::default();
+        assert!(
+            s.run(&Request {
+                op: Op::Open,
+                text: dir.display().to_string(),
+                ..Request::default()
+            })
+            .ok
+        );
+        for clause in ["schema G(U, U).", "G('a', 'b')."] {
+            assert!(
+                s.run(&Request {
+                    op: Op::Insert,
+                    text: clause.into(),
+                    ..Request::default()
+                })
+                .ok
+            );
+        }
+        assert!(
+            s.run(&Request {
+                op: Op::Materialize,
+                view: "paths".into(),
+                text: TC_SRC.into(),
+                ..Request::default()
+            })
+            .ok
+        );
+        let r = s.run(&Request {
+            op: Op::Save,
+            ..Request::default()
+        });
+        assert!(r.ok, "{:?}", r.error);
+        assert!(
+            r.message.as_ref().unwrap().contains("1 views checkpointed"),
+            "{:?}",
+            r.message
+        );
+        // mutate past the checkpoint: this lands only in the log tail
+        assert!(
+            s.run(&Request {
+                op: Op::Insert,
+                text: "G('b', 'c').".into(),
+                ..Request::default()
+            })
+            .ok
+        );
+
+        // a fresh session restores the checkpoint and replays the tail
+        let s2 = Session::default();
+        let r = s2.run(&Request {
+            op: Op::Open,
+            text: dir.display().to_string(),
+            ..Request::default()
+        });
+        assert!(r.ok, "{:?}", r.error);
+        let msg = r.message.as_ref().unwrap();
+        assert!(msg.contains("views restored: 1"), "{msg}");
+        assert!(msg.contains("1 log clauses replayed"), "{msg}");
+        // deleting the replayed edge retracts exactly the tc facts it
+        // supported — proof the restored state includes the tail
+        let r = s2.run(&Request {
+            op: Op::Update,
+            text: "delete G('b', 'c').".into(),
+            ..Request::default()
+        });
+        assert!(r.ok, "{:?}", r.error);
+        let removed = &r.deltas[0].removed[0];
+        assert_eq!(removed.rows.len(), 2, "(b,c) and (a,c): {:?}", removed.rows);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -316,6 +316,98 @@ fn server_dir_verifies(dir: &std::path::Path) {
     assert!(report.tuples >= 1);
 }
 
+/// Live view maintenance over real sockets: one client materializes a
+/// recursive view and subscribes; a second client's mutations arrive at
+/// the first as unsolicited `event: "delta"` push lines whose rows match
+/// what the maintenance engine computed — and the maintenance work is
+/// charged to the mutating tenant's admission bucket like any query.
+#[test]
+fn live_subscriptions_push_maintained_deltas_across_connections() {
+    let server = chain_server(3, ServerConfig::default()); // G: n0→n1→n2
+    let addr = server.local_addr();
+    let mut watcher = Client::connect(addr).unwrap();
+    let mut mutator = Client::connect(addr).unwrap();
+
+    let resp = watcher
+        .roundtrip(&Request {
+            op: Op::Materialize,
+            view: "paths".to_string(),
+            text: TC_SRC.to_string(),
+            ..Request::default()
+        })
+        .unwrap();
+    assert!(resp.ok, "{:?}", resp.error);
+    assert_eq!(resp.relations[0].rows.len(), 3, "tc of a 3-chain");
+    assert!(
+        watcher
+            .roundtrip(&Request {
+                op: Op::Subscribe,
+                view: "paths".to_string(),
+                ..Request::default()
+            })
+            .unwrap()
+            .ok
+    );
+
+    // subscribing to a view that does not exist is a structured error
+    let resp = watcher
+        .roundtrip(&Request {
+            op: Op::Subscribe,
+            view: "nonesuch".to_string(),
+            ..Request::default()
+        })
+        .unwrap();
+    assert_eq!(resp.error.as_ref().unwrap().kind, "protocol");
+
+    // another connection closes the chain into a cycle
+    let resp = mutator
+        .roundtrip(&Request {
+            op: Op::Update,
+            tenant: "writer".to_string(),
+            text: "G('n2', 'n0').".to_string(),
+            ..Request::default()
+        })
+        .unwrap();
+    assert!(resp.ok, "{:?}", resp.error);
+    assert_eq!(resp.deltas[0].view, "paths");
+
+    // the push carries the same maintained delta: tc jumps 3 → 9 rows
+    let push = watcher.recv().unwrap();
+    assert_eq!(push.event.as_deref(), Some("delta"));
+    assert_eq!(push.deltas[0].view, "paths");
+    let added = &push.deltas[0].added[0];
+    assert_eq!(added.name, "tc");
+    assert_eq!(added.rows.len(), 6);
+    assert!(push.deltas[0].removed.is_empty());
+
+    // a retraction pushes removals the same way
+    assert!(
+        mutator
+            .roundtrip(&Request {
+                op: Op::Update,
+                tenant: "writer".to_string(),
+                text: "delete G('n2', 'n0').".to_string(),
+                ..Request::default()
+            })
+            .unwrap()
+            .ok
+    );
+    let push = watcher.recv().unwrap();
+    assert_eq!(push.event.as_deref(), Some("delta"));
+    assert_eq!(push.deltas[0].removed[0].rows.len(), 6);
+    assert!(push.deltas[0].added.is_empty());
+
+    // maintenance spend landed on the mutating tenant's bucket, and the
+    // per-view counters made it into stats
+    let s = stats(&mut watcher);
+    let writer = s.tenants.iter().find(|t| t.tenant == "writer").unwrap();
+    assert!(writer.spent_steps > 0, "maintenance is admission-metered");
+    let view = s.views.iter().find(|v| v.view == "paths").unwrap();
+    assert_eq!(view.maintain_calls, 2);
+    assert!(view.steps_total > 0);
+    server.shutdown();
+}
+
 /// Disconnecting mid-evaluation cancels the in-flight request's governor;
 /// the service stays healthy and the next client is served normally.
 #[test]
